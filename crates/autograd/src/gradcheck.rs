@@ -1,0 +1,170 @@
+//! Finite-difference gradient checking.
+//!
+//! Used throughout the test suites of the higher layers to certify that
+//! every composed network differentiates correctly.
+
+use sf_tensor::Tensor;
+
+use crate::{Graph, NodeId};
+
+/// Verifies analytic gradients against central finite differences.
+///
+/// `build` receives a fresh [`Graph`] plus the current parameter tensors
+/// and must return `(loss_node, param_nodes)` with one node per input
+/// parameter, in order. The function perturbs every coordinate of every
+/// parameter by `±eps` and compares the numeric slope against the analytic
+/// gradient.
+///
+/// Returns the worst absolute deviation observed, or an error string
+/// naming the first offending coordinate if it exceeds `tol`.
+///
+/// # Examples
+///
+/// ```
+/// use sf_autograd::{check_gradients, Graph};
+/// use sf_tensor::Tensor;
+///
+/// let params = vec![Tensor::from_vec(vec![1.0, -2.0], &[2])?];
+/// let worst = check_gradients(&params, 1e-3, 1e-2, |g, p| {
+///     let x = g.param(p[0].clone());
+///     let y = g.mul(x, x);
+///     (g.sum_all(y), vec![x])
+/// }).expect("gradients agree");
+/// assert!(worst < 1e-2);
+/// # Ok::<(), sf_tensor::TensorError>(())
+/// ```
+pub fn check_gradients(
+    params: &[Tensor],
+    eps: f32,
+    tol: f32,
+    mut build: impl FnMut(&mut Graph, &[Tensor]) -> (NodeId, Vec<NodeId>),
+) -> Result<f32, String> {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let (loss, nodes) = build(&mut g, params);
+    assert_eq!(
+        nodes.len(),
+        params.len(),
+        "build must return one node per parameter"
+    );
+    g.backward(loss);
+    let analytic: Vec<Tensor> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            g.grad(n)
+                .cloned()
+                .unwrap_or_else(|| panic!("parameter {i} received no gradient"))
+        })
+        .collect();
+
+    let mut worst = 0.0f32;
+    for (pi, param) in params.iter().enumerate() {
+        for coord in 0..param.numel() {
+            let numeric = {
+                let mut plus = params.to_vec();
+                plus[pi].data_mut()[coord] += eps;
+                let mut gp = Graph::new();
+                let (lp, _) = build(&mut gp, &plus);
+                let fp = gp.value(lp).at(&[]);
+
+                let mut minus = params.to_vec();
+                minus[pi].data_mut()[coord] -= eps;
+                let mut gm = Graph::new();
+                let (lm, _) = build(&mut gm, &minus);
+                let fm = gm.value(lm).at(&[]);
+                (fp - fm) / (2.0 * eps)
+            };
+            let ana = analytic[pi].data()[coord];
+            let dev = (numeric - ana).abs();
+            if dev > tol {
+                return Err(format!(
+                    "gradient mismatch at param {pi} coord {coord}: numeric {numeric} vs analytic {ana} (|Δ| = {dev} > tol {tol})"
+                ));
+            }
+            worst = worst.max(dev);
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_tensor::{Conv2dSpec, TensorRng};
+
+    #[test]
+    fn quadratic_passes() {
+        let params = vec![Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap()];
+        let worst = check_gradients(&params, 1e-3, 1e-2, |g, p| {
+            let x = g.param(p[0].clone());
+            let y = g.mul(x, x);
+            (g.sum_all(y), vec![x])
+        })
+        .unwrap();
+        assert!(worst < 1e-2);
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        // scale() by 3 but we lie by building a different graph for the
+        // analytic vs numeric passes via captured state.
+        let params = vec![Tensor::from_vec(vec![2.0], &[1]).unwrap()];
+        let mut call = 0;
+        let res = check_gradients(&params, 1e-3, 1e-3, move |g, p| {
+            call += 1;
+            let x = g.param(p[0].clone());
+            // First (analytic) call computes 3x; numeric calls compute 5x.
+            let k = if call == 1 { 3.0 } else { 5.0 };
+            let y = g.scale(x, k);
+            (g.sum_all(y), vec![x])
+        });
+        assert!(res.is_err());
+        assert!(res.unwrap_err().contains("mismatch"));
+    }
+
+    #[test]
+    fn conv_bn_relu_sigmoid_network_checks() {
+        let mut rng = TensorRng::seed_from(3);
+        let x0 = rng.uniform(&[2, 2, 4, 4], -1.0, 1.0);
+        let params = vec![
+            rng.kaiming(&[3, 2, 3, 3]),
+            Tensor::ones(&[3]),
+            rng.uniform(&[3], -0.1, 0.1),
+        ];
+        let worst = check_gradients(&params, 1e-2, 6e-2, |g, p| {
+            let x = g.leaf(x0.clone());
+            let w = g.param(p[0].clone());
+            let gamma = g.param(p[1].clone());
+            let beta = g.param(p[2].clone());
+            let c = g.conv2d(x, w, None, Conv2dSpec::same(3));
+            let (bn, _, _) = g.batch_norm_train(c, gamma, beta, 1e-5);
+            let r = g.relu(bn);
+            let s = g.sigmoid(r);
+            (g.mean_all(s), vec![w, gamma, beta])
+        })
+        .unwrap();
+        assert!(worst < 6e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn fusion_style_two_branch_graph_checks() {
+        // A miniature of the paper's fusion: rgb + 1x1-conv(depth), then
+        // a loss — the Fusion-filter gradient path must be exact.
+        let mut rng = TensorRng::seed_from(4);
+        let rgb = rng.uniform(&[1, 3, 4, 4], -1.0, 1.0);
+        let depth = rng.uniform(&[1, 3, 4, 4], -1.0, 1.0);
+        let target = rng.uniform(&[1, 3, 4, 4], 0.0, 1.0).map(f32::round);
+        let params = vec![rng.kaiming(&[3, 3, 1, 1])];
+        let worst = check_gradients(&params, 1e-2, 5e-2, |g, p| {
+            let r = g.leaf(rgb.clone());
+            let d = g.leaf(depth.clone());
+            let wf = g.param(p[0].clone());
+            let mapped = g.conv2d(d, wf, None, Conv2dSpec::default());
+            let fused = g.add(r, mapped);
+            (g.bce_with_logits(fused, &target), vec![wf])
+        })
+        .unwrap();
+        assert!(worst < 5e-2, "worst deviation {worst}");
+    }
+}

@@ -1,0 +1,978 @@
+//! The autodiff tape.
+
+use sf_tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, matmul, matmul_transpose_a,
+    matmul_transpose_b, max_pool2d, max_pool2d_backward, upsample_nearest2d,
+    upsample_nearest2d_backward, Conv2dSpec, Tensor,
+};
+
+/// Handle to a node on a [`Graph`] tape.
+///
+/// `NodeId`s are only meaningful for the graph that created them; using a
+/// node id from one graph on another panics (if the index is out of range)
+/// or silently reads the wrong node — keep one graph per forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The raw tape index; exposed for diagnostics only.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One recorded operation and the context its backward pass needs.
+enum Op {
+    Leaf,
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Scale(NodeId, f32),
+    AddScalar(NodeId),
+    Relu(NodeId),
+    Sigmoid(NodeId),
+    SqrtEps(NodeId),
+    Reshape(NodeId),
+    Conv2d {
+        x: NodeId,
+        w: NodeId,
+        b: Option<NodeId>,
+        spec: Conv2dSpec,
+    },
+    BatchNorm {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        x_hat: Tensor,
+        inv_std: Tensor,
+    },
+    MaxPool {
+        x: NodeId,
+        argmax: Vec<usize>,
+    },
+    AvgPool {
+        x: NodeId,
+        kernel: usize,
+        stride: usize,
+    },
+    Upsample {
+        x: NodeId,
+        factor: usize,
+    },
+    GlobalAvgPool(NodeId),
+    Linear {
+        x: NodeId,
+        w: NodeId,
+        b: Option<NodeId>,
+    },
+    MeanAll(NodeId),
+    SumAll(NodeId),
+    BceWithLogits {
+        logits: NodeId,
+        target: Tensor,
+    },
+    Mse(NodeId, NodeId),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    requires_grad: bool,
+    op: Op,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// Build one graph per forward pass: record operations, call
+/// [`Graph::backward`] on the (scalar) loss node, then read parameter
+/// gradients with [`Graph::grad`].
+///
+/// All op methods panic on shape errors — network construction bugs are
+/// programmer errors, and the panic messages carry the offending shapes.
+pub struct Graph {
+    nodes: Vec<Node>,
+    id: u64,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph({} nodes)", self.nodes.len())
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape with a process-unique identity.
+    pub fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        Graph {
+            nodes: Vec::new(),
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// A process-unique identifier for this tape. Parameter containers
+    /// use it to ignore bindings left over from other graphs (e.g. an
+    /// inference pass that was never back-propagated).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a constant input (no gradient is tracked).
+    pub fn leaf(&mut self, value: Tensor) -> NodeId {
+        self.push(value, false, Op::Leaf)
+    }
+
+    /// Records a trainable parameter (gradient is tracked).
+    pub fn param(&mut self, value: Tensor) -> NodeId {
+        self.push(value, true, Op::Leaf)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// The accumulated gradient of a node, if [`Graph::backward`] reached
+    /// it and the node requires a gradient.
+    pub fn grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    fn push(&mut self, value: Tensor, requires_grad: bool, op: Op) -> NodeId {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            requires_grad,
+            op,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn push_op(&mut self, value: Tensor, parents: &[NodeId], op: Op) -> NodeId {
+        let requires_grad = parents.iter().any(|p| self.nodes[p.0].requires_grad);
+        self.push(value, requires_grad, op)
+    }
+
+    /// Element-wise sum with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes cannot be broadcast together.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).add(self.value(b));
+        self.push_op(v, &[a, b], Op::Add(a, b))
+    }
+
+    /// Element-wise difference with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes cannot be broadcast together.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).sub(self.value(b));
+        self.push_op(v, &[a, b], Op::Sub(a, b))
+    }
+
+    /// Element-wise product with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes cannot be broadcast together.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).mul(self.value(b));
+        self.push_op(v, &[a, b], Op::Mul(a, b))
+    }
+
+    /// Multiplies every element by the constant `k`.
+    pub fn scale(&mut self, a: NodeId, k: f32) -> NodeId {
+        let v = self.value(a).scale(k);
+        self.push_op(v, &[a], Op::Scale(a, k))
+    }
+
+    /// Adds the constant `k` to every element.
+    pub fn add_scalar(&mut self, a: NodeId, k: f32) -> NodeId {
+        let v = self.value(a).add_scalar(k);
+        self.push_op(v, &[a], Op::AddScalar(a))
+    }
+
+    /// Rectified linear unit, `max(x, 0)`.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push_op(v, &[a], Op::Relu(a))
+    }
+
+    /// Logistic sigmoid, `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push_op(v, &[a], Op::Sigmoid(a))
+    }
+
+    /// `sqrt(x + eps)`, the smooth magnitude used by the differentiable
+    /// edge extractor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps <= 0` (the gradient would be unbounded at 0).
+    pub fn sqrt_eps(&mut self, a: NodeId, eps: f32) -> NodeId {
+        assert!(eps > 0.0, "sqrt_eps requires a positive epsilon");
+        let v = self.value(a).map(|x| (x + eps).sqrt());
+        self.push_op(v, &[a], Op::SqrtEps(a))
+    }
+
+    /// Element-wise square (`x²`), recorded as `mul(a, a)`.
+    pub fn square(&mut self, a: NodeId) -> NodeId {
+        self.mul(a, a)
+    }
+
+    /// Reinterprets a node with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts disagree.
+    pub fn reshape(&mut self, a: NodeId, shape: &[usize]) -> NodeId {
+        let v = self
+            .value(a)
+            .reshape(shape)
+            .unwrap_or_else(|e| panic!("reshape: {e}"));
+        self.push_op(v, &[a], Op::Reshape(a))
+    }
+
+    /// Batched 2-D convolution (`NCHW` × `OCKK` → `NOHW`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/channel mismatches or invalid geometry.
+    pub fn conv2d(&mut self, x: NodeId, w: NodeId, b: Option<NodeId>, spec: Conv2dSpec) -> NodeId {
+        let bias = b.map(|id| self.value(id).clone());
+        let v = conv2d(self.value(x), self.value(w), bias.as_ref(), spec)
+            .unwrap_or_else(|e| panic!("conv2d: {e}"));
+        let mut parents = vec![x, w];
+        parents.extend(b);
+        self.push_op(v, &parents, Op::Conv2d { x, w, b, spec })
+    }
+
+    /// Batch normalisation in training mode: normalises with the batch's
+    /// own per-channel statistics, then applies the learnable affine
+    /// transform `gamma·x̂ + beta`.
+    ///
+    /// Returns `(output, batch_mean, batch_var)`; the caller uses the
+    /// statistics to update its running estimates for inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 4 or `gamma`/`beta` are not `[C]`.
+    pub fn batch_norm_train(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+    ) -> (NodeId, Tensor, Tensor) {
+        let xv = self.value(x);
+        let (n, c, h, w) = match xv.shape() {
+            [n, c, h, w] => (*n, *c, *h, *w),
+            other => panic!("batch_norm_train: expected NCHW input, got {other:?}"),
+        };
+        assert_eq!(
+            self.value(gamma).shape(),
+            &[c],
+            "batch_norm_train: gamma must be [C]"
+        );
+        assert_eq!(
+            self.value(beta).shape(),
+            &[c],
+            "batch_norm_train: beta must be [C]"
+        );
+        let (mean, var) = xv.channel_mean_var().expect("checked rank above");
+        let inv_std = var.map(|v| 1.0 / (v + eps).sqrt());
+        // x_hat = (x - mean) * inv_std, per channel.
+        let mut x_hat = xv.clone();
+        {
+            let data = x_hat.data_mut();
+            for img in 0..n {
+                for ch in 0..c {
+                    let m = mean.data()[ch];
+                    let s = inv_std.data()[ch];
+                    let base = (img * c + ch) * h * w;
+                    for v in &mut data[base..base + h * w] {
+                        *v = (*v - m) * s;
+                    }
+                }
+            }
+        }
+        let mut y = x_hat.clone();
+        {
+            let gv = self.value(gamma).data().to_vec();
+            let bv = self.value(beta).data().to_vec();
+            let data = y.data_mut();
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * h * w;
+                    for v in &mut data[base..base + h * w] {
+                        *v = *v * gv[ch] + bv[ch];
+                    }
+                }
+            }
+        }
+        let id = self.push_op(
+            y,
+            &[x, gamma, beta],
+            Op::BatchNorm {
+                x,
+                gamma,
+                beta,
+                x_hat,
+                inv_std: inv_std.clone(),
+            },
+        );
+        (id, mean, var)
+    }
+
+    /// Batch normalisation in inference mode, using frozen running
+    /// statistics. Composed from primitive ops, so it still participates
+    /// in autodiff with respect to `gamma`/`beta` if they require grads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn batch_norm_infer(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        running_mean: &Tensor,
+        running_var: &Tensor,
+        eps: f32,
+    ) -> NodeId {
+        let c = running_mean.numel();
+        let scale = running_var.map(|v| 1.0 / (v + eps).sqrt());
+        // Broadcast [C] statistics over NCHW as [C,1,1].
+        let mean_b = self.leaf(
+            running_mean
+                .reshape(&[c, 1, 1])
+                .expect("reshape [C] to [C,1,1]"),
+        );
+        let scale_b = self.leaf(scale.reshape(&[c, 1, 1]).expect("reshape [C] to [C,1,1]"));
+        let gamma_b = self.reshape(gamma, &[c, 1, 1]);
+        let beta_b = self.reshape(beta, &[c, 1, 1]);
+        let centred = self.sub(x, mean_b);
+        let normed = self.mul(centred, scale_b);
+        let scaled = self.mul(normed, gamma_b);
+        self.add(scaled, beta_b)
+    }
+
+    /// Max pooling over `kernel×kernel` windows with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry.
+    pub fn max_pool2d(&mut self, x: NodeId, kernel: usize, stride: usize) -> NodeId {
+        let (v, argmax) =
+            max_pool2d(self.value(x), kernel, stride).unwrap_or_else(|e| panic!("max_pool2d: {e}"));
+        self.push_op(v, &[x], Op::MaxPool { x, argmax })
+    }
+
+    /// Average pooling over `kernel×kernel` windows with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry.
+    pub fn avg_pool2d(&mut self, x: NodeId, kernel: usize, stride: usize) -> NodeId {
+        let v =
+            avg_pool2d(self.value(x), kernel, stride).unwrap_or_else(|e| panic!("avg_pool2d: {e}"));
+        self.push_op(v, &[x], Op::AvgPool { x, kernel, stride })
+    }
+
+    /// Nearest-neighbour up-sampling by an integer factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry.
+    pub fn upsample_nearest2d(&mut self, x: NodeId, factor: usize) -> NodeId {
+        let v = upsample_nearest2d(self.value(x), factor)
+            .unwrap_or_else(|e| panic!("upsample_nearest2d: {e}"));
+        self.push_op(v, &[x], Op::Upsample { x, factor })
+    }
+
+    /// Global average pooling: `[N, C, H, W] → [N, C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 4.
+    pub fn global_avg_pool(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let (n, c, h, w) = match xv.shape() {
+            [n, c, h, w] => (*n, *c, *h, *w),
+            other => panic!("global_avg_pool: expected NCHW input, got {other:?}"),
+        };
+        let inv = 1.0 / (h * w) as f32;
+        let mut v = Tensor::zeros(&[n, c]);
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                v.data_mut()[img * c + ch] =
+                    xv.data()[base..base + h * w].iter().sum::<f32>() * inv;
+            }
+        }
+        self.push_op(v, &[x], Op::GlobalAvgPool(x))
+    }
+
+    /// Fully-connected layer: `y = x·Wᵀ (+ b)` for `x: [N, I]`,
+    /// `w: [O, I]`, `b: [O]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn linear(&mut self, x: NodeId, w: NodeId, b: Option<NodeId>) -> NodeId {
+        let mut v = matmul_transpose_b(self.value(x), self.value(w))
+            .unwrap_or_else(|e| panic!("linear: {e}"));
+        if let Some(bias) = b {
+            v = v.add(self.value(bias));
+        }
+        let mut parents = vec![x, w];
+        parents.extend(b);
+        self.push_op(v, &parents, Op::Linear { x, w, b })
+    }
+
+    /// Mean of all elements, yielding a scalar node.
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push_op(v, &[a], Op::MeanAll(a))
+    }
+
+    /// Sum of all elements, yielding a scalar node.
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push_op(v, &[a], Op::SumAll(a))
+    }
+
+    /// Numerically stable binary-cross-entropy-with-logits loss against a
+    /// constant target, mean-reduced to a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target shape differs from the logits shape.
+    pub fn bce_with_logits(&mut self, logits: NodeId, target: &Tensor) -> NodeId {
+        let z = self.value(logits);
+        assert_eq!(
+            z.shape(),
+            target.shape(),
+            "bce_with_logits: logits {:?} vs target {:?}",
+            z.shape(),
+            target.shape()
+        );
+        // loss = max(z,0) - z·t + ln(1 + e^{-|z|})
+        let total: f64 = z
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&z, &t)| (z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln()) as f64)
+            .sum();
+        let v = Tensor::scalar((total / z.numel().max(1) as f64) as f32);
+        self.push_op(
+            v,
+            &[logits],
+            Op::BceWithLogits {
+                logits,
+                target: target.clone(),
+            },
+        )
+    }
+
+    /// Mean-squared-error between two nodes, reduced to a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mse(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(
+            av.shape(),
+            bv.shape(),
+            "mse: shapes {:?} and {:?} differ",
+            av.shape(),
+            bv.shape()
+        );
+        let total: f64 = av
+            .data()
+            .iter()
+            .zip(bv.data())
+            .map(|(&x, &y)| ((x - y) as f64) * ((x - y) as f64))
+            .sum();
+        let v = Tensor::scalar((total / av.numel().max(1) as f64) as f32);
+        self.push_op(v, &[a, b], Op::Mse(a, b))
+    }
+
+    /// Runs reverse-mode accumulation from `root`, seeding its gradient
+    /// with ones. Typically `root` is a scalar loss.
+    ///
+    /// Gradients *accumulate* across multiple `backward` calls on the same
+    /// graph (like PyTorch without `zero_grad`); each call propagates only
+    /// its own root's contribution.
+    pub fn backward(&mut self, root: NodeId) {
+        let mut pass: Vec<Option<Tensor>> = vec![None; root.0 + 1];
+        if self.nodes[root.0].requires_grad {
+            pass[root.0] = Some(Tensor::ones(self.nodes[root.0].value.shape()));
+        }
+        for i in (0..=root.0).rev() {
+            let Some(grad) = pass[i].take() else {
+                continue;
+            };
+            self.backprop_node(i, &grad, &mut pass);
+            // Merge this pass's contribution into the stored gradient.
+            match &mut self.nodes[i].grad {
+                Some(existing) => existing.add_assign(&grad),
+                slot @ None => *slot = Some(grad),
+            }
+        }
+    }
+
+    fn accumulate_into(&self, pass: &mut [Option<Tensor>], id: NodeId, grad: Tensor) {
+        if !self.nodes[id.0].requires_grad {
+            return;
+        }
+        match &mut pass[id.0] {
+            Some(existing) => existing.add_assign(&grad),
+            slot @ None => *slot = Some(grad),
+        }
+    }
+
+    /// Applies the backward rule of node `i`, distributing `grad` to its
+    /// parents within the current pass buffer.
+    fn backprop_node(&self, i: usize, grad: &Tensor, pass: &mut [Option<Tensor>]) {
+        // Take the op out temporarily to appease the borrow checker for
+        // ops that hold saved tensors.
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            &Op::Add(a, b) => {
+                let ga = grad
+                    .sum_to_shape(&self.shape_of(a))
+                    .expect("add grad reduces to lhs shape");
+                let gb = grad
+                    .sum_to_shape(&self.shape_of(b))
+                    .expect("add grad reduces to rhs shape");
+                self.accumulate_into(pass, a, ga);
+                self.accumulate_into(pass, b, gb);
+            }
+            &Op::Sub(a, b) => {
+                let ga = grad
+                    .sum_to_shape(&self.shape_of(a))
+                    .expect("sub grad reduces to lhs shape");
+                let gb = grad
+                    .scale(-1.0)
+                    .sum_to_shape(&self.shape_of(b))
+                    .expect("sub grad reduces to rhs shape");
+                self.accumulate_into(pass, a, ga);
+                self.accumulate_into(pass, b, gb);
+            }
+            &Op::Mul(a, b) => {
+                let ga = grad
+                    .mul(self.value(b))
+                    .sum_to_shape(&self.shape_of(a))
+                    .expect("mul grad reduces to lhs shape");
+                let gb = grad
+                    .mul(self.value(a))
+                    .sum_to_shape(&self.shape_of(b))
+                    .expect("mul grad reduces to rhs shape");
+                self.accumulate_into(pass, a, ga);
+                self.accumulate_into(pass, b, gb);
+            }
+            &Op::Scale(a, k) => {
+                self.accumulate_into(pass, a, grad.scale(k));
+            }
+            &Op::AddScalar(a) => {
+                self.accumulate_into(pass, a, grad.clone());
+            }
+            &Op::Relu(a) => {
+                let mask = self.value(a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                self.accumulate_into(pass, a, grad.mul(&mask));
+            }
+            &Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let dy = y.map(|s| s * (1.0 - s));
+                let g = grad.mul(&dy);
+                self.accumulate_into(pass, a, g);
+            }
+            &Op::SqrtEps(a) => {
+                let y = &self.nodes[i].value;
+                let dy = y.map(|s| 0.5 / s.max(1e-12));
+                let g = grad.mul(&dy);
+                self.accumulate_into(pass, a, g);
+            }
+            &Op::Reshape(a) => {
+                let shape = self.shape_of(a);
+                let g = grad.reshape(&shape).expect("reshape grad back");
+                self.accumulate_into(pass, a, g);
+            }
+            &Op::Conv2d { x, w, b, spec } => {
+                let (gx, gw, gb) = conv2d_backward(self.value(x), self.value(w), grad, spec)
+                    .expect("conv2d backward geometry matches forward");
+                self.accumulate_into(pass, x, gx);
+                self.accumulate_into(pass, w, gw);
+                if let Some(bias) = b {
+                    self.accumulate_into(pass, bias, gb);
+                }
+            }
+            Op::BatchNorm {
+                x,
+                gamma,
+                beta,
+                x_hat,
+                inv_std,
+            } => {
+                let (x, gamma, beta) = (*x, *gamma, *beta);
+                let x_hat = x_hat.clone();
+                let inv_std = inv_std.clone();
+                let (gx, ggamma, gbeta) =
+                    batch_norm_backward(grad, &x_hat, &inv_std, self.value(gamma));
+                self.accumulate_into(pass, x, gx);
+                self.accumulate_into(pass, gamma, ggamma);
+                self.accumulate_into(pass, beta, gbeta);
+            }
+            Op::MaxPool { x, argmax } => {
+                let x = *x;
+                let shape = self.shape_of(x);
+                let gx = max_pool2d_backward(grad, argmax, &shape)
+                    .expect("max_pool backward geometry matches forward");
+                self.accumulate_into(pass, x, gx);
+            }
+            &Op::AvgPool { x, kernel, stride } => {
+                let shape = self.shape_of(x);
+                let gx = avg_pool2d_backward(grad, &shape, kernel, stride)
+                    .expect("avg_pool backward geometry matches forward");
+                self.accumulate_into(pass, x, gx);
+            }
+            &Op::Upsample { x, factor } => {
+                let gx = upsample_nearest2d_backward(grad, factor)
+                    .expect("upsample backward geometry matches forward");
+                self.accumulate_into(pass, x, gx);
+            }
+            &Op::GlobalAvgPool(x) => {
+                let shape = self.shape_of(x);
+                let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+                let inv = 1.0 / (h * w) as f32;
+                let mut gx = Tensor::zeros(&shape);
+                for img in 0..n {
+                    for ch in 0..c {
+                        let g = grad.data()[img * c + ch] * inv;
+                        let base = (img * c + ch) * h * w;
+                        for v in &mut gx.data_mut()[base..base + h * w] {
+                            *v = g;
+                        }
+                    }
+                }
+                self.accumulate_into(pass, x, gx);
+            }
+            &Op::Linear { x, w, b } => {
+                // y = x·Wᵀ; dX = dY·W, dW = dYᵀ·X, db = Σ_batch dY.
+                let gx = matmul(grad, self.value(w)).expect("linear dX shapes agree");
+                let gw = matmul_transpose_a(grad, self.value(x)).expect("linear dW shapes agree");
+                self.accumulate_into(pass, x, gx);
+                self.accumulate_into(pass, w, gw);
+                if let Some(bias) = b {
+                    let gb = grad
+                        .sum_to_shape(&self.shape_of(bias))
+                        .expect("linear bias grad reduces over batch");
+                    self.accumulate_into(pass, bias, gb);
+                }
+            }
+            &Op::MeanAll(a) => {
+                let shape = self.shape_of(a);
+                let n: usize = shape.iter().product();
+                let g = grad.at(&[]) / n.max(1) as f32;
+                self.accumulate_into(pass, a, Tensor::full(&shape, g));
+            }
+            &Op::SumAll(a) => {
+                let shape = self.shape_of(a);
+                let g = grad.at(&[]);
+                self.accumulate_into(pass, a, Tensor::full(&shape, g));
+            }
+            Op::BceWithLogits { logits, target } => {
+                let logits = *logits;
+                let g = grad.at(&[]);
+                let z = self.value(logits);
+                let scale = g / z.numel().max(1) as f32;
+                let gx = Tensor::from_vec(
+                    z.data()
+                        .iter()
+                        .zip(target.data())
+                        .map(|(&z, &t)| (stable_sigmoid(z) - t) * scale)
+                        .collect(),
+                    z.shape(),
+                )
+                .expect("length matches");
+                self.accumulate_into(pass, logits, gx);
+            }
+            &Op::Mse(a, b) => {
+                let g = grad.at(&[]);
+                let n = self.value(a).numel().max(1) as f32;
+                let diff = self.value(a).sub(self.value(b));
+                let ga = diff.scale(2.0 * g / n);
+                let gb = ga.scale(-1.0);
+                self.accumulate_into(pass, a, ga);
+                self.accumulate_into(pass, b, gb);
+            }
+        }
+    }
+
+    fn shape_of(&self, id: NodeId) -> Vec<usize> {
+        self.nodes[id.0].value.shape().to_vec()
+    }
+}
+
+/// Exact batch-norm backward pass.
+///
+/// With `m = N·H·W` per channel:
+/// `dx = gamma·inv_std/m · (m·dy − Σdy − x̂·Σ(dy·x̂))`,
+/// `dgamma = Σ(dy·x̂)`, `dbeta = Σdy`.
+fn batch_norm_backward(
+    grad: &Tensor,
+    x_hat: &Tensor,
+    inv_std: &Tensor,
+    gamma: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let shape = grad.shape();
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    let m = (n * h * w) as f32;
+    let mut sum_dy = vec![0.0f32; c];
+    let mut sum_dy_xhat = vec![0.0f32; c];
+    let gd = grad.data();
+    let xh = x_hat.data();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for k in 0..h * w {
+                sum_dy[ch] += gd[base + k];
+                sum_dy_xhat[ch] += gd[base + k] * xh[base + k];
+            }
+        }
+    }
+    let mut gx = Tensor::zeros(shape);
+    {
+        let out = gx.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let coeff = gamma.data()[ch] * inv_std.data()[ch] / m;
+                let base = (img * c + ch) * h * w;
+                for k in 0..h * w {
+                    out[base + k] =
+                        coeff * (m * gd[base + k] - sum_dy[ch] - xh[base + k] * sum_dy_xhat[ch]);
+                }
+            }
+        }
+    }
+    let ggamma = Tensor::from_vec(sum_dy_xhat, &[c]).expect("length matches");
+    let gbeta = Tensor::from_vec(sum_dy, &[c]).expect("length matches");
+    (gx, ggamma, gbeta)
+}
+
+fn stable_sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_tensor::TensorRng;
+
+    #[test]
+    fn add_and_mul_gradients() {
+        let mut g = Graph::new();
+        let a = g.param(Tensor::from_vec(vec![2.0, 3.0], &[2]).unwrap());
+        let b = g.param(Tensor::from_vec(vec![5.0, 7.0], &[2]).unwrap());
+        let prod = g.mul(a, b);
+        let s = g.add(prod, a); // y = a*b + a
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[6.0, 8.0]); // b + 1
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 3.0]); // a
+    }
+
+    #[test]
+    fn broadcast_grad_reduces() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::ones(&[2, 3]));
+        let row = g.param(Tensor::ones(&[3]));
+        let y = g.add(x, row);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(row).unwrap().shape(), &[3]);
+        assert_eq!(g.grad(row).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap());
+        let y = g.relu(x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_gradient() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![0.0], &[1]).unwrap());
+        let y = g.sigmoid(x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert!((g.grad(x).unwrap().data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_gradient() {
+        let mut g = Graph::new();
+        let a = g.param(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let b = g.leaf(Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap());
+        let loss = g.mse(a, b);
+        g.backward(loss);
+        // d/da mean((a-b)^2) = 2(a-b)/n = [1.0, 2.0]
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 2.0]);
+        assert!((g.value(loss).at(&[]) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        let mut g = Graph::new();
+        let z = g.param(Tensor::from_vec(vec![0.0, 2.0], &[2]).unwrap());
+        let t = Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap();
+        let loss = g.bce_with_logits(z, &t);
+        // manual: for z=0,t=1: ln2 ≈ 0.6931; z=2,t=0: 2 + ln(1+e^-2) ≈ 2.1269
+        let manual = ((std::f64::consts::LN_2 + 2.126_928) / 2.0) as f32;
+        assert!((g.value(loss).at(&[]) - manual).abs() < 1e-4);
+        g.backward(loss);
+        let grad = g.grad(z).unwrap();
+        assert!((grad.data()[0] - (0.5 - 1.0) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn leaf_gets_no_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2]));
+        let y = g.scale(x, 3.0);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert!(g.grad(x).is_none());
+        assert!(g.grad(y).is_none()); // nothing upstream requires grad
+    }
+
+    #[test]
+    fn grads_accumulate_across_reuse() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![3.0], &[1]).unwrap());
+        let y = g.add(x, x); // 2x
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn conv_and_pool_pipeline_backward_runs() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut g = Graph::new();
+        let x = g.leaf(rng.uniform(&[1, 2, 8, 8], -1.0, 1.0));
+        let w = g.param(rng.kaiming(&[4, 2, 3, 3]));
+        let b = g.param(Tensor::zeros(&[4]));
+        let c = g.conv2d(x, w, Some(b), Conv2dSpec::same(3));
+        let r = g.relu(c);
+        let p = g.max_pool2d(r, 2, 2);
+        let u = g.upsample_nearest2d(p, 2);
+        let loss = g.mean_all(u);
+        g.backward(loss);
+        let gw = g.grad(w).unwrap();
+        assert_eq!(gw.shape(), &[4, 2, 3, 3]);
+        assert!(!gw.has_non_finite());
+        assert!(gw.norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn batch_norm_normalises_and_backprops() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut g = Graph::new();
+        let x = g.param(rng.normal(&[4, 3, 5, 5], 2.0, 3.0));
+        let gamma = g.param(Tensor::ones(&[3]));
+        let beta = g.param(Tensor::zeros(&[3]));
+        let (y, mean, var) = g.batch_norm_train(x, gamma, beta, 1e-5);
+        // Output should be ~zero-mean unit-var per channel.
+        let (ym, yv) = g.value(y).channel_mean_var().unwrap();
+        for c in 0..3 {
+            assert!(ym.at(&[c]).abs() < 1e-4);
+            assert!((yv.at(&[c]) - 1.0).abs() < 1e-3);
+            assert!((mean.at(&[c]) - 2.0).abs() < 1.0);
+            assert!((var.at(&[c]) - 9.0).abs() < 3.5);
+        }
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        assert!(g.grad(x).is_some());
+        assert!(g.grad(gamma).is_some());
+        // dbeta = sum(dy) = 1 for a mean loss per channel… nonzero.
+        assert!(g.grad(beta).unwrap().data().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn linear_gradients_match_manual() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap());
+        let w = g.param(Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap());
+        let b = g.param(Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap());
+        let y = g.linear(x, w, Some(b));
+        // y = [1*3+2*4+0.5, 1*5+2*6-0.5] = [11.5, 16.5]
+        assert_eq!(g.value(y).data(), &[11.5, 16.5]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[8.0, 10.0]); // col sums of w
+        assert_eq!(g.grad(w).unwrap().data(), &[1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_gradient_uniform() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::ones(&[1, 2, 2, 2]));
+        let y = g.global_avg_pool(x);
+        assert_eq!(g.value(y).shape(), &[1, 2]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert!(g
+            .grad(x)
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn batch_norm_infer_uses_running_stats() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::full(&[1, 1, 2, 2], 10.0));
+        let gamma = g.leaf(Tensor::ones(&[1]));
+        let beta = g.leaf(Tensor::zeros(&[1]));
+        let mean = Tensor::from_vec(vec![10.0], &[1]).unwrap();
+        let var = Tensor::from_vec(vec![4.0], &[1]).unwrap();
+        let y = g.batch_norm_infer(x, gamma, beta, &mean, &var, 0.0);
+        assert!(g.value(y).data().iter().all(|&v| v.abs() < 1e-6));
+    }
+}

@@ -1,0 +1,32 @@
+//! Tape-based reverse-mode automatic differentiation over
+//! [`sf_tensor::Tensor`].
+//!
+//! A [`Graph`] records every forward operation as a node on a tape; calling
+//! [`Graph::backward`] walks the tape in reverse and accumulates exact
+//! gradients for every node created with [`Graph::param`].
+//!
+//! The op set is exactly what the sensor-fusion networks need: broadcasting
+//! arithmetic, 2-D convolution, batch normalisation, pooling, nearest
+//! up-sampling, fully-connected layers, activations and the segmentation /
+//! feature-disparity losses.
+//!
+//! # Examples
+//!
+//! ```
+//! use sf_autograd::Graph;
+//! use sf_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.param(Tensor::from_vec(vec![3.0], &[1])?);
+//! let y = g.mul(x, x); // y = x²
+//! let loss = g.sum_all(y);
+//! g.backward(loss);
+//! assert_eq!(g.grad(x).unwrap().data(), &[6.0]); // dy/dx = 2x
+//! # Ok::<(), sf_tensor::TensorError>(())
+//! ```
+
+mod gradcheck;
+mod graph;
+
+pub use gradcheck::check_gradients;
+pub use graph::{Graph, NodeId};

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the numerical kernels that dominate training:
+//! convolution forward/backward, matmul, pooling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sf_tensor::{conv2d, conv2d_backward, matmul, max_pool2d, Conv2dSpec, TensorRng};
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_forward");
+    // The actual stage geometries of the standard fusion network.
+    for &(name, n, ci, co, h, w) in &[
+        (
+            "stage1_3to8_32x96",
+            1usize,
+            3usize,
+            8usize,
+            32usize,
+            96usize,
+        ),
+        ("stage3_12to16_8x24", 1, 12, 16, 8, 24),
+        ("stage5_24to32_2x6", 1, 24, 32, 2, 6),
+    ] {
+        let mut rng = TensorRng::seed_from(1);
+        let x = rng.uniform(&[n, ci, h, w], -1.0, 1.0);
+        let wgt = rng.kaiming(&[co, ci, 3, 3]);
+        group.bench_function(name, |b| {
+            b.iter(|| conv2d(&x, &wgt, None, Conv2dSpec::same(3)).expect("valid geometry"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(2);
+    let x = rng.uniform(&[1, 8, 16, 48], -1.0, 1.0);
+    let w = rng.kaiming(&[12, 8, 3, 3]);
+    let spec = Conv2dSpec::same(3);
+    let y = conv2d(&x, &w, None, spec).expect("valid geometry");
+    let dy = rng.uniform(y.shape(), -1.0, 1.0);
+    c.bench_function("conv2d_backward_8to12_16x48", |b| {
+        b.iter(|| conv2d_backward(&x, &w, &dy, spec).expect("valid geometry"))
+    });
+}
+
+fn bench_fusion_filter(c: &mut Criterion) {
+    // The paper's 1×1 Fusion-filter at the widest fusion stage.
+    let mut rng = TensorRng::seed_from(3);
+    let x = rng.uniform(&[1, 8, 16, 48], -1.0, 1.0);
+    let w = rng.kaiming(&[8, 8, 1, 1]);
+    c.bench_function("fusion_filter_1x1_8ch_16x48", |b| {
+        b.iter(|| conv2d(&x, &w, None, Conv2dSpec::default()).expect("valid geometry"))
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(4);
+    let a = rng.uniform(&[72, 128], -1.0, 1.0);
+    let b = rng.uniform(&[128, 512], -1.0, 1.0);
+    c.bench_function("matmul_72x128x512", |bch| {
+        bch.iter(|| matmul(&a, &b).expect("shapes agree"))
+    });
+}
+
+fn bench_max_pool(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(5);
+    let x = rng.uniform(&[4, 8, 32, 96], -1.0, 1.0);
+    c.bench_function("max_pool_2x2_batch4_8ch_32x96", |b| {
+        b.iter_batched(
+            || x.clone(),
+            |x| max_pool2d(&x, 2, 2).expect("valid geometry"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_elementwise_fusion(c: &mut Criterion) {
+    // The baseline's fusion op itself: element-wise summation.
+    let mut rng = TensorRng::seed_from(6);
+    let a = rng.uniform(&[1, 8, 16, 48], -1.0, 1.0);
+    let b = rng.uniform(&[1, 8, 16, 48], -1.0, 1.0);
+    c.bench_function("elementwise_sum_8ch_16x48", |bch| bch.iter(|| a.add(&b)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_conv_forward, bench_conv_backward, bench_fusion_filter,
+              bench_matmul, bench_max_pool, bench_elementwise_fusion
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks of the disparity metrics (Table I candidates) and the edge
+//! extractor — the per-probe cost of the paper's Fig. 3 measurement, and
+//! the ablation between the Canny-sketch and Sobel-magnitude edge
+//! operators inside FD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sf_tensor::TensorRng;
+use sf_vision::{
+    cross_bin_distance, feature_disparity, mutual_information, sobel_gradients, ssim,
+    EdgeExtractor, GrayImage,
+};
+
+fn test_images() -> (GrayImage, GrayImage) {
+    let a = GrayImage::from_fn(96, 32, |x, y| {
+        if y > 16 && ((x as i32 - 48).unsigned_abs() as usize) < y - 10 {
+            0.3
+        } else {
+            0.7
+        }
+    });
+    let b = GrayImage::from_fn(96, 32, |x, y| a.get(x, y) * 0.5 + 0.1);
+    (a, b)
+}
+
+fn bench_image_metrics(c: &mut Criterion) {
+    let (a, b) = test_images();
+    let extractor = EdgeExtractor::default();
+    let mut group = c.benchmark_group("image_metrics_96x32");
+    group.bench_function("ssim", |bch| bch.iter(|| ssim(&a, &b)));
+    group.bench_function("mutual_information", |bch| {
+        bch.iter(|| mutual_information(&a, &b))
+    });
+    group.bench_function("cross_bin", |bch| bch.iter(|| cross_bin_distance(&a, &b)));
+    group.bench_function("canny_edges", |bch| bch.iter(|| extractor.extract(&a)));
+    group.bench_function("sobel_gradients", |bch| bch.iter(|| sobel_gradients(&a)));
+    group.finish();
+}
+
+fn bench_feature_disparity(c: &mut Criterion) {
+    // The Fig. 3 probe cost: FD over an 8-channel feature map pair.
+    let mut rng = TensorRng::seed_from(1);
+    let fa = rng.uniform(&[8, 16, 48], 0.0, 1.0);
+    let fb = rng.uniform(&[8, 16, 48], 0.0, 1.0);
+    let extractor = EdgeExtractor::for_feature_maps();
+    c.bench_function("feature_disparity_8ch_16x48", |b| {
+        b.iter(|| feature_disparity(&fa, &fb, &extractor))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_image_metrics, bench_feature_disparity
+}
+criterion_main!(benches);

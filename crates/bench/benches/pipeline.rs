@@ -1,0 +1,43 @@
+//! End-to-end pipeline benchmarks: scene rendering, LiDAR scanning,
+//! depth densification, BEV warping — the dataset-side costs that gate
+//! how fast experiments regenerate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sf_dataset::{bev_warp, BevGrid};
+use sf_scene::{
+    depth_image_from_cloud, render_ground_truth, render_rgb, LidarSpec, Lighting, PinholeCamera,
+    RoadCategory, SceneBuilder,
+};
+use sf_tensor::TensorRng;
+
+fn bench_scene_pipeline(c: &mut Criterion) {
+    let scene = SceneBuilder::new(RoadCategory::UrbanMultipleMarked, 7).build();
+    let camera = PinholeCamera::kitti_like(96, 32);
+    let mut group = c.benchmark_group("scene_pipeline_96x32");
+    group.sample_size(20);
+    group.bench_function("render_rgb_day", |b| {
+        b.iter(|| render_rgb(&scene, &camera, Lighting::day()))
+    });
+    group.bench_function("render_rgb_shadows", |b| {
+        b.iter(|| render_rgb(&scene, &camera, Lighting::harsh_shadows()))
+    });
+    group.bench_function("render_ground_truth", |b| {
+        b.iter(|| render_ground_truth(&scene, &camera))
+    });
+    let spec = LidarSpec::default();
+    group.bench_function("lidar_scan_48x160", |b| {
+        b.iter(|| spec.scan(&scene, &mut TensorRng::seed_from(1)))
+    });
+    let cloud = spec.scan(&scene, &mut TensorRng::seed_from(1));
+    group.bench_function("depth_densify_3_iters", |b| {
+        b.iter(|| depth_image_from_cloud(&cloud, &camera, spec.max_range, 3))
+    });
+    let gt = render_ground_truth(&scene, &camera);
+    group.bench_function("bev_warp_48x48", |b| {
+        b.iter(|| bev_warp(&gt, &camera, &BevGrid::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scene_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 3: per-stage feature disparity with and without the
+//! feature-matching technique, plus the accuracy comparison.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::fig3::run(scale);
+    println!("{}", sf_bench::experiments::fig3::render(&result));
+    println!(
+        "baseline FD decreases with depth: {}",
+        result.baseline_decreases_with_depth()
+    );
+    println!(
+        "mean FD reduction from Fusion-filter: {:.4}",
+        result.mean_reduction()
+    );
+}

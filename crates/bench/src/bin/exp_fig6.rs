@@ -1,0 +1,8 @@
+//! Regenerates Fig. 6: the per-scene accuracy tables for all five
+//! architectures.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::fig6::run(scale);
+    println!("{}", sf_bench::experiments::fig6::render(&result));
+}

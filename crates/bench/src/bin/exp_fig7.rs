@@ -1,0 +1,9 @@
+//! Regenerates Fig. 7: accuracy vs MACs vs parameters. Pass
+//! `--sweep-share` to additionally ablate the sharing depth.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let sweep = std::env::args().any(|a| a == "--sweep-share");
+    let result = sf_bench::experiments::fig7::run(scale, sweep);
+    println!("{}", sf_bench::experiments::fig7::render(&result));
+}

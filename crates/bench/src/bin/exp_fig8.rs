@@ -1,0 +1,13 @@
+//! Regenerates Fig. 8: the Feature Disparity loss ablation. Pass
+//! `--alpha-sweep` to extend the ablation over alpha ∈ {0, 0.1, 0.3, 0.5}.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let alphas: &[f32] = if std::env::args().any(|a| a == "--alpha-sweep") {
+        &[0.0, 0.1, 0.3, 0.5]
+    } else {
+        &[]
+    };
+    let result = sf_bench::experiments::fig8::run(scale, alphas);
+    println!("{}", sf_bench::experiments::fig8::render(&result));
+}

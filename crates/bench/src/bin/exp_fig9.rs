@@ -1,0 +1,17 @@
+//! Regenerates Fig. 9 (and Fig. 1): qualitative segmentations under
+//! adverse lighting. Writes PPM/PGM panels into `results/fig9/`.
+
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let scale = sf_bench::scale_from_args();
+    let out = Path::new("results/fig9");
+    let result = sf_bench::experiments::fig9::run(scale, Some(out))?;
+    println!("{}", sf_bench::experiments::fig9::render(&result));
+    println!(
+        "wrote {} image files under {}",
+        result.files.len(),
+        out.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Beyond-paper: quantitative robustness matrix — BEV F-score per
+//! lighting condition, with and without the LiDAR input.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::robustness::run(scale);
+    println!("{}", sf_bench::experiments::robustness::render(&result));
+}

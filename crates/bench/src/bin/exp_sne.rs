@@ -1,0 +1,8 @@
+//! Beyond-paper ablation: inverse-depth vs SNE surface-normal input
+//! encoding for the depth branch (the SNE-RoadSeg preprocessing).
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::sne::run(scale);
+    println!("{}", sf_bench::experiments::sne::render(&result));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I: feature-disparity metric property comparison.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::table1::run(scale);
+    println!("{}", sf_bench::experiments::table1::render(&result));
+}

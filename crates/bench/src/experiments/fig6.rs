@@ -1,0 +1,127 @@
+//! Fig. 6 — the accuracy tables: five metrics × five architectures ×
+//! three road scenes (UM, UMM, UU).
+
+use sf_core::FusionScheme;
+use sf_dataset::SegmentationEval;
+use sf_scene::RoadCategory;
+
+use crate::experiments::Bundle;
+use crate::{ExperimentScale, TextTable};
+
+/// One category's table: the evaluation of every scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryTable {
+    /// The road scene.
+    pub category: RoadCategory,
+    /// `(scheme, eval)` in the paper's column order.
+    pub evals: Vec<(FusionScheme, SegmentationEval)>,
+}
+
+impl CategoryTable {
+    /// The evaluation of one scheme.
+    pub fn eval(&self, scheme: FusionScheme) -> Option<&SegmentationEval> {
+        self.evals
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, e)| e)
+    }
+
+    /// The scheme with the highest F-score in this category.
+    pub fn best_by_f(&self) -> FusionScheme {
+        self.evals
+            .iter()
+            .max_by(|a, b| a.1.f_score.total_cmp(&b.1.f_score))
+            .map(|(s, _)| *s)
+            .expect("table is never empty")
+    }
+}
+
+/// All three category tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Result {
+    /// Tables in UM, UMM, UU order.
+    pub tables: Vec<CategoryTable>,
+}
+
+impl Fig6Result {
+    /// The table for one category.
+    pub fn table(&self, category: RoadCategory) -> &CategoryTable {
+        self.tables
+            .iter()
+            .find(|t| t.category == category)
+            .expect("all categories present")
+    }
+}
+
+/// Trains all five schemes once on the full training split and evaluates
+/// each per category — the protocol behind Fig. 6.
+pub fn run(scale: ExperimentScale) -> Fig6Result {
+    let bundle = Bundle::new(scale);
+    let alpha = scale.train_config().alpha;
+    let mut nets: Vec<(FusionScheme, sf_core::FusionNet)> = FusionScheme::ALL
+        .into_iter()
+        .map(|scheme| (scheme, bundle.train_scheme(scheme, alpha).0))
+        .collect();
+    let tables = RoadCategory::ALL
+        .into_iter()
+        .map(|category| CategoryTable {
+            category,
+            evals: nets
+                .iter_mut()
+                .map(|(scheme, net)| (*scheme, bundle.eval_category(net, category)))
+                .collect(),
+        })
+        .collect();
+    Fig6Result { tables }
+}
+
+/// Renders the three tables in the paper's layout (metrics as rows,
+/// models as columns, best model starred per metric).
+pub fn render(result: &Fig6Result) -> String {
+    let mut out = String::new();
+    for table in &result.tables {
+        let mut headers = vec!["Metric".to_string()];
+        headers.extend(table.evals.iter().map(|(s, _)| s.abbrev().to_string()));
+        let mut t = TextTable::new(headers);
+        let metric_names = ["F-score", "AP", "PRE", "REC", "IOU"];
+        for (mi, name) in metric_names.iter().enumerate() {
+            let values: Vec<f64> = table.evals.iter().map(|(_, e)| e.as_row()[mi]).collect();
+            t.add_numeric_row(*name, &values, true);
+        }
+        out.push_str(&format!(
+            "Fig. 6({}) — {} road scene\n{}\n",
+            (b'a'
+                + result
+                    .tables
+                    .iter()
+                    .position(|x| x.category == table.category)
+                    .expect("table present") as u8) as char,
+            table.category,
+            t.render()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_all_schemes_and_categories() {
+        let result = run(ExperimentScale::Quick);
+        assert_eq!(result.tables.len(), 3);
+        for table in &result.tables {
+            assert_eq!(table.evals.len(), 5);
+            for (_, eval) in &table.evals {
+                for v in eval.as_row() {
+                    assert!((0.0..=100.0).contains(&v));
+                }
+            }
+        }
+        let text = render(&result);
+        assert!(text.contains("UMM road scene"));
+        assert!(text.contains("F-score"));
+        assert!(text.contains('*'));
+    }
+}

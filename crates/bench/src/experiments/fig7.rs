@@ -1,0 +1,118 @@
+//! Fig. 7 — accuracy vs computational cost (MACs and parameters) for
+//! every architecture, plus the sharing-depth ablation the design calls
+//! out.
+
+use sf_core::{FusionNet, FusionScheme};
+use sf_nn::Cost;
+
+use crate::experiments::Bundle;
+use crate::{ExperimentScale, TextTable};
+
+/// One architecture's position in the accuracy/cost space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostPoint {
+    /// Architecture label (scheme abbreviation, possibly with a sharing
+    /// depth suffix for ablation rows).
+    pub label: String,
+    /// Analytic per-image cost.
+    pub cost: Cost,
+    /// Pooled BEV F-score over the whole test split.
+    pub f_score: f64,
+}
+
+/// The Fig. 7 scatter data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Result {
+    /// One point per architecture (plus ablation points when requested).
+    pub points: Vec<CostPoint>,
+}
+
+impl Fig7Result {
+    /// Looks up a point by label.
+    pub fn point(&self, label: &str) -> Option<&CostPoint> {
+        self.points.iter().find(|p| p.label == label)
+    }
+}
+
+/// Trains and evaluates all five schemes, recording their analytic cost.
+/// With `sweep_share` set, additionally ablates BaseSharing with deeper
+/// sharing (last 2, 3, … stages).
+pub fn run(scale: ExperimentScale, sweep_share: bool) -> Fig7Result {
+    let bundle = Bundle::new(scale);
+    let alpha = scale.train_config().alpha;
+    let mut points = Vec::new();
+    for scheme in FusionScheme::ALL {
+        let (mut net, _) = bundle.train_scheme(scheme, alpha);
+        points.push(CostPoint {
+            label: scheme.abbrev().to_string(),
+            cost: net.cost(),
+            f_score: bundle.eval_all(&mut net).f_score,
+        });
+    }
+    if sweep_share {
+        let base_config = scale.network_config();
+        for k in 2..base_config.stages() {
+            let mut config = base_config.clone();
+            config.shared_stages = k;
+            let mut net = FusionNet::new(FusionScheme::BaseSharing, &config);
+            let train_cfg = scale.train_config().with_alpha(alpha);
+            let samples = bundle.data.train(None);
+            sf_core::train(&mut net, &samples, &train_cfg);
+            points.push(CostPoint {
+                label: format!("BS(share {k})"),
+                cost: net.cost(),
+                f_score: bundle.eval_all(&mut net).f_score,
+            });
+        }
+    }
+    Fig7Result { points }
+}
+
+/// Renders the accuracy/cost table.
+pub fn render(result: &Fig7Result) -> String {
+    let mut t = TextTable::new(vec!["Model", "F-score", "MMACs", "kParams"]);
+    for p in &result.points {
+        t.add_row(vec![
+            p.label.clone(),
+            format!("{:.2}", p.f_score),
+            format!("{:.3}", p.cost.mmacs()),
+            format!("{:.2}", p.cost.kparams()),
+        ]);
+    }
+    format!(
+        "Fig. 7 — accuracy vs computational cost (one forward pass per image)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_ordering_matches_paper() {
+        // Cost ordering is architecture-determined, so even a quick run
+        // must reproduce the paper's Fig. 7 layout: filters add cost,
+        // sharing removes parameters.
+        let result = run(ExperimentScale::Quick, false);
+        assert_eq!(result.points.len(), 5);
+        let params = |l: &str| result.point(l).unwrap().cost.params;
+        let macs = |l: &str| result.point(l).unwrap().cost.macs;
+        assert!(params("AB") > params("AU"));
+        assert!(params("AU") > params("Baseline"));
+        assert!(params("Baseline") > params("WS"));
+        assert!(params("WS") > params("BS"));
+        assert!(macs("AU") > macs("Baseline"));
+        assert_eq!(macs("BS"), macs("Baseline"));
+    }
+
+    #[test]
+    fn share_sweep_adds_points_with_fewer_params() {
+        let result = run(ExperimentScale::Quick, true);
+        let bs1 = result.point("BS").unwrap().cost.params;
+        let bs2 = result.point("BS(share 2)").unwrap().cost.params;
+        assert!(bs2 < bs1, "sharing more stages must remove parameters");
+        let text = render(&result);
+        assert!(text.contains("BS(share 2)"));
+    }
+}

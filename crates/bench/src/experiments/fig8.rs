@@ -1,0 +1,133 @@
+//! Fig. 8 — ablation of the Feature Disparity loss: Baseline,
+//! AllFilter_U and BaseSharing trained with and without the extra loss
+//! term, per road scene. Optionally sweeps α beyond the paper's
+//! {0, 0.3}.
+
+use sf_core::FusionScheme;
+use sf_scene::RoadCategory;
+
+use crate::experiments::Bundle;
+use crate::{ExperimentScale, TextTable};
+
+/// F-scores of one (architecture, α) training across the categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Architecture trained.
+    pub scheme: FusionScheme,
+    /// Feature-Disparity loss weight used.
+    pub alpha: f32,
+    /// BEV F-score per category, in UM/UMM/UU order.
+    pub f_scores: Vec<f64>,
+}
+
+impl AblationRow {
+    /// The paper's bar label: architecture name, `+loss` suffix when the
+    /// FD loss was on.
+    pub fn label(&self) -> String {
+        if self.alpha > 0.0 {
+            format!("{}+loss", self.scheme.abbrev())
+        } else {
+            self.scheme.abbrev().to_string()
+        }
+    }
+
+    /// F-score for one category.
+    pub fn f_for(&self, category: RoadCategory) -> f64 {
+        let idx = RoadCategory::ALL
+            .iter()
+            .position(|c| *c == category)
+            .expect("category exists");
+        self.f_scores[idx]
+    }
+}
+
+/// The Fig. 8 ablation grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Result {
+    /// One row per (architecture, α) combination.
+    pub rows: Vec<AblationRow>,
+}
+
+impl Fig8Result {
+    /// Finds a row by scheme and α.
+    pub fn row(&self, scheme: FusionScheme, alpha: f32) -> Option<&AblationRow> {
+        self.rows
+            .iter()
+            .find(|r| r.scheme == scheme && (r.alpha - alpha).abs() < 1e-6)
+    }
+}
+
+/// The architectures the paper ablates.
+pub const ABLATED: [FusionScheme; 3] = [
+    FusionScheme::Baseline,
+    FusionScheme::AllFilterU,
+    FusionScheme::BaseSharing,
+];
+
+/// Runs the ablation. `alphas` defaults to the paper's `{0, 0.3}` when
+/// empty; pass more values for the extended sweep.
+pub fn run(scale: ExperimentScale, alphas: &[f32]) -> Fig8Result {
+    let bundle = Bundle::new(scale);
+    let alphas: Vec<f32> = if alphas.is_empty() {
+        vec![0.0, scale.train_config().alpha]
+    } else {
+        alphas.to_vec()
+    };
+    let mut rows = Vec::new();
+    for scheme in ABLATED {
+        for &alpha in &alphas {
+            let (mut net, _) = bundle.train_scheme(scheme, alpha);
+            let f_scores = RoadCategory::ALL
+                .into_iter()
+                .map(|c| bundle.eval_category(&mut net, c).f_score)
+                .collect();
+            rows.push(AblationRow {
+                scheme,
+                alpha,
+                f_scores,
+            });
+        }
+    }
+    Fig8Result { rows }
+}
+
+/// Renders the ablation as a table (rows = model±loss, columns = scene).
+pub fn render(result: &Fig8Result) -> String {
+    let mut headers = vec!["Model".to_string(), "alpha".to_string()];
+    headers.extend(RoadCategory::ALL.iter().map(|c| c.code().to_string()));
+    let mut t = TextTable::new(headers);
+    for row in &result.rows {
+        let mut cells = vec![row.label(), format!("{:.2}", row.alpha)];
+        cells.extend(row.f_scores.iter().map(|f| format!("{f:.2}")));
+        t.add_row(cells);
+    }
+    format!(
+        "Fig. 8 — Feature Disparity loss ablation (BEV F-score)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_ablation_has_all_rows() {
+        let result = run(ExperimentScale::Quick, &[]);
+        assert_eq!(result.rows.len(), 6);
+        for scheme in ABLATED {
+            assert!(result.row(scheme, 0.0).is_some());
+        }
+        let text = render(&result);
+        assert!(text.contains("Baseline+loss") || text.contains("Baseline"));
+        assert!(text.contains("UM"));
+    }
+
+    #[test]
+    fn custom_alpha_sweep_is_respected() {
+        let result = run(ExperimentScale::Quick, &[0.0, 0.1]);
+        assert_eq!(result.rows.len(), 6);
+        assert!(result.row(FusionScheme::Baseline, 0.1).is_some());
+        assert!(result.row(FusionScheme::Baseline, 0.3).is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! Fig. 9 / Fig. 1 — qualitative segmentation results under adverse
+//! lighting, one scene per road category.
+//!
+//! Trains AllFilter_U, renders fresh scenes under deliberately hostile
+//! lighting (over-exposure, shadows, night), runs inference, and writes
+//! RGB / depth / overlay images as PPM/PGM files plus ASCII previews.
+
+use std::path::{Path, PathBuf};
+
+use sf_core::{predict_probability, FusionScheme};
+use sf_dataset::Sample;
+use sf_scene::{overlay_mask, Lighting, RoadCategory};
+use sf_vision::GrayImage;
+use sf_vision::RgbImage;
+
+use crate::experiments::Bundle;
+use crate::ExperimentScale;
+
+/// One qualitative panel: a scene, its inputs and the prediction.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Road scene category.
+    pub category: RoadCategory,
+    /// Lighting preset name.
+    pub lighting: &'static str,
+    /// The rendered inputs and ground truth.
+    pub sample: Sample,
+    /// Predicted probability map.
+    pub probability: GrayImage,
+    /// Pixel accuracy of the thresholded prediction vs ground truth.
+    pub pixel_accuracy: f64,
+}
+
+/// The Fig. 9 output: three panels plus any files written.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// UM / UMM / UU panels.
+    pub panels: Vec<Panel>,
+    /// Files written (empty if no output directory was supplied).
+    pub files: Vec<PathBuf>,
+}
+
+/// The adverse lighting per category used for the figure: over-exposure,
+/// shadows and night, mirroring the paper's chosen examples.
+pub fn panel_lighting() -> [(&'static str, Lighting); 3] {
+    [
+        ("overexposed", Lighting::overexposed()),
+        ("shadows", Lighting::harsh_shadows()),
+        ("night", Lighting::night()),
+    ]
+}
+
+/// Trains AllFilter_U and produces the three panels. When `out_dir` is
+/// given, writes `fig9_<cat>_{rgb,depth,gt,overlay}.{ppm,pgm}` files.
+pub fn run(scale: ExperimentScale, out_dir: Option<&Path>) -> std::io::Result<Fig9Result> {
+    let bundle = Bundle::new(scale);
+    let alpha = scale.train_config().alpha;
+    let (mut net, _) = bundle.train_scheme(FusionScheme::AllFilterU, alpha);
+    let camera = bundle.data.config().camera();
+    let mut panels = Vec::new();
+    let mut files = Vec::new();
+    for (category, (lighting_name, lighting)) in RoadCategory::ALL.into_iter().zip(panel_lighting())
+    {
+        // Fresh hold-out scenes, not in the training set (seed offset).
+        let sample = Sample::render(
+            category,
+            0xF19_0000 + category.code().len() as u64,
+            lighting_name,
+            lighting,
+            &camera,
+        );
+        let probability = predict_probability(&mut net, &sample);
+        let gt = &sample.gt;
+        let correct = probability
+            .data()
+            .iter()
+            .zip(gt.data())
+            .filter(|(&p, &t)| (p >= 0.5) == (t > 0.5))
+            .count();
+        let pixel_accuracy = correct as f64 / gt.numel() as f64;
+        if let Some(dir) = out_dir {
+            std::fs::create_dir_all(dir)?;
+            let rgb = RgbImage::from_tensor(&sample.rgb);
+            let mask = GrayImage::from_raw(
+                probability.width(),
+                probability.height(),
+                probability
+                    .data()
+                    .iter()
+                    .map(|&p| f32::from(p >= 0.5))
+                    .collect(),
+            );
+            let overlay = overlay_mask(&rgb, &mask);
+            let stem = format!("fig9_{}_{}", category.code().to_lowercase(), lighting_name);
+            let rgb_path = dir.join(format!("{stem}_rgb.ppm"));
+            rgb.write_ppm(&rgb_path)?;
+            files.push(rgb_path);
+            let depth_img = GrayImage::from_tensor(
+                &sample
+                    .depth
+                    .reshape(&[sample.height(), sample.width()])
+                    .expect("depth is [1,H,W]"),
+            );
+            let depth_path = dir.join(format!("{stem}_depth.pgm"));
+            depth_img.write_pgm(&depth_path)?;
+            files.push(depth_path);
+            let overlay_path = dir.join(format!("{stem}_overlay.ppm"));
+            overlay.write_ppm(&overlay_path)?;
+            files.push(overlay_path);
+        }
+        panels.push(Panel {
+            category,
+            lighting: lighting_name,
+            sample,
+            probability,
+            pixel_accuracy,
+        });
+    }
+    Ok(Fig9Result { panels, files })
+}
+
+/// Renders ASCII previews: `#` predicted road on ground-truth road,
+/// `!` false positive, `.` miss, space for agreed background.
+pub fn render(result: &Fig9Result) -> String {
+    let mut out = String::new();
+    for panel in &result.panels {
+        out.push_str(&format!(
+            "Fig. 9 — {} under {} (pixel accuracy {:.1}%)\n",
+            panel.category,
+            panel.lighting,
+            panel.pixel_accuracy * 100.0
+        ));
+        let (w, h) = (panel.probability.width(), panel.probability.height());
+        let gt = &panel.sample.gt;
+        for y in 0..h {
+            for x in 0..w {
+                let pred = panel.probability.get(x, y) >= 0.5;
+                let truth = gt.data()[y * w + x] > 0.5;
+                out.push(match (pred, truth) {
+                    (true, true) => '#',
+                    (true, false) => '!',
+                    (false, true) => '.',
+                    (false, false) => ' ',
+                });
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_three_panels() {
+        let result = run(ExperimentScale::Quick, None).expect("no io without out_dir");
+        assert_eq!(result.panels.len(), 3);
+        assert!(result.files.is_empty());
+        for panel in &result.panels {
+            assert!(
+                panel.pixel_accuracy > 0.3,
+                "accuracy {}",
+                panel.pixel_accuracy
+            );
+        }
+        let text = render(&result);
+        assert!(text.contains("UM under overexposed"));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn files_are_written_when_requested() {
+        let dir = std::env::temp_dir().join("sf_fig9_test");
+        let result = run(ExperimentScale::Quick, Some(&dir)).expect("writes succeed");
+        assert_eq!(result.files.len(), 9);
+        for f in &result.files {
+            assert!(f.exists(), "{} missing", f.display());
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,130 @@
+//! Beyond-paper: a quantitative version of the paper's robustness claim.
+//!
+//! Fig. 9 argues *qualitatively* that the fused model survives adverse
+//! lighting. This experiment measures it: one fusion model is trained on
+//! the standard mixed-lighting set, then the *same test scenes* are
+//! re-rendered under every lighting preset and evaluated — once with the
+//! full sensor suite and once with the depth input zeroed (camera-only).
+//! The gap between those two rows is the value of the LiDAR branch, per
+//! condition.
+
+use sf_core::{evaluate, EvalOptions, FusionScheme};
+use sf_dataset::{Sample, SegmentationEval};
+use sf_scene::Lighting;
+use sf_tensor::Tensor;
+
+use crate::experiments::Bundle;
+use crate::{ExperimentScale, TextTable};
+
+/// One lighting condition's evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionRow {
+    /// Lighting preset name.
+    pub lighting: &'static str,
+    /// Pooled BEV evaluation with RGB + depth.
+    pub fused: SegmentationEval,
+    /// Pooled BEV evaluation with the depth input zeroed.
+    pub camera_only: SegmentationEval,
+}
+
+impl ConditionRow {
+    /// F-score points the LiDAR branch contributes in this condition.
+    pub fn lidar_margin(&self) -> f64 {
+        self.fused.f_score - self.camera_only.f_score
+    }
+}
+
+/// The robustness matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessResult {
+    /// One row per lighting preset, in [`Lighting::presets`] order.
+    pub rows: Vec<ConditionRow>,
+}
+
+impl RobustnessResult {
+    /// Looks up a condition row by preset name.
+    pub fn row(&self, lighting: &str) -> Option<&ConditionRow> {
+        self.rows.iter().find(|r| r.lighting == lighting)
+    }
+}
+
+/// Trains one AllFilter_U model, then evaluates the same test scenes
+/// under every lighting preset with and without the depth input.
+pub fn run(scale: ExperimentScale) -> RobustnessResult {
+    let bundle = Bundle::new(scale);
+    let alpha = scale.train_config().alpha;
+    let (mut net, _) = bundle.train_scheme(FusionScheme::AllFilterU, alpha);
+    let camera = bundle.data.config().camera();
+    let options = EvalOptions::default();
+    let test = bundle.data.test(None);
+    let rows = Lighting::presets()
+        .into_iter()
+        .map(|(name, lighting)| {
+            // Re-render the identical scenes (same seeds) under this
+            // lighting; LiDAR depth and ground truth are unchanged by
+            // construction.
+            let relit: Vec<Sample> = test
+                .iter()
+                .map(|s| Sample::render(s.category, s.seed, name, lighting, &camera))
+                .collect();
+            let refs: Vec<&Sample> = relit.iter().collect();
+            let fused = evaluate(&mut net, &refs, &camera, &options);
+            let blind: Vec<Sample> = relit
+                .iter()
+                .map(|s| Sample {
+                    depth: Tensor::zeros(s.depth.shape()),
+                    ..s.clone()
+                })
+                .collect();
+            let blind_refs: Vec<&Sample> = blind.iter().collect();
+            let camera_only = evaluate(&mut net, &blind_refs, &camera, &options);
+            ConditionRow {
+                lighting: name,
+                fused,
+                camera_only,
+            }
+        })
+        .collect();
+    RobustnessResult { rows }
+}
+
+/// Renders the robustness matrix.
+pub fn render(result: &RobustnessResult) -> String {
+    let mut t = TextTable::new(vec![
+        "Lighting",
+        "fused F",
+        "camera-only F",
+        "LiDAR margin",
+    ]);
+    for row in &result.rows {
+        t.add_row(vec![
+            row.lighting.to_string(),
+            format!("{:.2}", row.fused.f_score),
+            format!("{:.2}", row.camera_only.f_score),
+            format!("{:+.2}", row.lidar_margin()),
+        ]);
+    }
+    format!(
+        "Robustness — BEV F-score per lighting condition (one AllFilter_U model)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_all_presets() {
+        let result = run(ExperimentScale::Quick);
+        assert_eq!(result.rows.len(), 4);
+        for row in &result.rows {
+            assert!(row.fused.f_score > 0.0);
+            assert!((0.0..=100.0).contains(&row.camera_only.f_score));
+        }
+        assert!(result.row("night").is_some());
+        let text = render(&result);
+        assert!(text.contains("LiDAR margin"));
+        assert!(text.contains("overexposed"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Table I — properties of the candidate disparity metrics.
+//!
+//! The paper claims the histogram metrics (MI, cross-bin) carry no
+//! spatial information, SSIM carries spatial information but punishes
+//! luminance disparity, and only the proposed Feature Disparity has both
+//! desired properties. This experiment measures the claims with three
+//! controlled pairs over a sparse road-like test image `a`:
+//!
+//! - **offset pair** `(a, b)`: the same scene with one object moved —
+//!   identical histogram, different structure;
+//! - **destroyed pair** `(a, σa)`: one side randomly pixel-scrambled —
+//!   identical histogram, all structure destroyed. A metric "has spatial
+//!   information" iff it reacts to this pair.
+//! - **night pair** `(a, night(a))`: gain 0.3 + sensor noise + clamping —
+//!   same structure, severe luminance disparity. A metric "tolerates
+//!   luminance disparity" iff it still reports this pair as matching
+//!   (within 10% of its identical-vs-destroyed range).
+//!
+//! Measured divergence from the paper's qualitative matrix: pixel-wise
+//! MI *does* react to the destroyed pair (correspondence decorrelates),
+//! so it earns a spatial tick here; it still fails the luminance test,
+//! and the headline claim — only Feature Disparity passes both — holds.
+
+use sf_tensor::TensorRng;
+use sf_vision::{
+    cross_bin_distance, feature_disparity_images, l2_distance, mutual_information, ssim,
+    EdgeExtractor, GrayImage,
+};
+
+use crate::{ExperimentScale, TextTable};
+
+/// One metric's behaviour on the two operational tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Metric name.
+    pub name: &'static str,
+    /// Score on the offset pair `(a, b)` (object moved).
+    pub structured: f64,
+    /// Score on the destroyed pair `(a, σa)` (one side scrambled).
+    pub scrambled: f64,
+    /// Score on the self pair `(a, a)`.
+    pub identical: f64,
+    /// Score on the night-transformed pair `(a, night(a))`.
+    pub night: f64,
+    /// Whether scrambling changed the score (spatial sensitivity).
+    pub spatial_information: bool,
+    /// Whether the night pair still scores as matching.
+    pub luminance_tolerant: bool,
+}
+
+/// The full Table I result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    /// One row per metric, in the paper's order (plus the L2 baseline).
+    pub rows: Vec<MetricRow>,
+}
+
+impl Table1Result {
+    /// Looks up a metric row by name.
+    pub fn row(&self, name: &str) -> Option<&MetricRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+/// A sparse, road-like test image: a bright background, a darker
+/// road wedge, and one dark blob whose position parameterises the
+/// structural offset.
+fn structured_image(n: usize, blob_x: f32) -> GrayImage {
+    GrayImage::from_fn(n, n, |x, y| {
+        let road: f32 = if y as f32 > 0.6 * n as f32
+            && (x as f32 - n as f32 / 2.0).abs() < (y as f32 - 0.5 * n as f32)
+        {
+            0.35
+        } else {
+            0.6
+        };
+        let dx = x as f32 - blob_x;
+        let dy = y as f32 - 0.3 * n as f32;
+        let blob = if dx * dx + dy * dy < (0.12 * n as f32).powi(2) {
+            -0.3
+        } else {
+            0.0
+        };
+        (road + blob).clamp(0.0, 1.0)
+    })
+}
+
+/// The night transform: gain, additive sensor noise, clamping.
+fn night(img: &GrayImage, rng: &mut TensorRng) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        (img.get(x, y) * 0.3 + rng.uniform_scalar(-0.03, 0.03)).clamp(0.0, 1.0)
+    })
+}
+
+/// Applies a random pixel permutation to an image.
+fn scramble(img: &GrayImage, permutation: &[usize]) -> GrayImage {
+    let data: Vec<f32> = permutation.iter().map(|&i| img.data()[i]).collect();
+    GrayImage::from_raw(img.width(), img.height(), data)
+}
+
+/// Runs the Table I property study. `scale` only affects image size.
+pub fn run(scale: ExperimentScale) -> Table1Result {
+    let n = match scale {
+        ExperimentScale::Full => 64,
+        ExperimentScale::Quick => 32,
+    };
+    let mut rng = TensorRng::seed_from(0x7AB1);
+    let a = structured_image(n, 0.35 * n as f32);
+    let offset = structured_image(n, 0.7 * n as f32);
+    let night_a = night(&a, &mut rng);
+    let mut permutation: Vec<usize> = (0..n * n).collect();
+    rng.shuffle(&mut permutation);
+    let destroyed = scramble(&a, &permutation);
+    let extractor = EdgeExtractor::default();
+
+    type MetricFn = Box<dyn Fn(&GrayImage, &GrayImage) -> f64>;
+    struct Spec {
+        name: &'static str,
+        f: MetricFn,
+    }
+    let specs = vec![
+        Spec {
+            name: "MI",
+            f: Box::new(|x, y| mutual_information(x, y) as f64),
+        },
+        Spec {
+            name: "Cross-bin",
+            f: Box::new(|x, y| cross_bin_distance(x, y) as f64),
+        },
+        Spec {
+            name: "SSIM",
+            f: Box::new(|x, y| ssim(x, y) as f64),
+        },
+        Spec {
+            name: "L2",
+            f: Box::new(|x, y| l2_distance(x, y) as f64),
+        },
+        Spec {
+            name: "Feature Disparity",
+            f: Box::new(move |x, y| feature_disparity_images(x, y, &extractor) as f64),
+        },
+    ];
+
+    let rows = specs
+        .into_iter()
+        .map(|spec| {
+            let identical = (spec.f)(&a, &a);
+            let structured = (spec.f)(&a, &offset);
+            let scrambled = (spec.f)(&a, &destroyed);
+            let night_v = (spec.f)(&a, &night_a);
+            // Spatial information: destroying all structure must move the
+            // score by more than 10% of the metric's observed scale.
+            let scale_mag = identical
+                .abs()
+                .max(scrambled.abs())
+                .max(night_v.abs())
+                .max(1e-9);
+            let spatial_information = (scrambled - identical).abs() > 0.1 * scale_mag;
+            // Luminance tolerance: the night pair stays within 10% of the
+            // identical→destroyed range of the metric.
+            let range = (scrambled - identical).abs().max(0.1 * scale_mag);
+            let luminance_tolerant = (night_v - identical).abs() < 0.1 * range.max(1e-9)
+                || (night_v - identical).abs() < 0.02 * scale_mag;
+            MetricRow {
+                name: spec.name,
+                structured,
+                scrambled,
+                identical,
+                night: night_v,
+                spatial_information,
+                luminance_tolerant,
+            }
+        })
+        .collect();
+    Table1Result { rows }
+}
+
+/// Renders the result in the paper's yes/no form plus the raw scores.
+pub fn render(result: &Table1Result) -> String {
+    let mut check = TextTable::new(vec![
+        "Feature disparity metric",
+        "Spatial information",
+        "Luminance tolerance",
+    ]);
+    for row in &result.rows {
+        check.add_row(vec![
+            row.name.to_string(),
+            tick(row.spatial_information),
+            tick(row.luminance_tolerant),
+        ]);
+    }
+    let mut raw = TextTable::new(vec![
+        "Metric",
+        "identical",
+        "offset pair",
+        "destroyed pair",
+        "night pair",
+    ]);
+    for row in &result.rows {
+        raw.add_row(vec![
+            row.name.to_string(),
+            format!("{:.4}", row.identical),
+            format!("{:.4}", row.structured),
+            format!("{:.4}", row.scrambled),
+            format!("{:.4}", row.night),
+        ]);
+    }
+    format!(
+        "Table I — metric property comparison\n{}\nRaw scores (MI/SSIM are similarities; Cross-bin/L2/FD are distances)\n{}",
+        check.render(),
+        raw.render()
+    )
+}
+
+fn tick(v: bool) -> String {
+    if v { "yes" } else { "no" }.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_property_matrix() {
+        let result = run(ExperimentScale::Quick);
+        // Cross-bin: histogram-only — blind to structure destruction and
+        // intolerant of the night transform.
+        let cb = result.row("Cross-bin").unwrap();
+        assert!(!cb.spatial_information);
+        assert!(!cb.luminance_tolerant);
+        // MI fails the luminance test (the paper's second column).
+        assert!(!result.row("MI").unwrap().luminance_tolerant);
+        // SSIM: spatial yes, luminance no.
+        let ssim_row = result.row("SSIM").unwrap();
+        assert!(ssim_row.spatial_information);
+        assert!(!ssim_row.luminance_tolerant);
+        // L2 (the naive baseline) also fails luminance.
+        assert!(!result.row("L2").unwrap().luminance_tolerant);
+        // Feature disparity: the only metric with both properties.
+        let fd = result.row("Feature Disparity").unwrap();
+        assert!(fd.spatial_information);
+        assert!(fd.luminance_tolerant);
+        for row in &result.rows {
+            if row.name != "Feature Disparity" {
+                assert!(
+                    !(row.spatial_information && row.luminance_tolerant),
+                    "{} unexpectedly passes both tests",
+                    row.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_bin_is_exactly_scramble_blind() {
+        let result = run(ExperimentScale::Quick);
+        let cb = result.row("Cross-bin").unwrap();
+        // Scrambling preserves the histogram exactly.
+        assert!((cb.scrambled - cb.identical).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_contains_all_metric_names() {
+        let result = run(ExperimentScale::Quick);
+        let text = render(&result);
+        for name in ["MI", "Cross-bin", "SSIM", "L2", "Feature Disparity"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+        assert!(text.contains("yes"));
+        assert!(text.contains("no"));
+    }
+}

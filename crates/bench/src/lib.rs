@@ -1,0 +1,33 @@
+//! The experiment harness: one module per table/figure of the paper, each
+//! exposing a `run(scale)` function returning structured results and a
+//! plain-text printer matching the paper's presentation.
+//!
+//! Binaries under `src/bin/` are thin wrappers:
+//!
+//! ```text
+//! cargo run --release -p sf-bench --bin exp_table1    # Table I
+//! cargo run --release -p sf-bench --bin exp_fig3     # Fig. 3(a)+(b)
+//! cargo run --release -p sf-bench --bin exp_fig6     # Fig. 6 tables
+//! cargo run --release -p sf-bench --bin exp_fig7     # Fig. 7
+//! cargo run --release -p sf-bench --bin exp_fig8     # Fig. 8 ablation
+//! cargo run --release -p sf-bench --bin exp_fig9     # Fig. 9 qualitative
+//! ```
+//!
+//! All binaries accept `--quick` for a reduced-scale smoke run (the same
+//! path the integration tests exercise).
+
+pub mod experiments;
+mod scale;
+mod table;
+
+pub use scale::ExperimentScale;
+pub use table::TextTable;
+
+/// Parses the common experiment CLI flags (`--quick`).
+pub fn scale_from_args() -> ExperimentScale {
+    if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::Quick
+    } else {
+        ExperimentScale::Full
+    }
+}

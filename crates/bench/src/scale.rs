@@ -1,0 +1,99 @@
+//! Experiment scales: the full reproduction recipe vs a smoke-test
+//! reduction.
+
+use sf_core::{NetworkConfig, TrainConfig};
+use sf_dataset::DatasetConfig;
+
+/// How big an experiment run should be.
+///
+/// `Full` is the reproduction recipe used for EXPERIMENTS.md; `Quick`
+/// shrinks everything so smoke tests finish in seconds while exercising
+/// the identical code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExperimentScale {
+    /// The full reproduction recipe.
+    #[default]
+    Full,
+    /// A minutes-to-seconds reduction for CI and integration tests.
+    Quick,
+}
+
+impl ExperimentScale {
+    /// Dataset recipe for this scale.
+    pub fn dataset_config(self) -> DatasetConfig {
+        match self {
+            ExperimentScale::Full => DatasetConfig::standard(),
+            ExperimentScale::Quick => DatasetConfig {
+                width: 48,
+                height: 16,
+                train_per_category: 6,
+                test_per_category: 3,
+                seed: 2022,
+                adverse_fraction: 0.3,
+                traffic_fraction: 0.25,
+            },
+        }
+    }
+
+    /// Network recipe for this scale.
+    pub fn network_config(self) -> NetworkConfig {
+        match self {
+            ExperimentScale::Full => NetworkConfig::standard(),
+            ExperimentScale::Quick => NetworkConfig {
+                width: 48,
+                height: 16,
+                stage_channels: vec![4, 6, 8],
+                shared_stages: 1,
+                depth_channels: 1,
+                seed: 42,
+            },
+        }
+    }
+
+    /// Training recipe for this scale.
+    pub fn train_config(self) -> TrainConfig {
+        match self {
+            ExperimentScale::Full => TrainConfig::standard(),
+            ExperimentScale::Quick => TrainConfig {
+                epochs: 2,
+                ..TrainConfig::standard()
+            },
+        }
+    }
+
+    /// Number of probe samples for the Fig. 3 measurement (the paper uses
+    /// ten).
+    pub fn probe_samples(self) -> usize {
+        match self {
+            ExperimentScale::Full => 10,
+            ExperimentScale::Quick => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_consistent() {
+        for scale in [ExperimentScale::Full, ExperimentScale::Quick] {
+            let d = scale.dataset_config();
+            let n = scale.network_config();
+            assert_eq!(d.width, n.width, "dataset/network width agree");
+            assert_eq!(d.height, n.height);
+            n.validate();
+            assert!(scale.probe_samples() > 0);
+        }
+        assert_eq!(ExperimentScale::default(), ExperimentScale::Full);
+    }
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = ExperimentScale::Quick;
+        let f = ExperimentScale::Full;
+        assert!(q.dataset_config().train_per_category < f.dataset_config().train_per_category);
+        assert!(q.train_config().epochs < f.train_config().epochs);
+        assert!(q.network_config().stage_channels.len() <= f.network_config().stage_channels.len());
+    }
+}

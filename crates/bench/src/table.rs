@@ -1,0 +1,131 @@
+//! Plain-text tables for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table with optional per-row best-value marking,
+/// mirroring how the paper highlights the best model per metric.
+///
+/// # Examples
+///
+/// ```
+/// use sf_bench::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Metric", "A", "B"]);
+/// t.add_numeric_row("F-score", &[95.1, 95.9], true);
+/// let s = t.render();
+/// assert!(s.contains("95.90*")); // best value starred
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<impl Into<String>>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a pre-formatted row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn add_row(&mut self, cells: Vec<impl Into<String>>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} does not match {} headers",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Adds a row with a label and numeric cells formatted to two
+    /// decimals; when `mark_best` is set the maximum gets a `*` suffix
+    /// (like the bold entries in Fig. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `1 + values.len()` does not match the header count.
+    pub fn add_numeric_row(&mut self, label: impl Into<String>, values: &[f64], mark_best: bool) {
+        let best = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut cells = vec![label.into()];
+        for &v in values {
+            let marker = if mark_best && (v - best).abs() < 1e-9 {
+                "*"
+            } else {
+                ""
+            };
+            cells.push(format!("{v:.2}{marker}"));
+        }
+        self.add_row(cells);
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:width$} ", cell, width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        write_row(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<width$}", "", width = w + 2);
+            if i == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_with_best_marker() {
+        let mut t = TextTable::new(vec!["Metric", "Baseline", "AU"]);
+        t.add_numeric_row("F-score", &[95.12, 95.86], true);
+        t.add_numeric_row("AP", &[92.47, 93.01], false);
+        let s = t.render();
+        assert!(s.contains("95.86*"));
+        assert!(!s.contains("95.12*"));
+        assert!(!s.contains("93.01*"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.add_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn ties_mark_all_best() {
+        let mut t = TextTable::new(vec!["m", "x", "y"]);
+        t.add_numeric_row("r", &[1.0, 1.0], true);
+        let s = t.render();
+        assert_eq!(s.matches('*').count(), 2);
+    }
+}

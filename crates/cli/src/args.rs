@@ -1,0 +1,228 @@
+//! A small, dependency-free `--flag value` argument parser.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sf_core::FusionScheme;
+use sf_scene::RoadCategory;
+
+/// Errors produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArgsError {
+    /// No subcommand supplied.
+    MissingCommand,
+    /// A flag appeared without a value.
+    MissingValue(String),
+    /// A required flag was absent.
+    MissingFlag(&'static str),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+}
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArgsError::MissingCommand => write!(f, "no command given"),
+            ParseArgsError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ParseArgsError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
+            ParseArgsError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag {flag}: {value:?} is not a valid {expected}"),
+            ParseArgsError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument {arg:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// A parsed command line: the subcommand plus its `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseArgsError`] on missing command, dangling flags or
+    /// stray positionals.
+    pub fn parse(raw: &[String]) -> Result<Args, ParseArgsError> {
+        let mut iter = raw.iter().peekable();
+        let command = iter
+            .next()
+            .filter(|c| !c.starts_with("--"))
+            .ok_or(ParseArgsError::MissingCommand)?
+            .clone();
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseArgsError::MissingValue(arg.clone()))?;
+                flags.insert(name.to_string(), value.clone());
+            } else {
+                return Err(ParseArgsError::UnexpectedPositional(arg.clone()));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A string flag, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::MissingFlag`] if absent.
+    pub fn require(&self, flag: &'static str) -> Result<&str, ParseArgsError> {
+        self.get(flag).ok_or(ParseArgsError::MissingFlag(flag))
+    }
+
+    /// A parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] if present but unparsable.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ParseArgsError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParseArgsError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// The fusion scheme flag (`--scheme`), defaulting to AllFilter_U.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] on an unknown scheme name.
+    pub fn scheme(&self) -> Result<FusionScheme, ParseArgsError> {
+        match self.get("scheme").unwrap_or("au") {
+            "baseline" => Ok(FusionScheme::Baseline),
+            "au" => Ok(FusionScheme::AllFilterU),
+            "ab" => Ok(FusionScheme::AllFilterB),
+            "bs" => Ok(FusionScheme::BaseSharing),
+            "ws" => Ok(FusionScheme::WeightedSharing),
+            other => Err(ParseArgsError::BadValue {
+                flag: "scheme".to_string(),
+                value: other.to_string(),
+                expected: "scheme (baseline|au|ab|bs|ws)",
+            }),
+        }
+    }
+
+    /// The optional road-category filter (`--category`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] on an unknown category code.
+    pub fn category(&self) -> Result<Option<RoadCategory>, ParseArgsError> {
+        match self.get("category") {
+            None => Ok(None),
+            Some("um") => Ok(Some(RoadCategory::UrbanMarked)),
+            Some("umm") => Ok(Some(RoadCategory::UrbanMultipleMarked)),
+            Some("uu") => Ok(Some(RoadCategory::UrbanUnmarked)),
+            Some(other) => Err(ParseArgsError::BadValue {
+                flag: "category".to_string(),
+                value: other.to_string(),
+                expected: "category (um|umm|uu)",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Result<Args, ParseArgsError> {
+        Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = args(&["train", "--epochs", "5", "--out", "m.sfm"]).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("epochs"), Some("5"));
+        assert_eq!(a.require("out").unwrap(), "m.sfm");
+        assert_eq!(a.get_parsed("epochs", 0usize, "integer").unwrap(), 5);
+        assert_eq!(a.get_parsed("missing", 7usize, "integer").unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(args(&[]).unwrap_err(), ParseArgsError::MissingCommand);
+        assert_eq!(
+            args(&["--scheme", "au"]).unwrap_err(),
+            ParseArgsError::MissingCommand
+        );
+        assert!(matches!(
+            args(&["train", "--epochs"]).unwrap_err(),
+            ParseArgsError::MissingValue(_)
+        ));
+        assert!(matches!(
+            args(&["train", "oops"]).unwrap_err(),
+            ParseArgsError::UnexpectedPositional(_)
+        ));
+        let a = args(&["train", "--epochs", "many"]).unwrap();
+        assert!(matches!(
+            a.get_parsed("epochs", 0usize, "integer"),
+            Err(ParseArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn scheme_and_category_lookups() {
+        let a = args(&["info", "--scheme", "ws", "--category", "uu"]).unwrap();
+        assert_eq!(a.scheme().unwrap(), FusionScheme::WeightedSharing);
+        assert_eq!(a.category().unwrap(), Some(RoadCategory::UrbanUnmarked));
+        let d = args(&["info"]).unwrap();
+        assert_eq!(d.scheme().unwrap(), FusionScheme::AllFilterU);
+        assert_eq!(d.category().unwrap(), None);
+        let bad = args(&["info", "--scheme", "resnet"]).unwrap();
+        assert!(bad.scheme().is_err());
+        let badc = args(&["info", "--category", "rural"]).unwrap();
+        assert!(badc.category().is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ParseArgsError::BadValue {
+            flag: "alpha".into(),
+            value: "x".into(),
+            expected: "float",
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(ParseArgsError::MissingFlag("out")
+            .to_string()
+            .contains("--out"));
+    }
+}

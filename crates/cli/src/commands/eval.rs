@@ -1,0 +1,93 @@
+//! `roadseg eval` — evaluate a checkpoint with the benchmark metrics.
+
+use std::fmt::Write as _;
+
+use sf_core::{evaluate, EvalOptions};
+use sf_dataset::{DatasetConfig, RoadDataset};
+use sf_scene::RoadCategory;
+
+use crate::model_io::load_model;
+use crate::{Args, CliError};
+
+/// Loads `--model`, regenerates the test split at the checkpoint's
+/// resolution, and prints the BEV metrics per road category plus pooled.
+pub fn eval(args: &Args) -> Result<String, CliError> {
+    let mut net = load_model(args.require("model")?)?;
+    let dataset_config = DatasetConfig {
+        width: net.config().width,
+        height: net.config().height,
+        train_per_category: 0,
+        test_per_category: args.get_parsed("test-per-category", 8, "integer")?,
+        seed: args.get_parsed("seed", 2022, "integer")?,
+        adverse_fraction: args.get_parsed("adverse-fraction", 0.3, "float")?,
+        traffic_fraction: args.get_parsed("traffic-fraction", 0.25, "float")?,
+    };
+    let data = RoadDataset::generate(&dataset_config);
+    let camera = dataset_config.camera();
+    let options = EvalOptions::default();
+    let mut log = String::new();
+    let _ = writeln!(
+        log,
+        "evaluating {} ({}) on {} test frames",
+        net.scheme(),
+        net.cost(),
+        data.test(None).len()
+    );
+    for category in RoadCategory::ALL {
+        let result = evaluate(&mut net, &data.test(Some(category)), &camera, &options);
+        let _ = writeln!(log, "  {category:<4} {result}");
+    }
+    let pooled = evaluate(&mut net, &data.test(None), &camera, &options);
+    let _ = writeln!(log, "  all  {pooled}");
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_io::save_model;
+    use sf_core::{FusionNet, FusionScheme, NetworkConfig};
+
+    #[test]
+    fn evaluates_a_saved_model_per_category() {
+        let path = std::env::temp_dir().join("sf_cli_eval_test.sfm");
+        let config = NetworkConfig {
+            width: 48,
+            height: 16,
+            stage_channels: vec![3, 4],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 3,
+        };
+        let mut net = FusionNet::new(FusionScheme::BaseSharing, &config);
+        save_model(&mut net, &path).unwrap();
+        let raw: Vec<String> = [
+            "eval",
+            "--model",
+            path.to_str().unwrap(),
+            "--test-per-category",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let log = eval(&Args::parse(&raw).unwrap()).unwrap();
+        assert!(log.contains("UM"));
+        assert!(log.contains("UMM"));
+        assert!(log.contains("UU"));
+        assert!(log.contains("all"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_model_errors() {
+        let raw: Vec<String> = ["eval", "--model", "/nope.sfm"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(
+            eval(&Args::parse(&raw).unwrap()),
+            Err(CliError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,171 @@
+//! `roadseg generate` — render synthetic sample frames to disk.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sf_dataset::Sample;
+use sf_scene::{Lighting, PinholeCamera, RoadCategory};
+use sf_tensor::TensorRng;
+use sf_vision::{GrayImage, RgbImage};
+
+use crate::{Args, CliError};
+
+/// Renders `--count` frames (default 6) into `--out`, cycling through
+/// the road categories (or honouring `--category`), and writes
+/// `frame_NNN_{rgb.ppm,depth.pgm,gt.pgm}` triples.
+///
+/// With `--train-per-category`/`--test-per-category`, instead writes a
+/// complete indexed dataset (loadable by `train --data` / `eval
+/// --data`).
+pub fn generate(args: &Args) -> Result<String, CliError> {
+    if args.get("train-per-category").is_some() || args.get("test-per-category").is_some() {
+        return generate_dataset(args);
+    }
+    let out = Path::new(args.require("out")?);
+    std::fs::create_dir_all(out)?;
+    let count: usize = args.get_parsed("count", 6, "integer")?;
+    let seed: u64 = args.get_parsed("seed", 2022, "integer")?;
+    let width: usize = args.get_parsed("width", 96, "integer")?;
+    let height: usize = args.get_parsed("height", 32, "integer")?;
+    let category_filter = args.category()?;
+    let camera = PinholeCamera::kitti_like(width, height);
+    let mut rng = TensorRng::seed_from(seed);
+    let mut log = String::new();
+    for i in 0..count {
+        let category = category_filter.unwrap_or(RoadCategory::ALL[i % RoadCategory::ALL.len()]);
+        let presets = Lighting::presets();
+        let (lighting_name, lighting) = presets[rng.index(presets.len())];
+        let sample = Sample::render(
+            category,
+            rng.index(usize::MAX - 1) as u64,
+            lighting_name,
+            lighting,
+            &camera,
+        );
+        let stem = out.join(format!("frame_{i:03}_{}", category.code().to_lowercase()));
+        let rgb = RgbImage::from_tensor(&sample.rgb);
+        rgb.write_ppm(stem.with_extension("rgb.ppm"))?;
+        let depth = GrayImage::from_raw(width, height, sample.depth.data().to_vec());
+        depth.write_pgm(stem.with_extension("depth.pgm"))?;
+        let gt = GrayImage::from_raw(width, height, sample.gt.data().to_vec());
+        gt.write_pgm(stem.with_extension("gt.pgm"))?;
+        let _ = writeln!(
+            log,
+            "wrote {} ({category}, {lighting_name}, road {:.0}%)",
+            stem.display(),
+            100.0 * sample.road_fraction()
+        );
+    }
+    let _ = writeln!(log, "{count} frame triples under {}", out.display());
+    Ok(log)
+}
+
+/// Dataset mode: generate a full indexed [`RoadDataset`] on disk.
+fn generate_dataset(args: &Args) -> Result<String, CliError> {
+    use sf_dataset::{DatasetConfig, RoadDataset};
+    let out = Path::new(args.require("out")?);
+    let config = DatasetConfig {
+        width: args.get_parsed("width", 96, "integer")?,
+        height: args.get_parsed("height", 32, "integer")?,
+        train_per_category: args.get_parsed("train-per-category", 24, "integer")?,
+        test_per_category: args.get_parsed("test-per-category", 8, "integer")?,
+        seed: args.get_parsed("seed", 2022, "integer")?,
+        adverse_fraction: args.get_parsed("adverse-fraction", 0.3, "float")?,
+        traffic_fraction: args.get_parsed("traffic-fraction", 0.25, "float")?,
+    };
+    let data = RoadDataset::generate(&config);
+    data.save_to_dir(out)?;
+    Ok(format!(
+        "dataset written to {}: {} train / {} test frames at {}x{}
+",
+        out.display(),
+        data.train(None).len(),
+        data.test(None).len(),
+        config.width,
+        config.height
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(raw: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>())?;
+        generate(&args)
+    }
+
+    #[test]
+    fn writes_triples() {
+        let dir = std::env::temp_dir().join("sf_cli_generate_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&[
+            "generate",
+            "--out",
+            dir.to_str().unwrap(),
+            "--count",
+            "2",
+            "--width",
+            "48",
+            "--height",
+            "16",
+        ])
+        .unwrap();
+        assert!(out.contains("2 frame triples"));
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 6);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn category_filter_is_respected() {
+        let dir = std::env::temp_dir().join("sf_cli_generate_uu");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&[
+            "generate",
+            "--out",
+            dir.to_str().unwrap(),
+            "--count",
+            "3",
+            "--category",
+            "uu",
+            "--width",
+            "48",
+            "--height",
+            "16",
+        ])
+        .unwrap();
+        assert_eq!(out.matches("UU").count(), 3);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn dataset_mode_writes_an_index() {
+        let dir = std::env::temp_dir().join("sf_cli_generate_dataset");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&[
+            "generate",
+            "--out",
+            dir.to_str().unwrap(),
+            "--train-per-category",
+            "1",
+            "--test-per-category",
+            "1",
+            "--width",
+            "48",
+            "--height",
+            "16",
+        ])
+        .unwrap();
+        assert!(out.contains("3 train / 3 test"));
+        assert!(dir.join("index.txt").exists());
+        let loaded = sf_dataset::RoadDataset::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.train(None).len(), 3);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn missing_out_flag_errors() {
+        assert!(matches!(run(&["generate"]), Err(CliError::Args(_))));
+    }
+}

@@ -1,0 +1,182 @@
+//! `roadseg infer` — run a checkpoint on a user-supplied frame pair.
+
+use std::fmt::Write as _;
+
+use sf_autograd::Graph;
+use sf_nn::Mode;
+use sf_scene::overlay_mask;
+use sf_vision::{read_pgm, read_ppm, resize_gray, resize_rgb, GrayImage};
+
+use crate::model_io::load_model;
+use crate::{Args, CliError};
+
+/// Loads `--model`, reads `--rgb` (PPM) and `--depth` (PGM), predicts
+/// the road mask and writes a green overlay to `--out`.
+pub fn infer(args: &Args) -> Result<String, CliError> {
+    let mut net = load_model(args.require("model")?)?;
+    let rgb_path = args.require("rgb")?;
+    let depth_path = args.require("depth")?;
+    let out = args.require("out")?.to_string();
+    let mut rgb = read_ppm(rgb_path).map_err(|e| CliError::Io(format!("{rgb_path}: {e}")))?;
+    let mut depth = read_pgm(depth_path).map_err(|e| CliError::Io(format!("{depth_path}: {e}")))?;
+    if rgb.width() == 0 || rgb.height() == 0 || depth.width() == 0 || depth.height() == 0 {
+        return Err(CliError::Invalid(
+            "input frames must be non-empty".to_string(),
+        ));
+    }
+    let (w, h) = (net.config().width, net.config().height);
+    let mut notes = String::new();
+    if rgb.width() != w || rgb.height() != h {
+        let _ = writeln!(
+            notes,
+            "resampling rgb {}x{} -> {w}x{h}",
+            rgb.width(),
+            rgb.height()
+        );
+        rgb = resize_rgb(&rgb, w, h);
+    }
+    if depth.width() != w || depth.height() != h {
+        let _ = writeln!(
+            notes,
+            "resampling depth {}x{} -> {w}x{h}",
+            depth.width(),
+            depth.height()
+        );
+        depth = resize_gray(&depth, w, h);
+    }
+    let mut g = Graph::new();
+    let rgb_node = g.leaf(
+        rgb.to_tensor()
+            .reshape(&[1, 3, h, w])
+            .expect("rgb is [3,H,W]"),
+    );
+    let depth_node = g.leaf(
+        depth
+            .to_tensor()
+            .reshape(&[1, 1, h, w])
+            .expect("depth is [H,W]"),
+    );
+    let output = net.forward(&mut g, rgb_node, depth_node, Mode::Eval);
+    let prob = g.sigmoid(output.logits);
+    let prob_img = GrayImage::from_tensor(
+        &g.value(prob)
+            .reshape(&[h, w])
+            .expect("logits are [1,1,H,W]"),
+    );
+    let mask = GrayImage::from_raw(
+        w,
+        h,
+        prob_img
+            .data()
+            .iter()
+            .map(|&p| f32::from(p >= 0.5))
+            .collect(),
+    );
+    overlay_mask(&rgb, &mask).write_ppm(&out)?;
+    let road = mask.data().iter().sum::<f32>() / mask.data().len() as f32;
+    let mut log = notes;
+    let _ = writeln!(
+        log,
+        "predicted road covers {:.1}% of the frame",
+        road * 100.0
+    );
+    let _ = writeln!(log, "overlay written to {out}");
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_io::save_model;
+    use sf_core::{FusionNet, FusionScheme, NetworkConfig};
+    use sf_vision::RgbImage;
+
+    #[test]
+    fn full_inference_round_trip() {
+        let dir = std::env::temp_dir().join("sf_cli_infer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = NetworkConfig {
+            width: 32,
+            height: 16,
+            stage_channels: vec![3, 4],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 4,
+        };
+        let model_path = dir.join("m.sfm");
+        save_model(
+            &mut FusionNet::new(FusionScheme::AllFilterU, &config),
+            &model_path,
+        )
+        .unwrap();
+        let rgb_path = dir.join("f.ppm");
+        let depth_path = dir.join("f.pgm");
+        RgbImage::from_fn(32, 16, |x, y| [x as f32 / 32.0, y as f32 / 16.0, 0.4])
+            .write_ppm(&rgb_path)
+            .unwrap();
+        GrayImage::from_fn(32, 16, |_, y| 1.0 - y as f32 / 16.0)
+            .write_pgm(&depth_path)
+            .unwrap();
+        let out_path = dir.join("overlay.ppm");
+        let raw: Vec<String> = [
+            "infer",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--rgb",
+            rgb_path.to_str().unwrap(),
+            "--depth",
+            depth_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let log = infer(&Args::parse(&raw).unwrap()).unwrap();
+        assert!(log.contains("overlay written"));
+        assert!(out_path.exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn resolution_mismatch_is_resampled() {
+        let dir = std::env::temp_dir().join("sf_cli_infer_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = NetworkConfig {
+            width: 32,
+            height: 16,
+            stage_channels: vec![3, 4],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 4,
+        };
+        let model_path = dir.join("m.sfm");
+        save_model(
+            &mut FusionNet::new(FusionScheme::Baseline, &config),
+            &model_path,
+        )
+        .unwrap();
+        let rgb_path = dir.join("wrong.ppm");
+        RgbImage::new(64, 32).write_ppm(&rgb_path).unwrap();
+        let depth_path = dir.join("wrong.pgm");
+        GrayImage::new(64, 32).write_pgm(&depth_path).unwrap();
+        let raw: Vec<String> = [
+            "infer",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--rgb",
+            rgb_path.to_str().unwrap(),
+            "--depth",
+            depth_path.to_str().unwrap(),
+            "--out",
+            dir.join("o.ppm").to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let log = infer(&Args::parse(&raw).unwrap()).unwrap();
+        assert!(log.contains("resampling rgb 64x32 -> 32x16"));
+        assert!(log.contains("overlay written"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! Subcommand implementations, each returning its human-readable output
+//! so they are unit-testable without capturing stdout.
+
+mod eval;
+mod generate;
+mod infer;
+mod info;
+mod train;
+
+pub use eval::eval;
+pub use generate::generate;
+pub use infer::infer;
+pub use info::info;
+pub use train::train;
+
+use sf_core::NetworkConfig;
+
+use crate::{Args, CliError};
+
+/// Builds the network configuration from the shared CLI flags.
+pub(crate) fn network_config(args: &Args) -> Result<NetworkConfig, CliError> {
+    let mut config = NetworkConfig::standard();
+    config.width = args.get_parsed("width", config.width, "integer")?;
+    config.height = args.get_parsed("height", config.height, "integer")?;
+    config.seed = args.get_parsed("seed", config.seed, "integer")?;
+    let factor = 1usize << config.stages();
+    if !config.width.is_multiple_of(factor) || !config.height.is_multiple_of(factor) {
+        return Err(CliError::Invalid(format!(
+            "resolution {}x{} must be divisible by {factor}",
+            config.width, config.height
+        )));
+    }
+    Ok(config)
+}

@@ -1,0 +1,157 @@
+//! `roadseg train` — train a fusion model and save a checkpoint.
+
+use std::fmt::Write as _;
+
+use sf_core::{evaluate, EvalOptions, FusionNet, OptimizerKind, TrainConfig};
+use sf_dataset::{DatasetConfig, RoadDataset};
+
+use crate::commands::network_config;
+use crate::model_io::save_model;
+use crate::{Args, CliError};
+
+/// Trains `--scheme` for `--epochs` on a freshly generated dataset and
+/// writes the checkpoint to `--out`.
+pub fn train(args: &Args) -> Result<String, CliError> {
+    let out = args.require("out")?.to_string();
+    let scheme = args.scheme()?;
+    let net_config = network_config(args)?;
+    let dataset_config = DatasetConfig {
+        width: net_config.width,
+        height: net_config.height,
+        train_per_category: args.get_parsed("train-per-category", 24, "integer")?,
+        test_per_category: args.get_parsed("test-per-category", 8, "integer")?,
+        seed: args.get_parsed("seed", 2022, "integer")?,
+        adverse_fraction: args.get_parsed("adverse-fraction", 0.3, "float")?,
+        traffic_fraction: args.get_parsed("traffic-fraction", 0.25, "float")?,
+    };
+    let optimizer = match args.get("optimizer").unwrap_or("sgd") {
+        "sgd" => OptimizerKind::Sgd,
+        "adam" => OptimizerKind::Adam,
+        other => {
+            return Err(crate::CliError::Invalid(format!(
+                "unknown optimizer {other:?} (expected sgd or adam)"
+            )))
+        }
+    };
+    let train_config = TrainConfig {
+        epochs: args.get_parsed("epochs", 10, "integer")?,
+        alpha: args.get_parsed("alpha", 0.3, "float")?,
+        learning_rate: args.get_parsed(
+            "lr",
+            if optimizer == OptimizerKind::Adam { 0.005 } else { 0.02 },
+            "float",
+        )?,
+        optimizer,
+        ..TrainConfig::standard()
+    };
+
+    let mut log = String::new();
+    let data = match args.get("data") {
+        Some(dir) => {
+            let data = RoadDataset::load_from_dir(dir)
+                .map_err(|e| crate::CliError::Invalid(format!("{dir}: {e}")))?;
+            if data.config().width != net_config.width || data.config().height != net_config.height
+            {
+                return Err(crate::CliError::Invalid(format!(
+                    "dataset is {}x{} but the model expects {}x{}",
+                    data.config().width,
+                    data.config().height,
+                    net_config.width,
+                    net_config.height
+                )));
+            }
+            let _ = writeln!(log, "loaded dataset from {dir}");
+            data
+        }
+        None => RoadDataset::generate(&dataset_config),
+    };
+    let _ = writeln!(
+        log,
+        "dataset: {} train / {} test at {}x{}",
+        data.train(None).len(),
+        data.test(None).len(),
+        net_config.width,
+        net_config.height
+    );
+    let mut net = FusionNet::new(scheme, &net_config);
+    let _ = writeln!(
+        log,
+        "training {} ({}) for {} epochs, alpha = {}",
+        scheme,
+        net.cost(),
+        train_config.epochs,
+        train_config.alpha
+    );
+    let report = sf_core::train(&mut net, &data.train(None), &train_config);
+    let _ = writeln!(
+        log,
+        "segmentation loss: {:.4} -> {:.4}",
+        report.seg_loss.first().copied().unwrap_or(f32::NAN),
+        report.final_seg_loss()
+    );
+    let camera = dataset_config.camera();
+    let eval = evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default());
+    let _ = writeln!(log, "held-out BEV metrics: {eval}");
+    save_model(&mut net, &out)?;
+    let _ = writeln!(log, "checkpoint saved to {out}");
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_and_saves_a_checkpoint() {
+        let path = std::env::temp_dir().join("sf_cli_train_test.sfm");
+        let raw: Vec<String> = [
+            "train",
+            "--out",
+            path.to_str().unwrap(),
+            "--scheme",
+            "baseline",
+            "--epochs",
+            "1",
+            "--width",
+            "32",
+            "--height",
+            "16",
+            "--train-per-category",
+            "2",
+            "--test-per-category",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let args = Args::parse(&raw).unwrap();
+        // 32x16 is not divisible by 2^5 with the standard 5-stage plan.
+        let err = train(&args).unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)), "{err}");
+
+        // A divisible resolution works end to end.
+        let raw: Vec<String> = [
+            "train",
+            "--out",
+            path.to_str().unwrap(),
+            "--scheme",
+            "baseline",
+            "--epochs",
+            "1",
+            "--train-per-category",
+            "2",
+            "--test-per-category",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let args = Args::parse(&raw).unwrap();
+        let log = train(&args).unwrap();
+        assert!(log.contains("checkpoint saved"));
+        assert!(path.exists());
+        let net = crate::model_io::load_model(&path).unwrap();
+        assert_eq!(net.scheme(), sf_core::FusionScheme::Baseline);
+        std::fs::remove_file(path).unwrap();
+    }
+}

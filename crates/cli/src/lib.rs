@@ -1,0 +1,81 @@
+//! `roadseg` — the command-line face of the sensor-fusion stack.
+//!
+//! ```text
+//! roadseg generate --out data/ --count 12          # write sample frames
+//! roadseg train    --out model.sfm --scheme au     # train + checkpoint
+//! roadseg eval     --model model.sfm               # KITTI-style metrics
+//! roadseg infer    --model model.sfm --rgb f.ppm --depth f.pgm --out o.ppm
+//! roadseg info     --scheme ws                     # architecture summary
+//! ```
+//!
+//! The library half exists so the subcommands are unit-testable; the
+//! binary (`src/main.rs`) is a thin dispatcher.
+
+pub mod args;
+pub mod commands;
+pub mod model_io;
+
+pub use args::{Args, ParseArgsError};
+
+/// Top-level CLI error: anything a subcommand can fail with.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ParseArgsError),
+    /// Filesystem / image / checkpoint I/O failure.
+    Io(String),
+    /// Inputs were readable but semantically invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CliError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ParseArgsError> for CliError {
+    fn from(e: ParseArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e.to_string())
+    }
+}
+
+/// The usage text printed on `--help` or an argument error.
+pub const USAGE: &str = "\
+roadseg — DCNN camera/LiDAR fusion for free-road segmentation
+
+USAGE:
+  roadseg <command> [flags]
+
+COMMANDS:
+  generate   render synthetic sample frames (rgb.ppm, depth.pgm, gt.pgm)
+  train      train a fusion model and save a checkpoint
+  eval       evaluate a checkpoint with the KITTI-style BEV metrics
+  infer      run a checkpoint on a user-supplied rgb/depth frame pair
+  info       print a model's architecture, parameter and MAC summary
+
+COMMON FLAGS:
+  --scheme <baseline|au|ab|bs|ws>   fusion architecture   [default: au]
+  --width <px> --height <px>        input resolution      [default: 96x32]
+  --seed <u64>                      master seed           [default: 2022]
+
+FLAGS BY COMMAND:
+  generate: --out <dir> [--count <n>] [--category <um|umm|uu>]
+  train:    --out <file.sfm> [--epochs <n>] [--alpha <f>] [--lr <f>]
+            [--optimizer <sgd|adam>] [--data <dir>] [--train-per-category <n>]
+  eval:     --model <file.sfm> [--test-per-category <n>]
+  infer:    --model <file.sfm> --rgb <f.ppm> --depth <f.pgm> --out <overlay.ppm>
+  info:     [--scheme ...]
+";

@@ -1,0 +1,199 @@
+//! Checkpoint files with an architecture manifest.
+//!
+//! The `sf-nn` checkpoint format stores raw tensors positionally; this
+//! module prefixes it with a one-line text manifest so a `.sfm` file is
+//! self-describing — `roadseg eval`/`infer` can rebuild the right
+//! architecture without the user repeating every flag.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use sf_core::{FusionNet, FusionScheme, NetworkConfig};
+use sf_nn::Stateful;
+
+use crate::CliError;
+
+/// Renders the manifest line, e.g.
+/// `roadseg-v1 scheme=au width=96 height=32 channels=8,12,16,24,32 shared=1 seed=42`.
+fn manifest(net: &FusionNet) -> String {
+    let c = net.config();
+    let channels: Vec<String> = c.stage_channels.iter().map(usize::to_string).collect();
+    format!(
+        "roadseg-v1 scheme={} width={} height={} channels={} shared={} depth={} seed={}\n",
+        scheme_code(net.scheme()),
+        c.width,
+        c.height,
+        channels.join(","),
+        c.shared_stages,
+        c.depth_channels,
+        c.seed
+    )
+}
+
+fn scheme_code(scheme: FusionScheme) -> &'static str {
+    match scheme {
+        FusionScheme::Baseline => "baseline",
+        FusionScheme::AllFilterU => "au",
+        FusionScheme::AllFilterB => "ab",
+        FusionScheme::BaseSharing => "bs",
+        FusionScheme::WeightedSharing => "ws",
+    }
+}
+
+fn scheme_from_code(code: &str) -> Option<FusionScheme> {
+    Some(match code {
+        "baseline" => FusionScheme::Baseline,
+        "au" => FusionScheme::AllFilterU,
+        "ab" => FusionScheme::AllFilterB,
+        "bs" => FusionScheme::BaseSharing,
+        "ws" => FusionScheme::WeightedSharing,
+        _ => return None,
+    })
+}
+
+/// Saves a model (manifest + weights) to `path`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] on any write failure.
+pub fn save_model(net: &mut FusionNet, path: impl AsRef<Path>) -> Result<(), CliError> {
+    let mut file = std::fs::File::create(&path)
+        .map_err(|e| CliError::Io(format!("{}: {e}", path.as_ref().display())))?;
+    file.write_all(manifest(net).as_bytes())?;
+    net.save_state(&mut file)?;
+    Ok(())
+}
+
+/// Loads a model from `path`, rebuilding the architecture from the
+/// manifest and restoring all weights and buffers.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] on read failures and [`CliError::Invalid`]
+/// on a malformed manifest or checkpoint mismatch.
+pub fn load_model(path: impl AsRef<Path>) -> Result<FusionNet, CliError> {
+    let file = std::fs::File::open(&path)
+        .map_err(|e| CliError::Io(format!("{}: {e}", path.as_ref().display())))?;
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let net_config = parse_manifest(line.trim_end())?;
+    let (scheme, config) = net_config;
+    let mut net = FusionNet::new(scheme, &config);
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest)?;
+    net.load_state(&rest[..])
+        .map_err(|e| CliError::Invalid(format!("checkpoint does not match manifest: {e}")))?;
+    Ok(net)
+}
+
+/// Parses the manifest line into (scheme, config).
+fn parse_manifest(line: &str) -> Result<(FusionScheme, NetworkConfig), CliError> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("roadseg-v1") {
+        return Err(CliError::Invalid(
+            "not a roadseg checkpoint (missing manifest header)".to_string(),
+        ));
+    }
+    let mut scheme = None;
+    let mut config = NetworkConfig::standard();
+    for part in parts {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| CliError::Invalid(format!("malformed manifest field {part:?}")))?;
+        let bad = |what: &str| CliError::Invalid(format!("manifest {key}={value}: invalid {what}"));
+        match key {
+            "scheme" => {
+                scheme = Some(scheme_from_code(value).ok_or_else(|| bad("scheme"))?);
+            }
+            "width" => config.width = value.parse().map_err(|_| bad("integer"))?,
+            "height" => config.height = value.parse().map_err(|_| bad("integer"))?,
+            "channels" => {
+                config.stage_channels = value
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad("channel list"))?;
+            }
+            "shared" => config.shared_stages = value.parse().map_err(|_| bad("integer"))?,
+            "depth" => config.depth_channels = value.parse().map_err(|_| bad("integer"))?,
+            "seed" => config.seed = value.parse().map_err(|_| bad("integer"))?,
+            _ => {} // forward compatibility: ignore unknown keys
+        }
+    }
+    let scheme = scheme.ok_or_else(|| CliError::Invalid("manifest lacks a scheme".to_string()))?;
+    Ok((scheme, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_nn::Stateful;
+
+    fn tiny_config() -> NetworkConfig {
+        NetworkConfig {
+            width: 32,
+            height: 16,
+            stage_channels: vec![3, 4],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn round_trips_weights_and_architecture() {
+        let path = std::env::temp_dir().join("sf_cli_model_io.sfm");
+        let mut original = FusionNet::new(FusionScheme::WeightedSharing, &tiny_config());
+        save_model(&mut original, &path).unwrap();
+        let mut loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.scheme(), FusionScheme::WeightedSharing);
+        assert_eq!(loaded.config(), original.config());
+        assert_eq!(loaded.state_tensors(), original.state_tensors());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let path = std::env::temp_dir().join("sf_cli_not_a_model.sfm");
+        std::fs::write(&path, "hello world\n").unwrap();
+        assert!(matches!(load_model(&path), Err(CliError::Invalid(_))));
+        std::fs::remove_file(path).unwrap();
+        assert!(matches!(
+            load_model("/definitely/not/here.sfm"),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_scheme_weight_mismatch() {
+        // A checkpoint whose manifest names a different (smaller)
+        // architecture than its weights must fail shape validation.
+        let path = std::env::temp_dir().join("sf_cli_mismatch.sfm");
+        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_config());
+        save_model(&mut net, &path).unwrap();
+        // Corrupt the manifest bytes to claim a different channel plan
+        // (same length, so the binary payload stays aligned).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let needle = b"channels=3,4";
+        let pos = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("manifest present");
+        bytes[pos + 9] = b'4';
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(load_model(&path), Err(CliError::Invalid(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn manifest_ignores_unknown_keys() {
+        let (scheme, config) = parse_manifest(
+            "roadseg-v1 scheme=bs width=32 height=16 channels=3,4 shared=1 seed=5 future=stuff",
+        )
+        .unwrap();
+        assert_eq!(scheme, FusionScheme::BaseSharing);
+        assert_eq!(config.stage_channels, vec![3, 4]);
+        assert_eq!(config.seed, 5);
+    }
+}

@@ -1,0 +1,124 @@
+//! The full `roadseg` workflow as a user would run it:
+//! generate a dataset → train on it → evaluate the checkpoint → run
+//! inference on a generated frame.
+
+use sf_cli::{commands, Args};
+
+fn args(raw: &[&str]) -> Args {
+    Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("valid args")
+}
+
+#[test]
+fn generate_train_eval_infer_round_trip() {
+    let dir = std::env::temp_dir().join("sf_cli_workflow_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data_dir = dir.join("data");
+    let model = dir.join("model.sfm");
+
+    // 1. Generate a persisted dataset.
+    let out = commands::generate(&args(&[
+        "generate",
+        "--out",
+        data_dir.to_str().unwrap(),
+        "--train-per-category",
+        "2",
+        "--test-per-category",
+        "1",
+        "--width",
+        "96",
+        "--height",
+        "32",
+    ]))
+    .expect("generate succeeds");
+    assert!(out.contains("6 train / 3 test"));
+
+    // 2. Train on the saved dataset.
+    let out = commands::train(&args(&[
+        "train",
+        "--out",
+        model.to_str().unwrap(),
+        "--data",
+        data_dir.to_str().unwrap(),
+        "--scheme",
+        "bs",
+        "--epochs",
+        "1",
+    ]))
+    .expect("train succeeds");
+    assert!(out.contains("loaded dataset"));
+    assert!(out.contains("checkpoint saved"));
+    assert!(model.exists());
+
+    // 3. Evaluate the checkpoint (freshly generated test scenes).
+    let out = commands::eval(&args(&[
+        "eval",
+        "--model",
+        model.to_str().unwrap(),
+        "--test-per-category",
+        "1",
+    ]))
+    .expect("eval succeeds");
+    assert!(out.contains("BaseSharing"));
+    assert!(out.contains("UMM"));
+
+    // 4. Run inference on one of the generated frames.
+    let rgb = data_dir.join("test_0000_rgb.ppm");
+    let depth = data_dir.join("test_0000_depth.pgm");
+    assert!(rgb.exists() && depth.exists(), "dataset frames on disk");
+    let overlay = dir.join("overlay.ppm");
+    let out = commands::infer(&args(&[
+        "infer",
+        "--model",
+        model.to_str().unwrap(),
+        "--rgb",
+        rgb.to_str().unwrap(),
+        "--depth",
+        depth.to_str().unwrap(),
+        "--out",
+        overlay.to_str().unwrap(),
+    ]))
+    .expect("infer succeeds");
+    assert!(out.contains("overlay written"));
+    assert!(overlay.exists());
+
+    // 5. Info agrees with the checkpoint's architecture.
+    let out = commands::info(&args(&["info", "--scheme", "bs"])).expect("info succeeds");
+    assert!(out.contains("BaseSharing"));
+
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn train_rejects_mismatched_dataset_resolution() {
+    let dir = std::env::temp_dir().join("sf_cli_workflow_mismatch");
+    let _ = std::fs::remove_dir_all(&dir);
+    let data_dir = dir.join("data");
+    commands::generate(&args(&[
+        "generate",
+        "--out",
+        data_dir.to_str().unwrap(),
+        "--train-per-category",
+        "1",
+        "--test-per-category",
+        "1",
+        "--width",
+        "64",
+        "--height",
+        "32",
+    ]))
+    .expect("generate succeeds");
+    // Model at default 96x32 vs dataset at 64x32.
+    let err = commands::train(&args(&[
+        "train",
+        "--out",
+        dir.join("m.sfm").to_str().unwrap(),
+        "--data",
+        data_dir.to_str().unwrap(),
+        "--epochs",
+        "1",
+    ]))
+    .expect_err("resolution mismatch must fail");
+    assert!(err.to_string().contains("64x32"));
+    std::fs::remove_dir_all(dir).unwrap();
+}

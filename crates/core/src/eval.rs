@@ -1,0 +1,170 @@
+//! Model evaluation in the KITTI style: predict probability maps,
+//! optionally warp to bird's-eye view, and compute the benchmark metrics.
+
+use sf_autograd::Graph;
+use sf_dataset::{bev_warp, BevGrid, Sample, SegmentationEval};
+use sf_nn::Mode;
+use sf_scene::PinholeCamera;
+use sf_tensor::Tensor;
+use sf_vision::GrayImage;
+
+use crate::network::FusionNet;
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalOptions {
+    /// Evaluate in bird's-eye view (as the KITTI server does) instead of
+    /// image space.
+    pub bev: bool,
+    /// The BEV grid to use when `bev` is set.
+    pub grid: BevGrid,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            bev: true,
+            grid: BevGrid::default(),
+        }
+    }
+}
+
+/// Runs `net` on one sample and returns the per-pixel road probability
+/// map (sigmoid of the logits).
+pub fn predict_probability(net: &mut FusionNet, sample: &Sample) -> GrayImage {
+    let (h, w) = (sample.height(), sample.width());
+    let depth_channels = sample.depth.shape()[0];
+    let mut g = Graph::new();
+    let rgb = g.leaf(
+        sample
+            .rgb
+            .reshape(&[1, 3, h, w])
+            .expect("sample rgb is [3,H,W]"),
+    );
+    let depth = g.leaf(
+        sample
+            .depth
+            .reshape(&[1, depth_channels, h, w])
+            .expect("sample depth is [C,H,W]"),
+    );
+    let out = net.forward(&mut g, rgb, depth, Mode::Eval);
+    let prob = g.sigmoid(out.logits);
+    let flat = g
+        .value(prob)
+        .reshape(&[h, w])
+        .expect("logits are [1,1,H,W]");
+    GrayImage::from_tensor(&flat)
+}
+
+/// Evaluates `net` over `samples`, pooling pixels across all of them
+/// (exactly how the KITTI server pools a category's test frames).
+pub fn evaluate(
+    net: &mut FusionNet,
+    samples: &[&Sample],
+    camera: &PinholeCamera,
+    options: &EvalOptions,
+) -> SegmentationEval {
+    let mut prob_maps = Vec::with_capacity(samples.len());
+    let mut gt_maps = Vec::with_capacity(samples.len());
+    for sample in samples {
+        let prob = predict_probability(net, sample);
+        let gt = gray_from_chw(&sample.gt);
+        if options.bev {
+            prob_maps.push(bev_warp(&prob, camera, &options.grid));
+            gt_maps.push(bev_warp(&gt, camera, &options.grid));
+        } else {
+            prob_maps.push(prob);
+            gt_maps.push(gt);
+        }
+    }
+    let pairs: Vec<(&GrayImage, &GrayImage)> = prob_maps.iter().zip(gt_maps.iter()).collect();
+    SegmentationEval::from_pairs(&pairs)
+}
+
+fn gray_from_chw(t: &Tensor) -> GrayImage {
+    let (h, w) = (t.shape()[1], t.shape()[2]);
+    GrayImage::from_tensor(&t.reshape(&[h, w]).expect("mask is [1,H,W]"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FusionScheme, NetworkConfig};
+    use crate::trainer::{train, TrainConfig};
+    use sf_dataset::{DatasetConfig, RoadDataset};
+
+    fn net_config() -> NetworkConfig {
+        NetworkConfig {
+            width: 48,
+            height: 16,
+            stage_channels: vec![4, 6, 8],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 13,
+        }
+    }
+
+    #[test]
+    fn probability_maps_are_valid() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config());
+        let sample = data.test(None)[0];
+        let prob = predict_probability(&mut net, sample);
+        assert_eq!(prob.width(), 48);
+        assert_eq!(prob.height(), 16);
+        assert!(prob.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn trained_model_beats_untrained() {
+        let dataset_config = DatasetConfig {
+            train_per_category: 8,
+            test_per_category: 4,
+            ..DatasetConfig::tiny()
+        };
+        let data = RoadDataset::generate(&dataset_config);
+        let camera = dataset_config.camera();
+        let options = EvalOptions::default();
+
+        let mut untrained = FusionNet::new(FusionScheme::Baseline, &net_config());
+        let test = data.test(None);
+        let before = evaluate(&mut untrained, &test, &camera, &options);
+
+        let mut trained = FusionNet::new(FusionScheme::Baseline, &net_config());
+        let train_samples = data.train(None);
+        let config = TrainConfig {
+            epochs: 12,
+            ..TrainConfig::tiny()
+        };
+        train(&mut trained, &train_samples, &config);
+        let after = evaluate(&mut trained, &test, &camera, &options);
+        assert!(
+            after.f_score > before.f_score + 5.0,
+            "training should help: before {:.2}, after {:.2}",
+            before.f_score,
+            after.f_score
+        );
+        assert!(after.f_score > 62.0, "trained F-score {:.2}", after.f_score);
+    }
+
+    #[test]
+    fn image_space_eval_also_works() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let camera = data.config().camera();
+        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config());
+        let test = data.test(None);
+        let eval = evaluate(
+            &mut net,
+            &test[..2],
+            &camera,
+            &EvalOptions {
+                bev: false,
+                ..EvalOptions::default()
+            },
+        );
+        // Untrained nets still produce *some* numbers in [0, 100].
+        for v in eval.as_row() {
+            assert!((0.0..=100.0).contains(&v), "metric {v}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The differentiable Feature Disparity loss (Eq. 3's `D_fd-i` term).
+//!
+//! The measurement form of feature disparity (Fig. 3) uses a binary
+//! Canny-lite sketch, which has no useful gradient. For training, the
+//! paper's loss needs a differentiable edge characteristic, so this module
+//! compares smooth Sobel gradient magnitudes instead: per channel,
+//! `E(f) = sqrt((f*Sx)² + (f*Sy)² + ε)`, and the loss is
+//! `MSE(E(f_R), E(f_D))` — the same spatial-structure comparison with
+//! sub-gradient support everywhere.
+
+use sf_autograd::{Graph, NodeId};
+use sf_tensor::{Conv2dSpec, Tensor};
+
+const SOBEL_X: [f32; 9] = [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0];
+const SOBEL_Y: [f32; 9] = [-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0];
+
+/// Records the differentiable edge magnitude of every channel of a
+/// `[N, C, H, W]` node, returning a `[N·C, 1, H, W]` node.
+fn edge_magnitude(g: &mut Graph, x: NodeId) -> NodeId {
+    let shape = g.value(x).shape().to_vec();
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    // Treat every channel as an independent single-channel image so the
+    // fixed Sobel kernels do not mix channels.
+    let flat = g.reshape(x, &[n * c, 1, h, w]);
+    let sx = g.leaf(Tensor::from_vec(SOBEL_X.to_vec(), &[1, 1, 3, 3]).expect("SOBEL_X is 3x3"));
+    let sy = g.leaf(Tensor::from_vec(SOBEL_Y.to_vec(), &[1, 1, 3, 3]).expect("SOBEL_Y is 3x3"));
+    // Valid (unpadded) convolution: zero padding would make the edge
+    // response at the border depend on absolute luminance, defeating the
+    // metric's luminance invariance.
+    let gx = g.conv2d(flat, sx, None, Conv2dSpec::default());
+    let gy = g.conv2d(flat, sy, None, Conv2dSpec::default());
+    let gx2 = g.square(gx);
+    let gy2 = g.square(gy);
+    let sum = g.add(gx2, gy2);
+    g.sqrt_eps(sum, 1e-6)
+}
+
+/// The Feature Disparity loss between two feature-map nodes of identical
+/// `[N, C, H, W]` shape: mean squared difference of their per-channel
+/// Sobel edge magnitudes.
+///
+/// Fully differentiable with respect to both inputs, so it trains both
+/// branches towards extracting features with matching edge structure —
+/// the paper's "similar characteristics with complementary content".
+///
+/// # Panics
+///
+/// Panics if the node shapes differ or are not rank 4.
+pub fn fd_loss(g: &mut Graph, f_rgb: NodeId, f_depth: NodeId) -> NodeId {
+    assert_eq!(
+        g.value(f_rgb).shape(),
+        g.value(f_depth).shape(),
+        "fd_loss: feature shapes differ"
+    );
+    let shape = g.value(f_rgb).shape().to_vec();
+    assert_eq!(shape.len(), 4, "fd_loss: expected [N,C,H,W] features");
+    if shape[2] < 3 || shape[3] < 3 {
+        // The deepest feature maps of a scaled-down network can be
+        // smaller than the Sobel kernel; fall back to a direct
+        // (normalised) MSE there — at that depth the maps carry no
+        // spatial structure anyway.
+        let norm = (g.value(f_rgb).norm_sq() + g.value(f_depth).norm_sq())
+            / g.value(f_rgb).numel().max(1) as f32;
+        let raw = g.mse(f_rgb, f_depth);
+        return g.scale(raw, 1.0 / (norm + 1e-6));
+    }
+    let ea = edge_magnitude(g, f_rgb);
+    let eb = edge_magnitude(g, f_depth);
+    // Normalise by the mean edge energy so the loss is scale-free: a
+    // disparity of 1.0 means the edge maps differ as much as they are
+    // strong. The normaliser is *detached* (a stop-gradient constant per
+    // step), so gradients only flow through the numerator — this keeps
+    // Σ_i D_fd-i commensurate with the segmentation BCE, matching the
+    // paper's α = 0.3 weighting regime.
+    let energy =
+        (g.value(ea).norm_sq() + g.value(eb).norm_sq()) / g.value(ea).numel().max(1) as f32;
+    let raw = g.mse(ea, eb);
+    g.scale(raw, 1.0 / (energy + 1e-6))
+}
+
+/// The unnormalised Feature Disparity loss: plain MSE between the edge
+/// magnitudes (Eq. 1 applied to smooth Sobel sketches). Exposed for
+/// gradient verification and ablation; [`fd_loss`] is this divided by
+/// the detached mean edge energy.
+///
+/// # Panics
+///
+/// Panics if the node shapes differ, are not rank 4, or are smaller than
+/// the Sobel kernel.
+pub fn fd_loss_raw(g: &mut Graph, f_rgb: NodeId, f_depth: NodeId) -> NodeId {
+    assert_eq!(
+        g.value(f_rgb).shape(),
+        g.value(f_depth).shape(),
+        "fd_loss_raw: feature shapes differ"
+    );
+    let ea = edge_magnitude(g, f_rgb);
+    let eb = edge_magnitude(g, f_depth);
+    g.mse(ea, eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_autograd::check_gradients;
+    use sf_tensor::TensorRng;
+
+    #[test]
+    fn identical_features_have_zero_loss() {
+        let mut rng = TensorRng::seed_from(1);
+        let f = rng.uniform(&[2, 3, 8, 8], -1.0, 1.0);
+        let mut g = Graph::new();
+        let a = g.leaf(f.clone());
+        let b = g.leaf(f);
+        let loss = fd_loss(&mut g, a, b);
+        assert!(g.value(loss).at(&[]) < 1e-9);
+    }
+
+    #[test]
+    fn luminance_shift_is_nearly_free() {
+        // A constant offset has zero Sobel response, so FD loss ignores it
+        // — the property that motivated the edge-based metric.
+        let mut rng = TensorRng::seed_from(2);
+        let f = rng.uniform(&[1, 2, 8, 8], 0.0, 1.0);
+        let shifted = f.add_scalar(0.5);
+        let structurally_different = rng.uniform(&[1, 2, 8, 8], 0.0, 1.0);
+        let mut g = Graph::new();
+        let a = g.leaf(f);
+        let b = g.leaf(shifted);
+        let c = g.leaf(structurally_different);
+        let loss_shift = fd_loss(&mut g, a, b);
+        let loss_struct = fd_loss(&mut g, a, c);
+        let shift_v = g.value(loss_shift).at(&[]);
+        let struct_v = g.value(loss_struct).at(&[]);
+        assert!(shift_v < 1e-6, "luminance shift loss {shift_v}");
+        assert!(struct_v > shift_v * 100.0, "structural loss {struct_v}");
+    }
+
+    #[test]
+    fn loss_is_symmetric() {
+        let mut rng = TensorRng::seed_from(3);
+        let fa = rng.uniform(&[1, 2, 6, 6], -1.0, 1.0);
+        let fb = rng.uniform(&[1, 2, 6, 6], -1.0, 1.0);
+        let mut g = Graph::new();
+        let a = g.leaf(fa);
+        let b = g.leaf(fb);
+        let l1 = fd_loss(&mut g, a, b);
+        let l2 = fd_loss(&mut g, b, a);
+        assert!((g.value(l1).at(&[]) - g.value(l2).at(&[])).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gradients_flow_to_both_branches() {
+        let mut rng = TensorRng::seed_from(4);
+        let fa = rng.uniform(&[1, 2, 6, 6], -1.0, 1.0);
+        let fb = rng.uniform(&[1, 2, 6, 6], -1.0, 1.0);
+        let worst = check_gradients(&[fa, fb], 1e-2, 5e-2, |g, p| {
+            let a = g.param(p[0].clone());
+            let b = g.param(p[1].clone());
+            (fd_loss_raw(g, a, b), vec![a, b])
+        })
+        .unwrap();
+        assert!(worst < 5e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn normalised_loss_is_scale_invariant() {
+        let mut rng = TensorRng::seed_from(5);
+        let fa = rng.uniform(&[1, 2, 8, 8], -1.0, 1.0);
+        let fb = rng.uniform(&[1, 2, 8, 8], -1.0, 1.0);
+        let mut g = Graph::new();
+        let a1 = g.leaf(fa.clone());
+        let b1 = g.leaf(fb.clone());
+        let small = fd_loss(&mut g, a1, b1);
+        let a2 = g.leaf(fa.scale(10.0));
+        let b2 = g.leaf(fb.scale(10.0));
+        let big = fd_loss(&mut g, a2, b2);
+        let (s, b) = (g.value(small).at(&[]), g.value(big).at(&[]));
+        assert!((s - b).abs() < 0.05 * s.max(b), "{s} vs {b}");
+        // And bounded to a sane O(1) range for random features.
+        assert!(s < 5.0, "normalised loss {s} should be O(1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn mismatched_shapes_panic() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::zeros(&[1, 2, 4, 4]));
+        let b = g.leaf(Tensor::zeros(&[1, 3, 4, 4]));
+        let _ = fd_loss(&mut g, a, b);
+    }
+}

@@ -1,0 +1,458 @@
+//! The two-branch fusion network and its five architectural variants.
+
+use sf_autograd::{Graph, NodeId};
+use sf_nn::{Conv2d, Cost, Mode, Module, Param, Parameterized};
+use sf_tensor::{Conv2dSpec, TensorRng};
+
+use crate::awn::AuxiliaryWeightNetwork;
+use crate::config::{FusionScheme, NetworkConfig};
+use crate::stage::{DecoderStage, EncoderStage};
+
+/// The nodes produced by one forward pass of a [`FusionNet`].
+#[derive(Debug, Clone)]
+pub struct ForwardOutput {
+    /// Per-pixel road logits, `[N, 1, H, W]`.
+    pub logits: NodeId,
+    /// For every fusion stage, the two feature-map nodes that were
+    /// element-wise summed: `(rgb_features, depth_contribution)`. The
+    /// depth side already includes any Fusion-filter or AWN weighting —
+    /// these are exactly the maps whose disparity the paper measures
+    /// (Fig. 3) and penalises (Eq. 3).
+    pub fusion_pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// A RoadSeg-style two-branch encoder–decoder with configurable fusion
+/// (the paper's model zoo, Fig. 5).
+///
+/// - RGB branch: `stages` encoder stages, each halving the resolution.
+/// - Depth branch: same topology; under Layer-sharing the deepest stage
+///   reuses the RGB branch's filters.
+/// - Fusion: after every stage, the depth contribution is element-wise
+///   summed into the RGB branch (Eq. 2), optionally through a `1×1`
+///   Fusion-filter (AU/AB) or scaled by the AWN weight (WS).
+/// - Decoder: nearest-up-sampling stages with additive skip connections
+///   from the fused encoder features, ending in a `1×1` segmentation
+///   head.
+#[derive(Debug)]
+pub struct FusionNet {
+    scheme: FusionScheme,
+    config: NetworkConfig,
+    rgb_stages: Vec<EncoderStage>,
+    /// One fewer entry than `rgb_stages` under Layer-sharing.
+    depth_stages: Vec<EncoderStage>,
+    /// Depth→RGB Fusion-filters, one per stage (AU and AB).
+    filters_d2r: Vec<Conv2d>,
+    /// RGB→Depth Fusion-filters, one per stage (AB only).
+    filters_r2d: Vec<Conv2d>,
+    awn: Option<AuxiliaryWeightNetwork>,
+    decoder: Vec<DecoderStage>,
+    head: Conv2d,
+}
+
+impl FusionNet {
+    /// Builds a network for `scheme` with weights drawn from
+    /// `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`NetworkConfig::validate`].
+    pub fn new(scheme: FusionScheme, config: &NetworkConfig) -> FusionNet {
+        config.validate();
+        let mut rng = TensorRng::seed_from(config.seed);
+        let stages = config.stages();
+        let chans = &config.stage_channels;
+
+        let shared_from = if scheme.shares_deep_stage() {
+            stages - config.shared_stages
+        } else {
+            stages
+        };
+        let mut rgb_stages = Vec::with_capacity(stages);
+        let mut depth_stages = Vec::with_capacity(shared_from);
+        for i in 0..stages {
+            let in_rgb = if i == 0 { 3 } else { chans[i - 1] };
+            let in_depth = if i == 0 {
+                config.depth_channels
+            } else {
+                chans[i - 1]
+            };
+            rgb_stages.push(EncoderStage::new(in_rgb, chans[i], &mut rng));
+            // Shared stages must accept both branches' inputs, which is
+            // only well-formed from stage 1 on (validate() enforces
+            // shared_stages < stages).
+            if i < shared_from {
+                depth_stages.push(EncoderStage::new(in_depth, chans[i], &mut rng));
+            }
+        }
+
+        // Fusion-filters start from the identity map: at initialisation a
+        // filtered architecture behaves exactly like the element-wise-sum
+        // baseline, and training only has to learn the *correction* that
+        // matches depth features to RGB features (Eq. 2).
+        let identity_1x1 = |c: usize, rng: &mut TensorRng| {
+            let mut f = Conv2d::new(c, c, 1, Conv2dSpec::default(), false, rng);
+            let w = &mut f.weight_mut().value;
+            w.fill(0.0);
+            for k in 0..c {
+                w.set(&[k, k, 0, 0], 1.0);
+            }
+            f
+        };
+        let mut filters_d2r = Vec::new();
+        let mut filters_r2d = Vec::new();
+        if scheme.has_fusion_filter() {
+            for &c in chans {
+                filters_d2r.push(identity_1x1(c, &mut rng));
+            }
+            if scheme == FusionScheme::AllFilterB {
+                // No reverse filter at the deepest stage: the depth branch
+                // ends there, so it would never influence the output.
+                for &c in &chans[..stages - 1] {
+                    filters_r2d.push(identity_1x1(c, &mut rng));
+                }
+            }
+        }
+
+        let awn = (scheme == FusionScheme::WeightedSharing)
+            .then(|| AuxiliaryWeightNetwork::new(chans[stages - 1], &mut rng));
+
+        // Decoder: stages-1 skip stages (deep → shallow) plus one final
+        // full-resolution stage, then a 1×1 head.
+        let mut decoder = Vec::with_capacity(stages);
+        for i in (0..stages - 1).rev() {
+            decoder.push(DecoderStage::new(chans[i + 1], chans[i], &mut rng));
+        }
+        decoder.push(DecoderStage::new(chans[0], chans[0], &mut rng));
+        let head = Conv2d::new(chans[0], 1, 1, Conv2dSpec::default(), true, &mut rng);
+
+        FusionNet {
+            scheme,
+            config: config.clone(),
+            rgb_stages,
+            depth_stages,
+            filters_d2r,
+            filters_r2d,
+            awn,
+            decoder,
+            head,
+        }
+    }
+
+    /// The architecture variant.
+    pub fn scheme(&self) -> FusionScheme {
+        self.scheme
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Records a full forward pass for a batch: `rgb` is `[N, 3, H, W]`,
+    /// `depth` is `[N, 1, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shapes do not match the configuration.
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        rgb: NodeId,
+        depth: NodeId,
+        mode: Mode,
+    ) -> ForwardOutput {
+        let stages = self.config.stages();
+        let mut fusion_pairs = Vec::with_capacity(stages);
+        let mut fused_maps = Vec::with_capacity(stages);
+        let mut r = rgb;
+        let mut d = depth;
+        let shared_from = if self.scheme.shares_deep_stage() {
+            stages - self.config.shared_stages
+        } else {
+            stages
+        };
+        for i in 0..stages {
+            let shared = i >= shared_from;
+            // Encoder stages: under sharing, the deepest RGB stage also
+            // processes the depth stream (same filters, twice bound).
+            let r_feat = self.rgb_stages[i].forward(g, r, mode);
+            let d_feat = if shared {
+                self.rgb_stages[i].forward(g, d, mode)
+            } else {
+                self.depth_stages[i].forward(g, d, mode)
+            };
+            // Depth contribution entering the RGB branch (Eq. 2).
+            let d_contrib = if self.scheme.has_fusion_filter() {
+                self.filters_d2r[i].forward(g, d_feat, mode)
+            } else if i == stages - 1 && self.scheme == FusionScheme::WeightedSharing {
+                let awn = self.awn.as_mut().expect("WS always builds an AWN");
+                let w = awn.weight(g, r_feat, d_feat, mode);
+                g.mul(d_feat, w)
+            } else {
+                d_feat
+            };
+            fusion_pairs.push((r_feat, d_contrib));
+            let fused = g.add(r_feat, d_contrib);
+            fused_maps.push(fused);
+            r = fused;
+            // The depth branch continues with its own features; under the
+            // bidirectional filter it also receives the RGB features
+            // through the reverse Fusion-filter.
+            d = if self.scheme == FusionScheme::AllFilterB && i < stages - 1 {
+                let r_contrib = self.filters_r2d[i].forward(g, r_feat, mode);
+                g.add(d_feat, r_contrib)
+            } else {
+                d_feat
+            };
+        }
+        // Decoder with additive skips from the fused encoder maps.
+        let mut x = *fused_maps.last().expect("at least one stage");
+        for (k, stage) in self.decoder.iter_mut().enumerate() {
+            x = stage.forward(g, x, mode);
+            // Skip connections for all but the final full-resolution stage.
+            if k < stages - 1 {
+                let skip = fused_maps[stages - 2 - k];
+                x = g.add(x, skip);
+            }
+        }
+        let logits = self.head.forward(g, x, mode);
+        ForwardOutput {
+            logits,
+            fusion_pairs,
+        }
+    }
+
+    /// Analytic per-image cost (MACs and parameters) of the whole
+    /// network, the quantities plotted in Fig. 7.
+    ///
+    /// Layer-sharing halves the deepest stage's *parameters* but not its
+    /// MACs (both streams are still processed); Fusion-filters add both.
+    pub fn cost(&self) -> Cost {
+        let stages = self.config.stages();
+        let (h, w) = (self.config.height, self.config.width);
+        let mut total = Cost::default();
+        // RGB branch.
+        let mut shape = (3usize, h, w);
+        let mut rgb_shapes = Vec::with_capacity(stages);
+        for stage in &self.rgb_stages {
+            let (c, s) = stage.cost(shape);
+            total = total + c;
+            shape = s;
+            rgb_shapes.push(s);
+        }
+        // Depth branch: MACs for every stage; parameters only for owned
+        // (non-shared) stages.
+        let shared_from = if self.scheme.shares_deep_stage() {
+            stages - self.config.shared_stages
+        } else {
+            stages
+        };
+        let mut dshape = (self.config.depth_channels, h, w);
+        for (i, rgb_stage) in self.rgb_stages.iter().enumerate() {
+            let shared = i >= shared_from;
+            if shared {
+                let (c, s) = rgb_stage.cost(dshape);
+                total.macs += c.macs; // params already counted in RGB pass
+                dshape = s;
+            } else {
+                let (c, s) = self.depth_stages[i].cost(dshape);
+                total = total + c;
+                dshape = s;
+            }
+        }
+        // Fusion-filters.
+        for (i, f) in self.filters_d2r.iter().enumerate() {
+            let (c, _) = f.cost(rgb_shapes[i]);
+            total = total + c;
+        }
+        for (i, f) in self.filters_r2d.iter().enumerate() {
+            let (c, _) = f.cost(rgb_shapes[i]);
+            total = total + c;
+        }
+        // AWN.
+        if let Some(awn) = &self.awn {
+            let deep = rgb_shapes[stages - 1];
+            let (c, _) = awn.cost(deep);
+            total = total + c;
+        }
+        // Decoder.
+        let mut x = rgb_shapes[stages - 1];
+        for stage in &self.decoder {
+            let (c, s) = stage.cost(x);
+            total = total + c;
+            x = s;
+        }
+        let (c, _) = self.head.cost(x);
+        total + c
+    }
+}
+
+impl Parameterized for FusionNet {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for s in &mut self.rgb_stages {
+            s.visit_params(f);
+        }
+        for s in &mut self.depth_stages {
+            s.visit_params(f);
+        }
+        for c in &mut self.filters_d2r {
+            c.visit_params(f);
+        }
+        for c in &mut self.filters_r2d {
+            c.visit_params(f);
+        }
+        if let Some(awn) = &mut self.awn {
+            awn.visit_params(f);
+        }
+        for s in &mut self.decoder {
+            s.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut sf_tensor::Tensor)) {
+        for s in &mut self.rgb_stages {
+            s.visit_buffers(f);
+        }
+        for s in &mut self.depth_stages {
+            s.visit_buffers(f);
+        }
+        for s in &mut self.decoder {
+            s.visit_buffers(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_tensor::TensorRng;
+
+    fn run_forward(scheme: FusionScheme) -> (FusionNet, Vec<usize>) {
+        let config = NetworkConfig::tiny();
+        let mut net = FusionNet::new(scheme, &config);
+        let mut rng = TensorRng::seed_from(9);
+        let mut g = Graph::new();
+        let rgb = g.leaf(rng.uniform(&[2, 3, config.height, config.width], 0.0, 1.0));
+        let depth = g.leaf(rng.uniform(&[2, 1, config.height, config.width], 0.0, 1.0));
+        let out = net.forward(&mut g, rgb, depth, Mode::Train);
+        let shape = g.value(out.logits).shape().to_vec();
+        (net, shape)
+    }
+
+    #[test]
+    fn all_schemes_produce_full_resolution_logits() {
+        for scheme in FusionScheme::ALL {
+            let (_, shape) = run_forward(scheme);
+            assert_eq!(shape, vec![2, 1, 16, 48], "{scheme} output shape");
+        }
+    }
+
+    #[test]
+    fn fusion_pair_count_matches_stages() {
+        let config = NetworkConfig::tiny();
+        let mut net = FusionNet::new(FusionScheme::Baseline, &config);
+        let mut rng = TensorRng::seed_from(10);
+        let mut g = Graph::new();
+        let rgb = g.leaf(rng.uniform(&[1, 3, 16, 48], 0.0, 1.0));
+        let depth = g.leaf(rng.uniform(&[1, 1, 16, 48], 0.0, 1.0));
+        let out = net.forward(&mut g, rgb, depth, Mode::Eval);
+        assert_eq!(out.fusion_pairs.len(), 3);
+        // Pair shapes match per stage and halve each time.
+        for (i, &(r, d)) in out.fusion_pairs.iter().enumerate() {
+            assert_eq!(g.value(r).shape(), g.value(d).shape());
+            assert_eq!(g.value(r).shape()[2], 16 >> (i + 1));
+        }
+    }
+
+    #[test]
+    fn parameter_ordering_matches_paper_fig7() {
+        // AB > AU > Baseline > WS > BS in parameter count.
+        let config = NetworkConfig::standard();
+        let count = |s: FusionScheme| FusionNet::new(s, &config).param_count();
+        let base = count(FusionScheme::Baseline);
+        let au = count(FusionScheme::AllFilterU);
+        let ab = count(FusionScheme::AllFilterB);
+        let bs = count(FusionScheme::BaseSharing);
+        let ws = count(FusionScheme::WeightedSharing);
+        assert!(ab > au, "AB {ab} > AU {au}");
+        assert!(au > base, "AU {au} > Baseline {base}");
+        assert!(base > ws, "Baseline {base} > WS {ws}");
+        assert!(ws > bs, "WS {ws} > BS {bs}");
+    }
+
+    #[test]
+    fn cost_params_agree_with_visit_params() {
+        let config = NetworkConfig::standard();
+        for scheme in FusionScheme::ALL {
+            let mut net = FusionNet::new(scheme, &config);
+            assert_eq!(
+                net.cost().params as usize,
+                net.param_count(),
+                "{scheme} cost/param mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn mac_ordering_matches_paper_fig7() {
+        // Fusion filters add MACs; sharing keeps them ~equal to baseline.
+        let config = NetworkConfig::standard();
+        let macs = |s: FusionScheme| FusionNet::new(s, &config).cost().macs;
+        let base = macs(FusionScheme::Baseline);
+        assert!(macs(FusionScheme::AllFilterU) > base);
+        assert!(macs(FusionScheme::AllFilterB) > macs(FusionScheme::AllFilterU));
+        assert_eq!(macs(FusionScheme::BaseSharing), base);
+        assert!(macs(FusionScheme::WeightedSharing) >= base);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let config = NetworkConfig::tiny();
+        for scheme in FusionScheme::ALL {
+            let mut net = FusionNet::new(scheme, &config);
+            let mut rng = TensorRng::seed_from(11);
+            let mut g = Graph::new();
+            let rgb = g.leaf(rng.uniform(&[2, 3, 16, 48], 0.0, 1.0));
+            let depth = g.leaf(rng.uniform(&[2, 1, 16, 48], 0.0, 1.0));
+            let out = net.forward(&mut g, rgb, depth, Mode::Train);
+            let target = rng.uniform(&[2, 1, 16, 48], 0.0, 1.0).map(f32::round);
+            let loss = g.bce_with_logits(out.logits, &target);
+            g.backward(loss);
+            net.collect_grads(&g);
+            let mut missing = Vec::new();
+            net.visit_params(&mut |p| {
+                if p.grad.norm_sq() == 0.0 {
+                    missing.push(p.name.clone());
+                }
+            });
+            assert!(
+                missing.is_empty(),
+                "{scheme}: parameters with zero grad: {missing:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_stage_reduces_depth_branch() {
+        let config = NetworkConfig::tiny();
+        let base = FusionNet::new(FusionScheme::Baseline, &config);
+        let bs = FusionNet::new(FusionScheme::BaseSharing, &config);
+        assert_eq!(base.depth_stages.len(), 3);
+        assert_eq!(bs.depth_stages.len(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_initial_weights() {
+        let config = NetworkConfig::tiny();
+        let mut a = FusionNet::new(FusionScheme::Baseline, &config);
+        let mut b = FusionNet::new(FusionScheme::Baseline, &config);
+        let mut wa = Vec::new();
+        a.visit_params(&mut |p| wa.push(p.value.clone()));
+        let mut i = 0;
+        b.visit_params(&mut |p| {
+            assert_eq!(p.value, wa[i]);
+            i += 1;
+        });
+    }
+}

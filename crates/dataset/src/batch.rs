@@ -1,0 +1,91 @@
+//! Mini-batch assembly from samples.
+
+use sf_tensor::Tensor;
+
+use crate::Sample;
+
+/// A stacked mini-batch of samples: `rgb [N,3,H,W]`, `depth [N,1,H,W]`,
+/// `gt [N,1,H,W]`.
+///
+/// # Examples
+///
+/// ```
+/// use sf_dataset::{Batch, DatasetConfig, RoadDataset};
+///
+/// let data = RoadDataset::generate(&DatasetConfig::tiny());
+/// let train = data.train(None);
+/// let batch = Batch::from_samples(&train[..4]);
+/// assert_eq!(batch.rgb.shape()[0], 4);
+/// assert_eq!(batch.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Camera images, `[N, 3, H, W]`.
+    pub rgb: Tensor,
+    /// Depth images, `[N, 1, H, W]`.
+    pub depth: Tensor,
+    /// Ground-truth masks, `[N, 1, H, W]`.
+    pub gt: Tensor,
+}
+
+impl Batch {
+    /// Stacks borrowed samples into one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or resolutions disagree.
+    pub fn from_samples(samples: &[&Sample]) -> Batch {
+        assert!(!samples.is_empty(), "cannot build an empty batch");
+        let rgb = Tensor::stack(&samples.iter().map(|s| s.rgb.clone()).collect::<Vec<_>>())
+            .expect("samples share resolution");
+        let depth = Tensor::stack(&samples.iter().map(|s| s.depth.clone()).collect::<Vec<_>>())
+            .expect("samples share resolution");
+        let gt = Tensor::stack(&samples.iter().map(|s| s.gt.clone()).collect::<Vec<_>>())
+            .expect("samples share resolution");
+        Batch { rgb, depth, gt }
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.rgb.shape()[0]
+    }
+
+    /// True if the batch holds no samples (never constructible via
+    /// [`Batch::from_samples`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetConfig, RoadDataset};
+
+    #[test]
+    fn batch_shapes() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let train = data.train(None);
+        let batch = Batch::from_samples(&train[..3]);
+        let c = data.config();
+        assert_eq!(batch.rgb.shape(), &[3, 3, c.height, c.width]);
+        assert_eq!(batch.depth.shape(), &[3, 1, c.height, c.width]);
+        assert_eq!(batch.gt.shape(), &[3, 1, c.height, c.width]);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = Batch::from_samples(&[]);
+    }
+
+    #[test]
+    fn batch_preserves_sample_order() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let train = data.train(None);
+        let batch = Batch::from_samples(&train[..2]);
+        assert_eq!(batch.rgb.index_axis0(0), train[0].rgb);
+        assert_eq!(batch.rgb.index_axis0(1), train[1].rgb);
+    }
+}

@@ -1,0 +1,266 @@
+//! Dataset configuration, parallel generation, and splits.
+
+use sf_scene::{Lighting, PinholeCamera, RoadCategory};
+use sf_tensor::TensorRng;
+
+use crate::Sample;
+
+/// Configuration for generating a [`RoadDataset`].
+///
+/// The real KITTI road set has ≈96 train / ≈96 test pairs per category at
+/// 1242×375; the defaults here scale that down to CPU-trainable sizes
+/// while keeping the same structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Training samples per road category.
+    pub train_per_category: usize,
+    /// Test samples per road category.
+    pub test_per_category: usize,
+    /// Master seed — every sample derives its scene seed from it.
+    pub seed: u64,
+    /// Fraction of samples rendered under an adverse lighting preset
+    /// (night / over-exposure / shadows) instead of plain day.
+    pub adverse_fraction: f64,
+    /// Fraction of samples that contain on-road traffic (1–3 vehicles
+    /// occluding the drivable surface).
+    pub traffic_fraction: f64,
+}
+
+impl DatasetConfig {
+    /// The default experiment scale: 48 train / 24 test per category at
+    /// 96×32.
+    pub fn standard() -> Self {
+        DatasetConfig {
+            width: 96,
+            height: 32,
+            train_per_category: 48,
+            test_per_category: 24,
+            seed: 2022,
+            adverse_fraction: 0.3,
+            traffic_fraction: 0.25,
+        }
+    }
+
+    /// A minimal configuration for unit tests: 6 train / 3 test at 48×16.
+    pub fn tiny() -> Self {
+        DatasetConfig {
+            width: 48,
+            height: 16,
+            train_per_category: 6,
+            test_per_category: 3,
+            seed: 7,
+            adverse_fraction: 0.3,
+            traffic_fraction: 0.25,
+        }
+    }
+
+    /// The camera shared by all samples of this configuration.
+    pub fn camera(&self) -> PinholeCamera {
+        PinholeCamera::kitti_like(self.width, self.height)
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig::standard()
+    }
+}
+
+/// A generated dataset with train/test splits over all three road
+/// categories.
+#[derive(Debug, Clone)]
+pub struct RoadDataset {
+    config: DatasetConfig,
+    train: Vec<Sample>,
+    test: Vec<Sample>,
+}
+
+impl RoadDataset {
+    /// Generates the dataset deterministically from `config`, spreading
+    /// sample rendering across threads.
+    pub fn generate(config: &DatasetConfig) -> RoadDataset {
+        let camera = config.camera();
+        let mut specs: Vec<(RoadCategory, u64, &'static str, Lighting, bool, usize)> = Vec::new();
+        let mut rng = TensorRng::seed_from(config.seed);
+        for category in RoadCategory::ALL {
+            for i in 0..config.train_per_category + config.test_per_category {
+                let is_train = i < config.train_per_category;
+                let seed = rng.index(usize::MAX - 1) as u64;
+                let (name, lighting) = pick_lighting(&mut rng, config.adverse_fraction);
+                let traffic = if rng.chance(config.traffic_fraction) {
+                    1 + rng.index(3)
+                } else {
+                    0
+                };
+                specs.push((category, seed, name, lighting, is_train, traffic));
+            }
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
+        let chunk = specs.len().div_ceil(threads.max(1));
+        let rendered: Vec<(Sample, bool)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .chunks(chunk.max(1))
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|&(category, seed, name, lighting, is_train, traffic)| {
+                                (
+                                    Sample::render_with_traffic(
+                                        category, seed, name, lighting, &camera, traffic,
+                                    ),
+                                    is_train,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("render worker panicked"))
+                .collect()
+        })
+        .expect("render scope panicked");
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (sample, is_train) in rendered {
+            if is_train {
+                train.push(sample);
+            } else {
+                test.push(sample);
+            }
+        }
+        RoadDataset {
+            config: *config,
+            train,
+            test,
+        }
+    }
+
+    /// Reassembles a dataset from explicit parts (used by the disk
+    /// loader).
+    pub(crate) fn from_parts(
+        config: DatasetConfig,
+        train: Vec<Sample>,
+        test: Vec<Sample>,
+    ) -> RoadDataset {
+        RoadDataset {
+            config,
+            train,
+            test,
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// Training samples, optionally restricted to one category.
+    pub fn train(&self, category: Option<RoadCategory>) -> Vec<&Sample> {
+        filter(&self.train, category)
+    }
+
+    /// Test samples, optionally restricted to one category.
+    pub fn test(&self, category: Option<RoadCategory>) -> Vec<&Sample> {
+        filter(&self.test, category)
+    }
+
+    /// A seeded shuffled copy of the training indices (for epoch
+    /// shuffling).
+    pub fn shuffled_train_indices(&self, category: Option<RoadCategory>, seed: u64) -> Vec<usize> {
+        let n = self.train(category).len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        TensorRng::seed_from(seed).shuffle(&mut indices);
+        indices
+    }
+}
+
+fn filter(samples: &[Sample], category: Option<RoadCategory>) -> Vec<&Sample> {
+    samples
+        .iter()
+        .filter(|s| category.is_none_or(|c| s.category == c))
+        .collect()
+}
+
+fn pick_lighting(rng: &mut TensorRng, adverse_fraction: f64) -> (&'static str, Lighting) {
+    if rng.chance(adverse_fraction) {
+        let presets = Lighting::presets();
+        // Index 0 is "day"; adverse presets are 1..4.
+        let (name, lighting) = presets[1 + rng.index(3)];
+        (name, lighting)
+    } else {
+        ("day", Lighting::day())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = DatasetConfig::tiny();
+        let a = RoadDataset::generate(&config);
+        let b = RoadDataset::generate(&config);
+        assert_eq!(a.train.len(), b.train.len());
+        for (x, y) in a.train.iter().zip(&b.train) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.rgb, y.rgb);
+        }
+    }
+
+    #[test]
+    fn split_sizes_match_config() {
+        let config = DatasetConfig::tiny();
+        let data = RoadDataset::generate(&config);
+        assert_eq!(data.train(None).len(), 18);
+        assert_eq!(data.test(None).len(), 9);
+        for category in RoadCategory::ALL {
+            assert_eq!(data.train(Some(category)).len(), 6);
+            assert_eq!(data.test(Some(category)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn adverse_lighting_appears_when_requested() {
+        let mut config = DatasetConfig::tiny();
+        config.adverse_fraction = 1.0;
+        config.train_per_category = 4;
+        let data = RoadDataset::generate(&config);
+        assert!(data.train(None).iter().all(|s| s.lighting != "day"));
+        let mut config2 = DatasetConfig::tiny();
+        config2.adverse_fraction = 0.0;
+        let data2 = RoadDataset::generate(&config2);
+        assert!(data2.train(None).iter().all(|s| s.lighting == "day"));
+    }
+
+    #[test]
+    fn shuffled_indices_are_a_permutation() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let idx = data.shuffled_train_indices(None, 1);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..18).collect::<Vec<_>>());
+        // Different seed → different order (overwhelmingly likely).
+        let idx2 = data.shuffled_train_indices(None, 2);
+        assert_ne!(idx, idx2);
+    }
+
+    #[test]
+    fn all_samples_share_resolution() {
+        let config = DatasetConfig::tiny();
+        let data = RoadDataset::generate(&config);
+        for s in data.train(None).into_iter().chain(data.test(None)) {
+            assert_eq!(s.width(), config.width);
+            assert_eq!(s.height(), config.height);
+        }
+    }
+}

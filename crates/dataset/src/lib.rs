@@ -1,0 +1,43 @@
+//! Synthetic KITTI-road-style dataset generation and evaluation.
+//!
+//! The KITTI road benchmark ships 289 training and 290 test RGB/LiDAR
+//! pairs over three road categories (UM, UMM, UU) and evaluates
+//! segmentations in a bird's-eye-view (BEV) projection with MaxF, AP,
+//! precision, recall and IoU. This crate reproduces that pipeline on the
+//! procedural scenes of [`sf_scene`]:
+//!
+//! - [`DatasetConfig`] → [`RoadDataset`]: deterministic paired samples
+//!   (RGB tensor, dense depth tensor, ground-truth mask) with train/test
+//!   splits per category and a configurable mix of lighting conditions.
+//! - [`bev_warp`]: projects an image-space road mask onto a metric
+//!   ground-plane grid through the shared pinhole camera, like KITTI's
+//!   BEV evaluation server.
+//! - [`SegmentationEval`]: the benchmark metrics computed from prediction
+//!   probability maps.
+//!
+//! # Examples
+//!
+//! ```
+//! use sf_dataset::{DatasetConfig, RoadDataset};
+//! use sf_scene::RoadCategory;
+//!
+//! let config = DatasetConfig::tiny(); // 6 train / 3 test per category
+//! let data = RoadDataset::generate(&config);
+//! let um_train = data.train(Some(RoadCategory::UrbanMarked));
+//! assert_eq!(um_train.len(), 6);
+//! assert_eq!(um_train[0].rgb.shape()[0], 3);
+//! ```
+
+mod batch;
+mod bev;
+mod dataset;
+mod metrics;
+mod sample;
+mod storage;
+
+pub use batch::Batch;
+pub use bev::{bev_warp, BevGrid};
+pub use dataset::{DatasetConfig, RoadDataset};
+pub use metrics::{average_precision, confusion, max_f_threshold, SegmentationEval};
+pub use sample::{RenderOptions, Sample};
+pub use storage::LoadDatasetError;

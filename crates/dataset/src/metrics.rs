@@ -1,0 +1,303 @@
+//! The KITTI road-benchmark metrics: MaxF (F-score), AP, precision,
+//! recall and IoU, computed from probability maps.
+
+use sf_vision::GrayImage;
+
+/// A binary confusion-matrix accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives.
+    pub fn_: u64,
+    /// True negatives.
+    pub tn: u64,
+}
+
+impl Confusion {
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 score (harmonic mean of precision and recall); 0 when
+    /// undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Intersection-over-union `tp / (tp + fp + fn)`; 0 when undefined.
+    pub fn iou(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp + self.fn_)
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Confusion counts of a thresholded probability map against a binary
+/// ground truth.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn confusion(prob: &GrayImage, gt: &GrayImage, threshold: f32) -> Confusion {
+    assert_eq!(
+        (prob.width(), prob.height()),
+        (gt.width(), gt.height()),
+        "confusion: image sizes differ"
+    );
+    let mut c = Confusion::default();
+    for (&p, &t) in prob.data().iter().zip(gt.data()) {
+        let pred = p >= threshold;
+        let truth = t > 0.5;
+        match (pred, truth) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+/// The threshold (over a fixed sweep of 0.02 steps) that maximises F1 on
+/// the pooled probability/ground-truth pairs, with the F1 it achieves.
+pub fn max_f_threshold(pairs: &[(&GrayImage, &GrayImage)]) -> (f32, f64) {
+    let mut best = (0.5f32, 0.0f64);
+    let mut t = 0.02f32;
+    while t < 1.0 {
+        let mut c = Confusion::default();
+        for (prob, gt) in pairs {
+            c.merge(confusion(prob, gt, t));
+        }
+        let f = c.f1();
+        if f > best.1 {
+            best = (t, f);
+        }
+        t += 0.02;
+    }
+    best
+}
+
+/// Average precision: the precision–recall curve integrated over the same
+/// threshold sweep (trapezoidal, recall-ordered), matching the benchmark's
+/// AP definition in spirit.
+pub fn average_precision(pairs: &[(&GrayImage, &GrayImage)]) -> f64 {
+    // Collect (recall, precision) points over thresholds.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut t = 0.02f32;
+    while t < 1.0 {
+        let mut c = Confusion::default();
+        for (prob, gt) in pairs {
+            c.merge(confusion(prob, gt, t));
+        }
+        points.push((c.recall(), c.precision()));
+        t += 0.02;
+    }
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("recalls are finite"));
+    // Integrate precision over recall; anchor at recall 0 with the first
+    // precision value.
+    let mut ap = 0.0f64;
+    let mut prev_r = 0.0f64;
+    let mut prev_p = points.first().map(|&(_, p)| p).unwrap_or(0.0);
+    for (r, p) in points {
+        ap += (r - prev_r).max(0.0) * (p + prev_p) / 2.0;
+        prev_r = r;
+        prev_p = p;
+    }
+    ap
+}
+
+/// The full benchmark report for one model on one category: the five
+/// numbers each column of Fig. 6 lists (scaled ×100 for display parity
+/// with the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SegmentationEval {
+    /// Maximum F-score over thresholds, ×100.
+    pub f_score: f64,
+    /// Average precision, ×100.
+    pub ap: f64,
+    /// Precision at the MaxF threshold, ×100.
+    pub precision: f64,
+    /// Recall at the MaxF threshold, ×100.
+    pub recall: f64,
+    /// IoU at the MaxF threshold, ×100.
+    pub iou: f64,
+}
+
+impl SegmentationEval {
+    /// Evaluates pooled probability maps against ground truths (both in
+    /// the same space — image or BEV).
+    pub fn from_pairs(pairs: &[(&GrayImage, &GrayImage)]) -> SegmentationEval {
+        if pairs.is_empty() {
+            return SegmentationEval::default();
+        }
+        let (threshold, max_f) = max_f_threshold(pairs);
+        let mut c = Confusion::default();
+        for (prob, gt) in pairs {
+            c.merge(confusion(prob, gt, threshold));
+        }
+        SegmentationEval {
+            f_score: max_f * 100.0,
+            ap: average_precision(pairs) * 100.0,
+            precision: c.precision() * 100.0,
+            recall: c.recall() * 100.0,
+            iou: c.iou() * 100.0,
+        }
+    }
+
+    /// The metric values in the paper's column order
+    /// (F-score, AP, PRE, REC, IOU).
+    pub fn as_row(&self) -> [f64; 5] {
+        [self.f_score, self.ap, self.precision, self.recall, self.iou]
+    }
+}
+
+impl std::fmt::Display for SegmentationEval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "F={:.2} AP={:.2} PRE={:.2} REC={:.2} IOU={:.2}",
+            self.f_score, self.ap, self.precision, self.recall, self.iou
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(data: &[f32], w: usize) -> GrayImage {
+        GrayImage::from_raw(w, data.len() / w, data.to_vec())
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let prob = img(&[0.9, 0.8, 0.2, 0.1], 2);
+        let gt = img(&[1.0, 0.0, 1.0, 0.0], 2);
+        let c = confusion(&prob, &gt, 0.5);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert!((c.iou() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_scores_100() {
+        let gt = img(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0], 3);
+        let eval = SegmentationEval::from_pairs(&[(&gt, &gt)]);
+        assert!((eval.f_score - 100.0).abs() < 1e-9);
+        assert!((eval.iou - 100.0).abs() < 1e-9);
+        assert!(eval.ap > 99.0);
+    }
+
+    #[test]
+    fn inverted_prediction_scores_zero_f() {
+        let gt = img(&[1.0, 0.0], 2);
+        let inv = img(&[0.0, 1.0], 2);
+        let eval = SegmentationEval::from_pairs(&[(&inv, &gt)]);
+        assert_eq!(eval.f_score, 0.0);
+    }
+
+    #[test]
+    fn max_f_picks_informative_threshold() {
+        // Prediction separates classes at 0.6: thresholds in (0.4, 0.6]
+        // give a perfect split.
+        let prob = img(&[0.7, 0.65, 0.4, 0.3], 2);
+        let gt = img(&[1.0, 1.0, 0.0, 0.0], 2);
+        let (t, f) = max_f_threshold(&[(&prob, &gt)]);
+        assert!((0.4..=0.66).contains(&t), "threshold {t}");
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_calibration_gives_higher_ap() {
+        let gt = img(&[1.0, 1.0, 0.0, 0.0], 2);
+        let sharp = img(&[0.95, 0.9, 0.05, 0.1], 2);
+        // A false positive (0.6) outranks a true positive (0.55): the
+        // classes are not separable at any threshold.
+        let noisy = img(&[0.55, 0.9, 0.6, 0.1], 2);
+        assert!(
+            average_precision(&[(&sharp, &gt)]) > average_precision(&[(&noisy, &gt)]),
+            "sharp should beat noisy"
+        );
+    }
+
+    #[test]
+    fn eval_of_empty_pairs_is_zero() {
+        assert_eq!(
+            SegmentationEval::from_pairs(&[]),
+            SegmentationEval::default()
+        );
+    }
+
+    #[test]
+    fn merge_pools_counts() {
+        let mut a = Confusion {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+            tn: 4,
+        };
+        a.merge(Confusion {
+            tp: 10,
+            fp: 20,
+            fn_: 30,
+            tn: 40,
+        });
+        assert_eq!(
+            a,
+            Confusion {
+                tp: 11,
+                fp: 22,
+                fn_: 33,
+                tn: 44
+            }
+        );
+    }
+
+    #[test]
+    fn display_contains_all_metrics() {
+        let gt = img(&[1.0, 0.0], 2);
+        let s = SegmentationEval::from_pairs(&[(&gt, &gt)]).to_string();
+        for key in ["F=", "AP=", "PRE=", "REC=", "IOU="] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Dataset disk persistence: save a generated [`RoadDataset`] as netpbm
+//! triples plus a text index, and load it back — so expensive renders can
+//! be shared between tools and runs.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! <dir>/index.txt                 # header line + one line per sample
+//! <dir>/train_0000_rgb.ppm        # camera frame
+//! <dir>/train_0000_depth.pgm      # dense inverse-depth image
+//! <dir>/train_0000_gt.pgm         # binary road mask
+//! <dir>/test_0000_rgb.ppm …
+//! ```
+
+use std::fmt;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use sf_scene::RoadCategory;
+use sf_vision::{read_pgm, read_ppm, GrayImage, ReadImageError, RgbImage};
+
+use crate::{DatasetConfig, RoadDataset, Sample};
+
+/// Errors produced while loading a stored dataset.
+#[derive(Debug)]
+pub enum LoadDatasetError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// An image file failed to parse.
+    Image(String, ReadImageError),
+    /// The index file is malformed.
+    BadIndex(String),
+}
+
+impl fmt::Display for LoadDatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadDatasetError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadDatasetError::Image(path, e) => write!(f, "{path}: {e}"),
+            LoadDatasetError::BadIndex(reason) => write!(f, "malformed index: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadDatasetError {}
+
+impl From<io::Error> for LoadDatasetError {
+    fn from(e: io::Error) -> Self {
+        LoadDatasetError::Io(e)
+    }
+}
+
+fn category_code(c: RoadCategory) -> &'static str {
+    c.code()
+}
+
+fn category_from_code(code: &str) -> Option<RoadCategory> {
+    RoadCategory::ALL.into_iter().find(|c| c.code() == code)
+}
+
+fn lighting_name(stored: &str) -> &'static str {
+    // Lighting names are a closed set; map unknown strings to "day".
+    match stored {
+        "night" => "night",
+        "overexposed" => "overexposed",
+        "shadows" => "shadows",
+        _ => "day",
+    }
+}
+
+impl RoadDataset {
+    /// Writes the dataset (index + all image triples) under `dir`,
+    /// creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut index = std::fs::File::create(dir.join("index.txt"))?;
+        let c = self.config();
+        writeln!(
+            index,
+            "roadset-v1 width={} height={} seed={}",
+            c.width, c.height, c.seed
+        )?;
+        for (split, samples) in [("train", self.train(None)), ("test", self.test(None))] {
+            for (i, sample) in samples.iter().enumerate() {
+                let stem = format!("{split}_{i:04}");
+                write_sample(dir, &stem, sample)?;
+                writeln!(
+                    index,
+                    "{split} {stem} category={} lighting={} seed={}",
+                    category_code(sample.category),
+                    sample.lighting,
+                    sample.seed
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a dataset previously written by [`RoadDataset::save_to_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LoadDatasetError`] on I/O failure, unreadable images or
+    /// a malformed index.
+    pub fn load_from_dir(dir: impl AsRef<Path>) -> Result<RoadDataset, LoadDatasetError> {
+        let dir = dir.as_ref();
+        let index = std::fs::read_to_string(dir.join("index.txt"))?;
+        let mut lines = index.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| LoadDatasetError::BadIndex("empty index".to_string()))?;
+        let mut config = DatasetConfig {
+            train_per_category: 0,
+            test_per_category: 0,
+            ..DatasetConfig::standard()
+        };
+        let mut header_fields = header.split_whitespace();
+        if header_fields.next() != Some("roadset-v1") {
+            return Err(LoadDatasetError::BadIndex(
+                "missing roadset-v1 header".to_string(),
+            ));
+        }
+        for field in header_fields {
+            let Some((key, value)) = field.split_once('=') else {
+                return Err(LoadDatasetError::BadIndex(format!("bad field {field:?}")));
+            };
+            let parse = |v: &str| {
+                v.parse::<usize>()
+                    .map_err(|_| LoadDatasetError::BadIndex(format!("bad integer {v:?}")))
+            };
+            match key {
+                "width" => config.width = parse(value)?,
+                "height" => config.height = parse(value)?,
+                "seed" => {
+                    config.seed = value
+                        .parse()
+                        .map_err(|_| LoadDatasetError::BadIndex(format!("bad seed {value:?}")))?;
+                }
+                _ => {}
+            }
+        }
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let split = parts
+                .next()
+                .ok_or_else(|| LoadDatasetError::BadIndex(format!("short line {line:?}")))?;
+            let stem = parts
+                .next()
+                .ok_or_else(|| LoadDatasetError::BadIndex(format!("short line {line:?}")))?;
+            let mut category = RoadCategory::UrbanMarked;
+            let mut lighting = "day";
+            let mut seed = 0u64;
+            for field in parts {
+                let Some((key, value)) = field.split_once('=') else {
+                    continue;
+                };
+                match key {
+                    "category" => {
+                        category = category_from_code(value).ok_or_else(|| {
+                            LoadDatasetError::BadIndex(format!("unknown category {value:?}"))
+                        })?;
+                    }
+                    "lighting" => lighting = lighting_name(value),
+                    "seed" => seed = value.parse().unwrap_or(0),
+                    _ => {}
+                }
+            }
+            let sample = read_sample(dir, stem, category, lighting, seed)?;
+            match split {
+                "train" => train.push(sample),
+                "test" => test.push(sample),
+                other => {
+                    return Err(LoadDatasetError::BadIndex(format!(
+                        "unknown split {other:?}"
+                    )))
+                }
+            }
+        }
+        // Per-category counts are derived, not stored; record the totals.
+        config.train_per_category = train.len() / RoadCategory::ALL.len().max(1);
+        config.test_per_category = test.len() / RoadCategory::ALL.len().max(1);
+        Ok(RoadDataset::from_parts(config, train, test))
+    }
+}
+
+fn write_sample(dir: &Path, stem: &str, sample: &Sample) -> io::Result<()> {
+    let (w, h) = (sample.width(), sample.height());
+    RgbImage::from_tensor(&sample.rgb).write_ppm(dir.join(format!("{stem}_rgb.ppm")))?;
+    GrayImage::from_raw(w, h, sample.depth.data().to_vec())
+        .write_pgm(dir.join(format!("{stem}_depth.pgm")))?;
+    GrayImage::from_raw(w, h, sample.gt.data().to_vec())
+        .write_pgm(dir.join(format!("{stem}_gt.pgm")))?;
+    Ok(())
+}
+
+fn read_sample(
+    dir: &Path,
+    stem: &str,
+    category: RoadCategory,
+    lighting: &'static str,
+    seed: u64,
+) -> Result<Sample, LoadDatasetError> {
+    let rgb_path = dir.join(format!("{stem}_rgb.ppm"));
+    let rgb = read_ppm(&rgb_path)
+        .map_err(|e| LoadDatasetError::Image(rgb_path.display().to_string(), e))?;
+    let depth_path = dir.join(format!("{stem}_depth.pgm"));
+    let depth = read_pgm(&depth_path)
+        .map_err(|e| LoadDatasetError::Image(depth_path.display().to_string(), e))?;
+    let gt_path = dir.join(format!("{stem}_gt.pgm"));
+    let gt = read_pgm(&gt_path)
+        .map_err(|e| LoadDatasetError::Image(gt_path.display().to_string(), e))?;
+    let (w, h) = (rgb.width(), rgb.height());
+    Ok(Sample {
+        rgb: rgb.to_tensor(),
+        depth: depth
+            .to_tensor()
+            .reshape(&[1, h, w])
+            .expect("depth is [H,W]"),
+        // Re-binarise: 8-bit quantisation may have produced 254/255.
+        gt: gt
+            .to_tensor()
+            .map(|v| f32::from(v > 0.5))
+            .reshape(&[1, h, w])
+            .expect("gt is [H,W]"),
+        category,
+        lighting,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_tiny_dataset() {
+        let dir = std::env::temp_dir().join("sf_dataset_storage_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let original = RoadDataset::generate(&DatasetConfig::tiny());
+        original.save_to_dir(&dir).unwrap();
+        let loaded = RoadDataset::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.train(None).len(), original.train(None).len());
+        assert_eq!(loaded.test(None).len(), original.test(None).len());
+        for (a, b) in loaded.train(None).iter().zip(original.train(None)) {
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.lighting, b.lighting);
+            assert_eq!(a.seed, b.seed);
+            // Ground truth is binary and survives 8-bit storage exactly.
+            assert_eq!(a.gt, b.gt);
+            // RGB/depth survive up to 8-bit quantisation.
+            let max_err = a.rgb.sub(&b.rgb).map(f32::abs).max();
+            assert!(max_err <= 1.0 / 255.0 + 1e-6, "rgb error {max_err}");
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn loaded_dataset_preserves_category_filters() {
+        let dir = std::env::temp_dir().join("sf_dataset_storage_cats");
+        let _ = std::fs::remove_dir_all(&dir);
+        let original = RoadDataset::generate(&DatasetConfig::tiny());
+        original.save_to_dir(&dir).unwrap();
+        let loaded = RoadDataset::load_from_dir(&dir).unwrap();
+        for category in RoadCategory::ALL {
+            assert_eq!(
+                loaded.train(Some(category)).len(),
+                original.train(Some(category)).len()
+            );
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_index_is_rejected() {
+        let dir = std::env::temp_dir().join("sf_dataset_storage_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("index.txt"), "not-a-roadset\n").unwrap();
+        assert!(matches!(
+            RoadDataset::load_from_dir(&dir),
+            Err(LoadDatasetError::BadIndex(_))
+        ));
+        std::fs::write(dir.join("index.txt"), "roadset-v1 width=48 height=16 seed=1\ntrain missing_frame category=UM lighting=day seed=2\n").unwrap();
+        assert!(matches!(
+            RoadDataset::load_from_dir(&dir),
+            Err(LoadDatasetError::Image(_, _))
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+        assert!(matches!(
+            RoadDataset::load_from_dir("/definitely/not/here"),
+            Err(LoadDatasetError::Io(_))
+        ));
+    }
+}

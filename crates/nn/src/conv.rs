@@ -1,0 +1,170 @@
+//! Convolution layer.
+
+use sf_autograd::{Graph, NodeId};
+use sf_tensor::{Conv2dSpec, Tensor, TensorRng};
+
+use crate::{Cost, Mode, Module, Param, Parameterized};
+
+/// A 2-D convolution layer with Kaiming-initialised weights.
+///
+/// # Examples
+///
+/// ```
+/// use sf_nn::{Conv2d, Parameterized};
+/// use sf_tensor::{Conv2dSpec, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// // The paper's Fusion-filter is exactly a bias-free 1×1 Conv2d.
+/// let mut ff = Conv2d::new(16, 16, 1, Conv2dSpec::default(), false, &mut rng);
+/// assert_eq!(ff.param_count(), 16 * 16);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    spec: Conv2dSpec,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_c`, `out_c`, `kernel` is zero.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        bias: bool,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(
+            in_c > 0 && out_c > 0 && kernel > 0,
+            "conv2d dimensions must be non-zero"
+        );
+        let weight = Param::new(
+            format!("conv{in_c}x{out_c}k{kernel}.weight"),
+            rng.kaiming(&[out_c, in_c, kernel, kernel]),
+        );
+        let bias = bias.then(|| {
+            Param::new(
+                format!("conv{in_c}x{out_c}k{kernel}.bias"),
+                Tensor::zeros(&[out_c]),
+            )
+        });
+        Conv2d {
+            weight,
+            bias,
+            spec,
+            in_c,
+            out_c,
+            kernel,
+        }
+    }
+
+    /// The layer's convolution geometry.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Direct access to the weight parameter (e.g. for weight sharing
+    /// diagnostics or serialization).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+}
+
+impl Parameterized for Conv2d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, g: &mut Graph, x: NodeId, _mode: Mode) -> NodeId {
+        let w = self.weight.bind(g);
+        let b = self.bias.as_mut().map(|p| p.bind(g));
+        g.conv2d(x, w, b, self.spec)
+    }
+
+    fn cost(&self, (c, h, w): (usize, usize, usize)) -> (Cost, (usize, usize, usize)) {
+        debug_assert_eq!(c, self.in_c, "cost: channel mismatch");
+        let oh = self.spec.out_size(h, self.kernel);
+        let ow = self.spec.out_size(w, self.kernel);
+        (
+            Cost::conv2d(
+                self.in_c,
+                self.out_c,
+                self.kernel,
+                oh,
+                ow,
+                self.bias.is_some(),
+            ),
+            (self.out_c, oh, ow),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_grads() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut conv = Conv2d::new(2, 5, 3, Conv2dSpec::same(3), true, &mut rng);
+        let mut g = Graph::new();
+        let x = g.leaf(rng.uniform(&[2, 2, 6, 6], -1.0, 1.0));
+        let y = conv.forward(&mut g, x, Mode::Train);
+        assert_eq!(g.value(y).shape(), &[2, 5, 6, 6]);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        conv.collect_grads(&g);
+        let mut nonzero = 0;
+        conv.visit_params(&mut |p| {
+            if p.grad.norm_sq() > 0.0 {
+                nonzero += 1;
+            }
+        });
+        assert_eq!(nonzero, 2); // weight and bias both received gradients
+    }
+
+    #[test]
+    fn cost_tracks_stride() {
+        let mut rng = TensorRng::seed_from(2);
+        let conv = Conv2d::new(4, 8, 3, Conv2dSpec::new(2, 1), false, &mut rng);
+        let (cost, out) = conv.cost((4, 16, 16));
+        assert_eq!(out, (8, 8, 8));
+        assert_eq!(cost.params, 8 * 4 * 9);
+        assert_eq!(cost.macs, (8 * 4 * 9) as u64 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_channels_panic() {
+        let mut rng = TensorRng::seed_from(3);
+        let _ = Conv2d::new(0, 4, 3, Conv2dSpec::same(3), false, &mut rng);
+    }
+}

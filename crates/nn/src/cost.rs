@@ -1,0 +1,151 @@
+//! Analytic computational-cost accounting (MACs and parameters).
+//!
+//! These are the quantities compared in Fig. 7 of the paper. They are
+//! computed from layer geometry, not measured, so they are exact and
+//! resolution-independent ratios hold at any scale.
+
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// Multiply–accumulate operations and scalar parameter count for one
+/// forward pass of a (sub-)network on a single image.
+///
+/// # Examples
+///
+/// ```
+/// use sf_nn::Cost;
+///
+/// let conv = Cost { macs: 1_000, params: 90 };
+/// let bn = Cost { macs: 100, params: 20 };
+/// let total = conv + bn;
+/// assert_eq!(total.macs, 1_100);
+/// assert_eq!(total.params, 110);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cost {
+    /// Multiply–accumulate operations per forward pass (single image).
+    pub macs: u64,
+    /// Number of scalar trainable parameters.
+    pub params: u64,
+}
+
+impl Cost {
+    /// Zero cost.
+    pub fn new() -> Self {
+        Cost::default()
+    }
+
+    /// Cost of a 2-D convolution: `O·C·KH·KW` parameters (+`O` bias) and
+    /// one MAC per parameter per output pixel.
+    pub fn conv2d(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        out_h: usize,
+        out_w: usize,
+        bias: bool,
+    ) -> Self {
+        let weights = (out_c * in_c * kernel * kernel) as u64;
+        let params = weights + if bias { out_c as u64 } else { 0 };
+        Cost {
+            macs: weights * (out_h * out_w) as u64,
+            params,
+        }
+    }
+
+    /// Cost of a batch-norm layer: 2·C parameters, 2 MACs per element
+    /// (scale and shift).
+    pub fn batch_norm(c: usize, h: usize, w: usize) -> Self {
+        Cost {
+            macs: 2 * (c * h * w) as u64,
+            params: 2 * c as u64,
+        }
+    }
+
+    /// Cost of a fully-connected layer.
+    pub fn linear(in_f: usize, out_f: usize, bias: bool) -> Self {
+        let weights = (in_f * out_f) as u64;
+        Cost {
+            macs: weights,
+            params: weights + if bias { out_f as u64 } else { 0 },
+        }
+    }
+
+    /// Millions of MACs, for human-readable reporting.
+    pub fn mmacs(&self) -> f64 {
+        self.macs as f64 / 1e6
+    }
+
+    /// Thousands of parameters, for human-readable reporting.
+    pub fn kparams(&self) -> f64 {
+        self.params as f64 / 1e3
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            macs: self.macs + rhs.macs,
+            params: self.params + rhs.params,
+        }
+    }
+}
+
+impl std::iter::Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::default(), Add::add)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} MMACs, {:.1} kParams",
+            self.mmacs(),
+            self.kparams()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_cost_formula() {
+        // 3→8 channels, 3×3 kernel, 10×10 output, with bias.
+        let c = Cost::conv2d(3, 8, 3, 10, 10, true);
+        assert_eq!(c.params, 8 * 3 * 9 + 8);
+        assert_eq!(c.macs, (8 * 3 * 9) as u64 * 100);
+        let nb = Cost::conv2d(3, 8, 3, 10, 10, false);
+        assert_eq!(nb.params, 8 * 3 * 9);
+    }
+
+    #[test]
+    fn one_by_one_fusion_filter_cost() {
+        // The paper's Fusion-filter: C→C channels with a 1×1 kernel.
+        let c = Cost::conv2d(16, 16, 1, 24, 48, false);
+        assert_eq!(c.params, 256);
+        assert_eq!(c.macs, 256 * 24 * 48);
+    }
+
+    #[test]
+    fn sums_and_display() {
+        let total: Cost = vec![
+            Cost::conv2d(1, 1, 1, 1, 1, false),
+            Cost::batch_norm(4, 2, 2),
+            Cost::linear(10, 5, true),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total.params, 1 + 8 + 55);
+        let s = total.to_string();
+        assert!(s.contains("MMACs"));
+        assert!(s.contains("kParams"));
+    }
+}

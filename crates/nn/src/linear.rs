@@ -1,0 +1,104 @@
+//! Fully-connected layer (used by the paper's Auxiliary Weight Network).
+
+use sf_autograd::{Graph, NodeId};
+use sf_tensor::{Tensor, TensorRng};
+
+use crate::{Cost, Mode, Module, Param, Parameterized};
+
+/// A fully-connected layer `y = x·Wᵀ + b` over `[N, in_features]` inputs.
+///
+/// The Auxiliary Weight Network of the paper (Fig. 4(c)) is a small stack
+/// of these on top of a global average pool.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    in_f: usize,
+    out_f: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_f == 0` or `out_f == 0`.
+    pub fn new(in_f: usize, out_f: usize, bias: bool, rng: &mut TensorRng) -> Self {
+        assert!(in_f > 0 && out_f > 0, "linear dimensions must be non-zero");
+        Linear {
+            weight: Param::new(
+                format!("fc{in_f}x{out_f}.weight"),
+                rng.kaiming(&[out_f, in_f]),
+            ),
+            bias: bias
+                .then(|| Param::new(format!("fc{in_f}x{out_f}.bias"), Tensor::zeros(&[out_f]))),
+            in_f,
+            out_f,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_f
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_f
+    }
+}
+
+impl Parameterized for Linear {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, g: &mut Graph, x: NodeId, _mode: Mode) -> NodeId {
+        let w = self.weight.bind(g);
+        let b = self.bias.as_mut().map(|p| p.bind(g));
+        g.linear(x, w, b)
+    }
+
+    fn cost(&self, (c, h, w): (usize, usize, usize)) -> (Cost, (usize, usize, usize)) {
+        debug_assert_eq!(c * h * w, self.in_f, "cost: feature mismatch");
+        (
+            Cost::linear(self.in_f, self.out_f, self.bias.is_some()),
+            (self.out_f, 1, 1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_grads() {
+        let mut rng = TensorRng::seed_from(6);
+        let mut fc = Linear::new(4, 2, true, &mut rng);
+        let mut g = Graph::new();
+        let x = g.leaf(rng.uniform(&[3, 4], -1.0, 1.0));
+        let y = fc.forward(&mut g, x, Mode::Train);
+        assert_eq!(g.value(y).shape(), &[3, 2]);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        fc.collect_grads(&g);
+        assert!(fc.weight.grad.norm_sq() > 0.0);
+        assert_eq!(fc.param_count(), 4 * 2 + 2);
+    }
+
+    #[test]
+    fn cost_shape() {
+        let mut rng = TensorRng::seed_from(7);
+        let fc = Linear::new(12, 5, false, &mut rng);
+        let (cost, out) = fc.cost((12, 1, 1));
+        assert_eq!(out, (5, 1, 1));
+        assert_eq!(cost.params, 60);
+        assert_eq!(cost.macs, 60);
+    }
+}

@@ -1,0 +1,318 @@
+//! The [`Module`] trait and the stateless / container layers.
+
+use sf_autograd::{Graph, NodeId};
+
+use crate::{Cost, Param};
+
+/// Whether a forward pass is part of training or inference.
+///
+/// Training mode uses batch statistics in [`crate::BatchNorm2d`] (and
+/// updates the running estimates); evaluation mode freezes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training: batch statistics, running-stat updates.
+    Train,
+    /// Inference: frozen running statistics.
+    #[default]
+    Eval,
+}
+
+impl Mode {
+    /// True in [`Mode::Train`].
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// Anything that owns trainable [`Param`]s.
+///
+/// Split out from [`Module`] so that networks with non-standard forward
+/// signatures (e.g. the two-input fusion networks) can still be driven by
+/// the optimizers.
+pub trait Parameterized {
+    /// Visits every trainable parameter (used by optimizers and
+    /// serialization).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every persistent non-trainable buffer (e.g. batch-norm
+    /// running statistics), in a stable order. The default visits
+    /// nothing.
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut sf_tensor::Tensor)) {
+        let _ = f;
+    }
+
+    /// Harvests gradients from `g` into every parameter.
+    fn collect_grads(&mut self, g: &Graph) {
+        self.visit_params(&mut |p| p.collect(g));
+    }
+
+    /// Zeroes all accumulated gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+}
+
+/// A neural-network layer that owns its parameters.
+///
+/// `forward` records the layer's computation on the supplied autodiff
+/// graph. Implementations bind their parameters via [`Param::bind`] so
+/// gradients can later be harvested with
+/// [`Parameterized::collect_grads`].
+pub trait Module: Parameterized {
+    /// Records the layer's forward computation on `g`.
+    fn forward(&mut self, g: &mut Graph, x: NodeId, mode: Mode) -> NodeId;
+
+    /// Analytic cost of one forward pass for a single `C×H×W` input:
+    /// multiply–accumulate count plus the output shape.
+    fn cost(&self, in_chw: (usize, usize, usize)) -> (Cost, (usize, usize, usize));
+}
+
+/// Rectified linear unit as a standalone layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu;
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu
+    }
+}
+
+impl Parameterized for Relu {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Module for Relu {
+    fn forward(&mut self, g: &mut Graph, x: NodeId, _mode: Mode) -> NodeId {
+        g.relu(x)
+    }
+
+    fn cost(&self, in_chw: (usize, usize, usize)) -> (Cost, (usize, usize, usize)) {
+        (Cost::default(), in_chw)
+    }
+}
+
+/// Max pooling layer.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with the given square kernel and stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d { kernel, stride }
+    }
+}
+
+impl Parameterized for MaxPool2d {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Module for MaxPool2d {
+    fn forward(&mut self, g: &mut Graph, x: NodeId, _mode: Mode) -> NodeId {
+        g.max_pool2d(x, self.kernel, self.stride)
+    }
+
+    fn cost(&self, (c, h, w): (usize, usize, usize)) -> (Cost, (usize, usize, usize)) {
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        (Cost::default(), (c, oh, ow))
+    }
+}
+
+/// Nearest-neighbour up-sampling layer.
+#[derive(Debug, Clone, Copy)]
+pub struct Upsample {
+    factor: usize,
+}
+
+impl Upsample {
+    /// Creates an up-sampling layer with an integer scale factor.
+    pub fn new(factor: usize) -> Self {
+        Upsample { factor }
+    }
+}
+
+impl Parameterized for Upsample {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Module for Upsample {
+    fn forward(&mut self, g: &mut Graph, x: NodeId, _mode: Mode) -> NodeId {
+        g.upsample_nearest2d(x, self.factor)
+    }
+
+    fn cost(&self, (c, h, w): (usize, usize, usize)) -> (Cost, (usize, usize, usize)) {
+        (Cost::default(), (c, h * self.factor, w * self.factor))
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+///
+/// Its [`Module::cost`] output shape collapses the spatial dimensions to
+/// `1×1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalAvgPool;
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool
+    }
+}
+
+impl Parameterized for GlobalAvgPool {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Module for GlobalAvgPool {
+    fn forward(&mut self, g: &mut Graph, x: NodeId, _mode: Mode) -> NodeId {
+        g.global_avg_pool(x)
+    }
+
+    fn cost(&self, (c, _h, _w): (usize, usize, usize)) -> (Cost, (usize, usize, usize)) {
+        (Cost::default(), (c, 1, 1))
+    }
+}
+
+/// An ordered container of boxed layers applied in sequence.
+///
+/// # Examples
+///
+/// ```
+/// use sf_nn::{Conv2d, MaxPool2d, Parameterized, Relu, Sequential};
+/// use sf_tensor::{Conv2dSpec, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(1);
+/// let mut stage = Sequential::new()
+///     .push(Conv2d::new(3, 8, 3, Conv2dSpec::same(3), false, &mut rng))
+///     .push(Relu::new())
+///     .push(MaxPool2d::new(2, 2));
+/// assert!(stage.param_count() > 0);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer, builder-style.
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers in the container.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Parameterized for Sequential {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut sf_tensor::Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&mut self, g: &mut Graph, x: NodeId, mode: Mode) -> NodeId {
+        self.layers
+            .iter_mut()
+            .fold(x, |cur, layer| layer.forward(g, cur, mode))
+    }
+
+    fn cost(&self, in_chw: (usize, usize, usize)) -> (Cost, (usize, usize, usize)) {
+        let mut total = Cost::default();
+        let mut shape = in_chw;
+        for layer in &self.layers {
+            let (c, s) = layer.cost(shape);
+            total = total + c;
+            shape = s;
+        }
+        (total, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Conv2d;
+    use sf_tensor::{Conv2dSpec, TensorRng};
+
+    #[test]
+    fn sequential_chains_shapes() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut seq = Sequential::new()
+            .push(Conv2d::new(3, 4, 3, Conv2dSpec::same(3), true, &mut rng))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2, 2));
+        let (cost, out) = seq.cost((3, 8, 8));
+        assert_eq!(out, (4, 4, 4));
+        assert!(cost.macs > 0);
+        assert_eq!(cost.params as usize, seq.param_count());
+
+        let mut g = Graph::new();
+        let x = g.leaf(rng.uniform(&[2, 3, 8, 8], -1.0, 1.0));
+        let y = seq.forward(&mut g, x, Mode::Train);
+        assert_eq!(g.value(y).shape(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn stateless_layers_have_no_params() {
+        let mut relu = Relu::new();
+        let mut pool = MaxPool2d::new(2, 2);
+        let mut up = Upsample::new(2);
+        let mut gap = GlobalAvgPool::new();
+        assert_eq!(relu.param_count(), 0);
+        assert_eq!(pool.param_count(), 0);
+        assert_eq!(up.param_count(), 0);
+        assert_eq!(gap.param_count(), 0);
+    }
+
+    #[test]
+    fn upsample_cost_scales_shape() {
+        let up = Upsample::new(3);
+        let (_, out) = up.cost((5, 4, 6));
+        assert_eq!(out, (5, 12, 18));
+    }
+
+    #[test]
+    fn mode_default_is_eval() {
+        assert_eq!(Mode::default(), Mode::Eval);
+        assert!(Mode::Train.is_train());
+        assert!(!Mode::Eval.is_train());
+    }
+}

@@ -1,0 +1,151 @@
+//! Batch normalisation layer with running statistics.
+
+use sf_autograd::{Graph, NodeId};
+use sf_tensor::Tensor;
+
+use crate::{Cost, Mode, Module, Param, Parameterized};
+
+/// 2-D batch normalisation over the channel axis of `NCHW` batches.
+///
+/// In [`Mode::Train`] the layer normalises with the batch's own statistics
+/// and updates exponential running estimates; in [`Mode::Eval`] it uses
+/// the frozen running estimates — matching the standard PyTorch
+/// `BatchNorm2d` semantics the paper's baseline relies on.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature channels with the
+    /// conventional defaults (`momentum = 0.1`, `eps = 1e-5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "batch norm requires at least one channel");
+        BatchNorm2d {
+            gamma: Param::new(format!("bn{channels}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("bn{channels}.beta"), Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+        }
+    }
+
+    /// The frozen running mean (for inspection/serialization).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// The frozen running variance (for inspection/serialization).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+}
+
+impl Parameterized for BatchNorm2d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, g: &mut Graph, x: NodeId, mode: Mode) -> NodeId {
+        let gamma = self.gamma.bind(g);
+        let beta = self.beta.bind(g);
+        match mode {
+            Mode::Train => {
+                let (y, mean, var) = g.batch_norm_train(x, gamma, beta, self.eps);
+                // Exponential moving update of the running statistics.
+                let m = self.momentum;
+                self.running_mean = self.running_mean.scale(1.0 - m).add(&mean.scale(m));
+                self.running_var = self.running_var.scale(1.0 - m).add(&var.scale(m));
+                y
+            }
+            Mode::Eval => g.batch_norm_infer(
+                x,
+                gamma,
+                beta,
+                &self.running_mean,
+                &self.running_var,
+                self.eps,
+            ),
+        }
+    }
+
+    fn cost(&self, (c, h, w): (usize, usize, usize)) -> (Cost, (usize, usize, usize)) {
+        debug_assert_eq!(c, self.channels, "cost: channel mismatch");
+        (Cost::batch_norm(c, h, w), (c, h, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_tensor::TensorRng;
+
+    #[test]
+    fn train_normalises_eval_freezes() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut bn = BatchNorm2d::new(2);
+        // Several training passes on shifted data to warm running stats.
+        for _ in 0..60 {
+            let mut g = Graph::new();
+            let x = g.leaf(rng.normal(&[8, 2, 4, 4], 5.0, 2.0));
+            let y = bn.forward(&mut g, x, Mode::Train);
+            let (m, v) = g.value(y).channel_mean_var().unwrap();
+            assert!(m.data().iter().all(|&x| x.abs() < 1e-3));
+            assert!(v.data().iter().all(|&x| (x - 1.0).abs() < 1e-2));
+        }
+        // Running stats should now approximate the data distribution.
+        for c in 0..2 {
+            assert!((bn.running_mean().at(&[c]) - 5.0).abs() < 0.5);
+            assert!((bn.running_var().at(&[c]) - 4.0).abs() < 1.5);
+        }
+        // Eval on the same distribution yields ~standardised output.
+        let mut g = Graph::new();
+        let x = g.leaf(rng.normal(&[8, 2, 4, 4], 5.0, 2.0));
+        let y = bn.forward(&mut g, x, Mode::Eval);
+        let (m, v) = g.value(y).channel_mean_var().unwrap();
+        for c in 0..2 {
+            assert!(m.at(&[c]).abs() < 0.3, "eval mean {}", m.at(&[c]));
+            assert!((v.at(&[c]) - 1.0).abs() < 0.5, "eval var {}", v.at(&[c]));
+        }
+    }
+
+    #[test]
+    fn eval_mode_does_not_touch_running_stats() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut bn = BatchNorm2d::new(1);
+        let before = bn.running_mean().clone();
+        let mut g = Graph::new();
+        let x = g.leaf(rng.normal(&[2, 1, 3, 3], 9.0, 1.0));
+        let _ = bn.forward(&mut g, x, Mode::Eval);
+        assert_eq!(bn.running_mean(), &before);
+    }
+
+    #[test]
+    fn params_are_gamma_beta() {
+        let mut bn = BatchNorm2d::new(7);
+        assert_eq!(bn.param_count(), 14);
+        let (cost, out) = bn.cost((7, 4, 4));
+        assert_eq!(out, (7, 4, 4));
+        assert_eq!(cost.params, 14);
+    }
+}

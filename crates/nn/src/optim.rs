@@ -1,0 +1,302 @@
+//! First-order optimizers.
+
+use crate::{Param, Parameterized};
+
+/// An optimizer that updates a module's parameters in place from their
+/// accumulated gradients, then zeroes the gradients.
+pub trait Optimizer {
+    /// Updates one parameter in place. Implementations may use
+    /// [`Param::opt_state_slots`] for per-parameter scratch state.
+    fn update(&mut self, param: &mut Param);
+
+    /// Applies [`Optimizer::update`] to every parameter of `module` and
+    /// resets all gradients.
+    fn step(&mut self, module: &mut (impl Parameterized + ?Sized))
+    where
+        Self: Sized,
+    {
+        module.visit_params(&mut |p| {
+            self.update(p);
+            p.zero_grad();
+        });
+    }
+}
+
+/// Stochastic gradient descent with classical momentum and optional L2
+/// weight decay.
+///
+/// # Examples
+///
+/// ```
+/// use sf_nn::Sgd;
+///
+/// let opt = Sgd::new(0.01).with_momentum(0.9).with_weight_decay(1e-4);
+/// assert_eq!(opt.learning_rate(), 0.01);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds decoupled-style L2 weight decay (added to the gradient).
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, param: &mut Param) {
+        let wd = self.weight_decay;
+        let grad = if wd > 0.0 {
+            param.grad.add(&param.value.scale(wd))
+        } else {
+            param.grad.clone()
+        };
+        if self.momentum > 0.0 {
+            let momentum = self.momentum;
+            let lr = self.lr;
+            let [velocity] = param.opt_state_slots(1) else {
+                unreachable!("requested exactly one slot");
+            };
+            // v ← μ·v + g; w ← w − lr·v
+            *velocity = velocity.scale(momentum).add(&grad);
+            let step = velocity.scale(-lr);
+            param.value.add_assign(&step);
+        } else {
+            param.value.axpy(-self.lr, &grad);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone, Copy)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults (`β₁ = 0.9`, `β₂ = 0.999`,
+    /// `ε = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Overrides the exponential decay rates.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Advances the shared timestep; called once per [`Optimizer::step`]
+    /// via the first parameter update.
+    fn bias_correction(&self) -> (f32, f32) {
+        let t = self.t.max(1) as i32;
+        (1.0 - self.beta1.powi(t), 1.0 - self.beta2.powi(t))
+    }
+}
+
+impl Optimizer for Adam {
+    fn update(&mut self, param: &mut Param) {
+        // Each call may belong to the same logical step; the timestep is
+        // advanced lazily per step() via a marker: we advance when the
+        // first parameter of a step is seen. Simplest correct scheme:
+        // advance per update and correct with the per-parameter t would
+        // drift, so we advance once per step() instead.
+        let (b1, b2) = (self.beta1, self.beta2);
+        let (c1, c2) = self.bias_correction();
+        let lr = self.lr;
+        let eps = self.eps;
+        let grad = param.grad.clone();
+        let [m, v] = param.opt_state_slots(2) else {
+            unreachable!("requested exactly two slots");
+        };
+        *m = m.scale(b1).add(&grad.scale(1.0 - b1));
+        *v = v.scale(b2).add(&grad.mul(&grad).scale(1.0 - b2));
+        let m_hat = m.scale(1.0 / c1);
+        let v_hat = v.scale(1.0 / c2);
+        let step = m_hat.zip_map(&v_hat, |m, v| -lr * m / (v.sqrt() + eps));
+        param.value.add_assign(&step);
+    }
+
+    fn step(&mut self, module: &mut (impl Parameterized + ?Sized))
+    where
+        Self: Sized,
+    {
+        self.t += 1;
+        module.visit_params(&mut |p| {
+            self.update(p);
+            p.zero_grad();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Mode, Module};
+    use sf_autograd::Graph;
+    use sf_tensor::{Tensor, TensorRng};
+
+    /// Minimises f(w) = mean((w - target)²) with the given optimizer.
+    fn converges<O: Optimizer>(mut opt: O, steps: usize) -> f32 {
+        let mut rng = TensorRng::seed_from(8);
+        let target = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[4]).unwrap();
+        let mut param = Param::new("w", rng.uniform(&[4], -0.5, 0.5));
+        struct One(Param);
+        impl Parameterized for One {
+            fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+                f(&mut self.0)
+            }
+        }
+        impl Module for One {
+            fn forward(
+                &mut self,
+                g: &mut Graph,
+                _x: sf_autograd::NodeId,
+                _m: Mode,
+            ) -> sf_autograd::NodeId {
+                self.0.bind(g)
+            }
+            fn cost(&self, s: (usize, usize, usize)) -> (crate::Cost, (usize, usize, usize)) {
+                (crate::Cost::default(), s)
+            }
+        }
+        let mut module = One(param.clone());
+        let mut last = f32::INFINITY;
+        for _ in 0..steps {
+            let mut g = Graph::new();
+            let dummy = g.leaf(Tensor::scalar(0.0));
+            let w = module.forward(&mut g, dummy, Mode::Train);
+            let t = g.leaf(target.clone());
+            let loss = g.mse(w, t);
+            last = g.value(loss).at(&[]);
+            g.backward(loss);
+            module.collect_grads(&g);
+            opt.step(&mut module);
+        }
+        param = module.0;
+        let _ = &param;
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(converges(Sgd::new(0.5), 100) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        assert!(converges(Sgd::new(0.2).with_momentum(0.9), 100) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(converges(Adam::new(0.2), 200) < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = Param::new("w", Tensor::full(&[3], 10.0));
+        // Zero gradient: only decay acts.
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        opt.update(&mut p);
+        assert!(p.value.data().iter().all(|&v| v < 10.0));
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut rng = TensorRng::seed_from(9);
+        let mut fc = Linear::new(3, 2, true, &mut rng);
+        let mut g = Graph::new();
+        let x = g.leaf(rng.uniform(&[2, 3], -1.0, 1.0));
+        let y = fc.forward(&mut g, x, Mode::Train);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        fc.collect_grads(&g);
+        let mut any_nonzero = false;
+        fc.visit_params(&mut |p| any_nonzero |= p.grad.norm_sq() > 0.0);
+        assert!(any_nonzero);
+        Sgd::new(0.1).step(&mut fc);
+        fc.visit_params(&mut |p| assert_eq!(p.grad.norm_sq(), 0.0));
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step_magnitude() {
+        // With bias correction, the very first Adam step has magnitude ≈ lr.
+        let mut p = Param::new("w", Tensor::zeros(&[1]));
+        p.grad = Tensor::from_vec(vec![0.3], &[1]).unwrap();
+        struct One(Param);
+        impl Parameterized for One {
+            fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+                f(&mut self.0)
+            }
+        }
+        impl Module for One {
+            fn forward(
+                &mut self,
+                g: &mut Graph,
+                _x: sf_autograd::NodeId,
+                _m: Mode,
+            ) -> sf_autograd::NodeId {
+                self.0.bind(g)
+            }
+            fn cost(&self, s: (usize, usize, usize)) -> (crate::Cost, (usize, usize, usize)) {
+                (crate::Cost::default(), s)
+            }
+        }
+        let mut m = One(p);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut m);
+        assert!((m.0.value.data()[0].abs() - 0.01).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Trainable parameters.
+
+use sf_autograd::{Graph, NodeId};
+use sf_tensor::Tensor;
+
+/// A named, trainable tensor with its accumulated gradient and optimizer
+/// state.
+///
+/// The lifecycle per training step is:
+/// 1. [`Param::bind`] pushes the value onto the step's [`Graph`] and
+///    remembers the node id;
+/// 2. after `Graph::backward`, [`Param::collect`] pulls the node's
+///    gradient into [`Param::grad`] (accumulating);
+/// 3. an [`crate::Optimizer`] consumes `grad` to update `value`, then
+///    [`Param::zero_grad`] resets it.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Diagnostic name, e.g. `"enc1.conv.weight"`.
+    pub name: String,
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Optimizer scratch slots (velocity, first/second moments, …).
+    pub opt_state: Vec<Tensor>,
+    /// Bindings as `(graph_id, node)` pairs; stale entries from graphs
+    /// that were never back-propagated are dropped by [`Param::collect`].
+    nodes: Vec<(u64, NodeId)>,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            opt_state: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Pushes the current value onto `g` as a gradient-tracked node and
+    /// remembers the id for [`Param::collect`].
+    ///
+    /// A parameter may be bound several times per forward pass — that is
+    /// how weight sharing works (the paper's Layer-sharing binds one
+    /// filter set into both network branches); each binding's gradient is
+    /// accumulated by [`Param::collect`].
+    pub fn bind(&mut self, g: &mut Graph) -> NodeId {
+        let id = g.param(self.value.clone());
+        self.nodes.push((g.id(), id));
+        id
+    }
+
+    /// Accumulates the gradients of every node bound on *this* graph into
+    /// [`Param::grad`] and clears all bindings — including stale ones
+    /// from other graphs (e.g. inference passes that never ran
+    /// `backward`). A no-op if the parameter was never bound or received
+    /// no gradient.
+    pub fn collect(&mut self, g: &Graph) {
+        for (graph_id, id) in self.nodes.drain(..) {
+            if graph_id != g.id() {
+                continue;
+            }
+            if let Some(grad) = g.grad(id) {
+                self.grad.add_assign(grad);
+            }
+        }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Ensures `opt_state` has at least `slots` zero tensors shaped like
+    /// the parameter, returning mutable access to them.
+    pub fn opt_state_slots(&mut self, slots: usize) -> &mut [Tensor] {
+        while self.opt_state.len() < slots {
+            self.opt_state.push(Tensor::zeros(self.value.shape()));
+        }
+        &mut self.opt_state[..slots]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_collect_cycle() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![2.0], &[1]).unwrap());
+        let mut g = Graph::new();
+        let id = p.bind(&mut g);
+        let y = g.mul(id, id);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        p.collect(&g);
+        assert_eq!(p.grad.data(), &[4.0]);
+        // Collect again without bind: no change.
+        p.collect(&g);
+        assert_eq!(p.grad.data(), &[4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0]);
+    }
+
+    #[test]
+    fn grads_accumulate_across_steps() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        for _ in 0..3 {
+            let mut g = Graph::new();
+            let id = p.bind(&mut g);
+            let loss = g.sum_all(id);
+            g.backward(loss);
+            p.collect(&g);
+        }
+        assert_eq!(p.grad.data(), &[3.0]);
+    }
+
+    #[test]
+    fn shared_binding_accumulates_both_paths() {
+        // Bind the same parameter twice (weight sharing): the collected
+        // gradient must be the sum of both uses.
+        let mut p = Param::new("w", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let mut g = Graph::new();
+        let a = p.bind(&mut g);
+        let b = p.bind(&mut g);
+        let ya = g.scale(a, 2.0);
+        let yb = g.scale(b, 3.0);
+        let sum = g.add(ya, yb);
+        let loss = g.sum_all(sum);
+        g.backward(loss);
+        p.collect(&g);
+        assert_eq!(p.grad.data(), &[5.0]);
+    }
+
+    #[test]
+    fn opt_state_slots_lazy_init() {
+        let mut p = Param::new("w", Tensor::zeros(&[2, 2]));
+        assert!(p.opt_state.is_empty());
+        let slots = p.opt_state_slots(2);
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].shape(), &[2, 2]);
+        slots[1].fill(7.0);
+        assert_eq!(p.opt_state_slots(2)[1].data()[0], 7.0);
+    }
+}

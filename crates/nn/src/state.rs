@@ -1,0 +1,380 @@
+//! Model checkpointing: positional serialization of parameters and
+//! persistent buffers (batch-norm running statistics) to a compact,
+//! self-describing binary format.
+//!
+//! The format is positional — tensors are stored in `visit_params` /
+//! `visit_buffers` order — so loading requires an identically constructed
+//! module. A magic header, a version byte and per-tensor shape checks
+//! guard against loading a checkpoint into the wrong architecture.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sf_tensor::Tensor;
+
+use crate::{Param, Parameterized};
+
+const MAGIC: &[u8; 4] = b"SFM1";
+const VERSION: u8 = 1;
+
+/// Errors produced while loading a checkpoint.
+#[derive(Debug)]
+pub enum LoadStateError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The checkpoint holds a different number of tensors than the model.
+    CountMismatch {
+        /// Tensors in the checkpoint.
+        stored: usize,
+        /// Tensors the model expects.
+        expected: usize,
+    },
+    /// A tensor's shape disagrees with the model's parameter.
+    ShapeMismatch {
+        /// Position in visit order.
+        index: usize,
+        /// Shape in the checkpoint.
+        stored: Vec<usize>,
+        /// Shape the model expects.
+        expected: Vec<usize>,
+    },
+    /// The file ended before all tensors were read.
+    Truncated,
+    /// The payload contains implausible metadata (corrupted file).
+    Corrupted(String),
+}
+
+impl std::fmt::Display for LoadStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadStateError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadStateError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            LoadStateError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            LoadStateError::CountMismatch { stored, expected } => write!(
+                f,
+                "checkpoint holds {stored} tensors but the model expects {expected}"
+            ),
+            LoadStateError::ShapeMismatch {
+                index,
+                stored,
+                expected,
+            } => write!(
+                f,
+                "tensor {index}: checkpoint shape {stored:?} vs model shape {expected:?}"
+            ),
+            LoadStateError::Truncated => write!(f, "checkpoint file is truncated"),
+            LoadStateError::Corrupted(what) => write!(f, "corrupted checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadStateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadStateError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadStateError {
+    fn from(e: io::Error) -> Self {
+        LoadStateError::Io(e)
+    }
+}
+
+/// Extension trait giving every [`Parameterized`] thing binary
+/// checkpointing over its parameters and persistent buffers
+/// ([`Parameterized::visit_buffers`]). Blanket-implemented — bring the
+/// trait into scope and call [`Stateful::save_state_to`] /
+/// [`Stateful::load_state_from`].
+pub trait Stateful: Parameterized {
+    /// Collects all state tensors (parameters then buffers), cloned, in
+    /// visit order.
+    fn state_tensors(&mut self) -> Vec<Tensor> {
+        let mut tensors = Vec::new();
+        self.visit_params(&mut |p: &mut Param| tensors.push(p.value.clone()));
+        self.visit_buffers(&mut |b| tensors.push(b.clone()));
+        tensors
+    }
+
+    /// Serialises all state to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    fn save_state<W: Write>(&mut self, mut w: W) -> io::Result<()>
+    where
+        Self: Sized,
+    {
+        let tensors = self.state_tensors();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32_le(tensors.len() as u32);
+        for t in &tensors {
+            buf.put_u8(t.rank() as u8);
+            for &d in t.shape() {
+                buf.put_u32_le(d as u32);
+            }
+            for &v in t.data() {
+                buf.put_f32_le(v);
+            }
+        }
+        w.write_all(&buf)
+    }
+
+    /// Restores all state from a reader, verifying shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LoadStateError`] on I/O failure, bad header, or any
+    /// count/shape mismatch (in which case the model may be partially
+    /// updated — reload or rebuild before use).
+    fn load_state<R: Read>(&mut self, mut r: R) -> Result<(), LoadStateError>
+    where
+        Self: Sized,
+    {
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw)?;
+        let mut buf = Bytes::from(raw);
+        if buf.remaining() < 9 {
+            return Err(LoadStateError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(LoadStateError::BadMagic);
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(LoadStateError::BadVersion(version));
+        }
+        let stored = buf.get_u32_le() as usize;
+        let expected = {
+            let mut n = 0usize;
+            self.visit_params(&mut |_| n += 1);
+            let mut b = 0usize;
+            self.visit_buffers(&mut |_| b += 1);
+            n + b
+        };
+        if stored != expected {
+            return Err(LoadStateError::CountMismatch { stored, expected });
+        }
+        let mut tensors = Vec::with_capacity(stored);
+        for _ in 0..stored {
+            if buf.remaining() < 1 {
+                return Err(LoadStateError::Truncated);
+            }
+            let rank = buf.get_u8() as usize;
+            if rank > 8 {
+                return Err(LoadStateError::Corrupted(format!("tensor rank {rank}")));
+            }
+            if buf.remaining() < rank * 4 {
+                return Err(LoadStateError::Truncated);
+            }
+            let shape: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+            let numel = shape
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                .filter(|&n| n <= buf.remaining() / 4 + 1)
+                .ok_or_else(|| LoadStateError::Corrupted(format!("tensor shape {shape:?}")))?;
+            if buf.remaining() < numel * 4 {
+                return Err(LoadStateError::Truncated);
+            }
+            let data: Vec<f32> = (0..numel).map(|_| buf.get_f32_le()).collect();
+            tensors.push(Tensor::from_vec(data, &shape).expect("length matches by construction"));
+        }
+        // Verify every shape before mutating anything.
+        let mut index = 0usize;
+        let mut mismatch: Option<LoadStateError> = None;
+        self.visit_params(&mut |p: &mut Param| {
+            if mismatch.is_none() && tensors[index].shape() != p.value.shape() {
+                mismatch = Some(LoadStateError::ShapeMismatch {
+                    index,
+                    stored: tensors[index].shape().to_vec(),
+                    expected: p.value.shape().to_vec(),
+                });
+            }
+            index += 1;
+        });
+        self.visit_buffers(&mut |b| {
+            if mismatch.is_none() && tensors[index].shape() != b.shape() {
+                mismatch = Some(LoadStateError::ShapeMismatch {
+                    index,
+                    stored: tensors[index].shape().to_vec(),
+                    expected: b.shape().to_vec(),
+                });
+            }
+            index += 1;
+        });
+        if let Some(e) = mismatch {
+            return Err(e);
+        }
+        // Apply.
+        let mut index = 0usize;
+        self.visit_params(&mut |p: &mut Param| {
+            p.value = tensors[index].clone();
+            index += 1;
+        });
+        self.visit_buffers(&mut |b| {
+            *b = tensors[index].clone();
+            index += 1;
+        });
+        Ok(())
+    }
+
+    /// Saves the state to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn save_state_to(&mut self, path: impl AsRef<Path>) -> io::Result<()>
+    where
+        Self: Sized,
+    {
+        let file = std::fs::File::create(path)?;
+        self.save_state(io::BufWriter::new(file))
+    }
+
+    /// Loads the state from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LoadStateError`] on I/O failure or format mismatch.
+    fn load_state_from(&mut self, path: impl AsRef<Path>) -> Result<(), LoadStateError>
+    where
+        Self: Sized,
+    {
+        let file = std::fs::File::open(path)?;
+        self.load_state(io::BufReader::new(file))
+    }
+}
+
+impl<T: Parameterized> Stateful for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchNorm2d, Conv2d, Linear, Mode, Module};
+    use sf_autograd::Graph;
+    use sf_tensor::{Conv2dSpec, TensorRng};
+
+    #[test]
+    fn linear_round_trips() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut a = Linear::new(4, 3, true, &mut rng);
+        let mut b = Linear::new(4, 3, true, &mut rng); // different init
+        let mut bytes = Vec::new();
+        a.save_state(&mut bytes).unwrap();
+        b.load_state(&bytes[..]).unwrap();
+        assert_eq!(a.state_tensors(), b.state_tensors());
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut fc = Linear::new(2, 2, false, &mut rng);
+        assert!(matches!(
+            fc.load_state(&b"NOPE"[..]),
+            Err(LoadStateError::Truncated)
+        ));
+        assert!(matches!(
+            fc.load_state(&b"NOPExxxxx"[..]),
+            Err(LoadStateError::BadMagic)
+        ));
+        let mut good = Vec::new();
+        fc.save_state(&mut good).unwrap();
+        let mut wrong_version = good.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(
+            fc.load_state(&wrong_version[..]),
+            Err(LoadStateError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected_before_mutation() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut small = Linear::new(2, 2, false, &mut rng);
+        let mut big = Linear::new(3, 3, false, &mut rng);
+        let mut bytes = Vec::new();
+        small.save_state(&mut bytes).unwrap();
+        let before = big.state_tensors();
+        let err = big.load_state(&bytes[..]).unwrap_err();
+        assert!(matches!(err, LoadStateError::ShapeMismatch { .. }));
+        assert_eq!(big.state_tensors(), before, "model must be untouched");
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut fc = Linear::new(4, 4, true, &mut rng);
+        let mut bytes = Vec::new();
+        fc.save_state(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(
+            fc.load_state(&bytes[..]),
+            Err(LoadStateError::Truncated)
+        ));
+    }
+
+    /// A conv+bn mini-model exposing its batch-norm buffers.
+    struct MiniModel {
+        conv: Conv2d,
+        bn: BatchNorm2d,
+    }
+
+    impl Parameterized for MiniModel {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            self.conv.visit_params(f);
+            self.bn.visit_params(f);
+        }
+
+        fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+            self.bn.visit_buffers(f);
+        }
+    }
+
+    #[test]
+    fn batch_norm_running_stats_round_trip() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut trained = MiniModel {
+            conv: Conv2d::new(1, 2, 3, Conv2dSpec::same(3), false, &mut rng),
+            bn: BatchNorm2d::new(2),
+        };
+        // Warm the running stats.
+        for _ in 0..5 {
+            let mut g = Graph::new();
+            let x = g.leaf(rng.normal(&[4, 1, 6, 6], 3.0, 2.0));
+            let c = trained.conv.forward(&mut g, x, Mode::Train);
+            let _ = trained.bn.forward(&mut g, c, Mode::Train);
+        }
+        let mut bytes = Vec::new();
+        trained.save_state(&mut bytes).unwrap();
+
+        let mut fresh = MiniModel {
+            conv: Conv2d::new(1, 2, 3, Conv2dSpec::same(3), false, &mut rng),
+            bn: BatchNorm2d::new(2),
+        };
+        fresh.load_state(&bytes[..]).unwrap();
+        assert_eq!(fresh.bn.running_mean(), trained.bn.running_mean());
+        assert_eq!(fresh.bn.running_var(), trained.bn.running_var());
+
+        // Identical inference behaviour on the same input.
+        let x0 = rng.normal(&[1, 1, 6, 6], 3.0, 2.0);
+        let infer = |m: &mut MiniModel| {
+            let mut g = Graph::new();
+            let x = g.leaf(x0.clone());
+            let c = m.conv.forward(&mut g, x, Mode::Eval);
+            let y = m.bn.forward(&mut g, c, Mode::Eval);
+            g.value(y).clone()
+        };
+        assert_eq!(infer(&mut trained), infer(&mut fresh));
+    }
+}

@@ -1,0 +1,157 @@
+//! Pinhole camera model shared by the RGB renderer, the ground-truth
+//! renderer and the LiDAR-to-depth projection.
+
+use crate::geometry::{Ray, Vec3};
+
+/// A forward-looking pinhole camera.
+///
+/// The camera sits at a fixed ego pose (KITTI mounts its camera ~1.65 m
+/// above the road) looking straight down +z with a slight downward pitch
+/// so the road occupies the lower image half.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinholeCamera {
+    width: usize,
+    height: usize,
+    /// Focal length in pixel units (same for x and y).
+    focal: f32,
+    /// Optical centre in pixel coordinates.
+    cx: f32,
+    cy: f32,
+    /// Camera origin in world coordinates.
+    position: Vec3,
+    /// Downward pitch in radians (positive looks down).
+    pitch: f32,
+}
+
+impl PinholeCamera {
+    /// Creates a camera with a KITTI-like geometry for the given image
+    /// resolution: ~90° horizontal field of view, mounted 1.65 m high
+    /// with a gentle downward pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn kitti_like(width: usize, height: usize) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "camera resolution must be non-zero"
+        );
+        let focal = width as f32 / 2.0; // 90° horizontal FoV
+        PinholeCamera {
+            width,
+            height,
+            focal,
+            cx: width as f32 / 2.0,
+            cy: height as f32 * 0.45,
+            position: Vec3::new(0.0, 1.65, 0.0),
+            pitch: 0.06,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// World-space camera origin.
+    pub fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    /// The viewing ray through pixel centre `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pixel is out of bounds.
+    pub fn pixel_ray(&self, u: usize, v: usize) -> Ray {
+        assert!(u < self.width && v < self.height, "pixel out of bounds");
+        let x = (u as f32 + 0.5 - self.cx) / self.focal;
+        let y = -(v as f32 + 0.5 - self.cy) / self.focal;
+        // Apply pitch: rotate the direction about the x axis.
+        let (s, c) = self.pitch.sin_cos();
+        let dir = Vec3::new(x, y * c - s, y * s + c);
+        Ray::new(self.position, dir)
+    }
+
+    /// Projects a world point into pixel coordinates plus camera-frame
+    /// depth, or `None` if the point is behind the camera or outside the
+    /// image.
+    pub fn project(&self, p: Vec3) -> Option<(usize, usize, f32)> {
+        let rel = p - self.position;
+        // Inverse pitch rotation.
+        let (s, c) = self.pitch.sin_cos();
+        let y = rel.y * c + rel.z * s;
+        let z = -rel.y * s + rel.z * c;
+        if z <= 1e-3 {
+            return None;
+        }
+        let u = self.cx + self.focal * rel.x / z - 0.5;
+        let v = self.cy - self.focal * y / z - 0.5;
+        let (ur, vr) = (u.round(), v.round());
+        if ur < 0.0 || vr < 0.0 || ur >= self.width as f32 || vr >= self.height as f32 {
+            return None;
+        }
+        Some((ur as usize, vr as usize, z))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centre_pixel_looks_roughly_forward() {
+        let cam = PinholeCamera::kitti_like(96, 32);
+        let ray = cam.pixel_ray(48, 14);
+        assert!(ray.direction.z > 0.9);
+        assert!(ray.direction.x.abs() < 0.1);
+    }
+
+    #[test]
+    fn bottom_pixels_hit_the_road_close_by() {
+        let cam = PinholeCamera::kitti_like(96, 32);
+        let ray = cam.pixel_ray(48, 31);
+        let t = ray.hit_ground(0.0).expect("bottom ray must hit the ground");
+        let p = ray.at(t);
+        assert!(p.z > 0.0 && p.z < 15.0, "ground hit at z = {}", p.z);
+    }
+
+    #[test]
+    fn top_pixels_look_at_the_sky() {
+        let cam = PinholeCamera::kitti_like(96, 32);
+        let ray = cam.pixel_ray(48, 0);
+        assert!(ray.hit_ground(0.0).is_none());
+    }
+
+    #[test]
+    fn project_inverts_pixel_ray() {
+        let cam = PinholeCamera::kitti_like(128, 48);
+        for &(u, v) in &[(10usize, 40usize), (64, 30), (120, 47)] {
+            let ray = cam.pixel_ray(u, v);
+            if let Some(t) = ray.hit_ground(0.0) {
+                let p = ray.at(t);
+                let (pu, pv, depth) = cam.project(p).expect("visible ground point projects");
+                assert!(pu.abs_diff(u) <= 1, "u: {pu} vs {u}");
+                assert!(pv.abs_diff(v) <= 1, "v: {pv} vs {v}");
+                assert!(depth > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn behind_camera_does_not_project() {
+        let cam = PinholeCamera::kitti_like(64, 32);
+        assert!(cam.project(Vec3::new(0.0, 1.0, -5.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_resolution_panics() {
+        let _ = PinholeCamera::kitti_like(0, 32);
+    }
+}

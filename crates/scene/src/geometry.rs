@@ -1,0 +1,301 @@
+//! Minimal 3-D geometry: vectors, rays and analytic intersections.
+//!
+//! Coordinate frame: `x` right, `y` up, `z` forward (driving direction).
+//! Units are metres.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-D vector / point in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// Lateral (right-positive) coordinate.
+    pub x: f32,
+    /// Vertical (up-positive) coordinate.
+    pub y: f32,
+    /// Longitudinal (forward-positive) coordinate.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// Creates a vector from components.
+    pub fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Vec3::default()
+    }
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the vector is (near-)zero.
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        debug_assert!(len > 1e-12, "cannot normalise a zero vector");
+        self * (1.0 / len)
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, k: f32) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        self * -1.0
+    }
+}
+
+/// A half-line `origin + t·direction`, `t ≥ 0`, with unit direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Start point.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub direction: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray, normalising the direction.
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        Ray {
+            origin,
+            direction: direction.normalized(),
+        }
+    }
+
+    /// Point at parameter `t`.
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Intersection parameter with the horizontal plane `y = height`, if
+    /// the ray crosses it going forward.
+    pub fn hit_ground(&self, height: f32) -> Option<f32> {
+        if self.direction.y.abs() < 1e-9 {
+            return None;
+        }
+        let t = (height - self.origin.y) / self.direction.y;
+        (t > 1e-6).then_some(t)
+    }
+}
+
+/// An axis-aligned box (cars, buildings, walls).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (reordered per axis).
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb {
+            min: Vec3::new(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z)),
+            max: Vec3::new(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z)),
+        }
+    }
+
+    /// Slab-test intersection: entry parameter and outward surface normal,
+    /// if the ray hits.
+    pub fn hit(&self, ray: &Ray) -> Option<(f32, Vec3)> {
+        let mut t_near = f32::NEG_INFINITY;
+        let mut t_far = f32::INFINITY;
+        let mut axis = 0usize;
+        let o = [ray.origin.x, ray.origin.y, ray.origin.z];
+        let d = [ray.direction.x, ray.direction.y, ray.direction.z];
+        let lo = [self.min.x, self.min.y, self.min.z];
+        let hi = [self.max.x, self.max.y, self.max.z];
+        for i in 0..3 {
+            if d[i].abs() < 1e-9 {
+                if o[i] < lo[i] || o[i] > hi[i] {
+                    return None;
+                }
+                continue;
+            }
+            let inv = 1.0 / d[i];
+            let (mut t0, mut t1) = ((lo[i] - o[i]) * inv, (hi[i] - o[i]) * inv);
+            if t0 > t1 {
+                std::mem::swap(&mut t0, &mut t1);
+            }
+            if t0 > t_near {
+                t_near = t0;
+                axis = i;
+            }
+            t_far = t_far.min(t1);
+            if t_near > t_far {
+                return None;
+            }
+        }
+        if t_near <= 1e-6 {
+            return None; // inside or behind
+        }
+        let sign = if d[axis] > 0.0 { -1.0 } else { 1.0 };
+        let mut n = [0.0f32; 3];
+        n[axis] = sign;
+        Some((t_near, Vec3::new(n[0], n[1], n[2])))
+    }
+}
+
+/// An upright (y-axis-aligned) finite cylinder (poles, trunks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerticalCylinder {
+    /// Axis position on the ground plane.
+    pub center: Vec3,
+    /// Radius in metres.
+    pub radius: f32,
+    /// Height above `center.y`.
+    pub height: f32,
+}
+
+impl VerticalCylinder {
+    /// Intersection parameter and outward normal, if hit on the side wall
+    /// within the height range.
+    pub fn hit(&self, ray: &Ray) -> Option<(f32, Vec3)> {
+        let ox = ray.origin.x - self.center.x;
+        let oz = ray.origin.z - self.center.z;
+        let dx = ray.direction.x;
+        let dz = ray.direction.z;
+        let a = dx * dx + dz * dz;
+        if a < 1e-12 {
+            return None;
+        }
+        let b = 2.0 * (ox * dx + oz * dz);
+        let c = ox * ox + oz * oz - self.radius * self.radius;
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_disc = disc.sqrt();
+        for t in [(-b - sqrt_disc) / (2.0 * a), (-b + sqrt_disc) / (2.0 * a)] {
+            if t > 1e-6 {
+                let p = ray.at(t);
+                if p.y >= self.center.y && p.y <= self.center.y + self.height {
+                    let n = Vec3::new(p.x - self.center.x, 0.0, p.z - self.center.z).normalized();
+                    return Some((t, n));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(b), -1.0 + 2.0 * 0.5 + 3.0 * 2.0);
+        let unit = Vec3::new(0.0, 3.0, 4.0).normalized();
+        assert!((unit.length() - 1.0).abs() < 1e-6);
+        // Cross product is orthogonal to both operands.
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-5);
+        assert!(c.dot(b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ground_intersection() {
+        let ray = Ray::new(Vec3::new(0.0, 1.6, 0.0), Vec3::new(0.0, -1.0, 1.0));
+        let t = ray.hit_ground(0.0).unwrap();
+        let p = ray.at(t);
+        assert!(p.y.abs() < 1e-5);
+        assert!((p.z - 1.6).abs() < 1e-5);
+        // Ray looking up never hits the ground.
+        let up = Ray::new(Vec3::new(0.0, 1.6, 0.0), Vec3::new(0.0, 1.0, 1.0));
+        assert!(up.hit_ground(0.0).is_none());
+        // Horizontal ray at ground level: parallel, no hit.
+        let flat = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(flat.hit_ground(0.0).is_none());
+    }
+
+    #[test]
+    fn aabb_frontal_hit_and_normal() {
+        let b = Aabb::new(Vec3::new(-1.0, 0.0, 5.0), Vec3::new(1.0, 2.0, 7.0));
+        let ray = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        let (t, n) = b.hit(&ray).unwrap();
+        assert!((t - 5.0).abs() < 1e-5);
+        assert_eq!(n, Vec3::new(0.0, 0.0, -1.0));
+        // A ray that misses laterally.
+        let miss = Ray::new(Vec3::new(3.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(b.hit(&miss).is_none());
+        // A ray pointing away.
+        let away = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(b.hit(&away).is_none());
+    }
+
+    #[test]
+    fn cylinder_hit_within_height_only() {
+        let cyl = VerticalCylinder {
+            center: Vec3::new(0.0, 0.0, 10.0),
+            radius: 0.5,
+            height: 3.0,
+        };
+        let hit = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        let (t, n) = cyl.hit(&hit).unwrap();
+        assert!((t - 9.5).abs() < 1e-4);
+        assert!((n.z + 1.0).abs() < 1e-4);
+        // Above the cylinder top: miss.
+        let over = Ray::new(Vec3::new(0.0, 5.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(cyl.hit(&over).is_none());
+        // Lateral miss.
+        let side = Ray::new(Vec3::new(2.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(cyl.hit(&side).is_none());
+    }
+
+    #[test]
+    fn aabb_corners_reorder() {
+        let b = Aabb::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(-1.0, 0.0, -3.0));
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, -3.0));
+        assert_eq!(b.max, Vec3::new(1.0, 2.0, 3.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Lighting conditions for the RGB renderer.
+//!
+//! Lighting affects only the camera modality — LiDAR range returns are
+//! unchanged — which is exactly the asymmetry the paper exploits when it
+//! argues that depth complements RGB under adverse illumination.
+
+use crate::geometry::Vec3;
+
+/// Illumination model applied by [`crate::render_rgb`].
+///
+/// # Examples
+///
+/// ```
+/// use sf_scene::Lighting;
+///
+/// let night = Lighting::night();
+/// assert!(night.ambient < Lighting::day().ambient);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lighting {
+    /// Ambient light intensity in `[0, 1]`.
+    pub ambient: f32,
+    /// Directional (sun) intensity.
+    pub sun_intensity: f32,
+    /// Unit direction *towards* the sun.
+    pub sun_direction: Vec3,
+    /// Exposure multiplier applied before clamping (>1 over-exposes).
+    pub exposure: f32,
+    /// Whether obstacles cast hard shadows.
+    pub cast_shadows: bool,
+    /// Headlight intensity (only meaningful at night): inverse-square
+    /// falloff from the ego vehicle.
+    pub headlights: f32,
+    /// Per-pixel sensor noise amplitude.
+    pub noise: f32,
+}
+
+impl Lighting {
+    /// Clear midday light.
+    pub fn day() -> Self {
+        Lighting {
+            ambient: 0.45,
+            sun_intensity: 0.6,
+            sun_direction: Vec3::new(0.3, 0.8, -0.2).normalized(),
+            exposure: 1.0,
+            cast_shadows: false,
+            headlights: 0.0,
+            noise: 0.02,
+        }
+    }
+
+    /// Night: almost no ambient light, headlights with distance falloff,
+    /// higher sensor noise.
+    pub fn night() -> Self {
+        Lighting {
+            ambient: 0.06,
+            sun_intensity: 0.0,
+            sun_direction: Vec3::new(0.0, 1.0, 0.0),
+            exposure: 1.0,
+            cast_shadows: false,
+            headlights: 1.0,
+            noise: 0.05,
+        }
+    }
+
+    /// Over-exposure: blown-out highlights via an exposure multiplier and
+    /// low-angle sun.
+    pub fn overexposed() -> Self {
+        Lighting {
+            ambient: 0.7,
+            sun_intensity: 1.2,
+            sun_direction: Vec3::new(0.1, 0.35, 0.93).normalized(),
+            exposure: 2.2,
+            cast_shadows: false,
+            headlights: 0.0,
+            noise: 0.02,
+        }
+    }
+
+    /// Strong low sun with hard cast shadows across the road.
+    pub fn harsh_shadows() -> Self {
+        Lighting {
+            ambient: 0.25,
+            sun_intensity: 0.9,
+            sun_direction: Vec3::new(0.8, 0.45, 0.1).normalized(),
+            exposure: 1.0,
+            cast_shadows: true,
+            headlights: 0.0,
+            noise: 0.02,
+        }
+    }
+
+    /// All preset conditions with their names (used by the qualitative
+    /// experiment, Fig. 9).
+    pub fn presets() -> [(&'static str, Lighting); 4] {
+        [
+            ("day", Lighting::day()),
+            ("night", Lighting::night()),
+            ("overexposed", Lighting::overexposed()),
+            ("shadows", Lighting::harsh_shadows()),
+        ]
+    }
+}
+
+impl Default for Lighting {
+    fn default() -> Self {
+        Lighting::day()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_named() {
+        let presets = Lighting::presets();
+        assert_eq!(presets.len(), 4);
+        let names: Vec<&str> = presets.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["day", "night", "overexposed", "shadows"]);
+        assert!(presets[1].1.ambient < presets[0].1.ambient);
+        assert!(presets[2].1.exposure > 1.0);
+        assert!(presets[3].1.cast_shadows);
+    }
+
+    #[test]
+    fn sun_directions_are_unit() {
+        for (_, l) in Lighting::presets() {
+            assert!((l.sun_direction.length() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn default_is_day() {
+        assert_eq!(Lighting::default(), Lighting::day());
+    }
+}

@@ -1,0 +1,168 @@
+//! Surface-normal estimation from dense depth images.
+//!
+//! The paper's baseline, RoadSeg, comes from *SNE-RoadSeg* (Fan et al.
+//! 2020), whose distinguishing preprocessing is a Surface Normal
+//! Estimation module: instead of feeding raw depth to the second branch,
+//! it feeds per-pixel surface normals inferred from depth — which makes
+//! planar road surfaces trivially separable (constant "up" normal).
+//! This module reproduces that preprocessing so the depth branch can be
+//! driven with either encoding.
+
+use sf_tensor::Tensor;
+use sf_vision::GrayImage;
+
+use crate::camera::PinholeCamera;
+use crate::geometry::Vec3;
+
+/// Estimates per-pixel surface normals from a *normalised inverse-depth*
+/// image (the output of [`crate::depth_image_from_cloud`]).
+///
+/// Pixels are back-projected to camera-frame 3-D points through the
+/// camera model; the normal is the cross product of the horizontal and
+/// vertical neighbour differences, oriented towards the camera. The
+/// result is a `[3, H, W]` tensor with components in `[-1, 1]`
+/// (x: right, y: up, z: towards the camera); pixels without depth
+/// (value 0 = sky) get a zero normal.
+///
+/// # Panics
+///
+/// Panics if the image is smaller than 3×3.
+pub fn surface_normals_from_depth(
+    depth: &GrayImage,
+    camera: &PinholeCamera,
+    max_range: f32,
+) -> Tensor {
+    let (w, h) = (depth.width(), depth.height());
+    assert!(w >= 3 && h >= 3, "normal estimation needs at least 3x3");
+    // Back-project every pixel to a camera-frame point.
+    let point_at = |x: usize, y: usize| -> Option<Vec3> {
+        let inv = depth.get(x, y);
+        if inv <= 0.0 {
+            return None;
+        }
+        // Invert the inverse-depth encoding of depth_image_from_cloud.
+        let range = (1.0 - inv) * max_range;
+        let ray = camera.pixel_ray(x, y);
+        Some(ray.at(range.max(0.1)))
+    };
+    let mut out = Tensor::zeros(&[3, h, w]);
+    let plane = h * w;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let (Some(c), Some(right), Some(down)) =
+                (point_at(x, y), point_at(x + 1, y), point_at(x, y + 1))
+            else {
+                continue;
+            };
+            let dx = right - c;
+            let dy = down - c;
+            let n = dx.cross(dy);
+            if n.length() < 1e-9 {
+                continue;
+            }
+            let mut n = n.normalized();
+            // Orient towards the camera: the view direction points away
+            // from the camera, so a visible surface normal opposes it.
+            let view = (c - camera.position()).normalized();
+            if n.dot(view) > 0.0 {
+                n = -n;
+            }
+            let idx = y * w + x;
+            out.data_mut()[idx] = n.x;
+            out.data_mut()[plane + idx] = n.y;
+            out.data_mut()[2 * plane + idx] = n.z;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lidar::{depth_image_from_cloud, LidarSpec};
+    use crate::scene::{RoadCategory, SceneBuilder};
+    use sf_tensor::TensorRng;
+
+    #[test]
+    fn road_normals_point_up() {
+        // On a flat road the estimated normal must be close to +y.
+        let scene = SceneBuilder::new(RoadCategory::UrbanMarked, 51).build();
+        let camera = PinholeCamera::kitti_like(96, 32);
+        let spec = LidarSpec {
+            dropout: 0.0,
+            range_noise: 0.0,
+            ..LidarSpec::default()
+        };
+        let cloud = spec.scan(&scene, &mut TensorRng::seed_from(1));
+        let depth = depth_image_from_cloud(&cloud, &camera, spec.max_range, 4);
+        let normals = surface_normals_from_depth(&depth, &camera, spec.max_range);
+        assert_eq!(normals.shape(), &[3, 32, 96]);
+        // Sample road pixels in the lower-centre of the frame.
+        let plane = 32 * 96;
+        let mut up_votes = 0usize;
+        let mut total = 0usize;
+        for y in 24..30 {
+            for x in 40..56 {
+                let idx = y * 96 + x;
+                let ny = normals.data()[plane + idx];
+                if ny.abs() > 1e-6 || normals.data()[idx].abs() > 1e-6 {
+                    total += 1;
+                    if ny > 0.7 {
+                        up_votes += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 50, "most road pixels should have normals ({total})");
+        assert!(
+            up_votes * 10 >= total * 7,
+            "road normals should point up: {up_votes}/{total}"
+        );
+    }
+
+    #[test]
+    fn normals_are_unit_or_zero() {
+        let scene = SceneBuilder::new(RoadCategory::UrbanUnmarked, 52).build();
+        let camera = PinholeCamera::kitti_like(48, 16);
+        let spec = LidarSpec::default();
+        let cloud = spec.scan(&scene, &mut TensorRng::seed_from(2));
+        let depth = depth_image_from_cloud(&cloud, &camera, spec.max_range, 3);
+        let normals = surface_normals_from_depth(&depth, &camera, spec.max_range);
+        let plane = 16 * 48;
+        for idx in 0..plane {
+            let n = Vec3::new(
+                normals.data()[idx],
+                normals.data()[plane + idx],
+                normals.data()[2 * plane + idx],
+            );
+            let len = n.length();
+            assert!(
+                len < 1e-6 || (len - 1.0).abs() < 1e-4,
+                "normal length {len} at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn sky_pixels_have_no_normal() {
+        let scene = SceneBuilder::new(RoadCategory::UrbanMarked, 53).build();
+        let camera = PinholeCamera::kitti_like(48, 16);
+        let spec = LidarSpec::default();
+        let cloud = spec.scan(&scene, &mut TensorRng::seed_from(3));
+        let depth = depth_image_from_cloud(&cloud, &camera, spec.max_range, 2);
+        let normals = surface_normals_from_depth(&depth, &camera, spec.max_range);
+        // Top row is sky (no LiDAR returns above the horizon).
+        for x in 0..48 {
+            assert_eq!(normals.at(&[0, 0, x]), 0.0);
+            assert_eq!(normals.at(&[1, 0, x]), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_input_panics() {
+        let depth = GrayImage::new(2, 2);
+        let camera = PinholeCamera::kitti_like(2, 2);
+        let _ = surface_normals_from_depth(&depth, &camera, 60.0);
+    }
+}

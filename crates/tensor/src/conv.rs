@@ -1,0 +1,488 @@
+//! 2-D convolution via `im2col`, with exact forward and backward passes.
+//!
+//! Layout conventions (all row-major):
+//! - input `x`: `[N, C, H, W]`
+//! - weight `w`: `[O, C, KH, KW]`
+//! - bias `b`: `[O]`
+//! - output `y`: `[N, O, OH, OW]` with
+//!   `OH = (H + 2·pad − KH)/stride + 1` (likewise `OW`).
+
+use crate::linalg::{matmul, matmul_transpose_a, matmul_transpose_b};
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution: stride and symmetric zero padding.
+///
+/// # Examples
+///
+/// ```
+/// use sf_tensor::Conv2dSpec;
+///
+/// let same = Conv2dSpec::same(3); // 3×3 kernel, stride 1, pad 1
+/// assert_eq!(same.out_size(32, 3), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Stride applied in both spatial dimensions (must be ≥ 1).
+    pub stride: usize,
+    /// Symmetric zero padding applied in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec with the given stride and padding.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        Conv2dSpec { stride, padding }
+    }
+
+    /// The "same" convolution spec for an odd `kernel` size: stride 1 and
+    /// padding `kernel / 2`, so spatial dimensions are preserved.
+    pub fn same(kernel: usize) -> Self {
+        Conv2dSpec {
+            stride: 1,
+            padding: kernel / 2,
+        }
+    }
+
+    /// Output spatial size for an input of size `input` and kernel size
+    /// `kernel`, or 0 if the kernel does not fit.
+    pub fn out_size(&self, input: usize, kernel: usize) -> usize {
+        let padded = input + 2 * self.padding;
+        if padded < kernel || self.stride == 0 {
+            0
+        } else {
+            (padded - kernel) / self.stride + 1
+        }
+    }
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+fn conv_geometry(
+    x: &Tensor,
+    w: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
+    let (n, c, h, ww) = match x.shape() {
+        [n, c, h, w] => (*n, *c, *h, *w),
+        other => {
+            return Err(TensorError::RankMismatch {
+                op: "conv2d",
+                expected: 4,
+                actual: other.to_vec(),
+            })
+        }
+    };
+    let (o, cw, kh, kw) = match w.shape() {
+        [o, cw, kh, kw] => (*o, *cw, *kh, *kw),
+        other => {
+            return Err(TensorError::RankMismatch {
+                op: "conv2d",
+                expected: 4,
+                actual: other.to_vec(),
+            })
+        }
+    };
+    if c != cw {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: x.shape().to_vec(),
+            rhs: w.shape().to_vec(),
+        });
+    }
+    if spec.stride == 0 {
+        return Err(TensorError::InvalidGeometry {
+            op: "conv2d",
+            reason: "stride must be >= 1".to_string(),
+        });
+    }
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(ww, kw);
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidGeometry {
+            op: "conv2d",
+            reason: format!(
+                "kernel {kh}x{kw} with padding {} does not fit input {h}x{ww}",
+                spec.padding
+            ),
+        });
+    }
+    let _ = (oh, ow);
+    Ok((n, c, h, ww, o, kh, kw))
+}
+
+/// Unfolds one `CHW` image into the `im2col` matrix `[C·KH·KW, OH·OW]`.
+///
+/// Each column holds the receptive field of one output pixel; out-of-bounds
+/// (padding) taps are zero.
+///
+/// # Errors
+///
+/// Returns an error if `image` is not rank 3 or the geometry is invalid.
+pub fn im2col(image: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Result<Tensor> {
+    let (c, h, w) = match image.shape() {
+        [c, h, w] => (*c, *h, *w),
+        other => {
+            return Err(TensorError::RankMismatch {
+                op: "im2col",
+                expected: 3,
+                actual: other.to_vec(),
+            })
+        }
+    };
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidGeometry {
+            op: "im2col",
+            reason: format!("kernel {kh}x{kw} does not fit input {h}x{w}"),
+        });
+    }
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[c * kh * kw, cols]);
+    let src = image.data();
+    let dst = out.data_mut();
+    let pad = spec.padding as isize;
+    let stride = spec.stride;
+    for ch in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let dst_row = &mut dst[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * stride) as isize + ki as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_base = (ch * h + iy as usize) * w;
+                    let dst_base = oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * stride) as isize + kj as isize - pad;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[dst_base + ox] = src[src_base + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds an `im2col` matrix back into a `CHW` image, *summing* overlapping
+/// contributions — the adjoint of [`im2col`], used for input gradients.
+///
+/// # Errors
+///
+/// Returns an error if `cols` is not rank 2 or its shape is inconsistent
+/// with the requested geometry.
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let expected = [c * kh * kw, oh * ow];
+    if cols.shape() != expected {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.shape().to_vec(),
+            rhs: expected.to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let src = cols.data();
+    let dst = out.data_mut();
+    let pad = spec.padding as isize;
+    let stride = spec.stride;
+    let ncols = oh * ow;
+    for ch in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let src_row = &src[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * stride) as isize + ki as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_base = (ch * h + iy as usize) * w;
+                    let src_base = oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * stride) as isize + kj as isize - pad;
+                        if ix >= 0 && ix < w as isize {
+                            dst[dst_base + ix as usize] += src_row[src_base + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Batched 2-D convolution forward pass.
+///
+/// `bias` of shape `[O]` is optional.
+///
+/// # Errors
+///
+/// Returns an error on rank or channel mismatches, zero stride, or a kernel
+/// that does not fit the padded input.
+///
+/// # Examples
+///
+/// ```
+/// use sf_tensor::{conv2d, Conv2dSpec, Tensor};
+///
+/// // 1×1×3×3 input, single 3×3 averaging kernel, "same" padding.
+/// let x = Tensor::ones(&[1, 1, 3, 3]);
+/// let w = Tensor::full(&[1, 1, 3, 3], 1.0 / 9.0);
+/// let y = conv2d(&x, &w, None, Conv2dSpec::same(3))?;
+/// assert_eq!(y.shape(), &[1, 1, 3, 3]);
+/// // Centre pixel sees the full kernel: exactly 1.0.
+/// assert!((y.at(&[0, 0, 1, 1]) - 1.0).abs() < 1e-6);
+/// # Ok::<(), sf_tensor::TensorError>(())
+/// ```
+pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Result<Tensor> {
+    let (n, c, h, iw, o, kh, kw) = conv_geometry(x, w, spec)?;
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(iw, kw);
+    if let Some(b) = bias {
+        if b.shape() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d bias",
+                lhs: b.shape().to_vec(),
+                rhs: vec![o],
+            });
+        }
+    }
+    let wmat = w.reshape(&[o, c * kh * kw])?;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let plane = o * oh * ow;
+    for img in 0..n {
+        let cols = im2col(&x.index_axis0(img), kh, kw, spec)?;
+        let y = matmul(&wmat, &cols)?;
+        let dst = &mut out.data_mut()[img * plane..(img + 1) * plane];
+        dst.copy_from_slice(y.data());
+        if let Some(b) = bias {
+            for (oc, &bv) in b.data().iter().enumerate() {
+                for v in &mut dst[oc * oh * ow..(oc + 1) * oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of a 2-D convolution.
+///
+/// Given upstream `grad_out` of shape `[N, O, OH, OW]`, returns
+/// `(grad_input, grad_weight, grad_bias)` with the shapes of `x`, `w`, and
+/// `[O]` respectively. `grad_bias` is always returned; callers without a
+/// bias simply ignore it.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent with the forward geometry.
+pub fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (n, c, h, iw, o, kh, kw) = conv_geometry(x, w, spec)?;
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(iw, kw);
+    if grad_out.shape() != [n, o, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![n, o, oh, ow],
+        });
+    }
+    let wmat = w.reshape(&[o, c * kh * kw])?;
+    let mut grad_x = Tensor::zeros(x.shape());
+    let mut grad_w_mat = Tensor::zeros(&[o, c * kh * kw]);
+    let mut grad_b = Tensor::zeros(&[o]);
+    let in_plane = c * h * iw;
+    for img in 0..n {
+        let go = grad_out.index_axis0(img).reshape(&[o, oh * ow])?;
+        let cols = im2col(&x.index_axis0(img), kh, kw, spec)?;
+        // dW += dY · colᵀ
+        grad_w_mat.add_assign(&matmul_transpose_b(&go, &cols)?);
+        // dCol = Wᵀ · dY, then fold back to image space.
+        let grad_cols = matmul_transpose_a(&wmat, &go)?;
+        let gx = col2im(&grad_cols, c, h, iw, kh, kw, spec)?;
+        grad_x.data_mut()[img * in_plane..(img + 1) * in_plane].copy_from_slice(gx.data());
+        // dB += Σ spatial dY
+        for (oc, gb) in grad_b.data_mut().iter_mut().enumerate() {
+            *gb += go.data()[oc * oh * ow..(oc + 1) * oh * ow]
+                .iter()
+                .sum::<f32>();
+        }
+    }
+    let grad_w = grad_w_mat.reshape(w.shape())?;
+    Ok((grad_x, grad_w, grad_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+        let (n, c, h, iw) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (o, kh, kw) = (w.shape()[0], w.shape()[2], w.shape()[3]);
+        let oh = spec.out_size(h, kh);
+        let ow = spec.out_size(iw, kw);
+        Tensor::from_fn(&[n, o, oh, ow], |ix| {
+            let (img, oc, oy, ox) = (ix[0], ix[1], ix[2], ix[3]);
+            let mut acc = bias.map(|b| b.at(&[oc])).unwrap_or(0.0);
+            for ch in 0..c {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let iy = (oy * spec.stride + ki) as isize - spec.padding as isize;
+                        let ixx = (ox * spec.stride + kj) as isize - spec.padding as isize;
+                        if iy >= 0 && iy < h as isize && ixx >= 0 && ixx < iw as isize {
+                            acc += x.at(&[img, ch, iy as usize, ixx as usize])
+                                * w.at(&[oc, ch, ki, kj]);
+                        }
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    fn pseudo_random(shape: &[usize], seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Tensor::from_fn(shape, |_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f32 - 500.0) / 250.0
+        })
+    }
+
+    #[test]
+    fn conv_matches_naive_same_padding() {
+        let x = pseudo_random(&[2, 3, 5, 7], 1);
+        let w = pseudo_random(&[4, 3, 3, 3], 2);
+        let b = pseudo_random(&[4], 3);
+        let spec = Conv2dSpec::same(3);
+        let fast = conv2d(&x, &w, Some(&b), spec).unwrap();
+        let slow = naive_conv2d(&x, &w, Some(&b), spec);
+        assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn conv_matches_naive_strided() {
+        let x = pseudo_random(&[1, 2, 8, 8], 4);
+        let w = pseudo_random(&[3, 2, 3, 3], 5);
+        let spec = Conv2dSpec::new(2, 1);
+        let fast = conv2d(&x, &w, None, spec).unwrap();
+        let slow = naive_conv2d(&x, &w, None, spec);
+        assert_eq!(fast.shape(), &[1, 3, 4, 4]);
+        assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn conv_1x1_is_channel_mix() {
+        let x = pseudo_random(&[1, 2, 3, 3], 6);
+        let w = Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1, 1]).unwrap();
+        let y = conv2d(&x, &w, None, Conv2dSpec::default()).unwrap();
+        for iy in 0..3 {
+            for ix in 0..3 {
+                let expect = x.at(&[0, 0, iy, ix]) + 2.0 * x.at(&[0, 1, iy, ix]);
+                assert!((y.at(&[0, 0, iy, ix]) - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_rejects_bad_geometry() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[1, 1, 5, 5]);
+        assert!(conv2d(&x, &w, None, Conv2dSpec::default()).is_err());
+        let w2 = Tensor::zeros(&[1, 3, 1, 1]); // channel mismatch
+        assert!(conv2d(&x, &w2, None, Conv2dSpec::default()).is_err());
+        let w3 = Tensor::zeros(&[1, 1, 1, 1]);
+        assert!(conv2d(&x, &w3, None, Conv2dSpec::new(0, 0)).is_err());
+        let bad_bias = Tensor::zeros(&[2]);
+        assert!(conv2d(&x, &w3, Some(&bad_bias), Conv2dSpec::default()).is_err());
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> must equal <x, col2im(y)> — the defining property
+        // of an adjoint pair, which is exactly what backward relies on.
+        let spec = Conv2dSpec::new(2, 1);
+        let x = pseudo_random(&[2, 5, 6], 7);
+        let cols = im2col(&x, 3, 3, spec).unwrap();
+        let y = pseudo_random(cols.shape(), 8);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, 2, 5, 6, 3, 3, spec).unwrap();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn conv_backward_finite_difference() {
+        let spec = Conv2dSpec::same(3);
+        let x = pseudo_random(&[1, 2, 4, 4], 10);
+        let w = pseudo_random(&[2, 2, 3, 3], 11);
+        let b = pseudo_random(&[2], 12);
+        // Loss = sum of outputs → upstream grad of ones.
+        let y = conv2d(&x, &w, Some(&b), spec).unwrap();
+        let grad_out = Tensor::ones(y.shape());
+        let (gx, gw, gb) = conv2d_backward(&x, &w, &grad_out, spec).unwrap();
+        let eps = 1e-2f32;
+        // Check a scattering of input coordinates.
+        for &(i, c, yy, xx) in &[(0, 0, 0, 0), (0, 1, 2, 3), (0, 0, 3, 1)] {
+            let mut xp = x.clone();
+            xp.set(&[i, c, yy, xx], x.at(&[i, c, yy, xx]) + eps);
+            let mut xm = x.clone();
+            xm.set(&[i, c, yy, xx], x.at(&[i, c, yy, xx]) - eps);
+            let fp = conv2d(&xp, &w, Some(&b), spec).unwrap().sum();
+            let fm = conv2d(&xm, &w, Some(&b), spec).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = gx.at(&[i, c, yy, xx]);
+            assert!((num - ana).abs() < 2e-2, "dx mismatch: {num} vs {ana}");
+        }
+        for &(o, c, ki, kj) in &[(0, 0, 0, 0), (1, 1, 2, 2), (0, 1, 1, 0)] {
+            let mut wp = w.clone();
+            wp.set(&[o, c, ki, kj], w.at(&[o, c, ki, kj]) + eps);
+            let mut wm = w.clone();
+            wm.set(&[o, c, ki, kj], w.at(&[o, c, ki, kj]) - eps);
+            let fp = conv2d(&x, &wp, Some(&b), spec).unwrap().sum();
+            let fm = conv2d(&x, &wm, Some(&b), spec).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = gw.at(&[o, c, ki, kj]);
+            assert!((num - ana).abs() < 2e-2, "dw mismatch: {num} vs {ana}");
+        }
+        // Bias gradient: d(sum y)/db_o = OH*OW per image.
+        for o in 0..2 {
+            assert!((gb.at(&[o]) - 16.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn out_size_arithmetic() {
+        let s = Conv2dSpec::new(2, 1);
+        assert_eq!(s.out_size(8, 3), 4);
+        assert_eq!(Conv2dSpec::same(5).out_size(10, 5), 10);
+        assert_eq!(Conv2dSpec::default().out_size(2, 5), 0);
+    }
+}

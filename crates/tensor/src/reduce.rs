@@ -1,0 +1,303 @@
+//! Axis reductions and broadcast-gradient helpers.
+
+use crate::shape::strides_for;
+use crate::{Result, Tensor, TensorError};
+
+/// A validated axis index into a tensor's shape.
+///
+/// The newtype documents intent at call sites (`Axis(1)` reads as "the
+/// channel axis" in NCHW code) and is validated by the reduction
+/// functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Axis(pub usize);
+
+/// How a loss or metric folds per-element values into a scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Reduction {
+    /// Arithmetic mean over all elements (the default for losses).
+    #[default]
+    Mean,
+    /// Plain sum over all elements.
+    Sum,
+}
+
+impl Reduction {
+    /// Applies the reduction to a tensor, yielding a scalar value.
+    pub fn apply(self, t: &Tensor) -> f32 {
+        match self {
+            Reduction::Mean => t.mean(),
+            Reduction::Sum => t.sum(),
+        }
+    }
+
+    /// The factor by which a per-element gradient must be scaled.
+    pub fn grad_scale(self, numel: usize) -> f32 {
+        match self {
+            Reduction::Mean => {
+                if numel == 0 {
+                    0.0
+                } else {
+                    1.0 / numel as f32
+                }
+            }
+            Reduction::Sum => 1.0,
+        }
+    }
+}
+
+impl Tensor {
+    /// Sums along `axis`, keeping that axis with size 1 when
+    /// `keepdim` is true.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if the axis exceeds the
+    /// tensor's rank.
+    pub fn sum_axis(&self, axis: Axis, keepdim: bool) -> Result<Tensor> {
+        let rank = self.rank();
+        if axis.0 >= rank {
+            return Err(TensorError::AxisOutOfRange { axis: axis.0, rank });
+        }
+        let outer: usize = self.shape()[..axis.0].iter().product();
+        let mid = self.shape()[axis.0];
+        let inner: usize = self.shape()[axis.0 + 1..].iter().product();
+        let mut out_shape: Vec<usize> = self.shape().to_vec();
+        if keepdim {
+            out_shape[axis.0] = 1;
+        } else {
+            out_shape.remove(axis.0);
+        }
+        let mut out = Tensor::zeros(&out_shape);
+        let src = self.data();
+        let dst = out.data_mut();
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    dst[obase + i] += src[base + i];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Arithmetic mean along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::sum_axis`].
+    pub fn mean_axis(&self, axis: Axis, keepdim: bool) -> Result<Tensor> {
+        let n = self
+            .shape()
+            .get(axis.0)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis: axis.0,
+                rank: self.rank(),
+            })?;
+        Ok(self.sum_axis(axis, keepdim)?.scale(1.0 / n.max(1) as f32))
+    }
+
+    /// Reduces this tensor (by summation) down to `target` — the adjoint of
+    /// broadcasting `target`-shaped data up to `self.shape()`. Used to fold
+    /// gradients of broadcast operands back to their original shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `target` does not
+    /// broadcast to `self.shape()`.
+    pub fn sum_to_shape(&self, target: &[usize]) -> Result<Tensor> {
+        if self.shape() == target {
+            return Ok(self.clone());
+        }
+        let src_shape = self.shape().to_vec();
+        let rank = src_shape.len();
+        if target.len() > rank {
+            return Err(TensorError::ShapeMismatch {
+                op: "sum_to_shape",
+                lhs: src_shape,
+                rhs: target.to_vec(),
+            });
+        }
+        // Right-align target against the source shape; every mismatched
+        // axis must be 1 in the target.
+        let offset = rank - target.len();
+        for (i, &t) in target.iter().enumerate() {
+            let s = src_shape[offset + i];
+            if t != s && t != 1 {
+                return Err(TensorError::ShapeMismatch {
+                    op: "sum_to_shape",
+                    lhs: src_shape,
+                    rhs: target.to_vec(),
+                });
+            }
+        }
+        let out_numel: usize = target.iter().product();
+        let mut out = Tensor::zeros(target);
+        // Strides of the output, aligned to the source rank with stride 0
+        // on summed axes.
+        let tstrides = strides_for(target);
+        let mut aligned = vec![0usize; rank];
+        for (i, &t) in target.iter().enumerate() {
+            aligned[offset + i] = if t == 1 { 0 } else { tstrides[i] };
+        }
+        let dst = out.data_mut();
+        let mut index = vec![0usize; rank];
+        for &v in self.data() {
+            let oi: usize = index.iter().zip(&aligned).map(|(&i, &s)| i * s).sum();
+            dst[oi] += v;
+            for d in (0..rank).rev() {
+                index[d] += 1;
+                if index[d] < src_shape[d] {
+                    break;
+                }
+                index[d] = 0;
+            }
+        }
+        debug_assert!(out_numel == out.numel());
+        Ok(out)
+    }
+
+    /// Per-channel mean and (biased) variance of an `NCHW` batch, reduced
+    /// over the batch and spatial axes — the statistics batch
+    /// normalisation needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 4.
+    pub fn channel_mean_var(&self) -> Result<(Tensor, Tensor)> {
+        let (n, c, h, w) = match self.shape() {
+            [n, c, h, w] => (*n, *c, *h, *w),
+            other => {
+                return Err(TensorError::RankMismatch {
+                    op: "channel_mean_var",
+                    expected: 4,
+                    actual: other.to_vec(),
+                })
+            }
+        };
+        let count = (n * h * w).max(1) as f64;
+        let mut mean = Tensor::zeros(&[c]);
+        let mut var = Tensor::zeros(&[c]);
+        let src = self.data();
+        for ch in 0..c {
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            for img in 0..n {
+                let base = (img * c + ch) * h * w;
+                for &v in &src[base..base + h * w] {
+                    sum += v as f64;
+                    sum_sq += (v as f64) * (v as f64);
+                }
+            }
+            let m = sum / count;
+            mean.data_mut()[ch] = m as f32;
+            var.data_mut()[ch] = (sum_sq / count - m * m).max(0.0) as f32;
+        }
+        Ok((mean, var))
+    }
+
+    /// Index of the maximum element in flat (row-major) order; `None` for
+    /// empty tensors.
+    pub fn argmax(&self) -> Option<usize> {
+        self.data()
+            .iter()
+            .enumerate()
+            .fold(None, |best, (i, &v)| match best {
+                Some((_, bv)) if bv >= v => best,
+                _ => Some((i, v)),
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_axis_middle() {
+        let t = Tensor::from_fn(&[2, 3, 2], |ix| (ix[0] * 100 + ix[1] * 10 + ix[2]) as f32);
+        let s = t.sum_axis(Axis(1), false).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.at(&[0, 0]), 0.0 + 10.0 + 20.0);
+        assert_eq!(s.at(&[1, 1]), 101.0 + 111.0 + 121.0);
+        let keep = t.sum_axis(Axis(1), true).unwrap();
+        assert_eq!(keep.shape(), &[2, 1, 2]);
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        let t = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[2, 2]).unwrap();
+        let m = t.mean_axis(Axis(0), false).unwrap();
+        assert_eq!(m.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn axis_out_of_range() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(t.sum_axis(Axis(2), false).is_err());
+        assert!(t.mean_axis(Axis(5), true).is_err());
+    }
+
+    #[test]
+    fn sum_to_shape_row_vector() {
+        let t = Tensor::from_fn(&[3, 4], |ix| ix[0] as f32);
+        let s = t.sum_to_shape(&[4]).unwrap();
+        assert_eq!(s.data(), &[3.0, 3.0, 3.0, 3.0]);
+        let s2 = t.sum_to_shape(&[3, 1]).unwrap();
+        assert_eq!(s2.data(), &[0.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn sum_to_shape_identity_and_scalar() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        assert_eq!(t.sum_to_shape(&[3]).unwrap().data(), t.data());
+        let s = t.sum_to_shape(&[]).unwrap();
+        assert_eq!(s.at(&[]), 6.0);
+    }
+
+    #[test]
+    fn sum_to_shape_rejects_non_broadcast() {
+        let t = Tensor::zeros(&[3, 4]);
+        assert!(t.sum_to_shape(&[2]).is_err());
+        assert!(t.sum_to_shape(&[3, 4, 1]).is_err());
+    }
+
+    #[test]
+    fn channel_stats() {
+        // Channel 0 constant 2.0 → var 0; channel 1 alternating ±1 → mean 0 var 1.
+        let t = Tensor::from_fn(&[2, 2, 2, 2], |ix| {
+            if ix[1] == 0 {
+                2.0
+            } else if (ix[2] + ix[3]) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        let (mean, var) = t.channel_mean_var().unwrap();
+        assert!((mean.at(&[0]) - 2.0).abs() < 1e-6);
+        assert!(var.at(&[0]).abs() < 1e-6);
+        assert!(mean.at(&[1]).abs() < 1e-6);
+        assert!((var.at(&[1]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduction_enum() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 6.0], &[4]).unwrap();
+        assert_eq!(Reduction::Sum.apply(&t), 12.0);
+        assert_eq!(Reduction::Mean.apply(&t), 3.0);
+        assert_eq!(Reduction::Sum.grad_scale(10), 1.0);
+        assert_eq!(Reduction::Mean.grad_scale(4), 0.25);
+        assert_eq!(Reduction::default(), Reduction::Mean);
+    }
+
+    #[test]
+    fn argmax_basic() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 3.0], &[3]).unwrap();
+        assert_eq!(t.argmax(), Some(1));
+        assert_eq!(Tensor::zeros(&[0]).argmax(), None);
+    }
+}

@@ -1,0 +1,183 @@
+//! Seeded random tensor generation.
+//!
+//! All stochastic code in the reproduction flows through [`TensorRng`] so
+//! that every experiment is reproducible from a single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Tensor;
+
+/// A seeded random number generator producing tensors.
+///
+/// # Examples
+///
+/// ```
+/// use sf_tensor::TensorRng;
+///
+/// let mut a = TensorRng::seed_from(42);
+/// let mut b = TensorRng::seed_from(42);
+/// assert_eq!(a.uniform(&[4], -1.0, 1.0), b.uniform(&[4], -1.0, 1.0));
+/// ```
+#[derive(Debug)]
+pub struct TensorRng {
+    inner: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        TensorRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// layer or scene its own stream while keeping one master seed.
+    pub fn fork(&mut self) -> TensorRng {
+        TensorRng::seed_from(self.inner.random::<u64>())
+    }
+
+    /// A single uniform sample in `[lo, hi)`.
+    pub fn uniform_scalar(&mut self, lo: f32, hi: f32) -> f32 {
+        if lo == hi {
+            lo
+        } else {
+            self.inner.random_range(lo..hi)
+        }
+    }
+
+    /// A single standard-normal sample (Box–Muller).
+    pub fn normal_scalar(&mut self) -> f32 {
+        // Box–Muller with guards against log(0).
+        let u1: f32 = self.inner.random_range(f32::EPSILON..1.0);
+        let u2: f32 = self.inner.random::<f32>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.random_range(0..n)
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.random_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Tensor of i.i.d. uniform samples in `[lo, hi)`.
+    pub fn uniform(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| self.uniform_scalar(lo, hi)).collect();
+        Tensor::from_vec(data, shape).expect("length matches by construction")
+    }
+
+    /// Tensor of i.i.d. normal samples with the given mean and standard
+    /// deviation.
+    pub fn normal(&mut self, shape: &[usize], mean: f32, std: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| mean + std * self.normal_scalar()).collect();
+        Tensor::from_vec(data, shape).expect("length matches by construction")
+    }
+
+    /// Kaiming/He-normal initialisation for a conv weight of shape
+    /// `[O, C, KH, KW]` (or a linear weight `[O, I]`): zero-mean normal
+    /// with `std = sqrt(2 / fan_in)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` has fewer than 2 dimensions or zero fan-in.
+    pub fn kaiming(&mut self, shape: &[usize]) -> Tensor {
+        assert!(shape.len() >= 2, "kaiming init requires rank >= 2 weights");
+        let fan_in: usize = shape[1..].iter().product();
+        assert!(fan_in > 0, "kaiming init requires non-zero fan-in");
+        let std = (2.0 / fan_in as f32).sqrt();
+        self.normal(shape, 0.0, std)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = TensorRng::seed_from(7);
+        let mut b = TensorRng::seed_from(7);
+        assert_eq!(a.normal(&[8], 0.0, 1.0), b.normal(&[8], 0.0, 1.0));
+        assert_ne!(
+            TensorRng::seed_from(1).uniform(&[8], 0.0, 1.0),
+            TensorRng::seed_from(2).uniform(&[8], 0.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = TensorRng::seed_from(3);
+        let t = rng.uniform(&[1000], -2.0, 3.0);
+        assert!(t.data().iter().all(|&v| (-2.0..3.0).contains(&v)));
+        assert_eq!(rng.uniform_scalar(1.5, 1.5), 1.5);
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = TensorRng::seed_from(11);
+        let t = rng.normal(&[20_000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = TensorRng::seed_from(5);
+        let w = rng.kaiming(&[16, 32, 3, 3]);
+        let std = w.map(|v| v * v).mean().sqrt();
+        let expect = (2.0f32 / (32.0 * 9.0)).sqrt();
+        assert!((std - expect).abs() < expect * 0.2, "std={std} vs {expect}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = TensorRng::seed_from(9);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.uniform(&[4], 0.0, 1.0), c2.uniform(&[4], 0.0, 1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = TensorRng::seed_from(13);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>()); // vanishingly unlikely
+    }
+
+    #[test]
+    fn index_and_chance() {
+        let mut rng = TensorRng::seed_from(17);
+        for _ in 0..100 {
+            assert!(rng.index(5) < 5);
+        }
+        // Probability 0 and 1 are exact.
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,149 @@
+//! Shape and stride arithmetic shared by the tensor kernels.
+
+use crate::{Result, TensorError};
+
+/// Computes row-major (C-contiguous) strides for `shape`.
+///
+/// The stride of the last dimension is always 1; an empty shape yields an
+/// empty stride vector (scalar tensors are represented by shape `[]`
+/// internally as `[1]`-like storage).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sf_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (s, &dim) in strides.iter_mut().rev().zip(shape.iter().rev()) {
+        *s = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Converts a multi-dimensional index to a flat row-major offset.
+///
+/// # Panics
+///
+/// Panics if `index.len() != shape.len()` or any coordinate is out of
+/// bounds. This is a programmer error, not a recoverable condition.
+pub fn flat_index(shape: &[usize], index: &[usize]) -> usize {
+    assert_eq!(
+        index.len(),
+        shape.len(),
+        "index rank {} does not match shape rank {}",
+        index.len(),
+        shape.len()
+    );
+    let mut flat = 0usize;
+    let mut stride = 1usize;
+    for i in (0..shape.len()).rev() {
+        assert!(
+            index[i] < shape[i],
+            "index {:?} out of bounds for shape {:?}",
+            index,
+            shape
+        );
+        flat += index[i] * stride;
+        stride *= shape[i];
+    }
+    flat
+}
+
+/// Computes the broadcast of two shapes under NumPy-style rules: shapes are
+/// right-aligned and each dimension pair must be equal or contain a 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes cannot be
+/// broadcast together.
+///
+/// # Examples
+///
+/// ```
+/// let out = sf_tensor::broadcast_shapes(&[4, 1, 3], &[2, 3])?;
+/// assert_eq!(out, vec![4, 2, 3]);
+/// # Ok::<(), sf_tensor::TensorError>(())
+/// ```
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let l = lhs.len().checked_sub(1 + i).map(|j| lhs[j]).unwrap_or(1);
+        let r = rhs.len().checked_sub(1 + i).map(|j| rhs[j]).unwrap_or(1);
+        out[rank - 1 - i] = if l == r || r == 1 {
+            l
+        } else if l == 1 {
+            r
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                op: "broadcast",
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Number of elements implied by `shape`.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let shape = [2, 3, 4];
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let f = flat_index(&shape, &[i, j, k]);
+                    assert!(f < 24);
+                    assert!(seen.insert(f), "duplicate flat index");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_out_of_bounds_panics() {
+        flat_index(&[2, 2], &[2, 0]);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[4]).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert!(broadcast_shapes(&[2, 3], &[3, 2]).is_err());
+        assert!(broadcast_shapes(&[4], &[5]).is_err());
+    }
+
+    #[test]
+    fn numel_matches_product() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[0, 7]), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The paper's Feature Disparity metric (Eq. 1).
+//!
+//! `D_fd = (1/C) Σ_c ‖ E(f_Rc) − E(f_Dc) ‖²` — per-channel edge sketches
+//! of the two feature maps being fused, compared pixel-wise and averaged
+//! over channels. Unlike L2/SSIM/MI it keeps spatial structure *and*
+//! tolerates global luminance differences between modalities.
+
+use sf_tensor::Tensor;
+
+use crate::{EdgeExtractor, GrayImage};
+
+/// Feature disparity between two single-channel images: mean squared
+/// difference of their binary edge sketches.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn feature_disparity_images(a: &GrayImage, b: &GrayImage, extractor: &EdgeExtractor) -> f32 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "feature_disparity: image sizes differ"
+    );
+    let ea = extractor.extract(a);
+    let eb = extractor.extract(b);
+    let n = ea.data().len().max(1) as f32;
+    ea.data()
+        .iter()
+        .zip(eb.data())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f32>()
+        / n
+}
+
+/// Feature disparity (Eq. 1) between two `[C, H, W]` feature maps: the
+/// per-channel edge-sketch MSE, averaged over all channels.
+///
+/// This is the *measurement* form of the metric (binary Canny-lite
+/// sketches, exactly like the paper's OpenCV pipeline). The training-time
+/// loss uses a differentiable Sobel-magnitude variant implemented in the
+/// fusion crate.
+///
+/// # Panics
+///
+/// Panics if the tensors are not rank 3 or their shapes differ.
+pub fn feature_disparity(f_rgb: &Tensor, f_depth: &Tensor, extractor: &EdgeExtractor) -> f32 {
+    assert_eq!(
+        f_rgb.shape(),
+        f_depth.shape(),
+        "feature_disparity: shapes {:?} and {:?} differ",
+        f_rgb.shape(),
+        f_depth.shape()
+    );
+    let (c, h, w) = match f_rgb.shape() {
+        [c, h, w] => (*c, *h, *w),
+        other => panic!("feature_disparity: expected [C,H,W] feature maps, got {other:?}"),
+    };
+    if c == 0 {
+        return 0.0;
+    }
+    let plane = h * w;
+    let mut total = 0.0f64;
+    for ch in 0..c {
+        let a = GrayImage::from_raw(w, h, f_rgb.data()[ch * plane..(ch + 1) * plane].to_vec());
+        let b = GrayImage::from_raw(w, h, f_depth.data()[ch * plane..(ch + 1) * plane].to_vec());
+        total += feature_disparity_images(&a, &b, extractor) as f64;
+    }
+    (total / c as f64) as f32
+}
+
+/// Accumulates feature-disparity measurements per fusion stage across many
+/// input pairs — the data behind Fig. 3(a).
+///
+/// # Examples
+///
+/// ```
+/// use sf_vision::DisparityProbe;
+///
+/// let mut probe = DisparityProbe::new(2);
+/// probe.record(0, 0.5);
+/// probe.record(0, 0.3);
+/// probe.record(1, 0.1);
+/// assert_eq!(probe.mean(0), 0.4);
+/// assert_eq!(probe.sample_count(1), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DisparityProbe {
+    samples: Vec<Vec<f32>>,
+}
+
+impl DisparityProbe {
+    /// Creates a probe for the given number of fusion stages.
+    pub fn new(stages: usize) -> Self {
+        DisparityProbe {
+            samples: vec![Vec::new(); stages],
+        }
+    }
+
+    /// Number of fusion stages tracked.
+    pub fn stages(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Records one measurement for `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn record(&mut self, stage: usize, disparity: f32) {
+        self.samples[stage].push(disparity);
+    }
+
+    /// Number of measurements recorded for `stage`.
+    pub fn sample_count(&self, stage: usize) -> usize {
+        self.samples[stage].len()
+    }
+
+    /// Mean disparity at `stage`; 0 if no samples.
+    pub fn mean(&self, stage: usize) -> f32 {
+        let s = &self.samples[stage];
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<f32>() / s.len() as f32
+        }
+    }
+
+    /// Means for all stages, shallow-to-deep — one Fig. 3(a) line.
+    pub fn means(&self) -> Vec<f32> {
+        (0..self.stages()).map(|s| self.mean(s)).collect()
+    }
+
+    /// Merges another probe's samples into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage counts differ.
+    pub fn merge(&mut self, other: &DisparityProbe) {
+        assert_eq!(
+            self.stages(),
+            other.stages(),
+            "merge: probes track different stage counts"
+        );
+        for (mine, theirs) in self.samples.iter_mut().zip(&other.samples) {
+            mine.extend_from_slice(theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_tensor::TensorRng;
+
+    #[test]
+    fn identical_maps_have_zero_disparity() {
+        let mut rng = TensorRng::seed_from(1);
+        let f = rng.uniform(&[4, 16, 16], 0.0, 1.0);
+        let ex = EdgeExtractor::for_feature_maps();
+        assert_eq!(feature_disparity(&f, &f, &ex), 0.0);
+    }
+
+    #[test]
+    fn luminance_shift_is_tolerated() {
+        // Same spatial structure, different global luminance — the paper's
+        // night-vs-day scenario. FD must stay near zero.
+        let day = Tensor::from_fn(&[2, 24, 24], |ix| {
+            let (x, y) = (ix[2] as i32, ix[1] as i32);
+            if (x - 12).pow(2) + (y - 12).pow(2) < 40 {
+                0.9
+            } else {
+                0.5
+            }
+        });
+        let night = day.map(|v| v * 0.3);
+        let ex = EdgeExtractor::default();
+        let d = feature_disparity(&day, &night, &ex);
+        assert!(d < 0.02, "luminance-shifted disparity {d}");
+    }
+
+    #[test]
+    fn structural_mismatch_is_detected() {
+        // Different spatial structure at identical histograms → high FD.
+        let a = Tensor::from_fn(&[1, 24, 24], |ix| if ix[2] < 12 { 0.0 } else { 1.0 });
+        let b = Tensor::from_fn(&[1, 24, 24], |ix| if ix[1] < 12 { 0.0 } else { 1.0 });
+        let ex = EdgeExtractor::default();
+        let d_mismatch = feature_disparity(&a, &b, &ex);
+        let d_match = feature_disparity(&a, &a, &ex);
+        assert!(d_mismatch > d_match + 0.01, "structural FD {d_mismatch}");
+    }
+
+    #[test]
+    fn disparity_is_symmetric() {
+        let mut rng = TensorRng::seed_from(2);
+        let a = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        let b = rng.uniform(&[3, 16, 16], 0.0, 1.0);
+        let ex = EdgeExtractor::for_feature_maps();
+        assert_eq!(
+            feature_disparity(&a, &b, &ex),
+            feature_disparity(&b, &a, &ex)
+        );
+    }
+
+    #[test]
+    fn zero_channels_yield_zero() {
+        let a = Tensor::zeros(&[0, 4, 4]);
+        let ex = EdgeExtractor::default();
+        assert_eq!(feature_disparity(&a, &a, &ex), 0.0);
+    }
+
+    #[test]
+    fn probe_accumulates_and_merges() {
+        let mut p1 = DisparityProbe::new(3);
+        p1.record(0, 1.0);
+        p1.record(2, 0.2);
+        let mut p2 = DisparityProbe::new(3);
+        p2.record(0, 3.0);
+        p1.merge(&p2);
+        assert_eq!(p1.mean(0), 2.0);
+        assert_eq!(p1.sample_count(0), 2);
+        assert_eq!(p1.means(), vec![2.0, 0.0, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different stage counts")]
+    fn merge_mismatched_probes_panics() {
+        let mut p1 = DisparityProbe::new(2);
+        let p2 = DisparityProbe::new(3);
+        p1.merge(&p2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Canny-style edge extraction.
+//!
+//! The paper extracts an "edge sketch" from every feature-map channel with
+//! OpenCV before computing feature disparity. [`EdgeExtractor`] reproduces
+//! the same pipeline: Gaussian blur → Sobel gradients → non-maximum
+//! suppression → double threshold with hysteresis.
+
+use crate::filter::{gaussian_blur, sobel_gradients};
+use crate::GrayImage;
+
+/// Configurable Canny-lite edge detector producing a binary edge sketch.
+///
+/// Thresholds are *relative* to the maximum gradient magnitude of the
+/// image being processed, which makes the extractor insensitive to global
+/// luminance/contrast differences — the key property the paper needs from
+/// its edge-based disparity metric (Table I, "luminance disparity" ✓).
+///
+/// # Examples
+///
+/// ```
+/// use sf_vision::{EdgeExtractor, GrayImage};
+///
+/// let img = GrayImage::from_fn(16, 16, |x, _| if x < 8 { 0.0 } else { 1.0 });
+/// let edges = EdgeExtractor::default().extract(&img);
+/// // Edge pixels cluster around the step at x = 8.
+/// assert!(edges.get(8, 8) == 1.0 || edges.get(7, 8) == 1.0);
+/// assert_eq!(edges.get(2, 8), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeExtractor {
+    /// Gaussian pre-blur sigma; `None` skips the blur (useful on tiny
+    /// feature maps).
+    pub blur_sigma: Option<f32>,
+    /// Low hysteresis threshold as a fraction of the max magnitude.
+    pub low_ratio: f32,
+    /// High hysteresis threshold as a fraction of the max magnitude.
+    pub high_ratio: f32,
+}
+
+impl Default for EdgeExtractor {
+    fn default() -> Self {
+        EdgeExtractor {
+            blur_sigma: Some(1.0),
+            low_ratio: 0.1,
+            high_ratio: 0.3,
+        }
+    }
+}
+
+impl EdgeExtractor {
+    /// An extractor tuned for small DCNN feature maps: no blur, permissive
+    /// thresholds.
+    pub fn for_feature_maps() -> Self {
+        EdgeExtractor {
+            blur_sigma: None,
+            low_ratio: 0.15,
+            high_ratio: 0.35,
+        }
+    }
+
+    /// Extracts a binary edge sketch (1.0 = edge, 0.0 = background).
+    pub fn extract(&self, img: &GrayImage) -> GrayImage {
+        let (w, h) = (img.width(), img.height());
+        if w < 3 || h < 3 {
+            return GrayImage::new(w, h);
+        }
+        let blurred = match self.blur_sigma {
+            Some(sigma) => gaussian_blur(img, sigma),
+            None => img.clone(),
+        };
+        let (gx, gy) = sobel_gradients(&blurred);
+        let mut magnitude = GrayImage::new(w, h);
+        let mut max_mag = 0.0f32;
+        for i in 0..w * h {
+            let m = (gx.data()[i] * gx.data()[i] + gy.data()[i] * gy.data()[i]).sqrt();
+            magnitude.data_mut()[i] = m;
+            max_mag = max_mag.max(m);
+        }
+        if max_mag <= f32::EPSILON {
+            return GrayImage::new(w, h);
+        }
+        let thinned = non_maximum_suppression(&magnitude, &gx, &gy);
+        hysteresis(
+            &thinned,
+            self.low_ratio * max_mag,
+            self.high_ratio * max_mag,
+        )
+    }
+}
+
+/// Keeps only pixels that are local maxima along their gradient direction
+/// (quantised to 4 directions, like the classic Canny).
+fn non_maximum_suppression(mag: &GrayImage, gx: &GrayImage, gy: &GrayImage) -> GrayImage {
+    let (w, h) = (mag.width(), mag.height());
+    GrayImage::from_fn(w, h, |x, y| {
+        let m = mag.get(x, y);
+        if m == 0.0 {
+            return 0.0;
+        }
+        let (dx, dy) = (gx.get(x, y), gy.get(x, y));
+        let angle = dy.atan2(dx).to_degrees();
+        // Quantise the direction to one of {0°, 45°, 90°, 135°}.
+        let a = ((angle + 180.0) % 180.0 + 22.5) as i32 / 45 % 4;
+        let (ox, oy): (isize, isize) = match a {
+            0 => (1, 0),
+            1 => (1, 1),
+            2 => (0, 1),
+            _ => (-1, 1),
+        };
+        let (x, y) = (x as isize, y as isize);
+        let n1 = mag.get_clamped(x + ox, y + oy);
+        let n2 = mag.get_clamped(x - ox, y - oy);
+        if m >= n1 && m >= n2 {
+            m
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Double threshold with 8-connected hysteresis: strong pixels seed a
+/// flood fill through weak pixels.
+fn hysteresis(mag: &GrayImage, low: f32, high: f32) -> GrayImage {
+    let (w, h) = (mag.width(), mag.height());
+    let mut out = GrayImage::new(w, h);
+    let mut stack = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if mag.get(x, y) >= high && out.get(x, y) == 0.0 {
+                out.set(x, y, 1.0);
+                stack.push((x, y));
+                while let Some((cx, cy)) = stack.pop() {
+                    for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            let nx = cx as isize + dx;
+                            let ny = cy as isize + dy;
+                            if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                                continue;
+                            }
+                            let (nx, ny) = (nx as usize, ny as usize);
+                            if out.get(nx, ny) == 0.0 && mag.get(nx, ny) >= low {
+                                out.set(nx, ny, 1.0);
+                                stack.push((nx, ny));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_image_has_no_edges() {
+        let img = GrayImage::from_fn(16, 16, |_, _| 0.5);
+        let edges = EdgeExtractor::default().extract(&img);
+        assert!(edges.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn edges_are_binary() {
+        let img = GrayImage::from_fn(20, 20, |x, y| ((x / 4 + y / 4) % 2) as f32);
+        let edges = EdgeExtractor::default().extract(&img);
+        assert!(edges.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(edges.data().contains(&1.0));
+    }
+
+    #[test]
+    fn luminance_shift_preserves_sketch() {
+        // The table-I property: a global luminance offset must not change
+        // the extracted edges.
+        let base = GrayImage::from_fn(24, 24, |x, y| {
+            if (x as i32 - 12).pow(2) + (y as i32 - 12).pow(2) < 36 {
+                0.8
+            } else {
+                0.2
+            }
+        });
+        let shifted =
+            GrayImage::from_raw(24, 24, base.data().iter().map(|&v| v * 0.5 + 0.1).collect());
+        let ex = EdgeExtractor::default();
+        let e1 = ex.extract(&base);
+        let e2 = ex.extract(&shifted);
+        let diff: f32 = e1
+            .data()
+            .iter()
+            .zip(e2.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .sum();
+        assert!(diff < 4.0, "edge sketches differ by {diff} pixels");
+    }
+
+    #[test]
+    fn tiny_images_yield_empty_sketch() {
+        let img = GrayImage::from_fn(2, 2, |x, _| x as f32);
+        let edges = EdgeExtractor::default().extract(&img);
+        assert!(edges.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn nms_thins_edges() {
+        // A blurred step produces a wide gradient ridge; NMS should keep
+        // it narrow (≤ 2 px per row given symmetric ties).
+        let img = GrayImage::from_fn(24, 8, |x, _| 1.0 / (1.0 + (-(x as f32 - 12.0)).exp()));
+        let edges = EdgeExtractor {
+            blur_sigma: Some(1.0),
+            low_ratio: 0.4,
+            high_ratio: 0.6,
+        }
+        .extract(&img);
+        for y in 1..7 {
+            let count: f32 = (0..24).map(|x| edges.get(x, y)).sum();
+            assert!(count <= 3.0, "row {y} has {count} edge pixels");
+        }
+    }
+
+    #[test]
+    fn feature_map_preset_runs_without_blur() {
+        let img = GrayImage::from_fn(8, 8, |x, y| ((x + y) % 3) as f32 / 2.0);
+        let edges = EdgeExtractor::for_feature_maps().extract(&img);
+        assert_eq!(edges.width(), 8);
+        assert!(edges.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Separable Gaussian filtering and Sobel gradients on [`GrayImage`]s.
+
+use crate::GrayImage;
+
+/// Builds a normalised 1-D Gaussian kernel with radius `⌈3σ⌉`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// let k = sf_vision::gaussian_kernel(1.0);
+/// assert_eq!(k.len(), 7); // radius 3
+/// let sum: f32 = k.iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-6);
+/// ```
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(
+        sigma.is_finite() && sigma > 0.0,
+        "gaussian sigma must be positive, got {sigma}"
+    );
+    let radius = (3.0 * sigma).ceil() as isize;
+    let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+    let inv2s2 = 1.0 / (2.0 * sigma * sigma);
+    for i in -radius..=radius {
+        kernel.push((-(i * i) as f32 * inv2s2).exp());
+    }
+    let sum: f32 = kernel.iter().sum();
+    for k in &mut kernel {
+        *k /= sum;
+    }
+    kernel
+}
+
+/// Gaussian-blurs an image with replicate border handling, using two
+/// separable 1-D passes.
+pub fn gaussian_blur(img: &GrayImage, sigma: f32) -> GrayImage {
+    let kernel = gaussian_kernel(sigma);
+    let radius = (kernel.len() / 2) as isize;
+    let (w, h) = (img.width(), img.height());
+    // Horizontal pass.
+    let horiz = GrayImage::from_fn(w, h, |x, y| {
+        kernel
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| k * img.get_clamped(x as isize + i as isize - radius, y as isize))
+            .sum()
+    });
+    // Vertical pass.
+    GrayImage::from_fn(w, h, |x, y| {
+        kernel
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| k * horiz.get_clamped(x as isize, y as isize + i as isize - radius))
+            .sum()
+    })
+}
+
+/// Sobel gradients `(gx, gy)` with replicate border handling.
+///
+/// The 3×3 Sobel operator is the same one OpenCV's Canny uses internally;
+/// the paper's feature-disparity pipeline builds on it.
+pub fn sobel_gradients(img: &GrayImage) -> (GrayImage, GrayImage) {
+    let (w, h) = (img.width(), img.height());
+    let at = |x: isize, y: isize| img.get_clamped(x, y);
+    let gx = GrayImage::from_fn(w, h, |x, y| {
+        let (x, y) = (x as isize, y as isize);
+        -at(x - 1, y - 1) + at(x + 1, y - 1) - 2.0 * at(x - 1, y) + 2.0 * at(x + 1, y)
+            - at(x - 1, y + 1)
+            + at(x + 1, y + 1)
+    });
+    let gy = GrayImage::from_fn(w, h, |x, y| {
+        let (x, y) = (x as isize, y as isize);
+        -at(x - 1, y - 1) - 2.0 * at(x, y - 1) - at(x + 1, y - 1)
+            + at(x - 1, y + 1)
+            + 2.0 * at(x, y + 1)
+            + at(x + 1, y + 1)
+    });
+    (gx, gy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_symmetric_and_normalised() {
+        for sigma in [0.5, 1.0, 2.0] {
+            let k = gaussian_kernel(sigma);
+            assert_eq!(k.len() % 2, 1);
+            let sum: f32 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            for i in 0..k.len() / 2 {
+                assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+            }
+            // Peak at centre.
+            assert!(k[k.len() / 2] >= *k.first().unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sigma_panics() {
+        gaussian_kernel(0.0);
+    }
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let img = GrayImage::from_fn(10, 8, |_, _| 0.42);
+        let blurred = gaussian_blur(&img, 1.5);
+        assert!(blurred.data().iter().all(|&v| (v - 0.42).abs() < 1e-5));
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let img = GrayImage::from_fn(32, 32, |x, y| ((x * 7 + y * 13) % 5) as f32 / 4.0);
+        let blurred = gaussian_blur(&img, 1.0);
+        let var = |im: &GrayImage| {
+            let mean: f32 = im.data().iter().sum::<f32>() / im.data().len() as f32;
+            im.data()
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+        };
+        assert!(var(&blurred) < var(&img));
+    }
+
+    #[test]
+    fn sobel_detects_vertical_step() {
+        let img = GrayImage::from_fn(8, 8, |x, _| if x < 4 { 0.0 } else { 1.0 });
+        let (gx, gy) = sobel_gradients(&img);
+        // Strong horizontal gradient at the step column, none elsewhere.
+        assert!(gx.get(3, 4) > 2.0 || gx.get(4, 4) > 2.0);
+        assert!(gx.get(1, 4).abs() < 1e-6);
+        // No vertical gradient anywhere.
+        assert!(gy.data().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn sobel_detects_horizontal_step() {
+        let img = GrayImage::from_fn(8, 8, |_, y| if y < 4 { 1.0 } else { 0.0 });
+        let (gx, gy) = sobel_gradients(&img);
+        assert!(gy.get(4, 3) < -2.0 || gy.get(4, 4) < -2.0);
+        assert!(gx.data().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn sobel_is_zero_on_constant() {
+        let img = GrayImage::from_fn(6, 6, |_, _| 0.7);
+        let (gx, gy) = sobel_gradients(&img);
+        assert!(gx.data().iter().all(|&v| v.abs() < 1e-6));
+        assert!(gy.data().iter().all(|&v| v.abs() < 1e-6));
+    }
+}

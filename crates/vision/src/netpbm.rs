@@ -1,0 +1,253 @@
+//! Binary netpbm (PGM P5 / PPM P6) readers — the inverse of
+//! [`GrayImage::write_pgm`] and [`RgbImage::write_ppm`], used by the CLI
+//! to load user-supplied frames.
+
+use std::fmt;
+use std::io::{self, Read};
+use std::path::Path;
+
+use crate::{GrayImage, RgbImage};
+
+/// Errors produced while parsing a netpbm file.
+#[derive(Debug)]
+pub enum ReadImageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not the expected P5/P6 format.
+    BadFormat(String),
+    /// Header fields were malformed or missing.
+    BadHeader(String),
+    /// The pixel payload is shorter than the header promises.
+    Truncated,
+}
+
+impl fmt::Display for ReadImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadImageError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadImageError::BadFormat(got) => {
+                write!(f, "unsupported netpbm format {got:?} (expected P5 or P6)")
+            }
+            ReadImageError::BadHeader(reason) => write!(f, "malformed header: {reason}"),
+            ReadImageError::Truncated => write!(f, "pixel data is truncated"),
+        }
+    }
+}
+
+impl std::error::Error for ReadImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadImageError {
+    fn from(e: io::Error) -> Self {
+        ReadImageError::Io(e)
+    }
+}
+
+/// Parses netpbm header tokens (handling `#` comments), returning
+/// `(width, height, maxval, payload_offset)`.
+fn parse_header(
+    bytes: &[u8],
+    expect_magic: &str,
+) -> Result<(usize, usize, usize, usize), ReadImageError> {
+    if bytes.len() < 2 {
+        return Err(ReadImageError::Truncated);
+    }
+    let magic = std::str::from_utf8(&bytes[..2])
+        .map_err(|_| ReadImageError::BadFormat("non-ascii".to_string()))?;
+    if magic != expect_magic {
+        return Err(ReadImageError::BadFormat(magic.to_string()));
+    }
+    let mut fields = Vec::with_capacity(3);
+    let mut i = 2usize;
+    while fields.len() < 3 {
+        // Skip whitespace and comments.
+        while i < bytes.len() {
+            if bytes[i] == b'#' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            } else if bytes[i].is_ascii_whitespace() {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if start == i {
+            return Err(ReadImageError::BadHeader(
+                "expected a decimal field".to_string(),
+            ));
+        }
+        let text = std::str::from_utf8(&bytes[start..i]).expect("ascii digits");
+        fields.push(
+            text.parse::<usize>()
+                .map_err(|e| ReadImageError::BadHeader(format!("field {text:?}: {e}")))?,
+        );
+    }
+    // Exactly one whitespace byte separates the header from the payload.
+    if i >= bytes.len() || !bytes[i].is_ascii_whitespace() {
+        return Err(ReadImageError::BadHeader(
+            "missing separator before pixel data".to_string(),
+        ));
+    }
+    i += 1;
+    let (w, h, maxval) = (fields[0], fields[1], fields[2]);
+    if maxval == 0 || maxval > 255 {
+        return Err(ReadImageError::BadHeader(format!(
+            "unsupported maxval {maxval}"
+        )));
+    }
+    Ok((w, h, maxval, i))
+}
+
+/// Reads a binary PGM (P5) image, scaling pixels to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns a [`ReadImageError`] on I/O failure or malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use sf_vision::{read_pgm, GrayImage};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let path = std::env::temp_dir().join("roundtrip.pgm");
+/// let img = GrayImage::from_fn(4, 2, |x, _| x as f32 / 3.0);
+/// img.write_pgm(&path)?;
+/// let back = read_pgm(&path)?;
+/// assert_eq!(back.width(), 4);
+/// # std::fs::remove_file(path)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_pgm(path: impl AsRef<Path>) -> Result<GrayImage, ReadImageError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let (w, h, maxval, offset) = parse_header(&bytes, "P5")?;
+    let payload = &bytes[offset..];
+    if payload.len() < w * h {
+        return Err(ReadImageError::Truncated);
+    }
+    let scale = 1.0 / maxval as f32;
+    Ok(GrayImage::from_raw(
+        w,
+        h,
+        payload[..w * h].iter().map(|&b| b as f32 * scale).collect(),
+    ))
+}
+
+/// Reads a binary PPM (P6) image, scaling channels to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns a [`ReadImageError`] on I/O failure or malformed input.
+pub fn read_ppm(path: impl AsRef<Path>) -> Result<RgbImage, ReadImageError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let (w, h, maxval, offset) = parse_header(&bytes, "P6")?;
+    let payload = &bytes[offset..];
+    if payload.len() < 3 * w * h {
+        return Err(ReadImageError::Truncated);
+    }
+    let scale = 1.0 / maxval as f32;
+    let mut img = RgbImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let i = 3 * (y * w + x);
+            img.set(
+                x,
+                y,
+                [
+                    payload[i] as f32 * scale,
+                    payload[i + 1] as f32 * scale,
+                    payload[i + 2] as f32 * scale,
+                ],
+            );
+        }
+    }
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let path = tmp("sf_netpbm_gray.pgm");
+        let img = GrayImage::from_fn(6, 3, |x, y| (x + y) as f32 / 8.0);
+        img.write_pgm(&path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.width(), 6);
+        assert_eq!(back.height(), 3);
+        for y in 0..3 {
+            for x in 0..6 {
+                assert!((back.get(x, y) - img.get(x, y)).abs() < 1.0 / 255.0 + 1e-6);
+            }
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn ppm_round_trip() {
+        let path = tmp("sf_netpbm_rgb.ppm");
+        let img = RgbImage::from_fn(5, 4, |x, y| [x as f32 / 4.0, y as f32 / 3.0, 0.5]);
+        img.write_ppm(&path).unwrap();
+        let back = read_ppm(&path).unwrap();
+        assert_eq!((back.width(), back.height()), (5, 4));
+        for y in 0..4 {
+            for x in 0..5 {
+                for c in 0..3 {
+                    assert!((back.get(x, y)[c] - img.get(x, y)[c]).abs() < 1.0 / 255.0 + 1e-6);
+                }
+            }
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn comments_in_header_are_skipped() {
+        let path = tmp("sf_netpbm_comment.pgm");
+        std::fs::write(
+            &path,
+            b"P5\n# created by a test\n2 2\n255\n\x00\x40\x80\xFF",
+        )
+        .unwrap();
+        let img = read_pgm(&path).unwrap();
+        assert_eq!(img.width(), 2);
+        assert!((img.get(1, 1) - 1.0).abs() < 1e-6);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        let path = tmp("sf_netpbm_bad.pgm");
+        std::fs::write(&path, b"P6\n2 2\n255\n....").unwrap();
+        assert!(matches!(read_pgm(&path), Err(ReadImageError::BadFormat(_))));
+        std::fs::write(&path, b"P5\n2 2\n255\n\x00").unwrap();
+        assert!(matches!(read_pgm(&path), Err(ReadImageError::Truncated)));
+        std::fs::write(&path, b"P5\nx 2\n255\n\x00").unwrap();
+        assert!(matches!(read_pgm(&path), Err(ReadImageError::BadHeader(_))));
+        std::fs::write(&path, b"P5\n2 2\n9999\n\x00\x00\x00\x00").unwrap();
+        assert!(matches!(read_pgm(&path), Err(ReadImageError::BadHeader(_))));
+        std::fs::remove_file(path).unwrap();
+        assert!(matches!(
+            read_pgm(tmp("sf_netpbm_does_not_exist.pgm")),
+            Err(ReadImageError::Io(_))
+        ));
+    }
+}

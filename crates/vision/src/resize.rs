@@ -1,0 +1,143 @@
+//! Bilinear image resampling.
+
+use crate::{GrayImage, RgbImage};
+
+/// Bilinearly resamples a grayscale image to `new_w × new_h`.
+///
+/// Uses half-pixel-centre alignment (the OpenCV/PyTorch
+/// `align_corners=false` convention), so down- and up-sampling are
+/// geometrically consistent.
+///
+/// # Panics
+///
+/// Panics if either target dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sf_vision::{resize_gray, GrayImage};
+///
+/// let img = GrayImage::from_fn(8, 4, |x, _| x as f32 / 7.0);
+/// let half = resize_gray(&img, 4, 2);
+/// assert_eq!((half.width(), half.height()), (4, 2));
+/// ```
+pub fn resize_gray(img: &GrayImage, new_w: usize, new_h: usize) -> GrayImage {
+    assert!(new_w > 0 && new_h > 0, "target size must be non-zero");
+    let sx = img.width() as f32 / new_w as f32;
+    let sy = img.height() as f32 / new_h as f32;
+    GrayImage::from_fn(new_w, new_h, |x, y| {
+        sample_bilinear(
+            img,
+            (x as f32 + 0.5) * sx - 0.5,
+            (y as f32 + 0.5) * sy - 0.5,
+        )
+    })
+}
+
+/// Bilinearly resamples an RGB image to `new_w × new_h`.
+///
+/// # Panics
+///
+/// Panics if either target dimension is zero.
+pub fn resize_rgb(img: &RgbImage, new_w: usize, new_h: usize) -> RgbImage {
+    assert!(new_w > 0 && new_h > 0, "target size must be non-zero");
+    let sx = img.width() as f32 / new_w as f32;
+    let sy = img.height() as f32 / new_h as f32;
+    // Resample each plane through the grayscale kernel.
+    let planes: Vec<GrayImage> = (0..3)
+        .map(|c| {
+            let plane = GrayImage::from_fn(img.width(), img.height(), |x, y| img.get(x, y)[c]);
+            GrayImage::from_fn(new_w, new_h, |x, y| {
+                sample_bilinear(
+                    &plane,
+                    (x as f32 + 0.5) * sx - 0.5,
+                    (y as f32 + 0.5) * sy - 0.5,
+                )
+            })
+        })
+        .collect();
+    RgbImage::from_fn(new_w, new_h, |x, y| {
+        [
+            planes[0].get(x, y),
+            planes[1].get(x, y),
+            planes[2].get(x, y),
+        ]
+    })
+}
+
+fn sample_bilinear(img: &GrayImage, fx: f32, fy: f32) -> f32 {
+    let x0 = fx.floor() as isize;
+    let y0 = fy.floor() as isize;
+    let tx = fx - x0 as f32;
+    let ty = fy - y0 as f32;
+    let v00 = img.get_clamped(x0, y0);
+    let v10 = img.get_clamped(x0 + 1, y0);
+    let v01 = img.get_clamped(x0, y0 + 1);
+    let v11 = img.get_clamped(x0 + 1, y0 + 1);
+    let top = v00 * (1.0 - tx) + v10 * tx;
+    let bottom = v01 * (1.0 - tx) + v11 * tx;
+    top * (1.0 - ty) + bottom * ty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resize_is_exact() {
+        let img = GrayImage::from_fn(7, 5, |x, y| (x * 3 + y) as f32 / 25.0);
+        let same = resize_gray(&img, 7, 5);
+        for y in 0..5 {
+            for x in 0..7 {
+                assert!((same.get(x, y) - img.get(x, y)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_image_stays_constant() {
+        let img = GrayImage::from_fn(10, 6, |_, _| 0.37);
+        for (w, h) in [(5, 3), (20, 12), (3, 9)] {
+            let resized = resize_gray(&img, w, h);
+            assert!(resized.data().iter().all(|&v| (v - 0.37).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn gradient_is_preserved_under_scaling() {
+        // A linear horizontal ramp stays a ramp at any scale.
+        let img = GrayImage::from_fn(32, 8, |x, _| x as f32 / 31.0);
+        let small = resize_gray(&img, 16, 4);
+        for x in 1..16 {
+            assert!(small.get(x, 2) > small.get(x - 1, 2));
+        }
+        let big = resize_gray(&img, 64, 16);
+        for x in 1..64 {
+            assert!(big.get(x, 8) >= big.get(x - 1, 8) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn rgb_resize_keeps_channels_independent() {
+        let img = RgbImage::from_fn(8, 8, |x, y| [x as f32 / 7.0, y as f32 / 7.0, 0.5]);
+        let resized = resize_rgb(&img, 4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                let [r, g, b] = resized.get(x, y);
+                assert!((b - 0.5).abs() < 1e-6);
+                if x > 0 {
+                    assert!(r >= resized.get(x - 1, y)[0] - 1e-6);
+                }
+                if y > 0 {
+                    assert!(g >= resized.get(x, y - 1)[1] - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_target_panics() {
+        let _ = resize_gray(&GrayImage::new(4, 4), 0, 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Model zoo: instantiate all five fusion architectures of the paper and
+//! compare their analytic cost (the Fig. 7 axes) plus a quick accuracy
+//! estimate.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p sf-bench --example model_zoo
+//! ```
+
+use sf_core::{evaluate, train, EvalOptions, FusionNet, FusionScheme, NetworkConfig, TrainConfig};
+use sf_dataset::{DatasetConfig, RoadDataset};
+use sf_nn::Parameterized;
+
+fn main() {
+    let net_config = NetworkConfig::standard();
+    println!(
+        "architecture comparison at {}x{} input, stages {:?}\n",
+        net_config.width, net_config.height, net_config.stage_channels
+    );
+
+    // Static comparison: parameters and MACs are architecture facts.
+    println!(
+        "{:<16} {:>10} {:>12} {:>10}",
+        "model", "params", "MACs/image", "Δ vs base"
+    );
+    let base_params = FusionNet::new(FusionScheme::Baseline, &net_config)
+        .cost()
+        .params as f64;
+    for scheme in FusionScheme::ALL {
+        let mut net = FusionNet::new(scheme, &net_config);
+        let cost = net.cost();
+        debug_assert_eq!(cost.params as usize, net.param_count());
+        println!(
+            "{:<16} {:>10} {:>12} {:>+9.1}%",
+            scheme.abbrev(),
+            cost.params,
+            cost.macs,
+            (cost.params as f64 / base_params - 1.0) * 100.0
+        );
+    }
+
+    // Dynamic comparison: a quick training run per architecture.
+    let dataset_config = DatasetConfig {
+        train_per_category: 8,
+        test_per_category: 4,
+        ..DatasetConfig::standard()
+    };
+    let data = RoadDataset::generate(&dataset_config);
+    let camera = dataset_config.camera();
+    let train_config = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::standard()
+    };
+    println!(
+        "\nquick training ({} epochs) per model:",
+        train_config.epochs
+    );
+    for scheme in FusionScheme::ALL {
+        let mut net = FusionNet::new(scheme, &net_config);
+        train(&mut net, &data.train(None), &train_config);
+        let eval = evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default());
+        println!("  {:<16} {eval}", scheme.abbrev());
+    }
+    println!(
+        "\n(for the full Fig. 6/7 protocol run `cargo run --release -p sf-bench --bin exp_fig6`)"
+    );
+}

@@ -1,0 +1,173 @@
+//! End-to-end integration tests spanning every crate: scene → sensors →
+//! dataset → network → training → BEV evaluation.
+
+use sf_autograd::Graph;
+use sf_core::{
+    evaluate, fd_loss, measure_disparity, predict_probability, train, EvalOptions, FusionNet,
+    FusionScheme, NetworkConfig, TrainConfig,
+};
+use sf_dataset::{DatasetConfig, RoadDataset};
+use sf_nn::{Mode, Parameterized};
+use sf_scene::RoadCategory;
+
+fn tiny_dataset() -> (DatasetConfig, RoadDataset) {
+    let config = DatasetConfig {
+        width: 48,
+        height: 16,
+        train_per_category: 6,
+        test_per_category: 3,
+        seed: 99,
+        adverse_fraction: 0.3,
+        traffic_fraction: 0.25,
+    };
+    let data = RoadDataset::generate(&config);
+    (config, data)
+}
+
+fn tiny_network() -> NetworkConfig {
+    NetworkConfig {
+        width: 48,
+        height: 16,
+        stage_channels: vec![4, 6, 8],
+        shared_stages: 1,
+        depth_channels: 1,
+        seed: 1,
+    }
+}
+
+#[test]
+fn every_architecture_trains_and_evaluates() {
+    let (dataset_config, data) = tiny_dataset();
+    let camera = dataset_config.camera();
+    let train_config = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::standard()
+    };
+    for scheme in FusionScheme::ALL {
+        let mut net = FusionNet::new(scheme, &tiny_network());
+        let report = train(&mut net, &data.train(None), &train_config);
+        assert_eq!(report.seg_loss.len(), 2, "{scheme}");
+        assert!(report.final_seg_loss().is_finite(), "{scheme}");
+        let eval = evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default());
+        for v in eval.as_row() {
+            assert!((0.0..=100.0).contains(&v), "{scheme}: metric {v}");
+        }
+    }
+}
+
+#[test]
+fn fd_loss_reduces_measured_disparity() {
+    // The paper's Fig. 3 mechanism end-to-end: training WITH the FD loss
+    // should leave less per-stage feature disparity than training without
+    // it, measured with the independent Canny-sketch probe.
+    let (_, data) = tiny_dataset();
+    let train_samples = data.train(None);
+    let probe_samples = data.test(None);
+    let config = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::standard()
+    };
+
+    let mut with_loss = FusionNet::new(FusionScheme::Baseline, &tiny_network());
+    train(&mut with_loss, &train_samples, &config.with_alpha(0.5));
+    let probe_with = measure_disparity(&mut with_loss, &probe_samples);
+
+    let mut without_loss = FusionNet::new(FusionScheme::Baseline, &tiny_network());
+    train(&mut without_loss, &train_samples, &config.with_alpha(0.0));
+    let probe_without = measure_disparity(&mut without_loss, &probe_samples);
+
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    let fd_with = mean(&probe_with.means());
+    let fd_without = mean(&probe_without.means());
+    assert!(
+        fd_with < fd_without + 0.02,
+        "FD loss should not increase disparity: with {fd_with}, without {fd_without}"
+    );
+}
+
+#[test]
+fn training_improves_on_every_category() {
+    let (dataset_config, data) = tiny_dataset();
+    let camera = dataset_config.camera();
+    let mut net = FusionNet::new(FusionScheme::WeightedSharing, &tiny_network());
+    let config = TrainConfig {
+        epochs: 10,
+        ..TrainConfig::standard()
+    };
+    train(&mut net, &data.train(None), &config);
+    for category in RoadCategory::ALL {
+        let eval = evaluate(
+            &mut net,
+            &data.test(Some(category)),
+            &camera,
+            &EvalOptions::default(),
+        );
+        assert!(
+            eval.f_score > 40.0,
+            "{category}: F-score {:.2} too low after training",
+            eval.f_score
+        );
+    }
+}
+
+#[test]
+fn weight_sharing_ties_gradients_across_branches() {
+    // The shared deep stage receives gradient contributions from BOTH
+    // streams; an unshared twin trained identically must diverge from it.
+    let (_, data) = tiny_dataset();
+    let train_samples = data.train(None);
+    let config = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::standard()
+    };
+    let mut shared = FusionNet::new(FusionScheme::BaseSharing, &tiny_network());
+    let mut unshared = FusionNet::new(FusionScheme::Baseline, &tiny_network());
+    train(&mut shared, &train_samples, &config);
+    train(&mut unshared, &train_samples, &config);
+    let count = |n: &mut FusionNet| n.param_count();
+    assert!(count(&mut shared) < count(&mut unshared));
+}
+
+#[test]
+fn fd_loss_on_real_fusion_pairs_is_finite_and_nonnegative() {
+    let (_, data) = tiny_dataset();
+    let sample = data.train(None)[0].clone();
+    let mut net = FusionNet::new(FusionScheme::AllFilterB, &tiny_network());
+    let mut g = Graph::new();
+    let rgb = g.leaf(sample.rgb.reshape(&[1, 3, 16, 48]).unwrap());
+    let depth = g.leaf(sample.depth.reshape(&[1, 1, 16, 48]).unwrap());
+    let out = net.forward(&mut g, rgb, depth, Mode::Train);
+    for &(r, d) in &out.fusion_pairs {
+        let loss = fd_loss(&mut g, r, d);
+        let v = g.value(loss).at(&[]);
+        assert!(v.is_finite() && v >= 0.0, "fd loss {v}");
+    }
+}
+
+#[test]
+fn predictions_are_probabilities_on_all_test_samples() {
+    let (_, data) = tiny_dataset();
+    let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_network());
+    for sample in data.test(None) {
+        let prob = predict_probability(&mut net, sample);
+        assert!(prob.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}
+
+#[test]
+fn dataset_and_training_are_reproducible_end_to_end() {
+    let run = || {
+        let (dataset_config, data) = tiny_dataset();
+        let camera = dataset_config.camera();
+        let mut net = FusionNet::new(FusionScheme::AllFilterU, &tiny_network());
+        let config = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::standard()
+        };
+        train(&mut net, &data.train(None), &config);
+        evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "two identical runs must produce identical metrics");
+}

@@ -1,0 +1,80 @@
+//! Smoke tests for every experiment harness at quick scale — the same
+//! code paths the `exp_*` binaries run for the paper's tables/figures.
+
+use sf_bench::experiments::{fig3, fig6, fig7, fig8, fig9, table1};
+use sf_bench::ExperimentScale;
+use sf_core::FusionScheme;
+use sf_scene::RoadCategory;
+
+const SCALE: ExperimentScale = ExperimentScale::Quick;
+
+#[test]
+fn table1_smoke() {
+    let result = table1::run(SCALE);
+    assert_eq!(result.rows.len(), 5);
+    // Headline claim: only Feature Disparity passes both tests.
+    let fd = result.row("Feature Disparity").unwrap();
+    assert!(fd.spatial_information && fd.luminance_tolerant);
+    assert!(!table1::render(&result).is_empty());
+}
+
+#[test]
+fn fig3_smoke() {
+    let result = fig3::run(SCALE);
+    assert_eq!(result.baseline_fd.len(), result.filtered_fd.len());
+    assert!(result.baseline_f > 0.0 && result.filtered_f > 0.0);
+    let text = fig3::render(&result);
+    assert!(text.contains("Fig. 3(a)"));
+    assert!(text.contains("Fig. 3(b)"));
+}
+
+#[test]
+fn fig6_smoke() {
+    let result = fig6::run(SCALE);
+    assert_eq!(result.tables.len(), 3);
+    for category in RoadCategory::ALL {
+        let table = result.table(category);
+        assert_eq!(table.evals.len(), 5);
+        // best_by_f never panics and names a real scheme.
+        let best = table.best_by_f();
+        assert!(FusionScheme::ALL.contains(&best));
+    }
+    assert!(fig6::render(&result).contains("UU road scene"));
+}
+
+#[test]
+fn fig7_smoke() {
+    let result = fig7::run(SCALE, false);
+    assert_eq!(result.points.len(), 5);
+    // The architecture-determined cost ordering is scale-independent.
+    let params = |l: &str| result.point(l).unwrap().cost.params;
+    assert!(params("AB") > params("AU"));
+    assert!(params("AU") > params("Baseline"));
+    assert!(params("Baseline") > params("WS"));
+    assert!(params("WS") > params("BS"));
+    assert!(fig7::render(&result).contains("kParams"));
+}
+
+#[test]
+fn fig8_smoke() {
+    let result = fig8::run(SCALE, &[]);
+    assert_eq!(result.rows.len(), 6);
+    for row in &result.rows {
+        assert_eq!(row.f_scores.len(), 3);
+        for &f in &row.f_scores {
+            assert!((0.0..=100.0).contains(&f));
+        }
+    }
+    assert!(fig8::render(&result).contains("alpha"));
+}
+
+#[test]
+fn fig9_smoke() {
+    let dir = std::env::temp_dir().join("sf_fig9_smoke");
+    let result = fig9::run(SCALE, Some(&dir)).expect("fig9 runs");
+    assert_eq!(result.panels.len(), 3);
+    assert_eq!(result.files.len(), 9);
+    let text = fig9::render(&result);
+    assert!(text.contains("pixel accuracy"));
+    let _ = std::fs::remove_dir_all(dir);
+}
