@@ -1,69 +1,100 @@
 //! Property tests: random networks must pass finite-difference checks.
+//!
+//! Runs on the deterministic in-repo harness ([`sf_tensor::testkit`]);
+//! each case number seeds the generator directly, so case 0 permanently
+//! covers the `seed = 0` regression the old proptest setup had persisted
+//! in its regression file.
 
-use proptest::prelude::*;
 use sf_autograd::{check_gradients, Graph};
+use sf_tensor::testkit::check_cases;
 use sf_tensor::{Conv2dSpec, Tensor, TensorRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn elementwise_chain_worst(seed: u64) -> f32 {
+    let mut rng = TensorRng::seed_from(seed);
+    let p = rng.uniform(&[6], -1.5, 1.5);
+    let ops: Vec<u8> = (0..4).map(|_| rng.index(4) as u8).collect();
+    check_gradients(&[p], 1e-3, 3e-2, |g, params| {
+        let x = g.param(params[0].clone());
+        let mut cur = x;
+        for &op in &ops {
+            cur = match op {
+                0 => g.relu(cur),
+                1 => g.sigmoid(cur),
+                2 => g.scale(cur, 1.3),
+                _ => g.add_scalar(cur, 0.7),
+            };
+        }
+        (g.mean_all(cur), vec![x])
+    })
+    .unwrap()
+}
 
-    #[test]
-    fn random_elementwise_chains_check(seed in 0u64..10_000) {
-        let mut rng = TensorRng::seed_from(seed);
-        let p = rng.uniform(&[6], -1.5, 1.5);
-        let ops: Vec<u8> = (0..4).map(|_| rng.index(4) as u8).collect();
-        let worst = check_gradients(&[p], 1e-3, 3e-2, |g, params| {
-            let x = g.param(params[0].clone());
-            let mut cur = x;
-            for &op in &ops {
-                cur = match op {
-                    0 => g.relu(cur),
-                    1 => g.sigmoid(cur),
-                    2 => g.scale(cur, 1.3),
-                    _ => g.add_scalar(cur, 0.7),
-                };
-            }
-            (g.mean_all(cur), vec![x])
-        }).unwrap();
-        prop_assert!(worst < 3e-2);
-    }
+fn conv_stack_worst(seed: u64) -> f32 {
+    let mut rng = TensorRng::seed_from(seed);
+    let x0 = rng.uniform(&[1, 2, 6, 6], -1.0, 1.0);
+    let w1 = rng.kaiming(&[3, 2, 3, 3]);
+    let w2 = rng.kaiming(&[1, 3, 1, 1]);
+    check_gradients(&[w1, w2], 5e-3, 5e-2, |g, p| {
+        let x = g.leaf(x0.clone());
+        let w1 = g.param(p[0].clone());
+        let w2 = g.param(p[1].clone());
+        let c1 = g.conv2d(x, w1, None, Conv2dSpec::same(3));
+        let r1 = g.relu(c1);
+        let pool = g.avg_pool2d(r1, 2, 2);
+        let c2 = g.conv2d(pool, w2, None, Conv2dSpec::default());
+        (g.mean_all(c2), vec![w1, w2])
+    })
+    .unwrap()
+}
 
-    #[test]
-    fn random_conv_stack_checks(seed in 0u64..10_000) {
-        let mut rng = TensorRng::seed_from(seed);
-        let x0 = rng.uniform(&[1, 2, 6, 6], -1.0, 1.0);
-        let w1 = rng.kaiming(&[3, 2, 3, 3]);
-        let w2 = rng.kaiming(&[1, 3, 1, 1]);
-        let worst = check_gradients(&[w1, w2], 5e-3, 5e-2, |g, p| {
-            let x = g.leaf(x0.clone());
-            let w1 = g.param(p[0].clone());
-            let w2 = g.param(p[1].clone());
-            let c1 = g.conv2d(x, w1, None, Conv2dSpec::same(3));
-            let r1 = g.relu(c1);
-            let pool = g.avg_pool2d(r1, 2, 2);
-            let c2 = g.conv2d(pool, w2, None, Conv2dSpec::default());
-            (g.mean_all(c2), vec![w1, w2])
-        }).unwrap();
-        prop_assert!(worst < 5e-2);
-    }
+#[test]
+fn random_elementwise_chains_check() {
+    check_cases(24, |c| {
+        assert!(elementwise_chain_worst(c.case) < 3e-2);
+    });
+}
 
-    #[test]
-    fn mse_between_two_params_checks(seed in 0u64..10_000) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn random_conv_stack_checks() {
+    check_cases(24, |c| {
+        assert!(conv_stack_worst(c.case) < 5e-2);
+    });
+}
+
+/// Explicit ports of the persisted proptest regression seed (`seed = 0`),
+/// kept as standalone tests so the historical counterexample stays pinned
+/// even if the harness's case numbering ever changes.
+#[test]
+fn regression_seed_zero_elementwise_chain() {
+    assert!(elementwise_chain_worst(0) < 3e-2);
+}
+
+#[test]
+fn regression_seed_zero_conv_stack() {
+    assert!(conv_stack_worst(0) < 5e-2);
+}
+
+#[test]
+fn mse_between_two_params_checks() {
+    check_cases(24, |c| {
+        let mut rng = TensorRng::seed_from(c.case);
         let a = rng.uniform(&[2, 3], -1.0, 1.0);
         let b = rng.uniform(&[2, 3], -1.0, 1.0);
         let worst = check_gradients(&[a, b], 1e-3, 1e-2, |g, p| {
             let a = g.param(p[0].clone());
             let b = g.param(p[1].clone());
             (g.mse(a, b), vec![a, b])
-        }).unwrap();
-        prop_assert!(worst < 1e-2);
-    }
+        })
+        .unwrap();
+        assert!(worst < 1e-2);
+    });
+}
 
-    #[test]
-    fn sqrt_eps_magnitude_checks(seed in 0u64..10_000) {
+#[test]
+fn sqrt_eps_magnitude_checks() {
+    check_cases(24, |c| {
         // The differentiable edge magnitude: sqrt(gx² + gy² + eps).
-        let mut rng = TensorRng::seed_from(seed);
+        let mut rng = TensorRng::seed_from(c.case);
         let gx = rng.uniform(&[3, 3], -1.0, 1.0);
         let gy = rng.uniform(&[3, 3], -1.0, 1.0);
         let worst = check_gradients(&[gx, gy], 1e-3, 2e-2, |g, p| {
@@ -74,15 +105,18 @@ proptest! {
             let s = g.add(gx2, gy2);
             let mag = g.sqrt_eps(s, 1e-4);
             (g.mean_all(mag), vec![gx, gy])
-        }).unwrap();
-        prop_assert!(worst < 2e-2);
-    }
+        })
+        .unwrap();
+        assert!(worst < 2e-2);
+    });
+}
 
-    #[test]
-    fn backward_twice_from_different_roots_is_additive(seed in 0u64..10_000) {
+#[test]
+fn backward_twice_from_different_roots_is_additive() {
+    check_cases(24, |c| {
         // Calling backward on two roots accumulates gradients — the same
         // behaviour PyTorch has without zero_grad.
-        let mut rng = TensorRng::seed_from(seed);
+        let mut rng = TensorRng::seed_from(c.case);
         let p0 = rng.uniform(&[4], -1.0, 1.0);
         let mut g = Graph::new();
         let x = g.param(p0.clone());
@@ -93,6 +127,6 @@ proptest! {
         g.backward(l1);
         g.backward(l2);
         let grad = g.grad(x).unwrap();
-        prop_assert!(grad.allclose(&Tensor::full(&[4], 5.0), 1e-5));
-    }
+        assert!(grad.allclose(&Tensor::full(&[4], 5.0), 1e-5));
+    });
 }

@@ -2,35 +2,30 @@
 //! Fig. 7's analytic MAC comparison. The relative ordering (AB > AU >
 //! Baseline ≈ BS/WS) should track the MAC counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sf_autograd::Graph;
+use sf_bench::BenchHarness;
 use sf_core::{FusionNet, FusionScheme, NetworkConfig};
 use sf_nn::Mode;
 use sf_tensor::TensorRng;
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference(h: &mut BenchHarness) {
     let config = NetworkConfig::standard();
     let mut rng = TensorRng::seed_from(1);
     let rgb = rng.uniform(&[1, 3, config.height, config.width], 0.0, 1.0);
     let depth = rng.uniform(&[1, 1, config.height, config.width], 0.0, 1.0);
-    let mut group = c.benchmark_group("inference_96x32");
-    group.sample_size(20);
     for scheme in FusionScheme::ALL {
-        let mut net = FusionNet::new(scheme, &config);
-        group.bench_function(scheme.abbrev(), |b| {
-            b.iter(|| {
-                let mut g = Graph::new();
-                let r = g.leaf(rgb.clone());
-                let d = g.leaf(depth.clone());
-                let out = net.forward(&mut g, r, d, Mode::Eval);
-                g.value(out.logits).sum()
-            })
+        let mut net = FusionNet::new(scheme, &config).expect("valid config");
+        h.bench(&format!("inference_96x32/{}", scheme.abbrev()), || {
+            let mut g = Graph::new();
+            let r = g.leaf(rgb.clone());
+            let d = g.leaf(depth.clone());
+            let out = net.forward(&mut g, r, d, Mode::Eval);
+            g.value(out.logits).sum()
         });
     }
-    group.finish();
 }
 
-fn bench_training_step(c: &mut Criterion) {
+fn bench_training_step(h: &mut BenchHarness) {
     let config = NetworkConfig::standard();
     let mut rng = TensorRng::seed_from(2);
     let rgb = rng.uniform(&[2, 3, config.height, config.width], 0.0, 1.0);
@@ -38,24 +33,24 @@ fn bench_training_step(c: &mut Criterion) {
     let target = rng
         .uniform(&[2, 1, config.height, config.width], 0.0, 1.0)
         .map(f32::round);
-    let mut group = c.benchmark_group("train_step_batch2");
-    group.sample_size(10);
     for scheme in [FusionScheme::Baseline, FusionScheme::AllFilterU] {
-        let mut net = FusionNet::new(scheme, &config);
-        group.bench_function(scheme.abbrev(), |b| {
-            b.iter(|| {
-                let mut g = Graph::new();
-                let r = g.leaf(rgb.clone());
-                let d = g.leaf(depth.clone());
-                let out = net.forward(&mut g, r, d, Mode::Train);
-                let loss = g.bce_with_logits(out.logits, &target);
-                g.backward(loss);
-                g.value(loss).at(&[])
-            })
+        let mut net = FusionNet::new(scheme, &config).expect("valid config");
+        h.bench(&format!("train_step_batch2/{}", scheme.abbrev()), || {
+            let mut g = Graph::new();
+            let r = g.leaf(rgb.clone());
+            let d = g.leaf(depth.clone());
+            let out = net.forward(&mut g, r, d, Mode::Train);
+            let loss = g.bce_with_logits(out.logits, &target);
+            g.backward(loss);
+            g.value(loss).at(&[])
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_inference, bench_training_step);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new("inference");
+    h.sample_size(10);
+    bench_inference(&mut h);
+    bench_training_step(&mut h);
+    h.finish();
+}

@@ -3,7 +3,7 @@
 //! the ablation between the Canny-sketch and Sobel-magnitude edge
 //! operators inside FD.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sf_bench::BenchHarness;
 use sf_tensor::TensorRng;
 use sf_vision::{
     cross_bin_distance, feature_disparity, mutual_information, sobel_gradients, ssim,
@@ -22,34 +22,37 @@ fn test_images() -> (GrayImage, GrayImage) {
     (a, b)
 }
 
-fn bench_image_metrics(c: &mut Criterion) {
+fn bench_image_metrics(h: &mut BenchHarness) {
     let (a, b) = test_images();
     let extractor = EdgeExtractor::default();
-    let mut group = c.benchmark_group("image_metrics_96x32");
-    group.bench_function("ssim", |bch| bch.iter(|| ssim(&a, &b)));
-    group.bench_function("mutual_information", |bch| {
-        bch.iter(|| mutual_information(&a, &b))
+    h.bench("image_metrics_96x32/ssim", || ssim(&a, &b));
+    h.bench("image_metrics_96x32/mutual_information", || {
+        mutual_information(&a, &b)
     });
-    group.bench_function("cross_bin", |bch| bch.iter(|| cross_bin_distance(&a, &b)));
-    group.bench_function("canny_edges", |bch| bch.iter(|| extractor.extract(&a)));
-    group.bench_function("sobel_gradients", |bch| bch.iter(|| sobel_gradients(&a)));
-    group.finish();
+    h.bench("image_metrics_96x32/cross_bin", || {
+        cross_bin_distance(&a, &b)
+    });
+    h.bench("image_metrics_96x32/canny_edges", || extractor.extract(&a));
+    h.bench("image_metrics_96x32/sobel_gradients", || {
+        sobel_gradients(&a)
+    });
 }
 
-fn bench_feature_disparity(c: &mut Criterion) {
+fn bench_feature_disparity(h: &mut BenchHarness) {
     // The Fig. 3 probe cost: FD over an 8-channel feature map pair.
     let mut rng = TensorRng::seed_from(1);
     let fa = rng.uniform(&[8, 16, 48], 0.0, 1.0);
     let fb = rng.uniform(&[8, 16, 48], 0.0, 1.0);
     let extractor = EdgeExtractor::for_feature_maps();
-    c.bench_function("feature_disparity_8ch_16x48", |b| {
-        b.iter(|| feature_disparity(&fa, &fb, &extractor))
+    h.bench("feature_disparity_8ch_16x48", || {
+        feature_disparity(&fa, &fb, &extractor)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_image_metrics, bench_feature_disparity
+fn main() {
+    let mut h = BenchHarness::new("metrics");
+    h.sample_size(30);
+    bench_image_metrics(&mut h);
+    bench_feature_disparity(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

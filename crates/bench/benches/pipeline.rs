@@ -2,7 +2,7 @@
 //! depth densification, BEV warping — the dataset-side costs that gate
 //! how fast experiments regenerate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sf_bench::BenchHarness;
 use sf_dataset::{bev_warp, BevGrid};
 use sf_scene::{
     depth_image_from_cloud, render_ground_truth, render_rgb, LidarSpec, Lighting, PinholeCamera,
@@ -10,34 +10,35 @@ use sf_scene::{
 };
 use sf_tensor::TensorRng;
 
-fn bench_scene_pipeline(c: &mut Criterion) {
+fn bench_scene_pipeline(h: &mut BenchHarness) {
     let scene = SceneBuilder::new(RoadCategory::UrbanMultipleMarked, 7).build();
     let camera = PinholeCamera::kitti_like(96, 32);
-    let mut group = c.benchmark_group("scene_pipeline_96x32");
-    group.sample_size(20);
-    group.bench_function("render_rgb_day", |b| {
-        b.iter(|| render_rgb(&scene, &camera, Lighting::day()))
+    h.bench("scene_pipeline_96x32/render_rgb_day", || {
+        render_rgb(&scene, &camera, Lighting::day())
     });
-    group.bench_function("render_rgb_shadows", |b| {
-        b.iter(|| render_rgb(&scene, &camera, Lighting::harsh_shadows()))
+    h.bench("scene_pipeline_96x32/render_rgb_shadows", || {
+        render_rgb(&scene, &camera, Lighting::harsh_shadows())
     });
-    group.bench_function("render_ground_truth", |b| {
-        b.iter(|| render_ground_truth(&scene, &camera))
+    h.bench("scene_pipeline_96x32/render_ground_truth", || {
+        render_ground_truth(&scene, &camera)
     });
     let spec = LidarSpec::default();
-    group.bench_function("lidar_scan_48x160", |b| {
-        b.iter(|| spec.scan(&scene, &mut TensorRng::seed_from(1)))
+    h.bench("scene_pipeline_96x32/lidar_scan_48x160", || {
+        spec.scan(&scene, &mut TensorRng::seed_from(1))
     });
     let cloud = spec.scan(&scene, &mut TensorRng::seed_from(1));
-    group.bench_function("depth_densify_3_iters", |b| {
-        b.iter(|| depth_image_from_cloud(&cloud, &camera, spec.max_range, 3))
+    h.bench("scene_pipeline_96x32/depth_densify_3_iters", || {
+        depth_image_from_cloud(&cloud, &camera, spec.max_range, 3)
     });
     let gt = render_ground_truth(&scene, &camera);
-    group.bench_function("bev_warp_48x48", |b| {
-        b.iter(|| bev_warp(&gt, &camera, &BevGrid::default()))
+    h.bench("scene_pipeline_96x32/bev_warp_48x48", || {
+        bev_warp(&gt, &camera, &BevGrid::default())
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_scene_pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut h = BenchHarness::new("pipeline");
+    h.sample_size(20);
+    bench_scene_pipeline(&mut h);
+    h.finish();
+}

@@ -54,7 +54,7 @@ pub fn run(scale: ExperimentScale, sweep_share: bool) -> Fig7Result {
         for k in 2..base_config.stages() {
             let mut config = base_config.clone();
             config.shared_stages = k;
-            let mut net = FusionNet::new(FusionScheme::BaseSharing, &config);
+            let mut net = FusionNet::new(FusionScheme::BaseSharing, &config).expect("valid config");
             let train_cfg = scale.train_config().with_alpha(alpha);
             let samples = bundle.data.train(None);
             sf_core::train(&mut net, &samples, &train_cfg);

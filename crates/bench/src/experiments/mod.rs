@@ -37,7 +37,7 @@ impl Bundle {
     /// Trains a fresh model of `scheme` on the full training split with
     /// the Feature-Disparity loss weight `alpha`.
     pub fn train_scheme(&self, scheme: FusionScheme, alpha: f32) -> (FusionNet, TrainReport) {
-        let mut net = FusionNet::new(scheme, &self.scale.network_config());
+        let mut net = FusionNet::new(scheme, &self.scale.network_config()).expect("valid config");
         let config = self.scale.train_config().with_alpha(alpha);
         let samples = self.data.train(None);
         let report = train(&mut net, &samples, &config);

@@ -90,12 +90,7 @@ pub fn run(scale: ExperimentScale) -> RobustnessResult {
 
 /// Renders the robustness matrix.
 pub fn render(result: &RobustnessResult) -> String {
-    let mut t = TextTable::new(vec![
-        "Lighting",
-        "fused F",
-        "camera-only F",
-        "LiDAR margin",
-    ]);
+    let mut t = TextTable::new(vec!["Lighting", "fused F", "camera-only F", "LiDAR margin"]);
     for row in &result.rows {
         t.add_row(vec![
             row.lighting.to_string(),

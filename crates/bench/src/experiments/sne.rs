@@ -58,7 +58,7 @@ pub fn run(scale: ExperimentScale) -> SneResult {
         if normals {
             net_config.depth_channels = 3;
         }
-        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config);
+        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config).expect("valid config");
         let train_samples = transform(data.train(None));
         let train_refs: Vec<&Sample> = train_samples.iter().collect();
         train(&mut net, &train_refs, &train_config);
@@ -125,9 +125,10 @@ mod tests {
     fn three_channel_depth_branch_is_well_formed() {
         let mut config = NetworkConfig::tiny();
         config.depth_channels = 3;
-        let mut net = FusionNet::new(FusionScheme::Baseline, &config);
+        let mut net = FusionNet::new(FusionScheme::Baseline, &config).expect("valid config");
         let cost = net.cost();
-        let mut net1 = FusionNet::new(FusionScheme::Baseline, &NetworkConfig::tiny());
+        let mut net1 =
+            FusionNet::new(FusionScheme::Baseline, &NetworkConfig::tiny()).expect("valid config");
         assert!(cost.params > net1.cost().params);
         use sf_nn::Parameterized;
         assert_eq!(cost.params as usize, net.param_count());

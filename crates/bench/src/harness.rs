@@ -1,0 +1,240 @@
+//! A minimal wall-clock micro-benchmark harness, replacing the Criterion
+//! dependency so the workspace builds hermetically.
+//!
+//! The design keeps Criterion's two useful ideas — warm-up plus
+//! auto-calibrated batching so short routines are timed over many
+//! iterations, and a fixed number of samples so results show spread — and
+//! drops everything else (HTML reports, statistics beyond min/mean/max).
+//!
+//! Bench targets are plain `fn main()` binaries (`harness = false`):
+//!
+//! ```no_run
+//! use sf_bench::BenchHarness;
+//!
+//! let mut h = BenchHarness::new("kernels");
+//! h.bench("add_1k", || (0..1000u32).sum::<u32>());
+//! h.finish();
+//! ```
+//!
+//! `cargo bench -p sf-bench -- <filter>` runs only benchmarks whose name
+//! contains `<filter>`. `--quick` (or `SF_BENCH_QUICK=1`) shrinks the
+//! sample budget for smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed sample (a batch of iterations).
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Warm-up budget before calibration.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// One benchmark's summary statistics (per-iteration durations).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark name, unique within the suite.
+    pub name: String,
+    /// Iterations per timed sample after calibration.
+    pub iters_per_sample: u64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Fastest per-iteration time observed.
+    pub min: Duration,
+    /// Mean per-iteration time across all samples.
+    pub mean: Duration,
+    /// Slowest per-iteration time observed.
+    pub max: Duration,
+}
+
+/// Collects and prints benchmark results for one suite (one bench target).
+pub struct BenchHarness {
+    suite: String,
+    sample_count: usize,
+    quick: bool,
+    filter: Option<String>,
+    records: Vec<BenchRecord>,
+}
+
+impl BenchHarness {
+    /// Creates a harness, reading `--quick` and an optional name filter
+    /// from the command line (anything after `cargo bench --` lands in
+    /// `std::env::args`).
+    pub fn new(suite: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick")
+            || std::env::var("SF_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        BenchHarness {
+            suite: suite.to_string(),
+            sample_count: if quick { 3 } else { 20 },
+            quick,
+            filter,
+            records: Vec::new(),
+        }
+    }
+
+    /// Overrides the number of timed samples per benchmark (Criterion's
+    /// `sample_size` analogue). Ignored in `--quick` mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !self.quick {
+            self.sample_count = n.max(2);
+        }
+        self
+    }
+
+    /// Times `routine`, auto-calibrating how many iterations fill one
+    /// sample. The routine's return value is passed through
+    /// [`std::hint::black_box`] so it cannot be optimised away.
+    pub fn bench<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) {
+        self.bench_with_setup(name, || (), |()| routine());
+    }
+
+    /// Like [`BenchHarness::bench`] but re-runs `setup` outside the timed
+    /// region before every iteration (Criterion's `iter_batched`), for
+    /// routines that consume or mutate their input.
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+
+        // Warm up and estimate the per-iteration cost.
+        let mut iters_done: u64 = 0;
+        let mut spent = Duration::ZERO;
+        let warmup = if self.quick { WARMUP / 10 } else { WARMUP };
+        while spent < warmup || iters_done == 0 {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += t0.elapsed();
+            iters_done += 1;
+        }
+        let est = spent / iters_done as u32;
+        let target = if self.quick {
+            SAMPLE_TARGET / 10
+        } else {
+            SAMPLE_TARGET
+        };
+        let iters_per_sample = (target.as_nanos() / est.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_count {
+            let mut sample = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                sample += t0.elapsed();
+            }
+            let per_iter = sample / iters_per_sample as u32;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            total += sample;
+        }
+        let record = BenchRecord {
+            name: name.to_string(),
+            iters_per_sample,
+            samples: self.sample_count,
+            min,
+            mean: total / (self.sample_count as u32 * iters_per_sample as u32),
+            max,
+        };
+        println!(
+            "{:<44} {:>10} {:>10} {:>10}   ({} x {} iters)",
+            record.name,
+            fmt_duration(record.min),
+            fmt_duration(record.mean),
+            fmt_duration(record.max),
+            record.samples,
+            record.iters_per_sample,
+        );
+        self.records.push(record);
+    }
+
+    /// Results recorded so far, for programmatic comparisons.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Prints the suite footer. Call once at the end of `main`.
+    pub fn finish(&self) {
+        println!(
+            "\n{}: {} benchmark(s){}",
+            self.suite,
+            self.records.len(),
+            if self.quick { " [quick]" } else { "" }
+        );
+    }
+}
+
+/// Renders a duration with an auto-selected unit (ns/µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_orders_results() {
+        let mut h = BenchHarness {
+            suite: "test".into(),
+            sample_count: 2,
+            quick: true,
+            filter: None,
+            records: Vec::new(),
+        };
+        h.bench("sum", || (0..100u32).sum::<u32>());
+        h.bench_with_setup(
+            "reverse",
+            || vec![1u8, 2, 3],
+            |mut v| {
+                v.reverse();
+                v
+            },
+        );
+        assert_eq!(h.records().len(), 2);
+        assert_eq!(h.records()[0].name, "sum");
+        assert!(h.records()[1].min <= h.records()[1].max);
+        assert!(h.records()[1].iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut h = BenchHarness {
+            suite: "test".into(),
+            sample_count: 2,
+            quick: true,
+            filter: Some("keep".into()),
+            records: Vec::new(),
+        };
+        h.bench("keep_this", || 1u32);
+        h.bench("drop_this", || 2u32);
+        assert_eq!(h.records().len(), 1);
+        assert_eq!(h.records()[0].name, "keep_this");
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -17,9 +17,11 @@
 //! path the integration tests exercise).
 
 pub mod experiments;
+mod harness;
 mod scale;
 mod table;
 
+pub use harness::{fmt_duration, BenchHarness, BenchRecord};
 pub use scale::ExperimentScale;
 pub use table::TextTable;
 

@@ -82,7 +82,7 @@ mod tests {
             let n = scale.network_config();
             assert_eq!(d.width, n.width, "dataset/network width agree");
             assert_eq!(d.height, n.height);
-            n.validate();
+            n.validate().expect("scale configs are valid");
             assert!(scale.probe_samples() > 0);
         }
         assert_eq!(ExperimentScale::default(), ExperimentScale::Full);

@@ -59,7 +59,7 @@ mod tests {
             depth_channels: 1,
             seed: 3,
         };
-        let mut net = FusionNet::new(FusionScheme::BaseSharing, &config);
+        let mut net = FusionNet::new(FusionScheme::BaseSharing, &config).expect("valid config");
         save_model(&mut net, &path).unwrap();
         let raw: Vec<String> = [
             "eval",

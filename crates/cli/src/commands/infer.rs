@@ -105,7 +105,7 @@ mod tests {
         };
         let model_path = dir.join("m.sfm");
         save_model(
-            &mut FusionNet::new(FusionScheme::AllFilterU, &config),
+            &mut FusionNet::new(FusionScheme::AllFilterU, &config).expect("valid config"),
             &model_path,
         )
         .unwrap();
@@ -152,7 +152,7 @@ mod tests {
         };
         let model_path = dir.join("m.sfm");
         save_model(
-            &mut FusionNet::new(FusionScheme::Baseline, &config),
+            &mut FusionNet::new(FusionScheme::Baseline, &config).expect("valid config"),
             &model_path,
         )
         .unwrap();

@@ -13,7 +13,7 @@ use crate::{Args, CliError};
 pub fn info(args: &Args) -> Result<String, CliError> {
     let scheme = args.scheme()?;
     let config = network_config(args)?;
-    let mut net = FusionNet::new(scheme, &config);
+    let mut net = FusionNet::new(scheme, &config)?;
     let cost = net.cost();
     let mut log = String::new();
     let _ = writeln!(log, "architecture : {}", scheme);
@@ -39,7 +39,7 @@ pub fn info(args: &Args) -> Result<String, CliError> {
     let _ = writeln!(log, "MACs / image : {}", cost.macs);
     let _ = writeln!(log, "\nzoo comparison (same config):");
     for other in FusionScheme::ALL {
-        let c = FusionNet::new(other, &config).cost();
+        let c = FusionNet::new(other, &config)?.cost();
         let marker = if other == scheme { " <-- selected" } else { "" };
         let _ = writeln!(
             log,

@@ -23,12 +23,6 @@ pub(crate) fn network_config(args: &Args) -> Result<NetworkConfig, CliError> {
     config.width = args.get_parsed("width", config.width, "integer")?;
     config.height = args.get_parsed("height", config.height, "integer")?;
     config.seed = args.get_parsed("seed", config.seed, "integer")?;
-    let factor = 1usize << config.stages();
-    if !config.width.is_multiple_of(factor) || !config.height.is_multiple_of(factor) {
-        return Err(CliError::Invalid(format!(
-            "resolution {}x{} must be divisible by {factor}",
-            config.width, config.height
-        )));
-    }
+    config.validate()?;
     Ok(config)
 }

@@ -38,7 +38,11 @@ pub fn train(args: &Args) -> Result<String, CliError> {
         alpha: args.get_parsed("alpha", 0.3, "float")?,
         learning_rate: args.get_parsed(
             "lr",
-            if optimizer == OptimizerKind::Adam { 0.005 } else { 0.02 },
+            if optimizer == OptimizerKind::Adam {
+                0.005
+            } else {
+                0.02
+            },
             "float",
         )?,
         optimizer,
@@ -73,7 +77,7 @@ pub fn train(args: &Args) -> Result<String, CliError> {
         net_config.width,
         net_config.height
     );
-    let mut net = FusionNet::new(scheme, &net_config);
+    let mut net = FusionNet::new(scheme, &net_config)?;
     let _ = writeln!(
         log,
         "training {} ({}) for {} epochs, alpha = {}",

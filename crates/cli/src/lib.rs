@@ -52,6 +52,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<sf_core::ConfigError> for CliError {
+    fn from(e: sf_core::ConfigError) -> Self {
+        CliError::Invalid(e.to_string())
+    }
+}
+
 /// The usage text printed on `--help` or an argument error.
 pub const USAGE: &str = "\
 roadseg — DCNN camera/LiDAR fusion for free-road segmentation

@@ -79,7 +79,7 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<FusionNet, CliError> {
     reader.read_line(&mut line)?;
     let net_config = parse_manifest(line.trim_end())?;
     let (scheme, config) = net_config;
-    let mut net = FusionNet::new(scheme, &config);
+    let mut net = FusionNet::new(scheme, &config)?;
     let mut rest = Vec::new();
     reader.read_to_end(&mut rest)?;
     net.load_state(&rest[..])
@@ -144,7 +144,8 @@ mod tests {
     #[test]
     fn round_trips_weights_and_architecture() {
         let path = std::env::temp_dir().join("sf_cli_model_io.sfm");
-        let mut original = FusionNet::new(FusionScheme::WeightedSharing, &tiny_config());
+        let mut original =
+            FusionNet::new(FusionScheme::WeightedSharing, &tiny_config()).expect("valid config");
         save_model(&mut original, &path).unwrap();
         let mut loaded = load_model(&path).unwrap();
         assert_eq!(loaded.scheme(), FusionScheme::WeightedSharing);
@@ -170,7 +171,7 @@ mod tests {
         // A checkpoint whose manifest names a different (smaller)
         // architecture than its weights must fail shape validation.
         let path = std::env::temp_dir().join("sf_cli_mismatch.sfm");
-        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_config());
+        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_config()).expect("valid config");
         save_model(&mut net, &path).unwrap();
         // Corrupt the manifest bytes to claim a different channel plan
         // (same length, so the binary payload stays aligned).

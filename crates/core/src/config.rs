@@ -1,5 +1,80 @@
 //! Architecture configuration and the model zoo enumeration.
 
+/// Why a [`NetworkConfig`] failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `stage_channels` is empty.
+    NoStages,
+    /// Input resolution is not divisible by the total down-sampling
+    /// factor `2^stages`.
+    ResolutionNotDivisible {
+        /// Configured input width.
+        width: usize,
+        /// Configured input height.
+        height: usize,
+        /// Number of encoder stages.
+        stages: usize,
+        /// The required divisor, `2^stages`.
+        factor: usize,
+    },
+    /// The resolution collapses to zero before the deepest stage.
+    ResolutionTooSmall {
+        /// Configured input width.
+        width: usize,
+        /// Configured input height.
+        height: usize,
+        /// Number of encoder stages.
+        stages: usize,
+    },
+    /// `shared_stages` is outside `1..stages`.
+    SharedStagesOutOfRange {
+        /// Configured number of shared deep stages.
+        shared_stages: usize,
+        /// Number of encoder stages.
+        stages: usize,
+    },
+    /// `depth_channels` is zero.
+    NoDepthChannels,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoStages => write!(f, "need at least one stage"),
+            ConfigError::ResolutionNotDivisible {
+                width,
+                height,
+                stages,
+                factor,
+            } => write!(
+                f,
+                "resolution {width}x{height} not divisible by 2^{stages} = {factor}"
+            ),
+            ConfigError::ResolutionTooSmall {
+                width,
+                height,
+                stages,
+            } => write!(
+                f,
+                "resolution {width}x{height} too small for {stages} stages"
+            ),
+            ConfigError::SharedStagesOutOfRange {
+                shared_stages,
+                stages,
+            } => write!(
+                f,
+                "shared_stages {shared_stages} must be in 1..{stages} \
+                 (stage 0 inputs differ between branches)"
+            ),
+            ConfigError::NoDepthChannels => {
+                write!(f, "the depth branch needs at least one input channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The five fusion architectures evaluated in the paper (Fig. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FusionScheme {
@@ -132,36 +207,142 @@ impl NetworkConfig {
     }
 
     /// Validates divisibility of the input resolution by the total
-    /// down-sampling factor.
+    /// down-sampling factor, the shared-stage range and the depth-branch
+    /// width.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the resolution is not divisible by `2^stages` or no
-    /// stages are configured.
-    pub fn validate(&self) {
-        assert!(!self.stage_channels.is_empty(), "need at least one stage");
-        let factor = 1usize << self.stages();
-        assert!(
-            self.width.is_multiple_of(factor) && self.height.is_multiple_of(factor),
-            "resolution {}x{} not divisible by 2^{} = {}",
-            self.width,
-            self.height,
-            self.stages(),
-            factor
-        );
-        assert!(
-            self.height / factor >= 1 && self.width / factor >= 1,
-            "resolution too small for {} stages",
-            self.stages()
-        );
-        assert!(
-            self.shared_stages >= 1 && self.shared_stages < self.stages(),
-            "shared_stages must be in 1..stages (stage 0 inputs differ between branches)"
-        );
-        assert!(
-            self.depth_channels >= 1,
-            "the depth branch needs at least one input channel"
-        );
+    /// Returns the first [`ConfigError`] the configuration violates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sf_core::{ConfigError, NetworkConfig};
+    ///
+    /// assert!(NetworkConfig::standard().validate().is_ok());
+    /// let mut bad = NetworkConfig::standard();
+    /// bad.width = 100; // not divisible by 2^5
+    /// assert!(matches!(
+    ///     bad.validate(),
+    ///     Err(ConfigError::ResolutionNotDivisible { .. })
+    /// ));
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.stage_channels.is_empty() {
+            return Err(ConfigError::NoStages);
+        }
+        let stages = self.stages();
+        let factor = 1usize << stages;
+        if !self.width.is_multiple_of(factor) || !self.height.is_multiple_of(factor) {
+            return Err(ConfigError::ResolutionNotDivisible {
+                width: self.width,
+                height: self.height,
+                stages,
+                factor,
+            });
+        }
+        if self.height / factor < 1 || self.width / factor < 1 {
+            return Err(ConfigError::ResolutionTooSmall {
+                width: self.width,
+                height: self.height,
+                stages,
+            });
+        }
+        if self.shared_stages < 1 || self.shared_stages >= stages {
+            return Err(ConfigError::SharedStagesOutOfRange {
+                shared_stages: self.shared_stages,
+                stages,
+            });
+        }
+        if self.depth_channels < 1 {
+            return Err(ConfigError::NoDepthChannels);
+        }
+        Ok(())
+    }
+
+    /// Starts a builder seeded with the [`NetworkConfig::standard`]
+    /// values; [`NetworkConfigBuilder::build`] validates the result.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sf_core::NetworkConfig;
+    ///
+    /// let config = NetworkConfig::builder()
+    ///     .resolution(64, 32)
+    ///     .stage_channels(vec![8, 16, 24])
+    ///     .seed(7)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.stages(), 3);
+    /// assert!(NetworkConfig::builder().width(100).build().is_err());
+    /// ```
+    pub fn builder() -> NetworkConfigBuilder {
+        NetworkConfigBuilder {
+            config: NetworkConfig::standard(),
+        }
+    }
+}
+
+/// Chainable builder for [`NetworkConfig`], created by
+/// [`NetworkConfig::builder`]. Starts from the standard configuration and
+/// validates on [`NetworkConfigBuilder::build`], so an invalid combination
+/// is caught at construction instead of deep inside network assembly.
+#[derive(Debug, Clone)]
+pub struct NetworkConfigBuilder {
+    config: NetworkConfig,
+}
+
+impl NetworkConfigBuilder {
+    /// Sets the input width.
+    pub fn width(mut self, width: usize) -> Self {
+        self.config.width = width;
+        self
+    }
+
+    /// Sets the input height.
+    pub fn height(mut self, height: usize) -> Self {
+        self.config.height = height;
+        self
+    }
+
+    /// Sets width and height together.
+    pub fn resolution(self, width: usize, height: usize) -> Self {
+        self.width(width).height(height)
+    }
+
+    /// Sets the per-stage encoder output channels (shallow → deep).
+    pub fn stage_channels(mut self, channels: Vec<usize>) -> Self {
+        self.config.stage_channels = channels;
+        self
+    }
+
+    /// Sets how many deepest stages the sharing schemes share.
+    pub fn shared_stages(mut self, shared: usize) -> Self {
+        self.config.shared_stages = shared;
+        self
+    }
+
+    /// Sets the depth-branch input channel count.
+    pub fn depth_channels(mut self, channels: usize) -> Self {
+        self.config.depth_channels = channels;
+        self
+    }
+
+    /// Sets the weight-initialisation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the configuration violates.
+    pub fn build(self) -> Result<NetworkConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -190,23 +371,58 @@ mod tests {
 
     #[test]
     fn standard_config_validates() {
-        NetworkConfig::standard().validate();
-        NetworkConfig::tiny().validate();
+        assert_eq!(NetworkConfig::standard().validate(), Ok(()));
+        assert_eq!(NetworkConfig::tiny().validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "not divisible")]
-    fn bad_resolution_panics() {
+    fn bad_resolution_is_rejected() {
         let mut c = NetworkConfig::standard();
         c.width = 100; // 100 % 32 != 0
-        c.validate();
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ResolutionNotDivisible { width: 100, .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "at least one stage")]
-    fn empty_stages_panic() {
+    fn empty_stages_are_rejected() {
         let mut c = NetworkConfig::standard();
         c.stage_channels.clear();
-        c.validate();
+        assert_eq!(c.validate(), Err(ConfigError::NoStages));
+    }
+
+    #[test]
+    fn shared_stages_and_depth_channels_are_checked() {
+        let mut c = NetworkConfig::standard();
+        c.shared_stages = c.stages();
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::SharedStagesOutOfRange { .. })
+        ));
+        let mut c = NetworkConfig::standard();
+        c.depth_channels = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoDepthChannels));
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let built = NetworkConfig::builder().build().unwrap();
+        assert_eq!(built, NetworkConfig::standard());
+        let custom = NetworkConfig::builder()
+            .resolution(48, 16)
+            .stage_channels(vec![4, 6, 8])
+            .shared_stages(1)
+            .depth_channels(1)
+            .seed(42)
+            .build()
+            .unwrap();
+        assert_eq!(custom, NetworkConfig::tiny());
+        let err = NetworkConfig::builder()
+            .stage_channels(Vec::new())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoStages);
+        assert_eq!(err.to_string(), "need at least one stage");
     }
 }

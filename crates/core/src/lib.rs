@@ -25,7 +25,7 @@
 //! use sf_tensor::TensorRng;
 //!
 //! let config = NetworkConfig::tiny();
-//! let mut net = FusionNet::new(FusionScheme::AllFilterU, &config);
+//! let mut net = FusionNet::new(FusionScheme::AllFilterU, &config)?;
 //! let mut rng = TensorRng::seed_from(0);
 //! let mut g = Graph::new();
 //! let rgb = g.leaf(rng.uniform(&[1, 3, config.height, config.width], 0.0, 1.0));
@@ -33,6 +33,7 @@
 //! let out = net.forward(&mut g, rgb, depth, Mode::Eval);
 //! assert_eq!(g.value(out.logits).shape(), &[1, 1, config.height, config.width]);
 //! assert_eq!(out.fusion_pairs.len(), config.stage_channels.len());
+//! # Ok::<(), sf_core::ConfigError>(())
 //! ```
 
 mod awn;
@@ -45,9 +46,13 @@ mod stage;
 mod trainer;
 
 pub use awn::AuxiliaryWeightNetwork;
-pub use config::{FusionScheme, NetworkConfig};
+pub use config::{ConfigError, FusionScheme, NetworkConfig, NetworkConfigBuilder};
 pub use eval::{evaluate, predict_probability, EvalOptions};
 pub use fd_loss::{fd_loss, fd_loss_raw};
 pub use network::{ForwardOutput, FusionNet};
 pub use probe::{measure_disparity, measure_disparity_with_null};
 pub use trainer::{train, LrSchedule, OptimizerKind, TrainConfig, TrainReport};
+
+// Canonical error/result types for the whole stack live in `sf_tensor`;
+// re-exported here so downstream crates need only one import.
+pub use sf_tensor::{Result, TensorError};

@@ -5,7 +5,7 @@ use sf_nn::{Conv2d, Cost, Mode, Module, Param, Parameterized};
 use sf_tensor::{Conv2dSpec, TensorRng};
 
 use crate::awn::AuxiliaryWeightNetwork;
-use crate::config::{FusionScheme, NetworkConfig};
+use crate::config::{ConfigError, FusionScheme, NetworkConfig};
 use crate::stage::{DecoderStage, EncoderStage};
 
 /// The nodes produced by one forward pass of a [`FusionNet`].
@@ -53,11 +53,12 @@ impl FusionNet {
     /// Builds a network for `scheme` with weights drawn from
     /// `config.seed`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config` fails [`NetworkConfig::validate`].
-    pub fn new(scheme: FusionScheme, config: &NetworkConfig) -> FusionNet {
-        config.validate();
+    /// Returns the [`ConfigError`] from [`NetworkConfig::validate`] if the
+    /// configuration is invalid.
+    pub fn new(scheme: FusionScheme, config: &NetworkConfig) -> Result<FusionNet, ConfigError> {
+        config.validate()?;
         let mut rng = TensorRng::seed_from(config.seed);
         let stages = config.stages();
         let chans = &config.stage_channels;
@@ -125,7 +126,7 @@ impl FusionNet {
         decoder.push(DecoderStage::new(chans[0], chans[0], &mut rng));
         let head = Conv2d::new(chans[0], 1, 1, Conv2dSpec::default(), true, &mut rng);
 
-        FusionNet {
+        Ok(FusionNet {
             scheme,
             config: config.clone(),
             rgb_stages,
@@ -135,7 +136,7 @@ impl FusionNet {
             awn,
             decoder,
             head,
-        }
+        })
     }
 
     /// The architecture variant.
@@ -330,7 +331,7 @@ mod tests {
 
     fn run_forward(scheme: FusionScheme) -> (FusionNet, Vec<usize>) {
         let config = NetworkConfig::tiny();
-        let mut net = FusionNet::new(scheme, &config);
+        let mut net = FusionNet::new(scheme, &config).expect("valid config");
         let mut rng = TensorRng::seed_from(9);
         let mut g = Graph::new();
         let rgb = g.leaf(rng.uniform(&[2, 3, config.height, config.width], 0.0, 1.0));
@@ -351,7 +352,7 @@ mod tests {
     #[test]
     fn fusion_pair_count_matches_stages() {
         let config = NetworkConfig::tiny();
-        let mut net = FusionNet::new(FusionScheme::Baseline, &config);
+        let mut net = FusionNet::new(FusionScheme::Baseline, &config).expect("valid config");
         let mut rng = TensorRng::seed_from(10);
         let mut g = Graph::new();
         let rgb = g.leaf(rng.uniform(&[1, 3, 16, 48], 0.0, 1.0));
@@ -369,7 +370,11 @@ mod tests {
     fn parameter_ordering_matches_paper_fig7() {
         // AB > AU > Baseline > WS > BS in parameter count.
         let config = NetworkConfig::standard();
-        let count = |s: FusionScheme| FusionNet::new(s, &config).param_count();
+        let count = |s: FusionScheme| {
+            FusionNet::new(s, &config)
+                .expect("valid config")
+                .param_count()
+        };
         let base = count(FusionScheme::Baseline);
         let au = count(FusionScheme::AllFilterU);
         let ab = count(FusionScheme::AllFilterB);
@@ -385,7 +390,7 @@ mod tests {
     fn cost_params_agree_with_visit_params() {
         let config = NetworkConfig::standard();
         for scheme in FusionScheme::ALL {
-            let mut net = FusionNet::new(scheme, &config);
+            let mut net = FusionNet::new(scheme, &config).expect("valid config");
             assert_eq!(
                 net.cost().params as usize,
                 net.param_count(),
@@ -398,7 +403,12 @@ mod tests {
     fn mac_ordering_matches_paper_fig7() {
         // Fusion filters add MACs; sharing keeps them ~equal to baseline.
         let config = NetworkConfig::standard();
-        let macs = |s: FusionScheme| FusionNet::new(s, &config).cost().macs;
+        let macs = |s: FusionScheme| {
+            FusionNet::new(s, &config)
+                .expect("valid config")
+                .cost()
+                .macs
+        };
         let base = macs(FusionScheme::Baseline);
         assert!(macs(FusionScheme::AllFilterU) > base);
         assert!(macs(FusionScheme::AllFilterB) > macs(FusionScheme::AllFilterU));
@@ -410,7 +420,7 @@ mod tests {
     fn gradients_reach_every_parameter() {
         let config = NetworkConfig::tiny();
         for scheme in FusionScheme::ALL {
-            let mut net = FusionNet::new(scheme, &config);
+            let mut net = FusionNet::new(scheme, &config).expect("valid config");
             let mut rng = TensorRng::seed_from(11);
             let mut g = Graph::new();
             let rgb = g.leaf(rng.uniform(&[2, 3, 16, 48], 0.0, 1.0));
@@ -436,8 +446,8 @@ mod tests {
     #[test]
     fn shared_stage_reduces_depth_branch() {
         let config = NetworkConfig::tiny();
-        let base = FusionNet::new(FusionScheme::Baseline, &config);
-        let bs = FusionNet::new(FusionScheme::BaseSharing, &config);
+        let base = FusionNet::new(FusionScheme::Baseline, &config).expect("valid config");
+        let bs = FusionNet::new(FusionScheme::BaseSharing, &config).expect("valid config");
         assert_eq!(base.depth_stages.len(), 3);
         assert_eq!(bs.depth_stages.len(), 2);
     }
@@ -445,8 +455,8 @@ mod tests {
     #[test]
     fn same_seed_same_initial_weights() {
         let config = NetworkConfig::tiny();
-        let mut a = FusionNet::new(FusionScheme::Baseline, &config);
-        let mut b = FusionNet::new(FusionScheme::Baseline, &config);
+        let mut a = FusionNet::new(FusionScheme::Baseline, &config).expect("valid config");
+        let mut b = FusionNet::new(FusionScheme::Baseline, &config).expect("valid config");
         let mut wa = Vec::new();
         a.visit_params(&mut |p| wa.push(p.value.clone()));
         let mut i = 0;

@@ -100,7 +100,7 @@ mod tests {
             depth_channels: 1,
             seed: 3,
         };
-        let mut net = FusionNet::new(FusionScheme::Baseline, &config);
+        let mut net = FusionNet::new(FusionScheme::Baseline, &config).expect("valid config");
         let samples = data.test(None);
         let probe = measure_disparity(&mut net, &samples[..3]);
         assert_eq!(probe.stages(), 3);
@@ -122,7 +122,7 @@ mod tests {
             depth_channels: 1,
             seed: 4,
         };
-        let mut net = FusionNet::new(FusionScheme::Baseline, &config);
+        let mut net = FusionNet::new(FusionScheme::Baseline, &config).expect("valid config");
         let samples = data.test(None);
         let (matched, null) = measure_disparity_with_null(&mut net, &samples[..4]);
         assert_eq!(matched.stages(), null.stages());
@@ -143,7 +143,7 @@ mod tests {
             depth_channels: 1,
             seed: 5,
         };
-        let mut net = FusionNet::new(FusionScheme::Baseline, &config);
+        let mut net = FusionNet::new(FusionScheme::Baseline, &config).expect("valid config");
         let samples = data.test(None);
         let (_, null) = measure_disparity_with_null(&mut net, &samples[..1]);
         assert_eq!(null.sample_count(0), 0);

@@ -151,9 +151,61 @@ impl TrainConfig {
         }
     }
 
-    /// Returns a copy with a different `α`.
+    /// Returns a copy with a different `α` (chainable, like every other
+    /// `with_*` setter here).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sf_core::{LrSchedule, OptimizerKind, TrainConfig};
+    ///
+    /// let config = TrainConfig::tiny()
+    ///     .with_alpha(0.0)
+    ///     .with_epochs(4)
+    ///     .with_learning_rate(0.01)
+    ///     .with_optimizer(OptimizerKind::Adam)
+    ///     .with_schedule(LrSchedule::Cosine);
+    /// assert_eq!(config.epochs, 4);
+    /// assert_eq!(config.alpha, 0.0);
+    /// ```
     pub fn with_alpha(mut self, alpha: f32) -> Self {
         self.alpha = alpha;
+        self
+    }
+
+    /// Returns a copy with a different epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Returns a copy with a different mini-batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Returns a copy with a different learning rate.
+    pub fn with_learning_rate(mut self, learning_rate: f32) -> Self {
+        self.learning_rate = learning_rate;
+        self
+    }
+
+    /// Returns a copy driving a different optimizer.
+    pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Returns a copy with a different learning-rate schedule.
+    pub fn with_schedule(mut self, schedule: LrSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Returns a copy with a different shuffling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 }
@@ -289,7 +341,8 @@ mod tests {
     #[test]
     fn training_reduces_segmentation_loss() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
-        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_net_config());
+        let mut net =
+            FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
         let train_samples = data.train(None);
         let config = TrainConfig {
             epochs: 6,
@@ -306,7 +359,8 @@ mod tests {
     #[test]
     fn alpha_zero_skips_fd_loss() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
-        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_net_config());
+        let mut net =
+            FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
         let train_samples = data.train(None);
         let config = TrainConfig::tiny().with_alpha(0.0);
         let report = train(&mut net, &train_samples, &config);
@@ -318,7 +372,8 @@ mod tests {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
         let train_samples = data.train(None);
         let run = || {
-            let mut net = FusionNet::new(FusionScheme::AllFilterU, &tiny_net_config());
+            let mut net =
+                FusionNet::new(FusionScheme::AllFilterU, &tiny_net_config()).expect("valid config");
             train(&mut net, &train_samples, &TrainConfig::tiny())
         };
         assert_eq!(run(), run());
@@ -327,7 +382,8 @@ mod tests {
     #[test]
     fn divergence_is_detected_and_stops_training() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
-        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_net_config());
+        let mut net =
+            FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
         let train_samples = data.train(None);
         // An absurd learning rate reliably explodes the loss.
         let config = TrainConfig {
@@ -345,7 +401,8 @@ mod tests {
     #[test]
     fn healthy_training_does_not_flag_divergence() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
-        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_net_config());
+        let mut net =
+            FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
         let report = train(&mut net, &data.train(None), &TrainConfig::tiny());
         assert!(!report.diverged);
     }
@@ -369,7 +426,8 @@ mod tests {
     #[test]
     fn adam_and_cosine_also_train() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
-        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_net_config());
+        let mut net =
+            FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
         let config = TrainConfig {
             epochs: 4,
             optimizer: OptimizerKind::Adam,
@@ -385,7 +443,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero samples")]
     fn empty_training_set_panics() {
-        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_net_config());
+        let mut net =
+            FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
         let _ = train(&mut net, &[], &TrainConfig::tiny());
     }
 }

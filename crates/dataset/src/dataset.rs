@@ -99,35 +99,15 @@ impl RoadDataset {
                 specs.push((category, seed, name, lighting, is_train, traffic));
             }
         }
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(1);
-        let chunk = specs.len().div_ceil(threads.max(1));
-        let rendered: Vec<(Sample, bool)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = specs
-                .chunks(chunk.max(1))
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .map(|&(category, seed, name, lighting, is_train, traffic)| {
-                                (
-                                    Sample::render_with_traffic(
-                                        category, seed, name, lighting, &camera, traffic,
-                                    ),
-                                    is_train,
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("render worker panicked"))
-                .collect()
-        })
-        .expect("render scope panicked");
+        let rendered: Vec<(Sample, bool)> = sf_runtime::parallel_map(
+            &specs,
+            |&(category, seed, name, lighting, is_train, traffic)| {
+                (
+                    Sample::render_with_traffic(category, seed, name, lighting, &camera, traffic),
+                    is_train,
+                )
+            },
+        );
         let mut train = Vec::new();
         let mut test = Vec::new();
         for (sample, is_train) in rendered {

@@ -7,8 +7,6 @@
 use std::fmt;
 use std::ops::Add;
 
-use serde::{Deserialize, Serialize};
-
 /// Multiply–accumulate operations and scalar parameter count for one
 /// forward pass of a (sub-)network on a single image.
 ///
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(total.macs, 1_100);
 /// assert_eq!(total.params, 110);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Cost {
     /// Multiply–accumulate operations per forward pass (single image).
     pub macs: u64,

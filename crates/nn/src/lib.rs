@@ -44,3 +44,7 @@ pub use norm::BatchNorm2d;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use state::{LoadStateError, Stateful};
+
+// Canonical error/result types for the whole stack live in `sf_tensor`;
+// re-exported here so downstream crates need only one import.
+pub use sf_tensor::{Result, TensorError};

@@ -10,13 +10,54 @@
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sf_tensor::Tensor;
 
 use crate::{Param, Parameterized};
 
 const MAGIC: &[u8; 4] = b"SFM1";
 const VERSION: u8 = 1;
+
+/// Little-endian cursor over a checkpoint payload. Callers check
+/// [`Cursor::remaining`] before reading, mirroring the bounds-then-read
+/// structure of the loader; an out-of-bounds read is therefore a bug, not
+/// a recoverable error.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.buf[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
 
 /// Errors produced while loading a checkpoint.
 #[derive(Debug)]
@@ -113,17 +154,17 @@ pub trait Stateful: Parameterized {
         Self: Sized,
     {
         let tensors = self.state_tensors();
-        let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u32_le(tensors.len() as u32);
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
         for t in &tensors {
-            buf.put_u8(t.rank() as u8);
+            buf.push(t.rank() as u8);
             for &d in t.shape() {
-                buf.put_u32_le(d as u32);
+                buf.extend_from_slice(&(d as u32).to_le_bytes());
             }
             for &v in t.data() {
-                buf.put_f32_le(v);
+                buf.extend_from_slice(&v.to_le_bytes());
             }
         }
         w.write_all(&buf)
@@ -142,7 +183,7 @@ pub trait Stateful: Parameterized {
     {
         let mut raw = Vec::new();
         r.read_to_end(&mut raw)?;
-        let mut buf = Bytes::from(raw);
+        let mut buf = Cursor::new(&raw);
         if buf.remaining() < 9 {
             return Err(LoadStateError::Truncated);
         }

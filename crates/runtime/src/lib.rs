@@ -1,0 +1,410 @@
+//! A persistent, lazily-initialized worker pool for data-parallel kernels.
+//!
+//! The tensor kernels and the dataset renderer previously spawned fresh
+//! scoped threads on every call; at fusion-pipeline rates that per-op spawn
+//! cost dominates small kernels. This crate keeps one process-wide pool of
+//! workers alive and hands them indexed task batches instead.
+//!
+//! Design constraints:
+//!
+//! - **std-only** — `std::thread` plus `Mutex`/`Condvar`, no external
+//!   dependencies, so the workspace builds hermetically offline.
+//! - **Deterministic partitioning** — [`parallel_for`] runs `f(i)` for every
+//!   `i in 0..n` exactly once; callers partition work so each index touches
+//!   a disjoint output region, which keeps results bit-identical to a serial
+//!   loop regardless of thread count.
+//! - **Panic propagation** — a panic inside any task is captured and
+//!   re-raised on the calling thread after the whole batch has settled;
+//!   worker threads survive and the pool stays usable.
+//! - **Caller participation** — the calling thread always works on its own
+//!   batch, so nested `parallel_for` calls cannot deadlock even when every
+//!   worker is busy.
+//!
+//! Thread count resolution: the `SF_THREADS` environment variable if it
+//! parses to a positive integer, otherwise
+//! [`std::thread::available_parallelism`]. `SF_THREADS=1` disables the
+//! workers entirely and every call runs serially inline.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = sf_runtime::parallel_map(&[1, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// One indexed task batch: `f(i)` for every `i in 0..n`.
+///
+/// Workers (and the submitting thread) claim indices with an atomic counter
+/// until the batch is exhausted, so load balances dynamically while every
+/// index still runs exactly once.
+struct Batch {
+    /// The task body. The `'static` lifetime is a lie told with
+    /// `transmute`: the submitting thread blocks in [`Pool::run`] until
+    /// `completed == n`, so the borrow outlives every dereference.
+    f: &'static (dyn Fn(usize) + Sync),
+    n: usize,
+    next: AtomicUsize,
+    completed: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl Batch {
+    /// Claims and runs indices until the batch is exhausted.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| (self.f)(i)));
+            if let Err(payload) = result {
+                let mut slot = self.panic.lock().expect("panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            let mut completed = self.completed.lock().expect("completed poisoned");
+            *completed += 1;
+            if *completed == self.n {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every claimed index has finished executing.
+    fn wait(&self) {
+        let mut completed = self.completed.lock().expect("completed poisoned");
+        while *completed < self.n {
+            completed = self.done.wait(completed).expect("completed poisoned");
+        }
+    }
+
+    fn take_panic(&self) -> Option<PanicPayload> {
+        self.panic.lock().expect("panic slot poisoned").take()
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size worker pool.
+///
+/// Most callers want the process-wide [`global`] pool; explicit pools exist
+/// so tests can pin a thread count independent of the environment.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool that runs batches on `threads` threads *total*,
+    /// counting the submitting thread — `threads == 1` spawns no workers
+    /// and runs everything inline.
+    pub fn with_threads(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for worker in 0..threads - 1 {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("sf-runtime-{worker}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn sf-runtime worker");
+        }
+        Pool { shared, threads }
+    }
+
+    /// The total number of threads batches run on (workers + caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, returning once all calls have
+    /// finished. If any call panics, the first panic payload is re-raised
+    /// here after the batch settles; the pool remains usable.
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        if self.threads == 1 || n == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: `run` does not return until `wait()` has observed every
+        // claimed index complete, and stale queue entries never touch `f`
+        // once the index counter is exhausted, so extending the borrow to
+        // 'static never outlives the actual data.
+        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let batch = Arc::new(Batch {
+            f: f_static,
+            n,
+            next: AtomicUsize::new(0),
+            completed: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            for _ in 0..(self.threads - 1).min(n - 1) {
+                queue.push_back(Arc::clone(&batch));
+            }
+        }
+        self.shared.work_ready.notify_all();
+        batch.work();
+        batch.wait();
+        // Remove entries workers never got to; they are harmless no-ops
+        // (the index counter is exhausted) but would accumulate.
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            queue.retain(|b| !Arc::ptr_eq(b, &batch));
+        }
+        if let Some(payload) = batch.take_panic() {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(batch) = queue.pop_front() {
+                    break batch;
+                }
+                queue = shared.work_ready.wait(queue).expect("queue poisoned");
+            }
+        };
+        batch.work();
+    }
+}
+
+/// Thread count from the environment: `SF_THREADS` if set to a positive
+/// integer, else [`std::thread::available_parallelism`].
+fn configured_threads() -> usize {
+    threads_from_env(std::env::var("SF_THREADS").ok().as_deref())
+}
+
+/// The parsing rule behind [`configured_threads`], split out for tests:
+/// a positive integer wins; `None`, zero or garbage fall back to the
+/// machine's available parallelism.
+fn threads_from_env(value: Option<&str>) -> usize {
+    if let Some(n) = value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-wide pool, created on first use.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::with_threads(configured_threads()))
+}
+
+/// Total threads the global pool runs batches on.
+pub fn num_threads() -> usize {
+    global().threads()
+}
+
+/// Runs `f(i)` for every `i in 0..n` on the global pool.
+///
+/// Blocks until every call finishes; a panic in any call is re-raised on
+/// the calling thread. Callers are responsible for making distinct indices
+/// touch disjoint data.
+pub fn parallel_for(n: usize, f: impl Fn(usize) + Sync) {
+    global().run(n, &f);
+}
+
+/// Maps `f` over `items` on the global pool, preserving order.
+///
+/// Equivalent to `items.iter().map(f).collect()` but parallel; each output
+/// slot is written exactly once, so the result is identical to the serial
+/// map for any thread count.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots = SendPtr(out.as_mut_ptr());
+    global().run(n, &|i| {
+        // SAFETY: each index writes only its own slot, and `run` joins all
+        // tasks before `out` can be touched (or dropped) again.
+        unsafe { *slots.get().add(i) = Some(f(&items[i])) };
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every index runs exactly once"))
+        .collect()
+}
+
+/// Splits `data` into consecutive chunks of at most `chunk_len` elements
+/// and runs `f(chunk_index, chunk)` for each on the global pool.
+///
+/// The chunk boundaries are a pure function of `len` and `chunk_len`, so
+/// output produced this way is bit-identical across thread counts.
+pub fn parallel_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let chunks = len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    global().run(chunks, &|ci| {
+        let start = ci * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunks are disjoint subranges of `data`, and `run` joins
+        // all tasks before the mutable borrow of `data` ends.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(ci, chunk);
+    });
+}
+
+/// A raw pointer that may cross thread boundaries. Safety is argued at
+/// every use site: indices partition the pointee disjointly and the batch
+/// is joined before the borrow ends.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor instead of field access so closures capture the whole
+    /// `Sync` wrapper rather than disjointly capturing the raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled = parallel_map(&items, |&x| 2 * x);
+        assert_eq!(doubled, (0..1000).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_for_runs_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunks_mut_partitions_exactly() {
+        let mut data = vec![0usize; 103];
+        parallel_chunks_mut(&mut data, 10, |ci, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = ci * 10 + k;
+            }
+        });
+        assert_eq!(data, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        parallel_for(0, |_| panic!("must not run"));
+        let empty: Vec<u8> = parallel_map(&[] as &[u8], |&b| b);
+        assert!(empty.is_empty());
+        parallel_chunks_mut(&mut [] as &mut [u8], 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(64, |i| {
+                if i == 33 {
+                    panic!("boom at 33");
+                }
+            });
+        });
+        let payload = result.expect_err("the task panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
+        // The pool must still work after a panicked batch.
+        let sum: usize = parallel_map(&[1usize, 2, 3], |&x| x).iter().sum();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let totals = parallel_map(&[10usize, 20, 30, 40], |&outer| {
+            let inner: Vec<usize> = parallel_map(&(0..outer).collect::<Vec<_>>(), |&x| x + 1);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(totals, vec![55, 210, 465, 820]);
+    }
+
+    #[test]
+    fn explicit_single_thread_pool_runs_inline() {
+        let pool = Pool::with_threads(1);
+        assert_eq!(pool.threads(), 1);
+        let caller = std::thread::current().id();
+        pool.run(8, &|_| assert_eq!(std::thread::current().id(), caller));
+    }
+
+    #[test]
+    fn explicit_pool_uses_helper_threads() {
+        let pool = Pool::with_threads(4);
+        assert_eq!(pool.threads(), 4);
+        let mut seen = Mutex::new(std::collections::HashSet::new());
+        pool.run(256, &|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // Give helpers a chance to claim indices too.
+            std::thread::yield_now();
+        });
+        assert!(!seen.get_mut().unwrap().is_empty());
+    }
+
+    #[test]
+    fn env_parsing_rules() {
+        assert_eq!(threads_from_env(Some("3")), 3);
+        assert_eq!(threads_from_env(Some(" 12 ")), 12);
+        assert_eq!(threads_from_env(Some("1")), 1);
+        let fallback = threads_from_env(None);
+        assert!(fallback >= 1);
+        assert_eq!(threads_from_env(Some("0")), fallback);
+        assert_eq!(threads_from_env(Some("lots")), fallback);
+        assert_eq!(threads_from_env(Some("-2")), fallback);
+    }
+}

@@ -1,0 +1,18 @@
+//! `SF_THREADS=1` must force the serial inline path on the global pool.
+//!
+//! This lives in its own integration-test binary (one test, own process)
+//! so the environment variable is set before the lazily-initialized global
+//! pool is first touched.
+
+#[test]
+fn sf_threads_one_forces_serial_path() {
+    std::env::set_var("SF_THREADS", "1");
+    assert_eq!(sf_runtime::num_threads(), 1);
+    let caller = std::thread::current().id();
+    sf_runtime::parallel_for(32, |_| assert_eq!(std::thread::current().id(), caller));
+    let mapped = sf_runtime::parallel_map(&[1u32, 2, 3], |&x| {
+        assert_eq!(std::thread::current().id(), caller);
+        x * 10
+    });
+    assert_eq!(mapped, vec![10, 20, 30]);
+}

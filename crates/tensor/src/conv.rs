@@ -43,6 +43,27 @@ impl Conv2dSpec {
         }
     }
 
+    /// Returns the spec with the given stride (chainable).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sf_tensor::Conv2dSpec;
+    ///
+    /// let spec = Conv2dSpec::default().with_stride(2).with_padding(1);
+    /// assert_eq!(spec, Conv2dSpec::new(2, 1));
+    /// ```
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Returns the spec with the given symmetric padding (chainable).
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
     /// Output spatial size for an input of size `input` and kernel size
     /// `kernel`, or 0 if the kernel does not fit.
     pub fn out_size(&self, input: usize, kernel: usize) -> usize {
@@ -271,10 +292,13 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -
     let wmat = w.reshape(&[o, c * kh * kw])?;
     let mut out = Tensor::zeros(&[n, o, oh, ow]);
     let plane = o * oh * ow;
-    for img in 0..n {
-        let cols = im2col(&x.index_axis0(img), kh, kw, spec)?;
-        let y = matmul(&wmat, &cols)?;
-        let dst = &mut out.data_mut()[img * plane..(img + 1) * plane];
+    // Each image owns a disjoint output plane, so the batch splits across
+    // the worker pool; per-image math is untouched, keeping the result
+    // bit-identical to a serial loop. Geometry was validated above, so the
+    // per-image ops cannot fail.
+    sf_runtime::parallel_chunks_mut(out.data_mut(), plane, |img, dst| {
+        let cols = im2col(&x.index_axis0(img), kh, kw, spec).expect("geometry validated");
+        let y = matmul(&wmat, &cols).expect("shapes agree by construction");
         dst.copy_from_slice(y.data());
         if let Some(b) = bias {
             for (oc, &bv) in b.data().iter().enumerate() {
@@ -283,7 +307,7 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -318,20 +342,37 @@ pub fn conv2d_backward(
     let mut grad_w_mat = Tensor::zeros(&[o, c * kh * kw]);
     let mut grad_b = Tensor::zeros(&[o]);
     let in_plane = c * h * iw;
-    for img in 0..n {
-        let go = grad_out.index_axis0(img).reshape(&[o, oh * ow])?;
-        let cols = im2col(&x.index_axis0(img), kh, kw, spec)?;
-        // dW += dY · colᵀ
-        grad_w_mat.add_assign(&matmul_transpose_b(&go, &cols)?);
+    // Per-image partials are independent, so they run across the worker
+    // pool; the weight/bias reduction below stays serial and in image order
+    // so gradients are bit-identical to a serial pass. Geometry was
+    // validated above, so the per-image ops cannot fail.
+    let imgs: Vec<usize> = (0..n).collect();
+    let partials = sf_runtime::parallel_map(&imgs, |&img| {
+        let go = grad_out
+            .index_axis0(img)
+            .reshape(&[o, oh * ow])
+            .expect("geometry validated");
+        let cols = im2col(&x.index_axis0(img), kh, kw, spec).expect("geometry validated");
+        // dW_img = dY · colᵀ
+        let gw = matmul_transpose_b(&go, &cols).expect("shapes agree by construction");
         // dCol = Wᵀ · dY, then fold back to image space.
-        let grad_cols = matmul_transpose_a(&wmat, &go)?;
-        let gx = col2im(&grad_cols, c, h, iw, kh, kw, spec)?;
+        let grad_cols = matmul_transpose_a(&wmat, &go).expect("shapes agree by construction");
+        let gx = col2im(&grad_cols, c, h, iw, kh, kw, spec).expect("geometry validated");
+        // dB_img = Σ spatial dY
+        let gb: Vec<f32> = (0..o)
+            .map(|oc| {
+                go.data()[oc * oh * ow..(oc + 1) * oh * ow]
+                    .iter()
+                    .sum::<f32>()
+            })
+            .collect();
+        (gx, gw, gb)
+    });
+    for (img, (gx, gw, gb)) in partials.into_iter().enumerate() {
         grad_x.data_mut()[img * in_plane..(img + 1) * in_plane].copy_from_slice(gx.data());
-        // dB += Σ spatial dY
-        for (oc, gb) in grad_b.data_mut().iter_mut().enumerate() {
-            *gb += go.data()[oc * oh * ow..(oc + 1) * oh * ow]
-                .iter()
-                .sum::<f32>();
+        grad_w_mat.add_assign(&gw);
+        for (dst, v) in grad_b.data_mut().iter_mut().zip(&gb) {
+            *dst += v;
         }
     }
     let grad_w = grad_w_mat.reshape(w.shape())?;

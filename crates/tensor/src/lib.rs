@@ -28,6 +28,7 @@ mod reduce;
 mod rng;
 mod shape;
 mod tensor;
+pub mod testkit;
 
 pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
 pub use error::TensorError;

@@ -1,8 +1,9 @@
 //! Dense matrix multiplication kernels.
 //!
 //! These power the `im2col` convolution path, so they are written with a
-//! cache-friendly `i-k-j` loop order and a crossbeam-based row split for
-//! large problems. They operate on rank-2 [`Tensor`]s.
+//! cache-friendly `i-k-j` loop order and a row split across the persistent
+//! [`sf_runtime`] worker pool for large problems. They operate on rank-2
+//! [`Tensor`]s.
 
 use crate::{Result, Tensor, TensorError};
 
@@ -125,25 +126,20 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Splits rows of `a` across threads when the output is large enough.
 fn mm_ikj(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    let threads = available_threads();
+    let threads = sf_runtime::num_threads();
     if m * n < PARALLEL_THRESHOLD || threads <= 1 || m < 2 {
         mm_ikj_rows(a, b, out, 0..m, k, n);
         return;
     }
+    // Chunk boundaries depend only on (m, n, threads), and each row is
+    // computed by the identical serial kernel, so the parallel result is
+    // bit-identical to the serial one.
     let chunk = m.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        let mut rest = out;
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows = chunk.min(m - row0);
-            let (head, tail) = rest.split_at_mut(rows * n);
-            rest = tail;
-            let range = row0..row0 + rows;
-            scope.spawn(move |_| mm_ikj_rows(a, b, head, range, k, n));
-            row0 += rows;
-        }
-    })
-    .expect("matmul worker thread panicked");
+    sf_runtime::parallel_chunks_mut(out, chunk * n, |ci, rows_out| {
+        let row0 = ci * chunk;
+        let rows = rows_out.len() / n;
+        mm_ikj_rows(a, b, rows_out, row0..row0 + rows, k, n);
+    });
 }
 
 fn mm_ikj_rows(
@@ -168,12 +164,6 @@ fn mm_ikj_rows(
             }
         }
     }
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1)
 }
 
 /// Returns the rank-2 transpose of `t`.

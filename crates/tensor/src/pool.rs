@@ -1,6 +1,23 @@
 //! Pooling and up-sampling kernels with exact backward passes.
+//!
+//! The pooling forward passes split their `N·C` planes across the
+//! persistent [`sf_runtime`] worker pool; every plane is computed by the
+//! same serial kernel, so results are bit-identical to a serial loop.
 
 use crate::{Result, Tensor, TensorError};
+
+/// Raw-pointer wrapper letting the pooling kernels hand each worker its own
+/// disjoint plane of a second output buffer (the `argmax` array).
+struct SyncPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
 
 fn check_nchw(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize, usize)> {
     match t.shape() {
@@ -35,33 +52,36 @@ pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize) -> Result<(Tensor, V
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
     let src = x.data();
-    let dst = out.data_mut();
-    let mut oi = 0usize;
-    for img in 0..n {
-        for ch in 0..c {
-            let plane = (img * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for ky in 0..kernel {
-                        let iy = oy * stride + ky;
-                        let row = plane + iy * w + ox * stride;
-                        for kx in 0..kernel {
-                            let v = src[row + kx];
-                            if v > best {
-                                best = v;
-                                best_idx = row + kx;
-                            }
+    let out_plane = oh * ow;
+    let arg_base = SyncPtr(argmax.as_mut_ptr());
+    sf_runtime::parallel_chunks_mut(out.data_mut(), out_plane, |p, dst| {
+        // SAFETY: plane `p` exclusively owns argmax[p*out_plane..(p+1)*out_plane],
+        // mirroring the disjoint `dst` chunk the pool already handed us.
+        let arg =
+            unsafe { std::slice::from_raw_parts_mut(arg_base.get().add(p * out_plane), out_plane) };
+        let plane = p * h * w;
+        let mut oi = 0usize;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ky in 0..kernel {
+                    let iy = oy * stride + ky;
+                    let row = plane + iy * w + ox * stride;
+                    for kx in 0..kernel {
+                        let v = src[row + kx];
+                        if v > best {
+                            best = v;
+                            best_idx = row + kx;
                         }
                     }
-                    dst[oi] = best;
-                    argmax[oi] = best_idx;
-                    oi += 1;
                 }
+                dst[oi] = best;
+                arg[oi] = best_idx;
+                oi += 1;
             }
         }
-    }
+    });
     Ok((out, argmax))
 }
 
@@ -108,26 +128,24 @@ pub fn avg_pool2d(x: &Tensor, kernel: usize, stride: usize) -> Result<Tensor> {
     let inv = 1.0 / (kernel * kernel) as f32;
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let src = x.data();
-    let dst = out.data_mut();
-    let mut oi = 0usize;
-    for img in 0..n {
-        for ch in 0..c {
-            let plane = (img * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ky in 0..kernel {
-                        let row = plane + (oy * stride + ky) * w + ox * stride;
-                        for kx in 0..kernel {
-                            acc += src[row + kx];
-                        }
+    let out_plane = oh * ow;
+    sf_runtime::parallel_chunks_mut(out.data_mut(), out_plane, |p, dst| {
+        let plane = p * h * w;
+        let mut oi = 0usize;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..kernel {
+                    let row = plane + (oy * stride + ky) * w + ox * stride;
+                    for kx in 0..kernel {
+                        acc += src[row + kx];
                     }
-                    dst[oi] = acc * inv;
-                    oi += 1;
                 }
+                dst[oi] = acc * inv;
+                oi += 1;
             }
         }
-    }
+    });
     Ok(out)
 }
 

@@ -1,10 +1,10 @@
 //! Seeded random tensor generation.
 //!
 //! All stochastic code in the reproduction flows through [`TensorRng`] so
-//! that every experiment is reproducible from a single `u64` seed.
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+//! that every experiment is reproducible from a single `u64` seed. The
+//! generator is an in-repo xoshiro256** seeded through SplitMix64 — no
+//! external crate, so the workspace builds offline; the stream is part of
+//! the reproduction's determinism contract and must not change casually.
 
 use crate::Tensor;
 
@@ -19,23 +19,66 @@ use crate::Tensor;
 /// let mut b = TensorRng::seed_from(42);
 /// assert_eq!(a.uniform(&[4], -1.0, 1.0), b.uniform(&[4], -1.0, 1.0));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TensorRng {
-    inner: StdRng,
+    /// xoshiro256** state, never all-zero (SplitMix64 seeding guarantees
+    /// this for every u64 seed).
+    state: [u64; 4],
+}
+
+/// SplitMix64: the recommended seeder for the xoshiro family. Decorrelates
+/// consecutive integer seeds into well-mixed initial states.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl TensorRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut x = seed;
         TensorRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ],
         }
+    }
+
+    /// The next raw 64-bit output (xoshiro256**).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample in `[0, 1)` with 24 bits of mantissa entropy.
+    fn unit_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// A uniform sample in `[0, 1)` with 53 bits of mantissa entropy.
+    fn unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent child generator; useful for giving each
     /// layer or scene its own stream while keeping one master seed.
     pub fn fork(&mut self) -> TensorRng {
-        TensorRng::seed_from(self.inner.random::<u64>())
+        let seed = self.next_u64();
+        TensorRng::seed_from(seed)
     }
 
     /// A single uniform sample in `[lo, hi)`.
@@ -43,31 +86,32 @@ impl TensorRng {
         if lo == hi {
             lo
         } else {
-            self.inner.random_range(lo..hi)
+            lo + (hi - lo) * self.unit_f32()
         }
     }
 
     /// A single standard-normal sample (Box–Muller).
     pub fn normal_scalar(&mut self) -> f32 {
         // Box–Muller with guards against log(0).
-        let u1: f32 = self.inner.random_range(f32::EPSILON..1.0);
-        let u2: f32 = self.inner.random::<f32>();
+        let u1: f32 = f32::EPSILON + (1.0 - f32::EPSILON) * self.unit_f32();
+        let u2: f32 = self.unit_f32();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
-    /// A uniform integer in `[0, n)`.
+    /// A uniform integer in `[0, n)` (Lemire's multiply–shift; the bias of
+    /// at most `n / 2^64` is far below anything observable here).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.random_range(0..n)
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// A Bernoulli draw with probability `p` of `true`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.random_bool(p.clamp(0.0, 1.0))
+        self.unit_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Tensor of i.i.d. uniform samples in `[lo, hi)`.
@@ -103,7 +147,7 @@ impl TensorRng {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.random_range(0..=i);
+            let j = self.index(i + 1);
             items.swap(i, j);
         }
     }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::shape::{flat_index, numel, strides_for};
 use crate::{broadcast_shapes, Result, TensorError};
 
@@ -27,7 +25,7 @@ use crate::{broadcast_shapes, Result, TensorError};
 /// assert_eq!(relu.data(), &[1.0, 0.0, 3.0, 0.0]);
 /// # Ok::<(), sf_tensor::TensorError>(())
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,

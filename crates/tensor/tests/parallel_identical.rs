@@ -1,0 +1,118 @@
+//! The pooled parallel kernels must be *bit-identical* to serial
+//! references, not merely close: chunk boundaries are pure functions of the
+//! problem size and every chunk runs the same serial inner kernel, so no
+//! floating-point reassociation may occur. These tests compare with `==`.
+
+use sf_tensor::{
+    avg_pool2d, conv2d, conv2d_backward, matmul, max_pool2d, Conv2dSpec, Tensor, TensorRng,
+};
+
+/// Serial reference for the library's `i-k-j` matmul kernel, replicating
+/// its exact accumulation order.
+fn serial_ikj(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        for (p, &av) in ad[i * k..(i + 1) * k].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in od[i * n..(i + 1) * n]
+                .iter_mut()
+                .zip(&bd[p * n..(p + 1) * n])
+            {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn large_matmul_is_bit_identical_to_serial() {
+    let mut rng = TensorRng::seed_from(41);
+    // 512×96 · 96×512 → 256k output elements, well past PARALLEL_THRESHOLD.
+    let a = rng.uniform(&[512, 96], -2.0, 2.0);
+    let b = rng.uniform(&[96, 512], -2.0, 2.0);
+    let parallel = matmul(&a, &b).unwrap();
+    let serial = serial_ikj(&a, &b);
+    assert_eq!(parallel.data(), serial.data());
+}
+
+#[test]
+fn batched_conv_forward_is_bit_identical_to_per_image() {
+    let mut rng = TensorRng::seed_from(42);
+    let x = rng.uniform(&[8, 3, 12, 12], -1.0, 1.0);
+    let w = rng.uniform(&[6, 3, 3, 3], -1.0, 1.0);
+    let bias = rng.uniform(&[6], -0.5, 0.5);
+    let spec = Conv2dSpec::same(3);
+    let batched = conv2d(&x, &w, Some(&bias), spec).unwrap();
+    // Serial reference: run each image through conv2d on its own (a batch
+    // of one always computes inline on the calling thread).
+    for img in 0..8 {
+        let xi = x.index_axis0(img).reshape(&[1, 3, 12, 12]).unwrap();
+        let yi = conv2d(&xi, &w, Some(&bias), spec).unwrap();
+        let plane = yi.numel();
+        assert_eq!(
+            &batched.data()[img * plane..(img + 1) * plane],
+            yi.data(),
+            "image {img} diverged"
+        );
+    }
+}
+
+#[test]
+fn batched_conv_backward_is_bit_identical_to_serial_reduction() {
+    let mut rng = TensorRng::seed_from(43);
+    let x = rng.uniform(&[6, 2, 8, 8], -1.0, 1.0);
+    let w = rng.uniform(&[4, 2, 3, 3], -1.0, 1.0);
+    let spec = Conv2dSpec::new(1, 1);
+    let y = conv2d(&x, &w, None, spec).unwrap();
+    let dy = rng.uniform(y.shape(), -1.0, 1.0);
+    let (gx, gw, gb) = conv2d_backward(&x, &w, &dy, spec).unwrap();
+    // Serial reference: per-image backward passes reduced in image order —
+    // exactly the order the parallel implementation promises to keep.
+    let mut ref_gw = Tensor::zeros(gw.shape());
+    let mut ref_gb = Tensor::zeros(gb.shape());
+    for img in 0..6 {
+        let xi = x.index_axis0(img).reshape(&[1, 2, 8, 8]).unwrap();
+        let dyi = dy.index_axis0(img).reshape(&[1, 4, 8, 8]).unwrap();
+        let (gxi, gwi, gbi) = conv2d_backward(&xi, &w, &dyi, spec).unwrap();
+        let plane = gxi.numel();
+        assert_eq!(&gx.data()[img * plane..(img + 1) * plane], gxi.data());
+        ref_gw.add_assign(&gwi);
+        ref_gb.add_assign(&gbi);
+    }
+    assert_eq!(gw.data(), ref_gw.data());
+    assert_eq!(gb.data(), ref_gb.data());
+}
+
+#[test]
+fn pooling_is_bit_identical_to_per_plane() {
+    let mut rng = TensorRng::seed_from(44);
+    let x = rng.uniform(&[4, 5, 10, 10], -1.0, 1.0);
+    let (y, arg) = max_pool2d(&x, 2, 2).unwrap();
+    let avg = avg_pool2d(&x, 3, 1).unwrap();
+    // Serial reference: one image (4 planes → 1 plane each when sliced to
+    // [1, 1, H, W]) runs inline on the calling thread.
+    let plane_in = 100;
+    let max_plane = y.numel() / 20;
+    let avg_plane = avg.numel() / 20;
+    for p in 0..20 {
+        let xi = Tensor::from_vec(
+            x.data()[p * plane_in..(p + 1) * plane_in].to_vec(),
+            &[1, 1, 10, 10],
+        )
+        .unwrap();
+        let (yi, argi) = max_pool2d(&xi, 2, 2).unwrap();
+        assert_eq!(&y.data()[p * max_plane..(p + 1) * max_plane], yi.data());
+        // argmax indices are plane-relative in the single-plane reference.
+        let rebased: Vec<usize> = argi.iter().map(|&i| i + p * plane_in).collect();
+        assert_eq!(&arg[p * max_plane..(p + 1) * max_plane], &rebased[..]);
+        let ai = avg_pool2d(&xi, 3, 1).unwrap();
+        assert_eq!(&avg.data()[p * avg_plane..(p + 1) * avg_plane], ai.data());
+    }
+}

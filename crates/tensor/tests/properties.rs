@@ -2,73 +2,83 @@
 //!
 //! These check algebraic laws (commutativity, adjointness, linearity) on
 //! randomly shaped and randomly filled tensors rather than hand-picked
-//! examples.
+//! examples, using the in-repo deterministic harness in
+//! [`sf_tensor::testkit`].
 
-use proptest::prelude::*;
+use sf_tensor::testkit::check_cases;
 use sf_tensor::{
     avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, im2col, matmul, max_pool2d,
     max_pool2d_backward, transpose2d, upsample_nearest2d, upsample_nearest2d_backward, Conv2dSpec,
     Tensor, TensorRng,
 };
 
-fn small_shape() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..5, 1..4)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn add_commutes(shape in small_shape()) {
+#[test]
+fn add_commutes() {
+    check_cases(64, |c| {
+        let shape = c.shape(1..4, 1..5);
         let mut rng = TensorRng::seed_from(1);
         let a = rng.uniform(&shape, -1.0, 1.0);
         let b = rng.uniform(&shape, -1.0, 1.0);
-        prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-6));
-    }
+        assert!(a.add(&b).allclose(&b.add(&a), 1e-6));
+    });
+}
 
-    #[test]
-    fn mul_distributes_over_add(shape in small_shape()) {
+#[test]
+fn mul_distributes_over_add() {
+    check_cases(64, |c| {
+        let shape = c.shape(1..4, 1..5);
         let mut rng = TensorRng::seed_from(2);
         let a = rng.uniform(&shape, -1.0, 1.0);
         let b = rng.uniform(&shape, -1.0, 1.0);
-        let c = rng.uniform(&shape, -1.0, 1.0);
-        let lhs = a.mul(&b.add(&c));
-        let rhs = a.mul(&b).add(&a.mul(&c));
-        prop_assert!(lhs.allclose(&rhs, 1e-4));
-    }
+        let cc = rng.uniform(&shape, -1.0, 1.0);
+        let lhs = a.mul(&b.add(&cc));
+        let rhs = a.mul(&b).add(&a.mul(&cc));
+        assert!(lhs.allclose(&rhs, 1e-4));
+    });
+}
 
-    #[test]
-    fn scale_is_linear(shape in small_shape(), k in -3.0f32..3.0) {
+#[test]
+fn scale_is_linear() {
+    check_cases(64, |c| {
+        let shape = c.shape(1..4, 1..5);
+        let k = c.f32_in(-3.0, 3.0);
         let mut rng = TensorRng::seed_from(3);
         let a = rng.uniform(&shape, -1.0, 1.0);
         let b = rng.uniform(&shape, -1.0, 1.0);
         let lhs = a.add(&b).scale(k);
         let rhs = a.scale(k).add(&b.scale(k));
-        prop_assert!(lhs.allclose(&rhs, 1e-4));
-    }
+        assert!(lhs.allclose(&rhs, 1e-4));
+    });
+}
 
-    #[test]
-    fn sum_invariant_under_reshape(data in proptest::collection::vec(-5.0f32..5.0, 12)) {
+#[test]
+fn sum_invariant_under_reshape() {
+    check_cases(64, |c| {
+        let data: Vec<f32> = (0..12).map(|_| c.f32_in(-5.0, 5.0)).collect();
         let t = Tensor::from_vec(data, &[12]).unwrap();
         let r = t.reshape(&[3, 4]).unwrap();
-        prop_assert!((t.sum() - r.sum()).abs() < 1e-4);
-        prop_assert!((t.max() - r.max()).abs() < 1e-6);
-    }
+        assert!((t.sum() - r.sum()).abs() < 1e-4);
+        assert!((t.max() - r.max()).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn matmul_associates_with_transpose(seed in 0u64..1000) {
+#[test]
+fn matmul_associates_with_transpose() {
+    check_cases(64, |c| {
         // (A·B)ᵀ = Bᵀ·Aᵀ
-        let mut rng = TensorRng::seed_from(seed);
+        let mut rng = TensorRng::seed_from(c.case);
         let a = rng.uniform(&[3, 4], -1.0, 1.0);
         let b = rng.uniform(&[4, 5], -1.0, 1.0);
         let lhs = transpose2d(&matmul(&a, &b).unwrap()).unwrap();
         let rhs = matmul(&transpose2d(&b).unwrap(), &transpose2d(&a).unwrap()).unwrap();
-        prop_assert!(lhs.allclose(&rhs, 1e-4));
-    }
+        assert!(lhs.allclose(&rhs, 1e-4));
+    });
+}
 
-    #[test]
-    fn conv_is_linear_in_input(seed in 0u64..1000) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn conv_is_linear_in_input() {
+    check_cases(64, |c| {
+        let mut rng = TensorRng::seed_from(c.case);
         let x1 = rng.uniform(&[1, 2, 5, 5], -1.0, 1.0);
         let x2 = rng.uniform(&[1, 2, 5, 5], -1.0, 1.0);
         let w = rng.uniform(&[3, 2, 3, 3], -1.0, 1.0);
@@ -77,14 +87,16 @@ proptest! {
         let rhs = conv2d(&x1, &w, None, spec)
             .unwrap()
             .add(&conv2d(&x2, &w, None, spec).unwrap());
-        prop_assert!(lhs.allclose(&rhs, 1e-3));
-    }
+        assert!(lhs.allclose(&rhs, 1e-3));
+    });
+}
 
-    #[test]
-    fn conv_gradient_is_inner_product_consistent(seed in 0u64..500) {
+#[test]
+fn conv_gradient_is_inner_product_consistent() {
+    check_cases(64, |c| {
         // <dY, conv(x, w)> == <conv2d_backward wrt x applied to dY, x>
         // when conv has no bias (linearity of the map x -> conv(x, w)).
-        let mut rng = TensorRng::seed_from(seed);
+        let mut rng = TensorRng::seed_from(c.case);
         let x = rng.uniform(&[1, 2, 4, 4], -1.0, 1.0);
         let w = rng.uniform(&[2, 2, 3, 3], -1.0, 1.0);
         let spec = Conv2dSpec::same(3);
@@ -93,73 +105,86 @@ proptest! {
         let (gx, _, _) = conv2d_backward(&x, &w, &dy, spec).unwrap();
         let lhs: f32 = y.data().iter().zip(dy.data()).map(|(&a, &b)| a * b).sum();
         let rhs: f32 = x.data().iter().zip(gx.data()).map(|(&a, &b)| a * b).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-2, "lhs={} rhs={}", lhs, rhs);
-    }
+        assert!((lhs - rhs).abs() < 1e-2, "lhs={lhs} rhs={rhs}");
+    });
+}
 
-    #[test]
-    fn max_pool_backward_conserves_gradient_mass(seed in 0u64..1000) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn max_pool_backward_conserves_gradient_mass() {
+    check_cases(64, |c| {
+        let mut rng = TensorRng::seed_from(c.case);
         let x = rng.uniform(&[2, 2, 4, 6], -1.0, 1.0);
         let (y, arg) = max_pool2d(&x, 2, 2).unwrap();
         let dy = rng.uniform(y.shape(), 0.0, 1.0);
         let gx = max_pool2d_backward(&dy, &arg, x.shape()).unwrap();
-        prop_assert!((gx.sum() - dy.sum()).abs() < 1e-3);
-    }
+        assert!((gx.sum() - dy.sum()).abs() < 1e-3);
+    });
+}
 
-    #[test]
-    fn avg_pool_backward_conserves_gradient_mass(seed in 0u64..1000) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn avg_pool_backward_conserves_gradient_mass() {
+    check_cases(64, |c| {
+        let mut rng = TensorRng::seed_from(c.case);
         let x = rng.uniform(&[1, 3, 6, 6], -1.0, 1.0);
         let y = avg_pool2d(&x, 2, 2).unwrap();
         let dy = rng.uniform(y.shape(), -1.0, 1.0);
         let gx = avg_pool2d_backward(&dy, x.shape(), 2, 2).unwrap();
-        prop_assert!((gx.sum() - dy.sum()).abs() < 1e-3);
-    }
+        assert!((gx.sum() - dy.sum()).abs() < 1e-3);
+    });
+}
 
-    #[test]
-    fn upsample_then_pool_is_identity(seed in 0u64..1000, factor in 1usize..4) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn upsample_then_pool_is_identity() {
+    check_cases(64, |c| {
+        let factor = c.usize_in(1, 4);
+        let mut rng = TensorRng::seed_from(c.case);
         let x = rng.uniform(&[1, 2, 3, 4], -1.0, 1.0);
         let up = upsample_nearest2d(&x, factor).unwrap();
         let down = avg_pool2d(&up, factor, factor).unwrap();
-        prop_assert!(down.allclose(&x, 1e-5));
-    }
+        assert!(down.allclose(&x, 1e-5));
+    });
+}
 
-    #[test]
-    fn upsample_backward_is_adjoint(seed in 0u64..1000) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn upsample_backward_is_adjoint() {
+    check_cases(64, |c| {
+        let mut rng = TensorRng::seed_from(c.case);
         let x = rng.uniform(&[1, 1, 3, 3], -1.0, 1.0);
         let y = upsample_nearest2d(&x, 2).unwrap();
         let dy = rng.uniform(y.shape(), -1.0, 1.0);
         let gx = upsample_nearest2d_backward(&dy, 2).unwrap();
         let lhs: f32 = y.data().iter().zip(dy.data()).map(|(&a, &b)| a * b).sum();
         let rhs: f32 = x.data().iter().zip(gx.data()).map(|(&a, &b)| a * b).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-3);
-    }
+        assert!((lhs - rhs).abs() < 1e-3);
+    });
+}
 
-    #[test]
-    fn im2col_preserves_values(seed in 0u64..1000) {
+#[test]
+fn im2col_preserves_values() {
+    check_cases(64, |c| {
         // Each input pixel appears in im2col output; with stride = kernel
         // (non-overlapping), the multiset of values is preserved exactly.
-        let mut rng = TensorRng::seed_from(seed);
+        let mut rng = TensorRng::seed_from(c.case);
         let x = rng.uniform(&[1, 4, 4], -1.0, 1.0);
         let cols = im2col(&x, 2, 2, Conv2dSpec::new(2, 0)).unwrap();
         let mut a: Vec<f32> = x.data().to_vec();
         let mut b: Vec<f32> = cols.data().to_vec();
         a.sort_by(f32::total_cmp);
         b.sort_by(f32::total_cmp);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn stack_then_index_round_trips(seed in 0u64..1000) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn stack_then_index_round_trips() {
+    check_cases(64, |c| {
+        let mut rng = TensorRng::seed_from(c.case);
         let items: Vec<Tensor> = (0..3).map(|_| rng.uniform(&[2, 3], -1.0, 1.0)).collect();
         let stacked = Tensor::stack(&items).unwrap();
         for (i, item) in items.iter().enumerate() {
-            prop_assert!(stacked.index_axis0(i).allclose(item, 0.0));
+            assert!(stacked.index_axis0(i).allclose(item, 0.0));
         }
-    }
+    });
 }
 
 #[test]

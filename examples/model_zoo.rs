@@ -24,10 +24,11 @@ fn main() {
         "model", "params", "MACs/image", "Δ vs base"
     );
     let base_params = FusionNet::new(FusionScheme::Baseline, &net_config)
+        .expect("valid config")
         .cost()
         .params as f64;
     for scheme in FusionScheme::ALL {
-        let mut net = FusionNet::new(scheme, &net_config);
+        let mut net = FusionNet::new(scheme, &net_config).expect("valid config");
         let cost = net.cost();
         debug_assert_eq!(cost.params as usize, net.param_count());
         println!(
@@ -56,7 +57,7 @@ fn main() {
         train_config.epochs
     );
     for scheme in FusionScheme::ALL {
-        let mut net = FusionNet::new(scheme, &net_config);
+        let mut net = FusionNet::new(scheme, &net_config).expect("valid config");
         train(&mut net, &data.train(None), &train_config);
         let eval = evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default());
         println!("  {:<16} {eval}", scheme.abbrev());

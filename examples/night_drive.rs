@@ -51,7 +51,8 @@ fn main() {
         ..DatasetConfig::standard()
     };
     let data = RoadDataset::generate(&dataset_config);
-    let mut net = FusionNet::new(FusionScheme::AllFilterU, &NetworkConfig::standard());
+    let mut net =
+        FusionNet::new(FusionScheme::AllFilterU, &NetworkConfig::standard()).expect("valid config");
     let train_config = TrainConfig {
         epochs: 8,
         ..TrainConfig::standard()

@@ -22,7 +22,8 @@ fn main() {
     let data = RoadDataset::generate(&dataset_config);
 
     // 2. The paper's unidirectional Fusion-filter architecture.
-    let mut net = FusionNet::new(FusionScheme::AllFilterU, &NetworkConfig::standard());
+    let mut net =
+        FusionNet::new(FusionScheme::AllFilterU, &NetworkConfig::standard()).expect("valid config");
 
     // 3. Train with the combined objective L = L_seg + 0.3 · Σ D_fd.
     let train_config = TrainConfig {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, lints, the tier-1 build + test
+# suite, and the hermetic-build guard. Run from anywhere in the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> guard: crate manifests must use only path dependencies"
+# The workspace builds offline; a version/git/registry dependency in any
+# crate manifest would break that. [workspace.dependencies] in the root
+# manifest is the single source of truth and is checked the same way.
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Inside dependency tables, every entry must be `{ path = ... }` or
+    # `{ workspace = true }`; flag version/git/registry requirements.
+    if awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
+        in_deps && /^[a-zA-Z0-9_-]+[ \t]*=/ {
+            if ($0 !~ /path[ \t]*=/ && $0 !~ /workspace[ \t]*=[ \t]*true/) {
+                print FILENAME ": " $0
+                found = 1
+            }
+        }
+        END { exit !found }
+    ' "$manifest"; then
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "error: non-path dependency found — the build must stay hermetic" >&2
+    exit 1
+fi
+echo "    ok: all dependencies are path-only"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> ci.sh: all green"

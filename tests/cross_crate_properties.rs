@@ -1,7 +1,7 @@
 //! Property-based tests spanning crates: invariants that must hold for
-//! arbitrary seeds and configurations.
+//! arbitrary seeds and configurations, driven by the deterministic
+//! `sf_tensor::testkit` harness.
 
-use proptest::prelude::*;
 use sf_autograd::Graph;
 use sf_core::{fd_loss, FusionNet, FusionScheme, NetworkConfig};
 use sf_dataset::{bev_warp, BevGrid, Sample};
@@ -9,62 +9,85 @@ use sf_nn::{Mode, Parameterized};
 use sf_scene::{
     render_ground_truth, LidarSpec, Lighting, PinholeCamera, RoadCategory, SceneBuilder,
 };
+use sf_tensor::testkit::{check_cases, CaseCtx};
 use sf_tensor::TensorRng;
 use sf_vision::GrayImage;
 
-fn any_category() -> impl Strategy<Value = RoadCategory> {
-    prop_oneof![
-        Just(RoadCategory::UrbanMarked),
-        Just(RoadCategory::UrbanMultipleMarked),
-        Just(RoadCategory::UrbanUnmarked),
-    ]
+const CASES: u64 = 12;
+
+fn any_category(c: &mut CaseCtx) -> RoadCategory {
+    [
+        RoadCategory::UrbanMarked,
+        RoadCategory::UrbanMultipleMarked,
+        RoadCategory::UrbanUnmarked,
+    ][c.usize_in(0, 3)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn every_scene_has_drivable_road_ahead(seed in 0u64..5000, category in any_category()) {
+#[test]
+fn every_scene_has_drivable_road_ahead() {
+    check_cases(CASES, |c| {
+        let seed = c.usize_in(0, 5000) as u64;
+        let category = any_category(c);
         let scene = SceneBuilder::new(category, seed).build();
         let camera = PinholeCamera::kitti_like(48, 16);
         let gt = render_ground_truth(&scene, &camera);
         let road_fraction = gt.data().iter().sum::<f32>() / gt.data().len() as f32;
-        prop_assert!(road_fraction > 0.03, "road fraction {}", road_fraction);
-        prop_assert!(road_fraction < 0.9, "road fraction {}", road_fraction);
-    }
+        assert!(road_fraction > 0.03, "road fraction {road_fraction}");
+        assert!(road_fraction < 0.9, "road fraction {road_fraction}");
+    });
+}
 
-    #[test]
-    fn lidar_depth_and_gt_are_lighting_invariant(seed in 0u64..5000, category in any_category()) {
+#[test]
+fn lidar_depth_and_gt_are_lighting_invariant() {
+    check_cases(CASES, |c| {
+        let seed = c.usize_in(0, 5000) as u64;
+        let category = any_category(c);
         let camera = PinholeCamera::kitti_like(48, 16);
         let day = Sample::render(category, seed, "day", Lighting::day(), &camera);
         let night = Sample::render(category, seed, "night", Lighting::night(), &camera);
-        prop_assert_eq!(&day.depth, &night.depth);
-        prop_assert_eq!(&day.gt, &night.gt);
-    }
+        assert_eq!(&day.depth, &night.depth);
+        assert_eq!(&day.gt, &night.gt);
+    });
+}
 
-    #[test]
-    fn lidar_returns_scale_with_dropout(seed in 0u64..5000) {
+#[test]
+fn lidar_returns_scale_with_dropout() {
+    check_cases(CASES, |c| {
+        let seed = c.usize_in(0, 5000) as u64;
         let scene = SceneBuilder::new(RoadCategory::UrbanMarked, seed).build();
-        let clean = LidarSpec { dropout: 0.0, ..LidarSpec::default() };
-        let lossy = LidarSpec { dropout: 0.3, ..LidarSpec::default() };
+        let clean = LidarSpec {
+            dropout: 0.0,
+            ..LidarSpec::default()
+        };
+        let lossy = LidarSpec {
+            dropout: 0.3,
+            ..LidarSpec::default()
+        };
         let n_clean = clean.scan(&scene, &mut TensorRng::seed_from(seed)).len();
         let n_lossy = lossy.scan(&scene, &mut TensorRng::seed_from(seed)).len();
-        prop_assert!(n_lossy < n_clean);
-        prop_assert!(n_lossy > n_clean / 3);
-    }
+        assert!(n_lossy < n_clean);
+        assert!(n_lossy > n_clean / 3);
+    });
+}
 
-    #[test]
-    fn bev_warp_preserves_mask_range(seed in 0u64..5000, category in any_category()) {
+#[test]
+fn bev_warp_preserves_mask_range() {
+    check_cases(CASES, |c| {
+        let seed = c.usize_in(0, 5000) as u64;
+        let category = any_category(c);
         let scene = SceneBuilder::new(category, seed).build();
         let camera = PinholeCamera::kitti_like(48, 16);
         let gt = render_ground_truth(&scene, &camera);
         let bev = bev_warp(&gt, &camera, &BevGrid::default());
-        prop_assert!(bev.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
-    }
+        assert!(bev.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    });
+}
 
-    #[test]
-    fn forward_pass_is_deterministic_per_seed(arch in 0usize..5, seed in 0u64..1000) {
-        let scheme = FusionScheme::ALL[arch];
+#[test]
+fn forward_pass_is_deterministic_per_seed() {
+    check_cases(CASES, |c| {
+        let scheme = FusionScheme::ALL[c.usize_in(0, 5)];
+        let seed = c.usize_in(0, 1000) as u64;
         let config = NetworkConfig {
             width: 32,
             height: 16,
@@ -74,7 +97,7 @@ proptest! {
             seed,
         };
         let run = || {
-            let mut net = FusionNet::new(scheme, &config);
+            let mut net = FusionNet::new(scheme, &config).expect("valid config");
             let mut rng = TensorRng::seed_from(seed ^ 1);
             let mut g = Graph::new();
             let rgb = g.leaf(rng.uniform(&[1, 3, 16, 32], 0.0, 1.0));
@@ -82,40 +105,48 @@ proptest! {
             let out = net.forward(&mut g, rgb, depth, Mode::Eval);
             g.value(out.logits).clone()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    #[test]
-    fn fd_loss_zero_only_for_identical_pairs(seed in 0u64..1000) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn fd_loss_zero_only_for_identical_pairs() {
+    check_cases(CASES, |c| {
+        let mut rng = TensorRng::seed_from(c.usize_in(0, 1000) as u64);
         let f = rng.uniform(&[1, 2, 8, 8], 0.0, 1.0);
         let other = rng.uniform(&[1, 2, 8, 8], 0.0, 1.0);
         let mut g = Graph::new();
         let a = g.leaf(f.clone());
         let b = g.leaf(f);
-        let c = g.leaf(other);
+        let cc = g.leaf(other);
         let same = fd_loss(&mut g, a, b);
-        let diff = fd_loss(&mut g, a, c);
-        prop_assert!(g.value(same).at(&[]) < 1e-9);
-        prop_assert!(g.value(diff).at(&[]) >= 0.0);
-    }
+        let diff = fd_loss(&mut g, a, cc);
+        assert!(g.value(same).at(&[]) < 1e-9);
+        assert!(g.value(diff).at(&[]) >= 0.0);
+    });
+}
 
-    #[test]
-    fn param_counts_are_seed_independent(arch in 0usize..5, s1 in 0u64..100, s2 in 100u64..200) {
-        let scheme = FusionScheme::ALL[arch];
+#[test]
+fn param_counts_are_seed_independent() {
+    check_cases(CASES, |c| {
+        let scheme = FusionScheme::ALL[c.usize_in(0, 5)];
+        let s1 = c.usize_in(0, 100) as u64;
+        let s2 = c.usize_in(100, 200) as u64;
         let make = |seed| {
             let config = NetworkConfig {
                 width: 32,
                 height: 16,
                 stage_channels: vec![3, 4],
                 shared_stages: 1,
-            depth_channels: 1,
+                depth_channels: 1,
                 seed,
             };
-            FusionNet::new(scheme, &config).param_count()
+            FusionNet::new(scheme, &config)
+                .expect("valid config")
+                .param_count()
         };
-        prop_assert_eq!(make(s1), make(s2));
-    }
+        assert_eq!(make(s1), make(s2));
+    });
 }
 
 #[test]

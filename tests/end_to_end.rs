@@ -44,7 +44,7 @@ fn every_architecture_trains_and_evaluates() {
         ..TrainConfig::standard()
     };
     for scheme in FusionScheme::ALL {
-        let mut net = FusionNet::new(scheme, &tiny_network());
+        let mut net = FusionNet::new(scheme, &tiny_network()).expect("valid config");
         let report = train(&mut net, &data.train(None), &train_config);
         assert_eq!(report.seg_loss.len(), 2, "{scheme}");
         assert!(report.final_seg_loss().is_finite(), "{scheme}");
@@ -68,11 +68,13 @@ fn fd_loss_reduces_measured_disparity() {
         ..TrainConfig::standard()
     };
 
-    let mut with_loss = FusionNet::new(FusionScheme::Baseline, &tiny_network());
+    let mut with_loss =
+        FusionNet::new(FusionScheme::Baseline, &tiny_network()).expect("valid config");
     train(&mut with_loss, &train_samples, &config.with_alpha(0.5));
     let probe_with = measure_disparity(&mut with_loss, &probe_samples);
 
-    let mut without_loss = FusionNet::new(FusionScheme::Baseline, &tiny_network());
+    let mut without_loss =
+        FusionNet::new(FusionScheme::Baseline, &tiny_network()).expect("valid config");
     train(&mut without_loss, &train_samples, &config.with_alpha(0.0));
     let probe_without = measure_disparity(&mut without_loss, &probe_samples);
 
@@ -89,7 +91,8 @@ fn fd_loss_reduces_measured_disparity() {
 fn training_improves_on_every_category() {
     let (dataset_config, data) = tiny_dataset();
     let camera = dataset_config.camera();
-    let mut net = FusionNet::new(FusionScheme::WeightedSharing, &tiny_network());
+    let mut net =
+        FusionNet::new(FusionScheme::WeightedSharing, &tiny_network()).expect("valid config");
     let config = TrainConfig {
         epochs: 10,
         ..TrainConfig::standard()
@@ -120,8 +123,10 @@ fn weight_sharing_ties_gradients_across_branches() {
         epochs: 1,
         ..TrainConfig::standard()
     };
-    let mut shared = FusionNet::new(FusionScheme::BaseSharing, &tiny_network());
-    let mut unshared = FusionNet::new(FusionScheme::Baseline, &tiny_network());
+    let mut shared =
+        FusionNet::new(FusionScheme::BaseSharing, &tiny_network()).expect("valid config");
+    let mut unshared =
+        FusionNet::new(FusionScheme::Baseline, &tiny_network()).expect("valid config");
     train(&mut shared, &train_samples, &config);
     train(&mut unshared, &train_samples, &config);
     let count = |n: &mut FusionNet| n.param_count();
@@ -132,7 +137,7 @@ fn weight_sharing_ties_gradients_across_branches() {
 fn fd_loss_on_real_fusion_pairs_is_finite_and_nonnegative() {
     let (_, data) = tiny_dataset();
     let sample = data.train(None)[0].clone();
-    let mut net = FusionNet::new(FusionScheme::AllFilterB, &tiny_network());
+    let mut net = FusionNet::new(FusionScheme::AllFilterB, &tiny_network()).expect("valid config");
     let mut g = Graph::new();
     let rgb = g.leaf(sample.rgb.reshape(&[1, 3, 16, 48]).unwrap());
     let depth = g.leaf(sample.depth.reshape(&[1, 1, 16, 48]).unwrap());
@@ -147,7 +152,7 @@ fn fd_loss_on_real_fusion_pairs_is_finite_and_nonnegative() {
 #[test]
 fn predictions_are_probabilities_on_all_test_samples() {
     let (_, data) = tiny_dataset();
-    let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_network());
+    let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_network()).expect("valid config");
     for sample in data.test(None) {
         let prob = predict_probability(&mut net, sample);
         assert!(prob.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -159,7 +164,8 @@ fn dataset_and_training_are_reproducible_end_to_end() {
     let run = || {
         let (dataset_config, data) = tiny_dataset();
         let camera = dataset_config.camera();
-        let mut net = FusionNet::new(FusionScheme::AllFilterU, &tiny_network());
+        let mut net =
+            FusionNet::new(FusionScheme::AllFilterU, &tiny_network()).expect("valid config");
         let config = TrainConfig {
             epochs: 2,
             ..TrainConfig::standard()
