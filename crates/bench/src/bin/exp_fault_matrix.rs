@@ -1,0 +1,8 @@
+//! Beyond-paper: sensor fault-injection matrix — BEV F-score fusing a
+//! broken depth sensor vs the camera-fallback degradation policy.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::fault_matrix::run(scale);
+    println!("{}", sf_bench::experiments::fault_matrix::render(&result));
+}

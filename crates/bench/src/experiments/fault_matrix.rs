@@ -1,0 +1,153 @@
+//! Beyond-paper: the sensor-fault / graceful-degradation matrix.
+//!
+//! One fusion model is trained on clean data, then its test scenes are
+//! corrupted by every [`SensorFault`] kind at several severities. Each
+//! cell is evaluated twice: trusting the broken depth sensor (`fused`)
+//! and under [`DegradationPolicy::CameraFallback`] (`degraded`), which
+//! quarantines unhealthy depth inputs and routes them through the
+//! camera-only path. The explicit camera-only evaluation on clean scenes
+//! is the floor the fallback should land on when a fault kills the
+//! sensor outright.
+
+use sf_core::{evaluate, evaluate_with_report, DegradationPolicy, EvalOptions, FusionScheme};
+use sf_dataset::{FaultInjector, Sample, SegmentationEval, SensorFault};
+
+use crate::experiments::Bundle;
+use crate::{ExperimentScale, TextTable};
+
+/// Injector seed: fixed so the matrix is reproducible run to run.
+const FAULT_SEED: u64 = 0xFA11;
+
+/// The fault severities (probability / sigma / shift scale) the matrix
+/// sweeps.
+pub const SEVERITIES: [f64; 2] = [0.5, 1.0];
+
+/// One fault × severity cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCell {
+    /// The injected fault (parameters encode the severity).
+    pub fault: SensorFault,
+    /// Severity the fault was derived from.
+    pub severity: f64,
+    /// Pooled BEV evaluation fusing the corrupted depth (policy
+    /// `trust`).
+    pub fused: SegmentationEval,
+    /// Pooled BEV evaluation under the `fallback` degradation policy.
+    pub degraded: SegmentationEval,
+    /// Depth inputs the fallback policy quarantined.
+    pub quarantined: usize,
+}
+
+/// The full fault matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMatrixResult {
+    /// Clean-sensor evaluation (no fault, full fusion).
+    pub clean: SegmentationEval,
+    /// Explicit camera-only evaluation on the clean scenes — the
+    /// degradation floor.
+    pub camera_only: SegmentationEval,
+    /// One cell per severity × fault kind.
+    pub cells: Vec<FaultCell>,
+}
+
+impl FaultMatrixResult {
+    /// Looks up a cell by its fault.
+    pub fn cell(&self, fault: SensorFault) -> Option<&FaultCell> {
+        self.cells.iter().find(|c| c.fault == fault)
+    }
+}
+
+/// Trains one AllFilter_U model on clean data and sweeps the fault
+/// matrix over its test scenes.
+pub fn run(scale: ExperimentScale) -> FaultMatrixResult {
+    let bundle = Bundle::new(scale);
+    let alpha = scale.train_config().alpha;
+    let (mut net, _) = bundle.train_scheme(FusionScheme::AllFilterU, alpha);
+    let camera = bundle.data.config().camera();
+    let test = bundle.data.test(None);
+
+    let trust = EvalOptions::default();
+    let fallback = EvalOptions::default().with_policy(DegradationPolicy::CameraFallback);
+    let camera_only_options = EvalOptions::default().with_policy(DegradationPolicy::CameraOnly);
+
+    let clean = evaluate(&mut net, &test, &camera, &trust);
+    let camera_only = evaluate(&mut net, &test, &camera, &camera_only_options);
+
+    let mut cells = Vec::new();
+    for &severity in &SEVERITIES {
+        for fault in SensorFault::matrix_faults(severity) {
+            let mut injector = FaultInjector::new(fault, FAULT_SEED);
+            let corrupted: Vec<Sample> = test.iter().map(|s| injector.corrupt_sample(s)).collect();
+            let refs: Vec<&Sample> = corrupted.iter().collect();
+            let fused = evaluate(&mut net, &refs, &camera, &trust);
+            let (degraded, report) = evaluate_with_report(&mut net, &refs, &camera, &fallback);
+            cells.push(FaultCell {
+                fault,
+                severity,
+                fused,
+                degraded,
+                quarantined: report.quarantined_count(),
+            });
+        }
+    }
+    FaultMatrixResult {
+        clean,
+        camera_only,
+        cells,
+    }
+}
+
+/// Renders the fault matrix.
+pub fn render(result: &FaultMatrixResult) -> String {
+    let mut t = TextTable::new(vec!["Fault", "fused F", "degraded F", "quarantined"]);
+    t.add_row(vec![
+        "(clean)".to_string(),
+        format!("{:.2}", result.clean.f_score),
+        format!("{:.2}", result.camera_only.f_score),
+        "0".to_string(),
+    ]);
+    for cell in &result.cells {
+        t.add_row(vec![
+            cell.fault.to_string(),
+            format!("{:.2}", cell.fused.f_score),
+            format!("{:.2}", cell.degraded.f_score),
+            cell.quarantined.to_string(),
+        ]);
+    }
+    format!(
+        "Fault matrix — BEV F-score fusing the broken sensor vs the fallback \
+         degradation policy\n(clean row: full fusion vs explicit camera-only)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_covers_all_faults_and_fallback_matches_camera_only() {
+        let result = run(ExperimentScale::Quick);
+        assert_eq!(result.cells.len(), SEVERITIES.len() * 6);
+        for cell in &result.cells {
+            assert!((0.0..=100.0).contains(&cell.fused.f_score), "{cell:?}");
+            assert!((0.0..=100.0).contains(&cell.degraded.f_score), "{cell:?}");
+        }
+        // Acceptance criterion: with depth fully dropped, the fallback
+        // policy quarantines every frame and lands exactly on the
+        // explicit camera-only evaluation.
+        let dead = result
+            .cell(SensorFault::DepthDropout { p: 1.0 })
+            .expect("full dropout cell present");
+        assert!(
+            (dead.degraded.f_score - result.camera_only.f_score).abs() < 1e-6,
+            "degraded {} vs camera-only {}",
+            dead.degraded.f_score,
+            result.camera_only.f_score
+        );
+        assert!(dead.quarantined > 0, "dead sensor must be quarantined");
+        let text = render(&result);
+        assert!(text.contains("depth-dropout:1"), "{text}");
+        assert!(text.contains("(clean)"), "{text}");
+    }
+}

@@ -11,6 +11,7 @@
 //! cargo run --release -p sf-bench --bin exp_fig7     # Fig. 7
 //! cargo run --release -p sf-bench --bin exp_fig8     # Fig. 8 ablation
 //! cargo run --release -p sf-bench --bin exp_fig9     # Fig. 9 qualitative
+//! cargo run --release -p sf-bench --bin exp_fault_matrix  # fault injection
 //! ```
 //!
 //! All binaries accept `--quick` for a reduced-scale smoke run (the same

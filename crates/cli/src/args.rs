@@ -3,7 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use sf_core::FusionScheme;
+use sf_core::{DegradationPolicy, FusionScheme};
+use sf_dataset::SensorFault;
 use sf_scene::RoadCategory;
 
 /// Errors produced while parsing the command line.
@@ -139,6 +140,49 @@ impl Args {
         }
     }
 
+    /// The optional depth-sensor fault to inject (`--fault`), as a
+    /// `kind[:param]` spec like `depth-dropout:0.5` or
+    /// `miscalibration:4,1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] on an unknown kind or an
+    /// out-of-range parameter.
+    pub fn fault(&self) -> Result<Option<SensorFault>, ParseArgsError> {
+        match self.get("fault") {
+            None => Ok(None),
+            Some(spec) => spec
+                .parse()
+                .map(Some)
+                .map_err(|_| ParseArgsError::BadValue {
+                    flag: "fault".to_string(),
+                    value: spec.to_string(),
+                    expected: "fault spec (e.g. depth-dropout:0.5, dead-rows:0.3, \
+                               gaussian-noise:0.2, salt-pepper:0.1, miscalibration:4,1, \
+                               stale-frame)",
+                }),
+        }
+    }
+
+    /// The degradation policy (`--policy`). The CLI default is
+    /// `fallback`: health-check depth and quarantine broken inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] on an unknown policy name.
+    pub fn policy(&self) -> Result<DegradationPolicy, ParseArgsError> {
+        match self.get("policy").unwrap_or("fallback") {
+            "trust" => Ok(DegradationPolicy::Trust),
+            "fallback" => Ok(DegradationPolicy::CameraFallback),
+            "camera-only" => Ok(DegradationPolicy::CameraOnly),
+            other => Err(ParseArgsError::BadValue {
+                flag: "policy".to_string(),
+                value: other.to_string(),
+                expected: "policy (trust|fallback|camera-only)",
+            }),
+        }
+    }
+
     /// The optional road-category filter (`--category`).
     ///
     /// # Errors
@@ -211,6 +255,30 @@ mod tests {
         assert!(bad.scheme().is_err());
         let badc = args(&["info", "--category", "rural"]).unwrap();
         assert!(badc.category().is_err());
+    }
+
+    #[test]
+    fn fault_and_policy_lookups() {
+        let a = args(&[
+            "eval",
+            "--fault",
+            "depth-dropout:0.5",
+            "--policy",
+            "camera-only",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.fault().unwrap(),
+            Some(SensorFault::DepthDropout { p: 0.5 })
+        );
+        assert_eq!(a.policy().unwrap(), DegradationPolicy::CameraOnly);
+        let d = args(&["eval"]).unwrap();
+        assert_eq!(d.fault().unwrap(), None);
+        assert_eq!(d.policy().unwrap(), DegradationPolicy::CameraFallback);
+        let bad = args(&["eval", "--fault", "cosmic-rays"]).unwrap();
+        assert!(bad.fault().is_err());
+        let badp = args(&["eval", "--policy", "hope"]).unwrap();
+        assert!(badp.policy().is_err());
     }
 
     #[test]

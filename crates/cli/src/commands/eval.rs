@@ -1,9 +1,11 @@
-//! `roadseg eval` — evaluate a checkpoint with the benchmark metrics.
+//! `roadseg eval` — evaluate a checkpoint with the benchmark metrics,
+//! optionally under an injected depth-sensor fault and a degradation
+//! policy.
 
 use std::fmt::Write as _;
 
-use sf_core::{evaluate, EvalOptions};
-use sf_dataset::{DatasetConfig, RoadDataset};
+use sf_core::{evaluate_with_report, EvalOptions};
+use sf_dataset::{DatasetConfig, FaultInjector, RoadDataset, Sample};
 use sf_scene::RoadCategory;
 
 use crate::model_io::load_model;
@@ -11,8 +13,16 @@ use crate::{Args, CliError};
 
 /// Loads `--model`, regenerates the test split at the checkpoint's
 /// resolution, and prints the BEV metrics per road category plus pooled.
+/// With `--fault`, every test frame's depth input is corrupted by a
+/// seeded [`FaultInjector`] first; `--policy` decides whether broken
+/// inputs are fused anyway (`trust`), quarantined to the camera-only
+/// path (`fallback`, the default) or depth is ignored outright
+/// (`camera-only`).
 pub fn eval(args: &Args) -> Result<String, CliError> {
     let mut net = load_model(args.require("model")?)?;
+    let fault = args.fault()?;
+    let policy = args.policy()?;
+    let fault_seed: u64 = args.get_parsed("fault-seed", 7, "integer")?;
     let dataset_config = DatasetConfig {
         width: net.config().width,
         height: net.config().height,
@@ -24,21 +34,58 @@ pub fn eval(args: &Args) -> Result<String, CliError> {
     };
     let data = RoadDataset::generate(&dataset_config);
     let camera = dataset_config.camera();
-    let options = EvalOptions::default();
+    let options = EvalOptions::default().with_policy(policy);
+    // Corrupt the whole split once, in its stable order, so the
+    // per-category and pooled views see identical frames.
+    let test_samples: Vec<Sample> = match fault {
+        Some(f) => {
+            let mut injector = FaultInjector::new(f, fault_seed);
+            data.test(None)
+                .iter()
+                .map(|s| injector.corrupt_sample(s))
+                .collect()
+        }
+        None => data.test(None).into_iter().cloned().collect(),
+    };
     let mut log = String::new();
     let _ = writeln!(
         log,
         "evaluating {} ({}) on {} test frames",
         net.scheme(),
         net.cost(),
-        data.test(None).len()
+        test_samples.len()
     );
+    match fault {
+        Some(f) => {
+            let _ = writeln!(
+                log,
+                "depth fault: {f} (seed {fault_seed}); degradation policy: {policy}"
+            );
+        }
+        None => {
+            let _ = writeln!(log, "degradation policy: {policy}");
+        }
+    }
+    let mut total_quarantined = 0usize;
     for category in RoadCategory::ALL {
-        let result = evaluate(&mut net, &data.test(Some(category)), &camera, &options);
+        let refs: Vec<&Sample> = test_samples
+            .iter()
+            .filter(|s| s.category == category)
+            .collect();
+        let (result, report) = evaluate_with_report(&mut net, &refs, &camera, &options);
+        total_quarantined += report.quarantined_count();
         let _ = writeln!(log, "  {category:<4} {result}");
     }
-    let pooled = evaluate(&mut net, &data.test(None), &camera, &options);
+    let all_refs: Vec<&Sample> = test_samples.iter().collect();
+    let (pooled, pooled_report) = evaluate_with_report(&mut net, &all_refs, &camera, &options);
     let _ = writeln!(log, "  all  {pooled}");
+    let _ = writeln!(
+        log,
+        "quarantined depth inputs: {} of {}",
+        pooled_report.quarantined_count(),
+        pooled_report.evaluated
+    );
+    debug_assert_eq!(total_quarantined, pooled_report.quarantined_count());
     Ok(log)
 }
 
@@ -48,9 +95,8 @@ mod tests {
     use crate::model_io::save_model;
     use sf_core::{FusionNet, FusionScheme, NetworkConfig};
 
-    #[test]
-    fn evaluates_a_saved_model_per_category() {
-        let path = std::env::temp_dir().join("sf_cli_eval_test.sfm");
+    fn saved_model(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
         let config = NetworkConfig {
             width: 48,
             height: 16,
@@ -61,32 +107,90 @@ mod tests {
         };
         let mut net = FusionNet::new(FusionScheme::BaseSharing, &config).expect("valid config");
         save_model(&mut net, &path).unwrap();
-        let raw: Vec<String> = [
+        path
+    }
+
+    fn run(raw: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        eval(&Args::parse(&raw).unwrap())
+    }
+
+    #[test]
+    fn evaluates_a_saved_model_per_category() {
+        let path = saved_model("sf_cli_eval_test.sfm");
+        let log = run(&[
             "eval",
             "--model",
             path.to_str().unwrap(),
             "--test-per-category",
             "1",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-        let log = eval(&Args::parse(&raw).unwrap()).unwrap();
+        ])
+        .unwrap();
         assert!(log.contains("UM"));
         assert!(log.contains("UMM"));
         assert!(log.contains("UU"));
         assert!(log.contains("all"));
+        assert!(log.contains("quarantined depth inputs: 0 of 3"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn full_depth_dropout_quarantines_every_frame_under_fallback() {
+        let path = saved_model("sf_cli_eval_fault.sfm");
+        let log = run(&[
+            "eval",
+            "--model",
+            path.to_str().unwrap(),
+            "--test-per-category",
+            "1",
+            "--fault",
+            "depth-dropout:1.0",
+            "--policy",
+            "fallback",
+        ])
+        .unwrap();
+        assert!(log.contains("depth fault: depth-dropout:1"), "{log}");
+        assert!(log.contains("policy: fallback"), "{log}");
+        assert!(log.contains("quarantined depth inputs: 3 of 3"), "{log}");
+        // Under trust, the same dead sensor is fused without quarantine.
+        let trusted = run(&[
+            "eval",
+            "--model",
+            path.to_str().unwrap(),
+            "--test-per-category",
+            "1",
+            "--fault",
+            "depth-dropout:1.0",
+            "--policy",
+            "trust",
+        ])
+        .unwrap();
+        assert!(
+            trusted.contains("quarantined depth inputs: 0 of 3"),
+            "{trusted}"
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn bad_fault_spec_is_an_args_error() {
+        let path = saved_model("sf_cli_eval_badfault.sfm");
+        let err = run(&[
+            "eval",
+            "--model",
+            path.to_str().unwrap(),
+            "--fault",
+            "depth-dropout:2.5",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Args(_)), "{err}");
         std::fs::remove_file(path).unwrap();
     }
 
     #[test]
     fn missing_model_errors() {
-        let raw: Vec<String> = ["eval", "--model", "/nope.sfm"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
         assert!(matches!(
-            eval(&Args::parse(&raw).unwrap()),
+            run(&["eval", "--model", "/nope.sfm"]),
             Err(CliError::Io(_))
         ));
     }

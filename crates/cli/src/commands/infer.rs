@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use sf_autograd::Graph;
+use sf_core::HealthThresholds;
 use sf_nn::Mode;
 use sf_scene::overlay_mask;
 use sf_vision::{read_pgm, read_ppm, resize_gray, resize_rgb, GrayImage};
@@ -11,9 +12,12 @@ use crate::model_io::load_model;
 use crate::{Args, CliError};
 
 /// Loads `--model`, reads `--rgb` (PPM) and `--depth` (PGM), predicts
-/// the road mask and writes a green overlay to `--out`.
+/// the road mask and writes a green overlay to `--out`. The depth frame
+/// is health-checked under `--policy` (default `fallback`): a dead or
+/// corrupted sensor is quarantined and the camera-only path runs instead.
 pub fn infer(args: &Args) -> Result<String, CliError> {
     let mut net = load_model(args.require("model")?)?;
+    let policy = args.policy()?;
     let rgb_path = args.require("rgb")?;
     let depth_path = args.require("depth")?;
     let out = args.require("out")?.to_string();
@@ -44,19 +48,29 @@ pub fn infer(args: &Args) -> Result<String, CliError> {
         );
         depth = resize_gray(&depth, w, h);
     }
+    let depth_tensor = depth
+        .to_tensor()
+        .reshape(&[1, 1, h, w])
+        .expect("depth is [H,W]");
+    let quarantine = policy.quarantine_depth(&depth_tensor, &HealthThresholds::default());
+    if let Some(issue) = quarantine {
+        let _ = writeln!(
+            notes,
+            "depth input quarantined ({issue}); using camera-only fallback"
+        );
+    }
     let mut g = Graph::new();
     let rgb_node = g.leaf(
         rgb.to_tensor()
             .reshape(&[1, 3, h, w])
             .expect("rgb is [3,H,W]"),
     );
-    let depth_node = g.leaf(
-        depth
-            .to_tensor()
-            .reshape(&[1, 1, h, w])
-            .expect("depth is [H,W]"),
-    );
-    let output = net.forward(&mut g, rgb_node, depth_node, Mode::Eval);
+    let output = if quarantine.is_some() {
+        net.forward_camera_only(&mut g, rgb_node, Mode::Eval)
+    } else {
+        let depth_node = g.leaf(depth_tensor);
+        net.forward(&mut g, rgb_node, depth_node, Mode::Eval)
+    };
     let prob = g.sigmoid(output.logits);
     let prob_img = GrayImage::from_tensor(
         &g.value(prob)
@@ -177,6 +191,58 @@ mod tests {
         let log = infer(&Args::parse(&raw).unwrap()).unwrap();
         assert!(log.contains("resampling rgb 64x32 -> 32x16"));
         assert!(log.contains("overlay written"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn dead_depth_frame_falls_back_to_camera_only() {
+        let dir = std::env::temp_dir().join("sf_cli_infer_dead_depth");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = NetworkConfig {
+            width: 32,
+            height: 16,
+            stage_channels: vec![3, 4],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 4,
+        };
+        let model_path = dir.join("m.sfm");
+        save_model(
+            &mut FusionNet::new(FusionScheme::AllFilterU, &config).expect("valid config"),
+            &model_path,
+        )
+        .unwrap();
+        let rgb_path = dir.join("f.ppm");
+        let depth_path = dir.join("dead.pgm");
+        RgbImage::from_fn(32, 16, |x, y| [x as f32 / 32.0, y as f32 / 16.0, 0.4])
+            .write_ppm(&rgb_path)
+            .unwrap();
+        // An all-zero depth frame: a dead sensor.
+        GrayImage::new(32, 16).write_pgm(&depth_path).unwrap();
+        let base: Vec<String> = [
+            "infer",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--rgb",
+            rgb_path.to_str().unwrap(),
+            "--depth",
+            depth_path.to_str().unwrap(),
+            "--out",
+            dir.join("o.ppm").to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        // Default policy (fallback) quarantines the dead sensor.
+        let log = infer(&Args::parse(&base).unwrap()).unwrap();
+        assert!(log.contains("depth input quarantined"), "{log}");
+        assert!(log.contains("camera-only fallback"), "{log}");
+        assert!(log.contains("overlay written"), "{log}");
+        // Trust fuses it silently.
+        let mut trust = base.clone();
+        trust.extend(["--policy".to_string(), "trust".to_string()]);
+        let log = infer(&Args::parse(&trust).unwrap()).unwrap();
+        assert!(!log.contains("quarantined"), "{log}");
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -46,6 +46,15 @@ pub fn train(args: &Args) -> Result<String, CliError> {
             "float",
         )?,
         optimizer,
+        max_recoveries: args.get_parsed(
+            "max-recoveries",
+            TrainConfig::standard().max_recoveries,
+            "integer",
+        )?,
+        grad_clip: match args.get("grad-clip") {
+            None => None,
+            Some(_) => Some(args.get_parsed("grad-clip", 0.0f32, "float")?),
+        },
         ..TrainConfig::standard()
     };
 
@@ -87,6 +96,28 @@ pub fn train(args: &Args) -> Result<String, CliError> {
         train_config.alpha
     );
     let report = sf_core::train(&mut net, &data.train(None), &train_config);
+    for r in &report.recoveries {
+        let _ = writeln!(
+            log,
+            "recovered from divergence at epoch {} batch {} (loss {:.3e}); \
+             retrying at lr {:.3e}",
+            r.epoch, r.batch, r.loss, r.learning_rate
+        );
+    }
+    if report.skipped_batches > 0 {
+        let _ = writeln!(
+            log,
+            "skipped {} batch(es) with non-finite gradients",
+            report.skipped_batches
+        );
+    }
+    if report.diverged {
+        return Err(CliError::Diverged(format!(
+            "loss exploded and the recovery budget ({} retries) was exhausted; \
+             no checkpoint written — lower --lr or raise --max-recoveries\n{log}",
+            train_config.max_recoveries
+        )));
+    }
     let _ = writeln!(
         log,
         "segmentation loss: {:.4} -> {:.4}",
@@ -156,6 +187,97 @@ mod tests {
         assert!(path.exists());
         let net = crate::model_io::load_model(&path).unwrap();
         assert_eq!(net.scheme(), sf_core::FusionScheme::Baseline);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn divergence_is_a_hard_error_and_saves_nothing() {
+        let path = std::env::temp_dir().join("sf_cli_train_diverged.sfm");
+        let _ = std::fs::remove_file(&path);
+        let raw: Vec<String> = [
+            "train",
+            "--out",
+            path.to_str().unwrap(),
+            "--scheme",
+            "baseline",
+            "--epochs",
+            "6",
+            "--lr",
+            "10000",
+            "--max-recoveries",
+            "0",
+            "--train-per-category",
+            "2",
+            "--test-per-category",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = train(&Args::parse(&raw).unwrap()).unwrap_err();
+        match &err {
+            CliError::Diverged(msg) => {
+                assert!(msg.contains("no checkpoint written"), "{msg}");
+                assert!(msg.contains("--max-recoveries"), "{msg}");
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        assert!(!path.exists(), "diverged run must not leave a checkpoint");
+    }
+
+    #[test]
+    fn recovery_flags_are_honored_and_logged() {
+        let path = std::env::temp_dir().join("sf_cli_train_recovery.sfm");
+        let raw: Vec<String> = [
+            "train",
+            "--out",
+            path.to_str().unwrap(),
+            "--scheme",
+            "baseline",
+            "--epochs",
+            "6",
+            "--lr",
+            "10000",
+            "--max-recoveries",
+            "40",
+            "--train-per-category",
+            "2",
+            "--test-per-category",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let log = train(&Args::parse(&raw).unwrap()).unwrap();
+        assert!(log.contains("recovered from divergence"), "{log}");
+        assert!(log.contains("checkpoint saved"), "{log}");
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn grad_clip_flag_is_accepted() {
+        let path = std::env::temp_dir().join("sf_cli_train_clip.sfm");
+        let raw: Vec<String> = [
+            "train",
+            "--out",
+            path.to_str().unwrap(),
+            "--scheme",
+            "baseline",
+            "--epochs",
+            "1",
+            "--grad-clip",
+            "1.0",
+            "--train-per-category",
+            "2",
+            "--test-per-category",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let log = train(&Args::parse(&raw).unwrap()).unwrap();
+        assert!(log.contains("checkpoint saved"), "{log}");
         std::fs::remove_file(path).unwrap();
     }
 }

@@ -26,6 +26,9 @@ pub enum CliError {
     Io(String),
     /// Inputs were readable but semantically invalid.
     Invalid(String),
+    /// Training diverged and exhausted its recovery budget; no checkpoint
+    /// was written.
+    Diverged(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -34,6 +37,7 @@ impl std::fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Io(msg) => write!(f, "i/o error: {msg}"),
             CliError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            CliError::Diverged(msg) => write!(f, "training diverged: {msg}"),
         }
     }
 }
@@ -81,7 +85,15 @@ FLAGS BY COMMAND:
   generate: --out <dir> [--count <n>] [--category <um|umm|uu>]
   train:    --out <file.sfm> [--epochs <n>] [--alpha <f>] [--lr <f>]
             [--optimizer <sgd|adam>] [--data <dir>] [--train-per-category <n>]
+            [--max-recoveries <n>] [--grad-clip <f>]
   eval:     --model <file.sfm> [--test-per-category <n>]
+            [--fault <kind[:severity]>] [--fault-seed <u64>]
+            [--policy <trust|fallback|camera-only>]
   infer:    --model <file.sfm> --rgb <f.ppm> --depth <f.pgm> --out <overlay.ppm>
+            [--policy <trust|fallback|camera-only>]
   info:     [--scheme ...]
+
+FAULT KINDS (for eval --fault):
+  depth-dropout:<p>  dead-rows:<p>  gaussian-noise:<sigma>
+  salt-pepper:<p>    miscalibration:<dx>,<dy>  stale-frame
 ";

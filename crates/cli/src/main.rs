@@ -15,8 +15,14 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
+        // Usage help is only useful when the command line itself was the
+        // problem; runtime failures (I/O, divergence) print just the error.
+        Err(CliError::Args(e)) => {
             eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }

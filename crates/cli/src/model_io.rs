@@ -5,8 +5,8 @@
 //! self-describing — `roadseg eval`/`infer` can rebuild the right
 //! architecture without the user repeating every flag.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
 
 use sf_core::{FusionNet, FusionScheme, NetworkConfig};
 use sf_nn::Stateful;
@@ -51,16 +51,23 @@ fn scheme_from_code(code: &str) -> Option<FusionScheme> {
     })
 }
 
-/// Saves a model (manifest + weights) to `path`.
+/// Saves a model (manifest + weights) to `path`, atomically: the full
+/// file is staged in memory, written to a `<path>.tmp` sibling and
+/// renamed over the destination, so a crash mid-save never corrupts an
+/// existing checkpoint.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Io`] on any write failure.
 pub fn save_model(net: &mut FusionNet, path: impl AsRef<Path>) -> Result<(), CliError> {
-    let mut file = std::fs::File::create(&path)
-        .map_err(|e| CliError::Io(format!("{}: {e}", path.as_ref().display())))?;
-    file.write_all(manifest(net).as_bytes())?;
-    net.save_state(&mut file)?;
+    let path = path.as_ref();
+    let mut bytes = manifest(net).into_bytes();
+    net.save_state(&mut bytes)?;
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes).map_err(|e| CliError::Io(format!("{}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
     Ok(())
 }
 
@@ -83,7 +90,7 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<FusionNet, CliError> {
     let mut rest = Vec::new();
     reader.read_to_end(&mut rest)?;
     net.load_state(&rest[..])
-        .map_err(|e| CliError::Invalid(format!("checkpoint does not match manifest: {e}")))?;
+        .map_err(|e| CliError::Invalid(format!("checkpoint rejected: {e}")))?;
     Ok(net)
 }
 
@@ -185,6 +192,77 @@ mod tests {
         std::fs::write(&path, bytes).unwrap();
         assert!(matches!(load_model(&path), Err(CliError::Invalid(_))));
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn flipped_weight_byte_is_rejected_with_crc_error() {
+        let path = std::env::temp_dir().join("sf_cli_bitflip.sfm");
+        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_config()).expect("valid config");
+        save_model(&mut net, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit deep inside the weight payload.
+        let target = bytes.len() - 100;
+        bytes[target] ^= 0x10;
+        std::fs::write(&path, bytes).unwrap();
+        let err = load_model(&path).unwrap_err();
+        match &err {
+            CliError::Invalid(msg) => assert!(msg.contains("CRC"), "message: {msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let path = std::env::temp_dir().join("sf_cli_truncated.sfm");
+        let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_config()).expect("valid config");
+        save_model(&mut net, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 17]).unwrap();
+        assert!(matches!(load_model(&path), Err(CliError::Invalid(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn legacy_pre_crc_checkpoint_still_loads() {
+        let path = std::env::temp_dir().join("sf_cli_legacy.sfm");
+        let mut original =
+            FusionNet::new(FusionScheme::AllFilterU, &tiny_config()).expect("valid config");
+        save_model(&mut original, &path).unwrap();
+        // Rewrite the weight section as a version-1 file: patch the SFM1
+        // version byte and drop the 4-byte CRC trailer.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let magic_pos = bytes
+            .windows(4)
+            .position(|w| w == b"SFM1")
+            .expect("weight section present");
+        bytes[magic_pos + 4] = 1;
+        bytes.truncate(bytes.len() - 4);
+        std::fs::write(&path, bytes).unwrap();
+        let mut loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.state_tensors(), original.state_tensors());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn interrupted_save_leaves_previous_checkpoint_loadable() {
+        let dir = std::env::temp_dir().join("sf_cli_atomic_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.sfm");
+        let mut original =
+            FusionNet::new(FusionScheme::Baseline, &tiny_config()).expect("valid config");
+        save_model(&mut original, &path).unwrap();
+        assert!(!dir.join("model.sfm.tmp").exists(), "tmp must be renamed");
+        // Simulate a writer killed mid-save: a partial temp file next to
+        // the real checkpoint. The original must still load, and the next
+        // save must still succeed.
+        std::fs::write(dir.join("model.sfm.tmp"), b"partial garbage").unwrap();
+        let mut loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.state_tensors(), original.state_tensors());
+        save_model(&mut original, &path).unwrap();
+        assert!(!dir.join("model.sfm.tmp").exists());
+        assert!(load_model(&path).is_ok());
+        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]

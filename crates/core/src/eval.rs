@@ -1,5 +1,12 @@
 //! Model evaluation in the KITTI style: predict probability maps,
 //! optionally warp to bird's-eye view, and compute the benchmark metrics.
+//!
+//! Evaluation is where the graceful-degradation layer lives: every
+//! sample's depth input is screened by the [`DegradationPolicy`] in
+//! [`EvalOptions`] before the forward pass, and quarantined inputs route
+//! through [`FusionNet::forward_camera_only`] instead of fusing a broken
+//! sensor. [`evaluate_with_report`] additionally reports which samples
+//! were quarantined and why.
 
 use sf_autograd::Graph;
 use sf_dataset::{bev_warp, BevGrid, Sample, SegmentationEval};
@@ -8,6 +15,7 @@ use sf_scene::PinholeCamera;
 use sf_tensor::Tensor;
 use sf_vision::GrayImage;
 
+use crate::health::{DegradationPolicy, HealthIssue, HealthThresholds};
 use crate::network::FusionNet;
 
 /// Evaluation options.
@@ -18,6 +26,12 @@ pub struct EvalOptions {
     pub bev: bool,
     /// The BEV grid to use when `bev` is set.
     pub grid: BevGrid,
+    /// What to do about unhealthy depth inputs. The default
+    /// ([`DegradationPolicy::Trust`]) preserves the pre-fault-model
+    /// behavior exactly.
+    pub policy: DegradationPolicy,
+    /// What counts as an unhealthy input under the policy.
+    pub thresholds: HealthThresholds,
 }
 
 impl Default for EvalOptions {
@@ -25,15 +39,62 @@ impl Default for EvalOptions {
         EvalOptions {
             bev: true,
             grid: BevGrid::default(),
+            policy: DegradationPolicy::default(),
+            thresholds: HealthThresholds::default(),
         }
     }
 }
 
+impl EvalOptions {
+    /// Returns a copy with a different degradation policy.
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Which inputs an evaluation quarantined, per sample.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Number of samples evaluated.
+    pub evaluated: usize,
+    /// `(sample_index, reason)` for every quarantined depth input.
+    pub quarantined: Vec<(usize, HealthIssue)>,
+}
+
+impl DegradationReport {
+    /// Number of quarantined depth inputs.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+}
+
 /// Runs `net` on one sample and returns the per-pixel road probability
-/// map (sigmoid of the logits).
+/// map (sigmoid of the logits). Inputs are trusted; use
+/// [`predict_probability_with_policy`] to screen the depth sensor first.
 pub fn predict_probability(net: &mut FusionNet, sample: &Sample) -> GrayImage {
+    predict_probability_with_policy(
+        net,
+        sample,
+        DegradationPolicy::Trust,
+        &HealthThresholds::default(),
+    )
+    .0
+}
+
+/// Like [`predict_probability`], but screens the sample's depth input
+/// under `policy` first. Returns the probability map plus the quarantine
+/// reason, if the depth input was quarantined (in which case the
+/// prediction came from the camera-only path).
+pub fn predict_probability_with_policy(
+    net: &mut FusionNet,
+    sample: &Sample,
+    policy: DegradationPolicy,
+    thresholds: &HealthThresholds,
+) -> (GrayImage, Option<HealthIssue>) {
     let (h, w) = (sample.height(), sample.width());
     let depth_channels = sample.depth.shape()[0];
+    let quarantine = policy.quarantine_depth(&sample.depth, thresholds);
     let mut g = Graph::new();
     let rgb = g.leaf(
         sample
@@ -41,19 +102,23 @@ pub fn predict_probability(net: &mut FusionNet, sample: &Sample) -> GrayImage {
             .reshape(&[1, 3, h, w])
             .expect("sample rgb is [3,H,W]"),
     );
-    let depth = g.leaf(
-        sample
-            .depth
-            .reshape(&[1, depth_channels, h, w])
-            .expect("sample depth is [C,H,W]"),
-    );
-    let out = net.forward(&mut g, rgb, depth, Mode::Eval);
+    let out = if quarantine.is_some() {
+        net.forward_camera_only(&mut g, rgb, Mode::Eval)
+    } else {
+        let depth = g.leaf(
+            sample
+                .depth
+                .reshape(&[1, depth_channels, h, w])
+                .expect("sample depth is [C,H,W]"),
+        );
+        net.forward(&mut g, rgb, depth, Mode::Eval)
+    };
     let prob = g.sigmoid(out.logits);
     let flat = g
         .value(prob)
         .reshape(&[h, w])
         .expect("logits are [1,1,H,W]");
-    GrayImage::from_tensor(&flat)
+    (GrayImage::from_tensor(&flat), quarantine)
 }
 
 /// Evaluates `net` over `samples`, pooling pixels across all of them
@@ -64,10 +129,29 @@ pub fn evaluate(
     camera: &PinholeCamera,
     options: &EvalOptions,
 ) -> SegmentationEval {
+    evaluate_with_report(net, samples, camera, options).0
+}
+
+/// Like [`evaluate`], but also reports which samples' depth inputs were
+/// quarantined by the degradation policy.
+pub fn evaluate_with_report(
+    net: &mut FusionNet,
+    samples: &[&Sample],
+    camera: &PinholeCamera,
+    options: &EvalOptions,
+) -> (SegmentationEval, DegradationReport) {
     let mut prob_maps = Vec::with_capacity(samples.len());
     let mut gt_maps = Vec::with_capacity(samples.len());
-    for sample in samples {
-        let prob = predict_probability(net, sample);
+    let mut report = DegradationReport {
+        evaluated: samples.len(),
+        ..DegradationReport::default()
+    };
+    for (index, sample) in samples.iter().enumerate() {
+        let (prob, quarantine) =
+            predict_probability_with_policy(net, sample, options.policy, &options.thresholds);
+        if let Some(issue) = quarantine {
+            report.quarantined.push((index, issue));
+        }
         let gt = gray_from_chw(&sample.gt);
         if options.bev {
             prob_maps.push(bev_warp(&prob, camera, &options.grid));
@@ -78,7 +162,7 @@ pub fn evaluate(
         }
     }
     let pairs: Vec<(&GrayImage, &GrayImage)> = prob_maps.iter().zip(gt_maps.iter()).collect();
-    SegmentationEval::from_pairs(&pairs)
+    (SegmentationEval::from_pairs(&pairs), report)
 }
 
 fn gray_from_chw(t: &Tensor) -> GrayImage {
@@ -168,5 +252,67 @@ mod tests {
         for v in eval.as_row() {
             assert!((0.0..=100.0).contains(&v), "metric {v}");
         }
+    }
+
+    #[test]
+    fn fallback_on_dead_depth_matches_explicit_camera_only() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let camera = data.config().camera();
+        let mut net =
+            FusionNet::new(FusionScheme::AllFilterU, &net_config()).expect("valid config");
+        let test = data.test(None);
+        // Kill every depth input outright.
+        let dead: Vec<Sample> = test
+            .iter()
+            .map(|s| Sample {
+                depth: Tensor::zeros(s.depth.shape()),
+                ..(*s).clone()
+            })
+            .collect();
+        let dead_refs: Vec<&Sample> = dead.iter().collect();
+        let fallback = EvalOptions::default().with_policy(DegradationPolicy::CameraFallback);
+        let (with_fallback, report) =
+            evaluate_with_report(&mut net, &dead_refs, &camera, &fallback);
+        assert_eq!(report.evaluated, dead_refs.len());
+        assert_eq!(report.quarantined_count(), dead_refs.len());
+        assert!(report
+            .quarantined
+            .iter()
+            .all(|&(_, issue)| issue == HealthIssue::ZeroEnergy));
+        // The explicit camera-only reference on the same scenes.
+        let camera_only = EvalOptions::default().with_policy(DegradationPolicy::CameraOnly);
+        let reference = evaluate(&mut net, &test, &camera, &camera_only);
+        assert!(
+            (with_fallback.f_score - reference.f_score).abs() < 1e-6,
+            "fallback {} vs camera-only {}",
+            with_fallback.f_score,
+            reference.f_score
+        );
+    }
+
+    #[test]
+    fn trust_policy_never_quarantines() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let camera = data.config().camera();
+        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
+        let test = data.test(None);
+        let (_, report) =
+            evaluate_with_report(&mut net, &test[..2], &camera, &EvalOptions::default());
+        assert_eq!(report.evaluated, 2);
+        assert_eq!(report.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn healthy_inputs_are_not_quarantined_by_fallback() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let camera = data.config().camera();
+        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
+        let test = data.test(None);
+        let fallback = EvalOptions::default().with_policy(DegradationPolicy::CameraFallback);
+        let (with_policy, report) = evaluate_with_report(&mut net, &test, &camera, &fallback);
+        assert_eq!(report.quarantined_count(), 0, "healthy depth must fuse");
+        // With nothing quarantined the result is identical to trust.
+        let trusted = evaluate(&mut net, &test, &camera, &EvalOptions::default());
+        assert_eq!(with_policy, trusted);
     }
 }

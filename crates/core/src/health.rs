@@ -1,0 +1,227 @@
+//! Input health checks and the graceful-degradation policy.
+//!
+//! A fusion network fed a dead or corrupted depth sensor does not fail
+//! loudly — it fuses garbage and produces confidently wrong masks. The
+//! types here give eval/infer a first line of defence: [`InputHealth`]
+//! summarises a sensor tensor (non-finite ratio, energy, saturation),
+//! [`HealthThresholds`] says what counts as broken, and
+//! [`DegradationPolicy`] decides whether the depth input is quarantined,
+//! in which case the network falls back to its camera-only path instead
+//! of fusing the bad sensor.
+
+use std::fmt;
+
+use sf_tensor::Tensor;
+
+/// Values at or above this fraction of full scale count as saturated
+/// (depth images are normalized to `[0, 1]`).
+const SATURATION_LEVEL: f32 = 0.995;
+
+/// What counts as a broken sensor input. Defaults assume unit-normalized
+/// images: any non-finite value, a mean magnitude below `1e-6` (dead
+/// sensor) or more than half the pixels pinned at full scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthThresholds {
+    /// Maximum tolerated fraction of non-finite (NaN/±inf) values.
+    pub max_non_finite_ratio: f32,
+    /// Minimum mean absolute value; below this the sensor is dead.
+    pub min_energy: f32,
+    /// Maximum tolerated fraction of full-scale (saturated) values.
+    pub max_saturation_ratio: f32,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        HealthThresholds {
+            max_non_finite_ratio: 0.0,
+            min_energy: 1e-6,
+            max_saturation_ratio: 0.5,
+        }
+    }
+}
+
+/// Why a sensor input was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthIssue {
+    /// The tensor contains more non-finite values than tolerated.
+    NonFinite,
+    /// The tensor is (near-)all-zero: a dead or disconnected sensor.
+    ZeroEnergy,
+    /// Too many values are pinned at full scale.
+    Saturated,
+    /// No defect — the policy unconditionally ignores this sensor.
+    ForcedCameraOnly,
+}
+
+impl fmt::Display for HealthIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthIssue::NonFinite => write!(f, "non-finite values"),
+            HealthIssue::ZeroEnergy => write!(f, "zero energy (dead sensor)"),
+            HealthIssue::Saturated => write!(f, "saturated"),
+            HealthIssue::ForcedCameraOnly => write!(f, "camera-only policy"),
+        }
+    }
+}
+
+/// Summary statistics of one sensor tensor, cheap enough to compute per
+/// frame before every eval/infer forward pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputHealth {
+    /// Fraction of values that are NaN or ±infinity.
+    pub non_finite_ratio: f32,
+    /// Mean absolute value over the finite entries (non-finite entries
+    /// contribute zero).
+    pub energy: f32,
+    /// Fraction of values at or above the full-scale saturation level.
+    pub saturation_ratio: f32,
+}
+
+impl InputHealth {
+    /// Measures `t` in one pass.
+    pub fn assess(t: &Tensor) -> InputHealth {
+        let n = t.numel().max(1) as f32;
+        let mut non_finite = 0usize;
+        let mut abs_sum = 0.0f64;
+        let mut saturated = 0usize;
+        for &v in t.data() {
+            if !v.is_finite() {
+                non_finite += 1;
+            } else {
+                abs_sum += f64::from(v.abs());
+                if v.abs() >= SATURATION_LEVEL {
+                    saturated += 1;
+                }
+            }
+        }
+        InputHealth {
+            non_finite_ratio: non_finite as f32 / n,
+            energy: (abs_sum / f64::from(n)) as f32,
+            saturation_ratio: saturated as f32 / n,
+        }
+    }
+
+    /// The first threshold this input violates, or `None` if healthy.
+    pub fn diagnose(&self, thresholds: &HealthThresholds) -> Option<HealthIssue> {
+        if self.non_finite_ratio > thresholds.max_non_finite_ratio {
+            Some(HealthIssue::NonFinite)
+        } else if self.energy < thresholds.min_energy {
+            Some(HealthIssue::ZeroEnergy)
+        } else if self.saturation_ratio > thresholds.max_saturation_ratio {
+            Some(HealthIssue::Saturated)
+        } else {
+            None
+        }
+    }
+}
+
+/// What eval/infer does about an unhealthy depth input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Feed the network whatever the sensor delivered (pre-fault-model
+    /// behavior; the degradation layer is inert).
+    #[default]
+    Trust,
+    /// Health-check the depth input and, if it is broken, quarantine it:
+    /// the network runs its camera-only path instead of fusing garbage.
+    CameraFallback,
+    /// Always ignore depth — the explicit camera-only reference that the
+    /// fallback path must match exactly.
+    CameraOnly,
+}
+
+impl DegradationPolicy {
+    /// Decides whether a depth tensor must be quarantined under this
+    /// policy, returning the reason if so.
+    pub fn quarantine_depth(
+        self,
+        depth: &Tensor,
+        thresholds: &HealthThresholds,
+    ) -> Option<HealthIssue> {
+        match self {
+            DegradationPolicy::Trust => None,
+            DegradationPolicy::CameraOnly => Some(HealthIssue::ForcedCameraOnly),
+            DegradationPolicy::CameraFallback => InputHealth::assess(depth).diagnose(thresholds),
+        }
+    }
+}
+
+impl fmt::Display for DegradationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationPolicy::Trust => write!(f, "trust"),
+            DegradationPolicy::CameraFallback => write!(f, "fallback"),
+            DegradationPolicy::CameraOnly => write!(f, "camera-only"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thresholds() -> HealthThresholds {
+        HealthThresholds::default()
+    }
+
+    #[test]
+    fn healthy_depth_passes() {
+        let t = Tensor::from_vec(vec![0.1, 0.4, 0.7, 0.3], &[4]).unwrap();
+        let h = InputHealth::assess(&t);
+        assert_eq!(h.non_finite_ratio, 0.0);
+        assert!((h.energy - 0.375).abs() < 1e-6);
+        assert_eq!(h.saturation_ratio, 0.0);
+        assert_eq!(h.diagnose(&thresholds()), None);
+    }
+
+    #[test]
+    fn zero_energy_is_flagged() {
+        let h = InputHealth::assess(&Tensor::zeros(&[1, 4, 4]));
+        assert_eq!(h.diagnose(&thresholds()), Some(HealthIssue::ZeroEnergy));
+    }
+
+    #[test]
+    fn non_finite_is_flagged_first() {
+        let t = Tensor::from_vec(vec![f32::NAN, 0.5, f32::INFINITY, 0.2], &[4]).unwrap();
+        let h = InputHealth::assess(&t);
+        assert_eq!(h.non_finite_ratio, 0.5);
+        assert_eq!(h.diagnose(&thresholds()), Some(HealthIssue::NonFinite));
+    }
+
+    #[test]
+    fn saturation_is_flagged() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 1.0, 0.4], &[4]).unwrap();
+        let h = InputHealth::assess(&t);
+        assert_eq!(h.saturation_ratio, 0.75);
+        assert_eq!(h.diagnose(&thresholds()), Some(HealthIssue::Saturated));
+    }
+
+    #[test]
+    fn policies_decide_quarantine() {
+        let dead = Tensor::zeros(&[2, 2]);
+        let fine = Tensor::full(&[2, 2], 0.4);
+        let th = thresholds();
+        assert_eq!(DegradationPolicy::Trust.quarantine_depth(&dead, &th), None);
+        assert_eq!(
+            DegradationPolicy::CameraFallback.quarantine_depth(&dead, &th),
+            Some(HealthIssue::ZeroEnergy)
+        );
+        assert_eq!(
+            DegradationPolicy::CameraFallback.quarantine_depth(&fine, &th),
+            None
+        );
+        assert_eq!(
+            DegradationPolicy::CameraOnly.quarantine_depth(&fine, &th),
+            Some(HealthIssue::ForcedCameraOnly)
+        );
+    }
+
+    #[test]
+    fn issue_and_policy_render_for_logs() {
+        assert_eq!(
+            HealthIssue::ZeroEnergy.to_string(),
+            "zero energy (dead sensor)"
+        );
+        assert_eq!(DegradationPolicy::CameraFallback.to_string(), "fallback");
+    }
+}

@@ -40,6 +40,7 @@ mod awn;
 mod config;
 mod eval;
 mod fd_loss;
+mod health;
 mod network;
 mod probe;
 mod stage;
@@ -47,11 +48,15 @@ mod trainer;
 
 pub use awn::AuxiliaryWeightNetwork;
 pub use config::{ConfigError, FusionScheme, NetworkConfig, NetworkConfigBuilder};
-pub use eval::{evaluate, predict_probability, EvalOptions};
+pub use eval::{
+    evaluate, evaluate_with_report, predict_probability, predict_probability_with_policy,
+    DegradationReport, EvalOptions,
+};
 pub use fd_loss::{fd_loss, fd_loss_raw};
+pub use health::{DegradationPolicy, HealthIssue, HealthThresholds, InputHealth};
 pub use network::{ForwardOutput, FusionNet};
 pub use probe::{measure_disparity, measure_disparity_with_null};
-pub use trainer::{train, LrSchedule, OptimizerKind, TrainConfig, TrainReport};
+pub use trainer::{train, LrSchedule, OptimizerKind, RecoveryEvent, TrainConfig, TrainReport};
 
 // Canonical error/result types for the whole stack live in `sf_tensor`;
 // re-exported here so downstream crates need only one import.

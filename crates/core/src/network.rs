@@ -206,7 +206,40 @@ impl FusionNet {
                 d_feat
             };
         }
-        // Decoder with additive skips from the fused encoder maps.
+        let logits = self.decode(g, &fused_maps, mode);
+        ForwardOutput {
+            logits,
+            fusion_pairs,
+        }
+    }
+
+    /// Records a camera-only forward pass: the RGB encoder runs alone and
+    /// the depth branch (and every fusion mechanism) is bypassed entirely.
+    ///
+    /// This is the graceful-degradation path taken when a
+    /// [`crate::DegradationPolicy`] quarantines the depth input — the
+    /// depth contribution to every fusion sum is exactly zero, so the
+    /// prediction depends only on the camera. `fusion_pairs` is empty
+    /// (there are no fusions to measure a disparity over).
+    pub fn forward_camera_only(&mut self, g: &mut Graph, rgb: NodeId, mode: Mode) -> ForwardOutput {
+        let stages = self.config.stages();
+        let mut fused_maps = Vec::with_capacity(stages);
+        let mut r = rgb;
+        for stage in &mut self.rgb_stages {
+            r = stage.forward(g, r, mode);
+            fused_maps.push(r);
+        }
+        let logits = self.decode(g, &fused_maps, mode);
+        ForwardOutput {
+            logits,
+            fusion_pairs: Vec::new(),
+        }
+    }
+
+    /// Decoder with additive skips from the (fused) encoder maps, shared
+    /// by the fused and camera-only forward paths.
+    fn decode(&mut self, g: &mut Graph, fused_maps: &[NodeId], mode: Mode) -> NodeId {
+        let stages = self.config.stages();
         let mut x = *fused_maps.last().expect("at least one stage");
         for (k, stage) in self.decoder.iter_mut().enumerate() {
             x = stage.forward(g, x, mode);
@@ -216,11 +249,7 @@ impl FusionNet {
                 x = g.add(x, skip);
             }
         }
-        let logits = self.head.forward(g, x, mode);
-        ForwardOutput {
-            logits,
-            fusion_pairs,
-        }
+        self.head.forward(g, x, mode)
     }
 
     /// Analytic per-image cost (MACs and parameters) of the whole
@@ -440,6 +469,28 @@ mod tests {
                 missing.is_empty(),
                 "{scheme}: parameters with zero grad: {missing:?}"
             );
+        }
+    }
+
+    #[test]
+    fn camera_only_forward_ignores_depth_entirely() {
+        let config = NetworkConfig::tiny();
+        for scheme in FusionScheme::ALL {
+            let mut net = FusionNet::new(scheme, &config).expect("valid config");
+            let mut rng = TensorRng::seed_from(21);
+            let rgb_t = rng.uniform(&[2, 3, 16, 48], 0.0, 1.0);
+            let mut g = Graph::new();
+            let rgb = g.leaf(rgb_t.clone());
+            let out = net.forward_camera_only(&mut g, rgb, Mode::Eval);
+            assert_eq!(g.value(out.logits).shape(), &[2, 1, 16, 48]);
+            assert!(out.fusion_pairs.is_empty());
+            let reference = g.value(out.logits).clone();
+            // A second camera-only pass is bit-identical regardless of
+            // what the (ignored) depth sensor would have delivered.
+            let mut g2 = Graph::new();
+            let rgb2 = g2.leaf(rgb_t.clone());
+            let out2 = net.forward_camera_only(&mut g2, rgb2, Mode::Eval);
+            assert_eq!(g2.value(out2.logits), &reference, "{scheme}");
         }
     }
 

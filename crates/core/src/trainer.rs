@@ -1,9 +1,13 @@
-//! The training loop implementing the paper's overall objective (Eq. 3).
+//! The training loop implementing the paper's overall objective (Eq. 3),
+//! hardened to self-heal instead of dying: non-finite gradient batches
+//! are skipped, the global gradient norm can be clipped, and a diverged
+//! epoch is rolled back to its starting snapshot and retried at half the
+//! learning rate (up to [`TrainConfig::max_recoveries`] times).
 
 use sf_autograd::Graph;
 use sf_dataset::{Batch, Sample};
 use sf_nn::{Adam, Mode, Optimizer, Param, Parameterized, Sgd};
-use sf_tensor::TensorRng;
+use sf_tensor::{Tensor, TensorRng};
 
 use crate::fd_loss::fd_loss;
 use crate::network::FusionNet;
@@ -70,6 +74,15 @@ enum AnyOptimizer {
 }
 
 impl AnyOptimizer {
+    fn build(kind: OptimizerKind, learning_rate: f32, momentum: f32) -> Self {
+        match kind {
+            OptimizerKind::Sgd => {
+                AnyOptimizer::Sgd(Sgd::new(learning_rate).with_momentum(momentum))
+            }
+            OptimizerKind::Adam => AnyOptimizer::Adam(Adam::new(learning_rate)),
+        }
+    }
+
     fn set_learning_rate(&mut self, lr: f32) {
         match self {
             AnyOptimizer::Sgd(o) => o.set_learning_rate(lr),
@@ -118,6 +131,15 @@ pub struct TrainConfig {
     pub schedule: LrSchedule,
     /// Shuffling seed.
     pub seed: u64,
+    /// How many times a divergence may be rolled back to the last
+    /// verified-good epoch snapshot and retried at half the learning rate
+    /// before the trainer gives up and reports
+    /// [`TrainReport::diverged`]. 0 restores the old fail-fast behavior.
+    pub max_recoveries: usize,
+    /// Global gradient-norm clip; `None` (the default) leaves gradients
+    /// untouched, so healthy trajectories are bit-identical to the
+    /// pre-clipping trainer.
+    pub grad_clip: Option<f32>,
 }
 
 impl TrainConfig {
@@ -133,6 +155,8 @@ impl TrainConfig {
             optimizer: OptimizerKind::Sgd,
             schedule: LrSchedule::default(),
             seed: 77,
+            max_recoveries: 3,
+            grad_clip: None,
         }
     }
 
@@ -148,6 +172,8 @@ impl TrainConfig {
             optimizer: OptimizerKind::Sgd,
             schedule: LrSchedule::default(),
             seed: 77,
+            max_recoveries: 3,
+            grad_clip: None,
         }
     }
 
@@ -208,12 +234,39 @@ impl TrainConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns a copy with a different divergence-recovery budget.
+    pub fn with_max_recoveries(mut self, max_recoveries: usize) -> Self {
+        self.max_recoveries = max_recoveries;
+        self
+    }
+
+    /// Returns a copy with a different global gradient-norm clip.
+    pub fn with_grad_clip(mut self, grad_clip: Option<f32>) -> Self {
+        self.grad_clip = grad_clip;
+        self
+    }
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
         TrainConfig::standard()
     }
+}
+
+/// One divergence recovery: the trainer rolled the model back to the
+/// epoch's starting snapshot and halved the learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Epoch in which the divergence was detected.
+    pub epoch: usize,
+    /// Batch index within the epoch.
+    pub batch: usize,
+    /// The diverged loss value. Non-finite losses (NaN/inf) are recorded
+    /// as `f32::INFINITY` so reports stay comparable with `==`.
+    pub loss: f32,
+    /// The halved base learning rate the retry uses.
+    pub learning_rate: f32,
 }
 
 /// Loss trajectory of one training run.
@@ -224,9 +277,15 @@ pub struct TrainReport {
     /// Mean summed feature-disparity loss per epoch (pre-α weighting).
     pub fd_loss: Vec<f32>,
     /// True if training stopped early because the loss became non-finite
-    /// (exploded). The model is left at its last (broken) state; callers
-    /// should rebuild and lower the learning rate.
+    /// (exploded) and the recovery budget was exhausted. The model is
+    /// left at its last (broken) state; callers should rebuild and lower
+    /// the learning rate.
     pub diverged: bool,
+    /// Every rollback-and-retry the trainer performed.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Batches whose optimizer step was skipped because the collected
+    /// gradients contained non-finite values.
+    pub skipped_batches: usize,
 }
 
 impl TrainReport {
@@ -241,33 +300,112 @@ impl TrainReport {
     }
 }
 
+/// In-memory copy of everything an epoch can corrupt: parameter values,
+/// optimizer scratch state and persistent buffers (batch-norm running
+/// statistics). Cheap relative to an epoch of convolutions.
+struct Snapshot {
+    params: Vec<(Tensor, Vec<Tensor>)>,
+    buffers: Vec<Tensor>,
+}
+
+impl Snapshot {
+    fn capture(net: &mut FusionNet) -> Snapshot {
+        let mut params = Vec::new();
+        net.visit_params(&mut |p: &mut Param| {
+            params.push((p.value.clone(), p.opt_state.clone()));
+        });
+        let mut buffers = Vec::new();
+        net.visit_buffers(&mut |b| buffers.push(b.clone()));
+        Snapshot { params, buffers }
+    }
+
+    fn restore(&self, net: &mut FusionNet) {
+        let mut index = 0usize;
+        net.visit_params(&mut |p: &mut Param| {
+            let (value, opt_state) = &self.params[index];
+            p.value = value.clone();
+            p.opt_state = opt_state.clone();
+            p.zero_grad();
+            index += 1;
+        });
+        let mut index = 0usize;
+        net.visit_buffers(&mut |b| {
+            *b = self.buffers[index].clone();
+            index += 1;
+        });
+    }
+}
+
+/// True if any collected gradient contains a NaN or ±infinity.
+fn grads_non_finite(net: &mut FusionNet) -> bool {
+    let mut bad = false;
+    net.visit_params(&mut |p: &mut Param| {
+        if !bad && p.grad.has_non_finite() {
+            bad = true;
+        }
+    });
+    bad
+}
+
+/// Scales all gradients so their global L2 norm is at most `clip`.
+fn clip_global_grad_norm(net: &mut FusionNet, clip: f32) {
+    let mut norm_sq = 0.0f64;
+    net.visit_params(&mut |p: &mut Param| {
+        norm_sq += f64::from(p.grad.norm_sq());
+    });
+    let norm = norm_sq.sqrt() as f32;
+    if norm > clip {
+        let scale = clip / norm;
+        net.visit_params(&mut |p: &mut Param| {
+            for v in p.grad.data_mut() {
+                *v *= scale;
+            }
+        });
+    }
+}
+
 /// Trains `net` on `samples` with the combined objective
 /// `L = L_seg + α · mean_i(D_fd-i)` (Eq. 3 with the per-stage disparities
 /// averaged rather than summed — at this reproduction's scale the mean
 /// keeps the paper's `α = 0.3` in the regime where the term regularises
 /// instead of dominating; see DESIGN.md).
 ///
-/// Deterministic given the network seed and `config.seed`.
+/// The loop self-heals rather than failing fast: batches with non-finite
+/// gradients are skipped (counted in [`TrainReport::skipped_batches`]),
+/// and a diverged loss rolls the model back to the last verified-good
+/// epoch snapshot, halves the learning rate and reruns from that epoch,
+/// up to [`TrainConfig::max_recoveries`] times
+/// ([`TrainReport::recoveries`]). Only an exhausted budget sets
+/// [`TrainReport::diverged`].
+///
+/// Deterministic given the network seed and `config.seed` — including
+/// recoveries, which consume the shuffle stream like any other epoch.
 pub fn train(net: &mut FusionNet, samples: &[&Sample], config: &TrainConfig) -> TrainReport {
     assert!(!samples.is_empty(), "cannot train on zero samples");
-    let mut optimizer = match config.optimizer {
-        OptimizerKind::Sgd => {
-            AnyOptimizer::Sgd(Sgd::new(config.learning_rate).with_momentum(config.momentum))
-        }
-        OptimizerKind::Adam => AnyOptimizer::Adam(Adam::new(config.learning_rate)),
-    };
+    let mut optimizer =
+        AnyOptimizer::build(config.optimizer, config.learning_rate, config.momentum);
     let mut report = TrainReport::default();
     let mut shuffle_rng = TensorRng::seed_from(config.seed);
     let mut order: Vec<usize> = (0..samples.len()).collect();
-    for epoch in 0..config.epochs {
+    // Scale on the base learning rate, halved at every recovery.
+    let mut lr_scale = 1.0f32;
+    let mut epoch = 0usize;
+    // The last snapshot whose epoch passed at least one divergence check,
+    // with the epoch it belongs to. An epoch-start snapshot cannot be
+    // trusted until the first forward pass of that epoch produced a sane
+    // loss: a bad step at the end of epoch N only surfaces at epoch
+    // N + 1's first batch, so N + 1's own snapshot is already poisoned.
+    let mut good: Option<(Snapshot, usize)> = None;
+    'epochs: while epoch < config.epochs {
         shuffle_rng.shuffle(&mut order);
+        let mut candidate = Some(Snapshot::capture(net));
         let mut seg_sum = 0.0f64;
         let mut fd_sum = 0.0f64;
         let mut batches = 0usize;
         optimizer.set_learning_rate(
-            config.learning_rate * config.schedule.multiplier(epoch, config.epochs),
+            config.learning_rate * lr_scale * config.schedule.multiplier(epoch, config.epochs),
         );
-        for chunk in order.chunks(config.batch_size) {
+        for (batch_index, chunk) in order.chunks(config.batch_size).enumerate() {
             // Random horizontal-flip augmentation, seeded per run.
             let flipped: Vec<Option<Sample>> = chunk
                 .iter()
@@ -292,10 +430,46 @@ pub fn train(net: &mut FusionNet, samples: &[&Sample], config: &TrainConfig) -> 
             // finite long after the weights have).
             let seg_value = g.value(seg).at(&[]);
             if !seg_value.is_finite() || seg_value > 1e3 {
+                if report.recoveries.len() < config.max_recoveries {
+                    lr_scale *= 0.5;
+                    report.recoveries.push(RecoveryEvent {
+                        epoch,
+                        batch: batch_index,
+                        loss: if seg_value.is_finite() {
+                            seg_value
+                        } else {
+                            f32::INFINITY
+                        },
+                        learning_rate: config.learning_rate * lr_scale,
+                    });
+                    // Roll back to the last verified-good state and rerun
+                    // from its epoch at the halved rate. Before any epoch
+                    // has been verified, the current epoch's own snapshot
+                    // is the best (initial) state available.
+                    let (snapshot, back_to) = match good.as_ref() {
+                        Some((s, e)) => (s, *e),
+                        None => (candidate.as_ref().expect("unpromoted"), epoch),
+                    };
+                    snapshot.restore(net);
+                    report.seg_loss.truncate(back_to);
+                    report.fd_loss.truncate(back_to);
+                    epoch = back_to;
+                    optimizer = AnyOptimizer::build(
+                        config.optimizer,
+                        config.learning_rate * lr_scale,
+                        config.momentum,
+                    );
+                    continue 'epochs;
+                }
                 report.diverged = true;
                 report.seg_loss.push(f32::INFINITY);
                 report.fd_loss.push(f32::INFINITY);
                 return report;
+            }
+            // This epoch's starting state produced a sane loss: it becomes
+            // the rollback target for future divergences.
+            if let Some(verified) = candidate.take() {
+                good = Some((verified, epoch));
             }
             let mut total = seg;
             let mut fd_val = 0.0f32;
@@ -308,15 +482,26 @@ pub fn train(net: &mut FusionNet, samples: &[&Sample], config: &TrainConfig) -> 
                     total = g.add(total, weighted);
                 }
             }
-            seg_sum += g.value(seg).at(&[]) as f64;
-            fd_sum += fd_val as f64;
+            seg_sum += f64::from(seg_value);
+            fd_sum += f64::from(fd_val);
             batches += 1;
             g.backward(total);
             net.collect_grads(&g);
+            if grads_non_finite(net) {
+                // A poisoned batch must not reach the weights; drop its
+                // gradients and move on.
+                net.zero_grads();
+                report.skipped_batches += 1;
+                continue;
+            }
+            if let Some(clip) = config.grad_clip {
+                clip_global_grad_norm(net, clip);
+            }
             optimizer.step(net);
         }
         report.seg_loss.push((seg_sum / batches as f64) as f32);
         report.fd_loss.push((fd_sum / batches as f64) as f32);
+        epoch += 1;
     }
     report
 }
@@ -385,7 +570,8 @@ mod tests {
         let mut net =
             FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
         let train_samples = data.train(None);
-        // An absurd learning rate reliably explodes the loss.
+        // An absurd learning rate reliably explodes the loss; the default
+        // recovery budget (3 halvings) cannot tame it.
         let config = TrainConfig {
             epochs: 30,
             learning_rate: 1e4,
@@ -396,6 +582,97 @@ mod tests {
         assert!(report.seg_loss.len() < 30, "training should stop early");
         assert!(report.final_seg_loss().is_infinite());
         assert!(report.final_fd_loss().is_infinite());
+        assert_eq!(report.recoveries.len(), config.max_recoveries);
+    }
+
+    #[test]
+    fn fail_fast_with_zero_recovery_budget() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let mut net =
+            FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
+        let config = TrainConfig {
+            epochs: 30,
+            learning_rate: 1e4,
+            ..TrainConfig::tiny()
+        }
+        .with_max_recoveries(0);
+        let report = train(&mut net, &data.train(None), &config);
+        assert!(report.diverged);
+        assert!(report.recoveries.is_empty());
+    }
+
+    #[test]
+    fn recovery_rescues_oversized_learning_rate() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let mut net =
+            FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
+        // The same absurd rate, but with enough halvings in the budget to
+        // reach a stable one: training must complete instead of dying.
+        let config = TrainConfig {
+            learning_rate: 1e4,
+            ..TrainConfig::tiny()
+        }
+        .with_max_recoveries(40);
+        let report = train(&mut net, &data.train(None), &config);
+        assert!(!report.diverged, "recovery should rescue the run");
+        assert!(!report.recoveries.is_empty(), "recoveries must be logged");
+        assert_eq!(report.seg_loss.len(), config.epochs);
+        assert!(report.final_seg_loss().is_finite());
+        // Each event halves the rate from the previous one.
+        for pair in report.recoveries.windows(2) {
+            assert!(pair[1].learning_rate < pair[0].learning_rate);
+        }
+    }
+
+    #[test]
+    fn recovery_is_deterministic() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let train_samples = data.train(None);
+        let run = || {
+            let mut net =
+                FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
+            let config = TrainConfig {
+                learning_rate: 1e4,
+                ..TrainConfig::tiny()
+            }
+            .with_max_recoveries(40);
+            train(&mut net, &train_samples, &config)
+        };
+        let a = run();
+        assert!(!a.recoveries.is_empty());
+        assert_eq!(a, run());
+    }
+
+    #[test]
+    fn huge_grad_clip_is_a_no_op() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let train_samples = data.train(None);
+        let run = |clip: Option<f32>| {
+            let mut net =
+                FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
+            train(
+                &mut net,
+                &train_samples,
+                &TrainConfig::tiny().with_grad_clip(clip),
+            )
+        };
+        assert_eq!(run(None), run(Some(1e9)));
+    }
+
+    #[test]
+    fn grad_clip_still_trains() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let mut net =
+            FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
+        let config = TrainConfig {
+            epochs: 6,
+            ..TrainConfig::tiny()
+        }
+        .with_grad_clip(Some(0.5));
+        let report = train(&mut net, &data.train(None), &config);
+        assert!(!report.diverged);
+        assert!(report.final_seg_loss().is_finite());
+        assert!(report.final_seg_loss() < report.seg_loss[0]);
     }
 
     #[test]
@@ -405,6 +682,8 @@ mod tests {
             FusionNet::new(FusionScheme::Baseline, &tiny_net_config()).expect("valid config");
         let report = train(&mut net, &data.train(None), &TrainConfig::tiny());
         assert!(!report.diverged);
+        assert!(report.recoveries.is_empty());
+        assert_eq!(report.skipped_batches, 0);
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! Injectable sensor failures for robustness experiments and testing.
+//!
+//! The paper argues (Fig. 9, Sec. 5) that camera/LiDAR middle fusion
+//! survives adverse conditions; this module makes that claim testable by
+//! corrupting the depth channel the way real LiDAR pipelines fail:
+//! dropouts, dead scanlines, noise, extrinsic drift, frozen frames and
+//! impulse noise. Corruption is driven by a seeded [`TensorRng`], so the
+//! same seed always produces bit-identical corrupted tensors — fault
+//! experiments are as reproducible as everything else in the stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use sf_dataset::{FaultInjector, SensorFault};
+//! use sf_tensor::Tensor;
+//!
+//! let fault: SensorFault = "depth-dropout:0.5".parse().unwrap();
+//! let mut a = FaultInjector::new(fault, 7);
+//! let mut b = FaultInjector::new(fault, 7);
+//! let depth = Tensor::full(&[1, 4, 6], 0.8);
+//! assert_eq!(a.corrupt_depth(&depth), b.corrupt_depth(&depth));
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use sf_tensor::{Tensor, TensorRng};
+
+use crate::{Batch, Sample};
+
+/// Full-scale value of the normalized inverse-depth images; salt pixels
+/// saturate to this.
+const FULL_SCALE: f32 = 1.0;
+
+/// One injectable depth-sensor failure mode.
+///
+/// Parsed from `kind[:param]` CLI specs — see [`SensorFault::from_str`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// Each depth pixel is zeroed independently with probability `p`
+    /// (`p = 1` is a completely dead sensor).
+    DepthDropout {
+        /// Per-pixel dropout probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Each image row dies independently with probability `p` — the
+    /// scanline failure pattern of a LiDAR losing rings.
+    DeadRows {
+        /// Per-row death probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Additive zero-mean Gaussian noise on every pixel.
+    GaussianNoise {
+        /// Noise standard deviation (depth images live in `[0, 1]`).
+        sigma: f32,
+    },
+    /// Extrinsic calibration drift: the depth image is translated by
+    /// `(dx, dy)` pixels with zero fill at the exposed border.
+    Miscalibration {
+        /// Horizontal shift in pixels (positive moves content right).
+        dx: i32,
+        /// Vertical shift in pixels (positive moves content down).
+        dy: i32,
+    },
+    /// A frozen sensor pipeline: every frame after the first is replaced
+    /// by the first frame the injector ever saw (shapes permitting).
+    StaleFrame,
+    /// Impulse (salt-and-pepper) noise: each pixel is forced to zero or
+    /// full scale, each with probability `p / 2`.
+    SaltPepper {
+        /// Per-pixel impulse probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+impl SensorFault {
+    /// All fault kinds at a common `severity` knob in `[0, 1]`, the axis
+    /// of the fault-matrix experiment. Severity maps to each kind's
+    /// natural parameter (probability, sigma, or shift magnitude).
+    pub fn matrix_faults(severity: f64) -> Vec<SensorFault> {
+        vec![
+            SensorFault::DepthDropout { p: severity },
+            SensorFault::DeadRows { p: severity },
+            SensorFault::GaussianNoise {
+                sigma: severity as f32,
+            },
+            SensorFault::Miscalibration {
+                dx: (severity * 6.0).round() as i32,
+                dy: (severity * 2.0).round() as i32,
+            },
+            SensorFault::StaleFrame,
+            SensorFault::SaltPepper { p: severity },
+        ]
+    }
+}
+
+impl fmt::Display for SensorFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorFault::DepthDropout { p } => write!(f, "depth-dropout:{p}"),
+            SensorFault::DeadRows { p } => write!(f, "dead-rows:{p}"),
+            SensorFault::GaussianNoise { sigma } => write!(f, "gaussian-noise:{sigma}"),
+            SensorFault::Miscalibration { dx, dy } => write!(f, "miscalibration:{dx},{dy}"),
+            SensorFault::StaleFrame => write!(f, "stale-frame"),
+            SensorFault::SaltPepper { p } => write!(f, "salt-pepper:{p}"),
+        }
+    }
+}
+
+/// Error from parsing a `kind[:param]` fault spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultError {
+    /// The spec that failed to parse.
+    pub spec: String,
+}
+
+impl fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fault spec {:?} (expected depth-dropout:<p> | dead-rows:<p> | \
+             gaussian-noise:<sigma> | miscalibration:<dx>,<dy> | stale-frame | salt-pepper:<p>)",
+            self.spec
+        )
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
+
+impl FromStr for SensorFault {
+    type Err = ParseFaultError;
+
+    /// Parses CLI specs like `depth-dropout:0.5` or `miscalibration:3,1`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseFaultError {
+            spec: s.to_string(),
+        };
+        let (kind, param) = match s.split_once(':') {
+            Some((k, p)) => (k, Some(p)),
+            None => (s, None),
+        };
+        let prob = |p: &str| {
+            p.parse::<f64>()
+                .ok()
+                .filter(|v| (0.0..=1.0).contains(v))
+                .ok_or_else(err)
+        };
+        match (kind, param) {
+            ("depth-dropout", Some(p)) => Ok(SensorFault::DepthDropout { p: prob(p)? }),
+            ("dead-rows", Some(p)) => Ok(SensorFault::DeadRows { p: prob(p)? }),
+            ("gaussian-noise", Some(sigma)) => Ok(SensorFault::GaussianNoise {
+                sigma: sigma
+                    .parse::<f32>()
+                    .ok()
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .ok_or_else(err)?,
+            }),
+            ("miscalibration", Some(shift)) => {
+                let (dx, dy) = shift.split_once(',').ok_or_else(err)?;
+                Ok(SensorFault::Miscalibration {
+                    dx: dx.trim().parse().map_err(|_| err())?,
+                    dy: dy.trim().parse().map_err(|_| err())?,
+                })
+            }
+            ("stale-frame", None) => Ok(SensorFault::StaleFrame),
+            ("salt-pepper", Some(p)) => Ok(SensorFault::SaltPepper { p: prob(p)? }),
+            _ => Err(err()),
+        }
+    }
+}
+
+/// A seeded corruptor applying one [`SensorFault`] to depth tensors.
+///
+/// Deterministic: two injectors built with the same fault and seed, fed
+/// the same sequence of tensors, produce bit-identical corruption. The
+/// RNG stream advances per call, so corrupting a sequence of frames gives
+/// each frame independent (but reproducible) noise.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    fault: SensorFault,
+    rng: TensorRng,
+    /// The first frame ever seen, for [`SensorFault::StaleFrame`].
+    frozen: Option<Tensor>,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `fault` seeded with `seed`.
+    pub fn new(fault: SensorFault, seed: u64) -> FaultInjector {
+        FaultInjector {
+            fault,
+            rng: TensorRng::seed_from(seed),
+            frozen: None,
+        }
+    }
+
+    /// The fault this injector applies.
+    pub fn fault(&self) -> SensorFault {
+        self.fault
+    }
+
+    /// Corrupts a depth tensor whose last two axes are `H × W` (so both
+    /// `[C, H, W]` samples and `[N, C, H, W]` batches work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has fewer than two axes.
+    pub fn corrupt_depth(&mut self, depth: &Tensor) -> Tensor {
+        let shape = depth.shape();
+        assert!(shape.len() >= 2, "depth tensors need at least H and W axes");
+        let (h, w) = (shape[shape.len() - 2], shape[shape.len() - 1]);
+        let planes: usize = shape[..shape.len() - 2].iter().product();
+        let mut out = depth.clone();
+        match self.fault {
+            SensorFault::DepthDropout { p } => {
+                for v in out.data_mut() {
+                    if self.rng.chance(p) {
+                        *v = 0.0;
+                    }
+                }
+            }
+            SensorFault::DeadRows { p } => {
+                let data = out.data_mut();
+                for plane in 0..planes {
+                    for row in 0..h {
+                        if self.rng.chance(p) {
+                            let start = (plane * h + row) * w;
+                            data[start..start + w].fill(0.0);
+                        }
+                    }
+                }
+            }
+            SensorFault::GaussianNoise { sigma } => {
+                for v in out.data_mut() {
+                    *v += sigma * self.rng.normal_scalar();
+                }
+            }
+            SensorFault::Miscalibration { dx, dy } => {
+                let src = depth.data();
+                let data = out.data_mut();
+                for plane in 0..planes {
+                    let base = plane * h * w;
+                    for y in 0..h {
+                        for x in 0..w {
+                            let sx = x as i64 - i64::from(dx);
+                            let sy = y as i64 - i64::from(dy);
+                            data[base + y * w + x] =
+                                if (0..w as i64).contains(&sx) && (0..h as i64).contains(&sy) {
+                                    src[base + sy as usize * w + sx as usize]
+                                } else {
+                                    0.0
+                                };
+                        }
+                    }
+                }
+            }
+            SensorFault::StaleFrame => match &self.frozen {
+                Some(first) if first.shape() == shape => out = first.clone(),
+                Some(_) => {} // shape changed; pass the frame through
+                None => self.frozen = Some(depth.clone()),
+            },
+            SensorFault::SaltPepper { p } => {
+                for v in out.data_mut() {
+                    if self.rng.chance(p) {
+                        *v = if self.rng.chance(0.5) {
+                            0.0
+                        } else {
+                            FULL_SCALE
+                        };
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A copy of `sample` with its depth channel corrupted; RGB and
+    /// ground truth are untouched (camera faults are a separate axis).
+    pub fn corrupt_sample(&mut self, sample: &Sample) -> Sample {
+        Sample {
+            depth: self.corrupt_depth(&sample.depth),
+            ..sample.clone()
+        }
+    }
+
+    /// A copy of `batch` with its stacked depth tensor corrupted.
+    pub fn corrupt_batch(&mut self, batch: &Batch) -> Batch {
+        Batch {
+            rgb: batch.rgb.clone(),
+            depth: self.corrupt_depth(&batch.depth),
+            gt: batch.gt.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetConfig, RoadDataset};
+
+    fn ramp(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|i| 0.1 + (i % 7) as f32 * 0.1).collect(), shape).unwrap()
+    }
+
+    #[test]
+    fn same_seed_bit_identical_corruption() {
+        for fault in SensorFault::matrix_faults(0.4) {
+            let mut a = FaultInjector::new(fault, 99);
+            let mut b = FaultInjector::new(fault, 99);
+            let depth = ramp(&[2, 1, 8, 12]);
+            // A sequence of frames, to exercise the stream and StaleFrame.
+            for _ in 0..3 {
+                assert_eq!(
+                    a.corrupt_depth(&depth),
+                    b.corrupt_depth(&depth),
+                    "{fault} must corrupt deterministically"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_for_stochastic_faults() {
+        let fault = SensorFault::DepthDropout { p: 0.5 };
+        let depth = ramp(&[1, 16, 16]);
+        let a = FaultInjector::new(fault, 1).corrupt_depth(&depth);
+        let b = FaultInjector::new(fault, 2).corrupt_depth(&depth);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_dropout_zeroes_everything() {
+        let mut inj = FaultInjector::new(SensorFault::DepthDropout { p: 1.0 }, 5);
+        let out = inj.corrupt_depth(&ramp(&[1, 4, 4]));
+        assert!(out.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dead_rows_kill_whole_rows() {
+        let mut inj = FaultInjector::new(SensorFault::DeadRows { p: 0.5 }, 11);
+        let out = inj.corrupt_depth(&Tensor::full(&[1, 16, 6], 0.7));
+        let mut dead = 0;
+        for row in 0..16 {
+            let slice = &out.data()[row * 6..(row + 1) * 6];
+            let all_dead = slice.iter().all(|&v| v == 0.0);
+            let all_live = slice.iter().all(|&v| v == 0.7);
+            assert!(all_dead || all_live, "rows die atomically");
+            dead += usize::from(all_dead);
+        }
+        assert!(dead > 0, "p=0.5 over 16 rows should kill at least one");
+    }
+
+    #[test]
+    fn miscalibration_shifts_content() {
+        let mut depth = Tensor::zeros(&[1, 4, 4]);
+        depth.set(&[0, 1, 1], 0.9);
+        let mut inj = FaultInjector::new(SensorFault::Miscalibration { dx: 2, dy: 1 }, 0);
+        let out = inj.corrupt_depth(&depth);
+        assert_eq!(out.at(&[0, 2, 3]), 0.9);
+        assert_eq!(out.at(&[0, 1, 1]), 0.0);
+        // Negative shifts move the other way and zero-fill the far edge.
+        let mut back = FaultInjector::new(SensorFault::Miscalibration { dx: -1, dy: 0 }, 0);
+        let shifted = back.corrupt_depth(&out);
+        assert_eq!(shifted.at(&[0, 2, 2]), 0.9);
+    }
+
+    #[test]
+    fn stale_frame_freezes_the_first_frame() {
+        let mut inj = FaultInjector::new(SensorFault::StaleFrame, 3);
+        let first = ramp(&[1, 4, 4]);
+        let second = Tensor::full(&[1, 4, 4], 0.25);
+        assert_eq!(inj.corrupt_depth(&first), first, "first frame passes");
+        assert_eq!(inj.corrupt_depth(&second), first, "later frames frozen");
+        // A shape change passes through rather than panicking.
+        let odd = Tensor::full(&[1, 2, 2], 0.5);
+        assert_eq!(inj.corrupt_depth(&odd), odd);
+    }
+
+    #[test]
+    fn salt_pepper_only_produces_extremes_or_originals() {
+        let mut inj = FaultInjector::new(SensorFault::SaltPepper { p: 0.6 }, 21);
+        let out = inj.corrupt_depth(&Tensor::full(&[1, 20, 20], 0.4));
+        let mut impulses = 0;
+        for &v in out.data() {
+            assert!(v == 0.4 || v == 0.0 || v == FULL_SCALE);
+            impulses += usize::from(v != 0.4);
+        }
+        assert!(impulses > 0);
+    }
+
+    #[test]
+    fn sample_and_batch_corruption_touch_only_depth() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let train = data.train(None);
+        let mut inj = FaultInjector::new(SensorFault::GaussianNoise { sigma: 0.3 }, 8);
+        let corrupted = inj.corrupt_sample(train[0]);
+        assert_eq!(corrupted.rgb, train[0].rgb);
+        assert_eq!(corrupted.gt, train[0].gt);
+        assert_ne!(corrupted.depth, train[0].depth);
+
+        let batch = Batch::from_samples(&train[..3]);
+        let cb = inj.corrupt_batch(&batch);
+        assert_eq!(cb.rgb, batch.rgb);
+        assert_eq!(cb.gt, batch.gt);
+        assert_ne!(cb.depth, batch.depth);
+        assert_eq!(cb.depth.shape(), batch.depth.shape());
+    }
+
+    #[test]
+    fn specs_round_trip_through_display_and_parse() {
+        let specs = [
+            "depth-dropout:0.5",
+            "dead-rows:0.25",
+            "gaussian-noise:0.2",
+            "miscalibration:3,-1",
+            "stale-frame",
+            "salt-pepper:0.1",
+        ];
+        for spec in specs {
+            let fault: SensorFault = spec.parse().unwrap();
+            assert_eq!(fault.to_string(), spec);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for bad in [
+            "depth-dropout",
+            "depth-dropout:1.5",
+            "depth-dropout:x",
+            "gaussian-noise:-1",
+            "miscalibration:3",
+            "stale-frame:0.5",
+            "fog:0.5",
+            "",
+        ] {
+            let err = bad.parse::<SensorFault>().unwrap_err();
+            assert_eq!(err.spec, bad);
+            assert!(err.to_string().contains("fault spec"));
+        }
+    }
+
+    #[test]
+    fn matrix_covers_every_kind() {
+        let faults = SensorFault::matrix_faults(1.0);
+        assert_eq!(faults.len(), 6);
+        assert!(faults.contains(&SensorFault::DepthDropout { p: 1.0 }));
+        assert!(faults.contains(&SensorFault::StaleFrame));
+    }
+}

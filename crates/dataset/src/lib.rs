@@ -14,6 +14,9 @@
 //!   BEV evaluation server.
 //! - [`SegmentationEval`]: the benchmark metrics computed from prediction
 //!   probability maps.
+//! - [`SensorFault`] / [`FaultInjector`]: seeded, deterministic depth-
+//!   sensor fault injection (dropout, dead scanlines, noise, extrinsic
+//!   drift, frozen frames) for robustness experiments.
 //!
 //! # Examples
 //!
@@ -31,6 +34,7 @@
 mod batch;
 mod bev;
 mod dataset;
+mod faults;
 mod metrics;
 mod sample;
 mod storage;
@@ -38,6 +42,7 @@ mod storage;
 pub use batch::Batch;
 pub use bev::{bev_warp, BevGrid};
 pub use dataset::{DatasetConfig, RoadDataset};
+pub use faults::{FaultInjector, ParseFaultError, SensorFault};
 pub use metrics::{average_precision, confusion, max_f_threshold, SegmentationEval};
 pub use sample::{RenderOptions, Sample};
 pub use storage::LoadDatasetError;

@@ -43,7 +43,7 @@ pub use module::{
 pub use norm::BatchNorm2d;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
-pub use state::{LoadStateError, Stateful};
+pub use state::{crc32, LoadStateError, Stateful};
 
 // Canonical error/result types for the whole stack live in `sf_tensor`;
 // re-exported here so downstream crates need only one import.

@@ -5,17 +5,57 @@
 //! The format is positional — tensors are stored in `visit_params` /
 //! `visit_buffers` order — so loading requires an identically constructed
 //! module. A magic header, a version byte and per-tensor shape checks
-//! guard against loading a checkpoint into the wrong architecture.
+//! guard against loading a checkpoint into the wrong architecture, and
+//! (since version 2) a CRC32 trailer over the whole payload detects any
+//! bit-level corruption before a single tensor is parsed. Version-1
+//! checkpoints (no trailer) still load. File saves are atomic: the bytes
+//! land in a `<path>.tmp` sibling that is renamed over the destination,
+//! so a crash mid-write leaves the previous checkpoint intact.
 
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use sf_tensor::Tensor;
 
 use crate::{Param, Parameterized};
 
 const MAGIC: &[u8; 4] = b"SFM1";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+/// The last format version without the CRC32 trailer.
+const VERSION_NO_CRC: u8 = 1;
+
+/// Standard CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table
+/// computed at compile time.
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `bytes` (IEEE, as used by gzip/PNG/zlib).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 /// Little-endian cursor over a checkpoint payload. Callers check
 /// [`Cursor::remaining`] before reading, mirroring the bounds-then-read
@@ -88,6 +128,14 @@ pub enum LoadStateError {
     Truncated,
     /// The payload contains implausible metadata (corrupted file).
     Corrupted(String),
+    /// The CRC32 trailer does not match the file contents: the
+    /// checkpoint was corrupted at rest or in transit.
+    ChecksumMismatch {
+        /// CRC stored in the file trailer.
+        stored: u32,
+        /// CRC computed over the file contents.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for LoadStateError {
@@ -110,6 +158,11 @@ impl std::fmt::Display for LoadStateError {
             ),
             LoadStateError::Truncated => write!(f, "checkpoint file is truncated"),
             LoadStateError::Corrupted(what) => write!(f, "corrupted checkpoint: {what}"),
+            LoadStateError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint CRC mismatch (stored {stored:#010x}, computed {computed:#010x}): \
+                 the file is corrupted"
+            ),
         }
     }
 }
@@ -144,7 +197,8 @@ pub trait Stateful: Parameterized {
         tensors
     }
 
-    /// Serialises all state to a writer.
+    /// Serialises all state to a writer, followed by a CRC32 trailer over
+    /// everything before it.
     ///
     /// # Errors
     ///
@@ -167,6 +221,8 @@ pub trait Stateful: Parameterized {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
         }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
         w.write_all(&buf)
     }
 
@@ -183,19 +239,35 @@ pub trait Stateful: Parameterized {
     {
         let mut raw = Vec::new();
         r.read_to_end(&mut raw)?;
-        let mut buf = Cursor::new(&raw);
-        if buf.remaining() < 9 {
+        if raw.len() < 9 {
             return Err(LoadStateError::Truncated);
         }
-        let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        if &raw[..4] != MAGIC {
             return Err(LoadStateError::BadMagic);
         }
-        let version = buf.get_u8();
-        if version != VERSION {
-            return Err(LoadStateError::BadVersion(version));
-        }
+        let version = raw[4];
+        // Integrity first: on a version-2 file the CRC trailer is checked
+        // over everything before it, so any bit flip surfaces as a
+        // deterministic checksum error rather than whichever parse error
+        // the flipped byte happens to cause.
+        let payload_end = match version {
+            VERSION_NO_CRC => raw.len(),
+            VERSION => {
+                if raw.len() < 13 {
+                    return Err(LoadStateError::Truncated);
+                }
+                let trailer = raw.len() - 4;
+                let stored = u32::from_le_bytes(raw[trailer..].try_into().expect("4 bytes"));
+                let computed = crc32(&raw[..trailer]);
+                if stored != computed {
+                    return Err(LoadStateError::ChecksumMismatch { stored, computed });
+                }
+                trailer
+            }
+            v => return Err(LoadStateError::BadVersion(v)),
+        };
+        let mut buf = Cursor::new(&raw[..payload_end]);
+        buf.pos = 5; // past magic + version
         let stored = buf.get_u32_le() as usize;
         let expected = {
             let mut n = 0usize;
@@ -270,7 +342,9 @@ pub trait Stateful: Parameterized {
         Ok(())
     }
 
-    /// Saves the state to a file.
+    /// Saves the state to a file atomically: the bytes are written to a
+    /// `<path>.tmp` sibling which is then renamed over `path`, so a crash
+    /// mid-write never destroys an existing checkpoint.
     ///
     /// # Errors
     ///
@@ -279,8 +353,15 @@ pub trait Stateful: Parameterized {
     where
         Self: Sized,
     {
-        let file = std::fs::File::create(path)?;
-        self.save_state(io::BufWriter::new(file))
+        let path = path.as_ref();
+        let mut bytes = Vec::new();
+        self.save_state(&mut bytes)?;
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
     }
 
     /// Loads the state from a file.
@@ -359,10 +440,91 @@ mod tests {
         let mut bytes = Vec::new();
         fc.save_state(&mut bytes).unwrap();
         bytes.truncate(bytes.len() - 3);
+        // On a version-2 file truncation shears the CRC trailer, so the
+        // integrity check is what reports it.
         assert!(matches!(
             fc.load_state(&bytes[..]),
+            Err(LoadStateError::ChecksumMismatch { .. })
+        ));
+        // Truncated below even the header: reported as truncation.
+        assert!(matches!(
+            fc.load_state(&bytes[..7]),
             Err(LoadStateError::Truncated)
         ));
+    }
+
+    #[test]
+    fn any_flipped_payload_byte_is_caught_by_crc() {
+        let mut rng = TensorRng::seed_from(6);
+        let mut fc = Linear::new(3, 3, true, &mut rng);
+        let mut bytes = Vec::new();
+        fc.save_state(&mut bytes).unwrap();
+        for index in [5, 9, bytes.len() / 2, bytes.len() - 5] {
+            let mut corrupted = bytes.clone();
+            corrupted[index] ^= 0x40;
+            let err = fc.load_state(&corrupted[..]).unwrap_err();
+            assert!(
+                matches!(err, LoadStateError::ChecksumMismatch { .. }),
+                "byte {index}: {err}"
+            );
+            assert!(err.to_string().contains("CRC"), "message: {err}");
+        }
+    }
+
+    #[test]
+    fn flipped_trailer_byte_is_caught_by_crc() {
+        let mut rng = TensorRng::seed_from(7);
+        let mut fc = Linear::new(2, 2, false, &mut rng);
+        let mut bytes = Vec::new();
+        fc.save_state(&mut bytes).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            fc.load_state(&bytes[..]),
+            Err(LoadStateError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_version_1_checkpoint_still_loads() {
+        let mut rng = TensorRng::seed_from(8);
+        let mut a = Linear::new(4, 3, true, &mut rng);
+        let mut b = Linear::new(4, 3, true, &mut rng);
+        let mut bytes = Vec::new();
+        a.save_state(&mut bytes).unwrap();
+        // Rewrite as a pre-CRC file: version byte 1, no trailer.
+        bytes.truncate(bytes.len() - 4);
+        bytes[4] = 1;
+        b.load_state(&bytes[..]).unwrap();
+        assert_eq!(a.state_tensors(), b.state_tensors());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn file_save_is_atomic_and_leaves_no_temp() {
+        let mut rng = TensorRng::seed_from(9);
+        let mut a = Linear::new(3, 2, true, &mut rng);
+        let dir = std::env::temp_dir().join("sf_nn_state_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.sfm");
+        a.save_state_to(&path).unwrap();
+        let tmp = dir.join("model.sfm.tmp");
+        assert!(!tmp.exists(), "temp file must be renamed away");
+        // A leftover garbage temp file (simulated crash during a later
+        // save) must not affect loading, and the next save replaces it.
+        std::fs::write(&tmp, b"garbage from a crashed writer").unwrap();
+        let mut b = Linear::new(3, 2, true, &mut rng);
+        b.load_state_from(&path).unwrap();
+        assert_eq!(a.state_tensors(), b.state_tensors());
+        a.save_state_to(&path).unwrap();
+        assert!(!tmp.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// A conv+bn mini-model exposing its batch-norm buffers.

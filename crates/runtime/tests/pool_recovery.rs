@@ -1,0 +1,44 @@
+//! Regression test: a panicking task must not poison the global pool.
+//!
+//! `parallel_chunks_mut` re-raises worker panics on the calling thread;
+//! the pool's workers have to survive that and keep serving later
+//! batches, otherwise one bad closure would wedge every subsequent
+//! parallel call in the process.
+//!
+//! Kept separate from `sf_threads.rs`, which pins `SF_THREADS` for its
+//! own process and must not share an executable with other pool tests.
+
+#[test]
+fn worker_panic_does_not_poison_the_pool() {
+    let mut data = vec![0u32; 64];
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sf_runtime::parallel_chunks_mut(&mut data, 8, |chunk_index, chunk| {
+            if chunk_index == 3 {
+                panic!("injected fault in chunk 3");
+            }
+            for v in chunk {
+                *v += 1;
+            }
+        });
+    }));
+    assert!(panicked.is_err(), "the worker panic must be re-raised");
+
+    // The pool must still run fresh batches to completion.
+    let hits = std::sync::atomic::AtomicUsize::new(0);
+    sf_runtime::parallel_for(100, |_| {
+        hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 100);
+
+    let squares = sf_runtime::parallel_map(&[1u64, 2, 3, 4, 5], |x| x * x);
+    assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+
+    // And chunked mutation itself still works after the panic.
+    let mut after = vec![0u32; 32];
+    sf_runtime::parallel_chunks_mut(&mut after, 4, |_, chunk| {
+        for v in chunk {
+            *v = 7;
+        }
+    });
+    assert!(after.iter().all(|&v| v == 7));
+}

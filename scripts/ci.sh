@@ -44,4 +44,7 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> fault-matrix smoke (sensor fault injection + graceful degradation)"
+cargo test -q -p sf-bench --test experiments_smoke fault_matrix_smoke
+
 echo "==> ci.sh: all green"

@@ -1,7 +1,7 @@
 //! Smoke tests for every experiment harness at quick scale — the same
 //! code paths the `exp_*` binaries run for the paper's tables/figures.
 
-use sf_bench::experiments::{fig3, fig6, fig7, fig8, fig9, table1};
+use sf_bench::experiments::{fault_matrix, fig3, fig6, fig7, fig8, fig9, table1};
 use sf_bench::ExperimentScale;
 use sf_core::FusionScheme;
 use sf_scene::RoadCategory;
@@ -66,6 +66,24 @@ fn fig8_smoke() {
         }
     }
     assert!(fig8::render(&result).contains("alpha"));
+}
+
+#[test]
+fn fault_matrix_smoke() {
+    let result = fault_matrix::run(SCALE);
+    assert_eq!(
+        result.cells.len(),
+        fault_matrix::SEVERITIES.len() * 6,
+        "one cell per severity x fault kind"
+    );
+    // The fallback policy can only ever quarantine; it never evaluates
+    // more frames than exist.
+    for cell in &result.cells {
+        assert!((0.0..=100.0).contains(&cell.degraded.f_score), "{cell:?}");
+    }
+    let text = fault_matrix::render(&result);
+    assert!(text.contains("Fault"));
+    assert!(text.contains("(clean)"));
 }
 
 #[test]
