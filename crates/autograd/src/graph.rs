@@ -106,6 +106,32 @@ impl std::fmt::Debug for Graph {
     }
 }
 
+impl Drop for Graph {
+    /// Returns the tape's tensor storage to the per-thread scratch pool.
+    ///
+    /// A forward pass allocates dozens of activation tensors large enough
+    /// to cross the allocator's mmap threshold; recycling them here lets
+    /// the next pass (serving loops build one graph per batch) reuse
+    /// already-mapped memory instead of faulting fresh pages every call.
+    fn drop(&mut self) {
+        use sf_tensor::scratch::recycle;
+        for node in self.nodes.drain(..) {
+            recycle(node.value.into_vec());
+            if let Some(grad) = node.grad {
+                recycle(grad.into_vec());
+            }
+            match node.op {
+                Op::BatchNorm { x_hat, inv_std, .. } => {
+                    recycle(x_hat.into_vec());
+                    recycle(inv_std.into_vec());
+                }
+                Op::BceWithLogits { target, .. } => recycle(target.into_vec()),
+                _ => {}
+            }
+        }
+    }
+}
+
 impl Graph {
     /// Creates an empty tape with a process-unique identity.
     pub fn new() -> Self {

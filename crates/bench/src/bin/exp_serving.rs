@@ -1,0 +1,9 @@
+//! Serving-throughput sweep: batch size × client count for the
+//! `sf-serve` dynamic batcher, plus the batched-vs-unbatched correctness
+//! probe. Prints the table recorded in `results/bench.txt`.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::serving::run(scale);
+    println!("{}", sf_bench::experiments::serving::render(&result));
+}

@@ -8,6 +8,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod robustness;
+pub mod serving;
 pub mod sne;
 pub mod table1;
 

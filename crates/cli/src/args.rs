@@ -49,6 +49,11 @@ impl fmt::Display for ParseArgsError {
 
 impl std::error::Error for ParseArgsError {}
 
+/// Flags that are switches rather than `--flag value` pairs: bare
+/// `--smoke` parses as `smoke=true`, while an explicit `true`/`false`
+/// value is still accepted.
+const BOOLEAN_FLAGS: &[&str] = &["smoke"];
+
 /// A parsed command line: the subcommand plus its `--flag value` pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
@@ -74,10 +79,13 @@ impl Args {
         let mut flags = BTreeMap::new();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ParseArgsError::MissingValue(arg.clone()))?;
-                flags.insert(name.to_string(), value.clone());
+                let is_switch = BOOLEAN_FLAGS.contains(&name);
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().cloned().expect("peeked"),
+                    _ if is_switch => "true".to_string(),
+                    _ => return Err(ParseArgsError::MissingValue(arg.clone())),
+                };
+                flags.insert(name.to_string(), value);
             } else {
                 return Err(ParseArgsError::UnexpectedPositional(arg.clone()));
             }
@@ -88,6 +96,12 @@ impl Args {
     /// A string flag, if present.
     pub fn get(&self, flag: &str) -> Option<&str> {
         self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A boolean switch: true when the flag was given (bare or with any
+    /// value other than `false`).
+    pub fn get_bool(&self, flag: &str) -> bool {
+        matches!(self.get(flag), Some(v) if v != "false")
     }
 
     /// A required string flag.
@@ -240,6 +254,24 @@ mod tests {
         assert!(matches!(
             a.get_parsed("epochs", 0usize, "integer"),
             Err(ParseArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn boolean_switches_need_no_value() {
+        let bare = args(&["serve-bench", "--smoke"]).unwrap();
+        assert!(bare.get_bool("smoke"));
+        let trailing = args(&["serve-bench", "--smoke", "--clients", "2"]).unwrap();
+        assert!(trailing.get_bool("smoke"));
+        assert_eq!(trailing.get("clients"), Some("2"));
+        let explicit = args(&["serve-bench", "--smoke", "false"]).unwrap();
+        assert!(!explicit.get_bool("smoke"));
+        let absent = args(&["serve-bench"]).unwrap();
+        assert!(!absent.get_bool("smoke"));
+        // Value-taking flags still reject a following flag as their value.
+        assert!(matches!(
+            args(&["train", "--epochs", "--out", "m.sfm"]).unwrap_err(),
+            ParseArgsError::MissingValue(_)
         ));
     }
 

@@ -5,12 +5,14 @@ mod eval;
 mod generate;
 mod infer;
 mod info;
+mod serve_bench;
 mod train;
 
 pub use eval::eval;
 pub use generate::generate;
 pub use infer::infer;
 pub use info::info;
+pub use serve_bench::serve_bench;
 pub use train::train;
 
 use sf_core::NetworkConfig;

@@ -1,0 +1,214 @@
+//! `roadseg serve-bench` — closed-loop load generator for the batched
+//! inference server.
+//!
+//! Spawns `--clients` synthetic client threads, each submitting
+//! `--requests` random frame pairs to one [`Server`] and waiting for each
+//! prediction before sending the next (closed loop). Prints the server's
+//! final statistics; `--smoke` runs a small tiny-net configuration and
+//! fails unless every request was served (zero rejected, zero failed).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sf_core::{FusionNet, NetworkConfig};
+use sf_serve::{Backpressure, ServeConfig, ServeError, Server, StatsSnapshot};
+use sf_tensor::TensorRng;
+
+use crate::commands::network_config;
+use crate::{Args, CliError};
+
+/// One client's outcome: how many requests it drove to completion.
+type ClientResult = Result<u64, ServeError>;
+
+/// Runs the benchmark and renders the final statistics table.
+pub fn serve_bench(args: &Args) -> Result<String, CliError> {
+    let smoke = args.get_bool("smoke");
+    let scheme = args.scheme()?;
+    let policy = args.policy()?;
+    let clients: usize = args.get_parsed("clients", 4, "integer")?;
+    let requests: usize = args.get_parsed("requests", if smoke { 8 } else { 16 }, "integer")?;
+    let max_batch: usize = args.get_parsed("max-batch", 8, "integer")?;
+    let max_wait_ms: u64 = args.get_parsed("max-wait-ms", 2, "integer")?;
+    let queue: usize = args.get_parsed("queue", 64, "integer")?;
+    if clients == 0 || requests == 0 {
+        return Err(CliError::Invalid(
+            "serve-bench needs at least one client and one request".to_string(),
+        ));
+    }
+    // The smoke configuration is deliberately tiny: it exists so CI can
+    // prove the full submit→batch→fulfill path end-to-end in well under a
+    // second, not to measure anything.
+    let config = if smoke {
+        let mut config = NetworkConfig::tiny();
+        config.seed = args.get_parsed("seed", config.seed, "integer")?;
+        config
+    } else {
+        network_config(args)?
+    };
+    let net = FusionNet::new(scheme, &config)?;
+    let serve_config = ServeConfig::default()
+        .with_max_batch(max_batch)
+        .with_max_wait(Duration::from_millis(max_wait_ms))
+        .with_queue_capacity(queue)
+        .with_backpressure(Backpressure::Block)
+        .with_policy(policy);
+    let server =
+        Arc::new(Server::start(net, serve_config).map_err(|e| CliError::Invalid(e.to_string()))?);
+
+    // Pre-generate every client's inputs outside the timed window so the
+    // reported req/s measures the serving path, not the load generator's
+    // random-tensor synthesis.
+    let frames: Vec<Vec<_>> = (0..clients)
+        .map(|client| {
+            let (h, w, dc) = (config.height, config.width, config.depth_channels);
+            let mut rng = TensorRng::seed_from(0x5EBE ^ ((client as u64) << 8));
+            (0..requests)
+                .map(|_| {
+                    (
+                        rng.uniform(&[3, h, w], 0.0, 1.0),
+                        rng.uniform(&[dc, h, w], 0.1, 1.0),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let started = Instant::now();
+    let workers: Vec<_> = frames
+        .into_iter()
+        .map(|frames| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || -> ClientResult {
+                let mut served = 0;
+                for (rgb, depth) in frames {
+                    server.submit(rgb, depth)?.wait()?;
+                    served += 1;
+                }
+                Ok(served)
+            })
+        })
+        .collect();
+    let mut served_total = 0;
+    let mut first_error = None;
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(served)) => served_total += served,
+            Ok(Err(e)) => first_error = first_error.or(Some(e)),
+            Err(_) => {
+                return Err(CliError::Invalid(
+                    "a bench client thread panicked".to_string(),
+                ))
+            }
+        }
+    }
+    let wall = started.elapsed();
+    let server = Arc::into_inner(server).expect("all client clones joined");
+    let (_net, stats) = server.shutdown();
+
+    let expected = (clients * requests) as u64;
+    if smoke {
+        smoke_check(&stats, served_total, expected, first_error.as_ref())?;
+    }
+    let mut log = String::new();
+    let _ = writeln!(
+        log,
+        "serve-bench  : {scheme} {}x{}, {clients} client(s) x {requests} request(s)",
+        config.width, config.height
+    );
+    let _ = writeln!(
+        log,
+        "batcher      : max_batch {max_batch}, max_wait {max_wait_ms} ms, queue {queue} (block)"
+    );
+    if let Some(e) = first_error {
+        let _ = writeln!(log, "client error : {e}");
+    }
+    let _ = writeln!(log, "served       : {served_total}/{expected}");
+    let _ = writeln!(
+        log,
+        "wall time    : {:.1} ms  ({:.1} req/s)",
+        wall.as_secs_f64() * 1e3,
+        served_total as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    log.push_str(&render_stats(&stats));
+    if smoke {
+        let _ = writeln!(log, "smoke        : OK (zero rejected, zero failed)");
+    }
+    Ok(log)
+}
+
+/// Fails the smoke run unless every request came back clean.
+fn smoke_check(
+    stats: &StatsSnapshot,
+    served: u64,
+    expected: u64,
+    first_error: Option<&ServeError>,
+) -> Result<(), CliError> {
+    if let Some(e) = first_error {
+        return Err(CliError::Invalid(format!("smoke: a client failed: {e}")));
+    }
+    if served != expected || stats.completed != expected || stats.rejected != 0 || stats.failed != 0
+    {
+        return Err(CliError::Invalid(format!(
+            "smoke: expected {expected} clean completions, got served {served}, \
+             completed {}, rejected {}, failed {}",
+            stats.completed, stats.rejected, stats.failed
+        )));
+    }
+    Ok(())
+}
+
+/// Renders a [`StatsSnapshot`] as the aligned block shared by the bench
+/// table and the smoke report.
+fn render_stats(stats: &StatsSnapshot) -> String {
+    let mut log = String::new();
+    let _ = writeln!(
+        log,
+        "completed    : {} (quarantined {}, rejected {}, failed {})",
+        stats.completed, stats.quarantined, stats.rejected, stats.failed
+    );
+    let _ = writeln!(
+        log,
+        "batches      : {} (mean occupancy {:.2})",
+        stats.batches, stats.mean_batch_occupancy
+    );
+    let _ = writeln!(
+        log,
+        "latency (ms) : p50 {:.2}  p95 {:.2}  max {:.2}",
+        stats.latency_p50_ms, stats.latency_p95_ms, stats.latency_max_ms
+    );
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(raw: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        serve_bench(&Args::parse(&raw).unwrap())
+    }
+
+    #[test]
+    fn smoke_serves_every_request() {
+        let log = run(&[
+            "serve-bench",
+            "--smoke",
+            "--clients",
+            "4",
+            "--requests",
+            "8",
+        ])
+        .unwrap();
+        assert!(log.contains("served       : 32/32"), "{log}");
+        assert!(log.contains("smoke        : OK"), "{log}");
+        assert!(log.contains("rejected 0, failed 0"), "{log}");
+    }
+
+    #[test]
+    fn zero_clients_is_rejected() {
+        assert!(matches!(
+            run(&["serve-bench", "--smoke", "--clients", "0"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+}

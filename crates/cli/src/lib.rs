@@ -6,6 +6,7 @@
 //! roadseg eval     --model model.sfm               # KITTI-style metrics
 //! roadseg infer    --model model.sfm --rgb f.ppm --depth f.pgm --out o.ppm
 //! roadseg info     --scheme ws                     # architecture summary
+//! roadseg serve-bench --clients 8 --max-batch 8    # batched-serving bench
 //! ```
 //!
 //! The library half exists so the subcommands are unit-testable; the
@@ -75,6 +76,7 @@ COMMANDS:
   eval       evaluate a checkpoint with the KITTI-style BEV metrics
   infer      run a checkpoint on a user-supplied rgb/depth frame pair
   info       print a model's architecture, parameter and MAC summary
+  serve-bench  drive the batched inference server with synthetic clients
 
 COMMON FLAGS:
   --scheme <baseline|au|ab|bs|ws>   fusion architecture   [default: au]
@@ -92,6 +94,9 @@ FLAGS BY COMMAND:
   infer:    --model <file.sfm> --rgb <f.ppm> --depth <f.pgm> --out <overlay.ppm>
             [--policy <trust|fallback|camera-only>]
   info:     [--scheme ...]
+  serve-bench: [--clients <n>] [--requests <n per client>] [--max-batch <n>]
+            [--max-wait-ms <n>] [--queue <n>] [--policy ...] [--smoke]
+            (--smoke: tiny network, fails unless every request is served)
 
 FAULT KINDS (for eval --fault):
   depth-dropout:<p>  dead-rows:<p>  gaussian-noise:<sigma>

@@ -121,6 +121,107 @@ pub fn predict_probability_with_policy(
     (GrayImage::from_tensor(&flat), quarantine)
 }
 
+/// One slot's result from [`predict_probability_slots`].
+#[derive(Debug, Clone)]
+pub struct BatchPrediction {
+    /// Per-pixel road probability map, `[H, W]`.
+    pub prob: Tensor,
+    /// Why this slot's depth input was quarantined, if it was (in which
+    /// case `prob` came from the camera-only path).
+    pub quarantined: Option<HealthIssue>,
+}
+
+/// Batched counterpart of [`predict_probability_with_policy`]: runs `net`
+/// over many `(rgb, depth)` frame pairs with as few forward passes as
+/// possible — one fused pass for the healthy slots plus (only when the
+/// policy quarantines something) one camera-only pass for the quarantined
+/// slots. Each slot's `rgb` is `[3, H, W]` and `depth` is `[C, H, W]`.
+///
+/// Because evaluation-mode BatchNorm uses frozen running statistics, each
+/// slot's probabilities are bit-identical to running that slot through
+/// [`predict_probability_with_policy`] alone — batching never changes
+/// results, which is what lets the serving layer coalesce requests freely.
+///
+/// # Errors
+///
+/// Returns an error if `rgb` and `depth` lengths differ or slot shapes
+/// disagree within a group.
+///
+/// # Panics
+///
+/// Like [`FusionNet::forward`], panics if the (already shape-consistent)
+/// inputs do not match the network's configured resolution; callers that
+/// accept untrusted requests should validate shapes at admission.
+pub fn predict_probability_slots(
+    net: &mut FusionNet,
+    rgb: &[&Tensor],
+    depth: &[&Tensor],
+    policy: DegradationPolicy,
+    thresholds: &HealthThresholds,
+) -> sf_tensor::Result<Vec<BatchPrediction>> {
+    if rgb.len() != depth.len() {
+        return Err(sf_tensor::TensorError::InvalidGeometry {
+            op: "predict_probability_slots",
+            reason: format!("{} rgb slots vs {} depth slots", rgb.len(), depth.len()),
+        });
+    }
+    let n = rgb.len();
+    let mut slots: Vec<Option<BatchPrediction>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut fused: Vec<usize> = Vec::with_capacity(n);
+    let mut camera_only: Vec<usize> = Vec::new();
+    let mut issues: Vec<Option<HealthIssue>> = Vec::with_capacity(n);
+    for (i, d) in depth.iter().enumerate() {
+        let issue = policy.quarantine_depth(d, thresholds);
+        if issue.is_some() {
+            camera_only.push(i);
+        } else {
+            fused.push(i);
+        }
+        issues.push(issue);
+    }
+    let run_group =
+        |net: &mut FusionNet, group: &[usize], use_depth: bool| -> sf_tensor::Result<Vec<Tensor>> {
+            let rgb_batch = Tensor::stack_refs(&group.iter().map(|&i| rgb[i]).collect::<Vec<_>>())?;
+            let mut g = Graph::new();
+            let rgb_id = g.leaf(rgb_batch);
+            let out = if use_depth {
+                let depth_batch =
+                    Tensor::stack_refs(&group.iter().map(|&i| depth[i]).collect::<Vec<_>>())?;
+                let depth_id = g.leaf(depth_batch);
+                net.forward(&mut g, rgb_id, depth_id, Mode::Eval)
+            } else {
+                net.forward_camera_only(&mut g, rgb_id, Mode::Eval)
+            };
+            let prob = g.sigmoid(out.logits);
+            let probs = g.value(prob);
+            let (h, w) = (probs.shape()[2], probs.shape()[3]);
+            (0..group.len())
+                .map(|k| probs.index_axis0(k).reshape(&[h, w]))
+                .collect()
+        };
+    if !fused.is_empty() {
+        for (&i, prob) in fused.iter().zip(run_group(net, &fused, true)?) {
+            slots[i] = Some(BatchPrediction {
+                prob,
+                quarantined: None,
+            });
+        }
+    }
+    if !camera_only.is_empty() {
+        for (&i, prob) in camera_only.iter().zip(run_group(net, &camera_only, false)?) {
+            slots[i] = Some(BatchPrediction {
+                prob,
+                quarantined: issues[i],
+            });
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every slot lands in exactly one group"))
+        .collect())
+}
+
 /// Evaluates `net` over `samples`, pooling pixels across all of them
 /// (exactly how the KITTI server pools a category's test frames).
 pub fn evaluate(
@@ -288,6 +389,61 @@ mod tests {
             with_fallback.f_score,
             reference.f_score
         );
+    }
+
+    #[test]
+    fn slot_predictions_match_single_sample_path_exactly() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let mut net =
+            FusionNet::new(FusionScheme::AllFilterU, &net_config()).expect("valid config");
+        let test = data.test(None);
+        let mut samples: Vec<Sample> = test.iter().take(4).map(|s| (*s).clone()).collect();
+        // Kill one depth input so the batch mixes fused and camera-only.
+        samples[2].depth = Tensor::zeros(samples[2].depth.shape());
+        let rgb: Vec<&Tensor> = samples.iter().map(|s| &s.rgb).collect();
+        let depth: Vec<&Tensor> = samples.iter().map(|s| &s.depth).collect();
+        let thresholds = HealthThresholds::default();
+        let slots = predict_probability_slots(
+            &mut net,
+            &rgb,
+            &depth,
+            DegradationPolicy::CameraFallback,
+            &thresholds,
+        )
+        .expect("consistent slots");
+        assert_eq!(slots.len(), 4);
+        for (i, (slot, sample)) in slots.iter().zip(&samples).enumerate() {
+            let (reference, issue) = predict_probability_with_policy(
+                &mut net,
+                sample,
+                DegradationPolicy::CameraFallback,
+                &thresholds,
+            );
+            assert_eq!(slot.quarantined, issue, "slot {i} quarantine verdict");
+            assert_eq!(
+                slot.quarantined.is_some(),
+                i == 2,
+                "only the dead slot quarantines"
+            );
+            // Eval-mode BatchNorm uses frozen stats, so batching must be
+            // bit-identical to the one-sample path.
+            assert_eq!(slot.prob.data(), reference.data(), "slot {i} probabilities");
+        }
+    }
+
+    #[test]
+    fn slot_prediction_rejects_mismatched_lengths() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
+        let sample = data.test(None)[0];
+        let err = predict_probability_slots(
+            &mut net,
+            &[&sample.rgb],
+            &[],
+            DegradationPolicy::Trust,
+            &HealthThresholds::default(),
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -49,8 +49,8 @@ mod trainer;
 pub use awn::AuxiliaryWeightNetwork;
 pub use config::{ConfigError, FusionScheme, NetworkConfig, NetworkConfigBuilder};
 pub use eval::{
-    evaluate, evaluate_with_report, predict_probability, predict_probability_with_policy,
-    DegradationReport, EvalOptions,
+    evaluate, evaluate_with_report, predict_probability, predict_probability_slots,
+    predict_probability_with_policy, BatchPrediction, DegradationReport, EvalOptions,
 };
 pub use fd_loss::{fd_loss, fd_loss_raw};
 pub use health::{DegradationPolicy, HealthIssue, HealthThresholds, InputHealth};

@@ -36,11 +36,13 @@ impl Batch {
     /// Panics if `samples` is empty or resolutions disagree.
     pub fn from_samples(samples: &[&Sample]) -> Batch {
         assert!(!samples.is_empty(), "cannot build an empty batch");
-        let rgb = Tensor::stack(&samples.iter().map(|s| s.rgb.clone()).collect::<Vec<_>>())
+        // stack_refs copies each sample's storage straight into the batch
+        // buffer — one slice copy per tensor, no intermediate clones.
+        let rgb = Tensor::stack_refs(&samples.iter().map(|s| &s.rgb).collect::<Vec<_>>())
             .expect("samples share resolution");
-        let depth = Tensor::stack(&samples.iter().map(|s| s.depth.clone()).collect::<Vec<_>>())
+        let depth = Tensor::stack_refs(&samples.iter().map(|s| &s.depth).collect::<Vec<_>>())
             .expect("samples share resolution");
-        let gt = Tensor::stack(&samples.iter().map(|s| s.gt.clone()).collect::<Vec<_>>())
+        let gt = Tensor::stack_refs(&samples.iter().map(|s| &s.gt).collect::<Vec<_>>())
             .expect("samples share resolution");
         Batch { rgb, depth, gt }
     }

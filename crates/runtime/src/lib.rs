@@ -34,7 +34,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
@@ -96,6 +96,22 @@ struct PoolShared {
     shutdown: AtomicBool,
 }
 
+/// Cumulative counters for one [`Pool`], read via [`Pool::stats`].
+///
+/// Long-lived callers (the inference server) watch these to confirm the
+/// pool is still making progress after panicked batches: `panicked_batches`
+/// counts batches that re-raised a panic, while `batches` keeps growing as
+/// long as the pool serves new work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Batches submitted (inline and pooled alike).
+    pub batches: u64,
+    /// Task indices submitted across all batches.
+    pub tasks: u64,
+    /// Batches that ended with a re-raised panic.
+    pub panicked_batches: u64,
+}
+
 /// A fixed-size worker pool.
 ///
 /// Most callers want the process-wide [`global`] pool; explicit pools exist
@@ -103,6 +119,9 @@ struct PoolShared {
 pub struct Pool {
     shared: Arc<PoolShared>,
     threads: usize,
+    batches: AtomicU64,
+    tasks: AtomicU64,
+    panicked_batches: AtomicU64,
 }
 
 impl Pool {
@@ -123,12 +142,27 @@ impl Pool {
                 .spawn(move || worker_loop(&shared))
                 .expect("failed to spawn sf-runtime worker");
         }
-        Pool { shared, threads }
+        Pool {
+            shared,
+            threads,
+            batches: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            panicked_batches: AtomicU64::new(0),
+        }
     }
 
     /// The total number of threads batches run on (workers + caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Snapshot of this pool's cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            panicked_batches: self.panicked_batches.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs `f(i)` for every `i in 0..n`, returning once all calls have
@@ -138,9 +172,18 @@ impl Pool {
         if n == 0 {
             return;
         }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.tasks.fetch_add(n as u64, Ordering::Relaxed);
         if self.threads == 1 || n == 1 {
-            for i in 0..n {
-                f(i);
+            // The inline path still counts panics so a long-lived server
+            // sees the same accounting regardless of thread count.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                for i in 0..n {
+                    f(i);
+                }
+            })) {
+                self.panicked_batches.fetch_add(1, Ordering::Relaxed);
+                resume_unwind(payload);
             }
             return;
         }
@@ -173,6 +216,7 @@ impl Pool {
             queue.retain(|b| !Arc::ptr_eq(b, &batch));
         }
         if let Some(payload) = batch.take_panic() {
+            self.panicked_batches.fetch_add(1, Ordering::Relaxed);
             resume_unwind(payload);
         }
     }
@@ -232,6 +276,11 @@ pub fn global() -> &'static Pool {
 /// Total threads the global pool runs batches on.
 pub fn num_threads() -> usize {
     global().threads()
+}
+
+/// Snapshot of the global pool's cumulative counters.
+pub fn pool_stats() -> PoolStats {
+    global().stats()
 }
 
 /// Runs `f(i)` for every `i in 0..n` on the global pool.

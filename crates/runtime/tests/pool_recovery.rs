@@ -42,3 +42,57 @@ fn worker_panic_does_not_poison_the_pool() {
     });
     assert!(after.iter().all(|&v| v == 7));
 }
+
+/// The long-lived-server usage pattern: batches keep arriving for the
+/// lifetime of the process and an occasional one panics. Every panicking
+/// batch must fail in isolation (its panic re-raised to the submitter)
+/// while the immediately following batches run to completion, and the
+/// pool's stats must account for exactly the panicked batches — this is
+/// what `sf-serve` relies on to fail one inference batch without wedging
+/// the server.
+#[test]
+fn alternating_panics_never_wedge_a_long_lived_pool() {
+    let before = sf_runtime::pool_stats();
+    let rounds = 25usize;
+    let mut panics_seen = 0u64;
+    for round in 0..rounds {
+        if round % 5 == 2 {
+            // A poisoned batch: one task out of many panics.
+            let result = std::panic::catch_unwind(|| {
+                sf_runtime::parallel_for(16, |i| {
+                    if i == 7 {
+                        panic!("injected fault in round {round}");
+                    }
+                });
+            });
+            assert!(result.is_err(), "round {round}: panic must be re-raised");
+            panics_seen += 1;
+        } else {
+            // A healthy batch right after must complete fully.
+            let hits = std::sync::atomic::AtomicUsize::new(0);
+            sf_runtime::parallel_for(16, |_| {
+                hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+            assert_eq!(
+                hits.load(std::sync::atomic::Ordering::Relaxed),
+                16,
+                "round {round}: healthy batch after a panic must run every task"
+            );
+        }
+    }
+    let after = sf_runtime::pool_stats();
+    // Other tests in this executable share the global pool, so compare
+    // deltas, and only as lower bounds for the totals.
+    assert!(
+        after.batches - before.batches >= rounds as u64,
+        "every round must be accounted as a batch"
+    );
+    assert!(
+        after.panicked_batches - before.panicked_batches >= panics_seen,
+        "each injected fault must be counted as a panicked batch"
+    );
+    assert!(
+        after.tasks > before.tasks,
+        "task counter must advance under load"
+    );
+}

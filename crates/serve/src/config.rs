@@ -1,0 +1,122 @@
+//! Server configuration: batching window, queue bound, backpressure and
+//! degradation policy.
+
+use std::time::Duration;
+
+use sf_core::{DegradationPolicy, HealthThresholds};
+
+use crate::error::ServeError;
+
+/// What [`Server::submit`] does when the bounded queue is full.
+///
+/// [`Server::submit`]: crate::Server::submit
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Fail fast with [`ServeError::QueueFull`]; the caller decides
+    /// whether to retry. The default: closed-loop clients see load
+    /// shedding explicitly.
+    #[default]
+    Reject,
+    /// Block the submitting thread until a slot frees up (or the server
+    /// starts shutting down, which fails the submit with
+    /// [`ServeError::ShuttingDown`]).
+    Block,
+}
+
+/// Tunables for a [`Server`].
+///
+/// [`Server`]: crate::Server
+///
+/// # Examples
+///
+/// ```
+/// use sf_serve::ServeConfig;
+/// use std::time::Duration;
+///
+/// let config = ServeConfig::default()
+///     .with_max_batch(8)
+///     .with_max_wait(Duration::from_millis(2));
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Flush the forming batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush the forming batch when its *oldest* request has waited this
+    /// long, even if the batch is not full. `Duration::ZERO` means "never
+    /// wait": every flush takes whatever is queued right now.
+    pub max_wait: Duration,
+    /// Bound on requests queued but not yet claimed by the batcher.
+    pub queue_capacity: usize,
+    /// What `submit` does when the queue is full.
+    pub backpressure: Backpressure,
+    /// Depth-sensor screening applied per request before batching.
+    pub policy: DegradationPolicy,
+    /// What counts as unhealthy under `policy`.
+    pub thresholds: HealthThresholds,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+            backpressure: Backpressure::Reject,
+            policy: DegradationPolicy::CameraFallback,
+            thresholds: HealthThresholds::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Returns the config with a different `max_batch` (chainable).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Returns the config with a different `max_wait` (chainable).
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Returns the config with a different queue capacity (chainable).
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Returns the config with a different backpressure policy (chainable).
+    pub fn with_backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.backpressure = backpressure;
+        self
+    }
+
+    /// Returns the config with a different degradation policy (chainable).
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Checks the invariants the batcher relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `max_batch` or
+    /// `queue_capacity` is zero.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "max_batch must be >= 1".to_string(),
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "queue_capacity must be >= 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,59 @@
+//! Typed errors surfaced by the server to submitters and waiters.
+
+use std::fmt;
+
+/// Everything that can go wrong between submitting a request and reading
+/// its result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded submission queue was full and the configured
+    /// backpressure policy was [`Backpressure::Reject`].
+    ///
+    /// [`Backpressure::Reject`]: crate::Backpressure::Reject
+    QueueFull {
+        /// The configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The server has begun shutting down and accepts no new requests.
+    ShuttingDown,
+    /// The forward pass for this request's batch panicked. Only the
+    /// requests in that batch fail; the server keeps serving.
+    BatchPanicked {
+        /// Best-effort panic message recovered from the payload.
+        message: String,
+    },
+    /// The request was rejected before batching (bad shapes, or the batch
+    /// assembly itself failed).
+    BadRequest {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The server was dropped before this request's batch ran.
+    ServerDropped,
+    /// The server configuration failed validation at startup.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BatchPanicked { message } => {
+                write!(f, "batch forward pass panicked: {message}")
+            }
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::ServerDropped => write!(f, "server dropped before the request ran"),
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid serve configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

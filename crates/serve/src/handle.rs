@@ -1,0 +1,127 @@
+//! Per-request completion handles.
+//!
+//! Every [`submit`] returns a [`Completion`]; the executor fulfills it
+//! once the request's batch has run. The pair is a one-shot channel built
+//! on `Mutex`/`Condvar` so the crate stays std-only.
+//!
+//! [`submit`]: crate::Server::submit
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sf_core::HealthIssue;
+use sf_tensor::Tensor;
+
+use crate::error::ServeError;
+
+/// One served request's result.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Per-pixel road probability map, `[H, W]`.
+    pub prob: Tensor,
+    /// Why this request's depth input was quarantined, if it was (in
+    /// which case `prob` came from the camera-only path).
+    pub quarantined: Option<HealthIssue>,
+    /// Time from enqueue to fulfillment.
+    pub latency: Duration,
+    /// How many requests shared this request's forward pass.
+    pub batch_size: usize,
+}
+
+enum SlotState {
+    Pending,
+    Done(Box<Result<Prediction, ServeError>>),
+    Taken,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// Waitable handle for one submitted request.
+///
+/// Dropping the handle without waiting is fine; the result is discarded
+/// when the executor fulfills it.
+pub struct Completion {
+    slot: Arc<Slot>,
+}
+
+impl Completion {
+    /// Blocks until the request's batch has run, then returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed failure for this request: [`ServeError::BatchPanicked`]
+    /// if its batch's forward pass panicked, [`ServeError::BadRequest`] if
+    /// batch assembly rejected it, or [`ServeError::ServerDropped`] if the
+    /// server went away before the batch ran.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        let mut state = self.slot.state.lock().expect("completion slot poisoned");
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Done(result) => return *result,
+                SlotState::Pending => {
+                    *state = SlotState::Pending;
+                    state = self
+                        .slot
+                        .ready
+                        .wait(state)
+                        .expect("completion slot poisoned");
+                }
+                SlotState::Taken => unreachable!("wait consumes the handle"),
+            }
+        }
+    }
+
+    /// True once the executor has fulfilled this request.
+    pub fn is_done(&self) -> bool {
+        !matches!(
+            *self.slot.state.lock().expect("completion slot poisoned"),
+            SlotState::Pending
+        )
+    }
+}
+
+/// The executor's side of a [`Completion`]. Exactly one of
+/// [`Fulfiller::fulfill`] or the drop fallback runs; dropping unfulfilled
+/// resolves the waiter with [`ServeError::ServerDropped`] so no request
+/// can hang forever.
+pub(crate) struct Fulfiller {
+    slot: Option<Arc<Slot>>,
+}
+
+impl Fulfiller {
+    pub(crate) fn fulfill(mut self, result: Result<Prediction, ServeError>) {
+        let slot = self.slot.take().expect("fulfill runs once");
+        let mut state = slot.state.lock().expect("completion slot poisoned");
+        *state = SlotState::Done(Box::new(result));
+        slot.ready.notify_all();
+    }
+}
+
+impl Drop for Fulfiller {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            let mut state = slot.state.lock().expect("completion slot poisoned");
+            if matches!(*state, SlotState::Pending) {
+                *state = SlotState::Done(Box::new(Err(ServeError::ServerDropped)));
+                slot.ready.notify_all();
+            }
+        }
+    }
+}
+
+/// Creates a linked completion/fulfiller pair.
+pub(crate) fn completion_pair() -> (Completion, Fulfiller) {
+    let slot = Arc::new(Slot {
+        state: Mutex::new(SlotState::Pending),
+        ready: Condvar::new(),
+    });
+    (
+        Completion {
+            slot: Arc::clone(&slot),
+        },
+        Fulfiller { slot: Some(slot) },
+    )
+}

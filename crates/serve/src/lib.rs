@@ -1,0 +1,79 @@
+//! In-process batched inference serving for the sensor-fusion networks.
+//!
+//! The paper's efficiency techniques cut per-frame FLOPs; this crate is
+//! the layer that turns those savings into served throughput. Many
+//! concurrent clients submit `(rgb, depth)` frame pairs; a dynamic
+//! batcher coalesces them and runs **one** fused forward pass per batch,
+//! which amortises per-request overhead (graph construction, scratch
+//! warm-up, scheduling) and lengthens the matmul inner loops via the
+//! merged-batch convolution path in `sf-tensor`.
+//!
+//! The pipeline is: bounded submission queue → dynamic batcher (flush on
+//! `max_batch` or the oldest request's `max_wait` deadline) → executor
+//! (one forward per batch on the `sf-runtime` pool) → per-request
+//! [`Completion`] handles.
+//!
+//! Serving guarantees:
+//!
+//! - **Bit-stable batching** — evaluation-mode BatchNorm uses frozen
+//!   statistics and the convolution kernels preserve per-element
+//!   accumulation order, so a request's probabilities are identical no
+//!   matter which batch it lands in.
+//! - **Per-request degradation** — each slot's depth input is screened by
+//!   the configured [`DegradationPolicy`]; a faulty depth frame routes
+//!   only its own slot through the camera-only path.
+//! - **Explicit backpressure** — the queue is bounded; overload surfaces
+//!   as [`ServeError::QueueFull`] ([`Backpressure::Reject`]) or blocks
+//!   the submitter ([`Backpressure::Block`]).
+//! - **Failure isolation** — a panic inside a batch's forward pass fails
+//!   exactly that batch's requests with [`ServeError::BatchPanicked`];
+//!   the executor keeps serving.
+//! - **Graceful shutdown** — [`Server::shutdown`] stops admissions,
+//!   drains every queued request, and returns the network with final
+//!   [`StatsSnapshot`].
+//!
+//! [`DegradationPolicy`]: sf_core::DegradationPolicy
+//!
+//! # Examples
+//!
+//! ```
+//! use sf_core::{FusionNet, FusionScheme, NetworkConfig};
+//! use sf_serve::{ServeConfig, Server};
+//! use sf_tensor::Tensor;
+//! use std::time::Duration;
+//!
+//! let config = NetworkConfig::tiny();
+//! let net = FusionNet::new(FusionScheme::AllFilterU, &config).unwrap();
+//! let server = Server::start(
+//!     net,
+//!     ServeConfig::default()
+//!         .with_max_batch(4)
+//!         .with_max_wait(Duration::from_millis(1)),
+//! )
+//! .unwrap();
+//! let completions: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         server
+//!             .submit(
+//!                 Tensor::ones(&[3, config.height, config.width]),
+//!                 Tensor::ones(&[1, config.height, config.width]),
+//!             )
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! for completion in completions {
+//!     assert!(completion.wait().is_ok());
+//! }
+//! ```
+
+mod config;
+mod error;
+mod handle;
+mod server;
+mod stats;
+
+pub use config::{Backpressure, ServeConfig};
+pub use error::ServeError;
+pub use handle::{Completion, Prediction};
+pub use server::Server;
+pub use stats::StatsSnapshot;

@@ -1,0 +1,350 @@
+//! The server: bounded submission queue → dynamic batcher → executor →
+//! completion handles.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use sf_core::{predict_probability_slots, FusionNet};
+use sf_tensor::Tensor;
+
+use crate::config::{Backpressure, ServeConfig};
+use crate::error::ServeError;
+use crate::handle::{completion_pair, Completion, Fulfiller, Prediction};
+use crate::stats::{StatsCollector, StatsSnapshot};
+
+struct Request {
+    rgb: Tensor,
+    depth: Tensor,
+    fulfiller: Fulfiller,
+    enqueued: Instant,
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Inner {
+    queue: Mutex<QueueState>,
+    /// Signalled when a request is enqueued or shutdown begins.
+    not_empty: Condvar,
+    /// Signalled when the batcher claims requests (slots freed) or
+    /// shutdown begins, waking blocked submitters.
+    not_full: Condvar,
+    config: ServeConfig,
+    stats: StatsCollector,
+}
+
+/// In-process batched inference server.
+///
+/// [`Server::start`] moves a [`FusionNet`] onto a dedicated executor
+/// thread. Callers [`submit`] frame pairs from any thread and block on the
+/// returned [`Completion`] handles; the executor coalesces queued requests
+/// into batches (flushing on `max_batch` or the `max_wait` deadline of the
+/// oldest request, whichever comes first) and runs one fused forward pass
+/// per batch. Unhealthy depth inputs degrade only their own slot.
+///
+/// [`submit`]: Server::submit
+///
+/// # Examples
+///
+/// ```
+/// use sf_core::{FusionNet, FusionScheme, NetworkConfig};
+/// use sf_serve::{Server, ServeConfig};
+/// use sf_tensor::Tensor;
+///
+/// let config = NetworkConfig::tiny();
+/// let net = FusionNet::new(FusionScheme::Baseline, &config).unwrap();
+/// let server = Server::start(net, ServeConfig::default()).unwrap();
+/// let rgb = Tensor::ones(&[3, config.height, config.width]);
+/// let depth = Tensor::ones(&[1, config.height, config.width]);
+/// let completion = server.submit(rgb, depth).unwrap();
+/// let prediction = completion.wait().unwrap();
+/// assert_eq!(prediction.prob.shape(), &[config.height, config.width]);
+/// let (_net, stats) = server.shutdown();
+/// assert_eq!(stats.completed, 1);
+/// ```
+pub struct Server {
+    inner: Arc<Inner>,
+    executor: Option<std::thread::JoinHandle<FusionNet>>,
+    rgb_shape: Vec<usize>,
+    depth_shape: Vec<usize>,
+}
+
+impl Server {
+    /// Validates `config` and spawns the executor thread, taking ownership
+    /// of `net` (returned by [`Server::shutdown`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `config` fails
+    /// [`ServeConfig::validate`].
+    pub fn start(net: FusionNet, config: ServeConfig) -> Result<Server, ServeError> {
+        config.validate()?;
+        let net_config = net.config();
+        let (h, w) = (net_config.height, net_config.width);
+        let rgb_shape = vec![3, h, w];
+        let depth_shape = vec![net_config.depth_channels, h, w];
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            config,
+            stats: StatsCollector::new(),
+        });
+        let executor_inner = Arc::clone(&inner);
+        let executor = std::thread::Builder::new()
+            .name("sf-serve-executor".to_string())
+            .spawn(move || executor_loop(net, &executor_inner))
+            .expect("failed to spawn sf-serve executor");
+        Ok(Server {
+            inner,
+            executor: Some(executor),
+            rgb_shape,
+            depth_shape,
+        })
+    }
+
+    /// Submits one frame pair (`rgb [3,H,W]`, `depth [C,H,W]`) and returns
+    /// a handle to wait on.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServeError::BadRequest`] if the shapes do not match the served
+    ///   network's resolution;
+    /// - [`ServeError::QueueFull`] if the queue is full under
+    ///   [`Backpressure::Reject`];
+    /// - [`ServeError::ShuttingDown`] if [`Server::shutdown`] has begun
+    ///   (including while blocked under [`Backpressure::Block`]).
+    pub fn submit(&self, rgb: Tensor, depth: Tensor) -> Result<Completion, ServeError> {
+        if rgb.shape() != self.rgb_shape.as_slice() {
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "rgb shape {:?} does not match served network {:?}",
+                    rgb.shape(),
+                    self.rgb_shape
+                ),
+            });
+        }
+        if depth.shape() != self.depth_shape.as_slice() {
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "depth shape {:?} does not match served network {:?}",
+                    depth.shape(),
+                    self.depth_shape
+                ),
+            });
+        }
+        self.submit_unchecked(rgb, depth)
+    }
+
+    /// [`Server::submit`] without the shape guard. Exists so tests can
+    /// force a panic inside a batch's forward pass; everyone else wants
+    /// the checked path.
+    #[doc(hidden)]
+    pub fn submit_unchecked(&self, rgb: Tensor, depth: Tensor) -> Result<Completion, ServeError> {
+        let mut queue = self.inner.queue.lock().expect("serve queue poisoned");
+        loop {
+            if queue.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if queue.items.len() < self.inner.config.queue_capacity {
+                break;
+            }
+            match self.inner.config.backpressure {
+                Backpressure::Reject => {
+                    self.inner.stats.record_rejected();
+                    return Err(ServeError::QueueFull {
+                        capacity: self.inner.config.queue_capacity,
+                    });
+                }
+                Backpressure::Block => {
+                    queue = self
+                        .inner
+                        .not_full
+                        .wait(queue)
+                        .expect("serve queue poisoned");
+                }
+            }
+        }
+        let (completion, fulfiller) = completion_pair();
+        queue.items.push_back(Request {
+            rgb,
+            depth,
+            fulfiller,
+            enqueued: Instant::now(),
+        });
+        drop(queue);
+        self.inner.not_empty.notify_all();
+        Ok(completion)
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Stops accepting new requests (idempotent). Queued requests still
+    /// drain through the batcher; submitters blocked on a full queue wake
+    /// with [`ServeError::ShuttingDown`]. Callable from any thread that
+    /// shares the server, e.g. to let one client initiate shutdown while
+    /// the owner later collects the network via [`Server::shutdown`].
+    pub fn close(&self) {
+        {
+            let mut queue = self.inner.queue.lock().expect("serve queue poisoned");
+            queue.shutdown = true;
+        }
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Stops accepting new requests, drains every queued request through
+    /// the batcher, joins the executor and returns the network plus final
+    /// statistics.
+    pub fn shutdown(mut self) -> (FusionNet, StatsSnapshot) {
+        let net = self.join_executor().expect("executor joined once");
+        (net, self.inner.stats.snapshot())
+    }
+
+    fn join_executor(&mut self) -> Option<FusionNet> {
+        self.close();
+        self.executor
+            .take()
+            .map(|h| h.join().expect("sf-serve executor panicked"))
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.join_executor();
+    }
+}
+
+/// Collects one batch from the queue: blocks for the first request, then
+/// tops up until `max_batch`, the oldest request's `max_wait` deadline, or
+/// shutdown. Returns `None` once the queue is drained *and* shut down.
+fn collect_batch(inner: &Inner) -> Option<Vec<Request>> {
+    let mut queue = inner.queue.lock().expect("serve queue poisoned");
+    let first = loop {
+        if let Some(first) = queue.items.pop_front() {
+            break first;
+        }
+        if queue.shutdown {
+            return None;
+        }
+        queue = inner.not_empty.wait(queue).expect("serve queue poisoned");
+    };
+    // Every pop frees a queue slot; announce it IMMEDIATELY (not after the
+    // batch is complete), otherwise a submitter blocked on a full queue
+    // sleeps through the whole batching window while the batcher idles at
+    // the deadline waiting for exactly that submitter's request.
+    inner.not_full.notify_all();
+    let deadline = first.enqueued + inner.config.max_wait;
+    let mut batch = vec![first];
+    while batch.len() < inner.config.max_batch {
+        if let Some(next) = queue.items.pop_front() {
+            batch.push(next);
+            inner.not_full.notify_all();
+            continue;
+        }
+        // During shutdown there are no future arrivals to wait for.
+        if queue.shutdown {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (q, timeout) = inner
+            .not_empty
+            .wait_timeout(queue, deadline - now)
+            .expect("serve queue poisoned");
+        queue = q;
+        if timeout.timed_out() && queue.items.is_empty() {
+            break;
+        }
+    }
+    drop(queue);
+    Some(batch)
+}
+
+fn executor_loop(mut net: FusionNet, inner: &Inner) -> FusionNet {
+    while let Some(batch) = collect_batch(inner) {
+        let occupancy = batch.len();
+        inner.stats.record_batch(occupancy);
+        let mut fulfillers = Vec::with_capacity(occupancy);
+        let mut rgb = Vec::with_capacity(occupancy);
+        let mut depth = Vec::with_capacity(occupancy);
+        let mut enqueued = Vec::with_capacity(occupancy);
+        for request in batch {
+            fulfillers.push(request.fulfiller);
+            rgb.push(request.rgb);
+            depth.push(request.depth);
+            enqueued.push(request.enqueued);
+        }
+        let rgb_refs: Vec<&Tensor> = rgb.iter().collect();
+        let depth_refs: Vec<&Tensor> = depth.iter().collect();
+        // `forward` in Eval mode only reads frozen statistics, so a panic
+        // mid-pass leaves the network consistent: fail this batch's
+        // requests with a typed error and keep serving.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            predict_probability_slots(
+                &mut net,
+                &rgb_refs,
+                &depth_refs,
+                inner.config.policy,
+                &inner.config.thresholds,
+            )
+        }));
+        match outcome {
+            Ok(Ok(slots)) => {
+                for ((fulfiller, slot), enqueued) in fulfillers.into_iter().zip(slots).zip(enqueued)
+                {
+                    let latency = enqueued.elapsed();
+                    let quarantined = slot.quarantined.is_some();
+                    fulfiller.fulfill(Ok(Prediction {
+                        prob: slot.prob,
+                        quarantined: slot.quarantined,
+                        latency,
+                        batch_size: occupancy,
+                    }));
+                    inner.stats.record_completed(latency, quarantined);
+                }
+            }
+            Ok(Err(err)) => {
+                inner.stats.record_failed(occupancy);
+                let reason = err.to_string();
+                for fulfiller in fulfillers {
+                    fulfiller.fulfill(Err(ServeError::BadRequest {
+                        reason: reason.clone(),
+                    }));
+                }
+            }
+            Err(payload) => {
+                inner.stats.record_failed(occupancy);
+                let message = panic_message(&payload);
+                for fulfiller in fulfillers {
+                    fulfiller.fulfill(Err(ServeError::BatchPanicked {
+                        message: message.clone(),
+                    }));
+                }
+            }
+        }
+    }
+    net
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,156 @@
+//! Serving statistics: counters plus a latency reservoir, snapshotted on
+//! demand.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Point-in-time view of a server's counters, exposed by
+/// [`Server::stats`] and returned by [`Server::shutdown`].
+///
+/// [`Server::stats`]: crate::Server::stats
+/// [`Server::shutdown`]: crate::Server::shutdown
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests fulfilled successfully.
+    pub completed: u64,
+    /// Requests refused at submit time (`QueueFull` under `Reject`).
+    pub rejected: u64,
+    /// Requests failed after admission (batch panic or bad request).
+    pub failed: u64,
+    /// Fulfilled requests whose depth input was quarantined.
+    pub quarantined: u64,
+    /// Forward-pass batches executed.
+    pub batches: u64,
+    /// Mean requests per executed batch.
+    pub mean_batch_occupancy: f64,
+    /// Completed requests per second since the server started.
+    pub throughput_rps: f64,
+    /// Median request latency (enqueue → fulfill), milliseconds.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub latency_p95_ms: f64,
+    /// Worst request latency, milliseconds.
+    pub latency_max_ms: f64,
+}
+
+#[derive(Default)]
+struct StatsData {
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    quarantined: u64,
+    batches: u64,
+    batched_requests: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// Internal collector; one per server, shared by submitters and the
+/// executor.
+pub(crate) struct StatsCollector {
+    data: Mutex<StatsData>,
+    started: Instant,
+}
+
+impl StatsCollector {
+    pub(crate) fn new() -> StatsCollector {
+        StatsCollector {
+            data: Mutex::new(StatsData::default()),
+            started: Instant::now(),
+        }
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.data.lock().expect("stats poisoned").rejected += 1;
+    }
+
+    pub(crate) fn record_batch(&self, occupancy: usize) {
+        let mut data = self.data.lock().expect("stats poisoned");
+        data.batches += 1;
+        data.batched_requests += occupancy as u64;
+    }
+
+    pub(crate) fn record_completed(&self, latency: Duration, quarantined: bool) {
+        let mut data = self.data.lock().expect("stats poisoned");
+        data.completed += 1;
+        if quarantined {
+            data.quarantined += 1;
+        }
+        data.latencies_ms.push(latency.as_secs_f64() * 1e3);
+    }
+
+    pub(crate) fn record_failed(&self, count: usize) {
+        self.data.lock().expect("stats poisoned").failed += count as u64;
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let data = self.data.lock().expect("stats poisoned");
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let mut sorted = data.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        StatsSnapshot {
+            completed: data.completed,
+            rejected: data.rejected,
+            failed: data.failed,
+            quarantined: data.quarantined,
+            batches: data.batches,
+            mean_batch_occupancy: if data.batches == 0 {
+                0.0
+            } else {
+                data.batched_requests as f64 / data.batches as f64
+            },
+            throughput_rps: if elapsed > 0.0 {
+                data.completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            latency_p50_ms: percentile(&sorted, 0.50),
+            latency_p95_ms: percentile(&sorted, 0.95),
+            latency_max_ms: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; 0.0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.50), 5.0);
+        assert_eq!(percentile(&sorted, 0.95), 10.0);
+        assert_eq!(percentile(&sorted, 0.01), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let stats = StatsCollector::new();
+        stats.record_batch(4);
+        stats.record_batch(2);
+        for i in 0..6 {
+            stats.record_completed(Duration::from_millis(i + 1), i == 0);
+        }
+        stats.record_rejected();
+        stats.record_failed(2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.completed, 6);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.failed, 2);
+        assert_eq!(snap.quarantined, 1);
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch_occupancy - 3.0).abs() < 1e-12);
+        assert!(snap.latency_max_ms >= snap.latency_p95_ms);
+        assert!(snap.latency_p95_ms >= snap.latency_p50_ms);
+        assert!(snap.throughput_rps > 0.0);
+    }
+}

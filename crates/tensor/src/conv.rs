@@ -7,8 +7,8 @@
 //! - output `y`: `[N, O, OH, OW]` with
 //!   `OH = (H + 2·pad − KH)/stride + 1` (likewise `OW`).
 
-use crate::linalg::{matmul, matmul_transpose_a, matmul_transpose_b};
-use crate::{Result, Tensor, TensorError};
+use crate::linalg::{matmul_transpose_a, matmul_transpose_b, mm_ikj};
+use crate::{scratch, Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution: stride and symmetric zero padding.
 ///
@@ -167,15 +167,37 @@ pub fn im2col(image: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Result<
     }
     let cols = oh * ow;
     let mut out = Tensor::zeros(&[c * kh * kw, cols]);
-    let src = image.data();
-    let dst = out.data_mut();
+    im2col_into(image.data(), c, h, w, kh, kw, spec, out.data_mut(), cols, 0);
+    Ok(out)
+}
+
+/// Scatters one `CHW` image into a pre-zeroed `im2col` destination whose
+/// rows have length `row_stride`, writing this image's `OH·OW` columns at
+/// `col_offset` — so several images can share one wide patch matrix (the
+/// batched convolution path). Padding taps are left untouched, which is
+/// why the destination must be zeroed.
+#[allow(clippy::too_many_arguments)]
+fn im2col_into(
+    src: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    dst: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+) {
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
     let pad = spec.padding as isize;
     let stride = spec.stride;
     for ch in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ch * kh + ki) * kw + kj;
-                let dst_row = &mut dst[row * cols..(row + 1) * cols];
+                let dst_row = &mut dst[row * row_stride + col_offset..][..oh * ow];
                 for oy in 0..oh {
                     let iy = (oy * stride) as isize + ki as isize - pad;
                     if iy < 0 || iy >= h as isize {
@@ -183,17 +205,30 @@ pub fn im2col(image: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Result<
                     }
                     let src_base = (ch * h + iy as usize) * w;
                     let dst_base = oy * ow;
-                    for ox in 0..ow {
-                        let ix = (ox * stride) as isize + kj as isize - pad;
-                        if ix >= 0 && ix < w as isize {
-                            dst_row[dst_base + ox] = src[src_base + ix as usize];
+                    if stride == 1 {
+                        // With unit stride the in-bounds taps of this row
+                        // form one contiguous span (ix = ox + kj − pad):
+                        // copy it as a block instead of testing every tap.
+                        let shift = kj as isize - pad;
+                        let ox0 = (-shift).max(0) as usize;
+                        let ox1 = ow.min((w as isize - shift).max(0) as usize);
+                        if ox0 < ox1 {
+                            let ix0 = (ox0 as isize + shift) as usize;
+                            dst_row[dst_base + ox0..dst_base + ox1]
+                                .copy_from_slice(&src[src_base + ix0..src_base + ix0 + ox1 - ox0]);
+                        }
+                    } else {
+                        for ox in 0..ow {
+                            let ix = (ox * stride) as isize + kj as isize - pad;
+                            if ix >= 0 && ix < w as isize {
+                                dst_row[dst_base + ox] = src[src_base + ix as usize];
+                            }
                         }
                     }
                 }
             }
         }
     }
-    Ok(out)
 }
 
 /// Folds an `im2col` matrix back into a `CHW` image, *summing* overlapping
@@ -290,24 +325,71 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -
         }
     }
     let wmat = w.reshape(&[o, c * kh * kw])?;
-    let mut out = Tensor::zeros(&[n, o, oh, ow]);
-    let plane = o * oh * ow;
-    // Each image owns a disjoint output plane, so the batch splits across
-    // the worker pool; per-image math is untouched, keeping the result
-    // bit-identical to a serial loop. Geometry was validated above, so the
-    // per-image ops cannot fail.
-    sf_runtime::parallel_chunks_mut(out.data_mut(), plane, |img, dst| {
-        let cols = im2col(&x.index_axis0(img), kh, kw, spec).expect("geometry validated");
-        let y = matmul(&wmat, &cols).expect("shapes agree by construction");
-        dst.copy_from_slice(y.data());
+    let patch = c * kh * kw;
+    let cols = oh * ow;
+    let plane = o * cols;
+    let in_plane = c * h * iw;
+    let mut out = Tensor::zeros_pooled(&[n, o, oh, ow]);
+    let xd = x.data();
+    let add_bias = |dst: &mut [f32]| {
         if let Some(b) = bias {
             for (oc, &bv) in b.data().iter().enumerate() {
-                for v in &mut dst[oc * oh * ow..(oc + 1) * oh * ow] {
+                for v in &mut dst[oc * cols..(oc + 1) * cols] {
                     *v += bv;
                 }
             }
         }
-    });
+    };
+    if n > 1 && sf_runtime::num_threads() > 1 {
+        // Each image owns a disjoint output plane, so the batch splits
+        // across the worker pool. The im2col matrix and the matmul run in
+        // per-worker scratch, so steady-state calls are allocation-free.
+        sf_runtime::parallel_chunks_mut(out.data_mut(), plane, |img, dst| {
+            scratch::with_zeroed(patch * cols, |cb| {
+                im2col_into(
+                    &xd[img * in_plane..(img + 1) * in_plane],
+                    c,
+                    h,
+                    iw,
+                    kh,
+                    kw,
+                    spec,
+                    cb,
+                    cols,
+                    0,
+                );
+                mm_ikj(wmat.data(), cb, dst, o, patch, cols);
+            });
+            add_bias(dst);
+        });
+    } else {
+        // Single-threaded path: the same per-image loop the pooled path
+        // runs, writing each image's [O, OH·OW] plane straight into the
+        // output — no staging matrix, no scatter copy, and the im2col
+        // panel stays cache-resident per image. Each output element is
+        // the same ascending-tap accumulation as every other path, so
+        // results are bit-identical regardless of batch size or threads.
+        let od = out.data_mut();
+        for img in 0..n {
+            let dst = &mut od[img * plane..(img + 1) * plane];
+            scratch::with_zeroed(patch * cols, |cb| {
+                im2col_into(
+                    &xd[img * in_plane..(img + 1) * in_plane],
+                    c,
+                    h,
+                    iw,
+                    kh,
+                    kw,
+                    spec,
+                    cb,
+                    cols,
+                    0,
+                );
+                mm_ikj(wmat.data(), cb, dst, o, patch, cols);
+            });
+            add_bias(dst);
+        }
+    }
     Ok(out)
 }
 
@@ -338,26 +420,45 @@ pub fn conv2d_backward(
         });
     }
     let wmat = w.reshape(&[o, c * kh * kw])?;
-    let mut grad_x = Tensor::zeros(x.shape());
+    let patch = c * kh * kw;
+    let ncols = oh * ow;
+    let mut grad_x = Tensor::zeros_pooled(x.shape());
     let mut grad_w_mat = Tensor::zeros(&[o, c * kh * kw]);
     let mut grad_b = Tensor::zeros(&[o]);
     let in_plane = c * h * iw;
+    let xd = x.data();
     // Per-image partials are independent, so they run across the worker
     // pool; the weight/bias reduction below stays serial and in image order
     // so gradients are bit-identical to a serial pass. Geometry was
-    // validated above, so the per-image ops cannot fail.
+    // validated above, so the per-image ops cannot fail. The im2col matrix
+    // is loaned from per-worker scratch and recycled, so the training hot
+    // loop does not reallocate it every step.
     let imgs: Vec<usize> = (0..n).collect();
     let partials = sf_runtime::parallel_map(&imgs, |&img| {
         let go = grad_out
             .index_axis0(img)
             .reshape(&[o, oh * ow])
             .expect("geometry validated");
-        let cols = im2col(&x.index_axis0(img), kh, kw, spec).expect("geometry validated");
+        let mut cols_buf = scratch::take_zeroed(patch * ncols);
+        im2col_into(
+            &xd[img * in_plane..(img + 1) * in_plane],
+            c,
+            h,
+            iw,
+            kh,
+            kw,
+            spec,
+            &mut cols_buf,
+            ncols,
+            0,
+        );
+        let cols = Tensor::from_vec(cols_buf, &[patch, ncols]).expect("geometry validated");
         // dW_img = dY · colᵀ
         let gw = matmul_transpose_b(&go, &cols).expect("shapes agree by construction");
         // dCol = Wᵀ · dY, then fold back to image space.
         let grad_cols = matmul_transpose_a(&wmat, &go).expect("shapes agree by construction");
         let gx = col2im(&grad_cols, c, h, iw, kh, kw, spec).expect("geometry validated");
+        scratch::recycle(cols.into_vec());
         // dB_img = Σ spatial dY
         let gb: Vec<f32> = (0..o)
             .map(|oc| {

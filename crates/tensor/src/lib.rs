@@ -26,6 +26,7 @@ mod linalg;
 mod pool;
 mod reduce;
 mod rng;
+pub mod scratch;
 mod shape;
 mod tensor;
 pub mod testkit;

@@ -125,7 +125,10 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// The shared `i-k-j` inner kernel: `out[m,n] += a[m,k] * b[k,n]`.
 ///
 /// Splits rows of `a` across threads when the output is large enough.
-fn mm_ikj(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// Exposed to the convolution module so the batched forward path can
+/// multiply straight into a borrowed output slice without an extra
+/// allocation or copy. `out` must be zeroed (the kernel accumulates).
+pub(crate) fn mm_ikj(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     let threads = sf_runtime::num_threads();
     if m * n < PARALLEL_THRESHOLD || threads <= 1 || m < 2 {
         mm_ikj_rows(a, b, out, 0..m, k, n);
@@ -142,6 +145,11 @@ fn mm_ikj(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     });
 }
 
+/// f32 elements of `b` streamed per column block (256 KiB): big enough
+/// that loop overheads amortise, small enough that the panel stays
+/// cache-resident across the row loop.
+const MM_PANEL_ELEMS: usize = 1 << 16;
+
 fn mm_ikj_rows(
     a: &[f32],
     b: &[f32],
@@ -150,19 +158,31 @@ fn mm_ikj_rows(
     k: usize,
     n: usize,
 ) {
+    // Column-tile the traversal: with wide merged-batch columns
+    // (n = batch·H·W) an untiled pass re-streams the whole k×n panel of
+    // `b` from memory once per output row. Tiling only reorders which
+    // (i, j) cells are visited when — each cell still accumulates over p
+    // in ascending order, so results are bit-identical to the untiled
+    // kernel (and `n <= block` degenerates to exactly that kernel).
+    let block = (MM_PANEL_ELEMS / k.max(1)).max(256).min(n.max(1));
     let base = rows.start;
-    for i in rows {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[(i - base) * n..(i - base + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + block).min(n);
+        for i in rows.clone() {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[(i - base) * n + j0..(i - base) * n + j1];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n + j0..p * n + j1];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
+        j0 = j1;
     }
 }
 

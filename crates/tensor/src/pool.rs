@@ -49,7 +49,7 @@ pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize) -> Result<(Tensor, V
     }
     let oh = (h - kernel) / stride + 1;
     let ow = (w - kernel) / stride + 1;
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut out = Tensor::zeros_pooled(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
     let src = x.data();
     let out_plane = oh * ow;
@@ -126,7 +126,7 @@ pub fn avg_pool2d(x: &Tensor, kernel: usize, stride: usize) -> Result<Tensor> {
     let oh = (h - kernel) / stride + 1;
     let ow = (w - kernel) / stride + 1;
     let inv = 1.0 / (kernel * kernel) as f32;
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut out = Tensor::zeros_pooled(&[n, c, oh, ow]);
     let src = x.data();
     let out_plane = oh * ow;
     sf_runtime::parallel_chunks_mut(out.data_mut(), out_plane, |p, dst| {
@@ -220,20 +220,26 @@ pub fn upsample_nearest2d(x: &Tensor, factor: usize) -> Result<Tensor> {
         });
     }
     let (oh, ow) = (h * factor, w * factor);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut out = Tensor::zeros_pooled(&[n, c, oh, ow]);
     let src = x.data();
     let dst = out.data_mut();
-    for img in 0..n {
-        for ch in 0..c {
-            let sp = (img * c + ch) * h * w;
-            let dp = (img * c + ch) * oh * ow;
-            for oy in 0..oh {
-                let iy = oy / factor;
-                let srow = sp + iy * w;
-                let drow = dp + oy * ow;
-                for ox in 0..ow {
-                    dst[drow + ox] = src[srow + ox / factor];
+    // Build each output row once by replicating pixels, then duplicate it
+    // for the remaining `factor - 1` rows with straight slice copies.
+    for plane in 0..n * c {
+        let sp = plane * h * w;
+        let dp = plane * oh * ow;
+        for iy in 0..h {
+            let srow = &src[sp + iy * w..sp + (iy + 1) * w];
+            let dbase = dp + iy * factor * ow;
+            {
+                let drow = &mut dst[dbase..dbase + ow];
+                for (ix, &v) in srow.iter().enumerate() {
+                    drow[ix * factor..(ix + 1) * factor].fill(v);
                 }
+            }
+            for r in 1..factor {
+                let (head, tail) = dst.split_at_mut(dbase + r * ow);
+                tail[..ow].copy_from_slice(&head[dbase..dbase + ow]);
             }
         }
     }

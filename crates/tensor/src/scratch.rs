@@ -1,0 +1,199 @@
+//! Per-thread reusable scratch buffers for kernel workspaces.
+//!
+//! The convolution kernels need two large temporaries per call: the
+//! `im2col` patch matrix and (on the batched path) a staging buffer for
+//! the matmul output. In the serving and training hot loops the same
+//! geometry repeats for thousands of calls, so allocating fresh buffers
+//! every time turns the allocator into a bottleneck — especially once the
+//! calls run on the persistent [`sf_runtime`] worker pool, where every
+//! worker hammers the same global allocator.
+//!
+//! This module keeps a small per-thread free list of `Vec<f32>` buffers.
+//! Because the pool's workers are long-lived threads, a worker that ran a
+//! convolution once serves every later call with the same geometry from
+//! its local list, allocation-free. Buffers are handed out zeroed, so
+//! kernels that only write in-bounds taps (like `im2col`, which skips
+//! padding positions) behave exactly as they would on a fresh
+//! `Tensor::zeros` — results stay bit-identical.
+//!
+//! The free list matters far beyond the convolution workspaces: a batched
+//! forward pass allocates dozens of activation tensors big enough to cross
+//! the allocator's mmap threshold, at which point every op pays
+//! mmap/munmap plus a page fault per touched page. Handing those buffers
+//! back (the autodiff tape recycles its node storage on drop) and re-using
+//! them keeps the serving and training hot loops inside memory that is
+//! already mapped and cache-warm.
+//!
+//! The free list is still bounded (a fixed buffer count and byte budget,
+//! largest kept): the goal is steady-state reuse in hot loops, not a
+//! general allocator.
+//!
+//! # Examples
+//!
+//! ```
+//! let sum = sf_tensor::scratch::with_zeroed(128, |buf| {
+//!     buf[0] = 1.0;
+//!     buf.iter().sum::<f32>()
+//! });
+//! assert_eq!(sum, 1.0);
+//! ```
+
+use std::cell::{Cell, RefCell};
+
+/// Maximum buffers kept per thread: enough for every intermediate tensor
+/// of one batched forward pass, so a graph dropped after inference can
+/// seed the next pass completely.
+const MAX_POOLED: usize = 192;
+
+/// Byte budget across all pooled buffers on one thread, so a burst of
+/// huge workspaces cannot pin unbounded memory.
+const MAX_POOLED_BYTES: usize = 256 << 20;
+
+thread_local! {
+    static FREE_LIST: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    /// Total capacity (in elements) held by `FREE_LIST`, tracked
+    /// incrementally so neither take nor recycle re-sums the pool.
+    static HELD_ELEMS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Pops the smallest pooled buffer with capacity for `len` elements, so
+/// one huge buffer is not burned on a tiny request. The free list is
+/// kept sorted by capacity, so this is a binary search, not a scan —
+/// a hot forward pass performs hundreds of takes per batch.
+fn take_best_fit(len: usize) -> Option<Vec<f32>> {
+    FREE_LIST.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        let i = pool.partition_point(|buf| buf.capacity() < len);
+        (i < pool.len()).then(|| {
+            let buf = pool.remove(i);
+            HELD_ELEMS.with(|held| held.set(held.get() - buf.capacity()));
+            buf
+        })
+    })
+}
+
+/// Takes a zeroed buffer of exactly `len` elements from this thread's
+/// free list, allocating only if no pooled buffer has enough capacity.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    match take_best_fit(len) {
+        Some(mut buf) => {
+            buf.clear();
+            buf.resize(len, 0.0);
+            buf
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Takes an *empty* buffer with capacity for at least `len` elements —
+/// for producers that fill it with `extend`/`push` and never read stale
+/// contents. Skips the zeroing pass [`take_zeroed`] pays.
+pub fn take_spare(len: usize) -> Vec<f32> {
+    match take_best_fit(len) {
+        Some(mut buf) => {
+            buf.clear();
+            buf
+        }
+        None => Vec::with_capacity(len),
+    }
+}
+
+/// Returns a buffer to this thread's free list for later reuse. Bounded
+/// by buffer count and a total byte budget; evicts the smallest pooled
+/// buffer when full.
+pub fn recycle(buf: Vec<f32>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    FREE_LIST.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        let cap = buf.capacity();
+        let held = HELD_ELEMS.with(Cell::get);
+        if (held + cap) * std::mem::size_of::<f32>() > MAX_POOLED_BYTES {
+            return;
+        }
+        // Insert in capacity order so `take_best_fit` can binary-search.
+        let i = pool.partition_point(|b| b.capacity() < cap);
+        if pool.len() < MAX_POOLED {
+            pool.insert(i, buf);
+            HELD_ELEMS.with(|h| h.set(held + cap));
+        } else if i > 0 {
+            // Full: evict the smallest buffer (index 0) for a bigger one.
+            let evicted = pool.remove(0);
+            pool.insert(i - 1, buf);
+            HELD_ELEMS.with(|h| h.set(held + cap - evicted.capacity()));
+        }
+    });
+}
+
+/// Runs `f` with a zeroed scratch slice of `len` elements, recycling the
+/// buffer afterwards. The workhorse entry point for kernels.
+pub fn with_zeroed<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = take_zeroed(len);
+    let result = f(&mut buf);
+    recycle(buf);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_come_back_zeroed() {
+        with_zeroed(64, |buf| {
+            assert_eq!(buf.len(), 64);
+            buf.fill(7.5);
+        });
+        // The recycled buffer must be scrubbed on the next loan.
+        with_zeroed(64, |buf| {
+            assert!(buf.iter().all(|&v| v == 0.0));
+        });
+    }
+
+    #[test]
+    fn reuse_preserves_capacity_across_sizes() {
+        let big = take_zeroed(1024);
+        let cap = big.capacity();
+        recycle(big);
+        // A smaller request reuses the big buffer rather than allocating.
+        let small = take_zeroed(16);
+        assert!(small.capacity() >= 16);
+        recycle(small);
+        // And a same-size request gets the original capacity back.
+        let again = take_zeroed(1024);
+        assert!(again.capacity() >= cap.min(1024));
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let bufs: Vec<Vec<f32>> = (0..2 * MAX_POOLED).map(|i| take_zeroed(8 + i)).collect();
+        for b in bufs {
+            recycle(b);
+        }
+        FREE_LIST.with(|cell| assert!(cell.borrow().len() <= MAX_POOLED));
+    }
+
+    #[test]
+    fn spare_buffers_are_empty_with_capacity() {
+        let mut buf = take_spare(256);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 256);
+        buf.extend(std::iter::repeat_n(3.0, 256));
+        recycle(buf);
+        let again = take_spare(256);
+        assert!(again.is_empty(), "reused buffers must come back cleared");
+        assert!(again.capacity() >= 256);
+    }
+
+    #[test]
+    fn nested_loans_are_distinct_buffers() {
+        with_zeroed(32, |outer| {
+            outer.fill(1.0);
+            with_zeroed(32, |inner| {
+                assert!(inner.iter().all(|&v| v == 0.0));
+            });
+            assert!(outer.iter().all(|&v| v == 1.0));
+        });
+    }
+}

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::shape::{flat_index, numel, strides_for};
-use crate::{broadcast_shapes, Result, TensorError};
+use crate::{broadcast_shapes, scratch, Result, TensorError};
 
 /// A dense, row-major (C-contiguous) `f32` tensor of arbitrary rank.
 ///
@@ -37,6 +37,16 @@ impl Tensor {
         Tensor {
             shape: shape.to_vec(),
             data: vec![0.0; numel(shape)],
+        }
+    }
+
+    /// Creates a zeroed tensor whose storage is drawn from this thread's
+    /// [`scratch`] pool — for kernel outputs in hot loops, where the
+    /// buffer eventually flows back via [`scratch::recycle`].
+    pub(crate) fn zeros_pooled(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: scratch::take_zeroed(numel(shape)),
         }
     }
 
@@ -190,9 +200,11 @@ impl Tensor {
 
     /// Applies `f` element-wise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = scratch::take_spare(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
@@ -211,12 +223,13 @@ impl Tensor {
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == other.shape {
             // Fast path: identical shapes.
-            let data = self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let mut data = scratch::take_spare(self.data.len());
+            data.extend(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b)),
+            );
             return Tensor {
                 shape: self.shape.clone(),
                 data,
@@ -227,13 +240,44 @@ impl Tensor {
         let lhs_strides = broadcast_strides(&self.shape, &out_shape);
         let rhs_strides = broadcast_strides(&other.shape, &out_shape);
         let n = numel(&out_shape);
-        let mut data = Vec::with_capacity(n);
-        let mut index = vec![0usize; out_shape.len()];
-        for _ in 0..n {
+        if n == 0 {
+            return Tensor {
+                shape: out_shape,
+                data: Vec::new(),
+            };
+        }
+        let mut data = scratch::take_spare(n);
+        // Trailing dims where each operand is either contiguous or constant
+        // form a block the inner loop can stream without any index
+        // arithmetic; the odometer then only walks the leading dims. The
+        // common broadcasts (per-channel [C,1,1] statistics against NCHW,
+        // row/column vectors against matrices) all collapse this way.
+        let (outer_dims, block, lhs_contig, rhs_contig) =
+            broadcast_block(&out_shape, &lhs_strides, &rhs_strides);
+        let mut index = vec![0usize; outer_dims];
+        for _ in 0..n / block {
             let li: usize = index.iter().zip(&lhs_strides).map(|(&i, &s)| i * s).sum();
             let ri: usize = index.iter().zip(&rhs_strides).map(|(&i, &s)| i * s).sum();
-            data.push(f(self.data[li], other.data[ri]));
-            for d in (0..out_shape.len()).rev() {
+            match (lhs_contig, rhs_contig) {
+                (true, true) => {
+                    let lhs = &self.data[li..li + block];
+                    let rhs = &other.data[ri..ri + block];
+                    data.extend(lhs.iter().zip(rhs).map(|(&a, &b)| f(a, b)));
+                }
+                (true, false) => {
+                    let b = other.data[ri];
+                    data.extend(self.data[li..li + block].iter().map(|&a| f(a, b)));
+                }
+                (false, true) => {
+                    let a = self.data[li];
+                    data.extend(other.data[ri..ri + block].iter().map(|&b| f(a, b)));
+                }
+                (false, false) => {
+                    let (a, b) = (self.data[li], other.data[ri]);
+                    data.extend((0..block).map(|_| f(a, b)));
+                }
+            }
+            for d in (0..outer_dims).rev() {
                 index[d] += 1;
                 if index[d] < out_shape[d] {
                     break;
@@ -398,11 +442,24 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the tensors disagree in
     /// shape, or [`TensorError::InvalidGeometry`] if `items` is empty.
     pub fn stack(items: &[Tensor]) -> Result<Tensor> {
-        let first = items.first().ok_or_else(|| TensorError::InvalidGeometry {
+        let refs: Vec<&Tensor> = items.iter().collect();
+        Tensor::stack_refs(&refs)
+    }
+
+    /// Like [`Tensor::stack`] but takes borrowed tensors, so callers that
+    /// hold `&Tensor`s (batch assembly, the serving batcher) can build the
+    /// stacked buffer with one slice copy per item and no intermediate
+    /// clones.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::stack`].
+    pub fn stack_refs(items: &[&Tensor]) -> Result<Tensor> {
+        let first = *items.first().ok_or_else(|| TensorError::InvalidGeometry {
             op: "stack",
             reason: "cannot stack zero tensors".to_string(),
         })?;
-        let mut data = Vec::with_capacity(first.numel() * items.len());
+        let mut data = scratch::take_spare(first.numel() * items.len());
         for item in items {
             if item.shape != first.shape {
                 return Err(TensorError::ShapeMismatch {
@@ -503,6 +560,58 @@ impl Tensor {
                 .iter()
                 .zip(other.data.iter())
                 .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Finds the largest trailing block over which both operands can be
+/// streamed linearly: across the block's dims each operand must be either
+/// contiguous (strides matching the output's trailing layout) or constant
+/// (all-zero strides). Returns `(outer_dims, block_len, lhs_contiguous,
+/// rhs_contiguous)`; the odometer walks only the remaining `outer_dims`
+/// leading dims.
+fn broadcast_block(
+    out_shape: &[usize],
+    lhs_strides: &[usize],
+    rhs_strides: &[usize],
+) -> (usize, usize, bool, bool) {
+    let mut block = 1usize;
+    let mut lhs_contig = false;
+    let mut rhs_contig = false;
+    let mut d = out_shape.len();
+    while d > 0 {
+        let dim = d - 1;
+        let size = out_shape[dim];
+        if size == 1 {
+            d -= 1;
+            continue;
+        }
+        match (
+            extend_block(lhs_strides[dim], lhs_contig, block),
+            extend_block(rhs_strides[dim], rhs_contig, block),
+        ) {
+            (Some(lc), Some(rc)) => {
+                lhs_contig = lc;
+                rhs_contig = rc;
+                block *= size;
+                d -= 1;
+            }
+            _ => return (d, block, lhs_contig, rhs_contig),
+        }
+    }
+    (d, block, lhs_contig, rhs_contig)
+}
+
+/// Whether a dim with `stride` keeps an operand streamable over a grown
+/// block, given it was contiguous (`contig`) over the current `block`
+/// elements. Returns the new contiguity, or `None` if the dim breaks the
+/// pattern (e.g. a broadcast axis below a real one).
+fn extend_block(stride: usize, contig: bool, block: usize) -> Option<bool> {
+    if stride == 0 && !contig {
+        Some(false)
+    } else if stride == block {
+        Some(true)
+    } else {
+        None
     }
 }
 

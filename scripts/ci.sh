@@ -47,4 +47,9 @@ cargo test -q
 echo "==> fault-matrix smoke (sensor fault injection + graceful degradation)"
 cargo test -q -p sf-bench --test experiments_smoke fault_matrix_smoke
 
+echo "==> serve-bench smoke (dynamic batching server end-to-end)"
+# Tiny net, 4 clients x 8 requests; --smoke exits non-zero unless every
+# request was served (zero dropped, rejected, or poisoned).
+./target/release/roadseg serve-bench --smoke
+
 echo "==> ci.sh: all green"

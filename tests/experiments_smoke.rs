@@ -1,7 +1,7 @@
 //! Smoke tests for every experiment harness at quick scale — the same
 //! code paths the `exp_*` binaries run for the paper's tables/figures.
 
-use sf_bench::experiments::{fault_matrix, fig3, fig6, fig7, fig8, fig9, table1};
+use sf_bench::experiments::{fault_matrix, fig3, fig6, fig7, fig8, fig9, serving, table1};
 use sf_bench::ExperimentScale;
 use sf_core::FusionScheme;
 use sf_scene::RoadCategory;
@@ -95,4 +95,27 @@ fn fig9_smoke() {
     let text = fig9::render(&result);
     assert!(text.contains("pixel accuracy"));
     let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn serving_smoke() {
+    let result = serving::run(SCALE);
+    // Full grid measured, every request in every cell completed.
+    assert_eq!(
+        result.cells.len(),
+        result.batch_sizes.len() * result.client_counts.len()
+    );
+    for cell in &result.cells {
+        assert_eq!(cell.completed, (cell.clients * 6) as u64);
+        assert!(cell.throughput_rps > 0.0);
+    }
+    // The dynamic batcher is bit-identical to batch=1 serving.
+    assert!(
+        result.correctness_max_delta <= 1e-6,
+        "batched serving deviated: {}",
+        result.correctness_max_delta
+    );
+    let text = serving::render(&result);
+    assert!(text.contains("max_batch"));
+    assert!(text.contains("correctness"));
 }
