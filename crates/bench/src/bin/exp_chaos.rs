@@ -1,0 +1,9 @@
+//! Chaos resilience sweep: fault rate × deadline × breaker threshold for
+//! the `sf-serve` server under the seeded `sf-chaos` fault schedules.
+//! Prints the table recorded in `results/bench.txt`.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::chaos::run(scale);
+    println!("{}", sf_bench::experiments::chaos::render(&result));
+}

@@ -1,0 +1,270 @@
+//! Chaos resilience sweep — fault rate × deadline × breaker threshold.
+//!
+//! The serving experiment measures how fast the batcher goes when
+//! everything works; this one measures what the stack *guarantees* when
+//! things break. Every grid cell runs one seeded [`sf_chaos`] schedule —
+//! depth-sensor corruption at the swept fault rate, a batch slowdown, a
+//! stale-request burst and a queue-full storm — against a live server and
+//! records where every request terminated, how often the depth-branch
+//! circuit breaker tripped, and whether the run is bit-reproducible
+//! (each cell executes twice and compares fault-schedule fingerprints).
+//!
+//! The headline claims this table backs:
+//! - **conservation** — in every cell, submitted = completed + rejected +
+//!   expired + failed (the harness fails the run otherwise, so a rendered
+//!   table is itself the proof);
+//! - **determinism** — cells with a deterministic deadline (none, or far
+//!   above the injected slowdown) replay to identical fingerprints;
+//! - **breaker sensitivity** — the trip threshold separates fault rates:
+//!   a strict breaker (0.25) trips on mixed traffic a lax one (0.75)
+//!   rides through.
+
+use std::time::Duration;
+
+use sf_chaos::{ChaosConfig, ChaosError, ChaosReport, Scene};
+use sf_core::BreakerConfig;
+use sf_dataset::SensorFault;
+
+use crate::{ExperimentScale, TextTable};
+
+/// Injected per-batch delay during the slowdown scene, milliseconds.
+/// Deadlines below this expire the slowed requests; deadlines above it
+/// (or no deadline) let them complete.
+const SLOWDOWN_MS: u64 = 60;
+
+/// One (fault rate, deadline, breaker threshold) measurement.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Fraction of the closed-loop traffic with a dead depth sensor.
+    pub fault_rate: f64,
+    /// Per-request deadline in milliseconds; 0 means no deadline.
+    pub deadline_ms: u64,
+    /// Breaker trip threshold (quarantine rate, strictly above trips).
+    pub threshold: f32,
+    /// The first run's full report (tally, breaker log, pool delta).
+    pub report: ChaosReport,
+    /// Whether a second run of the identical config produced the same
+    /// fault-schedule fingerprint.
+    pub reproducible: bool,
+}
+
+/// The full sweep grid and its per-cell reports.
+#[derive(Debug, Clone)]
+pub struct ChaosSweepResult {
+    /// Fault rates swept.
+    pub fault_rates: Vec<f64>,
+    /// Deadlines swept, milliseconds (0 = none).
+    pub deadlines_ms: Vec<u64>,
+    /// Breaker trip thresholds swept.
+    pub thresholds: Vec<f32>,
+    /// One cell per grid point, in (rate, deadline, threshold) order.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosSweepResult {
+    /// The measured cell for a grid point.
+    pub fn cell(&self, fault_rate: f64, deadline_ms: u64, threshold: f32) -> Option<&ChaosCell> {
+        self.cells.iter().find(|c| {
+            c.fault_rate == fault_rate && c.deadline_ms == deadline_ms && c.threshold == threshold
+        })
+    }
+
+    /// How many cells replayed bit-identically.
+    pub fn reproducible_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.reproducible).count()
+    }
+
+    /// Cells whose deadline cannot race the injected slowdown: none, or
+    /// comfortably above `SLOWDOWN_MS`. These must all be reproducible.
+    pub fn deterministic_cells(&self) -> impl Iterator<Item = &ChaosCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.deadline_ms == 0 || c.deadline_ms >= 1_000)
+    }
+}
+
+/// Sweep grid for a scale: (fault rates, deadlines ms, thresholds,
+/// closed-loop requests split between corrupt and calm).
+fn grid(scale: ExperimentScale) -> (Vec<f64>, Vec<u64>, Vec<f32>, usize) {
+    match scale {
+        // The 20 ms deadline sits below the 60 ms slowdown on purpose:
+        // that column shows deadline-based shedding under degraded
+        // batches (and is the one column allowed to be timing-dependent).
+        ExperimentScale::Full => (
+            vec![0.0, 0.25, 0.5],
+            vec![0, 20, 10_000],
+            vec![0.25, 0.75],
+            16,
+        ),
+        ExperimentScale::Quick => (vec![0.0, 0.5], vec![10_000], vec![0.5], 6),
+    }
+}
+
+/// The fault schedule for one cell: corrupt traffic at `fault_rate`,
+/// then calm recovery traffic, then a slowdown, a panic storm, a stale
+/// burst and a queue-full storm so every failure mode appears in every
+/// cell.
+fn schedule(fault_rate: f64, requests: usize, scale: ExperimentScale) -> Vec<Scene> {
+    let corrupt = ((requests as f64) * fault_rate).round() as usize;
+    let calm = requests - corrupt;
+    let (slow, panic, stale, storm) = match scale {
+        ExperimentScale::Full => (2, 2, 2, 2),
+        ExperimentScale::Quick => (1, 1, 1, 1),
+    };
+    let mut scenes = Vec::new();
+    if corrupt > 0 {
+        scenes.push(Scene::Corrupt {
+            requests: corrupt,
+            fault: SensorFault::DepthDropout { p: 1.0 },
+        });
+    }
+    if calm > 0 {
+        scenes.push(Scene::Calm { requests: calm });
+    }
+    scenes.push(Scene::Slowdown {
+        requests: slow,
+        sleep_ms: SLOWDOWN_MS,
+    });
+    scenes.push(Scene::PanicStorm { requests: panic });
+    scenes.push(Scene::Stale { requests: stale });
+    scenes.push(Scene::QueueStorm { excess: storm });
+    scenes
+}
+
+/// A small breaker tuned so the sweep's short schedules can complete a
+/// full trip→cooldown→probe→close cycle: threshold is the swept value,
+/// window and cooldown shrink from the serving defaults.
+fn breaker(threshold: f32) -> BreakerConfig {
+    BreakerConfig::default()
+        .with_trip_threshold(threshold)
+        .with_window(8)
+        .with_cooldown(4)
+}
+
+/// Runs one grid cell twice and compares fingerprints.
+///
+/// # Errors
+///
+/// Returns the harness error if either run loses a request, mismatches
+/// the server's own tally or breaks conservation — an experiment-ending
+/// finding, not a data point.
+fn measure_cell(
+    fault_rate: f64,
+    deadline_ms: u64,
+    threshold: f32,
+    requests: usize,
+    scale: ExperimentScale,
+) -> Result<ChaosCell, ChaosError> {
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    let config = ChaosConfig::default()
+        .with_seed(0xC4A05 ^ ((deadline_ms + 1) << 20) ^ ((threshold * 100.0) as u64))
+        .with_scenes(schedule(fault_rate, requests, scale))
+        .with_default_deadline(deadline)
+        .with_breaker(Some(breaker(threshold)));
+    let first = sf_chaos::run(&config)?;
+    let second = sf_chaos::run(&config)?;
+    let reproducible = first.fingerprint() == second.fingerprint();
+    Ok(ChaosCell {
+        fault_rate,
+        deadline_ms,
+        threshold,
+        report: first,
+        reproducible,
+    })
+}
+
+/// Runs the sweep. Panics if any cell violates the harness invariants
+/// (lost request, tally mismatch, non-conservation, stalled pool) —
+/// those are correctness failures, not measurements.
+pub fn run(scale: ExperimentScale) -> ChaosSweepResult {
+    let (fault_rates, deadlines_ms, thresholds, requests) = grid(scale);
+    let mut cells = Vec::new();
+    for &fault_rate in &fault_rates {
+        for &deadline_ms in &deadlines_ms {
+            for &threshold in &thresholds {
+                let cell = measure_cell(fault_rate, deadline_ms, threshold, requests, scale)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "chaos cell (rate {fault_rate}, deadline {deadline_ms} ms, \
+                             threshold {threshold}) violated a resilience invariant: {e}"
+                        )
+                    });
+                cells.push(cell);
+            }
+        }
+    }
+    ChaosSweepResult {
+        fault_rates,
+        deadlines_ms,
+        thresholds,
+        cells,
+    }
+}
+
+/// Renders the sweep as one row per cell plus the invariant summary.
+pub fn render(result: &ChaosSweepResult) -> String {
+    let mut table = TextTable::new(vec![
+        "fault", "deadline", "thresh", "done", "expired", "failed", "shed", "quar", "trips",
+        "final", "repro",
+    ]);
+    for cell in &result.cells {
+        let t = &cell.report.tally;
+        table.add_row(vec![
+            format!("{:.0}%", cell.fault_rate * 100.0),
+            if cell.deadline_ms == 0 {
+                "none".to_string()
+            } else {
+                format!("{} ms", cell.deadline_ms)
+            },
+            format!("{:.2}", cell.threshold),
+            t.completed.to_string(),
+            t.expired.to_string(),
+            t.failed.to_string(),
+            t.rejected.to_string(),
+            cell.report.quarantined.to_string(),
+            cell.report.breaker_trips.to_string(),
+            cell.report
+                .breaker_final
+                .map_or_else(|| "-".to_string(), |s| s.to_string()),
+            if cell.reproducible { "yes" } else { "VARIED" }.to_string(),
+        ]);
+    }
+    let mut out = String::from("Chaos resilience — fault rate x deadline x breaker threshold\n");
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "conservation : submitted = completed + shed + expired + failed held in all \
+         {} cells (the harness fails otherwise)\n",
+        result.cells.len()
+    ));
+    out.push_str(&format!(
+        "reproducible : {}/{} cells replayed to identical fingerprints \
+         (sub-{SLOWDOWN_MS} ms deadline cells may legitimately vary)\n",
+        result.reproducible_cells(),
+        result.cells.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_partitions_traffic_by_fault_rate() {
+        let scenes = schedule(0.25, 16, ExperimentScale::Full);
+        assert!(matches!(scenes[0], Scene::Corrupt { requests: 4, .. }));
+        assert!(matches!(scenes[1], Scene::Calm { requests: 12 }));
+        // Rate 0 drops the corrupt scene entirely instead of emitting a
+        // zero-request scene the config validator would reject.
+        let clean = schedule(0.0, 16, ExperimentScale::Full);
+        assert!(matches!(clean[0], Scene::Calm { requests: 16 }));
+        assert!(clean.iter().all(|s| !matches!(s, Scene::Corrupt { .. })));
+    }
+
+    #[test]
+    fn sweep_breakers_are_valid() {
+        for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            breaker(t).validate().expect("sweep breaker config valid");
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per paper artefact, each with a structured `run` function
 //! and a text `render` mirroring the paper's presentation.
 
+pub mod chaos;
 pub mod fault_matrix;
 pub mod fig3;
 pub mod fig6;

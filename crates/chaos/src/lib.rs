@@ -1,0 +1,807 @@
+//! Deterministic chaos harness for the serving stack.
+//!
+//! Chaos testing usually trades reproducibility for realism: random fault
+//! injection finds bugs but cannot replay them. This harness keeps both.
+//! A [`ChaosConfig`] is a *seeded fault schedule* — an ordered list of
+//! [`Scene`]s (healthy traffic, corrupted depth sensors, injected batch
+//! panics, batch slowdowns, stale zero-deadline requests, queue-full
+//! storms) driven closed-loop against a real [`Server`], so the order in
+//! which the server observes events is a pure function of the config.
+//! Two runs with the same config produce bit-identical
+//! [`ChaosReport::fingerprint`]s: the same terminal-state tally and the
+//! same circuit-breaker transition log.
+//!
+//! Every run asserts the serving stack's conservation invariants and
+//! fails with a typed [`ChaosError`] when one breaks:
+//!
+//! 1. **No lost requests** — every submission reaches exactly one
+//!    terminal state (served / rejected / expired / failed); a request
+//!    that vanishes (e.g. `ServerDropped`) is an error.
+//! 2. **Honest accounting** — the server's [`StatsSnapshot`] tally equals
+//!    the tally the harness counted from the outside, and
+//!    `submitted == completed + rejected + expired + failed`.
+//! 3. **Pool survives** — injected batch panics never poison the
+//!    `sf-runtime` worker pool; it still serves work after shutdown.
+//! 4. **Shutdown drains** — `Server::shutdown` always joins (a hang here
+//!    fails the surrounding test by timeout).
+//!
+//! # Examples
+//!
+//! ```
+//! use sf_chaos::{ChaosConfig, Scene};
+//!
+//! let config = ChaosConfig::default()
+//!     .with_seed(7)
+//!     .with_scenes(vec![Scene::Calm { requests: 3 }, Scene::Stale { requests: 2 }]);
+//! let report = sf_chaos::run(&config).unwrap();
+//! assert_eq!(report.tally.completed, 3);
+//! assert_eq!(report.tally.expired, 2);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sf_core::{
+    BreakerConfig, BreakerState, BreakerTransition, DegradationPolicy, FusionNet, FusionScheme,
+    NetworkConfig,
+};
+use sf_dataset::{FaultInjector, SensorFault};
+use sf_runtime::PoolStats;
+use sf_serve::{Backpressure, BatchProbe, ServeConfig, ServeError, Server};
+use sf_tensor::{Tensor, TensorRng};
+
+/// One phase of a chaos schedule. Scenes run in order, closed-loop (one
+/// outstanding request at a time, except [`Scene::QueueStorm`] which
+/// floods a plugged executor), so the server observes a deterministic
+/// event sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scene {
+    /// Healthy traffic: submit-and-wait `requests` well-formed frames.
+    Calm {
+        /// Closed-loop requests to serve.
+        requests: usize,
+    },
+    /// Depth-sensor failure: each frame's depth is corrupted by `fault`
+    /// before submission. With a quarantining policy this drives the
+    /// circuit breaker's failure observations.
+    Corrupt {
+        /// Closed-loop requests to serve.
+        requests: usize,
+        /// Corruption applied to every depth frame (seeded per scene).
+        fault: SensorFault,
+    },
+    /// Already-dead work: requests submitted with a zero deadline, which
+    /// have always expired by dequeue time and must never execute.
+    Stale {
+        /// Requests to submit and expire.
+        requests: usize,
+    },
+    /// Worker panics: the executor's batch probe panics inside the panic
+    /// guard for each of these requests; they must fail typed
+    /// (`BatchPanicked`) and the server must keep serving.
+    PanicStorm {
+        /// Requests whose batches panic.
+        requests: usize,
+    },
+    /// Batch slowdowns: every batch sleeps `sleep_ms` before the forward
+    /// pass. With a generous deadline these still complete; with a tight
+    /// one they expire — either way they must terminate.
+    Slowdown {
+        /// Closed-loop requests to serve slowly.
+        requests: usize,
+        /// Injected per-batch delay, milliseconds.
+        sleep_ms: u64,
+    },
+    /// Queue-full storm: plug the executor, flood the bounded queue to
+    /// capacity plus `excess` from one thread, then unplug. Exactly
+    /// `excess` submissions are shed with `QueueFull`.
+    QueueStorm {
+        /// Submissions beyond queue capacity (each must be rejected).
+        excess: usize,
+    },
+}
+
+impl Scene {
+    fn request_count(&self) -> usize {
+        match self {
+            Scene::Calm { requests }
+            | Scene::Corrupt { requests, .. }
+            | Scene::Stale { requests }
+            | Scene::PanicStorm { requests }
+            | Scene::Slowdown { requests, .. } => *requests,
+            Scene::QueueStorm { excess } => *excess,
+        }
+    }
+}
+
+impl fmt::Display for Scene {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scene::Calm { requests } => write!(f, "calm:{requests}"),
+            Scene::Corrupt { requests, .. } => write!(f, "corrupt:{requests}"),
+            Scene::Stale { requests } => write!(f, "stale:{requests}"),
+            Scene::PanicStorm { requests } => write!(f, "panic:{requests}"),
+            Scene::Slowdown { requests, .. } => write!(f, "slow:{requests}"),
+            Scene::QueueStorm { excess } => write!(f, "storm:{excess}"),
+        }
+    }
+}
+
+/// Parses a comma-separated scene list, e.g. `calm:6,corrupt:10,storm:4`.
+/// Kinds: `calm`, `corrupt` (dead depth sensor), `stale`, `panic`, `slow`
+/// (5 ms per batch), `storm`.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending element.
+pub fn parse_scenes(spec: &str) -> Result<Vec<Scene>, String> {
+    spec.split(',')
+        .map(|part| {
+            let part = part.trim();
+            let (kind, count) = part
+                .split_once(':')
+                .ok_or_else(|| format!("scene '{part}' is not of the form kind:count"))?;
+            let n: usize = count
+                .parse()
+                .map_err(|_| format!("scene '{part}': '{count}' is not a count"))?;
+            if n == 0 {
+                return Err(format!("scene '{part}': count must be >= 1"));
+            }
+            match kind {
+                "calm" => Ok(Scene::Calm { requests: n }),
+                "corrupt" => Ok(Scene::Corrupt {
+                    requests: n,
+                    fault: SensorFault::DepthDropout { p: 1.0 },
+                }),
+                "stale" => Ok(Scene::Stale { requests: n }),
+                "panic" => Ok(Scene::PanicStorm { requests: n }),
+                "slow" => Ok(Scene::Slowdown {
+                    requests: n,
+                    sleep_ms: 5,
+                }),
+                "storm" => Ok(Scene::QueueStorm { excess: n }),
+                other => Err(format!(
+                    "unknown scene kind '{other}' (expected calm|corrupt|stale|panic|slow|storm)"
+                )),
+            }
+        })
+        .collect()
+}
+
+/// A seeded fault schedule plus the server shape it runs against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Master seed: frames, per-scene fault injectors and the breaker's
+    /// probe stream all derive from it.
+    pub seed: u64,
+    /// Ordered fault schedule.
+    pub scenes: Vec<Scene>,
+    /// Default deadline given to every request ([`Scene::Stale`] overrides
+    /// with zero). Generous by default so live requests never expire
+    /// nondeterministically; the chaos *sweep* tightens it on purpose.
+    pub default_deadline: Option<Duration>,
+    /// Circuit breaker for the served depth branch; `None` disables.
+    pub breaker: Option<BreakerConfig>,
+    /// Served batch-size bound.
+    pub max_batch: usize,
+    /// Bounded queue capacity ([`Scene::QueueStorm`] floods past it).
+    pub queue_capacity: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            scenes: parse_scenes("calm:6,corrupt:10,slow:4,panic:3,stale:4,storm:4,calm:6")
+                .expect("default scene spec parses"),
+            default_deadline: Some(Duration::from_secs(10)),
+            breaker: Some(BreakerConfig::default()),
+            max_batch: 4,
+            queue_capacity: 4,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Returns the config with a different seed (chainable).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different schedule (chainable).
+    pub fn with_scenes(mut self, scenes: Vec<Scene>) -> Self {
+        self.scenes = scenes;
+        self
+    }
+
+    /// Returns the config with a different default deadline (chainable).
+    pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+
+    /// Returns the config with a different breaker (chainable; `None`
+    /// disables the breaker).
+    pub fn with_breaker(mut self, breaker: Option<BreakerConfig>) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// A smoke-sized schedule that still touches every fault kind; used
+    /// by `roadseg chaos --smoke` and CI.
+    pub fn smoke(mut self) -> Self {
+        self.scenes =
+            parse_scenes("calm:2,corrupt:2,slow:2,panic:2,stale:2,storm:2").expect("parses");
+        self
+    }
+
+    /// Total requests the schedule will submit (including shed ones).
+    pub fn total_requests(&self) -> usize {
+        // A storm also submits its holder request plus a queue-capacity
+        // fill on top of the shed excess.
+        self.scenes
+            .iter()
+            .map(|s| match s {
+                Scene::QueueStorm { excess } => 1 + self.queue_capacity + excess,
+                other => other.request_count(),
+            })
+            .sum()
+    }
+
+    /// Checks the invariants the harness relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::Config`] for an empty schedule, a zero
+    /// `max_batch`/`queue_capacity`, a zero default deadline, or an
+    /// invalid breaker config.
+    pub fn validate(&self) -> Result<(), ChaosError> {
+        if self.scenes.is_empty() {
+            return Err(ChaosError::Config {
+                reason: "chaos schedule has no scenes".to_string(),
+            });
+        }
+        if self.scenes.iter().any(|s| s.request_count() == 0) {
+            return Err(ChaosError::Config {
+                reason: "every scene needs a request count >= 1".to_string(),
+            });
+        }
+        if self.max_batch == 0 || self.queue_capacity == 0 {
+            return Err(ChaosError::Config {
+                reason: "max_batch and queue_capacity must be >= 1".to_string(),
+            });
+        }
+        if self.default_deadline == Some(Duration::ZERO) {
+            return Err(ChaosError::Config {
+                reason: "a zero default deadline expires everything; use a Stale scene instead"
+                    .to_string(),
+            });
+        }
+        if let Some(breaker) = &self.breaker {
+            if let Err(reason) = breaker.validate() {
+                return Err(ChaosError::Config { reason });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Terminal-state counts as observed *from the outside* by the harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Requests that entered `submit` (admitted or shed).
+    pub submitted: u64,
+    /// Requests whose `wait()` returned a prediction.
+    pub completed: u64,
+    /// Submissions shed with `QueueFull`.
+    pub rejected: u64,
+    /// Requests that terminated with `DeadlineExceeded`.
+    pub expired: u64,
+    /// Requests that terminated with `BatchPanicked`/`BadRequest`.
+    pub failed: u64,
+}
+
+impl Tally {
+    /// The conservation law: every submission reached a terminal state.
+    pub fn is_conserved(&self) -> bool {
+        self.submitted == self.completed + self.rejected + self.expired + self.failed
+    }
+}
+
+impl fmt::Display for Tally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "submitted {} = completed {} + rejected {} + expired {} + failed {}",
+            self.submitted, self.completed, self.rejected, self.expired, self.failed
+        )
+    }
+}
+
+/// Outcome of a chaos run that satisfied every invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Terminal-state tally (harness-side; proven equal to the server's).
+    pub tally: Tally,
+    /// Served requests whose depth slot was quarantined (per-input policy
+    /// or open breaker).
+    pub quarantined: u64,
+    /// Forward-pass batches the server executed.
+    pub batches: u64,
+    /// Times the breaker tripped open.
+    pub breaker_trips: u64,
+    /// Breaker state at shutdown, if one was configured.
+    pub breaker_final: Option<BreakerState>,
+    /// Full breaker transition log, oldest first.
+    pub transitions: Vec<BreakerTransition>,
+    /// `sf-runtime` pool counter delta across the run (proves the pool
+    /// kept serving and which batches re-raised panics).
+    pub pool_delta: PoolStats,
+}
+
+impl ChaosReport {
+    /// A canonical string over everything that must be bit-reproducible
+    /// across runs of the same config: the tally and the breaker
+    /// transition log. Deliberately excludes wall-clock-dependent values
+    /// (latency, throughput, pool task counts).
+    pub fn fingerprint(&self) -> String {
+        let mut out = format!("tally[{}] quarantined={}", self.tally, self.quarantined);
+        for t in &self.transitions {
+            out.push_str(&format!(
+                " | {}->{}@{}:{}",
+                t.from, t.to, t.at_request, t.reason
+            ));
+        }
+        out
+    }
+
+    /// Multi-line human rendering for the CLI and the experiment sweep.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("  {}\n", self.tally));
+        out.push_str(&format!(
+            "  quarantined {}  batches {}  pool(+{} batches, +{} panicked)\n",
+            self.quarantined,
+            self.batches,
+            self.pool_delta.batches,
+            self.pool_delta.panicked_batches
+        ));
+        match self.breaker_final {
+            Some(state) => {
+                out.push_str(&format!(
+                    "  breaker: {} (trips {}, {} transitions)\n",
+                    state,
+                    self.breaker_trips,
+                    self.transitions.len()
+                ));
+                for t in &self.transitions {
+                    out.push_str(&format!("    {t}\n"));
+                }
+            }
+            None => out.push_str("  breaker: disabled\n"),
+        }
+        out
+    }
+}
+
+/// A broken invariant (or an unrunnable config). Any of these from a
+/// chaos run is a bug in the serving stack, not in the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosError {
+    /// The schedule itself is invalid.
+    Config {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A submission failed in a way the schedule cannot explain (e.g.
+    /// `ShuttingDown` while the server should be live).
+    UnexpectedOutcome {
+        /// Which scene observed it.
+        scene: String,
+        /// The offending error.
+        error: ServeError,
+    },
+    /// A request vanished without a terminal state (`ServerDropped`).
+    LostRequest {
+        /// Which scene observed it.
+        scene: String,
+    },
+    /// The server's own counters disagree with the harness's outside
+    /// count — something was lost or double-counted internally.
+    TallyMismatch {
+        /// What the harness observed.
+        local: Tally,
+        /// What the server reported.
+        server: Tally,
+    },
+    /// The server's counters do not satisfy the conservation law.
+    NotConserved {
+        /// The non-conserving server tally.
+        server: Tally,
+    },
+    /// The worker pool stopped serving work after the run.
+    PoolStalled,
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Config { reason } => write!(f, "invalid chaos config: {reason}"),
+            ChaosError::UnexpectedOutcome { scene, error } => {
+                write!(f, "scene {scene}: unexpected outcome: {error}")
+            }
+            ChaosError::LostRequest { scene } => {
+                write!(f, "scene {scene}: a request reached no terminal state")
+            }
+            ChaosError::TallyMismatch { local, server } => {
+                write!(
+                    f,
+                    "server tally disagrees with harness: harness [{local}] vs server [{server}]"
+                )
+            }
+            ChaosError::NotConserved { server } => {
+                write!(f, "server counters not conserved: [{server}]")
+            }
+            ChaosError::PoolStalled => {
+                write!(f, "sf-runtime pool no longer serves work after the run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChaosError::UnexpectedOutcome { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Per-batch action the chaos probe replays inside the executor. Scenes
+/// enqueue actions just before submitting the request whose batch should
+/// suffer them; closed-loop pacing makes the pairing exact.
+enum ProbeAction {
+    Sleep(Duration),
+    Panic,
+    /// Park the executor until [`ProbePlan::release`].
+    Hold,
+}
+
+#[derive(Default)]
+struct ProbePlan {
+    actions: Mutex<VecDeque<ProbeAction>>,
+    held: Mutex<bool>,
+    release: Condvar,
+}
+
+impl ProbePlan {
+    fn push(&self, action: ProbeAction) {
+        self.actions
+            .lock()
+            .expect("plan poisoned")
+            .push_back(action);
+    }
+
+    fn engage_hold(&self) {
+        *self.held.lock().expect("plan poisoned") = true;
+        self.push(ProbeAction::Hold);
+    }
+
+    fn release(&self) {
+        *self.held.lock().expect("plan poisoned") = false;
+        self.release.notify_all();
+    }
+
+    fn probe(self: &Arc<Self>) -> BatchProbe {
+        let plan = Arc::clone(self);
+        BatchProbe::new(move |_batch| {
+            let action = plan.actions.lock().expect("plan poisoned").pop_front();
+            match action {
+                Some(ProbeAction::Sleep(d)) => std::thread::sleep(d),
+                Some(ProbeAction::Panic) => panic!("chaos: injected batch panic"),
+                Some(ProbeAction::Hold) => {
+                    let mut held = plan.held.lock().expect("plan poisoned");
+                    while *held {
+                        held = plan.release.wait(held).expect("plan poisoned");
+                    }
+                }
+                None => {}
+            }
+        })
+    }
+}
+
+/// Runs the schedule against a fresh tiny fusion net and checks every
+/// invariant. See the crate docs for the invariant list.
+///
+/// # Errors
+///
+/// Returns the first [`ChaosError`] encountered — an invalid config, an
+/// inexplicable request outcome, or a broken conservation/pool invariant.
+pub fn run(config: &ChaosConfig) -> Result<ChaosReport, ChaosError> {
+    config.validate()?;
+    let net_config = NetworkConfig::tiny();
+    let net =
+        FusionNet::new(FusionScheme::AllFilterU, &net_config).map_err(|e| ChaosError::Config {
+            reason: format!("cannot build chaos net: {e}"),
+        })?;
+    let plan = Arc::new(ProbePlan::default());
+    let mut serve_config = ServeConfig::default()
+        .with_max_batch(config.max_batch)
+        .with_queue_capacity(config.queue_capacity)
+        .with_backpressure(Backpressure::Reject)
+        .with_max_wait(Duration::ZERO)
+        .with_policy(DegradationPolicy::CameraFallback)
+        .with_batch_probe(plan.probe());
+    if let Some(deadline) = config.default_deadline {
+        serve_config = serve_config.with_default_deadline(deadline);
+    }
+    if let Some(breaker) = config.breaker {
+        serve_config = serve_config.with_breaker(breaker);
+    }
+    let server = Server::start(net, serve_config).map_err(|e| ChaosError::Config {
+        reason: format!("server rejected chaos config: {e}"),
+    })?;
+
+    let pool_before = sf_runtime::pool_stats();
+    let mut rng = TensorRng::seed_from(config.seed);
+    let mut tally = Tally::default();
+    let mut run_scenes = || -> Result<(), ChaosError> {
+        for (index, scene) in config.scenes.iter().enumerate() {
+            let scene_seed = config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let ctx = SceneContext {
+                net_config: &net_config,
+                plan: &plan,
+                scene_seed,
+                queue_capacity: config.queue_capacity,
+            };
+            run_scene(&server, scene, &ctx, &mut rng, &mut tally)?;
+        }
+        Ok(())
+    };
+    let scene_result = run_scenes();
+    // Always release a possibly-held executor before shutdown, even on an
+    // invariant failure mid-schedule, so the error propagates instead of
+    // hanging the drain.
+    plan.release();
+    let (_net, stats) = server.shutdown();
+    scene_result?;
+
+    let server_tally = Tally {
+        submitted: stats.submitted,
+        completed: stats.completed,
+        rejected: stats.rejected,
+        expired: stats.expired,
+        failed: stats.failed,
+    };
+    if server_tally != tally {
+        return Err(ChaosError::TallyMismatch {
+            local: tally,
+            server: server_tally,
+        });
+    }
+    if !stats.is_conserved() {
+        return Err(ChaosError::NotConserved {
+            server: server_tally,
+        });
+    }
+    // The pool must still serve work after every injected panic.
+    sf_runtime::parallel_for(4, |_| {});
+    let pool_delta = sf_runtime::pool_stats() - pool_before;
+    if pool_delta.batches == 0 {
+        return Err(ChaosError::PoolStalled);
+    }
+    Ok(ChaosReport {
+        tally,
+        quarantined: stats.quarantined,
+        batches: stats.batches,
+        breaker_trips: stats.breaker_trips,
+        breaker_final: stats.breaker_state,
+        transitions: stats.breaker_transitions,
+        pool_delta,
+    })
+}
+
+fn frame(rng: &mut TensorRng, net_config: &NetworkConfig) -> (Tensor, Tensor) {
+    let (h, w) = (net_config.height, net_config.width);
+    (
+        rng.uniform(&[3, h, w], 0.0, 1.0),
+        rng.uniform(&[net_config.depth_channels, h, w], 0.1, 1.0),
+    )
+}
+
+/// Classifies one request's terminal outcome into the tally.
+fn settle(
+    scene: &Scene,
+    tally: &mut Tally,
+    outcome: Result<sf_serve::Prediction, ServeError>,
+) -> Result<(), ChaosError> {
+    match outcome {
+        Ok(_) => tally.completed += 1,
+        Err(ServeError::DeadlineExceeded { .. }) => tally.expired += 1,
+        Err(ServeError::BatchPanicked { .. } | ServeError::BadRequest { .. }) => tally.failed += 1,
+        Err(ServeError::ServerDropped) => {
+            return Err(ChaosError::LostRequest {
+                scene: scene.to_string(),
+            })
+        }
+        Err(error) => {
+            return Err(ChaosError::UnexpectedOutcome {
+                scene: scene.to_string(),
+                error,
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Everything a scene needs beyond the server, frames RNG and tally.
+struct SceneContext<'a> {
+    net_config: &'a NetworkConfig,
+    plan: &'a Arc<ProbePlan>,
+    scene_seed: u64,
+    queue_capacity: usize,
+}
+
+fn run_scene(
+    server: &Server,
+    scene: &Scene,
+    ctx: &SceneContext<'_>,
+    rng: &mut TensorRng,
+    tally: &mut Tally,
+) -> Result<(), ChaosError> {
+    let SceneContext {
+        net_config,
+        plan,
+        scene_seed,
+        queue_capacity,
+    } = *ctx;
+    let submit_err = |error: ServeError| ChaosError::UnexpectedOutcome {
+        scene: scene.to_string(),
+        error,
+    };
+    match scene {
+        Scene::Calm { requests } => {
+            for _ in 0..*requests {
+                let (rgb, depth) = frame(rng, net_config);
+                let completion = server.submit(rgb, depth).map_err(submit_err)?;
+                tally.submitted += 1;
+                settle(scene, tally, completion.wait())?;
+            }
+        }
+        Scene::Corrupt { requests, fault } => {
+            let mut injector = FaultInjector::new(*fault, scene_seed);
+            for _ in 0..*requests {
+                let (rgb, depth) = frame(rng, net_config);
+                let depth = injector.corrupt_depth(&depth);
+                let completion = server.submit(rgb, depth).map_err(submit_err)?;
+                tally.submitted += 1;
+                settle(scene, tally, completion.wait())?;
+            }
+        }
+        Scene::Stale { requests } => {
+            for _ in 0..*requests {
+                let (rgb, depth) = frame(rng, net_config);
+                let completion = server
+                    .submit_with_deadline(rgb, depth, Duration::ZERO)
+                    .map_err(submit_err)?;
+                tally.submitted += 1;
+                settle(scene, tally, completion.wait())?;
+            }
+        }
+        Scene::PanicStorm { requests } => {
+            for _ in 0..*requests {
+                let (rgb, depth) = frame(rng, net_config);
+                plan.push(ProbeAction::Panic);
+                let completion = server.submit(rgb, depth).map_err(submit_err)?;
+                tally.submitted += 1;
+                settle(scene, tally, completion.wait())?;
+            }
+        }
+        Scene::Slowdown { requests, sleep_ms } => {
+            for _ in 0..*requests {
+                let (rgb, depth) = frame(rng, net_config);
+                plan.push(ProbeAction::Sleep(Duration::from_millis(*sleep_ms)));
+                let completion = server.submit(rgb, depth).map_err(submit_err)?;
+                tally.submitted += 1;
+                settle(scene, tally, completion.wait())?;
+            }
+        }
+        Scene::QueueStorm { excess } => {
+            // Plug the executor with a holder request, wait for it to be
+            // claimed (queue empty again), then flood from this one thread:
+            // capacity admits, the next `excess` submissions are shed —
+            // exact counts, no races.
+            let batches_before = server.stats().batches;
+            plan.engage_hold();
+            let (rgb, depth) = frame(rng, net_config);
+            let holder = server.submit(rgb, depth).map_err(submit_err)?;
+            tally.submitted += 1;
+            while server.stats().batches == batches_before {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let mut admitted = Vec::new();
+            let flood = queue_capacity + excess;
+            for _ in 0..flood {
+                let (rgb, depth) = frame(rng, net_config);
+                match server.submit(rgb, depth) {
+                    Ok(completion) => {
+                        tally.submitted += 1;
+                        admitted.push(completion);
+                    }
+                    Err(ServeError::QueueFull { .. }) => {
+                        tally.submitted += 1;
+                        tally.rejected += 1;
+                    }
+                    Err(error) => return Err(submit_err(error)),
+                }
+            }
+            plan.release();
+            settle(scene, tally, holder.wait())?;
+            for completion in admitted {
+                settle(scene, tally, completion.wait())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scene_parsing_round_trips_and_rejects_garbage() {
+        let scenes = parse_scenes("calm:2, corrupt:3 ,storm:1").expect("parses");
+        assert_eq!(scenes.len(), 3);
+        assert_eq!(scenes[0], Scene::Calm { requests: 2 });
+        assert_eq!(
+            scenes[1],
+            Scene::Corrupt {
+                requests: 3,
+                fault: SensorFault::DepthDropout { p: 1.0 }
+            }
+        );
+        assert_eq!(scenes[2].to_string(), "storm:1");
+        assert!(parse_scenes("calm").is_err());
+        assert!(parse_scenes("calm:0").is_err());
+        assert!(parse_scenes("calm:x").is_err());
+        assert!(parse_scenes("riot:3").is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ChaosConfig::default().validate().is_ok());
+        assert!(ChaosConfig::default()
+            .with_scenes(vec![])
+            .validate()
+            .is_err());
+        assert!(ChaosConfig::default()
+            .with_default_deadline(Some(Duration::ZERO))
+            .validate()
+            .is_err());
+        let bad = ChaosConfig {
+            max_batch: 0,
+            ..ChaosConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn chaos_error_display_and_source() {
+        let err = ChaosError::UnexpectedOutcome {
+            scene: "calm:1".to_string(),
+            error: ServeError::ShuttingDown,
+        };
+        assert!(err.to_string().contains("calm:1"));
+        assert!(std::error::Error::source(&err).is_some());
+        let lost = ChaosError::LostRequest {
+            scene: "storm:2".to_string(),
+        };
+        assert!(lost.to_string().contains("no terminal state"));
+    }
+}

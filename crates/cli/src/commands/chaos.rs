@@ -1,0 +1,169 @@
+//! `roadseg chaos` — run the deterministic chaos harness against the
+//! serving stack and report the terminal-state tally, breaker log and
+//! invariant verdicts.
+//!
+//! The harness always runs the schedule **twice** and compares the two
+//! fingerprints: with the default generous deadline the runs must match
+//! bit-for-bit, which turns reproducibility itself into a checked
+//! invariant. `--smoke` shrinks the schedule for CI and *fails* on any
+//! fingerprint mismatch; with a user-tightened `--deadline-ms`, expiry
+//! becomes timing-dependent and a mismatch is reported but tolerated.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use sf_chaos::{parse_scenes, ChaosConfig, ChaosReport};
+use sf_core::BreakerConfig;
+
+use crate::{Args, CliError};
+
+/// Default deadline given to chaos requests, far above tiny-net batch
+/// latency so expiry stays deterministic (only `stale` scenes expire).
+const DEFAULT_DEADLINE_MS: u64 = 10_000;
+
+/// Runs the chaos schedule twice and renders the report.
+pub fn chaos(args: &Args) -> Result<String, CliError> {
+    let smoke = args.get_bool("smoke");
+    let seed: u64 = args.get_parsed("seed", 0xC4A05, "integer")?;
+    let deadline_ms: u64 = args.get_parsed("deadline-ms", DEFAULT_DEADLINE_MS, "integer")?;
+    let mut config = ChaosConfig::default().with_seed(seed);
+    if smoke {
+        config = config.smoke();
+    }
+    if let Some(spec) = args.get("scenes") {
+        config.scenes = parse_scenes(spec).map_err(CliError::Invalid)?;
+    }
+    config.default_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    if args.get_bool("no-breaker") {
+        config.breaker = None;
+    } else {
+        let mut breaker = BreakerConfig::default();
+        breaker.trip_threshold =
+            args.get_parsed("breaker-threshold", breaker.trip_threshold, "float")?;
+        breaker.window = args.get_parsed("breaker-window", breaker.window, "integer")?;
+        breaker.cooldown = args.get_parsed("breaker-cooldown", breaker.cooldown, "integer")?;
+        // A window shorter than the default min_samples would be
+        // unconditionally invalid; shrinking the window implies the user
+        // wants trips to be possible within it.
+        breaker.min_samples = breaker.min_samples.min(breaker.window);
+        config.breaker = Some(breaker);
+    }
+    config.queue_capacity = args.get_parsed("queue", config.queue_capacity, "integer")?;
+    config.max_batch = args.get_parsed("max-batch", config.max_batch, "integer")?;
+
+    let first = sf_chaos::run(&config).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let second = sf_chaos::run(&config).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let reproducible = first.fingerprint() == second.fingerprint();
+    // A tightened deadline makes expiry timing-dependent on purpose; with
+    // the deterministic default, a mismatch is a real bug.
+    let deadline_is_deterministic = deadline_ms == 0 || deadline_ms >= 1_000;
+    if !reproducible && (smoke || deadline_is_deterministic) {
+        return Err(CliError::Invalid(format!(
+            "chaos runs diverged under a deterministic schedule:\n  run 1: {}\n  run 2: {}",
+            first.fingerprint(),
+            second.fingerprint()
+        )));
+    }
+
+    Ok(render(&config, &first, reproducible, smoke))
+}
+
+fn render(config: &ChaosConfig, report: &ChaosReport, reproducible: bool, smoke: bool) -> String {
+    let scenes: Vec<String> = config.scenes.iter().map(|s| s.to_string()).collect();
+    let mut log = String::new();
+    let _ = writeln!(
+        log,
+        "chaos        : seed {:#x}, {} requests over [{}]",
+        config.seed,
+        config.total_requests(),
+        scenes.join(",")
+    );
+    let _ = writeln!(
+        log,
+        "deadline     : {}",
+        match config.default_deadline {
+            Some(d) => format!("{} ms default", d.as_millis()),
+            None => "none".to_string(),
+        }
+    );
+    log.push_str(&report.render());
+    let _ = writeln!(
+        log,
+        "reproducible : {}",
+        if reproducible {
+            "yes (identical tally + breaker log across 2 runs)"
+        } else {
+            "no (expiry is timing-dependent under this deadline)"
+        }
+    );
+    let _ = writeln!(
+        log,
+        "invariants   : OK (no lost requests, counters conserved, pool alive)"
+    );
+    if smoke {
+        let _ = writeln!(log, "smoke        : OK");
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(raw: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        chaos(&Args::parse(&raw).unwrap())
+    }
+
+    #[test]
+    fn smoke_run_passes_and_reports_reproducibility() {
+        let log = run(&["chaos", "--smoke"]).unwrap();
+        assert!(log.contains("reproducible : yes"), "{log}");
+        assert!(log.contains("invariants   : OK"), "{log}");
+        assert!(log.contains("smoke        : OK"), "{log}");
+    }
+
+    #[test]
+    fn custom_scene_spec_and_no_breaker() {
+        let log = run(&[
+            "chaos",
+            "--scenes",
+            "calm:2,stale:2",
+            "--no-breaker",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(log.contains("breaker: disabled"), "{log}");
+        assert!(log.contains("expired 2"), "{log}");
+    }
+
+    #[test]
+    fn small_breaker_window_clamps_min_samples_and_trips() {
+        // Regression: --breaker-window below the default min_samples (8)
+        // used to be rejected outright; now it clamps and the breaker can
+        // actually trip within the shortened window.
+        let log = run(&[
+            "chaos",
+            "--scenes",
+            "corrupt:6,calm:12",
+            "--breaker-threshold",
+            "0.25",
+            "--breaker-window",
+            "4",
+            "--breaker-cooldown",
+            "2",
+        ])
+        .unwrap();
+        assert!(log.contains("trips 1"), "{log}");
+        assert!(log.contains("reproducible : yes"), "{log}");
+    }
+
+    #[test]
+    fn bad_scene_spec_is_rejected() {
+        assert!(matches!(
+            run(&["chaos", "--scenes", "riot:9"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+}

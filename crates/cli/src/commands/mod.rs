@@ -1,6 +1,7 @@
 //! Subcommand implementations, each returning its human-readable output
 //! so they are unit-testable without capturing stdout.
 
+mod chaos;
 mod eval;
 mod generate;
 mod infer;
@@ -8,6 +9,7 @@ mod info;
 mod serve_bench;
 mod train;
 
+pub use chaos::chaos;
 pub use eval::eval;
 pub use generate::generate;
 pub use infer::infer;

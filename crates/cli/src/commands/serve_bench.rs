@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sf_core::{FusionNet, NetworkConfig};
+use sf_core::{BreakerConfig, FusionNet, NetworkConfig};
 use sf_serve::{Backpressure, ServeConfig, ServeError, Server, StatsSnapshot};
 use sf_tensor::TensorRng;
 
@@ -31,6 +31,11 @@ pub fn serve_bench(args: &Args) -> Result<String, CliError> {
     let max_batch: usize = args.get_parsed("max-batch", 8, "integer")?;
     let max_wait_ms: u64 = args.get_parsed("max-wait-ms", 2, "integer")?;
     let queue: usize = args.get_parsed("queue", 64, "integer")?;
+    let deadline_ms: u64 = args.get_parsed("deadline-ms", 0, "integer")?;
+    let breaker_threshold: Option<f32> = match args.get("breaker-threshold") {
+        None => None,
+        Some(_) => Some(args.get_parsed("breaker-threshold", 0.5, "float")?),
+    };
     if clients == 0 || requests == 0 {
         return Err(CliError::Invalid(
             "serve-bench needs at least one client and one request".to_string(),
@@ -47,12 +52,19 @@ pub fn serve_bench(args: &Args) -> Result<String, CliError> {
         network_config(args)?
     };
     let net = FusionNet::new(scheme, &config)?;
-    let serve_config = ServeConfig::default()
+    let mut serve_config = ServeConfig::default()
         .with_max_batch(max_batch)
         .with_max_wait(Duration::from_millis(max_wait_ms))
         .with_queue_capacity(queue)
         .with_backpressure(Backpressure::Block)
         .with_policy(policy);
+    if deadline_ms > 0 {
+        serve_config = serve_config.with_default_deadline(Duration::from_millis(deadline_ms));
+    }
+    if let Some(threshold) = breaker_threshold {
+        serve_config =
+            serve_config.with_breaker(BreakerConfig::default().with_trip_threshold(threshold));
+    }
     let server =
         Arc::new(Server::start(net, serve_config).map_err(|e| CliError::Invalid(e.to_string()))?);
 
@@ -81,8 +93,13 @@ pub fn serve_bench(args: &Args) -> Result<String, CliError> {
             std::thread::spawn(move || -> ClientResult {
                 let mut served = 0;
                 for (rgb, depth) in frames {
-                    server.submit(rgb, depth)?.wait()?;
-                    served += 1;
+                    match server.submit(rgb, depth)?.wait() {
+                        Ok(_) => served += 1,
+                        // Under a --deadline-ms an expiry is expected load
+                        // shedding, not a client failure; keep driving.
+                        Err(ServeError::DeadlineExceeded { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
                 }
                 Ok(served)
             })
@@ -163,8 +180,8 @@ fn render_stats(stats: &StatsSnapshot) -> String {
     let mut log = String::new();
     let _ = writeln!(
         log,
-        "completed    : {} (quarantined {}, rejected {}, failed {})",
-        stats.completed, stats.quarantined, stats.rejected, stats.failed
+        "completed    : {} (quarantined {}, rejected {}, expired {}, failed {})",
+        stats.completed, stats.quarantined, stats.rejected, stats.expired, stats.failed
     );
     let _ = writeln!(
         log,
@@ -176,6 +193,15 @@ fn render_stats(stats: &StatsSnapshot) -> String {
         "latency (ms) : p50 {:.2}  p95 {:.2}  max {:.2}",
         stats.latency_p50_ms, stats.latency_p95_ms, stats.latency_max_ms
     );
+    if let Some(state) = stats.breaker_state {
+        let _ = writeln!(
+            log,
+            "breaker      : {} (trips {}, {} transitions)",
+            state,
+            stats.breaker_trips,
+            stats.breaker_transitions.len()
+        );
+    }
     log
 }
 
@@ -201,7 +227,7 @@ mod tests {
         .unwrap();
         assert!(log.contains("served       : 32/32"), "{log}");
         assert!(log.contains("smoke        : OK"), "{log}");
-        assert!(log.contains("rejected 0, failed 0"), "{log}");
+        assert!(log.contains("rejected 0, expired 0, failed 0"), "{log}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! roadseg infer    --model model.sfm --rgb f.ppm --depth f.pgm --out o.ppm
 //! roadseg info     --scheme ws                     # architecture summary
 //! roadseg serve-bench --clients 8 --max-batch 8    # batched-serving bench
+//! roadseg chaos --smoke                            # deterministic chaos run
 //! ```
 //!
 //! The library half exists so the subcommands are unit-testable; the
@@ -43,7 +44,14 @@ impl std::fmt::Display for CliError {
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Args(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ParseArgsError> for CliError {
     fn from(e: ParseArgsError) -> Self {
@@ -77,6 +85,7 @@ COMMANDS:
   infer      run a checkpoint on a user-supplied rgb/depth frame pair
   info       print a model's architecture, parameter and MAC summary
   serve-bench  drive the batched inference server with synthetic clients
+  chaos      run a seeded fault schedule against the server and check invariants
 
 COMMON FLAGS:
   --scheme <baseline|au|ab|bs|ws>   fusion architecture   [default: au]
@@ -96,7 +105,13 @@ FLAGS BY COMMAND:
   info:     [--scheme ...]
   serve-bench: [--clients <n>] [--requests <n per client>] [--max-batch <n>]
             [--max-wait-ms <n>] [--queue <n>] [--policy ...] [--smoke]
+            [--deadline-ms <n>] [--breaker-threshold <f>]
             (--smoke: tiny network, fails unless every request is served)
+  chaos:    [--seed <u64>] [--scenes <calm:N,corrupt:N,stale:N,panic:N,slow:N,storm:N>]
+            [--deadline-ms <n, 0 = none>] [--breaker-threshold <f>]
+            [--breaker-window <n>] [--breaker-cooldown <n>] [--no-breaker]
+            [--queue <n>] [--max-batch <n>] [--smoke]
+            (runs the schedule twice; --smoke fails on any fingerprint mismatch)
 
 FAULT KINDS (for eval --fault):
   depth-dropout:<p>  dead-rows:<p>  gaussian-noise:<sigma>

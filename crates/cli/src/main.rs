@@ -37,6 +37,7 @@ fn run(raw: &[String]) -> Result<String, CliError> {
         "infer" => commands::infer(&args),
         "info" => commands::info(&args),
         "serve-bench" => commands::serve_bench(&args),
+        "chaos" => commands::chaos(&args),
         other => Err(CliError::Invalid(format!("unknown command {other:?}"))),
     }
 }

@@ -165,20 +165,51 @@ pub fn predict_probability_slots(
             reason: format!("{} rgb slots vs {} depth slots", rgb.len(), depth.len()),
         });
     }
+    let issues: Vec<Option<HealthIssue>> = depth
+        .iter()
+        .map(|d| policy.quarantine_depth(d, thresholds))
+        .collect();
+    predict_probability_slots_prejudged(net, rgb, depth, &issues)
+}
+
+/// Like [`predict_probability_slots`], but with the quarantine verdicts
+/// already decided per slot (`Some(issue)` routes that slot camera-only).
+/// This is the entry point for callers that layer extra routing on top of
+/// the per-input policy — the serving circuit breaker decides some slots
+/// fleet-wide and hands the merged verdicts down here.
+///
+/// # Errors
+///
+/// Returns an error if the slice lengths disagree or slot shapes disagree
+/// within a group.
+pub fn predict_probability_slots_prejudged(
+    net: &mut FusionNet,
+    rgb: &[&Tensor],
+    depth: &[&Tensor],
+    issues: &[Option<HealthIssue>],
+) -> sf_tensor::Result<Vec<BatchPrediction>> {
+    if rgb.len() != depth.len() || rgb.len() != issues.len() {
+        return Err(sf_tensor::TensorError::InvalidGeometry {
+            op: "predict_probability_slots_prejudged",
+            reason: format!(
+                "{} rgb slots vs {} depth slots vs {} verdicts",
+                rgb.len(),
+                depth.len(),
+                issues.len()
+            ),
+        });
+    }
     let n = rgb.len();
     let mut slots: Vec<Option<BatchPrediction>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let mut fused: Vec<usize> = Vec::with_capacity(n);
     let mut camera_only: Vec<usize> = Vec::new();
-    let mut issues: Vec<Option<HealthIssue>> = Vec::with_capacity(n);
-    for (i, d) in depth.iter().enumerate() {
-        let issue = policy.quarantine_depth(d, thresholds);
+    for (i, issue) in issues.iter().enumerate() {
         if issue.is_some() {
             camera_only.push(i);
         } else {
             fused.push(i);
         }
-        issues.push(issue);
     }
     let run_group =
         |net: &mut FusionNet, group: &[usize], use_depth: bool| -> sf_tensor::Result<Vec<Tensor>> {

@@ -50,10 +50,14 @@ pub use awn::AuxiliaryWeightNetwork;
 pub use config::{ConfigError, FusionScheme, NetworkConfig, NetworkConfigBuilder};
 pub use eval::{
     evaluate, evaluate_with_report, predict_probability, predict_probability_slots,
-    predict_probability_with_policy, BatchPrediction, DegradationReport, EvalOptions,
+    predict_probability_slots_prejudged, predict_probability_with_policy, BatchPrediction,
+    DegradationReport, EvalOptions,
 };
 pub use fd_loss::{fd_loss, fd_loss_raw};
-pub use health::{DegradationPolicy, HealthIssue, HealthThresholds, InputHealth};
+pub use health::{
+    BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, DegradationPolicy, DepthRoute,
+    HealthIssue, HealthThresholds, InputHealth,
+};
 pub use network::{ForwardOutput, FusionNet};
 pub use probe::{measure_disparity, measure_disparity_with_null};
 pub use trainer::{train, LrSchedule, OptimizerKind, RecoveryEvent, TrainConfig, TrainReport};

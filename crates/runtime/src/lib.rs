@@ -112,6 +112,25 @@ pub struct PoolStats {
     pub panicked_batches: u64,
 }
 
+/// Delta between two snapshots of the same (monotonic) counters:
+/// `after - before`. Saturating, so comparing snapshots from different
+/// pools by mistake yields zeros rather than wrapping garbage. The chaos
+/// harness subtracts snapshots taken around a run to prove the pool kept
+/// serving work and survived every injected panic.
+impl std::ops::Sub for PoolStats {
+    type Output = PoolStats;
+
+    fn sub(self, before: PoolStats) -> PoolStats {
+        PoolStats {
+            batches: self.batches.saturating_sub(before.batches),
+            tasks: self.tasks.saturating_sub(before.tasks),
+            panicked_batches: self
+                .panicked_batches
+                .saturating_sub(before.panicked_batches),
+        }
+    }
+}
+
 /// A fixed-size worker pool.
 ///
 /// Most callers want the process-wide [`global`] pool; explicit pools exist
@@ -359,6 +378,27 @@ unsafe impl<T> Sync for SendPtr<T> {}
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_stats_delta_is_saturating() {
+        let before = PoolStats {
+            batches: 10,
+            tasks: 100,
+            panicked_batches: 1,
+        };
+        let after = PoolStats {
+            batches: 13,
+            tasks: 140,
+            panicked_batches: 1,
+        };
+        let delta = after - before;
+        assert_eq!(delta.batches, 3);
+        assert_eq!(delta.tasks, 40);
+        assert_eq!(delta.panicked_batches, 0);
+        // Mismatched snapshots clamp to zero instead of wrapping.
+        let nonsense = before - after;
+        assert_eq!(nonsense.batches, 0);
+    }
 
     #[test]
     fn parallel_map_preserves_order() {

@@ -1,9 +1,11 @@
-//! Server configuration: batching window, queue bound, backpressure and
-//! degradation policy.
+//! Server configuration: batching window, queue bound, backpressure,
+//! degradation policy, request deadlines and the depth circuit breaker.
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
-use sf_core::{DegradationPolicy, HealthThresholds};
+use sf_core::{BreakerConfig, DegradationPolicy, HealthThresholds};
 
 use crate::error::ServeError;
 
@@ -54,6 +56,49 @@ pub struct ServeConfig {
     pub policy: DegradationPolicy,
     /// What counts as unhealthy under `policy`.
     pub thresholds: HealthThresholds,
+    /// Deadline applied to every request submitted without an explicit
+    /// one ([`Server::submit`]); `None` means requests wait forever.
+    /// Expired requests complete with [`ServeError::DeadlineExceeded`].
+    ///
+    /// [`Server::submit`]: crate::Server::submit
+    pub default_deadline: Option<Duration>,
+    /// Depth-branch circuit breaker; `None` (the default) disables it.
+    /// The breaker observes per-request quarantine verdicts, so it only
+    /// makes sense with a policy that can quarantine
+    /// ([`DegradationPolicy::CameraFallback`]) — under `Trust` it never
+    /// sees a failure and never trips.
+    pub breaker: Option<BreakerConfig>,
+    /// Chaos/test instrumentation: invoked once per executed batch (with
+    /// the 0-based batch index) inside the executor's panic guard, before
+    /// the forward pass. A probe that sleeps injects a batch slowdown; a
+    /// probe that panics fails the batch with
+    /// [`ServeError::BatchPanicked`]. Production servers leave it `None`.
+    pub batch_probe: Option<BatchProbe>,
+}
+
+/// A shareable executed-per-batch callback (see
+/// [`ServeConfig::batch_probe`]). Compared by identity, so two configs
+/// are equal only if they share the same probe instance.
+#[derive(Clone)]
+pub struct BatchProbe(pub Arc<dyn Fn(u64) + Send + Sync>);
+
+impl BatchProbe {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(u64) + Send + Sync + 'static) -> BatchProbe {
+        BatchProbe(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for BatchProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BatchProbe(..)")
+    }
+}
+
+impl PartialEq for BatchProbe {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
 }
 
 impl Default for ServeConfig {
@@ -65,6 +110,9 @@ impl Default for ServeConfig {
             backpressure: Backpressure::Reject,
             policy: DegradationPolicy::CameraFallback,
             thresholds: HealthThresholds::default(),
+            default_deadline: None,
+            breaker: None,
+            batch_probe: None,
         }
     }
 }
@@ -100,12 +148,33 @@ impl ServeConfig {
         self
     }
 
+    /// Returns the config with a default per-request deadline (chainable).
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the config with a depth circuit breaker (chainable).
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Returns the config with a per-batch probe (chainable; chaos/test
+    /// instrumentation only).
+    pub fn with_batch_probe(mut self, probe: BatchProbe) -> Self {
+        self.batch_probe = Some(probe);
+        self
+    }
+
     /// Checks the invariants the batcher relies on.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] if `max_batch` or
-    /// `queue_capacity` is zero.
+    /// `queue_capacity` is zero, the default deadline is zero (every
+    /// request would expire unexecuted), or the breaker config fails
+    /// [`BreakerConfig::validate`].
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.max_batch == 0 {
             return Err(ServeError::InvalidConfig {
@@ -116,6 +185,18 @@ impl ServeConfig {
             return Err(ServeError::InvalidConfig {
                 reason: "queue_capacity must be >= 1".to_string(),
             });
+        }
+        if self.default_deadline == Some(Duration::ZERO) {
+            return Err(ServeError::InvalidConfig {
+                reason: "default_deadline of zero expires every request before it can run; \
+                         use None for no deadline"
+                    .to_string(),
+            });
+        }
+        if let Some(breaker) = &self.breaker {
+            if let Err(reason) = breaker.validate() {
+                return Err(ServeError::InvalidConfig { reason });
+            }
         }
         Ok(())
     }

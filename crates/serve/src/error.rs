@@ -1,6 +1,7 @@
 //! Typed errors surfaced by the server to submitters and waiters.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Everything that can go wrong between submitting a request and reading
 /// its result.
@@ -16,6 +17,16 @@ pub enum ServeError {
     },
     /// The server has begun shutting down and accepts no new requests.
     ShuttingDown,
+    /// The request's deadline passed before a result could be delivered.
+    /// Requests already expired at dequeue time are never executed; a
+    /// request that expires mid-batch is executed but its (stale) result
+    /// is discarded.
+    DeadlineExceeded {
+        /// The deadline the request was submitted with.
+        deadline: Duration,
+        /// How long the request had actually waited when it was expired.
+        waited: Duration,
+    },
     /// The forward pass for this request's batch panicked. Only the
     /// requests in that batch fail; the server keeps serving.
     BatchPanicked {
@@ -35,15 +46,41 @@ pub enum ServeError {
         /// Human-readable reason.
         reason: String,
     },
+    /// Every attempt of a [`Retrier`] submission failed; `last` is the
+    /// error of the final attempt (also reachable via
+    /// [`std::error::Error::source`]).
+    ///
+    /// [`Retrier`]: crate::Retrier
+    RetriesExhausted {
+        /// Attempts made, counting the first submission.
+        attempts: usize,
+        /// The final attempt's error.
+        last: Box<ServeError>,
+    },
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::QueueFull { capacity } => {
-                write!(f, "submission queue full (capacity {capacity})")
+                write!(
+                    f,
+                    "submission queue full (capacity {capacity}); retry with backoff or \
+                     configure Backpressure::Block"
+                )
             }
-            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::ShuttingDown => {
+                write!(f, "server is shutting down and accepts no new requests")
+            }
+            ServeError::DeadlineExceeded { deadline, waited } => {
+                write!(
+                    f,
+                    "request deadline of {:.1} ms exceeded after waiting {:.1} ms; \
+                     raise the deadline or shed load earlier",
+                    deadline.as_secs_f64() * 1e3,
+                    waited.as_secs_f64() * 1e3
+                )
+            }
             ServeError::BatchPanicked { message } => {
                 write!(f, "batch forward pass panicked: {message}")
             }
@@ -52,8 +89,59 @@ impl fmt::Display for ServeError {
             ServeError::InvalidConfig { reason } => {
                 write!(f, "invalid serve configuration: {reason}")
             }
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "all {attempts} submit attempts failed; last error: {last}"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn retries_exhausted_exposes_its_source() {
+        let err = ServeError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(ServeError::QueueFull { capacity: 8 }),
+        };
+        let source = err.source().expect("has a source");
+        assert!(source.to_string().contains("capacity 8"));
+        // And the chain terminates there.
+        assert!(source.source().is_none());
+    }
+
+    #[test]
+    fn deadline_message_is_actionable() {
+        let err = ServeError::DeadlineExceeded {
+            deadline: Duration::from_millis(5),
+            waited: Duration::from_millis(9),
+        };
+        let text = err.to_string();
+        assert!(text.contains("5.0 ms"), "{text}");
+        assert!(text.contains("9.0 ms"), "{text}");
+        assert!(text.contains("raise the deadline"), "{text}");
+    }
+
+    #[test]
+    fn errors_thread_through_box_dyn_error() {
+        fn fails() -> Result<(), Box<dyn Error>> {
+            Err(ServeError::ShuttingDown)?
+        }
+        assert!(fails().unwrap_err().to_string().contains("shutting down"));
+    }
+}

@@ -28,9 +28,27 @@
 //! - **Failure isolation** — a panic inside a batch's forward pass fails
 //!   exactly that batch's requests with [`ServeError::BatchPanicked`];
 //!   the executor keeps serving.
+//! - **Deadlines** — requests may carry a deadline
+//!   ([`Server::submit_with_deadline`] or
+//!   [`ServeConfig::default_deadline`]); expired requests complete with
+//!   [`ServeError::DeadlineExceeded`], and a request already expired when
+//!   the batcher dequeues it is never executed.
+//! - **Fleet-wide circuit breaking** — an optional depth circuit breaker
+//!   ([`ServeConfig::with_breaker`]) watches per-request quarantine
+//!   verdicts and trips the whole fleet to camera-only when the rate
+//!   spikes, recovering via seeded half-open probing.
+//! - **Retrying clients** — [`Retrier`] wraps `submit` with bounded
+//!   attempts and deterministic decorrelated-jitter backoff for
+//!   `QueueFull` shedding.
 //! - **Graceful shutdown** — [`Server::shutdown`] stops admissions,
 //!   drains every queued request, and returns the network with final
 //!   [`StatsSnapshot`].
+//!
+//! Every request reaches exactly one terminal state — served, rejected,
+//! expired, or failed — and the [`StatsSnapshot`] counters conserve:
+//! `submitted == completed + rejected + expired + failed` at quiescence.
+//! The `sf-chaos` crate drives this crate through seeded fault schedules
+//! and asserts exactly that invariant.
 //!
 //! [`DegradationPolicy`]: sf_core::DegradationPolicy
 //!
@@ -69,11 +87,13 @@
 mod config;
 mod error;
 mod handle;
+mod retry;
 mod server;
 mod stats;
 
-pub use config::{Backpressure, ServeConfig};
+pub use config::{Backpressure, BatchProbe, ServeConfig};
 pub use error::ServeError;
 pub use handle::{Completion, Prediction};
+pub use retry::{Retrier, RetryPolicy};
 pub use server::Server;
 pub use stats::StatsSnapshot;

@@ -1,0 +1,221 @@
+//! Retrying submission: bounded attempts with deterministic
+//! decorrelated-jitter backoff.
+//!
+//! Load shedding ([`ServeError::QueueFull`]) is a *retryable* condition:
+//! the queue drains at batch granularity, so a submitter that backs off
+//! briefly usually gets in. Everything else — shutdown, shape errors,
+//! deadline expiry — is terminal and returned immediately.
+//!
+//! Backoff follows the decorrelated-jitter scheme: each sleep is drawn
+//! uniformly from `[base, prev * 3]` and clamped to `cap`, which spreads
+//! competing retriers apart instead of letting them re-collide in
+//! synchronized waves. The draw comes from a seeded [`TensorRng`] stream,
+//! so a retrier's sleep sequence is a pure function of its seed — the
+//! chaos harness replays identical schedules across runs.
+
+use std::time::Duration;
+
+use sf_tensor::{Tensor, TensorRng};
+
+use crate::error::ServeError;
+use crate::handle::Completion;
+use crate::server::Server;
+
+/// Bounds for a [`Retrier`].
+///
+/// # Examples
+///
+/// ```
+/// use sf_serve::RetryPolicy;
+/// use std::time::Duration;
+///
+/// let policy = RetryPolicy::default()
+///     .with_max_attempts(5)
+///     .with_base(Duration::from_micros(50));
+/// assert!(policy.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts, counting the first (so `1` means "no
+    /// retries").
+    pub max_attempts: usize,
+    /// Smallest backoff sleep, and the lower bound of every jitter draw.
+    pub base: Duration,
+    /// Upper clamp on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Returns the policy with a different attempt bound (chainable).
+    pub fn with_max_attempts(mut self, max_attempts: usize) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Returns the policy with a different base sleep (chainable).
+    pub fn with_base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Returns the policy with a different sleep cap (chainable).
+    pub fn with_cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Checks the invariants the retrier relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `max_attempts` is zero or
+    /// `cap < base`.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_attempts == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "retry max_attempts must be >= 1".to_string(),
+            });
+        }
+        if self.cap < self.base {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "retry cap ({:?}) must be >= base ({:?})",
+                    self.cap, self.base
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A submitting client that retries [`ServeError::QueueFull`] rejections
+/// with seeded decorrelated-jitter backoff.
+///
+/// One retrier per client thread; it owns its RNG stream, so two retriers
+/// with different seeds back off on uncorrelated schedules while each
+/// individual schedule is reproducible.
+#[derive(Debug)]
+pub struct Retrier {
+    policy: RetryPolicy,
+    rng: TensorRng,
+}
+
+impl Retrier {
+    /// Builds a retrier from a validated policy and a seed for its jitter
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if the policy fails
+    /// [`RetryPolicy::validate`].
+    pub fn new(policy: RetryPolicy, seed: u64) -> Result<Retrier, ServeError> {
+        policy.validate()?;
+        Ok(Retrier {
+            policy,
+            rng: TensorRng::seed_from(seed),
+        })
+    }
+
+    /// Submits `(rgb, depth)` to `server`, retrying on
+    /// [`ServeError::QueueFull`] up to the policy's attempt bound. The
+    /// tensors are borrowed and cloned per attempt, so a rejected attempt
+    /// never consumes the caller's frames.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServeError::RetriesExhausted`] (wrapping the final
+    ///   `QueueFull`) once every attempt was shed;
+    /// - any non-retryable submit error, immediately
+    ///   (e.g. [`ServeError::ShuttingDown`], [`ServeError::BadRequest`]).
+    pub fn submit_with_retry(
+        &mut self,
+        server: &Server,
+        rgb: &Tensor,
+        depth: &Tensor,
+    ) -> Result<Completion, ServeError> {
+        let mut prev_sleep = self.policy.base;
+        for attempt in 1..=self.policy.max_attempts {
+            match server.submit(rgb.clone(), depth.clone()) {
+                Ok(completion) => return Ok(completion),
+                Err(err @ ServeError::QueueFull { .. }) => {
+                    if attempt == self.policy.max_attempts {
+                        return Err(ServeError::RetriesExhausted {
+                            attempts: attempt,
+                            last: Box::new(err),
+                        });
+                    }
+                    let sleep = self.next_backoff(prev_sleep);
+                    prev_sleep = sleep;
+                    std::thread::sleep(sleep);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        unreachable!("loop returns on the final attempt");
+    }
+
+    /// Draws the next decorrelated-jitter sleep:
+    /// `min(cap, uniform(base, prev * 3))`.
+    fn next_backoff(&mut self, prev: Duration) -> Duration {
+        let base = self.policy.base.as_secs_f64();
+        let hi = (prev.as_secs_f64() * 3.0).max(base);
+        let drawn = self.rng.uniform_scalar(base as f32, hi as f32) as f64;
+        Duration::from_secs_f64(drawn.min(self.policy.cap.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_validation() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy::default()
+            .with_max_attempts(0)
+            .validate()
+            .is_err());
+        let inverted = RetryPolicy::default()
+            .with_base(Duration::from_millis(50))
+            .with_cap(Duration::from_millis(1));
+        assert!(inverted.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_jittered() {
+        let policy = RetryPolicy::default()
+            .with_base(Duration::from_micros(100))
+            .with_cap(Duration::from_millis(5));
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut retrier = Retrier::new(policy, seed).unwrap();
+            let mut prev = policy.base;
+            (0..16)
+                .map(|_| {
+                    prev = retrier.next_backoff(prev);
+                    prev
+                })
+                .collect()
+        };
+        let a = schedule(7);
+        let b = schedule(7);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        let c = schedule(8);
+        assert_ne!(a, c, "different seeds must decorrelate");
+        for sleep in &a {
+            assert!(*sleep >= policy.base, "below base: {sleep:?}");
+            assert!(*sleep <= policy.cap, "above cap: {sleep:?}");
+        }
+        // Decorrelated jitter must actually vary, not settle on a constant.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

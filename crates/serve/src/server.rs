@@ -1,12 +1,20 @@
 //! The server: bounded submission queue → dynamic batcher → executor →
 //! completion handles.
+//!
+//! Resilience hooks live here too: per-request deadlines are checked both
+//! at dequeue (stale work is never executed) and at completion (a result
+//! that arrives late is discarded), and the optional depth circuit
+//! breaker decides per batch slot whether the depth branch may be fused
+//! at all.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use sf_core::{predict_probability_slots, FusionNet};
+use sf_core::{
+    predict_probability_slots_prejudged, CircuitBreaker, DepthRoute, FusionNet, HealthIssue,
+};
 use sf_tensor::Tensor;
 
 use crate::config::{Backpressure, ServeConfig};
@@ -19,6 +27,18 @@ struct Request {
     depth: Tensor,
     fulfiller: Fulfiller,
     enqueued: Instant,
+    /// Relative deadline measured from `enqueued`; `None` waits forever.
+    deadline: Option<Duration>,
+}
+
+impl Request {
+    /// How long this request has been waiting, and whether that already
+    /// exceeds its deadline.
+    fn expired(&self, now: Instant) -> Option<(Duration, Duration)> {
+        let deadline = self.deadline?;
+        let waited = now.saturating_duration_since(self.enqueued);
+        (waited >= deadline).then_some((deadline, waited))
+    }
 }
 
 struct QueueState {
@@ -35,6 +55,10 @@ struct Inner {
     not_full: Condvar,
     config: ServeConfig,
     stats: StatsCollector,
+    /// Depth circuit breaker, present iff `config.breaker` is set. Only
+    /// the executor mutates it (admit/observe); other threads read it for
+    /// snapshots, so contention is negligible.
+    breaker: Option<Mutex<CircuitBreaker>>,
 }
 
 /// In-process batched inference server.
@@ -44,9 +68,12 @@ struct Inner {
 /// returned [`Completion`] handles; the executor coalesces queued requests
 /// into batches (flushing on `max_batch` or the `max_wait` deadline of the
 /// oldest request, whichever comes first) and runs one fused forward pass
-/// per batch. Unhealthy depth inputs degrade only their own slot.
+/// per batch. Unhealthy depth inputs degrade only their own slot; a
+/// configured [`BreakerConfig`] additionally trips the whole fleet to
+/// camera-only when the quarantine rate spikes.
 ///
 /// [`submit`]: Server::submit
+/// [`BreakerConfig`]: sf_core::BreakerConfig
 ///
 /// # Examples
 ///
@@ -87,6 +114,9 @@ impl Server {
         let (h, w) = (net_config.height, net_config.width);
         let rgb_shape = vec![3, h, w];
         let depth_shape = vec![net_config.depth_channels, h, w];
+        let breaker = config
+            .breaker
+            .map(|cfg| Mutex::new(CircuitBreaker::new(cfg)));
         let inner = Arc::new(Inner {
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
@@ -96,6 +126,7 @@ impl Server {
             not_full: Condvar::new(),
             config,
             stats: StatsCollector::new(),
+            breaker,
         });
         let executor_inner = Arc::clone(&inner);
         let executor = std::thread::Builder::new()
@@ -111,7 +142,8 @@ impl Server {
     }
 
     /// Submits one frame pair (`rgb [3,H,W]`, `depth [C,H,W]`) and returns
-    /// a handle to wait on.
+    /// a handle to wait on. The request carries the configured
+    /// [`ServeConfig::default_deadline`], if any.
     ///
     /// # Errors
     ///
@@ -122,6 +154,32 @@ impl Server {
     /// - [`ServeError::ShuttingDown`] if [`Server::shutdown`] has begun
     ///   (including while blocked under [`Backpressure::Block`]).
     pub fn submit(&self, rgb: Tensor, depth: Tensor) -> Result<Completion, ServeError> {
+        self.check_shapes(&rgb, &depth)?;
+        self.submit_inner(rgb, depth, self.inner.config.default_deadline)
+    }
+
+    /// Like [`Server::submit`], but with an explicit deadline overriding
+    /// the configured default. If no result is delivered within `deadline`
+    /// of submission the request completes with
+    /// [`ServeError::DeadlineExceeded`]; a request already past its
+    /// deadline when the batcher dequeues it is expired *without* being
+    /// executed. A `Duration::ZERO` deadline therefore always expires —
+    /// chaos tests use that to exercise the stale path deterministically.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        rgb: Tensor,
+        depth: Tensor,
+        deadline: Duration,
+    ) -> Result<Completion, ServeError> {
+        self.check_shapes(&rgb, &depth)?;
+        self.submit_inner(rgb, depth, Some(deadline))
+    }
+
+    fn check_shapes(&self, rgb: &Tensor, depth: &Tensor) -> Result<(), ServeError> {
         if rgb.shape() != self.rgb_shape.as_slice() {
             return Err(ServeError::BadRequest {
                 reason: format!(
@@ -140,7 +198,7 @@ impl Server {
                 ),
             });
         }
-        self.submit_unchecked(rgb, depth)
+        Ok(())
     }
 
     /// [`Server::submit`] without the shape guard. Exists so tests can
@@ -148,6 +206,15 @@ impl Server {
     /// the checked path.
     #[doc(hidden)]
     pub fn submit_unchecked(&self, rgb: Tensor, depth: Tensor) -> Result<Completion, ServeError> {
+        self.submit_inner(rgb, depth, self.inner.config.default_deadline)
+    }
+
+    fn submit_inner(
+        &self,
+        rgb: Tensor,
+        depth: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Completion, ServeError> {
         let mut queue = self.inner.queue.lock().expect("serve queue poisoned");
         loop {
             if queue.shutdown {
@@ -178,15 +245,18 @@ impl Server {
             depth,
             fulfiller,
             enqueued: Instant::now(),
+            deadline,
         });
+        self.inner.stats.record_admitted();
         drop(queue);
         self.inner.not_empty.notify_all();
         Ok(completion)
     }
 
-    /// Point-in-time statistics.
+    /// Point-in-time statistics, including circuit-breaker state when one
+    /// is configured.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        snapshot_with_breaker(&self.inner)
     }
 
     /// Stops accepting new requests (idempotent). Queued requests still
@@ -208,7 +278,7 @@ impl Server {
     /// statistics.
     pub fn shutdown(mut self) -> (FusionNet, StatsSnapshot) {
         let net = self.join_executor().expect("executor joined once");
-        (net, self.inner.stats.snapshot())
+        (net, snapshot_with_breaker(&self.inner))
     }
 
     fn join_executor(&mut self) -> Option<FusionNet> {
@@ -223,6 +293,17 @@ impl Drop for Server {
     fn drop(&mut self) {
         let _ = self.join_executor();
     }
+}
+
+fn snapshot_with_breaker(inner: &Inner) -> StatsSnapshot {
+    let mut snap = inner.stats.snapshot();
+    if let Some(breaker) = &inner.breaker {
+        let breaker = breaker.lock().expect("breaker poisoned");
+        snap.breaker_state = Some(breaker.state());
+        snap.breaker_trips = breaker.trips();
+        snap.breaker_transitions = breaker.transitions().to_vec();
+    }
+    snap
 }
 
 /// Collects one batch from the queue: blocks for the first request, then
@@ -273,39 +354,113 @@ fn collect_batch(inner: &Inner) -> Option<Vec<Request>> {
     Some(batch)
 }
 
+/// Splits a freshly collected batch into live requests and
+/// already-expired ones, expiring the stale ones without executing them.
+fn expire_stale(inner: &Inner, batch: Vec<Request>) -> Vec<Request> {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for request in batch {
+        match request.expired(now) {
+            Some((deadline, waited)) => {
+                inner.stats.record_expired();
+                request
+                    .fulfiller
+                    .fulfill(Err(ServeError::DeadlineExceeded { deadline, waited }));
+            }
+            None => live.push(request),
+        }
+    }
+    live
+}
+
+/// Decides the quarantine verdict for each live slot, merging the
+/// per-input degradation policy with the fleet-wide circuit breaker.
+///
+/// The policy verdict is computed first (pure input screening). With no
+/// breaker, that verdict stands. With a breaker, each slot is routed:
+/// `Fuse`/`Probe` slots keep the policy verdict and feed it back as a
+/// breaker observation; `ForceCameraOnly` slots are overridden to
+/// [`HealthIssue::BreakerOpen`] and observe nothing (a skipped depth
+/// branch yields no evidence about sensor health).
+fn judge_slots(inner: &Inner, depth: &[&Tensor]) -> Vec<Option<HealthIssue>> {
+    let policy = inner.config.policy;
+    let thresholds = &inner.config.thresholds;
+    let verdicts: Vec<Option<HealthIssue>> = depth
+        .iter()
+        .map(|d| policy.quarantine_depth(d, thresholds))
+        .collect();
+    let Some(breaker) = &inner.breaker else {
+        return verdicts;
+    };
+    let mut breaker = breaker.lock().expect("breaker poisoned");
+    verdicts
+        .into_iter()
+        .map(|verdict| match breaker.admit() {
+            DepthRoute::Fuse | DepthRoute::Probe => {
+                breaker.observe(verdict.is_some());
+                verdict
+            }
+            DepthRoute::ForceCameraOnly => Some(HealthIssue::BreakerOpen),
+        })
+        .collect()
+}
+
 fn executor_loop(mut net: FusionNet, inner: &Inner) -> FusionNet {
+    let mut batch_index: u64 = 0;
     while let Some(batch) = collect_batch(inner) {
+        let batch = expire_stale(inner, batch);
+        if batch.is_empty() {
+            continue;
+        }
         let occupancy = batch.len();
         inner.stats.record_batch(occupancy);
+        let this_batch = batch_index;
+        batch_index += 1;
         let mut fulfillers = Vec::with_capacity(occupancy);
         let mut rgb = Vec::with_capacity(occupancy);
         let mut depth = Vec::with_capacity(occupancy);
-        let mut enqueued = Vec::with_capacity(occupancy);
+        let mut metas = Vec::with_capacity(occupancy);
         for request in batch {
             fulfillers.push(request.fulfiller);
             rgb.push(request.rgb);
             depth.push(request.depth);
-            enqueued.push(request.enqueued);
+            metas.push((request.enqueued, request.deadline));
         }
         let rgb_refs: Vec<&Tensor> = rgb.iter().collect();
         let depth_refs: Vec<&Tensor> = depth.iter().collect();
+        // Breaker admission and observation happen OUTSIDE the panic
+        // guard: input screening is pure tensor statistics, and keeping
+        // the breaker mutex out of the unwind path means a panicking
+        // batch can never poison it.
+        let issues = judge_slots(inner, &depth_refs);
         // `forward` in Eval mode only reads frozen statistics, so a panic
         // mid-pass leaves the network consistent: fail this batch's
         // requests with a typed error and keep serving.
+        let probe = inner.config.batch_probe.clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            predict_probability_slots(
-                &mut net,
-                &rgb_refs,
-                &depth_refs,
-                inner.config.policy,
-                &inner.config.thresholds,
-            )
+            if let Some(probe) = &probe {
+                (probe.0)(this_batch);
+            }
+            predict_probability_slots_prejudged(&mut net, &rgb_refs, &depth_refs, &issues)
         }));
         match outcome {
             Ok(Ok(slots)) => {
-                for ((fulfiller, slot), enqueued) in fulfillers.into_iter().zip(slots).zip(enqueued)
+                for ((fulfiller, slot), (enqueued, deadline)) in
+                    fulfillers.into_iter().zip(slots).zip(metas)
                 {
                     let latency = enqueued.elapsed();
+                    // A result that arrives after the deadline is stale:
+                    // deliver the typed expiry, not the late prediction.
+                    if let Some(deadline) = deadline {
+                        if latency >= deadline {
+                            inner.stats.record_expired();
+                            fulfiller.fulfill(Err(ServeError::DeadlineExceeded {
+                                deadline,
+                                waited: latency,
+                            }));
+                            continue;
+                        }
+                    }
                     let quarantined = slot.quarantined.is_some();
                     fulfiller.fulfill(Ok(Prediction {
                         prob: slot.prob,

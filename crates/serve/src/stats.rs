@@ -1,8 +1,15 @@
 //! Serving statistics: counters plus a latency reservoir, snapshotted on
 //! demand.
+//!
+//! The counters obey a conservation law the chaos harness asserts after
+//! every run: once the server is quiescent (no requests in flight),
+//! `submitted == completed + rejected + expired + failed`. Every admitted
+//! request reaches exactly one of those terminal states.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use sf_core::{BreakerState, BreakerTransition};
 
 /// Point-in-time view of a server's counters, exposed by
 /// [`Server::stats`] and returned by [`Server::shutdown`].
@@ -11,10 +18,17 @@ use std::time::{Duration, Instant};
 /// [`Server::shutdown`]: crate::Server::shutdown
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
+    /// Requests that entered `submit` and were either admitted to the
+    /// queue or rejected (shape-invalid and shutting-down submissions are
+    /// refused before they count as submitted).
+    pub submitted: u64,
     /// Requests fulfilled successfully.
     pub completed: u64,
     /// Requests refused at submit time (`QueueFull` under `Reject`).
     pub rejected: u64,
+    /// Requests whose deadline passed — at dequeue (never executed) or at
+    /// completion (result discarded).
+    pub expired: u64,
     /// Requests failed after admission (batch panic or bad request).
     pub failed: u64,
     /// Fulfilled requests whose depth input was quarantined.
@@ -31,12 +45,36 @@ pub struct StatsSnapshot {
     pub latency_p95_ms: f64,
     /// Worst request latency, milliseconds.
     pub latency_max_ms: f64,
+    /// Circuit-breaker state, if the server runs one.
+    pub breaker_state: Option<BreakerState>,
+    /// How many times the breaker tripped open.
+    pub breaker_trips: u64,
+    /// The breaker's full transition log, oldest first.
+    pub breaker_transitions: Vec<BreakerTransition>,
+}
+
+impl StatsSnapshot {
+    /// Requests still in flight when the snapshot was taken. Zero once
+    /// the server is quiescent — the conservation invariant.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted
+            .saturating_sub(self.completed + self.rejected + self.expired + self.failed)
+    }
+
+    /// True when every submitted request has reached exactly one terminal
+    /// state (the snapshot was taken at quiescence and nothing was lost
+    /// or double-counted).
+    pub fn is_conserved(&self) -> bool {
+        self.submitted == self.completed + self.rejected + self.expired + self.failed
+    }
 }
 
 #[derive(Default)]
 struct StatsData {
+    submitted: u64,
     completed: u64,
     rejected: u64,
+    expired: u64,
     failed: u64,
     quarantined: u64,
     batches: u64,
@@ -59,8 +97,18 @@ impl StatsCollector {
         }
     }
 
+    pub(crate) fn record_admitted(&self) {
+        self.data.lock().expect("stats poisoned").submitted += 1;
+    }
+
     pub(crate) fn record_rejected(&self) {
-        self.data.lock().expect("stats poisoned").rejected += 1;
+        let mut data = self.data.lock().expect("stats poisoned");
+        data.submitted += 1;
+        data.rejected += 1;
+    }
+
+    pub(crate) fn record_expired(&self) {
+        self.data.lock().expect("stats poisoned").expired += 1;
     }
 
     pub(crate) fn record_batch(&self, occupancy: usize) {
@@ -88,8 +136,10 @@ impl StatsCollector {
         let mut sorted = data.latencies_ms.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         StatsSnapshot {
+            submitted: data.submitted,
             completed: data.completed,
             rejected: data.rejected,
+            expired: data.expired,
             failed: data.failed,
             quarantined: data.quarantined,
             batches: data.batches,
@@ -106,6 +156,9 @@ impl StatsCollector {
             latency_p50_ms: percentile(&sorted, 0.50),
             latency_p95_ms: percentile(&sorted, 0.95),
             latency_max_ms: sorted.last().copied().unwrap_or(0.0),
+            breaker_state: None,
+            breaker_trips: 0,
+            breaker_transitions: Vec::new(),
         }
     }
 }
@@ -122,6 +175,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sf_tensor::testkit::check_cases;
 
     #[test]
     fn percentile_nearest_rank() {
@@ -138,19 +192,89 @@ mod tests {
         stats.record_batch(4);
         stats.record_batch(2);
         for i in 0..6 {
+            stats.record_admitted();
             stats.record_completed(Duration::from_millis(i + 1), i == 0);
         }
         stats.record_rejected();
+        stats.record_admitted();
+        stats.record_admitted();
         stats.record_failed(2);
+        stats.record_admitted();
+        stats.record_expired();
         let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 10);
         assert_eq!(snap.completed, 6);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.failed, 2);
+        assert_eq!(snap.expired, 1);
         assert_eq!(snap.quarantined, 1);
         assert_eq!(snap.batches, 2);
+        assert!(snap.is_conserved());
+        assert_eq!(snap.in_flight(), 0);
         assert!((snap.mean_batch_occupancy - 3.0).abs() < 1e-12);
         assert!(snap.latency_max_ms >= snap.latency_p95_ms);
         assert!(snap.latency_p95_ms >= snap.latency_p50_ms);
         assert!(snap.throughput_rps > 0.0);
+    }
+
+    /// Property: under arbitrary interleavings of admissions with their
+    /// terminal outcomes (serve / reject / expire / fail), the counters
+    /// are conserved at quiescence, in-flight never goes negative
+    /// mid-stream, and the latency percentiles stay ordered.
+    #[test]
+    fn counters_conserved_under_random_interleavings() {
+        check_cases(64, |c| {
+            let stats = StatsCollector::new();
+            let events = c.usize_in(1, 120);
+            // Admitted-but-unresolved requests; each later resolves to
+            // exactly one terminal state.
+            let mut in_flight = 0u64;
+            let mut expected = (0u64, 0u64, 0u64, 0u64); // completed, rejected, expired, failed
+            for _ in 0..events {
+                if in_flight > 0 && c.rng().chance(0.5) {
+                    // Resolve one in-flight request.
+                    in_flight -= 1;
+                    match c.usize_in(0, 3) {
+                        0 => {
+                            let ms = c.usize_in(1, 1000) as u64;
+                            stats.record_completed(Duration::from_millis(ms), c.rng().chance(0.3));
+                            expected.0 += 1;
+                        }
+                        1 => {
+                            stats.record_expired();
+                            expected.2 += 1;
+                        }
+                        _ => {
+                            stats.record_failed(1);
+                            expected.3 += 1;
+                        }
+                    }
+                } else if c.rng().chance(0.2) {
+                    stats.record_rejected();
+                    expected.1 += 1;
+                } else {
+                    stats.record_admitted();
+                    in_flight += 1;
+                }
+                // Mid-stream, in-flight accounting must match and the
+                // percentile ordering must already hold.
+                let snap = stats.snapshot();
+                assert_eq!(snap.in_flight(), in_flight);
+                assert!(snap.latency_p50_ms <= snap.latency_p95_ms);
+                assert!(snap.latency_p95_ms <= snap.latency_max_ms);
+            }
+            // Drain: resolve everything still in flight, then conserve.
+            while in_flight > 0 {
+                stats.record_completed(Duration::from_millis(1), false);
+                expected.0 += 1;
+                in_flight -= 1;
+            }
+            let snap = stats.snapshot();
+            assert!(snap.is_conserved(), "case {}: {snap:?}", c.case);
+            assert_eq!(
+                (snap.completed, snap.rejected, snap.expired, snap.failed),
+                expected
+            );
+        });
     }
 }

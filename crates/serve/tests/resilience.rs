@@ -1,0 +1,381 @@
+//! Resilience behaviour: request deadlines (dequeue- and completion-time
+//! expiry), the depth circuit breaker end to end, retrying submitters,
+//! and shutdown liveness with a stalled executor.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sf_core::{
+    BreakerConfig, BreakerState, DegradationPolicy, FusionNet, FusionScheme, HealthIssue,
+    NetworkConfig,
+};
+use sf_serve::{Backpressure, BatchProbe, Retrier, RetryPolicy, ServeConfig, ServeError, Server};
+use sf_tensor::{Tensor, TensorRng};
+
+fn tiny_net() -> (FusionNet, NetworkConfig) {
+    let config = NetworkConfig::tiny();
+    let net = FusionNet::new(FusionScheme::AllFilterU, &config).expect("valid config");
+    (net, config)
+}
+
+fn frame_pair(config: &NetworkConfig, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = TensorRng::seed_from(seed);
+    (
+        rng.uniform(&[3, config.height, config.width], 0.0, 1.0),
+        rng.uniform(&[1, config.height, config.width], 0.1, 1.0),
+    )
+}
+
+/// A manually operated gate the executor parks on: a [`BatchProbe`] built
+/// from it blocks every batch until [`Gate::open`] is called. Lets tests
+/// stall the executor deterministically.
+struct Gate {
+    state: Mutex<bool>,
+    released: Condvar,
+}
+
+impl Gate {
+    fn closed() -> Arc<Gate> {
+        Arc::new(Gate {
+            state: Mutex::new(false),
+            released: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.state.lock().expect("gate poisoned") = true;
+        self.released.notify_all();
+    }
+
+    fn probe(self: &Arc<Gate>) -> BatchProbe {
+        let gate = Arc::clone(self);
+        BatchProbe::new(move |_batch| {
+            let mut open = gate.state.lock().expect("gate poisoned");
+            while !*open {
+                open = gate.released.wait(open).expect("gate poisoned");
+            }
+        })
+    }
+}
+
+#[test]
+fn zero_deadline_requests_expire_without_execution() {
+    let (net, config) = tiny_net();
+    let server = Server::start(
+        net,
+        ServeConfig::default()
+            .with_max_batch(4)
+            .with_max_wait(Duration::ZERO),
+    )
+    .expect("valid serve config");
+    // A zero deadline has always already passed by the time the batcher
+    // dequeues the request, so expiry-at-dequeue is exercised
+    // deterministically — and the forward pass must never run for them.
+    let completions: Vec<_> = (0..3)
+        .map(|i| {
+            let (rgb, depth) = frame_pair(&config, 10 + i);
+            server
+                .submit_with_deadline(rgb, depth, Duration::ZERO)
+                .expect("queue has room")
+        })
+        .collect();
+    for completion in completions {
+        match completion.wait() {
+            Err(ServeError::DeadlineExceeded { deadline, waited }) => {
+                assert_eq!(deadline, Duration::ZERO);
+                assert!(waited >= deadline);
+            }
+            other => panic!("stale request must expire typed, got {other:?}"),
+        }
+    }
+    // A live request afterwards is served normally.
+    let (rgb, depth) = frame_pair(&config, 20);
+    let served = server
+        .submit(rgb, depth)
+        .expect("accepts")
+        .wait()
+        .expect("live request served");
+    assert_eq!(served.prob.shape(), &[config.height, config.width]);
+    let (_, stats) = server.shutdown();
+    assert_eq!(stats.expired, 3);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(
+        stats.batches, 1,
+        "expired requests must not occupy forward-pass batches"
+    );
+    assert!(stats.is_conserved(), "{stats:?}");
+}
+
+#[test]
+fn default_deadline_applies_to_plain_submit() {
+    let (net, config) = tiny_net();
+    let server = Server::start(
+        net,
+        ServeConfig::default()
+            .with_max_batch(1)
+            .with_max_wait(Duration::ZERO)
+            // One nanosecond: far below the microseconds of queue hand-off,
+            // so every plain submit inherits an already-expired deadline.
+            .with_default_deadline(Duration::from_nanos(1)),
+    )
+    .expect("valid serve config");
+    let (rgb, depth) = frame_pair(&config, 30);
+    match server.submit(rgb, depth).expect("queue has room").wait() {
+        Err(ServeError::DeadlineExceeded { deadline, .. }) => {
+            assert_eq!(deadline, Duration::from_nanos(1));
+        }
+        other => panic!("default deadline must apply, got {other:?}"),
+    }
+    // An explicit per-request deadline overrides the default.
+    let (rgb, depth) = frame_pair(&config, 31);
+    let served = server
+        .submit_with_deadline(rgb, depth, Duration::from_secs(30))
+        .expect("queue has room")
+        .wait()
+        .expect("generous explicit deadline is served");
+    assert_eq!(served.prob.shape(), &[config.height, config.width]);
+    let (_, stats) = server.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 1);
+    assert!(stats.is_conserved(), "{stats:?}");
+}
+
+#[test]
+fn deadline_passing_mid_batch_discards_the_stale_result() {
+    let (net, config) = tiny_net();
+    // The probe sleeps 500ms inside every batch, so a request with a
+    // 200ms deadline is still live at dequeue (hand-off is microseconds)
+    // but stale by completion: it must get DeadlineExceeded, not the late
+    // prediction.
+    let server = Server::start(
+        net,
+        ServeConfig::default()
+            .with_max_batch(1)
+            .with_max_wait(Duration::ZERO)
+            .with_batch_probe(BatchProbe::new(|_batch| {
+                std::thread::sleep(Duration::from_millis(500));
+            })),
+    )
+    .expect("valid serve config");
+    let (rgb, depth) = frame_pair(&config, 40);
+    match server
+        .submit_with_deadline(rgb, depth, Duration::from_millis(200))
+        .expect("queue has room")
+        .wait()
+    {
+        Err(ServeError::DeadlineExceeded { deadline, waited }) => {
+            assert_eq!(deadline, Duration::from_millis(200));
+            assert!(waited >= deadline, "waited {waited:?}");
+        }
+        other => panic!("stale result must be discarded, got {other:?}"),
+    }
+    let (_, stats) = server.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(
+        stats.batches, 1,
+        "the batch DID execute; its result aged out"
+    );
+    assert!(stats.is_conserved(), "{stats:?}");
+}
+
+#[test]
+fn breaker_trips_fleet_wide_and_recovers_through_probing() {
+    let (net, config) = tiny_net();
+    let breaker = BreakerConfig {
+        window: 4,
+        min_samples: 4,
+        trip_threshold: 0.5,
+        cooldown: 2,
+        success_probes: 2,
+        // Every half-open admission is a trial probe: recovery length is
+        // then exact, not distributional.
+        probe_chance: 1.0,
+        seed: 41,
+    };
+    let server = Server::start(
+        net,
+        ServeConfig::default()
+            .with_max_batch(1)
+            .with_max_wait(Duration::ZERO)
+            .with_policy(DegradationPolicy::CameraFallback)
+            .with_breaker(breaker),
+    )
+    .expect("valid serve config");
+    let submit_and_wait = |seed: u64, dead_depth: bool| {
+        let (rgb, mut depth) = frame_pair(&config, seed);
+        if dead_depth {
+            depth = Tensor::zeros(depth.shape());
+        }
+        server
+            .submit(rgb, depth)
+            .expect("queue has room")
+            .wait()
+            .expect("served")
+    };
+    // Closed-loop client, one request per batch: the breaker observes the
+    // exact submission order, so the transition log is deterministic.
+    //
+    // Phase 1 — four dead depth frames: each is quarantined per input, and
+    // the fourth observation fills the window (rate 1.0 > 0.5) → trip.
+    for i in 0..4 {
+        let p = submit_and_wait(50 + i, true);
+        assert_eq!(p.quarantined, Some(HealthIssue::ZeroEnergy));
+    }
+    assert_eq!(server.stats().breaker_state, Some(BreakerState::Open));
+    assert_eq!(server.stats().breaker_trips, 1);
+    // Phase 2 — while open, even HEALTHY depth frames are forced
+    // camera-only fleet-wide (cooldown = 2 requests).
+    for i in 0..2 {
+        let p = submit_and_wait(60 + i, false);
+        assert_eq!(
+            p.quarantined,
+            Some(HealthIssue::BreakerOpen),
+            "open breaker must force camera-only"
+        );
+    }
+    // Phase 3 — cooldown elapsed: half-open trial probes fuse again, and
+    // two healthy probes close the breaker.
+    for i in 0..2 {
+        let p = submit_and_wait(70 + i, false);
+        assert_eq!(p.quarantined, None, "probe must fuse the healthy depth");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.breaker_state, Some(BreakerState::Closed));
+    // Closed again: healthy traffic fuses normally.
+    let p = submit_and_wait(80, false);
+    assert_eq!(p.quarantined, None);
+    let (_, stats) = server.shutdown();
+    let states: Vec<(BreakerState, BreakerState)> = stats
+        .breaker_transitions
+        .iter()
+        .map(|t| (t.from, t.to))
+        .collect();
+    assert_eq!(
+        states,
+        vec![
+            (BreakerState::Closed, BreakerState::Open),
+            (BreakerState::Open, BreakerState::HalfOpen),
+            (BreakerState::HalfOpen, BreakerState::Closed),
+        ],
+        "full trip→probe→recover cycle"
+    );
+    assert_eq!(stats.completed, 9);
+    assert!(stats.is_conserved(), "{stats:?}");
+}
+
+#[test]
+fn retrier_shed_storm_exhausts_then_succeeds_after_drain() {
+    let (net, config) = tiny_net();
+    let gate = Gate::closed();
+    let server = Server::start(
+        net,
+        ServeConfig::default()
+            .with_max_batch(1)
+            .with_queue_capacity(1)
+            .with_backpressure(Backpressure::Reject)
+            .with_max_wait(Duration::ZERO)
+            .with_batch_probe(gate.probe()),
+    )
+    .expect("valid serve config");
+    // Plug the executor and fill the pipeline: r1 is dequeued and parked
+    // on the gate, r2 occupies the capacity-1 queue. Every further submit
+    // now deterministically sees QueueFull.
+    let (rgb, depth) = frame_pair(&config, 90);
+    let r1 = server.submit(rgb, depth).expect("r1 admitted");
+    // `batches` ticks just before the probe call, so once it is non-zero
+    // the executor has claimed r1 and is parked; the queue is empty.
+    while server.stats().batches == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (rgb, depth) = frame_pair(&config, 91);
+    let r2 = server.submit(rgb, depth).expect("r2 fills the queue");
+    let retry = RetryPolicy::default()
+        .with_max_attempts(3)
+        .with_base(Duration::from_micros(50))
+        .with_cap(Duration::from_micros(500));
+    let mut retrier = Retrier::new(retry, 7).expect("valid retry policy");
+    let (rgb, depth) = frame_pair(&config, 92);
+    match retrier.submit_with_retry(&server, &rgb, &depth) {
+        Err(ServeError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 3);
+            assert!(matches!(*last, ServeError::QueueFull { .. }));
+        }
+        other => panic!("storm must exhaust retries, got {:?}", other.map(|_| "Ok")),
+    }
+    // Unplug the executor and wait for r1 and r2 to drain (otherwise the
+    // retrier can race the drain, shed off the still-full queue and skew
+    // the exact rejected count below); the SAME frames (the retrier only
+    // borrowed them) now get in on the first attempt.
+    gate.open();
+    while server.stats().completed < 2 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let retried = retrier
+        .submit_with_retry(&server, &rgb, &depth)
+        .expect("post-drain submit succeeds")
+        .wait()
+        .expect("served");
+    assert_eq!(retried.prob.shape(), &[config.height, config.width]);
+    assert!(r1.wait().is_ok());
+    assert!(r2.wait().is_ok());
+    let (_, stats) = server.shutdown();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.rejected, 3, "each shed attempt is counted");
+    assert!(stats.is_conserved(), "{stats:?}");
+}
+
+/// Regression: a submitter blocked in the `Backpressure::Block` condvar
+/// must be woken with `ShuttingDown` by `close()` even when the executor
+/// is completely stalled and can free no queue slots. (The weaker variant
+/// — executor merely slow — passed even without the dedicated
+/// `not_full` notification in `close()`.)
+#[test]
+fn close_wakes_blocked_submitter_while_executor_is_stalled() {
+    let (net, config) = tiny_net();
+    let gate = Gate::closed();
+    let server = Arc::new(
+        Server::start(
+            net,
+            ServeConfig::default()
+                .with_max_batch(1)
+                .with_queue_capacity(1)
+                .with_backpressure(Backpressure::Block)
+                .with_max_wait(Duration::ZERO)
+                .with_batch_probe(gate.probe()),
+        )
+        .expect("valid serve config"),
+    );
+    // r1 parks the executor on the gate; r2 fills the queue; r3 blocks.
+    let (rgb, depth) = frame_pair(&config, 95);
+    let r1 = server.submit(rgb, depth).expect("r1 admitted");
+    while server.stats().batches == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (rgb, depth) = frame_pair(&config, 96);
+    let r2 = server.submit(rgb, depth).expect("r2 fills the queue");
+    let blocked = {
+        let server = Arc::clone(&server);
+        let (rgb, depth) = frame_pair(&config, 97);
+        std::thread::spawn(move || server.submit(rgb, depth))
+    };
+    // Let r3 reach the condvar, then close. The executor is still parked,
+    // so ONLY the shutdown wake-up can release r3.
+    std::thread::sleep(Duration::from_millis(100));
+    server.close();
+    match blocked.join().expect("submitter thread panicked") {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!(
+            "blocked submitter must see ShuttingDown, got {:?}",
+            other.map(|_| "Ok")
+        ),
+    }
+    // Release the executor so shutdown can drain r1 and r2.
+    gate.open();
+    let server = Arc::into_inner(server).expect("submitter released its handle");
+    let (_, stats) = server.shutdown();
+    assert!(r1.wait().is_ok());
+    assert!(r2.wait().is_ok());
+    assert_eq!(stats.completed, 2);
+    assert!(stats.is_conserved(), "{stats:?}");
+}

@@ -52,4 +52,10 @@ echo "==> serve-bench smoke (dynamic batching server end-to-end)"
 # request was served (zero dropped, rejected, or poisoned).
 ./target/release/roadseg serve-bench --smoke
 
+echo "==> chaos smoke (seeded fault schedule, conservation + reproducibility)"
+# Runs the smoke schedule twice through sf-chaos; exits non-zero if any
+# request is lost, the tally is not conserved, or the two runs' fault
+# fingerprints differ.
+./target/release/roadseg chaos --smoke
+
 echo "==> ci.sh: all green"

@@ -1,7 +1,7 @@
 //! Smoke tests for every experiment harness at quick scale — the same
 //! code paths the `exp_*` binaries run for the paper's tables/figures.
 
-use sf_bench::experiments::{fault_matrix, fig3, fig6, fig7, fig8, fig9, serving, table1};
+use sf_bench::experiments::{chaos, fault_matrix, fig3, fig6, fig7, fig8, fig9, serving, table1};
 use sf_bench::ExperimentScale;
 use sf_core::FusionScheme;
 use sf_scene::RoadCategory;
@@ -118,4 +118,34 @@ fn serving_smoke() {
     let text = serving::render(&result);
     assert!(text.contains("max_batch"));
     assert!(text.contains("correctness"));
+}
+
+#[test]
+fn chaos_smoke() {
+    let result = chaos::run(SCALE);
+    assert_eq!(
+        result.cells.len(),
+        result.fault_rates.len() * result.deadlines_ms.len() * result.thresholds.len()
+    );
+    for cell in &result.cells {
+        // run() already fails hard on conservation violations; assert the
+        // rendered tally agrees anyway, and that the quick grid's generous
+        // deadlines replay bit-identically.
+        assert!(cell.report.tally.is_conserved(), "{cell:?}");
+        assert!(cell.reproducible, "quick cells are deterministic: {cell:?}");
+        // Every schedule carries a panic, stale and storm scene, so each
+        // terminal bucket is exercised in every cell.
+        assert!(cell.report.tally.failed > 0, "{cell:?}");
+        assert!(cell.report.tally.expired > 0, "{cell:?}");
+        assert!(cell.report.tally.rejected > 0, "{cell:?}");
+    }
+    // The corrupt half of the traffic is quarantined; clean traffic is not.
+    let faulty = result.cell(0.5, 10_000, 0.5).expect("grid cell");
+    let clean = result.cell(0.0, 10_000, 0.5).expect("grid cell");
+    assert!(faulty.report.quarantined > 0, "{faulty:?}");
+    assert_eq!(clean.report.quarantined, 0, "{clean:?}");
+    let text = chaos::render(&result);
+    assert!(text.contains("fault"));
+    assert!(text.contains("conservation"));
+    assert!(text.contains("reproducible"));
 }
