@@ -62,7 +62,7 @@ impl FaultMatrixResult {
 pub fn run(scale: ExperimentScale) -> FaultMatrixResult {
     let bundle = Bundle::new(scale);
     let alpha = scale.train_config().alpha;
-    let (mut net, _) = bundle.train_scheme(FusionScheme::AllFilterU, alpha);
+    let (net, _) = bundle.train_scheme(FusionScheme::AllFilterU, alpha);
     let camera = bundle.data.config().camera();
     let test = bundle.data.test(None);
 
@@ -70,8 +70,8 @@ pub fn run(scale: ExperimentScale) -> FaultMatrixResult {
     let fallback = EvalOptions::default().with_policy(DegradationPolicy::CameraFallback);
     let camera_only_options = EvalOptions::default().with_policy(DegradationPolicy::CameraOnly);
 
-    let clean = evaluate(&mut net, &test, &camera, &trust);
-    let camera_only = evaluate(&mut net, &test, &camera, &camera_only_options);
+    let clean = evaluate(&net, &test, &camera, &trust);
+    let camera_only = evaluate(&net, &test, &camera, &camera_only_options);
 
     let mut cells = Vec::new();
     for &severity in &SEVERITIES {
@@ -79,8 +79,8 @@ pub fn run(scale: ExperimentScale) -> FaultMatrixResult {
             let mut injector = FaultInjector::new(fault, FAULT_SEED);
             let corrupted: Vec<Sample> = test.iter().map(|s| injector.corrupt_sample(s)).collect();
             let refs: Vec<&Sample> = corrupted.iter().collect();
-            let fused = evaluate(&mut net, &refs, &camera, &trust);
-            let (degraded, report) = evaluate_with_report(&mut net, &refs, &camera, &fallback);
+            let fused = evaluate(&net, &refs, &camera, &trust);
+            let (degraded, report) = evaluate_with_report(&net, &refs, &camera, &fallback);
             cells.push(FaultCell {
                 fault,
                 severity,

@@ -55,7 +55,7 @@ pub fn panel_lighting() -> [(&'static str, Lighting); 3] {
 pub fn run(scale: ExperimentScale, out_dir: Option<&Path>) -> std::io::Result<Fig9Result> {
     let bundle = Bundle::new(scale);
     let alpha = scale.train_config().alpha;
-    let (mut net, _) = bundle.train_scheme(FusionScheme::AllFilterU, alpha);
+    let (net, _) = bundle.train_scheme(FusionScheme::AllFilterU, alpha);
     let camera = bundle.data.config().camera();
     let mut panels = Vec::new();
     let mut files = Vec::new();
@@ -69,7 +69,7 @@ pub fn run(scale: ExperimentScale, out_dir: Option<&Path>) -> std::io::Result<Fi
             lighting,
             &camera,
         );
-        let probability = predict_probability(&mut net, &sample);
+        let probability = predict_probability(&net, &sample);
         let gt = &sample.gt;
         let correct = probability
             .data()

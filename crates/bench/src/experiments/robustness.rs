@@ -53,7 +53,7 @@ impl RobustnessResult {
 pub fn run(scale: ExperimentScale) -> RobustnessResult {
     let bundle = Bundle::new(scale);
     let alpha = scale.train_config().alpha;
-    let (mut net, _) = bundle.train_scheme(FusionScheme::AllFilterU, alpha);
+    let (net, _) = bundle.train_scheme(FusionScheme::AllFilterU, alpha);
     let camera = bundle.data.config().camera();
     let options = EvalOptions::default();
     let test = bundle.data.test(None);
@@ -68,7 +68,7 @@ pub fn run(scale: ExperimentScale) -> RobustnessResult {
                 .map(|s| Sample::render(s.category, s.seed, name, lighting, &camera))
                 .collect();
             let refs: Vec<&Sample> = relit.iter().collect();
-            let fused = evaluate(&mut net, &refs, &camera, &options);
+            let fused = evaluate(&net, &refs, &camera, &options);
             let blind: Vec<Sample> = relit
                 .iter()
                 .map(|s| Sample {
@@ -77,7 +77,7 @@ pub fn run(scale: ExperimentScale) -> RobustnessResult {
                 })
                 .collect();
             let blind_refs: Vec<&Sample> = blind.iter().collect();
-            let camera_only = evaluate(&mut net, &blind_refs, &camera, &options);
+            let camera_only = evaluate(&net, &blind_refs, &camera, &options);
             ConditionRow {
                 lighting: name,
                 fused,

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sf_core::{FusionNet, FusionScheme};
-use sf_serve::{Backpressure, ServeConfig, Server};
+use sf_serve::{Backpressure, Request, ServeConfig, Server};
 use sf_tensor::{Tensor, TensorRng};
 
 use crate::{ExperimentScale, TextTable};
@@ -102,11 +102,13 @@ pub fn run(scale: ExperimentScale) -> ServingResult {
 
 /// Serve configuration shared by every cell except `max_batch`.
 fn serve_config(max_batch: usize) -> ServeConfig {
-    ServeConfig::default()
-        .with_max_batch(max_batch)
-        .with_max_wait(Duration::from_millis(2))
-        .with_queue_capacity(64.max(2 * max_batch))
-        .with_backpressure(Backpressure::Block)
+    ServeConfig::builder()
+        .max_batch(max_batch)
+        .max_wait(Duration::from_millis(2))
+        .queue_capacity(64.max(2 * max_batch))
+        .backpressure(Backpressure::Block)
+        .build()
+        .expect("bench serve config is valid")
 }
 
 /// Drives one grid cell: `clients` closed-loop threads, inputs generated
@@ -130,7 +132,7 @@ fn measure_cell(
             std::thread::spawn(move || {
                 for (rgb, depth) in frames {
                     server
-                        .submit(rgb, depth)
+                        .submit(Request::new(rgb, depth))
                         .expect("bench queue accepts")
                         .wait()
                         .expect("bench request served");
@@ -197,7 +199,7 @@ fn serve_all(net: FusionNet, max_batch: usize, frames: &[(Tensor, Tensor)]) -> V
         .iter()
         .map(|(rgb, depth)| {
             server
-                .submit(rgb.clone(), depth.clone())
+                .submit(Request::new(rgb.clone(), depth.clone()))
                 .expect("probe queue accepts")
         })
         .collect();

@@ -69,7 +69,7 @@ pub fn run(scale: ExperimentScale) -> SneResult {
                 let refs: Vec<&Sample> = test_samples.iter().collect();
                 (
                     category,
-                    evaluate(&mut net, &refs, &camera, &EvalOptions::default()),
+                    evaluate(&net, &refs, &camera, &EvalOptions::default()),
                 )
             })
             .collect()

@@ -49,7 +49,7 @@ use sf_core::{
 };
 use sf_dataset::{FaultInjector, SensorFault};
 use sf_runtime::PoolStats;
-use sf_serve::{Backpressure, BatchProbe, ServeConfig, ServeError, Server};
+use sf_serve::{Backpressure, BatchProbe, Request, ServeConfig, ServeError, Server};
 use sf_tensor::{Tensor, TensorRng};
 
 /// One phase of a chaos schedule. Scenes run in order, closed-loop (one
@@ -530,19 +530,22 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, ChaosError> {
             reason: format!("cannot build chaos net: {e}"),
         })?;
     let plan = Arc::new(ProbePlan::default());
-    let mut serve_config = ServeConfig::default()
-        .with_max_batch(config.max_batch)
-        .with_queue_capacity(config.queue_capacity)
-        .with_backpressure(Backpressure::Reject)
-        .with_max_wait(Duration::ZERO)
-        .with_policy(DegradationPolicy::CameraFallback)
-        .with_batch_probe(plan.probe());
+    let mut builder = ServeConfig::builder()
+        .max_batch(config.max_batch)
+        .queue_capacity(config.queue_capacity)
+        .backpressure(Backpressure::Reject)
+        .max_wait(Duration::ZERO)
+        .policy(DegradationPolicy::CameraFallback)
+        .batch_probe(plan.probe());
     if let Some(deadline) = config.default_deadline {
-        serve_config = serve_config.with_default_deadline(deadline);
+        builder = builder.default_deadline(deadline);
     }
     if let Some(breaker) = config.breaker {
-        serve_config = serve_config.with_breaker(breaker);
+        builder = builder.breaker(breaker);
     }
+    let serve_config = builder.build().map_err(|e| ChaosError::Config {
+        reason: format!("server rejected chaos config: {e}"),
+    })?;
     let server = Server::start(net, serve_config).map_err(|e| ChaosError::Config {
         reason: format!("server rejected chaos config: {e}"),
     })?;
@@ -668,7 +671,9 @@ fn run_scene(
         Scene::Calm { requests } => {
             for _ in 0..*requests {
                 let (rgb, depth) = frame(rng, net_config);
-                let completion = server.submit(rgb, depth).map_err(submit_err)?;
+                let completion = server
+                    .submit(Request::new(rgb, depth))
+                    .map_err(submit_err)?;
                 tally.submitted += 1;
                 settle(scene, tally, completion.wait())?;
             }
@@ -678,7 +683,9 @@ fn run_scene(
             for _ in 0..*requests {
                 let (rgb, depth) = frame(rng, net_config);
                 let depth = injector.corrupt_depth(&depth);
-                let completion = server.submit(rgb, depth).map_err(submit_err)?;
+                let completion = server
+                    .submit(Request::new(rgb, depth))
+                    .map_err(submit_err)?;
                 tally.submitted += 1;
                 settle(scene, tally, completion.wait())?;
             }
@@ -687,7 +694,7 @@ fn run_scene(
             for _ in 0..*requests {
                 let (rgb, depth) = frame(rng, net_config);
                 let completion = server
-                    .submit_with_deadline(rgb, depth, Duration::ZERO)
+                    .submit(Request::new(rgb, depth).with_deadline(Duration::ZERO))
                     .map_err(submit_err)?;
                 tally.submitted += 1;
                 settle(scene, tally, completion.wait())?;
@@ -697,7 +704,9 @@ fn run_scene(
             for _ in 0..*requests {
                 let (rgb, depth) = frame(rng, net_config);
                 plan.push(ProbeAction::Panic);
-                let completion = server.submit(rgb, depth).map_err(submit_err)?;
+                let completion = server
+                    .submit(Request::new(rgb, depth))
+                    .map_err(submit_err)?;
                 tally.submitted += 1;
                 settle(scene, tally, completion.wait())?;
             }
@@ -706,7 +715,9 @@ fn run_scene(
             for _ in 0..*requests {
                 let (rgb, depth) = frame(rng, net_config);
                 plan.push(ProbeAction::Sleep(Duration::from_millis(*sleep_ms)));
-                let completion = server.submit(rgb, depth).map_err(submit_err)?;
+                let completion = server
+                    .submit(Request::new(rgb, depth))
+                    .map_err(submit_err)?;
                 tally.submitted += 1;
                 settle(scene, tally, completion.wait())?;
             }
@@ -719,7 +730,9 @@ fn run_scene(
             let batches_before = server.stats().batches;
             plan.engage_hold();
             let (rgb, depth) = frame(rng, net_config);
-            let holder = server.submit(rgb, depth).map_err(submit_err)?;
+            let holder = server
+                .submit(Request::new(rgb, depth))
+                .map_err(submit_err)?;
             tally.submitted += 1;
             while server.stats().batches == batches_before {
                 std::thread::sleep(Duration::from_millis(1));
@@ -728,7 +741,7 @@ fn run_scene(
             let flood = queue_capacity + excess;
             for _ in 0..flood {
                 let (rgb, depth) = frame(rng, net_config);
-                match server.submit(rgb, depth) {
+                match server.submit(Request::new(rgb, depth)) {
                     Ok(completion) => {
                         tally.submitted += 1;
                         admitted.push(completion);

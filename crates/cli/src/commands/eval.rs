@@ -19,7 +19,7 @@ use crate::{Args, CliError};
 /// path (`fallback`, the default) or depth is ignored outright
 /// (`camera-only`).
 pub fn eval(args: &Args) -> Result<String, CliError> {
-    let mut net = load_model(args.require("model")?)?;
+    let net = load_model(args.require("model")?)?;
     let fault = args.fault()?;
     let policy = args.policy()?;
     let fault_seed: u64 = args.get_parsed("fault-seed", 7, "integer")?;
@@ -72,12 +72,12 @@ pub fn eval(args: &Args) -> Result<String, CliError> {
             .iter()
             .filter(|s| s.category == category)
             .collect();
-        let (result, report) = evaluate_with_report(&mut net, &refs, &camera, &options);
+        let (result, report) = evaluate_with_report(&net, &refs, &camera, &options);
         total_quarantined += report.quarantined_count();
         let _ = writeln!(log, "  {category:<4} {result}");
     }
     let all_refs: Vec<&Sample> = test_samples.iter().collect();
-    let (pooled, pooled_report) = evaluate_with_report(&mut net, &all_refs, &camera, &options);
+    let (pooled, pooled_report) = evaluate_with_report(&net, &all_refs, &camera, &options);
     let _ = writeln!(log, "  all  {pooled}");
     let _ = writeln!(
         log,

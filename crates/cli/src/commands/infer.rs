@@ -2,9 +2,7 @@
 
 use std::fmt::Write as _;
 
-use sf_autograd::Graph;
-use sf_core::HealthThresholds;
-use sf_nn::Mode;
+use sf_core::Predictor;
 use sf_scene::overlay_mask;
 use sf_vision::{read_pgm, read_ppm, resize_gray, resize_rgb, GrayImage};
 
@@ -12,11 +10,12 @@ use crate::model_io::load_model;
 use crate::{Args, CliError};
 
 /// Loads `--model`, reads `--rgb` (PPM) and `--depth` (PGM), predicts
-/// the road mask and writes a green overlay to `--out`. The depth frame
-/// is health-checked under `--policy` (default `fallback`): a dead or
-/// corrupted sensor is quarantined and the camera-only path runs instead.
+/// the road mask and writes a green overlay to `--out`. The network is
+/// frozen into a [`Predictor`] and the depth frame is health-checked
+/// under `--policy` (default `fallback`): a dead or corrupted sensor is
+/// quarantined and the camera-only plan runs instead.
 pub fn infer(args: &Args) -> Result<String, CliError> {
-    let mut net = load_model(args.require("model")?)?;
+    let net = load_model(args.require("model")?)?;
     let policy = args.policy()?;
     let rgb_path = args.require("rgb")?;
     let depth_path = args.require("depth")?;
@@ -50,33 +49,20 @@ pub fn infer(args: &Args) -> Result<String, CliError> {
     }
     let depth_tensor = depth
         .to_tensor()
-        .reshape(&[1, 1, h, w])
+        .reshape(&[1, h, w])
         .expect("depth is [H,W]");
-    let quarantine = policy.quarantine_depth(&depth_tensor, &HealthThresholds::default());
-    if let Some(issue) = quarantine {
+    let rgb_tensor = rgb.to_tensor();
+    let mut predictor = Predictor::compile(&net).with_policy(policy);
+    let prediction = predictor
+        .run(&rgb_tensor, &depth_tensor)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    if let Some(issue) = prediction.quarantined {
         let _ = writeln!(
             notes,
             "depth input quarantined ({issue}); using camera-only fallback"
         );
     }
-    let mut g = Graph::new();
-    let rgb_node = g.leaf(
-        rgb.to_tensor()
-            .reshape(&[1, 3, h, w])
-            .expect("rgb is [3,H,W]"),
-    );
-    let output = if quarantine.is_some() {
-        net.forward_camera_only(&mut g, rgb_node, Mode::Eval)
-    } else {
-        let depth_node = g.leaf(depth_tensor);
-        net.forward(&mut g, rgb_node, depth_node, Mode::Eval)
-    };
-    let prob = g.sigmoid(output.logits);
-    let prob_img = GrayImage::from_tensor(
-        &g.value(prob)
-            .reshape(&[h, w])
-            .expect("logits are [1,1,H,W]"),
-    );
+    let prob_img = GrayImage::from_tensor(&prediction.prob);
     let mask = GrayImage::from_raw(
         w,
         h,

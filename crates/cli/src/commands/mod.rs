@@ -6,6 +6,7 @@ mod eval;
 mod generate;
 mod infer;
 mod info;
+mod plan;
 mod serve_bench;
 mod train;
 
@@ -14,6 +15,7 @@ pub use eval::eval;
 pub use generate::generate;
 pub use infer::infer;
 pub use info::info;
+pub use plan::plan;
 pub use serve_bench::serve_bench;
 pub use train::train;
 

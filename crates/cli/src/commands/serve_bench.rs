@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sf_core::{BreakerConfig, FusionNet, NetworkConfig};
-use sf_serve::{Backpressure, ServeConfig, ServeError, Server, StatsSnapshot};
+use sf_serve::{Backpressure, Request, ServeConfig, ServeError, Server, SourceId, StatsSnapshot};
 use sf_tensor::TensorRng;
 
 use crate::commands::network_config;
@@ -52,19 +52,21 @@ pub fn serve_bench(args: &Args) -> Result<String, CliError> {
         network_config(args)?
     };
     let net = FusionNet::new(scheme, &config)?;
-    let mut serve_config = ServeConfig::default()
-        .with_max_batch(max_batch)
-        .with_max_wait(Duration::from_millis(max_wait_ms))
-        .with_queue_capacity(queue)
-        .with_backpressure(Backpressure::Block)
-        .with_policy(policy);
+    let mut builder = ServeConfig::builder()
+        .max_batch(max_batch)
+        .max_wait(Duration::from_millis(max_wait_ms))
+        .queue_capacity(queue)
+        .backpressure(Backpressure::Block)
+        .policy(policy);
     if deadline_ms > 0 {
-        serve_config = serve_config.with_default_deadline(Duration::from_millis(deadline_ms));
+        builder = builder.default_deadline(Duration::from_millis(deadline_ms));
     }
     if let Some(threshold) = breaker_threshold {
-        serve_config =
-            serve_config.with_breaker(BreakerConfig::default().with_trip_threshold(threshold));
+        builder = builder.breaker(BreakerConfig::default().with_trip_threshold(threshold));
     }
+    let serve_config = builder
+        .build()
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
     let server =
         Arc::new(Server::start(net, serve_config).map_err(|e| CliError::Invalid(e.to_string()))?);
 
@@ -88,12 +90,25 @@ pub fn serve_bench(args: &Args) -> Result<String, CliError> {
     let started = Instant::now();
     let workers: Vec<_> = frames
         .into_iter()
-        .map(|frames| {
+        .enumerate()
+        .map(|(client, frames)| {
             let server = Arc::clone(&server);
+            let source = SourceId(client as u64);
             std::thread::spawn(move || -> ClientResult {
                 let mut served = 0;
                 for (rgb, depth) in frames {
-                    match server.submit(rgb, depth)?.wait() {
+                    let request = Request::new(rgb, depth).with_source(source);
+                    match server.submit(request)?.wait() {
+                        // The source tag must round-trip through the
+                        // batcher to the prediction.
+                        Ok(p) if p.source != Some(source) => {
+                            return Err(ServeError::BadRequest {
+                                reason: format!(
+                                    "source tag lost in serving: sent {source:?}, got {:?}",
+                                    p.source
+                                ),
+                            })
+                        }
                         Ok(_) => served += 1,
                         // Under a --deadline-ms an expiry is expected load
                         // shedding, not a client failure; keep driving.

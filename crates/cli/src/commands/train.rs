@@ -125,7 +125,7 @@ pub fn train(args: &Args) -> Result<String, CliError> {
         report.final_seg_loss()
     );
     let camera = dataset_config.camera();
-    let eval = evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default());
+    let eval = evaluate(&net, &data.test(None), &camera, &EvalOptions::default());
     let _ = writeln!(log, "held-out BEV metrics: {eval}");
     save_model(&mut net, &out)?;
     let _ = writeln!(log, "checkpoint saved to {out}");

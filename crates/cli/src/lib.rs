@@ -84,6 +84,7 @@ COMMANDS:
   eval       evaluate a checkpoint with the KITTI-style BEV metrics
   infer      run a checkpoint on a user-supplied rgb/depth frame pair
   info       print a model's architecture, parameter and MAC summary
+  plan       dump a compiled inference plan or check it against the graph path
   serve-bench  drive the batched inference server with synthetic clients
   chaos      run a seeded fault schedule against the server and check invariants
 
@@ -103,6 +104,9 @@ FLAGS BY COMMAND:
   infer:    --model <file.sfm> --rgb <f.ppm> --depth <f.pgm> --out <overlay.ppm>
             [--policy <trust|fallback|camera-only>]
   info:     [--scheme ...]
+  plan:     [--dump] [--check] [--scheme ...] [--smoke]
+            (--dump: op list + scratch schedule, both modes; --check: fails
+             on any bitwise plan-vs-graph delta; --smoke: tiny network)
   serve-bench: [--clients <n>] [--requests <n per client>] [--max-batch <n>]
             [--max-wait-ms <n>] [--queue <n>] [--policy ...] [--smoke]
             [--deadline-ms <n>] [--breaker-threshold <f>]

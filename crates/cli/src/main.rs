@@ -36,6 +36,7 @@ fn run(raw: &[String]) -> Result<String, CliError> {
         "eval" => commands::eval(&args),
         "infer" => commands::infer(&args),
         "info" => commands::info(&args),
+        "plan" => commands::plan(&args),
         "serve-bench" => commands::serve_bench(&args),
         "chaos" => commands::chaos(&args),
         other => Err(CliError::Invalid(format!("unknown command {other:?}"))),

@@ -15,8 +15,8 @@ use sf_tensor::TensorRng;
 /// sigmoid → w_f ∈ (0, 1)` per input.
 #[derive(Debug)]
 pub struct AuxiliaryWeightNetwork {
-    fc1: Linear,
-    fc2: Linear,
+    pub(crate) fc1: Linear,
+    pub(crate) fc2: Linear,
     channels: usize,
 }
 

@@ -1,22 +1,21 @@
 //! Model evaluation in the KITTI style: predict probability maps,
 //! optionally warp to bird's-eye view, and compute the benchmark metrics.
 //!
-//! Evaluation is where the graceful-degradation layer lives: every
+//! Evaluation routes every forward pass through a compiled
+//! [`Predictor`]: the network is frozen once per evaluation and each
 //! sample's depth input is screened by the [`DegradationPolicy`] in
-//! [`EvalOptions`] before the forward pass, and quarantined inputs route
-//! through [`FusionNet::forward_camera_only`] instead of fusing a broken
-//! sensor. [`evaluate_with_report`] additionally reports which samples
-//! were quarantined and why.
+//! [`EvalOptions`], with quarantined inputs running the camera-only plan
+//! instead of fusing a broken sensor. [`evaluate_with_report`]
+//! additionally reports which samples were quarantined and why.
 
-use sf_autograd::Graph;
 use sf_dataset::{bev_warp, BevGrid, Sample, SegmentationEval};
-use sf_nn::Mode;
 use sf_scene::PinholeCamera;
 use sf_tensor::Tensor;
 use sf_vision::GrayImage;
 
 use crate::health::{DegradationPolicy, HealthIssue, HealthThresholds};
 use crate::network::FusionNet;
+use crate::plan::Predictor;
 
 /// Evaluation options.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,58 +69,41 @@ impl DegradationReport {
 }
 
 /// Runs `net` on one sample and returns the per-pixel road probability
-/// map (sigmoid of the logits). Inputs are trusted; use
-/// [`predict_probability_with_policy`] to screen the depth sensor first.
-pub fn predict_probability(net: &mut FusionNet, sample: &Sample) -> GrayImage {
-    predict_probability_with_policy(
-        net,
-        sample,
-        DegradationPolicy::Trust,
-        &HealthThresholds::default(),
-    )
-    .0
+/// map (sigmoid of the logits). Inputs are trusted; compile a
+/// [`Predictor`] with a policy to screen the depth sensor first (and to
+/// amortise compilation across many frames).
+pub fn predict_probability(net: &FusionNet, sample: &Sample) -> GrayImage {
+    let mut predictor = Predictor::compile(net);
+    let prediction = predictor
+        .run(&sample.rgb, &sample.depth)
+        .expect("sample matches the network's geometry");
+    GrayImage::from_tensor(&prediction.prob)
 }
 
 /// Like [`predict_probability`], but screens the sample's depth input
 /// under `policy` first. Returns the probability map plus the quarantine
 /// reason, if the depth input was quarantined (in which case the
 /// prediction came from the camera-only path).
+#[deprecated(note = "compile a `Predictor` once and call `run` per frame")]
 pub fn predict_probability_with_policy(
     net: &mut FusionNet,
     sample: &Sample,
     policy: DegradationPolicy,
     thresholds: &HealthThresholds,
 ) -> (GrayImage, Option<HealthIssue>) {
-    let (h, w) = (sample.height(), sample.width());
-    let depth_channels = sample.depth.shape()[0];
-    let quarantine = policy.quarantine_depth(&sample.depth, thresholds);
-    let mut g = Graph::new();
-    let rgb = g.leaf(
-        sample
-            .rgb
-            .reshape(&[1, 3, h, w])
-            .expect("sample rgb is [3,H,W]"),
-    );
-    let out = if quarantine.is_some() {
-        net.forward_camera_only(&mut g, rgb, Mode::Eval)
-    } else {
-        let depth = g.leaf(
-            sample
-                .depth
-                .reshape(&[1, depth_channels, h, w])
-                .expect("sample depth is [C,H,W]"),
-        );
-        net.forward(&mut g, rgb, depth, Mode::Eval)
-    };
-    let prob = g.sigmoid(out.logits);
-    let flat = g
-        .value(prob)
-        .reshape(&[h, w])
-        .expect("logits are [1,1,H,W]");
-    (GrayImage::from_tensor(&flat), quarantine)
+    let mut predictor = Predictor::compile(net)
+        .with_policy(policy)
+        .with_thresholds(*thresholds);
+    let prediction = predictor
+        .run(&sample.rgb, &sample.depth)
+        .expect("sample matches the network's geometry");
+    (
+        GrayImage::from_tensor(&prediction.prob),
+        prediction.quarantined,
+    )
 }
 
-/// One slot's result from [`predict_probability_slots`].
+/// One slot's result from [`Predictor::run_slots`].
 #[derive(Debug, Clone)]
 pub struct BatchPrediction {
     /// Per-pixel road probability map, `[H, W]`.
@@ -131,27 +113,15 @@ pub struct BatchPrediction {
     pub quarantined: Option<HealthIssue>,
 }
 
-/// Batched counterpart of [`predict_probability_with_policy`]: runs `net`
-/// over many `(rgb, depth)` frame pairs with as few forward passes as
-/// possible — one fused pass for the healthy slots plus (only when the
-/// policy quarantines something) one camera-only pass for the quarantined
-/// slots. Each slot's `rgb` is `[3, H, W]` and `depth` is `[C, H, W]`.
-///
-/// Because evaluation-mode BatchNorm uses frozen running statistics, each
-/// slot's probabilities are bit-identical to running that slot through
-/// [`predict_probability_with_policy`] alone — batching never changes
-/// results, which is what lets the serving layer coalesce requests freely.
+/// Batched one-shot helper: compiles a [`Predictor`] and runs
+/// [`Predictor::run_slots`] once. Each slot's `rgb` is `[3, H, W]` and
+/// `depth` is `[C, H, W]`.
 ///
 /// # Errors
 ///
 /// Returns an error if `rgb` and `depth` lengths differ or slot shapes
-/// disagree within a group.
-///
-/// # Panics
-///
-/// Like [`FusionNet::forward`], panics if the (already shape-consistent)
-/// inputs do not match the network's configured resolution; callers that
-/// accept untrusted requests should validate shapes at admission.
+/// disagree with the network's geometry.
+#[deprecated(note = "compile a `Predictor` once and call `run_slots` per batch")]
 pub fn predict_probability_slots(
     net: &mut FusionNet,
     rgb: &[&Tensor],
@@ -159,104 +129,34 @@ pub fn predict_probability_slots(
     policy: DegradationPolicy,
     thresholds: &HealthThresholds,
 ) -> sf_tensor::Result<Vec<BatchPrediction>> {
-    if rgb.len() != depth.len() {
-        return Err(sf_tensor::TensorError::InvalidGeometry {
-            op: "predict_probability_slots",
-            reason: format!("{} rgb slots vs {} depth slots", rgb.len(), depth.len()),
-        });
-    }
-    let issues: Vec<Option<HealthIssue>> = depth
-        .iter()
-        .map(|d| policy.quarantine_depth(d, thresholds))
-        .collect();
-    predict_probability_slots_prejudged(net, rgb, depth, &issues)
+    Predictor::compile(net)
+        .with_policy(policy)
+        .with_thresholds(*thresholds)
+        .run_slots(rgb, depth)
 }
 
-/// Like [`predict_probability_slots`], but with the quarantine verdicts
-/// already decided per slot (`Some(issue)` routes that slot camera-only).
-/// This is the entry point for callers that layer extra routing on top of
-/// the per-input policy — the serving circuit breaker decides some slots
-/// fleet-wide and hands the merged verdicts down here.
+/// Batched one-shot helper with the quarantine verdicts already decided
+/// per slot: compiles a [`Predictor`] and runs
+/// [`Predictor::run_slots_prejudged`] once.
 ///
 /// # Errors
 ///
 /// Returns an error if the slice lengths disagree or slot shapes disagree
-/// within a group.
+/// with the network's geometry.
+#[deprecated(note = "compile a `Predictor` once and call `run_slots_prejudged` per batch")]
 pub fn predict_probability_slots_prejudged(
     net: &mut FusionNet,
     rgb: &[&Tensor],
     depth: &[&Tensor],
     issues: &[Option<HealthIssue>],
 ) -> sf_tensor::Result<Vec<BatchPrediction>> {
-    if rgb.len() != depth.len() || rgb.len() != issues.len() {
-        return Err(sf_tensor::TensorError::InvalidGeometry {
-            op: "predict_probability_slots_prejudged",
-            reason: format!(
-                "{} rgb slots vs {} depth slots vs {} verdicts",
-                rgb.len(),
-                depth.len(),
-                issues.len()
-            ),
-        });
-    }
-    let n = rgb.len();
-    let mut slots: Vec<Option<BatchPrediction>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let mut fused: Vec<usize> = Vec::with_capacity(n);
-    let mut camera_only: Vec<usize> = Vec::new();
-    for (i, issue) in issues.iter().enumerate() {
-        if issue.is_some() {
-            camera_only.push(i);
-        } else {
-            fused.push(i);
-        }
-    }
-    let run_group =
-        |net: &mut FusionNet, group: &[usize], use_depth: bool| -> sf_tensor::Result<Vec<Tensor>> {
-            let rgb_batch = Tensor::stack_refs(&group.iter().map(|&i| rgb[i]).collect::<Vec<_>>())?;
-            let mut g = Graph::new();
-            let rgb_id = g.leaf(rgb_batch);
-            let out = if use_depth {
-                let depth_batch =
-                    Tensor::stack_refs(&group.iter().map(|&i| depth[i]).collect::<Vec<_>>())?;
-                let depth_id = g.leaf(depth_batch);
-                net.forward(&mut g, rgb_id, depth_id, Mode::Eval)
-            } else {
-                net.forward_camera_only(&mut g, rgb_id, Mode::Eval)
-            };
-            let prob = g.sigmoid(out.logits);
-            let probs = g.value(prob);
-            let (h, w) = (probs.shape()[2], probs.shape()[3]);
-            (0..group.len())
-                .map(|k| probs.index_axis0(k).reshape(&[h, w]))
-                .collect()
-        };
-    if !fused.is_empty() {
-        for (&i, prob) in fused.iter().zip(run_group(net, &fused, true)?) {
-            slots[i] = Some(BatchPrediction {
-                prob,
-                quarantined: None,
-            });
-        }
-    }
-    if !camera_only.is_empty() {
-        for (&i, prob) in camera_only.iter().zip(run_group(net, &camera_only, false)?) {
-            slots[i] = Some(BatchPrediction {
-                prob,
-                quarantined: issues[i],
-            });
-        }
-    }
-    Ok(slots
-        .into_iter()
-        .map(|s| s.expect("every slot lands in exactly one group"))
-        .collect())
+    Predictor::compile(net).run_slots_prejudged(rgb, depth, issues)
 }
 
 /// Evaluates `net` over `samples`, pooling pixels across all of them
 /// (exactly how the KITTI server pools a category's test frames).
 pub fn evaluate(
-    net: &mut FusionNet,
+    net: &FusionNet,
     samples: &[&Sample],
     camera: &PinholeCamera,
     options: &EvalOptions,
@@ -266,12 +166,19 @@ pub fn evaluate(
 
 /// Like [`evaluate`], but also reports which samples' depth inputs were
 /// quarantined by the degradation policy.
+///
+/// The network is compiled into a [`Predictor`] once and every sample
+/// runs through its plans — shape derivation, module dispatch and scratch
+/// placement are paid a single time per evaluation.
 pub fn evaluate_with_report(
-    net: &mut FusionNet,
+    net: &FusionNet,
     samples: &[&Sample],
     camera: &PinholeCamera,
     options: &EvalOptions,
 ) -> (SegmentationEval, DegradationReport) {
+    let mut predictor = Predictor::compile(net)
+        .with_policy(options.policy)
+        .with_thresholds(options.thresholds);
     let mut prob_maps = Vec::with_capacity(samples.len());
     let mut gt_maps = Vec::with_capacity(samples.len());
     let mut report = DegradationReport {
@@ -279,9 +186,11 @@ pub fn evaluate_with_report(
         ..DegradationReport::default()
     };
     for (index, sample) in samples.iter().enumerate() {
-        let (prob, quarantine) =
-            predict_probability_with_policy(net, sample, options.policy, &options.thresholds);
-        if let Some(issue) = quarantine {
+        let prediction = predictor
+            .run(&sample.rgb, &sample.depth)
+            .expect("sample matches the network's geometry");
+        let prob = GrayImage::from_tensor(&prediction.prob);
+        if let Some(issue) = prediction.quarantined {
             report.quarantined.push((index, issue));
         }
         let gt = gray_from_chw(&sample.gt);
@@ -323,9 +232,9 @@ mod tests {
     #[test]
     fn probability_maps_are_valid() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
-        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
+        let net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
         let sample = data.test(None)[0];
-        let prob = predict_probability(&mut net, sample);
+        let prob = predict_probability(&net, sample);
         assert_eq!(prob.width(), 48);
         assert_eq!(prob.height(), 16);
         assert!(prob.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -342,10 +251,10 @@ mod tests {
         let camera = dataset_config.camera();
         let options = EvalOptions::default();
 
-        let mut untrained =
+        let untrained =
             FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
         let test = data.test(None);
-        let before = evaluate(&mut untrained, &test, &camera, &options);
+        let before = evaluate(&untrained, &test, &camera, &options);
 
         let mut trained =
             FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
@@ -355,7 +264,7 @@ mod tests {
             ..TrainConfig::tiny()
         };
         train(&mut trained, &train_samples, &config);
-        let after = evaluate(&mut trained, &test, &camera, &options);
+        let after = evaluate(&trained, &test, &camera, &options);
         assert!(
             after.f_score > before.f_score + 5.0,
             "training should help: before {:.2}, after {:.2}",
@@ -369,10 +278,10 @@ mod tests {
     fn image_space_eval_also_works() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
         let camera = data.config().camera();
-        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
+        let net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
         let test = data.test(None);
         let eval = evaluate(
-            &mut net,
+            &net,
             &test[..2],
             &camera,
             &EvalOptions {
@@ -390,8 +299,7 @@ mod tests {
     fn fallback_on_dead_depth_matches_explicit_camera_only() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
         let camera = data.config().camera();
-        let mut net =
-            FusionNet::new(FusionScheme::AllFilterU, &net_config()).expect("valid config");
+        let net = FusionNet::new(FusionScheme::AllFilterU, &net_config()).expect("valid config");
         let test = data.test(None);
         // Kill every depth input outright.
         let dead: Vec<Sample> = test
@@ -403,8 +311,7 @@ mod tests {
             .collect();
         let dead_refs: Vec<&Sample> = dead.iter().collect();
         let fallback = EvalOptions::default().with_policy(DegradationPolicy::CameraFallback);
-        let (with_fallback, report) =
-            evaluate_with_report(&mut net, &dead_refs, &camera, &fallback);
+        let (with_fallback, report) = evaluate_with_report(&net, &dead_refs, &camera, &fallback);
         assert_eq!(report.evaluated, dead_refs.len());
         assert_eq!(report.quarantined_count(), dead_refs.len());
         assert!(report
@@ -413,7 +320,7 @@ mod tests {
             .all(|&(_, issue)| issue == HealthIssue::ZeroEnergy));
         // The explicit camera-only reference on the same scenes.
         let camera_only = EvalOptions::default().with_policy(DegradationPolicy::CameraOnly);
-        let reference = evaluate(&mut net, &test, &camera, &camera_only);
+        let reference = evaluate(&net, &test, &camera, &camera_only);
         assert!(
             (with_fallback.f_score - reference.f_score).abs() < 1e-6,
             "fallback {} vs camera-only {}",
@@ -423,6 +330,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn slot_predictions_match_single_sample_path_exactly() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
         let mut net =
@@ -463,6 +371,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn slot_prediction_rejects_mismatched_lengths() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
         let mut net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
@@ -481,10 +390,9 @@ mod tests {
     fn trust_policy_never_quarantines() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
         let camera = data.config().camera();
-        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
+        let net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
         let test = data.test(None);
-        let (_, report) =
-            evaluate_with_report(&mut net, &test[..2], &camera, &EvalOptions::default());
+        let (_, report) = evaluate_with_report(&net, &test[..2], &camera, &EvalOptions::default());
         assert_eq!(report.evaluated, 2);
         assert_eq!(report.quarantined_count(), 0);
     }
@@ -493,13 +401,13 @@ mod tests {
     fn healthy_inputs_are_not_quarantined_by_fallback() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
         let camera = data.config().camera();
-        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
+        let net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
         let test = data.test(None);
         let fallback = EvalOptions::default().with_policy(DegradationPolicy::CameraFallback);
-        let (with_policy, report) = evaluate_with_report(&mut net, &test, &camera, &fallback);
+        let (with_policy, report) = evaluate_with_report(&net, &test, &camera, &fallback);
         assert_eq!(report.quarantined_count(), 0, "healthy depth must fuse");
         // With nothing quarantined the result is identical to trust.
-        let trusted = evaluate(&mut net, &test, &camera, &EvalOptions::default());
+        let trusted = evaluate(&net, &test, &camera, &EvalOptions::default());
         assert_eq!(with_policy, trusted);
     }
 }

@@ -42,6 +42,7 @@ mod eval;
 mod fd_loss;
 mod health;
 mod network;
+mod plan;
 mod probe;
 mod stage;
 mod trainer;
@@ -49,9 +50,12 @@ mod trainer;
 pub use awn::AuxiliaryWeightNetwork;
 pub use config::{ConfigError, FusionScheme, NetworkConfig, NetworkConfigBuilder};
 pub use eval::{
-    evaluate, evaluate_with_report, predict_probability, predict_probability_slots,
-    predict_probability_slots_prejudged, predict_probability_with_policy, BatchPrediction,
-    DegradationReport, EvalOptions,
+    evaluate, evaluate_with_report, predict_probability, BatchPrediction, DegradationReport,
+    EvalOptions,
+};
+#[allow(deprecated)]
+pub use eval::{
+    predict_probability_slots, predict_probability_slots_prejudged, predict_probability_with_policy,
 };
 pub use fd_loss::{fd_loss, fd_loss_raw};
 pub use health::{
@@ -59,6 +63,7 @@ pub use health::{
     HealthIssue, HealthThresholds, InputHealth,
 };
 pub use network::{ForwardOutput, FusionNet};
+pub use plan::{CompiledPlan, PlanMode, Prediction, Predictor};
 pub use probe::{measure_disparity, measure_disparity_with_null};
 pub use trainer::{train, LrSchedule, OptimizerKind, RecoveryEvent, TrainConfig, TrainReport};
 

@@ -37,16 +37,46 @@ pub struct ForwardOutput {
 pub struct FusionNet {
     scheme: FusionScheme,
     config: NetworkConfig,
-    rgb_stages: Vec<EncoderStage>,
+    pub(crate) rgb_stages: Vec<EncoderStage>,
     /// One fewer entry than `rgb_stages` under Layer-sharing.
-    depth_stages: Vec<EncoderStage>,
+    pub(crate) depth_stages: Vec<EncoderStage>,
     /// Depth→RGB Fusion-filters, one per stage (AU and AB).
-    filters_d2r: Vec<Conv2d>,
+    pub(crate) filters_d2r: Vec<Conv2d>,
     /// RGB→Depth Fusion-filters, one per stage (AB only).
-    filters_r2d: Vec<Conv2d>,
-    awn: Option<AuxiliaryWeightNetwork>,
-    decoder: Vec<DecoderStage>,
-    head: Conv2d,
+    pub(crate) filters_r2d: Vec<Conv2d>,
+    pub(crate) awn: Option<AuxiliaryWeightNetwork>,
+    pub(crate) decoder: Vec<DecoderStage>,
+    pub(crate) head: Conv2d,
+}
+
+/// How the depth contribution entering a stage's fusion sum is produced
+/// (the `d_contrib` term of Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DepthContribution {
+    /// The raw depth features are summed in directly (Baseline, BS, and
+    /// every non-deepest WS stage).
+    Direct,
+    /// Through the stage's depth→RGB `1×1` Fusion-filter (AU, AB).
+    FilteredD2r,
+    /// Scaled by the per-input AWN weight (WS, deepest stage only).
+    AwnWeighted,
+}
+
+/// The per-stage fusion wiring of a [`FusionNet`], fully determined by the
+/// scheme and configuration. Both forward paths and the compiled-plan
+/// builder consume this one description, so the three can never drift.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StageWiring {
+    /// Stage index (also indexes `rgb_stages` / `filters_*`).
+    pub index: usize,
+    /// The depth stream runs through the *RGB* stage's filters
+    /// (Layer-sharing at the deepest stages).
+    pub shared: bool,
+    /// How the depth features enter the fusion sum.
+    pub d_contrib: DepthContribution,
+    /// The depth stream additionally receives the RGB features through a
+    /// reverse Fusion-filter (AB, all but the deepest stage).
+    pub reverse_filter: bool,
 }
 
 impl FusionNet {
@@ -149,6 +179,35 @@ impl FusionNet {
         &self.config
     }
 
+    /// The per-stage fusion wiring, deepest stage last. This is the single
+    /// source of truth for how the two branches interact — [`Self::forward`],
+    /// [`Self::cost`] and the compiled-plan builder all walk it.
+    pub(crate) fn stage_wiring(&self) -> Vec<StageWiring> {
+        let stages = self.config.stages();
+        let shared_from = if self.scheme.shares_deep_stage() {
+            stages - self.config.shared_stages
+        } else {
+            stages
+        };
+        (0..stages)
+            .map(|i| {
+                let d_contrib = if self.scheme.has_fusion_filter() {
+                    DepthContribution::FilteredD2r
+                } else if i == stages - 1 && self.scheme == FusionScheme::WeightedSharing {
+                    DepthContribution::AwnWeighted
+                } else {
+                    DepthContribution::Direct
+                };
+                StageWiring {
+                    index: i,
+                    shared: i >= shared_from,
+                    d_contrib,
+                    reverse_filter: self.scheme == FusionScheme::AllFilterB && i < stages - 1,
+                }
+            })
+            .collect()
+    }
+
     /// Records a full forward pass for a batch: `rgb` is `[N, 3, H, W]`,
     /// `depth` is `[N, 1, H, W]`.
     ///
@@ -167,30 +226,25 @@ impl FusionNet {
         let mut fused_maps = Vec::with_capacity(stages);
         let mut r = rgb;
         let mut d = depth;
-        let shared_from = if self.scheme.shares_deep_stage() {
-            stages - self.config.shared_stages
-        } else {
-            stages
-        };
-        for i in 0..stages {
-            let shared = i >= shared_from;
+        for w in self.stage_wiring() {
+            let i = w.index;
             // Encoder stages: under sharing, the deepest RGB stage also
             // processes the depth stream (same filters, twice bound).
             let r_feat = self.rgb_stages[i].forward(g, r, mode);
-            let d_feat = if shared {
+            let d_feat = if w.shared {
                 self.rgb_stages[i].forward(g, d, mode)
             } else {
                 self.depth_stages[i].forward(g, d, mode)
             };
             // Depth contribution entering the RGB branch (Eq. 2).
-            let d_contrib = if self.scheme.has_fusion_filter() {
-                self.filters_d2r[i].forward(g, d_feat, mode)
-            } else if i == stages - 1 && self.scheme == FusionScheme::WeightedSharing {
-                let awn = self.awn.as_mut().expect("WS always builds an AWN");
-                let w = awn.weight(g, r_feat, d_feat, mode);
-                g.mul(d_feat, w)
-            } else {
-                d_feat
+            let d_contrib = match w.d_contrib {
+                DepthContribution::FilteredD2r => self.filters_d2r[i].forward(g, d_feat, mode),
+                DepthContribution::AwnWeighted => {
+                    let awn = self.awn.as_mut().expect("WS always builds an AWN");
+                    let weight = awn.weight(g, r_feat, d_feat, mode);
+                    g.mul(d_feat, weight)
+                }
+                DepthContribution::Direct => d_feat,
             };
             fusion_pairs.push((r_feat, d_contrib));
             let fused = g.add(r_feat, d_contrib);
@@ -199,7 +253,7 @@ impl FusionNet {
             // The depth branch continues with its own features; under the
             // bidirectional filter it also receives the RGB features
             // through the reverse Fusion-filter.
-            d = if self.scheme == FusionScheme::AllFilterB && i < stages - 1 {
+            d = if w.reverse_filter {
                 let r_contrib = self.filters_r2d[i].forward(g, r_feat, mode);
                 g.add(d_feat, r_contrib)
             } else {
@@ -225,8 +279,10 @@ impl FusionNet {
         let stages = self.config.stages();
         let mut fused_maps = Vec::with_capacity(stages);
         let mut r = rgb;
-        for stage in &mut self.rgb_stages {
-            r = stage.forward(g, r, mode);
+        // Same wiring walk as `forward`, with every depth interaction
+        // dead-branch eliminated: only the RGB column executes.
+        for w in self.stage_wiring() {
+            r = self.rgb_stages[w.index].forward(g, r, mode);
             fused_maps.push(r);
         }
         let logits = self.decode(g, &fused_maps, mode);
@@ -272,20 +328,14 @@ impl FusionNet {
         }
         // Depth branch: MACs for every stage; parameters only for owned
         // (non-shared) stages.
-        let shared_from = if self.scheme.shares_deep_stage() {
-            stages - self.config.shared_stages
-        } else {
-            stages
-        };
         let mut dshape = (self.config.depth_channels, h, w);
-        for (i, rgb_stage) in self.rgb_stages.iter().enumerate() {
-            let shared = i >= shared_from;
-            if shared {
-                let (c, s) = rgb_stage.cost(dshape);
+        for wiring in self.stage_wiring() {
+            if wiring.shared {
+                let (c, s) = self.rgb_stages[wiring.index].cost(dshape);
                 total.macs += c.macs; // params already counted in RGB pass
                 dshape = s;
             } else {
-                let (c, s) = self.depth_stages[i].cost(dshape);
+                let (c, s) = self.depth_stages[wiring.index].cost(dshape);
                 total = total + c;
                 dshape = s;
             }

@@ -1,0 +1,398 @@
+//! The compiled-plan executor.
+//!
+//! Every kernel here replays the graph path's per-element f32 arithmetic
+//! in the identical order, so plan outputs are bit-for-bit equal to
+//! running [`crate::FusionNet::forward`] in `Mode::Eval` and taking the
+//! sigmoid of the logits. Where a kernel deviates structurally (fused
+//! epilogues, folded sums) the deviation is restricted to *where* a value
+//! is computed, never to the sequence of operations that produce it.
+
+use sf_tensor::{im2col_into, matmul_into, matmul_transpose_b, Tensor, TensorError};
+
+use super::compile::{CompiledPlan, ConvOp, PlanMode, PlanOp, Ref};
+
+/// Bit-for-bit the same function as the autograd graph's private
+/// `stable_sigmoid` (crates/autograd/src/graph.rs) — the plan's
+/// probability head must reproduce it exactly.
+fn stable_sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Shares a raw workspace pointer across the worker closure. Each image
+/// index touches a disjoint region, so concurrent access never overlaps
+/// (same idiom as the pool kernels in `sf-tensor`).
+struct SyncPtr<T>(*mut T);
+
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Resolves a value reference against the external inputs and the slot
+/// arena.
+fn resolve<'a>(
+    r: Ref,
+    rgb: &'a [f32],
+    depth: Option<&'a [f32]>,
+    slots: &'a [Vec<f32>],
+) -> &'a [f32] {
+    match r {
+        Ref::Rgb => rgb,
+        Ref::Depth => depth.expect("fused plan resolved a depth ref without a depth input"),
+        Ref::Slot(s) => &slots[s],
+    }
+}
+
+impl CompiledPlan {
+    /// Runs the plan over a batch.
+    ///
+    /// `rgb` must be `[N, C_rgb, H, W]` matching the compiled geometry;
+    /// `depth` is required (same `N`, `[N, C_d, H, W]`) for a
+    /// [`PlanMode::Fused`] plan and ignored for camera-only plans.
+    /// Returns road probabilities of shape `[N, 1, H, W]`.
+    ///
+    /// Scratch slots and the im2col workspace are reserved up front from
+    /// the static schedule — the hot path performs no free-list search.
+    pub fn run_batch(
+        &mut self,
+        rgb: &Tensor,
+        depth: Option<&Tensor>,
+    ) -> Result<Tensor, TensorError> {
+        let (rc, rh, rw) = self.rgb_chw;
+        let n = match rgb.shape() {
+            [n, c, h, w] if *c == rc && *h == rh && *w == rw && *n > 0 => *n,
+            other => {
+                return Err(TensorError::InvalidGeometry {
+                    op: "plan::run_batch",
+                    reason: format!(
+                        "plan expects rgb [N, {rc}, {rh}, {rw}] with N > 0, got {other:?}"
+                    ),
+                })
+            }
+        };
+        let depth_data = if self.mode() == PlanMode::Fused {
+            let (dc, dh, dw) = self.depth_chw;
+            let d = depth.ok_or_else(|| TensorError::InvalidGeometry {
+                op: "plan::run_batch",
+                reason: "fused plan requires a depth batch".into(),
+            })?;
+            match d.shape() {
+                [dn, c, h, w] if *dn == n && *c == dc && *h == dh && *w == dw => {}
+                other => {
+                    return Err(TensorError::InvalidGeometry {
+                        op: "plan::run_batch",
+                        reason: format!(
+                            "plan expects depth [{n}, {dc}, {dh}, {dw}], got {other:?}"
+                        ),
+                    })
+                }
+            }
+            Some(d.data())
+        } else {
+            None
+        };
+        let rgb_data = rgb.data();
+
+        // Static reservation: one resize against the schedule, no
+        // free-list search per op.
+        let ws_need = n * self.ws_per_image;
+        if self.workspace.len() != ws_need {
+            self.workspace.resize(ws_need, 0.0);
+        }
+
+        // Disjoint field borrows: the op list stays in place (a panic
+        // mid-batch must leave the plan reusable) while the slot arena
+        // and workspace are threaded through the kernels mutably.
+        let ws_per_image = self.ws_per_image;
+        let mut live = 0usize;
+        let mut high = 0usize;
+        {
+            let ops = &self.ops;
+            let slots = &mut self.slots;
+            let workspace = &mut self.workspace;
+            for (j, op) in ops.iter().enumerate() {
+                live += n * self.births[j];
+                if let PlanOp::Conv(c) = op {
+                    high = high.max(live + n * c.geom.patch() * c.geom.cols());
+                } else {
+                    high = high.max(live);
+                }
+                exec_op(op, n, rgb_data, depth_data, slots, workspace, ws_per_image);
+                live -= n * self.deaths[j].iter().sum::<usize>();
+            }
+        }
+        self.last_high_water = high;
+
+        let (oh, ow) = self.out_hw;
+        let data = std::mem::take(&mut self.slots[self.out_slot]);
+        Tensor::from_vec(data, &[n, 1, oh, ow])
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_op(
+    op: &PlanOp,
+    n: usize,
+    rgb: &[f32],
+    depth: Option<&[f32]>,
+    slots: &mut [Vec<f32>],
+    workspace: &mut [f32],
+    ws_per_image: usize,
+) {
+    match op {
+        PlanOp::Conv(c) => exec_conv(c, n, rgb, depth, slots, workspace, ws_per_image),
+        PlanOp::MaxPool {
+            input,
+            out,
+            c,
+            h,
+            w,
+            accumulate,
+            ..
+        } => {
+            let (c, h, w) = (*c, *h, *w);
+            let (oh, ow) = (h / 2, w / 2);
+            let out_plane = oh * ow;
+            let mut buf = std::mem::take(&mut slots[*out]);
+            buf.resize(n * c * out_plane, 0.0);
+            let src = resolve(*input, rgb, depth, slots);
+            let acc = accumulate.map(|r| resolve(r, rgb, depth, slots));
+            // Identical traversal to the reference `max_pool2d`
+            // kernel (2×2, stride 2), with the folded fusion sum
+            // applied as `best + acc` — the reference's `r + d`.
+            sf_runtime::parallel_chunks_mut(&mut buf, out_plane, |p, dst| {
+                let plane = p * h * w;
+                let ac = acc.map(|a| &a[p * out_plane..(p + 1) * out_plane]);
+                let mut oi = 0usize;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..2 {
+                            let iy = oy * 2 + ky;
+                            let row = plane + iy * w + ox * 2;
+                            for kx in 0..2 {
+                                let v = src[row + kx];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        dst[oi] = match ac {
+                            Some(a) => best + a[oi],
+                            None => best,
+                        };
+                        oi += 1;
+                    }
+                }
+            });
+            slots[*out] = buf;
+        }
+        PlanOp::Upsample {
+            input,
+            out,
+            c,
+            h,
+            w,
+            ..
+        } => {
+            let (c, h, w) = (*c, *h, *w);
+            let (uh, uw) = (h * 2, w * 2);
+            let mut buf = std::mem::take(&mut slots[*out]);
+            buf.resize(n * c * uh * uw, 0.0);
+            let src = resolve(*input, rgb, depth, slots);
+            // Pure copies — the reference builds each output row then
+            // duplicates it; any write order is bit-identical.
+            for plane in 0..n * c {
+                let sp = plane * h * w;
+                let dp = plane * uh * uw;
+                for iy in 0..h {
+                    let srow = &src[sp + iy * w..sp + (iy + 1) * w];
+                    let dbase = dp + iy * 2 * uw;
+                    let drow = &mut buf[dbase..dbase + uw];
+                    for (ix, &v) in srow.iter().enumerate() {
+                        drow[ix * 2..(ix + 1) * 2].fill(v);
+                    }
+                    let (head, tail) = buf.split_at_mut(dbase + uw);
+                    tail[..uw].copy_from_slice(&head[dbase..dbase + uw]);
+                }
+            }
+            slots[*out] = buf;
+        }
+        PlanOp::AwnWeight {
+            r,
+            d,
+            out,
+            c,
+            h,
+            w,
+            fc1_w,
+            fc1_b,
+            fc2_w,
+            fc2_b,
+            ..
+        } => {
+            let (c, h, w) = (*c, *h, *w);
+            let plane = h * w;
+            let rd = resolve(*r, rgb, depth, slots);
+            let dd = resolve(*d, rgb, depth, slots);
+            // GAP of the branch difference, accumulated in ascending
+            // element order exactly like the reference
+            // `sub → global_avg_pool` chain.
+            let inv = 1.0 / plane as f32;
+            let mut pooled = Tensor::zeros(&[n, c]);
+            {
+                let pd = pooled.data_mut();
+                for img in 0..n {
+                    for ch in 0..c {
+                        let base = (img * c + ch) * plane;
+                        let mut acc = 0.0f32;
+                        for k in 0..plane {
+                            acc += rd[base + k] - dd[base + k];
+                        }
+                        pd[img * c + ch] = acc * inv;
+                    }
+                }
+            }
+            // Same call chain as the graph's linear → relu → linear →
+            // sigmoid on the tiny [N, C] pooled tensor.
+            let h1 = matmul_transpose_b(&pooled, fc1_w)
+                .expect("AWN fc1 matmul")
+                .add(fc1_b);
+            let h1 = h1.map(|x| x.max(0.0));
+            let h2 = matmul_transpose_b(&h1, fc2_w)
+                .expect("AWN fc2 matmul")
+                .add(fc2_b);
+            let wv = h2.map(stable_sigmoid);
+            let mut buf = std::mem::take(&mut slots[*out]);
+            buf.clear();
+            buf.extend_from_slice(wv.data());
+            slots[*out] = buf;
+        }
+        PlanOp::MulAdd {
+            r,
+            d,
+            weight,
+            out,
+            elems,
+            ..
+        } => {
+            let elems = *elems;
+            let mut buf = std::mem::take(&mut slots[*out]);
+            buf.resize(n * elems, 0.0);
+            let rd = resolve(*r, rgb, depth, slots);
+            let dd = resolve(*d, rgb, depth, slots);
+            let wv = resolve(*weight, rgb, depth, slots);
+            // `r + d·w[img]`: multiply then add, the reference's
+            // `mul(d, w)` → `add(r, ·)` order.
+            for (img, &wi) in wv[..n].iter().enumerate() {
+                let base = img * elems;
+                for k in 0..elems {
+                    buf[base + k] = rd[base + k] + dd[base + k] * wi;
+                }
+            }
+            slots[*out] = buf;
+        }
+        PlanOp::Sigmoid {
+            input, out, elems, ..
+        } => {
+            let elems = *elems;
+            let mut buf = std::mem::take(&mut slots[*out]);
+            buf.resize(n * elems, 0.0);
+            let src = resolve(*input, rgb, depth, slots);
+            for (v, &s) in buf.iter_mut().zip(&src[..n * elems]) {
+                *v = stable_sigmoid(s);
+            }
+            slots[*out] = buf;
+        }
+    }
+}
+
+/// The convolution kernel with its fused epilogue. Per image:
+/// `im2col → matmul` (the reference's exact unfold and accumulate
+/// order), then one pass applying `+bias`, the folded BatchNorm
+/// (`((v − m)·s)·γ + β`), ReLU, and the folded `+accumulate` sum.
+#[allow(clippy::too_many_arguments)]
+fn exec_conv(
+    op: &ConvOp,
+    n: usize,
+    rgb: &[f32],
+    depth: Option<&[f32]>,
+    slots: &mut [Vec<f32>],
+    workspace: &mut [f32],
+    ws_per_image: usize,
+) {
+    let g = op.geom;
+    let in_plane = g.in_plane();
+    let out_plane = g.out_plane();
+    let (patch, cols) = (g.patch(), g.cols());
+    let mut out = std::mem::take(&mut slots[op.out]);
+    // The matmul accumulates, so the output must start zeroed.
+    out.clear();
+    out.resize(n * out_plane, 0.0);
+    let input = resolve(op.input, rgb, depth, slots);
+    let acc = op.accumulate.map(|r| resolve(r, rgb, depth, slots));
+    let wm = op.wmat.data();
+    let ws_ptr = SyncPtr(workspace.as_mut_ptr());
+    sf_runtime::parallel_chunks_mut(&mut out, out_plane, |img, dst| {
+        // SAFETY: image `img` exclusively owns the workspace region
+        // `[img · ws_per_image, img · ws_per_image + patch·cols)`;
+        // regions of distinct images are disjoint and `ws_per_image ≥
+        // patch·cols` for every conv in the plan.
+        let cb = unsafe {
+            std::slice::from_raw_parts_mut(ws_ptr.get().add(img * ws_per_image), patch * cols)
+        };
+        // im2col leaves padding taps untouched — pre-zero the region.
+        cb.fill(0.0);
+        im2col_into(
+            &input[img * in_plane..(img + 1) * in_plane],
+            g.in_c,
+            g.in_h,
+            g.in_w,
+            g.k,
+            g.k,
+            g.spec,
+            cb,
+            cols,
+            0,
+        );
+        matmul_into(wm, cb, dst, g.out_c, patch, cols);
+        if let Some(bias) = &op.bias {
+            for (oc, &bv) in bias.iter().enumerate() {
+                for v in &mut dst[oc * cols..(oc + 1) * cols] {
+                    *v += bv;
+                }
+            }
+        }
+        if let Some(bn) = &op.bn {
+            for oc in 0..g.out_c {
+                let (m, s, ga, be) = (bn.mean[oc], bn.scale[oc], bn.gamma[oc], bn.beta[oc]);
+                for v in &mut dst[oc * cols..(oc + 1) * cols] {
+                    *v = ((*v - m) * s) * ga + be;
+                }
+            }
+        }
+        if op.relu {
+            for v in dst.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        if let Some(a) = acc {
+            for (v, &av) in dst
+                .iter_mut()
+                .zip(&a[img * out_plane..(img + 1) * out_plane])
+            {
+                *v += av;
+            }
+        }
+    });
+    slots[op.out] = out;
+}

@@ -1,0 +1,481 @@
+//! Compiled inference plans and the unified [`Predictor`] entry point.
+//!
+//! The graph path ([`FusionNet::forward`]) re-derives shapes, walks module
+//! dispatch and loans scratch buffers from a free list on every call. For
+//! inference none of that work depends on the input — only on the frozen
+//! network — so a [`CompiledPlan`] does it once, ahead of time: a flat op
+//! list with pre-computed shapes, fused epilogues, folded fusion sums and
+//! a static scratch schedule with an exact peak-memory reservation.
+//!
+//! [`Predictor`] pairs a fused plan with a camera-only plan (the depth
+//! branch dead-branch-eliminated) and applies a [`DegradationPolicy`] per
+//! input, replacing the old `forward` / `forward_camera_only` /
+//! `predict_probability_with_policy` call fan-out with one entry point
+//! that the CLI, the evaluator and the serving layer all share.
+//!
+//! Plans freeze the network's weights at compile time; recompile after
+//! training steps. Outputs are bit-identical to the graph path in
+//! `Mode::Eval` — a property the test suite pins down per fusion scheme.
+//!
+//! # Examples
+//!
+//! ```
+//! use sf_core::{FusionNet, FusionScheme, NetworkConfig, Predictor};
+//! use sf_tensor::TensorRng;
+//!
+//! let config = NetworkConfig::tiny();
+//! let net = FusionNet::new(FusionScheme::AllFilterU, &config)?;
+//! let mut predictor = Predictor::compile(&net);
+//! let mut rng = TensorRng::seed_from(0);
+//! let rgb = rng.uniform(&[3, config.height, config.width], 0.0, 1.0);
+//! let depth = rng.uniform(&[1, config.height, config.width], 0.0, 1.0);
+//! let prediction = predictor.run(&rgb, &depth)?;
+//! assert_eq!(prediction.prob.shape(), &[config.height, config.width]);
+//! assert!(prediction.quarantined.is_none());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod compile;
+mod exec;
+
+pub use compile::{CompiledPlan, PlanMode};
+
+use sf_tensor::{Tensor, TensorError};
+
+use crate::eval::BatchPrediction;
+use crate::health::{DegradationPolicy, HealthIssue, HealthThresholds};
+use crate::network::FusionNet;
+
+/// One input's result from [`Predictor::run`].
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Per-pixel road probability map, `[H, W]`.
+    pub prob: Tensor,
+    /// Why the depth input was quarantined, if it was (in which case
+    /// `prob` came from the camera-only plan).
+    pub quarantined: Option<HealthIssue>,
+}
+
+/// The unified inference entry point: a fused and a camera-only
+/// [`CompiledPlan`] plus the degradation policy that routes between them.
+///
+/// Compile once per trained network, then feed it single frames
+/// ([`run`](Predictor::run)) or request batches
+/// ([`run_slots`](Predictor::run_slots)); both plans keep their scratch
+/// arenas warm across calls.
+#[derive(Debug)]
+pub struct Predictor {
+    fused: CompiledPlan,
+    camera_only: CompiledPlan,
+    policy: DegradationPolicy,
+    thresholds: HealthThresholds,
+}
+
+impl Predictor {
+    /// Freezes `net` into both plans with the default
+    /// ([`DegradationPolicy::Trust`]) policy.
+    pub fn compile(net: &FusionNet) -> Predictor {
+        Predictor {
+            fused: CompiledPlan::compile(net, PlanMode::Fused),
+            camera_only: CompiledPlan::compile(net, PlanMode::CameraOnly),
+            policy: DegradationPolicy::default(),
+            thresholds: HealthThresholds::default(),
+        }
+    }
+
+    /// Returns this predictor with a different degradation policy.
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns this predictor with different health thresholds.
+    pub fn with_thresholds(mut self, thresholds: HealthThresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// The degradation policy screening depth inputs.
+    pub fn policy(&self) -> DegradationPolicy {
+        self.policy
+    }
+
+    /// The health thresholds used by the policy.
+    pub fn thresholds(&self) -> &HealthThresholds {
+        &self.thresholds
+    }
+
+    /// The underlying plan for `mode` (e.g. for dumping its schedule).
+    pub fn plan(&self, mode: PlanMode) -> &CompiledPlan {
+        match mode {
+            PlanMode::Fused => &self.fused,
+            PlanMode::CameraOnly => &self.camera_only,
+        }
+    }
+
+    /// Runs one frame pair: screens `depth` under the policy, routes to
+    /// the fused or camera-only plan, and returns the `[H, W]`
+    /// probability map with the quarantine verdict.
+    ///
+    /// `rgb` is `[3, H, W]`, `depth` is `[C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either input's shape does not match the
+    /// compiled geometry.
+    pub fn run(&mut self, rgb: &Tensor, depth: &Tensor) -> Result<Prediction, TensorError> {
+        let issue = self.policy.quarantine_depth(depth, &self.thresholds);
+        let (c, h, w) = match *rgb.shape() {
+            [c, h, w] => (c, h, w),
+            ref other => {
+                return Err(TensorError::InvalidGeometry {
+                    op: "Predictor::run",
+                    reason: format!("rgb must be [C, H, W], got {other:?}"),
+                })
+            }
+        };
+        let rgb_b = rgb.reshape(&[1, c, h, w])?;
+        let probs = if issue.is_some() {
+            self.camera_only.run_batch(&rgb_b, None)?
+        } else {
+            let dc = depth.shape()[0];
+            let depth_b = depth.reshape(&[1, dc, h, w])?;
+            self.fused.run_batch(&rgb_b, Some(&depth_b))?
+        };
+        Ok(Prediction {
+            prob: probs.reshape(&[h, w])?,
+            quarantined: issue,
+        })
+    }
+
+    /// Batched counterpart of [`run`](Predictor::run): screens every
+    /// slot's depth input, then executes at most one fused and one
+    /// camera-only plan pass. Each slot's `rgb` is `[3, H, W]` and
+    /// `depth` is `[C, H, W]`.
+    ///
+    /// Per-slot results are bit-identical to [`run`](Predictor::run) on
+    /// that slot alone — batching never changes probabilities, which is
+    /// what lets the serving layer coalesce requests freely.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slice lengths differ or slot shapes
+    /// disagree with the compiled geometry.
+    pub fn run_slots(
+        &mut self,
+        rgb: &[&Tensor],
+        depth: &[&Tensor],
+    ) -> Result<Vec<BatchPrediction>, TensorError> {
+        if rgb.len() != depth.len() {
+            return Err(TensorError::InvalidGeometry {
+                op: "Predictor::run_slots",
+                reason: format!("{} rgb slots vs {} depth slots", rgb.len(), depth.len()),
+            });
+        }
+        let issues: Vec<Option<HealthIssue>> = depth
+            .iter()
+            .map(|d| self.policy.quarantine_depth(d, &self.thresholds))
+            .collect();
+        self.run_slots_prejudged(rgb, depth, &issues)
+    }
+
+    /// Like [`run_slots`](Predictor::run_slots), but with the quarantine
+    /// verdicts already decided per slot (`Some(issue)` routes that slot
+    /// through the camera-only plan). This is the entry point for callers
+    /// that layer extra routing on top of the per-input policy — the
+    /// serving circuit breaker decides some slots fleet-wide and hands
+    /// the merged verdicts down here.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slice lengths disagree or slot shapes
+    /// disagree with the compiled geometry.
+    pub fn run_slots_prejudged(
+        &mut self,
+        rgb: &[&Tensor],
+        depth: &[&Tensor],
+        issues: &[Option<HealthIssue>],
+    ) -> Result<Vec<BatchPrediction>, TensorError> {
+        if rgb.len() != depth.len() || rgb.len() != issues.len() {
+            return Err(TensorError::InvalidGeometry {
+                op: "Predictor::run_slots_prejudged",
+                reason: format!(
+                    "{} rgb slots vs {} depth slots vs {} verdicts",
+                    rgb.len(),
+                    depth.len(),
+                    issues.len()
+                ),
+            });
+        }
+        let n = rgb.len();
+        let mut slots: Vec<Option<BatchPrediction>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let mut fused: Vec<usize> = Vec::with_capacity(n);
+        let mut camera_only: Vec<usize> = Vec::new();
+        for (i, issue) in issues.iter().enumerate() {
+            if issue.is_some() {
+                camera_only.push(i);
+            } else {
+                fused.push(i);
+            }
+        }
+        if !fused.is_empty() {
+            let rgb_batch = Tensor::stack_refs(&fused.iter().map(|&i| rgb[i]).collect::<Vec<_>>())?;
+            let depth_batch =
+                Tensor::stack_refs(&fused.iter().map(|&i| depth[i]).collect::<Vec<_>>())?;
+            let probs = self.fused.run_batch(&rgb_batch, Some(&depth_batch))?;
+            let (h, w) = (probs.shape()[2], probs.shape()[3]);
+            for (k, &i) in fused.iter().enumerate() {
+                slots[i] = Some(BatchPrediction {
+                    prob: probs.index_axis0(k).reshape(&[h, w])?,
+                    quarantined: None,
+                });
+            }
+        }
+        if !camera_only.is_empty() {
+            let rgb_batch =
+                Tensor::stack_refs(&camera_only.iter().map(|&i| rgb[i]).collect::<Vec<_>>())?;
+            let probs = self.camera_only.run_batch(&rgb_batch, None)?;
+            let (h, w) = (probs.shape()[2], probs.shape()[3]);
+            for (k, &i) in camera_only.iter().enumerate() {
+                slots[i] = Some(BatchPrediction {
+                    prob: probs.index_axis0(k).reshape(&[h, w])?,
+                    quarantined: issues[i],
+                });
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every slot lands in exactly one group"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FusionScheme, NetworkConfig};
+    use crate::trainer::{train, TrainConfig};
+    use sf_autograd::Graph;
+    use sf_dataset::{DatasetConfig, RoadDataset};
+    use sf_nn::Mode;
+    use sf_tensor::TensorRng;
+
+    const ALL_SCHEMES: [FusionScheme; 5] = [
+        FusionScheme::Baseline,
+        FusionScheme::AllFilterU,
+        FusionScheme::AllFilterB,
+        FusionScheme::BaseSharing,
+        FusionScheme::WeightedSharing,
+    ];
+
+    /// The unfused reference: graph forward in Eval mode plus sigmoid.
+    fn graph_probs(net: &mut FusionNet, rgb: &Tensor, depth: Option<&Tensor>) -> Tensor {
+        let mut g = Graph::new();
+        let r = g.leaf(rgb.clone());
+        let out = match depth {
+            Some(d) => {
+                let d = g.leaf(d.clone());
+                net.forward(&mut g, r, d, Mode::Eval)
+            }
+            None => net.forward_camera_only(&mut g, r, Mode::Eval),
+        };
+        let prob = g.sigmoid(out.logits);
+        g.value(prob).clone()
+    }
+
+    /// Warm the BatchNorm running statistics so the folded constants are
+    /// non-trivial, then return the net.
+    fn warmed_net(scheme: FusionScheme, config: &NetworkConfig, seed: u64) -> FusionNet {
+        let mut net = FusionNet::new(scheme, config).expect("valid config");
+        let mut rng = TensorRng::seed_from(seed);
+        let rgb = rng.uniform(&[2, 3, config.height, config.width], 0.0, 1.0);
+        let depth = rng.uniform(
+            &[2, config.depth_channels, config.height, config.width],
+            0.0,
+            1.0,
+        );
+        let mut g = Graph::new();
+        let r = g.leaf(rgb);
+        let d = g.leaf(depth);
+        net.forward(&mut g, r, d, Mode::Train);
+        net
+    }
+
+    #[test]
+    fn plan_matches_graph_bit_for_bit_across_schemes() {
+        let config = NetworkConfig::tiny();
+        for (s, scheme) in ALL_SCHEMES.into_iter().enumerate() {
+            let mut net = warmed_net(scheme, &config, 40 + s as u64);
+            let mut rng = TensorRng::seed_from(90 + s as u64);
+            let mut fused = CompiledPlan::compile(&net, PlanMode::Fused);
+            let mut camera = CompiledPlan::compile(&net, PlanMode::CameraOnly);
+            for n in [1usize, 3] {
+                let rgb = rng.uniform(&[n, 3, config.height, config.width], 0.0, 1.0);
+                let depth = rng.uniform(
+                    &[n, config.depth_channels, config.height, config.width],
+                    0.0,
+                    1.0,
+                );
+                let reference = graph_probs(&mut net, &rgb, Some(&depth));
+                let got = fused.run_batch(&rgb, Some(&depth)).expect("fused plan");
+                assert_eq!(got.shape(), reference.shape(), "{scheme} fused n={n}");
+                assert_eq!(got.data(), reference.data(), "{scheme} fused n={n}");
+
+                let reference = graph_probs(&mut net, &rgb, None);
+                let got = camera.run_batch(&rgb, None).expect("camera-only plan");
+                assert_eq!(got.data(), reference.data(), "{scheme} camera-only n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_reservation_bounds_high_water() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::WeightedSharing, &config, 7);
+        let mut rng = TensorRng::seed_from(8);
+        for mode in [PlanMode::Fused, PlanMode::CameraOnly] {
+            let mut plan = CompiledPlan::compile(&net, mode);
+            assert!(plan.peak_live_per_image() <= plan.reservation_per_image());
+            for n in [1usize, 2] {
+                let rgb = rng.uniform(&[n, 3, config.height, config.width], 0.0, 1.0);
+                let depth = rng.uniform(
+                    &[n, config.depth_channels, config.height, config.width],
+                    0.0,
+                    1.0,
+                );
+                let d = (mode == PlanMode::Fused).then_some(&depth);
+                plan.run_batch(&rgb, d).expect("plan runs");
+                assert!(
+                    plan.last_high_water_elems() <= plan.reservation_elems(n),
+                    "{mode} n={n}: high water {} > reservation {}",
+                    plan.last_high_water_elems(),
+                    plan.reservation_elems(n)
+                );
+                assert_eq!(plan.last_high_water_elems(), n * plan.peak_live_per_image());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_survives_training_recompile() {
+        // Weights are frozen at compile time: after more training the old
+        // plan keeps its old outputs, and a recompile matches the graph.
+        let config = NetworkConfig::tiny();
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let mut net = FusionNet::new(FusionScheme::Baseline, &config).expect("valid config");
+        let mut rng = TensorRng::seed_from(17);
+        let rgb = rng.uniform(&[1, 3, config.height, config.width], 0.0, 1.0);
+        let depth = rng.uniform(
+            &[1, config.depth_channels, config.height, config.width],
+            0.0,
+            1.0,
+        );
+        let mut stale = CompiledPlan::compile(&net, PlanMode::Fused);
+        let before = stale.run_batch(&rgb, Some(&depth)).expect("plan runs");
+        train(&mut net, &data.train(None), &TrainConfig::tiny());
+        let after_stale = stale.run_batch(&rgb, Some(&depth)).expect("plan runs");
+        assert_eq!(before.data(), after_stale.data(), "plans are frozen");
+        let mut fresh = CompiledPlan::compile(&net, PlanMode::Fused);
+        let got = fresh.run_batch(&rgb, Some(&depth)).expect("plan runs");
+        let reference = graph_probs(&mut net, &rgb, Some(&depth));
+        assert_eq!(got.data(), reference.data(), "recompile tracks training");
+    }
+
+    #[test]
+    fn predictor_routes_by_policy() {
+        let config = NetworkConfig::tiny();
+        let mut net = warmed_net(FusionScheme::AllFilterU, &config, 21);
+        let mut rng = TensorRng::seed_from(22);
+        let rgb = rng.uniform(&[3, config.height, config.width], 0.0, 1.0);
+        let depth = rng.uniform(
+            &[config.depth_channels, config.height, config.width],
+            0.0,
+            1.0,
+        );
+        let dead = Tensor::zeros(depth.shape());
+        let (h, w) = (config.height, config.width);
+
+        let mut p = Predictor::compile(&net).with_policy(DegradationPolicy::CameraFallback);
+        let healthy = p.run(&rgb, &depth).expect("healthy frame");
+        assert_eq!(healthy.quarantined, None);
+        let rgb_b = rgb.reshape(&[1, 3, h, w]).unwrap();
+        let depth_b = depth.reshape(&[1, config.depth_channels, h, w]).unwrap();
+        let reference = graph_probs(&mut net, &rgb_b, Some(&depth_b));
+        assert_eq!(healthy.prob.data(), reference.data());
+
+        let degraded = p.run(&rgb, &dead).expect("dead depth frame");
+        assert_eq!(degraded.quarantined, Some(HealthIssue::ZeroEnergy));
+        let reference = graph_probs(&mut net, &rgb_b, None);
+        assert_eq!(degraded.prob.data(), reference.data());
+
+        // CameraOnly policy forces the degraded path even on healthy depth.
+        let mut p = Predictor::compile(&net).with_policy(DegradationPolicy::CameraOnly);
+        let forced = p.run(&rgb, &depth).expect("forced camera-only");
+        assert_eq!(forced.quarantined, Some(HealthIssue::ForcedCameraOnly));
+        assert_eq!(forced.prob.data(), reference.data());
+    }
+
+    #[test]
+    fn predictor_slots_match_single_runs() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::BaseSharing, &config, 31);
+        let mut rng = TensorRng::seed_from(32);
+        let frames: Vec<(Tensor, Tensor)> = (0..4)
+            .map(|i| {
+                let rgb = rng.uniform(&[3, config.height, config.width], 0.0, 1.0);
+                let depth = if i == 2 {
+                    Tensor::zeros(&[config.depth_channels, config.height, config.width])
+                } else {
+                    rng.uniform(
+                        &[config.depth_channels, config.height, config.width],
+                        0.0,
+                        1.0,
+                    )
+                };
+                (rgb, depth)
+            })
+            .collect();
+        let rgb: Vec<&Tensor> = frames.iter().map(|(r, _)| r).collect();
+        let depth: Vec<&Tensor> = frames.iter().map(|(_, d)| d).collect();
+        let mut p = Predictor::compile(&net).with_policy(DegradationPolicy::CameraFallback);
+        let slots = p.run_slots(&rgb, &depth).expect("slots run");
+        assert_eq!(slots.len(), 4);
+        for (i, ((r, d), slot)) in frames.iter().zip(&slots).enumerate() {
+            let single = p.run(r, d).expect("single run");
+            assert_eq!(slot.quarantined, single.quarantined, "slot {i}");
+            assert_eq!(slot.quarantined.is_some(), i == 2, "only slot 2 degrades");
+            assert_eq!(slot.prob.data(), single.prob.data(), "slot {i} bits");
+        }
+    }
+
+    #[test]
+    fn plan_rejects_bad_shapes() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::Baseline, &config, 41);
+        let mut plan = CompiledPlan::compile(&net, PlanMode::Fused);
+        let mut rng = TensorRng::seed_from(42);
+        let rgb = rng.uniform(&[1, 3, config.height, config.width], 0.0, 1.0);
+        let bad_depth = rng.uniform(&[1, config.depth_channels, 2, 2], 0.0, 1.0);
+        assert!(plan.run_batch(&rgb, None).is_err(), "fused needs depth");
+        assert!(plan.run_batch(&rgb, Some(&bad_depth)).is_err());
+        let bad_rgb = rng.uniform(&[1, 1, config.height, config.width], 0.0, 1.0);
+        assert!(plan.run_batch(&bad_rgb, None).is_err());
+    }
+
+    #[test]
+    fn dump_lists_ops_and_schedule() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::WeightedSharing, &config, 51);
+        let plan = CompiledPlan::compile(&net, PlanMode::Fused);
+        let dump = plan.to_string();
+        assert!(dump.contains("op list:"), "{dump}");
+        assert!(dump.contains("scratch schedule"), "{dump}");
+        assert!(dump.contains("fuse2.awn"), "{dump}");
+        assert!(dump.contains("sigmoid"), "{dump}");
+        // Camera-only plans eliminate the depth branch entirely.
+        let camera = CompiledPlan::compile(&net, PlanMode::CameraOnly);
+        assert!(camera.op_count() < plan.op_count());
+        assert!(!camera.to_string().contains("depth"), "dead branch gone");
+    }
+}

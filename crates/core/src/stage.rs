@@ -8,8 +8,8 @@ use sf_tensor::{Conv2dSpec, TensorRng};
 /// spatial resolution.
 #[derive(Debug)]
 pub struct EncoderStage {
-    conv: Conv2d,
-    bn: BatchNorm2d,
+    pub(crate) conv: Conv2d,
+    pub(crate) bn: BatchNorm2d,
 }
 
 impl EncoderStage {
@@ -52,8 +52,8 @@ impl Module for EncoderStage {
 /// additive skip connection applied by the caller.
 #[derive(Debug)]
 pub struct DecoderStage {
-    conv: Conv2d,
-    bn: BatchNorm2d,
+    pub(crate) conv: Conv2d,
+    pub(crate) bn: BatchNorm2d,
 }
 
 impl DecoderStage {

@@ -91,6 +91,12 @@ impl Conv2d {
     pub fn weight_mut(&mut self) -> &mut Param {
         &mut self.weight
     }
+
+    /// The bias parameter, if the layer was built with one. Used by the
+    /// compiled-plan builder in `sf-core` to freeze weights.
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
 }
 
 impl Parameterized for Conv2d {

@@ -46,6 +46,17 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_f
     }
+
+    /// The `[out_features, in_features]` weight parameter (for plan
+    /// freezing/serialization).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// The bias parameter, if the layer was built with one.
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
 }
 
 impl Parameterized for Linear {

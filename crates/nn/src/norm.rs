@@ -51,6 +51,21 @@ impl BatchNorm2d {
     pub fn running_var(&self) -> &Tensor {
         &self.running_var
     }
+
+    /// The learned per-channel scale (for plan freezing/serialization).
+    pub fn gamma(&self) -> &Param {
+        &self.gamma
+    }
+
+    /// The learned per-channel shift (for plan freezing/serialization).
+    pub fn beta(&self) -> &Param {
+        &self.beta
+    }
+
+    /// The numerical-stability epsilon added to the variance.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
 }
 
 impl Parameterized for BatchNorm2d {

@@ -27,7 +27,15 @@ pub enum Backpressure {
 
 /// Tunables for a [`Server`].
 ///
+/// Construct via [`ServeConfig::builder`], which validates each field as
+/// it is set — an out-of-range value surfaces at [`build`] naming the
+/// offending field, instead of as a generic failure at server start. The
+/// fields stay public for read access and struct-literal construction;
+/// [`Server::start`] re-checks the invariants either way.
+///
 /// [`Server`]: crate::Server
+/// [`Server::start`]: crate::Server::start
+/// [`build`]: ServeConfigBuilder::build
 ///
 /// # Examples
 ///
@@ -35,10 +43,12 @@ pub enum Backpressure {
 /// use sf_serve::ServeConfig;
 /// use std::time::Duration;
 ///
-/// let config = ServeConfig::default()
-///     .with_max_batch(8)
-///     .with_max_wait(Duration::from_millis(2));
-/// assert!(config.validate().is_ok());
+/// let config = ServeConfig::builder()
+///     .max_batch(8)
+///     .max_wait(Duration::from_millis(2))
+///     .build()?;
+/// assert_eq!(config.max_batch, 8);
+/// # Ok::<(), sf_serve::ServeError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -118,43 +128,60 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
+    /// Starts an eagerly-validating builder from the default config.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+            error: None,
+        }
+    }
+
     /// Returns the config with a different `max_batch` (chainable).
+    #[deprecated(note = "use `ServeConfig::builder().max_batch(..)`, which validates eagerly")]
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch;
         self
     }
 
     /// Returns the config with a different `max_wait` (chainable).
+    #[deprecated(note = "use `ServeConfig::builder().max_wait(..)`, which validates eagerly")]
     pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
         self.max_wait = max_wait;
         self
     }
 
     /// Returns the config with a different queue capacity (chainable).
+    #[deprecated(note = "use `ServeConfig::builder().queue_capacity(..)`, which validates eagerly")]
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
         self
     }
 
     /// Returns the config with a different backpressure policy (chainable).
+    #[deprecated(note = "use `ServeConfig::builder().backpressure(..)`, which validates eagerly")]
     pub fn with_backpressure(mut self, backpressure: Backpressure) -> Self {
         self.backpressure = backpressure;
         self
     }
 
     /// Returns the config with a different degradation policy (chainable).
+    #[deprecated(note = "use `ServeConfig::builder().policy(..)`, which validates eagerly")]
     pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
         self.policy = policy;
         self
     }
 
     /// Returns the config with a default per-request deadline (chainable).
+    #[deprecated(
+        note = "use `ServeConfig::builder().default_deadline(..)`, which validates eagerly"
+    )]
     pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
         self.default_deadline = Some(deadline);
         self
     }
 
     /// Returns the config with a depth circuit breaker (chainable).
+    #[deprecated(note = "use `ServeConfig::builder().breaker(..)`, which validates eagerly")]
     pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker = Some(breaker);
         self
@@ -162,6 +189,7 @@ impl ServeConfig {
 
     /// Returns the config with a per-batch probe (chainable; chaos/test
     /// instrumentation only).
+    #[deprecated(note = "use `ServeConfig::builder().batch_probe(..)`, which validates eagerly")]
     pub fn with_batch_probe(mut self, probe: BatchProbe) -> Self {
         self.batch_probe = Some(probe);
         self
@@ -175,23 +203,26 @@ impl ServeConfig {
     /// `queue_capacity` is zero, the default deadline is zero (every
     /// request would expire unexecuted), or the breaker config fails
     /// [`BreakerConfig::validate`].
+    #[deprecated(note = "use `ServeConfig::builder()`; `Server::start` re-checks regardless")]
     pub fn validate(&self) -> Result<(), ServeError> {
+        self.check()
+    }
+
+    /// The invariant check behind [`Server::start`] and the builder.
+    ///
+    /// [`Server::start`]: crate::Server::start
+    pub(crate) fn check(&self) -> Result<(), ServeError> {
         if self.max_batch == 0 {
-            return Err(ServeError::InvalidConfig {
-                reason: "max_batch must be >= 1".to_string(),
-            });
+            return Err(invalid("max_batch must be >= 1"));
         }
         if self.queue_capacity == 0 {
-            return Err(ServeError::InvalidConfig {
-                reason: "queue_capacity must be >= 1".to_string(),
-            });
+            return Err(invalid("queue_capacity must be >= 1"));
         }
         if self.default_deadline == Some(Duration::ZERO) {
-            return Err(ServeError::InvalidConfig {
-                reason: "default_deadline of zero expires every request before it can run; \
-                         use None for no deadline"
-                    .to_string(),
-            });
+            return Err(invalid(
+                "default_deadline of zero expires every request before it can run; \
+                 use None for no deadline",
+            ));
         }
         if let Some(breaker) = &self.breaker {
             if let Err(reason) = breaker.validate() {
@@ -199,5 +230,127 @@ impl ServeConfig {
             }
         }
         Ok(())
+    }
+}
+
+fn invalid(reason: impl Into<String>) -> ServeError {
+    ServeError::InvalidConfig {
+        reason: reason.into(),
+    }
+}
+
+/// Builder for [`ServeConfig`] that rejects bad values **at the call
+/// site**: each setter validates its field immediately and the first
+/// violation is reported by [`build`](ServeConfigBuilder::build), so a
+/// typo'd zero never travels to `Server::start` as a latent footgun.
+///
+/// # Examples
+///
+/// ```
+/// use sf_serve::ServeConfig;
+///
+/// // Eager: the error names the field that was set wrong.
+/// let err = ServeConfig::builder().max_batch(0).build().unwrap_err();
+/// assert!(err.to_string().contains("max_batch"));
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "call `build()` to obtain the validated ServeConfig"]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+    error: Option<ServeError>,
+}
+
+impl ServeConfigBuilder {
+    fn fail(&mut self, reason: &str) {
+        if self.error.is_none() {
+            self.error = Some(invalid(reason));
+        }
+    }
+
+    /// Flush the forming batch at this many requests (must be ≥ 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        if max_batch == 0 {
+            self.fail("max_batch must be >= 1");
+        }
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Flush the forming batch once its oldest request has waited this
+    /// long. `Duration::ZERO` means "never wait".
+    pub fn max_wait(mut self, max_wait: Duration) -> Self {
+        self.config.max_wait = max_wait;
+        self
+    }
+
+    /// Bound on queued-but-unclaimed requests (must be ≥ 1).
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        if queue_capacity == 0 {
+            self.fail("queue_capacity must be >= 1");
+        }
+        self.config.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// What `submit` does when the queue is full.
+    pub fn backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.config.backpressure = backpressure;
+        self
+    }
+
+    /// Depth-sensor screening applied per request.
+    pub fn policy(mut self, policy: DegradationPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// What counts as unhealthy under the policy.
+    pub fn thresholds(mut self, thresholds: HealthThresholds) -> Self {
+        self.config.thresholds = thresholds;
+        self
+    }
+
+    /// Deadline applied to requests submitted without an explicit one
+    /// (must be non-zero; a zero default would expire every request
+    /// before it could run).
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        if deadline == Duration::ZERO {
+            self.fail(
+                "default_deadline of zero expires every request before it can run; \
+                 use None for no deadline",
+            );
+        }
+        self.config.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Depth-branch circuit breaker (validated immediately via
+    /// [`BreakerConfig::validate`]).
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        if let Err(reason) = breaker.validate() {
+            self.fail(&reason);
+        }
+        self.config.breaker = Some(breaker);
+        self
+    }
+
+    /// Per-batch probe (chaos/test instrumentation only).
+    pub fn batch_probe(mut self, probe: BatchProbe) -> Self {
+        self.config.batch_probe = Some(probe);
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns the **first** [`ServeError::InvalidConfig`] raised by a
+    /// setter, or one from the final cross-field check.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.config.check()?;
+        Ok(self.config)
     }
 }

@@ -13,6 +13,7 @@ use sf_core::HealthIssue;
 use sf_tensor::Tensor;
 
 use crate::error::ServeError;
+use crate::request::SourceId;
 
 /// One served request's result.
 #[derive(Debug, Clone)]
@@ -26,6 +27,10 @@ pub struct Prediction {
     pub latency: Duration,
     /// How many requests shared this request's forward pass.
     pub batch_size: usize,
+    /// The [`Request::source`] tag, echoed back verbatim.
+    ///
+    /// [`Request::source`]: crate::Request::source
+    pub source: Option<SourceId>,
 }
 
 enum SlotState {

@@ -10,8 +10,10 @@
 //!
 //! The pipeline is: bounded submission queue → dynamic batcher (flush on
 //! `max_batch` or the oldest request's `max_wait` deadline) → executor
-//! (one forward per batch on the `sf-runtime` pool) → per-request
-//! [`Completion`] handles.
+//! (one compiled-plan pass per batch on the `sf-runtime` pool) →
+//! per-request [`Completion`] handles. The network is frozen into a
+//! [`Predictor`](sf_core::Predictor) once at server start, so batches pay
+//! no per-call shape derivation, dispatch or scratch scheduling.
 //!
 //! Serving guarantees:
 //!
@@ -29,14 +31,14 @@
 //!   exactly that batch's requests with [`ServeError::BatchPanicked`];
 //!   the executor keeps serving.
 //! - **Deadlines** — requests may carry a deadline
-//!   ([`Server::submit_with_deadline`] or
-//!   [`ServeConfig::default_deadline`]); expired requests complete with
-//!   [`ServeError::DeadlineExceeded`], and a request already expired when
-//!   the batcher dequeues it is never executed.
+//!   ([`Request::with_deadline`] or [`ServeConfig::default_deadline`]);
+//!   expired requests complete with [`ServeError::DeadlineExceeded`], and
+//!   a request already expired when the batcher dequeues it is never
+//!   executed.
 //! - **Fleet-wide circuit breaking** — an optional depth circuit breaker
-//!   ([`ServeConfig::with_breaker`]) watches per-request quarantine
-//!   verdicts and trips the whole fleet to camera-only when the rate
-//!   spikes, recovering via seeded half-open probing.
+//!   ([`ServeConfig::breaker`]) watches per-request quarantine verdicts
+//!   and trips the whole fleet to camera-only when the rate spikes,
+//!   recovering via seeded half-open probing.
 //! - **Retrying clients** — [`Retrier`] wraps `submit` with bounded
 //!   attempts and deterministic decorrelated-jitter backoff for
 //!   `QueueFull` shedding.
@@ -56,44 +58,46 @@
 //!
 //! ```
 //! use sf_core::{FusionNet, FusionScheme, NetworkConfig};
-//! use sf_serve::{ServeConfig, Server};
+//! use sf_serve::{Request, ServeConfig, Server, SourceId};
 //! use sf_tensor::Tensor;
 //! use std::time::Duration;
 //!
 //! let config = NetworkConfig::tiny();
 //! let net = FusionNet::new(FusionScheme::AllFilterU, &config).unwrap();
-//! let server = Server::start(
-//!     net,
-//!     ServeConfig::default()
-//!         .with_max_batch(4)
-//!         .with_max_wait(Duration::from_millis(1)),
-//! )
-//! .unwrap();
+//! let serve_config = ServeConfig::builder()
+//!     .max_batch(4)
+//!     .max_wait(Duration::from_millis(1))
+//!     .build()
+//!     .unwrap();
+//! let server = Server::start(net, serve_config).unwrap();
 //! let completions: Vec<_> = (0..4)
-//!     .map(|_| {
-//!         server
-//!             .submit(
-//!                 Tensor::ones(&[3, config.height, config.width]),
-//!                 Tensor::ones(&[1, config.height, config.width]),
-//!             )
-//!             .unwrap()
+//!     .map(|client| {
+//!         let request = Request::new(
+//!             Tensor::ones(&[3, config.height, config.width]),
+//!             Tensor::ones(&[1, config.height, config.width]),
+//!         )
+//!         .with_source(SourceId(client));
+//!         server.submit(request).unwrap()
 //!     })
 //!     .collect();
-//! for completion in completions {
-//!     assert!(completion.wait().is_ok());
+//! for (client, completion) in completions.into_iter().enumerate() {
+//!     let prediction = completion.wait().unwrap();
+//!     assert_eq!(prediction.source, Some(SourceId(client as u64)));
 //! }
 //! ```
 
 mod config;
 mod error;
 mod handle;
+mod request;
 mod retry;
 mod server;
 mod stats;
 
-pub use config::{Backpressure, BatchProbe, ServeConfig};
+pub use config::{Backpressure, BatchProbe, ServeConfig, ServeConfigBuilder};
 pub use error::ServeError;
 pub use handle::{Completion, Prediction};
-pub use retry::{Retrier, RetryPolicy};
+pub use request::{Request, SourceId};
+pub use retry::{Retrier, RetryPolicy, RetryPolicyBuilder};
 pub use server::Server;
 pub use stats::StatsSnapshot;

@@ -1,0 +1,92 @@
+//! Typed submission requests.
+//!
+//! [`Request`] is the one submission currency: a frame pair plus optional
+//! per-request metadata (deadline, source tag). It replaces the old
+//! positional `submit(rgb, depth)` / `submit_with_deadline(rgb, depth, d)`
+//! fan-out — new metadata lands as a builder method here instead of as
+//! another `Server` entry point.
+
+use std::fmt;
+use std::time::Duration;
+
+use sf_tensor::Tensor;
+
+/// Opaque tag identifying where a request came from (a client thread, a
+/// sensor rig, a replay shard). The server never interprets it; it is
+/// carried through to the [`Prediction`] so callers multiplexing one
+/// server can attribute results without a side table.
+///
+/// [`Prediction`]: crate::Prediction
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u64);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "source#{}", self.0)
+    }
+}
+
+/// One frame pair to serve.
+///
+/// `rgb` is `[3, H, W]` and `depth` is `[C, H, W]` at the served
+/// network's resolution. The optional fields default to "no deadline
+/// beyond [`ServeConfig::default_deadline`]" and "no source tag".
+///
+/// [`ServeConfig::default_deadline`]: crate::ServeConfig::default_deadline
+///
+/// # Examples
+///
+/// ```
+/// use sf_serve::{Request, SourceId};
+/// use sf_tensor::Tensor;
+/// use std::time::Duration;
+///
+/// let request = Request::new(Tensor::ones(&[3, 16, 48]), Tensor::ones(&[1, 16, 48]))
+///     .with_deadline(Duration::from_millis(50))
+///     .with_source(SourceId(7));
+/// assert_eq!(request.deadline, Some(Duration::from_millis(50)));
+/// assert_eq!(request.source, Some(SourceId(7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Camera frame, `[3, H, W]`.
+    pub rgb: Tensor,
+    /// Depth frame, `[C, H, W]`.
+    pub depth: Tensor,
+    /// Relative deadline measured from submission; `None` falls back to
+    /// the server's [`ServeConfig::default_deadline`]. An explicit
+    /// `Duration::ZERO` always expires — chaos tests use that to exercise
+    /// the stale path deterministically.
+    ///
+    /// [`ServeConfig::default_deadline`]: crate::ServeConfig::default_deadline
+    pub deadline: Option<Duration>,
+    /// Caller-chosen tag echoed back on the [`Prediction`].
+    ///
+    /// [`Prediction`]: crate::Prediction
+    pub source: Option<SourceId>,
+}
+
+impl Request {
+    /// Wraps a frame pair with no deadline override and no source tag.
+    pub fn new(rgb: Tensor, depth: Tensor) -> Request {
+        Request {
+            rgb,
+            depth,
+            deadline: None,
+            source: None,
+        }
+    }
+
+    /// Returns the request with an explicit deadline (chainable),
+    /// overriding the server's default.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the request tagged with a source (chainable).
+    pub fn with_source(mut self, source: SourceId) -> Self {
+        self.source = Some(source);
+        self
+    }
+}

@@ -15,13 +15,18 @@
 
 use std::time::Duration;
 
-use sf_tensor::{Tensor, TensorRng};
+use sf_tensor::TensorRng;
 
 use crate::error::ServeError;
 use crate::handle::Completion;
+use crate::request::Request;
 use crate::server::Server;
 
 /// Bounds for a [`Retrier`].
+///
+/// Construct via [`RetryPolicy::builder`], which validates each field as
+/// it is set. The fields stay public for read access; [`Retrier::new`]
+/// re-checks the invariants either way.
 ///
 /// # Examples
 ///
@@ -29,10 +34,12 @@ use crate::server::Server;
 /// use sf_serve::RetryPolicy;
 /// use std::time::Duration;
 ///
-/// let policy = RetryPolicy::default()
-///     .with_max_attempts(5)
-///     .with_base(Duration::from_micros(50));
-/// assert!(policy.validate().is_ok());
+/// let policy = RetryPolicy::builder()
+///     .max_attempts(5)
+///     .base(Duration::from_micros(50))
+///     .build()?;
+/// assert_eq!(policy.max_attempts, 5);
+/// # Ok::<(), sf_serve::ServeError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -56,19 +63,30 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Starts an eagerly-validating builder from the default policy.
+    pub fn builder() -> RetryPolicyBuilder {
+        RetryPolicyBuilder {
+            policy: RetryPolicy::default(),
+            error: None,
+        }
+    }
+
     /// Returns the policy with a different attempt bound (chainable).
+    #[deprecated(note = "use `RetryPolicy::builder().max_attempts(..)`, which validates eagerly")]
     pub fn with_max_attempts(mut self, max_attempts: usize) -> Self {
         self.max_attempts = max_attempts;
         self
     }
 
     /// Returns the policy with a different base sleep (chainable).
+    #[deprecated(note = "use `RetryPolicy::builder().base(..)`, which validates eagerly")]
     pub fn with_base(mut self, base: Duration) -> Self {
         self.base = base;
         self
     }
 
     /// Returns the policy with a different sleep cap (chainable).
+    #[deprecated(note = "use `RetryPolicy::builder().cap(..)`, which validates eagerly")]
     pub fn with_cap(mut self, cap: Duration) -> Self {
         self.cap = cap;
         self
@@ -80,7 +98,13 @@ impl RetryPolicy {
     ///
     /// Returns [`ServeError::InvalidConfig`] if `max_attempts` is zero or
     /// `cap < base`.
+    #[deprecated(note = "use `RetryPolicy::builder()`; `Retrier::new` re-checks regardless")]
     pub fn validate(&self) -> Result<(), ServeError> {
+        self.check()
+    }
+
+    /// The invariant check behind [`Retrier::new`] and the builder.
+    pub(crate) fn check(&self) -> Result<(), ServeError> {
         if self.max_attempts == 0 {
             return Err(ServeError::InvalidConfig {
                 reason: "retry max_attempts must be >= 1".to_string(),
@@ -95,6 +119,57 @@ impl RetryPolicy {
             });
         }
         Ok(())
+    }
+}
+
+/// Builder for [`RetryPolicy`] that rejects bad values at the call site:
+/// each setter validates its field immediately and the first violation is
+/// reported by [`build`](RetryPolicyBuilder::build). The cap/base
+/// ordering (a cross-field invariant) is checked at `build`.
+#[derive(Debug, Clone)]
+#[must_use = "call `build()` to obtain the validated RetryPolicy"]
+pub struct RetryPolicyBuilder {
+    policy: RetryPolicy,
+    error: Option<ServeError>,
+}
+
+impl RetryPolicyBuilder {
+    /// Total submission attempts, counting the first (must be ≥ 1).
+    pub fn max_attempts(mut self, max_attempts: usize) -> Self {
+        if max_attempts == 0 && self.error.is_none() {
+            self.error = Some(ServeError::InvalidConfig {
+                reason: "retry max_attempts must be >= 1".to_string(),
+            });
+        }
+        self.policy.max_attempts = max_attempts;
+        self
+    }
+
+    /// Smallest backoff sleep (must not exceed `cap`; checked at build).
+    pub fn base(mut self, base: Duration) -> Self {
+        self.policy.base = base;
+        self
+    }
+
+    /// Upper clamp on any single backoff sleep (must be ≥ `base`;
+    /// checked at build).
+    pub fn cap(mut self, cap: Duration) -> Self {
+        self.policy.cap = cap;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns the **first** [`ServeError::InvalidConfig`] raised by a
+    /// setter, or one from the final cross-field check (`cap >= base`).
+    pub fn build(self) -> Result<RetryPolicy, ServeError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.policy.check()?;
+        Ok(self.policy)
     }
 }
 
@@ -116,19 +191,19 @@ impl Retrier {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] if the policy fails
-    /// [`RetryPolicy::validate`].
+    /// Returns [`ServeError::InvalidConfig`] if the policy breaks a
+    /// retrier invariant (see [`RetryPolicy::builder`]).
     pub fn new(policy: RetryPolicy, seed: u64) -> Result<Retrier, ServeError> {
-        policy.validate()?;
+        policy.check()?;
         Ok(Retrier {
             policy,
             rng: TensorRng::seed_from(seed),
         })
     }
 
-    /// Submits `(rgb, depth)` to `server`, retrying on
+    /// Submits `request` to `server`, retrying on
     /// [`ServeError::QueueFull`] up to the policy's attempt bound. The
-    /// tensors are borrowed and cloned per attempt, so a rejected attempt
+    /// request is borrowed and cloned per attempt, so a rejected attempt
     /// never consumes the caller's frames.
     ///
     /// # Errors
@@ -140,12 +215,11 @@ impl Retrier {
     pub fn submit_with_retry(
         &mut self,
         server: &Server,
-        rgb: &Tensor,
-        depth: &Tensor,
+        request: &Request,
     ) -> Result<Completion, ServeError> {
         let mut prev_sleep = self.policy.base;
         for attempt in 1..=self.policy.max_attempts {
-            match server.submit(rgb.clone(), depth.clone()) {
+            match server.submit(request.clone()) {
                 Ok(completion) => return Ok(completion),
                 Err(err @ ServeError::QueueFull { .. }) => {
                     if attempt == self.policy.max_attempts {
@@ -180,22 +254,24 @@ mod tests {
 
     #[test]
     fn policy_validation() {
-        assert!(RetryPolicy::default().validate().is_ok());
-        assert!(RetryPolicy::default()
-            .with_max_attempts(0)
-            .validate()
-            .is_err());
-        let inverted = RetryPolicy::default()
-            .with_base(Duration::from_millis(50))
-            .with_cap(Duration::from_millis(1));
-        assert!(inverted.validate().is_err());
+        assert!(RetryPolicy::builder().build().is_ok());
+        // Eager: the zero is caught at the setter.
+        assert!(RetryPolicy::builder().max_attempts(0).build().is_err());
+        // Cross-field: cap < base only surfaces at build.
+        let inverted = RetryPolicy::builder()
+            .base(Duration::from_millis(50))
+            .cap(Duration::from_millis(1))
+            .build();
+        assert!(inverted.is_err());
     }
 
     #[test]
     fn backoff_is_deterministic_bounded_and_jittered() {
-        let policy = RetryPolicy::default()
-            .with_base(Duration::from_micros(100))
-            .with_cap(Duration::from_millis(5));
+        let policy = RetryPolicy::builder()
+            .base(Duration::from_micros(100))
+            .cap(Duration::from_millis(5))
+            .build()
+            .unwrap();
         let schedule = |seed: u64| -> Vec<Duration> {
             let mut retrier = Retrier::new(policy, seed).unwrap();
             let mut prev = policy.base;

@@ -12,26 +12,29 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use sf_core::{
-    predict_probability_slots_prejudged, CircuitBreaker, DepthRoute, FusionNet, HealthIssue,
-};
+use sf_core::{CircuitBreaker, DepthRoute, FusionNet, HealthIssue, Predictor};
 use sf_tensor::Tensor;
 
 use crate::config::{Backpressure, ServeConfig};
 use crate::error::ServeError;
 use crate::handle::{completion_pair, Completion, Fulfiller, Prediction};
+use crate::request::{Request, SourceId};
 use crate::stats::{StatsCollector, StatsSnapshot};
 
-struct Request {
+/// An admitted [`Request`] waiting in the queue: the frames plus the
+/// resolved (request-or-default) deadline and the executor's side of the
+/// completion handle.
+struct QueuedRequest {
     rgb: Tensor,
     depth: Tensor,
     fulfiller: Fulfiller,
     enqueued: Instant,
     /// Relative deadline measured from `enqueued`; `None` waits forever.
     deadline: Option<Duration>,
+    source: Option<SourceId>,
 }
 
-impl Request {
+impl QueuedRequest {
     /// How long this request has been waiting, and whether that already
     /// exceeds its deadline.
     fn expired(&self, now: Instant) -> Option<(Duration, Duration)> {
@@ -42,7 +45,7 @@ impl Request {
 }
 
 struct QueueState {
-    items: VecDeque<Request>,
+    items: VecDeque<QueuedRequest>,
     shutdown: bool,
 }
 
@@ -64,10 +67,12 @@ struct Inner {
 /// In-process batched inference server.
 ///
 /// [`Server::start`] moves a [`FusionNet`] onto a dedicated executor
-/// thread. Callers [`submit`] frame pairs from any thread and block on the
-/// returned [`Completion`] handles; the executor coalesces queued requests
-/// into batches (flushing on `max_batch` or the `max_wait` deadline of the
-/// oldest request, whichever comes first) and runs one fused forward pass
+/// thread, where it is compiled once into a [`Predictor`] — every batch
+/// runs through the compiled plans, not the graph path. Callers
+/// [`submit`] [`Request`]s from any thread and block on the returned
+/// [`Completion`] handles; the executor coalesces queued requests into
+/// batches (flushing on `max_batch` or the `max_wait` deadline of the
+/// oldest request, whichever comes first) and runs one fused plan pass
 /// per batch. Unhealthy depth inputs degrade only their own slot; a
 /// configured [`BreakerConfig`] additionally trips the whole fleet to
 /// camera-only when the quarantine rate spikes.
@@ -79,7 +84,7 @@ struct Inner {
 ///
 /// ```
 /// use sf_core::{FusionNet, FusionScheme, NetworkConfig};
-/// use sf_serve::{Server, ServeConfig};
+/// use sf_serve::{Request, ServeConfig, Server};
 /// use sf_tensor::Tensor;
 ///
 /// let config = NetworkConfig::tiny();
@@ -87,7 +92,7 @@ struct Inner {
 /// let server = Server::start(net, ServeConfig::default()).unwrap();
 /// let rgb = Tensor::ones(&[3, config.height, config.width]);
 /// let depth = Tensor::ones(&[1, config.height, config.width]);
-/// let completion = server.submit(rgb, depth).unwrap();
+/// let completion = server.submit(Request::new(rgb, depth)).unwrap();
 /// let prediction = completion.wait().unwrap();
 /// assert_eq!(prediction.prob.shape(), &[config.height, config.width]);
 /// let (_net, stats) = server.shutdown();
@@ -106,10 +111,10 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] if `config` fails
-    /// [`ServeConfig::validate`].
+    /// Returns [`ServeError::InvalidConfig`] if `config` breaks a batcher
+    /// invariant (see [`ServeConfig::builder`]).
     pub fn start(net: FusionNet, config: ServeConfig) -> Result<Server, ServeError> {
-        config.validate()?;
+        config.check()?;
         let net_config = net.config();
         let (h, w) = (net_config.height, net_config.width);
         let rgb_shape = vec![3, h, w];
@@ -141,9 +146,13 @@ impl Server {
         })
     }
 
-    /// Submits one frame pair (`rgb [3,H,W]`, `depth [C,H,W]`) and returns
-    /// a handle to wait on. The request carries the configured
-    /// [`ServeConfig::default_deadline`], if any.
+    /// Submits one [`Request`] and returns a handle to wait on. A request
+    /// without an explicit [`Request::deadline`] carries the configured
+    /// [`ServeConfig::default_deadline`], if any; if no result is
+    /// delivered within the deadline of submission the request completes
+    /// with [`ServeError::DeadlineExceeded`], and a request already past
+    /// its deadline when the batcher dequeues it is expired *without*
+    /// being executed.
     ///
     /// # Errors
     ///
@@ -153,30 +162,24 @@ impl Server {
     ///   [`Backpressure::Reject`];
     /// - [`ServeError::ShuttingDown`] if [`Server::shutdown`] has begun
     ///   (including while blocked under [`Backpressure::Block`]).
-    pub fn submit(&self, rgb: Tensor, depth: Tensor) -> Result<Completion, ServeError> {
-        self.check_shapes(&rgb, &depth)?;
-        self.submit_inner(rgb, depth, self.inner.config.default_deadline)
+    pub fn submit(&self, request: Request) -> Result<Completion, ServeError> {
+        self.check_shapes(&request.rgb, &request.depth)?;
+        self.submit_inner(request)
     }
 
-    /// Like [`Server::submit`], but with an explicit deadline overriding
-    /// the configured default. If no result is delivered within `deadline`
-    /// of submission the request completes with
-    /// [`ServeError::DeadlineExceeded`]; a request already past its
-    /// deadline when the batcher dequeues it is expired *without* being
-    /// executed. A `Duration::ZERO` deadline therefore always expires —
-    /// chaos tests use that to exercise the stale path deterministically.
+    /// Submits a frame pair with an explicit deadline.
     ///
     /// # Errors
     ///
     /// As [`Server::submit`].
+    #[deprecated(note = "build a `Request::new(rgb, depth).with_deadline(..)` and call `submit`")]
     pub fn submit_with_deadline(
         &self,
         rgb: Tensor,
         depth: Tensor,
         deadline: Duration,
     ) -> Result<Completion, ServeError> {
-        self.check_shapes(&rgb, &depth)?;
-        self.submit_inner(rgb, depth, Some(deadline))
+        self.submit(Request::new(rgb, depth).with_deadline(deadline))
     }
 
     fn check_shapes(&self, rgb: &Tensor, depth: &Tensor) -> Result<(), ServeError> {
@@ -205,16 +208,13 @@ impl Server {
     /// force a panic inside a batch's forward pass; everyone else wants
     /// the checked path.
     #[doc(hidden)]
-    pub fn submit_unchecked(&self, rgb: Tensor, depth: Tensor) -> Result<Completion, ServeError> {
-        self.submit_inner(rgb, depth, self.inner.config.default_deadline)
+    pub fn submit_unchecked(&self, request: Request) -> Result<Completion, ServeError> {
+        self.submit_inner(request)
     }
 
-    fn submit_inner(
-        &self,
-        rgb: Tensor,
-        depth: Tensor,
-        deadline: Option<Duration>,
-    ) -> Result<Completion, ServeError> {
+    fn submit_inner(&self, request: Request) -> Result<Completion, ServeError> {
+        // An explicit deadline (even `Some(ZERO)`) wins over the default.
+        let deadline = request.deadline.or(self.inner.config.default_deadline);
         let mut queue = self.inner.queue.lock().expect("serve queue poisoned");
         loop {
             if queue.shutdown {
@@ -240,12 +240,13 @@ impl Server {
             }
         }
         let (completion, fulfiller) = completion_pair();
-        queue.items.push_back(Request {
-            rgb,
-            depth,
+        queue.items.push_back(QueuedRequest {
+            rgb: request.rgb,
+            depth: request.depth,
             fulfiller,
             enqueued: Instant::now(),
             deadline,
+            source: request.source,
         });
         self.inner.stats.record_admitted();
         drop(queue);
@@ -309,7 +310,7 @@ fn snapshot_with_breaker(inner: &Inner) -> StatsSnapshot {
 /// Collects one batch from the queue: blocks for the first request, then
 /// tops up until `max_batch`, the oldest request's `max_wait` deadline, or
 /// shutdown. Returns `None` once the queue is drained *and* shut down.
-fn collect_batch(inner: &Inner) -> Option<Vec<Request>> {
+fn collect_batch(inner: &Inner) -> Option<Vec<QueuedRequest>> {
     let mut queue = inner.queue.lock().expect("serve queue poisoned");
     let first = loop {
         if let Some(first) = queue.items.pop_front() {
@@ -356,7 +357,7 @@ fn collect_batch(inner: &Inner) -> Option<Vec<Request>> {
 
 /// Splits a freshly collected batch into live requests and
 /// already-expired ones, expiring the stale ones without executing them.
-fn expire_stale(inner: &Inner, batch: Vec<Request>) -> Vec<Request> {
+fn expire_stale(inner: &Inner, batch: Vec<QueuedRequest>) -> Vec<QueuedRequest> {
     let now = Instant::now();
     let mut live = Vec::with_capacity(batch.len());
     for request in batch {
@@ -405,7 +406,12 @@ fn judge_slots(inner: &Inner, depth: &[&Tensor]) -> Vec<Option<HealthIssue>> {
         .collect()
 }
 
-fn executor_loop(mut net: FusionNet, inner: &Inner) -> FusionNet {
+fn executor_loop(net: FusionNet, inner: &Inner) -> FusionNet {
+    // Freeze the network once: every batch replays the compiled plans
+    // (shape derivation, dispatch and scratch placement all paid here).
+    // The quarantine verdicts are prejudged per slot, so the predictor's
+    // own policy stays at its default.
+    let mut predictor = Predictor::compile(&net);
     let mut batch_index: u64 = 0;
     while let Some(batch) = collect_batch(inner) {
         let batch = expire_stale(inner, batch);
@@ -424,7 +430,7 @@ fn executor_loop(mut net: FusionNet, inner: &Inner) -> FusionNet {
             fulfillers.push(request.fulfiller);
             rgb.push(request.rgb);
             depth.push(request.depth);
-            metas.push((request.enqueued, request.deadline));
+            metas.push((request.enqueued, request.deadline, request.source));
         }
         let rgb_refs: Vec<&Tensor> = rgb.iter().collect();
         let depth_refs: Vec<&Tensor> = depth.iter().collect();
@@ -433,19 +439,19 @@ fn executor_loop(mut net: FusionNet, inner: &Inner) -> FusionNet {
         // the breaker mutex out of the unwind path means a panicking
         // batch can never poison it.
         let issues = judge_slots(inner, &depth_refs);
-        // `forward` in Eval mode only reads frozen statistics, so a panic
-        // mid-pass leaves the network consistent: fail this batch's
+        // Plan execution only reads frozen weights, and a panicking batch
+        // leaves the plan's scratch state reusable: fail this batch's
         // requests with a typed error and keep serving.
         let probe = inner.config.batch_probe.clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(probe) = &probe {
                 (probe.0)(this_batch);
             }
-            predict_probability_slots_prejudged(&mut net, &rgb_refs, &depth_refs, &issues)
+            predictor.run_slots_prejudged(&rgb_refs, &depth_refs, &issues)
         }));
         match outcome {
             Ok(Ok(slots)) => {
-                for ((fulfiller, slot), (enqueued, deadline)) in
+                for ((fulfiller, slot), (enqueued, deadline, source)) in
                     fulfillers.into_iter().zip(slots).zip(metas)
                 {
                     let latency = enqueued.elapsed();
@@ -467,6 +473,7 @@ fn executor_loop(mut net: FusionNet, inner: &Inner) -> FusionNet {
                         quarantined: slot.quarantined,
                         latency,
                         batch_size: occupancy,
+                        source,
                     }));
                     inner.stats.record_completed(latency, quarantined);
                 }

@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use sf_core::{DegradationPolicy, FusionNet, FusionScheme, HealthIssue, NetworkConfig};
-use sf_serve::{Backpressure, ServeConfig, ServeError, Server};
+use sf_serve::{Backpressure, BatchProbe, Request, ServeConfig, ServeError, Server};
 use sf_tensor::{Tensor, TensorRng};
 
 fn tiny_net() -> (FusionNet, NetworkConfig) {
@@ -26,16 +26,18 @@ fn deadline_flush_serves_a_single_straggler() {
     let (net, config) = tiny_net();
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(8)
-            .with_max_wait(Duration::from_millis(20)),
+        ServeConfig::builder()
+            .max_batch(8)
+            .max_wait(Duration::from_millis(20))
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     // One lone request can never fill max_batch; only the deadline can
     // flush it.
     let (rgb, depth) = frame_pair(&config, 1);
     let prediction = server
-        .submit(rgb, depth)
+        .submit(Request::new(rgb, depth))
         .expect("queue has room")
         .wait()
         .expect("straggler must be served");
@@ -56,18 +58,22 @@ fn burst_flushes_on_max_batch_before_the_deadline() {
     let (net, config) = tiny_net();
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(4)
-            .with_queue_capacity(64)
+        ServeConfig::builder()
+            .max_batch(4)
+            .queue_capacity(64)
             // A deadline far beyond test patience: only max_batch can
             // flush these requests promptly.
-            .with_max_wait(Duration::from_secs(30)),
+            .max_wait(Duration::from_secs(30))
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     let completions: Vec<_> = (0..8)
         .map(|i| {
             let (rgb, depth) = frame_pair(&config, 100 + i);
-            server.submit(rgb, depth).expect("queue has room")
+            server
+                .submit(Request::new(rgb, depth))
+                .expect("queue has room")
         })
         .collect();
     for completion in completions {
@@ -92,10 +98,12 @@ fn shutdown_drains_every_queued_request() {
     let (net, config) = tiny_net();
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(4)
-            .with_queue_capacity(64)
-            .with_max_wait(Duration::from_secs(30)),
+        ServeConfig::builder()
+            .max_batch(4)
+            .queue_capacity(64)
+            .max_wait(Duration::from_secs(30))
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     // 6 requests: one full batch of 4 plus a partial batch of 2 that only
@@ -104,7 +112,9 @@ fn shutdown_drains_every_queued_request() {
     let completions: Vec<_> = (0..6)
         .map(|i| {
             let (rgb, depth) = frame_pair(&config, 200 + i);
-            server.submit(rgb, depth).expect("queue has room")
+            server
+                .submit(Request::new(rgb, depth))
+                .expect("queue has room")
         })
         .collect();
     let (_, stats) = server.shutdown();
@@ -124,11 +134,13 @@ fn shutdown_wakes_blocked_submitters_and_returns_a_reusable_net() {
     let server = std::sync::Arc::new(
         Server::start(
             net,
-            ServeConfig::default()
-                .with_max_batch(2)
-                .with_queue_capacity(1)
-                .with_backpressure(Backpressure::Block)
-                .with_max_wait(Duration::from_secs(30)),
+            ServeConfig::builder()
+                .max_batch(2)
+                .queue_capacity(1)
+                .backpressure(Backpressure::Block)
+                .max_wait(Duration::from_secs(30))
+                .build()
+                .expect("valid serve config"),
         )
         .expect("valid serve config"),
     );
@@ -136,9 +148,13 @@ fn shutdown_wakes_blocked_submitters_and_returns_a_reusable_net() {
     // a partner); r2 fills the capacity-1 queue; r3 blocks.
     let submit_start = std::time::Instant::now();
     let (rgb, depth) = frame_pair(&config, 20);
-    let c1 = server.submit(rgb, depth).expect("first is admitted");
+    let c1 = server
+        .submit(Request::new(rgb, depth))
+        .expect("first is admitted");
     let (rgb, depth) = frame_pair(&config, 21);
-    let c2 = server.submit(rgb, depth).expect("second fills the queue");
+    let c2 = server
+        .submit(Request::new(rgb, depth))
+        .expect("second fills the queue");
     // Liveness: the batcher must announce freed queue slots immediately,
     // not after its batching window — a blocked submit may not sleep
     // anywhere near the 30s max_wait.
@@ -150,7 +166,7 @@ fn shutdown_wakes_blocked_submitters_and_returns_a_reusable_net() {
     let blocked = {
         let server = std::sync::Arc::clone(&server);
         let (rgb, depth) = frame_pair(&config, 22);
-        std::thread::spawn(move || server.submit(rgb, depth).map(|c| c.wait()))
+        std::thread::spawn(move || server.submit(Request::new(rgb, depth)).map(|c| c.wait()))
     };
     // Give the spawned submitter time to block on the full queue, then
     // initiate shutdown through the shared handle.
@@ -172,7 +188,11 @@ fn shutdown_wakes_blocked_submitters_and_returns_a_reusable_net() {
     // The returned network is immediately reusable by a fresh server.
     let server = Server::start(net, ServeConfig::default()).expect("valid serve config");
     let (rgb, depth) = frame_pair(&config, 23);
-    assert!(server.submit(rgb, depth).expect("accepts").wait().is_ok());
+    assert!(server
+        .submit(Request::new(rgb, depth))
+        .expect("accepts")
+        .wait()
+        .is_ok());
     server.shutdown();
 }
 
@@ -181,10 +201,12 @@ fn mixed_health_batch_degrades_only_the_quarantined_slot() {
     let (net, config) = tiny_net();
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(4)
-            .with_max_wait(Duration::from_secs(30))
-            .with_policy(DegradationPolicy::CameraFallback),
+        ServeConfig::builder()
+            .max_batch(4)
+            .max_wait(Duration::from_secs(30))
+            .policy(DegradationPolicy::CameraFallback)
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     let mut pairs: Vec<(Tensor, Tensor)> = (0..4).map(|i| frame_pair(&config, 300 + i)).collect();
@@ -194,7 +216,7 @@ fn mixed_health_batch_degrades_only_the_quarantined_slot() {
         .iter()
         .map(|(rgb, depth)| {
             server
-                .submit(rgb.clone(), depth.clone())
+                .submit(Request::new(rgb.clone(), depth.clone()))
                 .expect("queue has room")
         })
         .collect();
@@ -218,11 +240,14 @@ fn mixed_health_batch_degrades_only_the_quarantined_slot() {
     // compare within 1e-6 (they are in fact bit-identical).
     let reference_server = Server::start(
         net,
-        ServeConfig::default().with_policy(DegradationPolicy::CameraOnly),
+        ServeConfig::builder()
+            .policy(DegradationPolicy::CameraOnly)
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     let reference = reference_server
-        .submit(pairs[2].0.clone(), pairs[2].1.clone())
+        .submit(Request::new(pairs[2].0.clone(), pairs[2].1.clone()))
         .expect("queue has room")
         .wait()
         .expect("reference served");
@@ -252,11 +277,13 @@ fn reject_backpressure_sheds_load_with_a_typed_error() {
     let (net, config) = tiny_net();
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(1)
-            .with_queue_capacity(1)
-            .with_backpressure(Backpressure::Reject)
-            .with_max_wait(Duration::ZERO),
+        ServeConfig::builder()
+            .max_batch(1)
+            .queue_capacity(1)
+            .backpressure(Backpressure::Reject)
+            .max_wait(Duration::ZERO)
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     // Flood a capacity-1 queue behind a batch-of-1 executor: submits are
@@ -266,7 +293,7 @@ fn reject_backpressure_sheds_load_with_a_typed_error() {
     let mut saw_queue_full = false;
     for i in 0..2000 {
         let (rgb, depth) = frame_pair(&config, 400 + i);
-        match server.submit(rgb, depth) {
+        match server.submit(Request::new(rgb, depth)) {
             Ok(completion) => accepted.push(completion),
             Err(ServeError::QueueFull { capacity }) => {
                 assert_eq!(capacity, 1);
@@ -294,11 +321,13 @@ fn block_backpressure_serves_everything_without_rejections() {
     let server = std::sync::Arc::new(
         Server::start(
             net,
-            ServeConfig::default()
-                .with_max_batch(2)
-                .with_queue_capacity(1)
-                .with_backpressure(Backpressure::Block)
-                .with_max_wait(Duration::from_millis(1)),
+            ServeConfig::builder()
+                .max_batch(2)
+                .queue_capacity(1)
+                .backpressure(Backpressure::Block)
+                .max_wait(Duration::from_millis(1))
+                .build()
+                .expect("valid serve config"),
         )
         .expect("valid serve config"),
     );
@@ -313,7 +342,7 @@ fn block_backpressure_serves_everything_without_rejections() {
             for i in 0..8 {
                 let (rgb, depth) = frame_pair(&config, 500 + 100 * client + i);
                 let completion = server
-                    .submit(rgb, depth)
+                    .submit(Request::new(rgb, depth))
                     .expect("Block never rejects while running");
                 completion.wait().expect("request served");
                 served += 1;
@@ -336,47 +365,70 @@ fn block_backpressure_serves_everything_without_rejections() {
 #[test]
 fn panic_in_one_batch_fails_only_that_batch() {
     let (net, config) = tiny_net();
+    // The first batch panics via the injected probe; the compiled-plan
+    // executor must fail exactly that batch's requests and keep serving.
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(1)
-            .with_max_wait(Duration::ZERO),
+        ServeConfig::builder()
+            .max_batch(1)
+            .max_wait(Duration::ZERO)
+            .batch_probe(BatchProbe::new(|batch| {
+                if batch == 0 {
+                    panic!("injected batch panic");
+                }
+            }))
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
-    // A frame pair with *mismatched* rgb/depth resolutions slips past
-    // validation via the unchecked door; the fusion sum inside the
-    // forward pass panics on the shape mismatch. (Consistently-sized
-    // pairs at any resolution are served fine — the net is fully
-    // convolutional — so this is the realistic poison case.)
-    let mut rng = TensorRng::seed_from(999);
-    let bad = server
-        .submit_unchecked(
-            rng.uniform(&[3, config.height, config.width], 0.0, 1.0),
-            rng.uniform(&[1, config.height * 2, config.width * 2], 0.1, 1.0),
-        )
+    let (rgb, depth) = frame_pair(&config, 599);
+    let poisoned = server
+        .submit(Request::new(rgb, depth))
         .expect("queue has room");
-    match bad.wait() {
+    match poisoned.wait() {
         Err(ServeError::BatchPanicked { .. }) => {}
         other => panic!("poisoned batch must fail typed, got {other:?}"),
+    }
+    // A frame pair with *mismatched* rgb/depth resolutions slips past
+    // validation via the unchecked door; the compiled plan rejects the
+    // bad geometry with a typed error instead of panicking.
+    let mut rng = TensorRng::seed_from(999);
+    let bad = server
+        .submit_unchecked(Request::new(
+            rng.uniform(&[3, config.height, config.width], 0.0, 1.0),
+            rng.uniform(&[1, config.height * 2, config.width * 2], 0.1, 1.0),
+        ))
+        .expect("queue has room");
+    match bad.wait() {
+        Err(ServeError::BadRequest { .. }) => {}
+        other => panic!("bad geometry must fail typed, got {other:?}"),
     }
     // The very next healthy request must be served normally.
     let (rgb, depth) = frame_pair(&config, 600);
     let healthy = server
-        .submit(rgb, depth)
+        .submit(Request::new(rgb, depth))
         .expect("server still accepts")
         .wait()
         .expect("server must survive a panicked batch");
     assert_eq!(healthy.prob.shape(), &[config.height, config.width]);
     let (_, stats) = server.shutdown();
-    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.failed, 2);
     assert_eq!(stats.completed, 1);
-    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.batches, 3);
 }
 
 #[test]
 fn invalid_config_and_bad_shapes_are_rejected_up_front() {
     let (net, config) = tiny_net();
-    match Server::start(net, ServeConfig::default().with_max_batch(0)) {
+    assert!(
+        ServeConfig::builder().max_batch(0).build().is_err(),
+        "builder must reject zero max_batch at build"
+    );
+    let bad = ServeConfig {
+        max_batch: 0,
+        ..ServeConfig::default()
+    };
+    match Server::start(net, bad) {
         Err(ServeError::InvalidConfig { .. }) => {}
         other => panic!("zero max_batch must fail, got {:?}", other.is_ok()),
     }
@@ -384,13 +436,13 @@ fn invalid_config_and_bad_shapes_are_rejected_up_front() {
     let server = Server::start(net, ServeConfig::default()).expect("valid serve config");
     let bad_rgb = Tensor::ones(&[1, config.height, config.width]);
     let depth = Tensor::ones(&[1, config.height, config.width]);
-    match server.submit(bad_rgb, depth) {
+    match server.submit(Request::new(bad_rgb, depth)) {
         Err(ServeError::BadRequest { .. }) => {}
         other => panic!("wrong rgb shape must be rejected, got {:?}", other.is_ok()),
     }
     let rgb = Tensor::ones(&[3, config.height, config.width]);
     let bad_depth = Tensor::ones(&[2, config.height, config.width]);
-    match server.submit(rgb, bad_depth) {
+    match server.submit(Request::new(rgb, bad_depth)) {
         Err(ServeError::BadRequest { .. }) => {}
         other => panic!(
             "wrong depth shape must be rejected, got {:?}",
@@ -407,16 +459,18 @@ fn batched_results_are_identical_to_batch_of_one_serving() {
     let pairs: Vec<(Tensor, Tensor)> = (0..6).map(|i| frame_pair(&config, 700 + i)).collect();
     let batched_server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(6)
-            .with_max_wait(Duration::from_secs(30)),
+        ServeConfig::builder()
+            .max_batch(6)
+            .max_wait(Duration::from_secs(30))
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     let completions: Vec<_> = pairs
         .iter()
         .map(|(rgb, depth)| {
             batched_server
-                .submit(rgb.clone(), depth.clone())
+                .submit(Request::new(rgb.clone(), depth.clone()))
                 .expect("queue has room")
         })
         .collect();
@@ -428,14 +482,16 @@ fn batched_results_are_identical_to_batch_of_one_serving() {
     let (net, _) = batched_server.shutdown();
     let single_server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(1)
-            .with_max_wait(Duration::ZERO),
+        ServeConfig::builder()
+            .max_batch(1)
+            .max_wait(Duration::ZERO)
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     for (i, (rgb, depth)) in pairs.iter().enumerate() {
         let single = single_server
-            .submit(rgb.clone(), depth.clone())
+            .submit(Request::new(rgb.clone(), depth.clone()))
             .expect("queue has room")
             .wait()
             .expect("served");

@@ -9,7 +9,9 @@ use sf_core::{
     BreakerConfig, BreakerState, DegradationPolicy, FusionNet, FusionScheme, HealthIssue,
     NetworkConfig,
 };
-use sf_serve::{Backpressure, BatchProbe, Retrier, RetryPolicy, ServeConfig, ServeError, Server};
+use sf_serve::{
+    Backpressure, BatchProbe, Request, Retrier, RetryPolicy, ServeConfig, ServeError, Server,
+};
 use sf_tensor::{Tensor, TensorRng};
 
 fn tiny_net() -> (FusionNet, NetworkConfig) {
@@ -63,9 +65,11 @@ fn zero_deadline_requests_expire_without_execution() {
     let (net, config) = tiny_net();
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(4)
-            .with_max_wait(Duration::ZERO),
+        ServeConfig::builder()
+            .max_batch(4)
+            .max_wait(Duration::ZERO)
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     // A zero deadline has always already passed by the time the batcher
@@ -75,7 +79,7 @@ fn zero_deadline_requests_expire_without_execution() {
         .map(|i| {
             let (rgb, depth) = frame_pair(&config, 10 + i);
             server
-                .submit_with_deadline(rgb, depth, Duration::ZERO)
+                .submit(Request::new(rgb, depth).with_deadline(Duration::ZERO))
                 .expect("queue has room")
         })
         .collect();
@@ -91,7 +95,7 @@ fn zero_deadline_requests_expire_without_execution() {
     // A live request afterwards is served normally.
     let (rgb, depth) = frame_pair(&config, 20);
     let served = server
-        .submit(rgb, depth)
+        .submit(Request::new(rgb, depth))
         .expect("accepts")
         .wait()
         .expect("live request served");
@@ -111,16 +115,22 @@ fn default_deadline_applies_to_plain_submit() {
     let (net, config) = tiny_net();
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(1)
-            .with_max_wait(Duration::ZERO)
+        ServeConfig::builder()
+            .max_batch(1)
+            .max_wait(Duration::ZERO)
             // One nanosecond: far below the microseconds of queue hand-off,
             // so every plain submit inherits an already-expired deadline.
-            .with_default_deadline(Duration::from_nanos(1)),
+            .default_deadline(Duration::from_nanos(1))
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     let (rgb, depth) = frame_pair(&config, 30);
-    match server.submit(rgb, depth).expect("queue has room").wait() {
+    match server
+        .submit(Request::new(rgb, depth))
+        .expect("queue has room")
+        .wait()
+    {
         Err(ServeError::DeadlineExceeded { deadline, .. }) => {
             assert_eq!(deadline, Duration::from_nanos(1));
         }
@@ -129,7 +139,7 @@ fn default_deadline_applies_to_plain_submit() {
     // An explicit per-request deadline overrides the default.
     let (rgb, depth) = frame_pair(&config, 31);
     let served = server
-        .submit_with_deadline(rgb, depth, Duration::from_secs(30))
+        .submit(Request::new(rgb, depth).with_deadline(Duration::from_secs(30)))
         .expect("queue has room")
         .wait()
         .expect("generous explicit deadline is served");
@@ -149,17 +159,19 @@ fn deadline_passing_mid_batch_discards_the_stale_result() {
     // prediction.
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(1)
-            .with_max_wait(Duration::ZERO)
-            .with_batch_probe(BatchProbe::new(|_batch| {
+        ServeConfig::builder()
+            .max_batch(1)
+            .max_wait(Duration::ZERO)
+            .batch_probe(BatchProbe::new(|_batch| {
                 std::thread::sleep(Duration::from_millis(500));
-            })),
+            }))
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     let (rgb, depth) = frame_pair(&config, 40);
     match server
-        .submit_with_deadline(rgb, depth, Duration::from_millis(200))
+        .submit(Request::new(rgb, depth).with_deadline(Duration::from_millis(200)))
         .expect("queue has room")
         .wait()
     {
@@ -195,11 +207,13 @@ fn breaker_trips_fleet_wide_and_recovers_through_probing() {
     };
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(1)
-            .with_max_wait(Duration::ZERO)
-            .with_policy(DegradationPolicy::CameraFallback)
-            .with_breaker(breaker),
+        ServeConfig::builder()
+            .max_batch(1)
+            .max_wait(Duration::ZERO)
+            .policy(DegradationPolicy::CameraFallback)
+            .breaker(breaker)
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     let submit_and_wait = |seed: u64, dead_depth: bool| {
@@ -208,7 +222,7 @@ fn breaker_trips_fleet_wide_and_recovers_through_probing() {
             depth = Tensor::zeros(depth.shape());
         }
         server
-            .submit(rgb, depth)
+            .submit(Request::new(rgb, depth))
             .expect("queue has room")
             .wait()
             .expect("served")
@@ -270,33 +284,42 @@ fn retrier_shed_storm_exhausts_then_succeeds_after_drain() {
     let gate = Gate::closed();
     let server = Server::start(
         net,
-        ServeConfig::default()
-            .with_max_batch(1)
-            .with_queue_capacity(1)
-            .with_backpressure(Backpressure::Reject)
-            .with_max_wait(Duration::ZERO)
-            .with_batch_probe(gate.probe()),
+        ServeConfig::builder()
+            .max_batch(1)
+            .queue_capacity(1)
+            .backpressure(Backpressure::Reject)
+            .max_wait(Duration::ZERO)
+            .batch_probe(gate.probe())
+            .build()
+            .expect("valid serve config"),
     )
     .expect("valid serve config");
     // Plug the executor and fill the pipeline: r1 is dequeued and parked
     // on the gate, r2 occupies the capacity-1 queue. Every further submit
     // now deterministically sees QueueFull.
     let (rgb, depth) = frame_pair(&config, 90);
-    let r1 = server.submit(rgb, depth).expect("r1 admitted");
+    let r1 = server
+        .submit(Request::new(rgb, depth))
+        .expect("r1 admitted");
     // `batches` ticks just before the probe call, so once it is non-zero
     // the executor has claimed r1 and is parked; the queue is empty.
     while server.stats().batches == 0 {
         std::thread::sleep(Duration::from_millis(1));
     }
     let (rgb, depth) = frame_pair(&config, 91);
-    let r2 = server.submit(rgb, depth).expect("r2 fills the queue");
-    let retry = RetryPolicy::default()
-        .with_max_attempts(3)
-        .with_base(Duration::from_micros(50))
-        .with_cap(Duration::from_micros(500));
+    let r2 = server
+        .submit(Request::new(rgb, depth))
+        .expect("r2 fills the queue");
+    let retry = RetryPolicy::builder()
+        .max_attempts(3)
+        .base(Duration::from_micros(50))
+        .cap(Duration::from_micros(500))
+        .build()
+        .expect("valid retry policy");
     let mut retrier = Retrier::new(retry, 7).expect("valid retry policy");
     let (rgb, depth) = frame_pair(&config, 92);
-    match retrier.submit_with_retry(&server, &rgb, &depth) {
+    let request = Request::new(rgb, depth);
+    match retrier.submit_with_retry(&server, &request) {
         Err(ServeError::RetriesExhausted { attempts, last }) => {
             assert_eq!(attempts, 3);
             assert!(matches!(*last, ServeError::QueueFull { .. }));
@@ -312,7 +335,7 @@ fn retrier_shed_storm_exhausts_then_succeeds_after_drain() {
         std::thread::sleep(Duration::from_millis(1));
     }
     let retried = retrier
-        .submit_with_retry(&server, &rgb, &depth)
+        .submit_with_retry(&server, &request)
         .expect("post-drain submit succeeds")
         .wait()
         .expect("served");
@@ -337,27 +360,33 @@ fn close_wakes_blocked_submitter_while_executor_is_stalled() {
     let server = Arc::new(
         Server::start(
             net,
-            ServeConfig::default()
-                .with_max_batch(1)
-                .with_queue_capacity(1)
-                .with_backpressure(Backpressure::Block)
-                .with_max_wait(Duration::ZERO)
-                .with_batch_probe(gate.probe()),
+            ServeConfig::builder()
+                .max_batch(1)
+                .queue_capacity(1)
+                .backpressure(Backpressure::Block)
+                .max_wait(Duration::ZERO)
+                .batch_probe(gate.probe())
+                .build()
+                .expect("valid serve config"),
         )
         .expect("valid serve config"),
     );
     // r1 parks the executor on the gate; r2 fills the queue; r3 blocks.
     let (rgb, depth) = frame_pair(&config, 95);
-    let r1 = server.submit(rgb, depth).expect("r1 admitted");
+    let r1 = server
+        .submit(Request::new(rgb, depth))
+        .expect("r1 admitted");
     while server.stats().batches == 0 {
         std::thread::sleep(Duration::from_millis(1));
     }
     let (rgb, depth) = frame_pair(&config, 96);
-    let r2 = server.submit(rgb, depth).expect("r2 fills the queue");
+    let r2 = server
+        .submit(Request::new(rgb, depth))
+        .expect("r2 fills the queue");
     let blocked = {
         let server = Arc::clone(&server);
         let (rgb, depth) = frame_pair(&config, 97);
-        std::thread::spawn(move || server.submit(rgb, depth))
+        std::thread::spawn(move || server.submit(Request::new(rgb, depth)))
     };
     // Let r3 reach the condvar, then close. The executor is still parked,
     // so ONLY the shutdown wake-up can release r3.

@@ -176,8 +176,15 @@ pub fn im2col(image: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Result<
 /// `col_offset` — so several images can share one wide patch matrix (the
 /// batched convolution path). Padding taps are left untouched, which is
 /// why the destination must be zeroed.
+///
+/// Public because the compiled-plan executor in `sf-core` builds its
+/// convolution ops from exactly this unfold plus [`matmul_into`]; going
+/// through the same kernels is what keeps plan outputs bit-identical to
+/// [`conv2d`].
+///
+/// [`matmul_into`]: crate::matmul_into
 #[allow(clippy::too_many_arguments)]
-fn im2col_into(
+pub fn im2col_into(
     src: &[f32],
     c: usize,
     h: usize,

@@ -31,9 +31,9 @@ mod shape;
 mod tensor;
 pub mod testkit;
 
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, im2col_into, Conv2dSpec};
 pub use error::TensorError;
-pub use linalg::{matmul, matmul_transpose_a, matmul_transpose_b, transpose2d};
+pub use linalg::{matmul, matmul_into, matmul_transpose_a, matmul_transpose_b, transpose2d};
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, upsample_nearest2d,
     upsample_nearest2d_backward,

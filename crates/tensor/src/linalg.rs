@@ -145,6 +145,23 @@ pub(crate) fn mm_ikj(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
     });
 }
 
+/// `out[m,n] += a[m,k] · b[k,n]` on raw row-major slices. `out` must be
+/// zeroed (the kernel accumulates into it).
+///
+/// This is the public face of the internal `i-k-j` kernel that powers
+/// [`matmul`] and the `im2col` convolution path: the compiled-plan
+/// executor in `sf-core` multiplies straight into its statically
+/// scheduled slot buffers through it, so plan results stay bit-identical
+/// to the graph path's convolutions.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` extent implies.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
+    mm_ikj(a, b, out, m, k, n);
+}
+
 /// f32 elements of `b` streamed per column block (256 KiB): big enough
 /// that loop overheads amortise, small enough that the panel stays
 /// cache-resident across the row loop.

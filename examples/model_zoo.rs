@@ -59,7 +59,7 @@ fn main() {
     for scheme in FusionScheme::ALL {
         let mut net = FusionNet::new(scheme, &net_config).expect("valid config");
         train(&mut net, &data.train(None), &train_config);
-        let eval = evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default());
+        let eval = evaluate(&net, &data.test(None), &camera, &EvalOptions::default());
         println!("  {:<16} {eval}", scheme.abbrev());
     }
     println!(

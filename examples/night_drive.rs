@@ -67,13 +67,13 @@ fn main() {
     let night = relit(&test, "night", Lighting::night(), &dataset_config);
     let night_no_depth = without_depth(&night);
 
-    let eval = |net: &mut FusionNet, set: &[Sample]| {
+    let eval = |net: &FusionNet, set: &[Sample]| {
         let refs: Vec<&Sample> = set.iter().collect();
         evaluate(net, &refs, &camera, &options)
     };
-    let day_eval = eval(&mut net, &day);
-    let night_eval = eval(&mut net, &night);
-    let blind_eval = eval(&mut net, &night_no_depth);
+    let day_eval = eval(&net, &day);
+    let night_eval = eval(&net, &night);
+    let blind_eval = eval(&net, &night_no_depth);
 
     println!("\nsame scenes, same model, different conditions (BEV):");
     println!("  day,   RGB+LiDAR : {day_eval}");

@@ -45,6 +45,6 @@ fn main() {
 
     // 4. Evaluate in bird's-eye view, exactly like the KITTI server.
     let camera = dataset_config.camera();
-    let eval = evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default());
+    let eval = evaluate(&net, &data.test(None), &camera, &EvalOptions::default());
     println!("test-set BEV metrics: {eval}");
 }

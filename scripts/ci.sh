@@ -47,6 +47,12 @@ cargo test -q
 echo "==> fault-matrix smoke (sensor fault injection + graceful degradation)"
 cargo test -q -p sf-bench --test experiments_smoke fault_matrix_smoke
 
+echo "==> plan check (compiled plan vs graph path, bitwise)"
+# Compiles every fusion scheme's plan on the tiny network and diffs its
+# outputs against the unfused graph forward; exits non-zero on any
+# nonzero delta or a scratch high-water mark above the reservation.
+./target/release/roadseg plan --check --smoke
+
 echo "==> serve-bench smoke (dynamic batching server end-to-end)"
 # Tiny net, 4 clients x 8 requests; --smoke exits non-zero unless every
 # request was served (zero dropped, rejected, or poisoned).

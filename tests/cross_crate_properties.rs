@@ -3,14 +3,17 @@
 //! `sf_tensor::testkit` harness.
 
 use sf_autograd::Graph;
-use sf_core::{fd_loss, FusionNet, FusionScheme, NetworkConfig};
+use sf_core::{
+    fd_loss, CompiledPlan, DegradationPolicy, FusionNet, FusionScheme, NetworkConfig, PlanMode,
+    Predictor,
+};
 use sf_dataset::{bev_warp, BevGrid, Sample};
 use sf_nn::{Mode, Parameterized};
 use sf_scene::{
     render_ground_truth, LidarSpec, Lighting, PinholeCamera, RoadCategory, SceneBuilder,
 };
 use sf_tensor::testkit::{check_cases, CaseCtx};
-use sf_tensor::TensorRng;
+use sf_tensor::{Tensor, TensorRng};
 use sf_vision::GrayImage;
 
 const CASES: u64 = 12;
@@ -164,4 +167,117 @@ fn depth_images_have_sensible_gradient_structure() {
             "{category}: bottom {bottom_mean} should be nearer than mid {mid_mean}"
         );
     }
+}
+
+#[test]
+fn compiled_plan_matches_graph_and_bounds_scratch_for_random_configs() {
+    check_cases(CASES, |c| {
+        // A random valid geometry: stages ∈ {2, 3}, resolution divisible
+        // by 2^stages, random channel widths, sharing depth and seed.
+        let stages = c.usize_in(2, 4);
+        let factor = 1usize << stages;
+        let config = NetworkConfig {
+            width: factor * c.usize_in(1, 4),
+            height: factor * c.usize_in(1, 3),
+            stage_channels: (0..stages).map(|_| c.usize_in(2, 6)).collect(),
+            shared_stages: c.usize_in(1, stages),
+            depth_channels: c.usize_in(1, 3),
+            seed: c.seed(),
+        };
+        let scheme = FusionScheme::ALL[c.usize_in(0, 5)];
+        let mut net = FusionNet::new(scheme, &config).expect("random config is valid");
+        let (h, w, dc) = (config.height, config.width, config.depth_channels);
+
+        // Warm the BatchNorm running statistics with one train-mode pass
+        // so the plan's folded eval constants are non-trivial.
+        {
+            let mut g = Graph::new();
+            let r = g.leaf(c.rng().uniform(&[2, 3, h, w], 0.0, 1.0));
+            let d = g.leaf(c.rng().uniform(&[2, dc, h, w], 0.1, 1.0));
+            net.forward(&mut g, r, d, Mode::Train);
+        }
+
+        let n = c.usize_in(1, 4);
+        let rgb = c.rng().uniform(&[n, 3, h, w], 0.0, 1.0);
+        let depth = c.rng().uniform(&[n, dc, h, w], 0.1, 1.0);
+
+        // The unfused reference: graph forward in eval mode plus sigmoid.
+        let graph_probs = |net: &mut FusionNet, rgb: &Tensor, depth: Option<&Tensor>| {
+            let mut g = Graph::new();
+            let r = g.leaf(rgb.clone());
+            let out = match depth {
+                Some(d) => {
+                    let d = g.leaf(d.clone());
+                    net.forward(&mut g, r, d, Mode::Eval)
+                }
+                None => net.forward_camera_only(&mut g, r, Mode::Eval),
+            };
+            let prob = g.sigmoid(out.logits);
+            g.value(prob).clone()
+        };
+
+        // Both plan modes: bit-identical outputs, and the static scratch
+        // reservation must bound the measured live high-water mark.
+        for mode in [PlanMode::Fused, PlanMode::CameraOnly] {
+            let mut plan = CompiledPlan::compile(&net, mode);
+            let with_depth = (mode == PlanMode::Fused).then_some(&depth);
+            let got = plan.run_batch(&rgb, with_depth).expect("plan executes");
+            let reference = graph_probs(&mut net, &rgb, with_depth);
+            assert_eq!(
+                got.data(),
+                reference.data(),
+                "case {}: {scheme} {mode} n={n} diverges from the graph path",
+                c.case
+            );
+            assert!(
+                plan.last_high_water_elems() <= plan.reservation_elems(n),
+                "case {}: {scheme} {mode} n={n}: high water {} > reservation {}",
+                c.case,
+                plan.last_high_water_elems(),
+                plan.reservation_elems(n)
+            );
+        }
+
+        // Every degradation policy must route a frame through the
+        // Predictor to exactly the graph path it selects.
+        let rgb1 = c.rng().uniform(&[3, h, w], 0.0, 1.0);
+        let healthy = c.rng().uniform(&[dc, h, w], 0.1, 1.0);
+        let dead = Tensor::zeros(&[dc, h, w]);
+        let rgb1_b = rgb1.reshape(&[1, 3, h, w]).expect("rgb is [3,H,W]");
+        let fused_ref = |net: &mut FusionNet, d: &Tensor| {
+            let d_b = d.reshape(&[1, dc, h, w]).expect("depth is [C,H,W]");
+            graph_probs(net, &rgb1_b, Some(&d_b))
+        };
+        let camera_ref = graph_probs(&mut net, &rgb1_b, None);
+        for policy in [
+            DegradationPolicy::Trust,
+            DegradationPolicy::CameraFallback,
+            DegradationPolicy::CameraOnly,
+        ] {
+            let mut predictor = Predictor::compile(&net).with_policy(policy);
+            for depth1 in [&healthy, &dead] {
+                let prediction = predictor.run(&rgb1, depth1).expect("predictor runs");
+                let quarantined = prediction.quarantined.is_some();
+                let reference = if quarantined {
+                    camera_ref.clone()
+                } else {
+                    fused_ref(&mut net, depth1)
+                };
+                assert_eq!(
+                    prediction.prob.data(),
+                    reference.data(),
+                    "case {}: {scheme} {policy} quarantined={quarantined}",
+                    c.case
+                );
+                match policy {
+                    DegradationPolicy::Trust => assert!(!quarantined),
+                    DegradationPolicy::CameraOnly => assert!(quarantined),
+                    // Fallback must quarantine exactly the dead frame.
+                    DegradationPolicy::CameraFallback => {
+                        assert_eq!(quarantined, std::ptr::eq(depth1, &dead));
+                    }
+                }
+            }
+        }
+    });
 }

@@ -48,7 +48,7 @@ fn every_architecture_trains_and_evaluates() {
         let report = train(&mut net, &data.train(None), &train_config);
         assert_eq!(report.seg_loss.len(), 2, "{scheme}");
         assert!(report.final_seg_loss().is_finite(), "{scheme}");
-        let eval = evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default());
+        let eval = evaluate(&net, &data.test(None), &camera, &EvalOptions::default());
         for v in eval.as_row() {
             assert!((0.0..=100.0).contains(&v), "{scheme}: metric {v}");
         }
@@ -100,7 +100,7 @@ fn training_improves_on_every_category() {
     train(&mut net, &data.train(None), &config);
     for category in RoadCategory::ALL {
         let eval = evaluate(
-            &mut net,
+            &net,
             &data.test(Some(category)),
             &camera,
             &EvalOptions::default(),
@@ -152,9 +152,9 @@ fn fd_loss_on_real_fusion_pairs_is_finite_and_nonnegative() {
 #[test]
 fn predictions_are_probabilities_on_all_test_samples() {
     let (_, data) = tiny_dataset();
-    let mut net = FusionNet::new(FusionScheme::Baseline, &tiny_network()).expect("valid config");
+    let net = FusionNet::new(FusionScheme::Baseline, &tiny_network()).expect("valid config");
     for sample in data.test(None) {
-        let prob = predict_probability(&mut net, sample);
+        let prob = predict_probability(&net, sample);
         assert!(prob.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 }
@@ -171,7 +171,7 @@ fn dataset_and_training_are_reproducible_end_to_end() {
             ..TrainConfig::standard()
         };
         train(&mut net, &data.train(None), &config);
-        evaluate(&mut net, &data.test(None), &camera, &EvalOptions::default())
+        evaluate(&net, &data.test(None), &camera, &EvalOptions::default())
     };
     let a = run();
     let b = run();
