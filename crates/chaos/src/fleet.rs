@@ -1,0 +1,948 @@
+//! Fleet-level chaos: seeded failure schedules against a replica [`Fleet`].
+//!
+//! The single-server harness in the crate root proves one executor never
+//! loses a request; this module proves the *router* never loses a leg.
+//! A [`FleetChaosConfig`] drives a real [`Fleet`] through an ordered list
+//! of [`FleetScene`]s — healthy tagged traffic, a dying depth sensor on
+//! one source, replica kill storms (optionally with a hot model deploy
+//! mid-storm), explicit revivals, and shadow deploys of a bit-identical
+//! candidate — all closed-loop and seeded, so every routing decision,
+//! breaker observation and redirect replays exactly.
+//!
+//! Every run asserts, in addition to the single-server invariants:
+//!
+//! 1. **Fleet conservation** — `submitted == completed + rejected +
+//!    expired + failed + redirected` over routing legs
+//!    ([`FleetStats::is_conserved`]).
+//! 2. **Router-vs-replica reconciliation** — the fleet's leg counters
+//!    reconcile exactly with the per-replica server counters
+//!    ([`FleetStats::cross_check`]).
+//! 3. **Zero deploy casualties** — no leg terminally fails during a
+//!    scene that hot-swaps the model; a failure there is a
+//!    [`FleetChaosError::DeployRegression`].
+//! 4. **Shadow fidelity** — a shadow deploy whose candidate is built
+//!    from the live model's seed must diff bitwise-zero and promote.
+//!
+//! Two runs of the same config produce bit-identical
+//! [`FleetChaosReport::fingerprint`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use sf_chaos::{parse_fleet_scenes, run_fleet, FleetChaosConfig};
+//!
+//! let config = FleetChaosConfig::default()
+//!     .with_seed(7)
+//!     .with_scenes(parse_fleet_scenes("calm:3,storm:2,revive:1").unwrap());
+//! let report = run_fleet(&config).unwrap();
+//! assert!(report.stats.is_conserved());
+//! assert_eq!(report.kills, 1);
+//! assert_eq!(report.revives, 1);
+//! ```
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sf_core::{BreakerConfig, DegradationPolicy, FusionNet, FusionScheme, NetworkConfig};
+use sf_serve::{
+    Backpressure, BatchProbe, DeployOptions, DispatchPolicy, Fleet, FleetConfig, FleetStats,
+    Prediction, Request, ServeConfig, ServeError, ShadowConfig, SourceId,
+};
+use sf_tensor::{Tensor, TensorRng};
+
+/// The tagged source whose depth sensor dies in [`FleetScene::Corrupt`];
+/// kept out of the healthy rotation so one bad sensor trips only its own
+/// slot breaker.
+const FAULTY_SOURCE: SourceId = SourceId(99);
+/// Healthy traffic rotates over this many tagged sources.
+const HEALTHY_SOURCES: u64 = 8;
+/// Holder requests (which park executors during storms) draw their
+/// sources from here up, away from both traffic ranges.
+const HOLDER_SOURCE_BASE: u64 = 1_000;
+
+/// One phase of a fleet chaos schedule. Scenes run in order; traffic is
+/// closed-loop except during storms, which flood parked executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetScene {
+    /// Healthy tagged traffic, submit-and-wait.
+    Calm {
+        /// Closed-loop requests to serve.
+        requests: usize,
+    },
+    /// One source's depth sensor goes dark (all-zero frames): its slot
+    /// quarantines and its breaker trips without dragging healthy
+    /// sources down.
+    Corrupt {
+        /// Closed-loop dead-depth requests from [`FAULTY_SOURCE`].
+        requests: usize,
+    },
+    /// Replica kill storm: park every routable replica's executor with a
+    /// holder request, flood `flood` tagged requests into the queues,
+    /// kill `kill` replicas, optionally hot-deploy a retrained model
+    /// mid-storm, then release. Queued work on the victims is aborted
+    /// and must be redirected — never terminally failed.
+    KillStorm {
+        /// Replicas to kill (lowest alive indices first).
+        kill: usize,
+        /// Requests flooded into the parked queues.
+        flood: usize,
+        /// Hot-swap a retrained model while the storm is in flight.
+        deploy: bool,
+    },
+    /// Revive every dead replica from the fleet's live model, then serve
+    /// tagged traffic (under consistent hashing the revived replica's
+    /// keys come home).
+    Revive {
+        /// Closed-loop requests after the revivals.
+        requests: usize,
+    },
+    /// Shadow-deploy a candidate built from the live model's seed while
+    /// serving: every mirrored diff must be bitwise zero and the
+    /// candidate must promote.
+    ShadowDeploy {
+        /// Closed-loop requests mirrored to the candidate.
+        requests: usize,
+    },
+}
+
+impl FleetScene {
+    fn request_count(&self) -> usize {
+        match self {
+            FleetScene::Calm { requests }
+            | FleetScene::Corrupt { requests }
+            | FleetScene::Revive { requests }
+            | FleetScene::ShadowDeploy { requests } => *requests,
+            FleetScene::KillStorm { flood, .. } => *flood,
+        }
+    }
+}
+
+impl fmt::Display for FleetScene {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetScene::Calm { requests } => write!(f, "calm:{requests}"),
+            FleetScene::Corrupt { requests } => write!(f, "corrupt:{requests}"),
+            FleetScene::KillStorm {
+                kill,
+                flood,
+                deploy: false,
+            } => write!(f, "storm(kill {kill}):{flood}"),
+            FleetScene::KillStorm {
+                kill,
+                flood,
+                deploy: true,
+            } => write!(f, "deploystorm(kill {kill}):{flood}"),
+            FleetScene::Revive { requests } => write!(f, "revive:{requests}"),
+            FleetScene::ShadowDeploy { requests } => write!(f, "shadow:{requests}"),
+        }
+    }
+}
+
+/// Parses a comma-separated fleet scene list, e.g.
+/// `calm:4,storm:3,revive:2,deploystorm:3,shadow:4`. Kinds: `calm`,
+/// `corrupt` (dead depth on one source), `storm` (kill 1 replica,
+/// flood N), `deploystorm` (storm plus a mid-storm hot deploy),
+/// `revive`, `shadow` (shadow deploy of an identical candidate).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending element.
+pub fn parse_fleet_scenes(spec: &str) -> Result<Vec<FleetScene>, String> {
+    spec.split(',')
+        .map(|part| {
+            let part = part.trim();
+            let (kind, count) = part
+                .split_once(':')
+                .ok_or_else(|| format!("scene '{part}' is not of the form kind:count"))?;
+            let n: usize = count
+                .parse()
+                .map_err(|_| format!("scene '{part}': '{count}' is not a count"))?;
+            if n == 0 {
+                return Err(format!("scene '{part}': count must be >= 1"));
+            }
+            match kind {
+                "calm" => Ok(FleetScene::Calm { requests: n }),
+                "corrupt" => Ok(FleetScene::Corrupt { requests: n }),
+                "storm" => Ok(FleetScene::KillStorm {
+                    kill: 1,
+                    flood: n,
+                    deploy: false,
+                }),
+                "deploystorm" => Ok(FleetScene::KillStorm {
+                    kill: 1,
+                    flood: n,
+                    deploy: true,
+                }),
+                "revive" => Ok(FleetScene::Revive { requests: n }),
+                "shadow" => Ok(FleetScene::ShadowDeploy { requests: n }),
+                other => Err(format!(
+                    "unknown fleet scene kind '{other}' \
+                     (expected calm|corrupt|storm|deploystorm|revive|shadow)"
+                )),
+            }
+        })
+        .collect()
+}
+
+/// A seeded fleet fault schedule plus the fleet shape it runs against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetChaosConfig {
+    /// Master seed: frames, routing scores and breaker probes all derive
+    /// from it.
+    pub seed: u64,
+    /// Replica count (≥ 1).
+    pub replicas: usize,
+    /// Routing policy under test.
+    pub dispatch: DispatchPolicy,
+    /// Ordered fault schedule.
+    pub scenes: Vec<FleetScene>,
+    /// Per-replica served batch-size bound.
+    pub max_batch: usize,
+    /// Per-replica bounded queue capacity. Must cover the largest storm
+    /// flood so a storm never sheds nondeterministically.
+    pub queue_capacity: usize,
+    /// Default request deadline; generous so live requests never expire
+    /// nondeterministically.
+    pub default_deadline: Option<Duration>,
+    /// Per-slot circuit breaker bank for every replica; `None` disables.
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl Default for FleetChaosConfig {
+    fn default() -> Self {
+        FleetChaosConfig {
+            seed: 0xF1EE_C4A0,
+            replicas: 3,
+            dispatch: DispatchPolicy::ConsistentHash,
+            scenes: parse_fleet_scenes(
+                "calm:6,corrupt:5,storm:4,revive:3,deploystorm:4,shadow:5,calm:4",
+            )
+            .expect("default fleet scene spec parses"),
+            max_batch: 4,
+            queue_capacity: 8,
+            default_deadline: Some(Duration::from_secs(10)),
+            // Small window so a handful of dead-depth frames trips the
+            // faulty source's slot breaker inside one Corrupt scene.
+            breaker: Some(BreakerConfig {
+                window: 4,
+                min_samples: 4,
+                trip_threshold: 0.5,
+                cooldown: 4,
+                success_probes: 2,
+                probe_chance: 1.0,
+                seed: 23,
+            }),
+        }
+    }
+}
+
+impl FleetChaosConfig {
+    /// Returns the config with a different seed (chainable).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different schedule (chainable).
+    pub fn with_scenes(mut self, scenes: Vec<FleetScene>) -> Self {
+        self.scenes = scenes;
+        self
+    }
+
+    /// Returns the config with a different replica count (chainable).
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Returns the config with a different dispatch policy (chainable).
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// A smoke-sized schedule that still kills, revives, hot-deploys and
+    /// shadow-diffs; used by `roadseg chaos --smoke` and CI.
+    pub fn smoke(mut self) -> Self {
+        self.replicas = 2;
+        self.scenes =
+            parse_fleet_scenes("calm:2,deploystorm:2,revive:1,shadow:2,calm:1").expect("parses");
+        self
+    }
+
+    /// Checks the invariants the harness relies on, including that no
+    /// storm kills the last replica and that every storm's flood fits
+    /// the per-replica queue (a flood that could shed would make the
+    /// schedule racy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetChaosError::Config`] describing the first problem.
+    pub fn validate(&self) -> Result<(), FleetChaosError> {
+        let config = |reason: String| FleetChaosError::Config { reason };
+        if self.replicas == 0 {
+            return Err(config("fleet chaos needs at least one replica".into()));
+        }
+        if self.scenes.is_empty() {
+            return Err(config("fleet chaos schedule has no scenes".into()));
+        }
+        if self.max_batch == 0 || self.queue_capacity == 0 {
+            return Err(config("max_batch and queue_capacity must be >= 1".into()));
+        }
+        if self.default_deadline == Some(Duration::ZERO) {
+            return Err(config("a zero default deadline expires everything".into()));
+        }
+        if let Some(breaker) = &self.breaker {
+            if let Err(reason) = breaker.validate() {
+                return Err(config(reason));
+            }
+        }
+        let mut alive = self.replicas;
+        for scene in &self.scenes {
+            if scene.request_count() == 0 {
+                return Err(config("every scene needs a count >= 1".into()));
+            }
+            match scene {
+                FleetScene::KillStorm { kill, flood, .. } => {
+                    if *kill == 0 {
+                        return Err(config("a storm must kill at least one replica".into()));
+                    }
+                    if *flood > self.queue_capacity {
+                        return Err(config(format!(
+                            "storm flood {flood} exceeds queue_capacity {}: \
+                             a flood that can shed is nondeterministic",
+                            self.queue_capacity
+                        )));
+                    }
+                    if *kill >= alive {
+                        return Err(config(format!(
+                            "storm would kill {kill} of {alive} alive replicas, \
+                             leaving none to redirect to"
+                        )));
+                    }
+                    alive -= kill;
+                }
+                FleetScene::Revive { .. } => alive = self.replicas,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a fleet chaos run that satisfied every invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetChaosReport {
+    /// Final fleet statistics (conserved and cross-checked).
+    pub stats: FleetStats,
+    /// Replica kills the schedule performed.
+    pub kills: u64,
+    /// Replica revivals the schedule performed.
+    pub revives: u64,
+}
+
+impl FleetChaosReport {
+    /// A canonical string over everything that must be bit-reproducible
+    /// across runs of the same config: the fleet leg tally, deploy
+    /// ledger, shadow diff bound and the per-replica terminal counters.
+    /// Deliberately excludes wall-clock-dependent values (latency,
+    /// per-replica batch counts, swap claim timing).
+    pub fn fingerprint(&self) -> String {
+        let s = &self.stats;
+        let mut out = format!(
+            "fleet[submitted {} = completed {} + rejected {} + expired {} + failed {} \
+             + redirected {}] no_replica={} model=v{} deploys={} promotions={} aborts={} \
+             shadow[{} samples, max_delta {:e}] kills={} revives={}",
+            s.submitted,
+            s.completed,
+            s.rejected,
+            s.expired,
+            s.failed,
+            s.redirected,
+            s.no_replica,
+            s.model_version,
+            s.deploys,
+            s.promotions,
+            s.deploy_aborts,
+            s.shadow_samples,
+            s.shadow_max_delta,
+            self.kills,
+            self.revives,
+        );
+        for r in &s.replicas {
+            out.push_str(&format!(
+                " | r{}:{} inc={} sub={} comp={} rej={} exp={} fail={} trips={}",
+                r.index,
+                if r.alive { "alive" } else { "dead" },
+                r.incarnations,
+                r.submitted,
+                r.completed,
+                r.rejected,
+                r.expired,
+                r.failed,
+                r.breaker_trips,
+            ));
+        }
+        out
+    }
+
+    /// Multi-line human rendering for the CLI and the experiment sweep.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        let mut out = format!(
+            "  legs: submitted {} = completed {} + rejected {} + expired {} + failed {} \
+             + redirected {}  (no_replica {})\n",
+            s.submitted, s.completed, s.rejected, s.expired, s.failed, s.redirected, s.no_replica
+        );
+        out.push_str(&format!(
+            "  model v{}  deploys {}  promotions {}  aborts {}  \
+             shadow {} samples (max delta {:e})  kills {}  revives {}\n",
+            s.model_version,
+            s.deploys,
+            s.promotions,
+            s.deploy_aborts,
+            s.shadow_samples,
+            s.shadow_max_delta,
+            self.kills,
+            self.revives,
+        ));
+        for r in &s.replicas {
+            out.push_str(&format!(
+                "  replica {}: {} inc {}  submitted {}  completed {}  rejected {}  \
+                 expired {}  failed {}  batches {}  breaker trips {}\n",
+                r.index,
+                if r.alive { "alive" } else { "dead " },
+                r.incarnations,
+                r.submitted,
+                r.completed,
+                r.rejected,
+                r.expired,
+                r.failed,
+                r.batches,
+                r.breaker_trips,
+            ));
+        }
+        out
+    }
+}
+
+/// A broken fleet invariant (or an unrunnable config). Any of these from
+/// a run is a bug in the fleet, not in the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetChaosError {
+    /// The schedule itself is invalid.
+    Config {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A request terminated in a way the schedule cannot explain.
+    UnexpectedOutcome {
+        /// Which scene observed it.
+        scene: String,
+        /// The offending error.
+        error: ServeError,
+    },
+    /// The fleet's leg counters do not satisfy the conservation law.
+    NotConserved {
+        /// The failing tally, rendered.
+        detail: String,
+    },
+    /// The fleet counters do not reconcile with the per-replica server
+    /// counters.
+    CrossCheck {
+        /// The failing identity, rendered.
+        detail: String,
+    },
+    /// A hot deploy caused a failure it promised not to: a leg failed
+    /// during a deploy scene, a bit-identical shadow diffed nonzero, or
+    /// a clean shadow failed to promote.
+    DeployRegression {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FleetChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetChaosError::Config { reason } => {
+                write!(f, "invalid fleet chaos config: {reason}")
+            }
+            FleetChaosError::UnexpectedOutcome { scene, error } => {
+                write!(f, "fleet scene {scene}: unexpected outcome: {error}")
+            }
+            FleetChaosError::NotConserved { detail } => {
+                write!(f, "fleet legs not conserved: {detail}")
+            }
+            FleetChaosError::CrossCheck { detail } => {
+                write!(f, "router-vs-replica cross-check failed: {detail}")
+            }
+            FleetChaosError::DeployRegression { detail } => {
+                write!(f, "hot deploy regression: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetChaosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetChaosError::UnexpectedOutcome { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Shared batch probe that parks executors during storms. Replicas all
+/// clone the same probe; each holder batch consumes one hold and parks
+/// until [`HoldPlan::release_all`].
+#[derive(Default)]
+struct HoldPlan {
+    holds: Mutex<usize>,
+    held: Mutex<bool>,
+    release: Condvar,
+}
+
+impl HoldPlan {
+    fn engage(&self) {
+        *self.held.lock().expect("hold plan poisoned") = true;
+    }
+
+    fn add_hold(&self) {
+        *self.holds.lock().expect("hold plan poisoned") += 1;
+    }
+
+    fn release_all(&self) {
+        *self.holds.lock().expect("hold plan poisoned") = 0;
+        *self.held.lock().expect("hold plan poisoned") = false;
+        self.release.notify_all();
+    }
+
+    fn probe(self: &Arc<Self>) -> BatchProbe {
+        let plan = Arc::clone(self);
+        BatchProbe::new(move |_batch| {
+            let should_park = {
+                let mut holds = plan.holds.lock().expect("hold plan poisoned");
+                if *holds > 0 {
+                    *holds -= 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if should_park {
+                let mut held = plan.held.lock().expect("hold plan poisoned");
+                while *held {
+                    held = plan.release.wait(held).expect("hold plan poisoned");
+                }
+            }
+        })
+    }
+}
+
+fn frame(rng: &mut TensorRng, net_config: &NetworkConfig) -> (Tensor, Tensor) {
+    let (h, w) = (net_config.height, net_config.width);
+    (
+        rng.uniform(&[3, h, w], 0.0, 1.0),
+        rng.uniform(&[net_config.depth_channels, h, w], 0.1, 1.0),
+    )
+}
+
+fn healthy_source(i: usize) -> SourceId {
+    SourceId(i as u64 % HEALTHY_SOURCES)
+}
+
+/// Mutable run state threaded through the scenes.
+struct RunState {
+    rng: TensorRng,
+    kills: u64,
+    revives: u64,
+    /// [`NetworkConfig::seed`] of the model currently live fleet-wide;
+    /// shadow candidates rebuild from it so they are bit-identical.
+    live_seed: u64,
+    /// Legs that terminally failed during deploy scenes (must stay 0).
+    deploy_failed_legs: u64,
+}
+
+fn expect_served(
+    scene: &FleetScene,
+    outcome: Result<Prediction, ServeError>,
+) -> Result<(), FleetChaosError> {
+    match outcome {
+        Ok(_) => Ok(()),
+        Err(error) => Err(FleetChaosError::UnexpectedOutcome {
+            scene: scene.to_string(),
+            error,
+        }),
+    }
+}
+
+fn run_fleet_scene(
+    fleet: &Fleet,
+    scene: &FleetScene,
+    scene_index: usize,
+    net_config: &NetworkConfig,
+    plan: &Arc<HoldPlan>,
+    config: &FleetChaosConfig,
+    state: &mut RunState,
+) -> Result<(), FleetChaosError> {
+    let submit_err = |error: ServeError| FleetChaosError::UnexpectedOutcome {
+        scene: scene.to_string(),
+        error,
+    };
+    match scene {
+        FleetScene::Calm { requests } => {
+            for i in 0..*requests {
+                let (rgb, depth) = frame(&mut state.rng, net_config);
+                let completion = fleet
+                    .submit(Request::new(rgb, depth).with_source(healthy_source(i)))
+                    .map_err(submit_err)?;
+                expect_served(scene, completion.wait())?;
+            }
+        }
+        FleetScene::Corrupt { requests } => {
+            let (h, w) = (net_config.height, net_config.width);
+            for _ in 0..*requests {
+                let (rgb, _) = frame(&mut state.rng, net_config);
+                let dead_depth = Tensor::zeros(&[net_config.depth_channels, h, w]);
+                let completion = fleet
+                    .submit(Request::new(rgb, dead_depth).with_source(FAULTY_SOURCE))
+                    .map_err(submit_err)?;
+                expect_served(scene, completion.wait())?;
+            }
+        }
+        FleetScene::KillStorm {
+            kill,
+            flood,
+            deploy,
+        } => {
+            let failed_before = fleet.stats().failed;
+            // Park every routable replica with one holder request each.
+            // Under consistent hashing the holder's source is searched so
+            // its key lands on the uncovered replica; under
+            // least-outstanding the unsettled holders spread themselves.
+            plan.engage();
+            let mut covered = vec![false; config.replicas];
+            let mut holders = Vec::new();
+            let alive_now = fleet.stats().replicas.iter().filter(|r| r.alive).count();
+            let mut key = 0u64;
+            while covered.iter().filter(|c| **c).count() < alive_now && key < 4096 {
+                let source = SourceId(HOLDER_SOURCE_BASE + key);
+                key += 1;
+                let Some(target) = fleet.route_preview(Some(source)) else {
+                    break;
+                };
+                if covered[target] {
+                    continue;
+                }
+                let batches_before: Vec<u64> =
+                    fleet.stats().replicas.iter().map(|r| r.batches).collect();
+                plan.add_hold();
+                let (rgb, depth) = frame(&mut state.rng, net_config);
+                let completion = fleet
+                    .submit(Request::new(rgb, depth).with_source(source))
+                    .map_err(submit_err)?;
+                let landed = completion.replica();
+                if !covered[landed] {
+                    // Wait until the holder's batch is claimed and parked,
+                    // so the flood below queues instead of executing.
+                    while fleet.stats().replicas[landed].batches == batches_before[landed] {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    covered[landed] = true;
+                }
+                holders.push(completion);
+            }
+            // Flood the parked queues with tagged traffic.
+            let mut floods = Vec::with_capacity(*flood);
+            for i in 0..*flood {
+                let (rgb, depth) = frame(&mut state.rng, net_config);
+                let completion = fleet
+                    .submit(Request::new(rgb, depth).with_source(healthy_source(i)))
+                    .map_err(submit_err)?;
+                floods.push(completion);
+            }
+            // Kill the lowest alive indices; their queued work must be
+            // redirected, never lost.
+            let mut killed = 0usize;
+            for index in 0..config.replicas {
+                if killed == *kill {
+                    break;
+                }
+                if fleet.kill(index) {
+                    killed += 1;
+                    state.kills += 1;
+                }
+            }
+            // Optionally hot-swap a retrained model while the storm is
+            // still in flight: survivors claim it at a batch boundary.
+            if *deploy {
+                let mut retrained_config = net_config.clone();
+                retrained_config.seed =
+                    state.live_seed ^ (0xD00D_0000_0000_0001 | (scene_index as u64) << 8);
+                let retrained = FusionNet::new(FusionScheme::AllFilterU, &retrained_config)
+                    .map_err(|e| FleetChaosError::Config {
+                        reason: format!("cannot build retrained net: {e}"),
+                    })?;
+                fleet
+                    .deploy(retrained, DeployOptions::default())
+                    .map_err(submit_err)?;
+                state.live_seed = retrained_config.seed;
+            }
+            plan.release_all();
+            for holder in holders {
+                expect_served(scene, holder.wait())?;
+            }
+            for completion in floods {
+                expect_served(scene, completion.wait())?;
+            }
+            if *deploy {
+                state.deploy_failed_legs += fleet.stats().failed - failed_before;
+            }
+        }
+        FleetScene::Revive { requests } => {
+            for index in 0..config.replicas {
+                if fleet.revive(index) {
+                    state.revives += 1;
+                }
+            }
+            for i in 0..*requests {
+                let (rgb, depth) = frame(&mut state.rng, net_config);
+                let completion = fleet
+                    .submit(Request::new(rgb, depth).with_source(healthy_source(i)))
+                    .map_err(submit_err)?;
+                expect_served(scene, completion.wait())?;
+            }
+        }
+        FleetScene::ShadowDeploy { requests } => {
+            // Rebuild the live model from its seed: a bit-identical
+            // candidate, so every mirrored diff must be exactly zero.
+            let mut candidate_config = net_config.clone();
+            candidate_config.seed = state.live_seed;
+            let candidate =
+                FusionNet::new(FusionScheme::AllFilterU, &candidate_config).map_err(|e| {
+                    FleetChaosError::Config {
+                        reason: format!("cannot build shadow candidate: {e}"),
+                    }
+                })?;
+            let required_samples = (*requests as u64).clamp(1, 4);
+            let before = fleet.stats();
+            fleet
+                .deploy(
+                    candidate,
+                    DeployOptions {
+                        shadow: Some(ShadowConfig {
+                            fraction: 1.0,
+                            required_samples,
+                            max_delta: 0.0,
+                        }),
+                    },
+                )
+                .map_err(submit_err)?;
+            for i in 0..*requests {
+                let (rgb, depth) = frame(&mut state.rng, net_config);
+                let completion = fleet
+                    .submit(Request::new(rgb, depth).with_source(healthy_source(i)))
+                    .map_err(submit_err)?;
+                expect_served(scene, completion.wait())?;
+            }
+            let after = fleet.stats();
+            if after.shadow_max_delta != 0.0 {
+                return Err(FleetChaosError::DeployRegression {
+                    detail: format!(
+                        "bit-identical shadow candidate diffed {:e}",
+                        after.shadow_max_delta
+                    ),
+                });
+            }
+            if after.promotions != before.promotions + 1 {
+                return Err(FleetChaosError::DeployRegression {
+                    detail: format!(
+                        "clean shadow deploy did not promote \
+                         ({} promotions before, {} after, {} aborts)",
+                        before.promotions, after.promotions, after.deploy_aborts
+                    ),
+                });
+            }
+            state.deploy_failed_legs += after.failed - before.failed;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the fleet schedule against a fresh tiny fusion net and checks
+/// every invariant. See the module docs for the invariant list.
+///
+/// # Errors
+///
+/// Returns the first [`FleetChaosError`] encountered — an invalid
+/// config, an inexplicable request outcome, a broken conservation or
+/// cross-check identity, or a deploy regression.
+pub fn run_fleet(config: &FleetChaosConfig) -> Result<FleetChaosReport, FleetChaosError> {
+    config.validate()?;
+    let net_config = NetworkConfig::tiny();
+    let net = FusionNet::new(FusionScheme::AllFilterU, &net_config).map_err(|e| {
+        FleetChaosError::Config {
+            reason: format!("cannot build fleet chaos net: {e}"),
+        }
+    })?;
+    let plan = Arc::new(HoldPlan::default());
+    let mut builder = ServeConfig::builder()
+        .max_batch(config.max_batch)
+        .queue_capacity(config.queue_capacity)
+        .backpressure(Backpressure::Reject)
+        .max_wait(Duration::ZERO)
+        .policy(DegradationPolicy::CameraFallback)
+        .batch_probe(plan.probe());
+    if let Some(deadline) = config.default_deadline {
+        builder = builder.default_deadline(deadline);
+    }
+    if let Some(breaker) = config.breaker {
+        builder = builder.breaker(breaker);
+    }
+    let serve = builder.build().map_err(|e| FleetChaosError::Config {
+        reason: format!("replica server rejected chaos config: {e}"),
+    })?;
+    let fleet_config = FleetConfig {
+        replicas: config.replicas,
+        dispatch: config.dispatch,
+        seed: config.seed,
+        serve,
+        max_redirects: config.replicas.max(2),
+        // Revival is explicit (Revive scenes) so the routing stream stays
+        // untouched by probe draws.
+        revive_probe_chance: 0.0,
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::start(net, fleet_config).map_err(|e| FleetChaosError::Config {
+        reason: format!("fleet rejected chaos config: {e}"),
+    })?;
+
+    let mut state = RunState {
+        rng: TensorRng::seed_from(config.seed),
+        kills: 0,
+        revives: 0,
+        live_seed: net_config.seed,
+        deploy_failed_legs: 0,
+    };
+    let mut run_scenes = || -> Result<(), FleetChaosError> {
+        for (index, scene) in config.scenes.iter().enumerate() {
+            run_fleet_scene(&fleet, scene, index, &net_config, &plan, config, &mut state)?;
+        }
+        Ok(())
+    };
+    let scene_result = run_scenes();
+    // Always unpark held executors before shutdown, even on an invariant
+    // failure mid-schedule, so the error propagates instead of hanging.
+    plan.release_all();
+    let (_net, stats) = fleet.shutdown();
+    scene_result?;
+
+    if !stats.is_conserved() {
+        return Err(FleetChaosError::NotConserved {
+            detail: format!(
+                "{} submitted vs {} completed + {} rejected + {} expired + {} failed \
+                 + {} redirected",
+                stats.submitted,
+                stats.completed,
+                stats.rejected,
+                stats.expired,
+                stats.failed,
+                stats.redirected
+            ),
+        });
+    }
+    stats
+        .cross_check()
+        .map_err(|detail| FleetChaosError::CrossCheck { detail })?;
+    if state.deploy_failed_legs > 0 {
+        return Err(FleetChaosError::DeployRegression {
+            detail: format!(
+                "{} legs terminally failed during hot-deploy scenes",
+                state.deploy_failed_legs
+            ),
+        });
+    }
+    Ok(FleetChaosReport {
+        stats,
+        kills: state.kills,
+        revives: state.revives,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_scene_parsing_round_trips_and_rejects_garbage() {
+        let scenes =
+            parse_fleet_scenes("calm:2, storm:3 ,deploystorm:1,revive:2,shadow:4,corrupt:1")
+                .expect("parses");
+        assert_eq!(scenes.len(), 6);
+        assert_eq!(scenes[0], FleetScene::Calm { requests: 2 });
+        assert_eq!(
+            scenes[1],
+            FleetScene::KillStorm {
+                kill: 1,
+                flood: 3,
+                deploy: false
+            }
+        );
+        assert_eq!(
+            scenes[2],
+            FleetScene::KillStorm {
+                kill: 1,
+                flood: 1,
+                deploy: true
+            }
+        );
+        assert_eq!(scenes[4].to_string(), "shadow:4");
+        assert!(parse_fleet_scenes("calm").is_err());
+        assert!(parse_fleet_scenes("calm:0").is_err());
+        assert!(parse_fleet_scenes("riot:3").is_err());
+    }
+
+    #[test]
+    fn fleet_config_validation_catches_lethal_schedules() {
+        assert!(FleetChaosConfig::default().validate().is_ok());
+        assert!(FleetChaosConfig::default().smoke().validate().is_ok());
+        // Killing the last replica is a schedule bug, not a fleet bug.
+        let lethal = FleetChaosConfig::default()
+            .with_replicas(1)
+            .with_scenes(parse_fleet_scenes("storm:2").unwrap());
+        assert!(lethal.validate().is_err());
+        // Two storms without a revive in between drain the fleet.
+        let double = FleetChaosConfig::default()
+            .with_replicas(2)
+            .with_scenes(parse_fleet_scenes("storm:2,storm:2").unwrap());
+        assert!(double.validate().is_err());
+        // A revive between them makes it legal again.
+        let revived = FleetChaosConfig::default()
+            .with_replicas(2)
+            .with_scenes(parse_fleet_scenes("storm:2,revive:1,storm:2").unwrap());
+        assert!(revived.validate().is_ok());
+        // A flood past the queue capacity could shed nondeterministically.
+        let flood = FleetChaosConfig {
+            queue_capacity: 2,
+            ..FleetChaosConfig::default()
+        }
+        .with_scenes(parse_fleet_scenes("storm:3").unwrap());
+        assert!(flood.validate().is_err());
+    }
+
+    #[test]
+    fn fleet_chaos_error_display_and_source() {
+        let err = FleetChaosError::UnexpectedOutcome {
+            scene: "storm(kill 1):3".to_string(),
+            error: ServeError::ShuttingDown,
+        };
+        assert!(err.to_string().contains("storm(kill 1):3"));
+        assert!(std::error::Error::source(&err).is_some());
+        let regression = FleetChaosError::DeployRegression {
+            detail: "2 legs failed".to_string(),
+        };
+        assert!(regression.to_string().contains("deploy regression"));
+    }
+}

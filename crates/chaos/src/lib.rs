@@ -25,6 +25,12 @@
 //! 4. **Shutdown drains** — `Server::shutdown` always joins (a hang here
 //!    fails the surrounding test by timeout).
 //!
+//! The [`fleet`]-level harness ([`FleetChaosConfig`] / [`run_fleet`])
+//! extends the same discipline to a replica [`Fleet`](sf_serve::Fleet):
+//! kill storms, revivals, mid-storm hot deploys and shadow deploys, with
+//! fleet-wide leg conservation and the router-vs-replica cross-check
+//! asserted after every run.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,6 +43,12 @@
 //! assert_eq!(report.tally.completed, 3);
 //! assert_eq!(report.tally.expired, 2);
 //! ```
+
+mod fleet;
+
+pub use fleet::{
+    parse_fleet_scenes, run_fleet, FleetChaosConfig, FleetChaosError, FleetChaosReport, FleetScene,
+};
 
 use std::collections::VecDeque;
 use std::fmt;

@@ -1,0 +1,85 @@
+//! Fleet chaos acceptance criteria: a seeded schedule that kills
+//! replicas mid-stream and hot-swaps the model completes with fleet-wide
+//! conservation, the router-vs-replica cross-check holds, two same-seed
+//! runs produce bit-identical fingerprints, and a shadow deploy of a
+//! bit-identical candidate diffs exactly zero.
+
+use sf_chaos::{parse_fleet_scenes, run_fleet, FleetChaosConfig};
+use sf_serve::DispatchPolicy;
+
+#[test]
+fn default_fleet_schedule_is_bit_reproducible() {
+    let config = FleetChaosConfig::default();
+    let a = run_fleet(&config).expect("first run satisfies all invariants");
+    let b = run_fleet(&config).expect("second run satisfies all invariants");
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "identical config must replay an identical fleet ledger"
+    );
+    assert!(a.stats.is_conserved());
+    a.stats.cross_check().expect("cross-check holds");
+    // The schedule actually exercised the failure paths it promises:
+    // kills redirected work, revivals happened, deploys promoted, and the
+    // shadow of an identical candidate diffed exactly zero.
+    assert_eq!(a.kills, 2, "storm + deploystorm each kill one replica");
+    assert_eq!(a.revives, 1);
+    assert!(a.stats.redirected >= 1, "killed queues must redirect");
+    assert_eq!(a.stats.failed, 0, "no leg may terminally fail");
+    assert_eq!(a.stats.promotions, 2, "deploystorm + shadow both promote");
+    assert_eq!(a.stats.deploy_aborts, 0);
+    assert_eq!(a.stats.shadow_max_delta, 0.0);
+    assert!(a.stats.shadow_samples >= 1);
+    // The dying depth source tripped a slot breaker somewhere.
+    let trips: u64 = a.stats.replicas.iter().map(|r| r.breaker_trips).sum();
+    assert!(trips >= 1, "corrupt scene must trip a slot breaker");
+}
+
+#[test]
+fn smoke_schedule_is_reproducible_and_fast() {
+    let config = FleetChaosConfig::default().smoke().with_seed(31);
+    let a = run_fleet(&config).expect("smoke run passes");
+    let b = run_fleet(&config).expect("smoke run passes again");
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert!(a.stats.is_conserved());
+    a.stats.cross_check().expect("cross-check holds");
+    assert_eq!(a.stats.failed, 0);
+    assert_eq!(a.stats.shadow_max_delta, 0.0);
+}
+
+#[test]
+fn both_dispatch_policies_survive_the_same_storm() {
+    for dispatch in [
+        DispatchPolicy::ConsistentHash,
+        DispatchPolicy::LeastOutstanding,
+    ] {
+        let config = FleetChaosConfig::default()
+            .with_seed(17)
+            .with_dispatch(dispatch)
+            .with_scenes(parse_fleet_scenes("calm:3,storm:4,revive:2,calm:2").unwrap());
+        let a = run_fleet(&config)
+            .unwrap_or_else(|e| panic!("{} policy failed: {e}", dispatch.label()));
+        let b = run_fleet(&config).expect("rerun passes");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "{} policy must replay bit-identically",
+            dispatch.label()
+        );
+        assert_eq!(a.kills, 1);
+        assert!(a.stats.redirected >= 1);
+        assert_eq!(a.stats.failed, 0);
+    }
+}
+
+#[test]
+fn fingerprints_differ_across_schedules() {
+    // Sanity check that the fingerprint encodes the schedule rather than
+    // being a constant.
+    let calm = FleetChaosConfig::default().with_scenes(parse_fleet_scenes("calm:4").unwrap());
+    let stormy =
+        FleetChaosConfig::default().with_scenes(parse_fleet_scenes("calm:1,storm:3").unwrap());
+    let a = run_fleet(&calm).expect("calm passes");
+    let b = run_fleet(&stormy).expect("storm passes");
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}

@@ -52,7 +52,15 @@ impl std::error::Error for ParseArgsError {}
 /// Flags that are switches rather than `--flag value` pairs: bare
 /// `--smoke` parses as `smoke=true`, while an explicit `true`/`false`
 /// value is still accepted.
-const BOOLEAN_FLAGS: &[&str] = &["smoke", "no-breaker", "dump", "check"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "smoke",
+    "no-breaker",
+    "dump",
+    "check",
+    "fleet",
+    "kill",
+    "deploy",
+];
 
 /// A parsed command line: the subcommand plus its `--flag value` pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]

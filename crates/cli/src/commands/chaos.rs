@@ -8,12 +8,21 @@
 //! invariant. `--smoke` shrinks the schedule for CI and *fails* on any
 //! fingerprint mismatch; with a user-tightened `--deadline-ms`, expiry
 //! becomes timing-dependent and a mismatch is reported but tolerated.
+//!
+//! `--fleet` switches to the fleet-level harness: the schedule runs
+//! against a replica [`Fleet`](sf_serve::Fleet) with kill storms,
+//! revivals, mid-storm hot deploys and shadow deploys. Fleet schedules
+//! always use deterministic deadlines, so *any* fingerprint mismatch is
+//! an error.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use sf_chaos::{parse_scenes, ChaosConfig, ChaosReport};
+use sf_chaos::{
+    parse_fleet_scenes, parse_scenes, ChaosConfig, ChaosReport, FleetChaosConfig, FleetChaosReport,
+};
 use sf_core::BreakerConfig;
+use sf_serve::DispatchPolicy;
 
 use crate::{Args, CliError};
 
@@ -23,6 +32,9 @@ const DEFAULT_DEADLINE_MS: u64 = 10_000;
 
 /// Runs the chaos schedule twice and renders the report.
 pub fn chaos(args: &Args) -> Result<String, CliError> {
+    if args.get_bool("fleet") {
+        return fleet_chaos(args);
+    }
     let smoke = args.get_bool("smoke");
     let seed: u64 = args.get_parsed("seed", 0xC4A05, "integer")?;
     let deadline_ms: u64 = args.get_parsed("deadline-ms", DEFAULT_DEADLINE_MS, "integer")?;
@@ -66,6 +78,71 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
     }
 
     Ok(render(&config, &first, reproducible, smoke))
+}
+
+/// Runs the fleet-level schedule twice; any fingerprint mismatch or
+/// broken fleet invariant is an error (fleet schedules are always
+/// deterministic).
+fn fleet_chaos(args: &Args) -> Result<String, CliError> {
+    let smoke = args.get_bool("smoke");
+    let seed: u64 = args.get_parsed("seed", FleetChaosConfig::default().seed, "integer")?;
+    let mut config = FleetChaosConfig::default().with_seed(seed);
+    if smoke {
+        config = config.smoke();
+    }
+    config.replicas = args.get_parsed("replicas", config.replicas, "integer")?;
+    if let Some(spec) = args.get("dispatch") {
+        config.dispatch = DispatchPolicy::parse(spec).ok_or_else(|| {
+            CliError::Invalid(format!(
+                "unknown dispatch policy {spec:?} (expected hash|least)"
+            ))
+        })?;
+    }
+    if let Some(spec) = args.get("scenes") {
+        config.scenes = parse_fleet_scenes(spec).map_err(CliError::Invalid)?;
+    }
+    config.queue_capacity = args.get_parsed("queue", config.queue_capacity, "integer")?;
+    config.max_batch = args.get_parsed("max-batch", config.max_batch, "integer")?;
+    if args.get_bool("no-breaker") {
+        config.breaker = None;
+    }
+
+    let first = sf_chaos::run_fleet(&config).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let second = sf_chaos::run_fleet(&config).map_err(|e| CliError::Invalid(e.to_string()))?;
+    if first.fingerprint() != second.fingerprint() {
+        return Err(CliError::Invalid(format!(
+            "fleet chaos runs diverged under a deterministic schedule:\n  run 1: {}\n  run 2: {}",
+            first.fingerprint(),
+            second.fingerprint()
+        )));
+    }
+    Ok(render_fleet(&config, &first, smoke))
+}
+
+fn render_fleet(config: &FleetChaosConfig, report: &FleetChaosReport, smoke: bool) -> String {
+    let scenes: Vec<String> = config.scenes.iter().map(|s| s.to_string()).collect();
+    let mut log = String::new();
+    let _ = writeln!(
+        log,
+        "fleet chaos  : seed {:#x}, {} replicas, {} dispatch, scenes [{}]",
+        config.seed,
+        config.replicas,
+        config.dispatch.label(),
+        scenes.join(",")
+    );
+    log.push_str(&report.render());
+    let _ = writeln!(
+        log,
+        "reproducible : yes (identical fleet ledger across 2 runs)"
+    );
+    let _ = writeln!(
+        log,
+        "invariants   : OK (legs conserved, router/replica reconciled, zero deploy casualties)"
+    );
+    if smoke {
+        let _ = writeln!(log, "smoke        : OK");
+    }
+    log
 }
 
 fn render(config: &ChaosConfig, report: &ChaosReport, reproducible: bool, smoke: bool) -> String {
@@ -163,6 +240,27 @@ mod tests {
     fn bad_scene_spec_is_rejected() {
         assert!(matches!(
             run(&["chaos", "--scenes", "riot:9"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn fleet_smoke_run_kills_deploys_and_reproduces() {
+        let log = run(&["chaos", "--fleet", "--smoke"]).unwrap();
+        assert!(log.contains("fleet chaos"), "{log}");
+        assert!(log.contains("reproducible : yes"), "{log}");
+        assert!(log.contains("zero deploy casualties"), "{log}");
+        assert!(log.contains("smoke        : OK"), "{log}");
+    }
+
+    #[test]
+    fn fleet_rejects_lethal_schedules_and_bad_policies() {
+        assert!(matches!(
+            run(&["chaos", "--fleet", "--replicas", "1", "--scenes", "storm:2"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            run(&["chaos", "--fleet", "--dispatch", "round-robin"]),
             Err(CliError::Invalid(_))
         ));
     }

@@ -3,6 +3,7 @@
 
 mod chaos;
 mod eval;
+mod fleet_bench;
 mod generate;
 mod infer;
 mod info;
@@ -12,6 +13,7 @@ mod train;
 
 pub use chaos::chaos;
 pub use eval::eval;
+pub use fleet_bench::fleet_bench;
 pub use generate::generate;
 pub use infer::infer;
 pub use info::info;

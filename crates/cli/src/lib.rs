@@ -7,7 +7,9 @@
 //! roadseg infer    --model model.sfm --rgb f.ppm --depth f.pgm --out o.ppm
 //! roadseg info     --scheme ws                     # architecture summary
 //! roadseg serve-bench --clients 8 --max-batch 8    # batched-serving bench
+//! roadseg fleet-bench --replicas 3 --kill --deploy # replica-fleet bench
 //! roadseg chaos --smoke                            # deterministic chaos run
+//! roadseg chaos --fleet --smoke                    # fleet-level chaos run
 //! ```
 //!
 //! The library half exists so the subcommands are unit-testable; the
@@ -86,6 +88,7 @@ COMMANDS:
   info       print a model's architecture, parameter and MAC summary
   plan       dump a compiled inference plan or check it against the graph path
   serve-bench  drive the batched inference server with synthetic clients
+  fleet-bench  drive a replica fleet, optionally killing/reviving/hot-swapping mid-run
   chaos      run a seeded fault schedule against the server and check invariants
 
 COMMON FLAGS:
@@ -111,11 +114,22 @@ FLAGS BY COMMAND:
             [--max-wait-ms <n>] [--queue <n>] [--policy ...] [--smoke]
             [--deadline-ms <n>] [--breaker-threshold <f>]
             (--smoke: tiny network, fails unless every request is served)
+  fleet-bench: [--replicas <n>] [--dispatch <hash|least>] [--clients <n>]
+            [--requests <n per client>] [--max-batch <n>] [--max-wait-ms <n>]
+            [--queue <n>] [--policy ...] [--smoke] [--kill] [--deploy]
+            (--kill: kill + revive a replica mid-run; --deploy: hot-swap a
+             retrained model mid-run; --smoke fails unless every request is
+             served and the fleet ledger reconciles)
   chaos:    [--seed <u64>] [--scenes <calm:N,corrupt:N,stale:N,panic:N,slow:N,storm:N>]
             [--deadline-ms <n, 0 = none>] [--breaker-threshold <f>]
             [--breaker-window <n>] [--breaker-cooldown <n>] [--no-breaker]
             [--queue <n>] [--max-batch <n>] [--smoke]
             (runs the schedule twice; --smoke fails on any fingerprint mismatch)
+  chaos --fleet: [--replicas <n>] [--dispatch <hash|least>] [--seed <u64>]
+            [--scenes <calm:N,corrupt:N,storm:N,deploystorm:N,revive:N,shadow:N>]
+            [--queue <n>] [--max-batch <n>] [--no-breaker] [--smoke]
+            (fleet-level kill/revive/hot-swap/shadow schedule; always
+             deterministic — any fingerprint mismatch fails)
 
 FAULT KINDS (for eval --fault):
   depth-dropout:<p>  dead-rows:<p>  gaussian-noise:<sigma>

@@ -38,6 +38,7 @@ fn run(raw: &[String]) -> Result<String, CliError> {
         "info" => commands::info(&args),
         "plan" => commands::plan(&args),
         "serve-bench" => commands::serve_bench(&args),
+        "fleet-bench" => commands::fleet_bench(&args),
         "chaos" => commands::chaos(&args),
         other => Err(CliError::Invalid(format!("unknown command {other:?}"))),
     }

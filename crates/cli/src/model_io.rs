@@ -1,140 +1,50 @@
-//! Checkpoint files with an architecture manifest.
+//! Checkpoint I/O for the CLI: a thin adapter over the canonical
+//! `sf-core` checkpoint codec.
 //!
-//! The `sf-nn` checkpoint format stores raw tensors positionally; this
-//! module prefixes it with a one-line text manifest so a `.sfm` file is
-//! self-describing — `roadseg eval`/`infer` can rebuild the right
-//! architecture without the user repeating every flag.
+//! The manifest + SFM1 format itself lives in [`sf_core::checkpoint`]
+//! (the serving fleet loads deploy candidates through the same code
+//! path); this module only maps [`CheckpointError`] onto [`CliError`] so
+//! command code keeps a single error type.
 
-use std::io::{BufRead, BufReader, Read};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-use sf_core::{FusionNet, FusionScheme, NetworkConfig};
-use sf_nn::Stateful;
+use sf_core::{load_checkpoint, save_checkpoint, CheckpointError, FusionNet};
 
 use crate::CliError;
 
-/// Renders the manifest line, e.g.
-/// `roadseg-v1 scheme=au width=96 height=32 channels=8,12,16,24,32 shared=1 seed=42`.
-fn manifest(net: &FusionNet) -> String {
-    let c = net.config();
-    let channels: Vec<String> = c.stage_channels.iter().map(usize::to_string).collect();
-    format!(
-        "roadseg-v1 scheme={} width={} height={} channels={} shared={} depth={} seed={}\n",
-        scheme_code(net.scheme()),
-        c.width,
-        c.height,
-        channels.join(","),
-        c.shared_stages,
-        c.depth_channels,
-        c.seed
-    )
-}
-
-fn scheme_code(scheme: FusionScheme) -> &'static str {
-    match scheme {
-        FusionScheme::Baseline => "baseline",
-        FusionScheme::AllFilterU => "au",
-        FusionScheme::AllFilterB => "ab",
-        FusionScheme::BaseSharing => "bs",
-        FusionScheme::WeightedSharing => "ws",
+fn lift(e: CheckpointError) -> CliError {
+    match e {
+        CheckpointError::Io(msg) => CliError::Io(msg),
+        CheckpointError::Invalid(msg) => CliError::Invalid(msg),
     }
 }
 
-fn scheme_from_code(code: &str) -> Option<FusionScheme> {
-    Some(match code {
-        "baseline" => FusionScheme::Baseline,
-        "au" => FusionScheme::AllFilterU,
-        "ab" => FusionScheme::AllFilterB,
-        "bs" => FusionScheme::BaseSharing,
-        "ws" => FusionScheme::WeightedSharing,
-        _ => return None,
-    })
-}
-
-/// Saves a model (manifest + weights) to `path`, atomically: the full
-/// file is staged in memory, written to a `<path>.tmp` sibling and
-/// renamed over the destination, so a crash mid-save never corrupts an
-/// existing checkpoint.
+/// Saves a model (manifest + weights) to `path`, atomically. See
+/// [`sf_core::save_checkpoint`].
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Io`] on any write failure.
 pub fn save_model(net: &mut FusionNet, path: impl AsRef<Path>) -> Result<(), CliError> {
-    let path = path.as_ref();
-    let mut bytes = manifest(net).into_bytes();
-    net.save_state(&mut bytes)?;
-    let mut tmp = path.as_os_str().to_os_string();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, &bytes).map_err(|e| CliError::Io(format!("{}: {e}", tmp.display())))?;
-    std::fs::rename(&tmp, path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
-    Ok(())
+    save_checkpoint(net, path).map_err(lift)
 }
 
 /// Loads a model from `path`, rebuilding the architecture from the
-/// manifest and restoring all weights and buffers.
+/// manifest and restoring all weights and buffers. See
+/// [`sf_core::load_checkpoint`].
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Io`] on read failures and [`CliError::Invalid`]
 /// on a malformed manifest or checkpoint mismatch.
 pub fn load_model(path: impl AsRef<Path>) -> Result<FusionNet, CliError> {
-    let file = std::fs::File::open(&path)
-        .map_err(|e| CliError::Io(format!("{}: {e}", path.as_ref().display())))?;
-    let mut reader = BufReader::new(file);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    let net_config = parse_manifest(line.trim_end())?;
-    let (scheme, config) = net_config;
-    let mut net = FusionNet::new(scheme, &config)?;
-    let mut rest = Vec::new();
-    reader.read_to_end(&mut rest)?;
-    net.load_state(&rest[..])
-        .map_err(|e| CliError::Invalid(format!("checkpoint rejected: {e}")))?;
-    Ok(net)
-}
-
-/// Parses the manifest line into (scheme, config).
-fn parse_manifest(line: &str) -> Result<(FusionScheme, NetworkConfig), CliError> {
-    let mut parts = line.split_whitespace();
-    if parts.next() != Some("roadseg-v1") {
-        return Err(CliError::Invalid(
-            "not a roadseg checkpoint (missing manifest header)".to_string(),
-        ));
-    }
-    let mut scheme = None;
-    let mut config = NetworkConfig::standard();
-    for part in parts {
-        let (key, value) = part
-            .split_once('=')
-            .ok_or_else(|| CliError::Invalid(format!("malformed manifest field {part:?}")))?;
-        let bad = |what: &str| CliError::Invalid(format!("manifest {key}={value}: invalid {what}"));
-        match key {
-            "scheme" => {
-                scheme = Some(scheme_from_code(value).ok_or_else(|| bad("scheme"))?);
-            }
-            "width" => config.width = value.parse().map_err(|_| bad("integer"))?,
-            "height" => config.height = value.parse().map_err(|_| bad("integer"))?,
-            "channels" => {
-                config.stage_channels = value
-                    .split(',')
-                    .map(str::parse)
-                    .collect::<Result<_, _>>()
-                    .map_err(|_| bad("channel list"))?;
-            }
-            "shared" => config.shared_stages = value.parse().map_err(|_| bad("integer"))?,
-            "depth" => config.depth_channels = value.parse().map_err(|_| bad("integer"))?,
-            "seed" => config.seed = value.parse().map_err(|_| bad("integer"))?,
-            _ => {} // forward compatibility: ignore unknown keys
-        }
-    }
-    let scheme = scheme.ok_or_else(|| CliError::Invalid("manifest lacks a scheme".to_string()))?;
-    Ok((scheme, config))
+    load_checkpoint(path).map_err(lift)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sf_core::{FusionScheme, NetworkConfig};
     use sf_nn::Stateful;
 
     fn tiny_config() -> NetworkConfig {
@@ -263,16 +173,5 @@ mod tests {
         assert!(!dir.join("model.sfm.tmp").exists());
         assert!(load_model(&path).is_ok());
         std::fs::remove_dir_all(dir).unwrap();
-    }
-
-    #[test]
-    fn manifest_ignores_unknown_keys() {
-        let (scheme, config) = parse_manifest(
-            "roadseg-v1 scheme=bs width=32 height=16 channels=3,4 shared=1 seed=5 future=stuff",
-        )
-        .unwrap();
-        assert_eq!(scheme, FusionScheme::BaseSharing);
-        assert_eq!(config.stage_channels, vec![3, 4]);
-        assert_eq!(config.seed, 5);
     }
 }

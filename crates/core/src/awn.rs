@@ -13,7 +13,7 @@ use sf_tensor::TensorRng;
 
 /// The Auxiliary Weight Network: `GAP(f_R − f_D) → FC → ReLU → FC →
 /// sigmoid → w_f ∈ (0, 1)` per input.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AuxiliaryWeightNetwork {
     pub(crate) fc1: Linear,
     pub(crate) fc2: Linear,

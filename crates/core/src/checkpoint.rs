@@ -1,0 +1,257 @@
+//! Self-describing checkpoint files: a one-line text manifest in front of
+//! the `sf-nn` SFM1 weight payload.
+//!
+//! The weight codec stores raw tensors positionally; the manifest names
+//! the architecture (`roadseg-v1 scheme=au width=96 ...`) so a `.sfm`
+//! file can be loaded without the caller repeating every flag. This lives
+//! in `sf-core` (not the CLI) because the serving fleet's hot model swap
+//! ([`Fleet::deploy_checkpoint`]) loads candidate models off the hot path
+//! — checkpoint loading is part of the model layer, not the tooling.
+//!
+//! [`Fleet::deploy_checkpoint`]: ../../sf_serve/struct.Fleet.html#method.deploy_checkpoint
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+
+use sf_nn::Stateful;
+
+use crate::config::{FusionScheme, NetworkConfig};
+use crate::network::FusionNet;
+
+/// What can go wrong saving or loading a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(String),
+    /// The file is not a valid roadseg checkpoint (bad manifest, CRC
+    /// mismatch, truncated payload, architecture/weight disagreement).
+    Invalid(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint io error: {msg}"),
+            CheckpointError::Invalid(msg) => write!(f, "invalid checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e.to_string())
+    }
+}
+
+/// Renders the manifest line, e.g.
+/// `roadseg-v1 scheme=au width=96 height=32 channels=8,12,16,24,32 shared=1 seed=42`.
+pub fn manifest(net: &FusionNet) -> String {
+    let c = net.config();
+    let channels: Vec<String> = c.stage_channels.iter().map(usize::to_string).collect();
+    format!(
+        "roadseg-v1 scheme={} width={} height={} channels={} shared={} depth={} seed={}\n",
+        scheme_code(net.scheme()),
+        c.width,
+        c.height,
+        channels.join(","),
+        c.shared_stages,
+        c.depth_channels,
+        c.seed
+    )
+}
+
+/// The manifest's short code for a fusion scheme.
+pub fn scheme_code(scheme: FusionScheme) -> &'static str {
+    match scheme {
+        FusionScheme::Baseline => "baseline",
+        FusionScheme::AllFilterU => "au",
+        FusionScheme::AllFilterB => "ab",
+        FusionScheme::BaseSharing => "bs",
+        FusionScheme::WeightedSharing => "ws",
+    }
+}
+
+/// Inverse of [`scheme_code`]; `None` for an unknown code.
+pub fn scheme_from_code(code: &str) -> Option<FusionScheme> {
+    Some(match code {
+        "baseline" => FusionScheme::Baseline,
+        "au" => FusionScheme::AllFilterU,
+        "ab" => FusionScheme::AllFilterB,
+        "bs" => FusionScheme::BaseSharing,
+        "ws" => FusionScheme::WeightedSharing,
+        _ => return None,
+    })
+}
+
+/// Saves a model (manifest + weights) to `path`, atomically: the full
+/// file is staged in memory, written to a `<path>.tmp` sibling and
+/// renamed over the destination, so a crash mid-save never corrupts an
+/// existing checkpoint.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on any write failure.
+pub fn save_checkpoint(net: &mut FusionNet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let mut bytes = manifest(net).into_bytes();
+    net.save_state(&mut bytes)?;
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes)
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// Loads a model from `path`, rebuilding the architecture from the
+/// manifest and restoring all weights and buffers.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on read failures and
+/// [`CheckpointError::Invalid`] on a malformed manifest or checkpoint
+/// mismatch.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<FusionNet, CheckpointError> {
+    let file = std::fs::File::open(&path)
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.as_ref().display())))?;
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let (scheme, config) = parse_manifest(line.trim_end())?;
+    let mut net = FusionNet::new(scheme, &config)
+        .map_err(|e| CheckpointError::Invalid(format!("manifest names an invalid network: {e}")))?;
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest)?;
+    net.load_state(&rest[..])
+        .map_err(|e| CheckpointError::Invalid(format!("checkpoint rejected: {e}")))?;
+    Ok(net)
+}
+
+/// Parses the manifest line into (scheme, config).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Invalid`] naming the malformed field.
+pub fn parse_manifest(line: &str) -> Result<(FusionScheme, NetworkConfig), CheckpointError> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("roadseg-v1") {
+        return Err(CheckpointError::Invalid(
+            "not a roadseg checkpoint (missing manifest header)".to_string(),
+        ));
+    }
+    let mut scheme = None;
+    let mut config = NetworkConfig::standard();
+    for part in parts {
+        let (key, value) = part.split_once('=').ok_or_else(|| {
+            CheckpointError::Invalid(format!("malformed manifest field {part:?}"))
+        })?;
+        let bad = |what: &str| {
+            CheckpointError::Invalid(format!("manifest {key}={value}: invalid {what}"))
+        };
+        match key {
+            "scheme" => {
+                scheme = Some(scheme_from_code(value).ok_or_else(|| bad("scheme"))?);
+            }
+            "width" => config.width = value.parse().map_err(|_| bad("integer"))?,
+            "height" => config.height = value.parse().map_err(|_| bad("integer"))?,
+            "channels" => {
+                config.stage_channels = value
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad("channel list"))?;
+            }
+            "shared" => config.shared_stages = value.parse().map_err(|_| bad("integer"))?,
+            "depth" => config.depth_channels = value.parse().map_err(|_| bad("integer"))?,
+            "seed" => config.seed = value.parse().map_err(|_| bad("integer"))?,
+            _ => {} // forward compatibility: ignore unknown keys
+        }
+    }
+    let scheme =
+        scheme.ok_or_else(|| CheckpointError::Invalid("manifest lacks a scheme".to_string()))?;
+    Ok((scheme, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_nn::{Parameterized, Stateful};
+
+    fn tiny_config() -> NetworkConfig {
+        NetworkConfig {
+            width: 32,
+            height: 16,
+            stage_channels: vec![3, 4],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn round_trips_weights_and_architecture() {
+        let path = std::env::temp_dir().join("sf_core_checkpoint.sfm");
+        let mut original =
+            FusionNet::new(FusionScheme::WeightedSharing, &tiny_config()).expect("valid config");
+        save_checkpoint(&mut original, &path).unwrap();
+        let mut loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.scheme(), FusionScheme::WeightedSharing);
+        assert_eq!(loaded.config(), original.config());
+        assert_eq!(loaded.state_tensors(), original.state_tensors());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let path = std::env::temp_dir().join("sf_core_not_a_model.sfm");
+        std::fs::write(&path, "hello world\n").unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Invalid(_))
+        ));
+        std::fs::remove_file(path).unwrap();
+        assert!(matches!(
+            load_checkpoint("/definitely/not/here.sfm"),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_ignores_unknown_keys() {
+        let (scheme, config) = parse_manifest(
+            "roadseg-v1 scheme=bs width=32 height=16 channels=3,4 shared=1 seed=5 future=stuff",
+        )
+        .unwrap();
+        assert_eq!(scheme, FusionScheme::BaseSharing);
+        assert_eq!(config.stage_channels, vec![3, 4]);
+        assert_eq!(config.seed, 5);
+    }
+
+    #[test]
+    fn cloned_network_is_an_independent_deep_copy() {
+        // The fleet replicates one network across N replicas via Clone;
+        // the copies must not alias (Tensor is Vec-backed, so a deep copy
+        // is the only possible semantics — this pins it).
+        let mut original =
+            FusionNet::new(FusionScheme::AllFilterU, &tiny_config()).expect("valid config");
+        let mut copy = original.clone();
+        assert_eq!(original.state_tensors(), copy.state_tensors());
+        let mut bytes = Vec::new();
+        original.save_state(&mut bytes).unwrap();
+        // Perturbing the copy must leave the original untouched.
+        copy.visit_params(&mut |p| {
+            let perturbed: Vec<f32> = p.value.data().iter().map(|v| v + 1.0).collect();
+            let shape = p.value.shape().to_vec();
+            p.value = sf_tensor::Tensor::from_vec(perturbed, &shape).unwrap();
+        });
+        let mut bytes_after = Vec::new();
+        original.save_state(&mut bytes_after).unwrap();
+        assert_eq!(bytes, bytes_after, "clone must not alias the original");
+        assert_ne!(original.state_tensors(), copy.state_tensors());
+    }
+}

@@ -80,29 +80,6 @@ pub fn predict_probability(net: &FusionNet, sample: &Sample) -> GrayImage {
     GrayImage::from_tensor(&prediction.prob)
 }
 
-/// Like [`predict_probability`], but screens the sample's depth input
-/// under `policy` first. Returns the probability map plus the quarantine
-/// reason, if the depth input was quarantined (in which case the
-/// prediction came from the camera-only path).
-#[deprecated(note = "compile a `Predictor` once and call `run` per frame")]
-pub fn predict_probability_with_policy(
-    net: &mut FusionNet,
-    sample: &Sample,
-    policy: DegradationPolicy,
-    thresholds: &HealthThresholds,
-) -> (GrayImage, Option<HealthIssue>) {
-    let mut predictor = Predictor::compile(net)
-        .with_policy(policy)
-        .with_thresholds(*thresholds);
-    let prediction = predictor
-        .run(&sample.rgb, &sample.depth)
-        .expect("sample matches the network's geometry");
-    (
-        GrayImage::from_tensor(&prediction.prob),
-        prediction.quarantined,
-    )
-}
-
 /// One slot's result from [`Predictor::run_slots`].
 #[derive(Debug, Clone)]
 pub struct BatchPrediction {
@@ -111,46 +88,6 @@ pub struct BatchPrediction {
     /// Why this slot's depth input was quarantined, if it was (in which
     /// case `prob` came from the camera-only path).
     pub quarantined: Option<HealthIssue>,
-}
-
-/// Batched one-shot helper: compiles a [`Predictor`] and runs
-/// [`Predictor::run_slots`] once. Each slot's `rgb` is `[3, H, W]` and
-/// `depth` is `[C, H, W]`.
-///
-/// # Errors
-///
-/// Returns an error if `rgb` and `depth` lengths differ or slot shapes
-/// disagree with the network's geometry.
-#[deprecated(note = "compile a `Predictor` once and call `run_slots` per batch")]
-pub fn predict_probability_slots(
-    net: &mut FusionNet,
-    rgb: &[&Tensor],
-    depth: &[&Tensor],
-    policy: DegradationPolicy,
-    thresholds: &HealthThresholds,
-) -> sf_tensor::Result<Vec<BatchPrediction>> {
-    Predictor::compile(net)
-        .with_policy(policy)
-        .with_thresholds(*thresholds)
-        .run_slots(rgb, depth)
-}
-
-/// Batched one-shot helper with the quarantine verdicts already decided
-/// per slot: compiles a [`Predictor`] and runs
-/// [`Predictor::run_slots_prejudged`] once.
-///
-/// # Errors
-///
-/// Returns an error if the slice lengths disagree or slot shapes disagree
-/// with the network's geometry.
-#[deprecated(note = "compile a `Predictor` once and call `run_slots_prejudged` per batch")]
-pub fn predict_probability_slots_prejudged(
-    net: &mut FusionNet,
-    rgb: &[&Tensor],
-    depth: &[&Tensor],
-    issues: &[Option<HealthIssue>],
-) -> sf_tensor::Result<Vec<BatchPrediction>> {
-    Predictor::compile(net).run_slots_prejudged(rgb, depth, issues)
 }
 
 /// Evaluates `net` over `samples`, pooling pixels across all of them
@@ -330,11 +267,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn slot_predictions_match_single_sample_path_exactly() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
-        let mut net =
-            FusionNet::new(FusionScheme::AllFilterU, &net_config()).expect("valid config");
+        let net = FusionNet::new(FusionScheme::AllFilterU, &net_config()).expect("valid config");
         let test = data.test(None);
         let mut samples: Vec<Sample> = test.iter().take(4).map(|s| (*s).clone()).collect();
         // Kill one depth input so the batch mixes fused and camera-only.
@@ -342,23 +277,19 @@ mod tests {
         let rgb: Vec<&Tensor> = samples.iter().map(|s| &s.rgb).collect();
         let depth: Vec<&Tensor> = samples.iter().map(|s| &s.depth).collect();
         let thresholds = HealthThresholds::default();
-        let slots = predict_probability_slots(
-            &mut net,
-            &rgb,
-            &depth,
-            DegradationPolicy::CameraFallback,
-            &thresholds,
-        )
-        .expect("consistent slots");
+        let mut predictor = Predictor::compile(&net)
+            .with_policy(DegradationPolicy::CameraFallback)
+            .with_thresholds(thresholds);
+        let slots = predictor.run_slots(&rgb, &depth).expect("consistent slots");
         assert_eq!(slots.len(), 4);
         for (i, (slot, sample)) in slots.iter().zip(&samples).enumerate() {
-            let (reference, issue) = predict_probability_with_policy(
-                &mut net,
-                sample,
-                DegradationPolicy::CameraFallback,
-                &thresholds,
+            let reference = predictor
+                .run(&sample.rgb, &sample.depth)
+                .expect("sample matches the network's geometry");
+            assert_eq!(
+                slot.quarantined, reference.quarantined,
+                "slot {i} quarantine verdict"
             );
-            assert_eq!(slot.quarantined, issue, "slot {i} quarantine verdict");
             assert_eq!(
                 slot.quarantined.is_some(),
                 i == 2,
@@ -366,23 +297,21 @@ mod tests {
             );
             // Eval-mode BatchNorm uses frozen stats, so batching must be
             // bit-identical to the one-sample path.
-            assert_eq!(slot.prob.data(), reference.data(), "slot {i} probabilities");
+            assert_eq!(
+                slot.prob.data(),
+                reference.prob.data(),
+                "slot {i} probabilities"
+            );
         }
     }
 
     #[test]
-    #[allow(deprecated)]
     fn slot_prediction_rejects_mismatched_lengths() {
         let data = RoadDataset::generate(&DatasetConfig::tiny());
-        let mut net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
+        let net = FusionNet::new(FusionScheme::Baseline, &net_config()).expect("valid config");
         let sample = data.test(None)[0];
-        let err = predict_probability_slots(
-            &mut net,
-            &[&sample.rgb],
-            &[],
-            DegradationPolicy::Trust,
-            &HealthThresholds::default(),
-        );
+        let mut predictor = Predictor::compile(&net);
+        let err = predictor.run_slots(&[&sample.rgb], &[]);
         assert!(err.is_err());
     }
 

@@ -37,6 +37,7 @@
 //! ```
 
 mod awn;
+mod checkpoint;
 mod config;
 mod eval;
 mod fd_loss;
@@ -48,14 +49,14 @@ mod stage;
 mod trainer;
 
 pub use awn::AuxiliaryWeightNetwork;
+pub use checkpoint::{
+    load_checkpoint, manifest, parse_manifest, save_checkpoint, scheme_code, scheme_from_code,
+    CheckpointError,
+};
 pub use config::{ConfigError, FusionScheme, NetworkConfig, NetworkConfigBuilder};
 pub use eval::{
     evaluate, evaluate_with_report, predict_probability, BatchPrediction, DegradationReport,
     EvalOptions,
-};
-#[allow(deprecated)]
-pub use eval::{
-    predict_probability_slots, predict_probability_slots_prejudged, predict_probability_with_policy,
 };
 pub use fd_loss::{fd_loss, fd_loss_raw};
 pub use health::{

@@ -33,7 +33,7 @@ pub struct ForwardOutput {
 /// - Decoder: nearest-up-sampling stages with additive skip connections
 ///   from the fused encoder features, ending in a `1×1` segmentation
 ///   head.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FusionNet {
     scheme: FusionScheme,
     config: NetworkConfig,

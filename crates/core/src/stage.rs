@@ -6,7 +6,7 @@ use sf_tensor::{Conv2dSpec, TensorRng};
 
 /// One encoder stage: `conv3×3 → BN → ReLU → maxpool 2×2`, halving the
 /// spatial resolution.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EncoderStage {
     pub(crate) conv: Conv2d,
     pub(crate) bn: BatchNorm2d,
@@ -50,7 +50,7 @@ impl Module for EncoderStage {
 
 /// One decoder stage: `upsample ×2 → conv3×3 → BN → ReLU`, with an
 /// additive skip connection applied by the caller.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DecoderStage {
     pub(crate) conv: Conv2d,
     pub(crate) bn: BatchNorm2d,

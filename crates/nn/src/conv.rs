@@ -18,7 +18,7 @@ use crate::{Cost, Mode, Module, Param, Parameterized};
 /// let mut ff = Conv2d::new(16, 16, 1, Conv2dSpec::default(), false, &mut rng);
 /// assert_eq!(ff.param_count(), 16 * 16);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
     bias: Option<Param>,

@@ -9,7 +9,7 @@ use crate::{Cost, Mode, Module, Param, Parameterized};
 ///
 /// The Auxiliary Weight Network of the paper (Fig. 4(c)) is a small stack
 /// of these on top of a global average pool.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     weight: Param,
     bias: Option<Param>,

@@ -11,7 +11,7 @@ use crate::{Cost, Mode, Module, Param, Parameterized};
 /// and updates exponential running estimates; in [`Mode::Eval`] it uses
 /// the frozen running estimates — matching the standard PyTorch
 /// `BatchNorm2d` semantics the paper's baseline relies on.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,

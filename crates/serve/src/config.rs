@@ -136,78 +136,6 @@ impl ServeConfig {
         }
     }
 
-    /// Returns the config with a different `max_batch` (chainable).
-    #[deprecated(note = "use `ServeConfig::builder().max_batch(..)`, which validates eagerly")]
-    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
-        self.max_batch = max_batch;
-        self
-    }
-
-    /// Returns the config with a different `max_wait` (chainable).
-    #[deprecated(note = "use `ServeConfig::builder().max_wait(..)`, which validates eagerly")]
-    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
-        self.max_wait = max_wait;
-        self
-    }
-
-    /// Returns the config with a different queue capacity (chainable).
-    #[deprecated(note = "use `ServeConfig::builder().queue_capacity(..)`, which validates eagerly")]
-    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
-        self.queue_capacity = queue_capacity;
-        self
-    }
-
-    /// Returns the config with a different backpressure policy (chainable).
-    #[deprecated(note = "use `ServeConfig::builder().backpressure(..)`, which validates eagerly")]
-    pub fn with_backpressure(mut self, backpressure: Backpressure) -> Self {
-        self.backpressure = backpressure;
-        self
-    }
-
-    /// Returns the config with a different degradation policy (chainable).
-    #[deprecated(note = "use `ServeConfig::builder().policy(..)`, which validates eagerly")]
-    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    /// Returns the config with a default per-request deadline (chainable).
-    #[deprecated(
-        note = "use `ServeConfig::builder().default_deadline(..)`, which validates eagerly"
-    )]
-    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
-        self.default_deadline = Some(deadline);
-        self
-    }
-
-    /// Returns the config with a depth circuit breaker (chainable).
-    #[deprecated(note = "use `ServeConfig::builder().breaker(..)`, which validates eagerly")]
-    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
-        self.breaker = Some(breaker);
-        self
-    }
-
-    /// Returns the config with a per-batch probe (chainable; chaos/test
-    /// instrumentation only).
-    #[deprecated(note = "use `ServeConfig::builder().batch_probe(..)`, which validates eagerly")]
-    pub fn with_batch_probe(mut self, probe: BatchProbe) -> Self {
-        self.batch_probe = Some(probe);
-        self
-    }
-
-    /// Checks the invariants the batcher relies on.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError::InvalidConfig`] if `max_batch` or
-    /// `queue_capacity` is zero, the default deadline is zero (every
-    /// request would expire unexecuted), or the breaker config fails
-    /// [`BreakerConfig::validate`].
-    #[deprecated(note = "use `ServeConfig::builder()`; `Server::start` re-checks regardless")]
-    pub fn validate(&self) -> Result<(), ServeError> {
-        self.check()
-    }
-
     /// The invariant check behind [`Server::start`] and the builder.
     ///
     /// [`Server::start`]: crate::Server::start

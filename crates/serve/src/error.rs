@@ -41,6 +41,27 @@ pub enum ServeError {
     },
     /// The server was dropped before this request's batch ran.
     ServerDropped,
+    /// The replica serving this request was killed ([`Server::abort`]):
+    /// its queued work is failed with this error instead of being
+    /// executed. A [`Fleet`] redirects aborted requests to a healthy
+    /// replica; standalone callers may resubmit elsewhere themselves.
+    ///
+    /// [`Server::abort`]: crate::Server::abort
+    /// [`Fleet`]: crate::Fleet
+    Aborted,
+    /// Every replica in the fleet is marked unhealthy; the request was
+    /// refused without touching a server.
+    NoHealthyReplica {
+        /// Total replicas in the fleet (all currently dead).
+        replicas: usize,
+    },
+    /// A hot model deploy was refused or aborted: the candidate failed to
+    /// load or compile, its geometry disagrees with the fleet, or shadow
+    /// diffing saw a divergence beyond the configured threshold.
+    DeployFailed {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// The server configuration failed validation at startup.
     InvalidConfig {
         /// Human-readable reason.
@@ -86,6 +107,19 @@ impl fmt::Display for ServeError {
             }
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
             ServeError::ServerDropped => write!(f, "server dropped before the request ran"),
+            ServeError::Aborted => {
+                write!(
+                    f,
+                    "replica was killed before the request ran; resubmit elsewhere"
+                )
+            }
+            ServeError::NoHealthyReplica { replicas } => {
+                write!(
+                    f,
+                    "all {replicas} fleet replicas are unhealthy; request refused"
+                )
+            }
+            ServeError::DeployFailed { reason } => write!(f, "model deploy failed: {reason}"),
             ServeError::InvalidConfig { reason } => {
                 write!(f, "invalid serve configuration: {reason}")
             }

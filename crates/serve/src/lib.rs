@@ -35,10 +35,14 @@
 //!   expired requests complete with [`ServeError::DeadlineExceeded`], and
 //!   a request already expired when the batcher dequeues it is never
 //!   executed.
-//! - **Fleet-wide circuit breaking** — an optional depth circuit breaker
-//!   ([`ServeConfig::breaker`]) watches per-request quarantine verdicts
-//!   and trips the whole fleet to camera-only when the rate spikes,
-//!   recovering via seeded half-open probing.
+//! - **Per-slot circuit breaking** — an optional depth circuit breaker
+//!   bank ([`ServeConfig::breaker`]) runs one breaker per [`SourceId`],
+//!   tripping a source to camera-only when *its own* quarantine rate
+//!   spikes and recovering via seeded half-open probing; one dying sensor
+//!   never pushes healthy sources to camera-only.
+//! - **Hot model swap** — [`Server::stage_model`] compiles a candidate
+//!   off the hot path; the executor claims it at a batch boundary, so no
+//!   batch ever observes a half-swapped model.
 //! - **Retrying clients** — [`Retrier`] wraps `submit` with bounded
 //!   attempts and deterministic decorrelated-jitter backoff for
 //!   `QueueFull` shedding.
@@ -88,6 +92,7 @@
 
 mod config;
 mod error;
+mod fleet;
 mod handle;
 mod request;
 mod retry;
@@ -96,8 +101,12 @@ mod stats;
 
 pub use config::{Backpressure, BatchProbe, ServeConfig, ServeConfigBuilder};
 pub use error::ServeError;
+pub use fleet::{
+    DeployOptions, DispatchPolicy, Fleet, FleetCompletion, FleetConfig, FleetStats, ReplicaStats,
+    ShadowConfig,
+};
 pub use handle::{Completion, Prediction};
 pub use request::{Request, SourceId};
 pub use retry::{Retrier, RetryPolicy, RetryPolicyBuilder};
 pub use server::Server;
-pub use stats::StatsSnapshot;
+pub use stats::{SlotBreakerStats, StatsSnapshot};

@@ -3,23 +3,26 @@
 //!
 //! Resilience hooks live here too: per-request deadlines are checked both
 //! at dequeue (stale work is never executed) and at completion (a result
-//! that arrives late is discarded), and the optional depth circuit
-//! breaker decides per batch slot whether the depth branch may be fused
-//! at all.
+//! that arrives late is discarded), and the optional per-slot circuit
+//! breakers decide per batch slot whether that slot's depth branch may be
+//! fused at all — one breaker per [`SourceId`], so one dying sensor trips
+//! only its own traffic.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use sf_core::{CircuitBreaker, DepthRoute, FusionNet, HealthIssue, Predictor};
+use sf_core::{
+    BreakerConfig, BreakerState, CircuitBreaker, DepthRoute, FusionNet, HealthIssue, Predictor,
+};
 use sf_tensor::Tensor;
 
 use crate::config::{Backpressure, ServeConfig};
 use crate::error::ServeError;
 use crate::handle::{completion_pair, Completion, Fulfiller, Prediction};
 use crate::request::{Request, SourceId};
-use crate::stats::{StatsCollector, StatsSnapshot};
+use crate::stats::{SlotBreakerStats, StatsCollector, StatsSnapshot};
 
 /// An admitted [`Request`] waiting in the queue: the frames plus the
 /// resolved (request-or-default) deadline and the executor's side of the
@@ -47,6 +50,50 @@ impl QueuedRequest {
 struct QueueState {
     items: VecDeque<QueuedRequest>,
     shutdown: bool,
+    /// Set by [`Server::abort`]: queued-but-unclaimed requests are failed
+    /// with [`ServeError::Aborted`] instead of being executed.
+    aborted: bool,
+}
+
+/// A model staged for a zero-downtime hot swap: the executor claims it at
+/// the next batch boundary. Compiled on the *staging* thread, so the hot
+/// path never pays plan compilation.
+struct StagedModel {
+    net: FusionNet,
+    predictor: Predictor,
+    version: u64,
+}
+
+/// One circuit breaker per [`SourceId`] slot, created lazily on first
+/// sight of a source. Untagged requests share the `None` slot, which
+/// keeps the configured seed verbatim — a bank seeing only untagged
+/// traffic behaves bit-identically to the old single fleet-wide breaker.
+struct BreakerBank {
+    config: BreakerConfig,
+    slots: BTreeMap<Option<SourceId>, CircuitBreaker>,
+}
+
+impl BreakerBank {
+    fn new(config: BreakerConfig) -> BreakerBank {
+        BreakerBank {
+            config,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    fn slot(&mut self, source: Option<SourceId>) -> &mut CircuitBreaker {
+        let config = self.config;
+        self.slots.entry(source).or_insert_with(|| {
+            let mut cfg = config;
+            if let Some(SourceId(id)) = source {
+                // Decorrelate the per-slot probe streams; the untagged
+                // slot keeps the configured seed so existing single-stream
+                // fingerprints stay stable.
+                cfg.seed ^= id.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            CircuitBreaker::new(cfg)
+        })
+    }
 }
 
 struct Inner {
@@ -58,10 +105,13 @@ struct Inner {
     not_full: Condvar,
     config: ServeConfig,
     stats: StatsCollector,
-    /// Depth circuit breaker, present iff `config.breaker` is set. Only
-    /// the executor mutates it (admit/observe); other threads read it for
-    /// snapshots, so contention is negligible.
-    breaker: Option<Mutex<CircuitBreaker>>,
+    /// Per-slot depth circuit breakers, present iff `config.breaker` is
+    /// set. Only the executor mutates them (admit/observe); other threads
+    /// read them for snapshots, so contention is negligible.
+    breakers: Option<Mutex<BreakerBank>>,
+    /// Model staged for a hot swap; the executor claims it at the next
+    /// batch boundary.
+    staged: Mutex<Option<StagedModel>>,
 }
 
 /// In-process batched inference server.
@@ -74,8 +124,9 @@ struct Inner {
 /// batches (flushing on `max_batch` or the `max_wait` deadline of the
 /// oldest request, whichever comes first) and runs one fused plan pass
 /// per batch. Unhealthy depth inputs degrade only their own slot; a
-/// configured [`BreakerConfig`] additionally trips the whole fleet to
-/// camera-only when the quarantine rate spikes.
+/// configured [`BreakerConfig`] additionally runs one circuit breaker per
+/// [`SourceId`] slot, tripping a source to camera-only when *its own*
+/// quarantine rate spikes — other sources keep fusing.
 ///
 /// [`submit`]: Server::submit
 /// [`BreakerConfig`]: sf_core::BreakerConfig
@@ -119,19 +170,19 @@ impl Server {
         let (h, w) = (net_config.height, net_config.width);
         let rgb_shape = vec![3, h, w];
         let depth_shape = vec![net_config.depth_channels, h, w];
-        let breaker = config
-            .breaker
-            .map(|cfg| Mutex::new(CircuitBreaker::new(cfg)));
+        let breakers = config.breaker.map(|cfg| Mutex::new(BreakerBank::new(cfg)));
         let inner = Arc::new(Inner {
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 shutdown: false,
+                aborted: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             config,
             stats: StatsCollector::new(),
-            breaker,
+            breakers,
+            staged: Mutex::new(None),
         });
         let executor_inner = Arc::clone(&inner);
         let executor = std::thread::Builder::new()
@@ -165,21 +216,6 @@ impl Server {
     pub fn submit(&self, request: Request) -> Result<Completion, ServeError> {
         self.check_shapes(&request.rgb, &request.depth)?;
         self.submit_inner(request)
-    }
-
-    /// Submits a frame pair with an explicit deadline.
-    ///
-    /// # Errors
-    ///
-    /// As [`Server::submit`].
-    #[deprecated(note = "build a `Request::new(rgb, depth).with_deadline(..)` and call `submit`")]
-    pub fn submit_with_deadline(
-        &self,
-        rgb: Tensor,
-        depth: Tensor,
-        deadline: Duration,
-    ) -> Result<Completion, ServeError> {
-        self.submit(Request::new(rgb, depth).with_deadline(deadline))
     }
 
     fn check_shapes(&self, rgb: &Tensor, depth: &Tensor) -> Result<(), ServeError> {
@@ -260,6 +296,19 @@ impl Server {
         snapshot_with_breaker(&self.inner)
     }
 
+    /// True when any slot breaker is currently open — the soft-unhealthy
+    /// signal the fleet router uses to prefer other replicas. Cheaper
+    /// than a full [`Server::stats`] snapshot.
+    pub fn breaker_open(&self) -> bool {
+        self.inner.breakers.as_ref().is_some_and(|bank| {
+            bank.lock()
+                .expect("breaker bank poisoned")
+                .slots
+                .values()
+                .any(|b| b.state() == BreakerState::Open)
+        })
+    }
+
     /// Stops accepting new requests (idempotent). Queued requests still
     /// drain through the batcher; submitters blocked on a full queue wake
     /// with [`ServeError::ShuttingDown`]. Callable from any thread that
@@ -272,6 +321,69 @@ impl Server {
         }
         self.inner.not_empty.notify_all();
         self.inner.not_full.notify_all();
+    }
+
+    /// Kills the replica (idempotent): stops admissions like
+    /// [`Server::close`], but queued-not-yet-claimed requests are failed
+    /// with [`ServeError::Aborted`] instead of being executed. A batch the
+    /// executor has already claimed still finishes — abort takes effect at
+    /// the batch boundary. The counters stay conserved: aborted requests
+    /// are recorded as `failed`.
+    ///
+    /// This is the replica-death primitive the [`Fleet`] uses: it marks
+    /// the replica dead, lets in-flight work finish, and redirects the
+    /// aborted remainder to healthy replicas.
+    ///
+    /// [`Fleet`]: crate::Fleet
+    pub fn abort(&self) {
+        {
+            let mut queue = self.inner.queue.lock().expect("serve queue poisoned");
+            queue.shutdown = true;
+            queue.aborted = true;
+        }
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Stages `net` for a zero-downtime hot swap. The compiled plans are
+    /// built *here*, on the calling thread; the executor claims the staged
+    /// model at its next batch boundary, so no batch ever observes a
+    /// half-swapped model and the hot path never pays compilation.
+    /// Staging again before the executor claims replaces the previous
+    /// staged model (latest wins).
+    ///
+    /// `version` is an opaque tag surfaced as
+    /// [`StatsSnapshot::model_version`] once the swap is claimed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DeployFailed`] if `net`'s geometry (height,
+    /// width, depth channels) differs from the served network's — requests
+    /// already in the queue would no longer match.
+    pub fn stage_model(&self, net: FusionNet, version: u64) -> Result<(), ServeError> {
+        let config = net.config();
+        let staged_rgb = vec![3, config.height, config.width];
+        let staged_depth = vec![config.depth_channels, config.height, config.width];
+        if staged_rgb != self.rgb_shape || staged_depth != self.depth_shape {
+            return Err(ServeError::DeployFailed {
+                reason: format!(
+                    "candidate geometry {}x{} (depth {}) does not match served {:?}/{:?}",
+                    config.height,
+                    config.width,
+                    config.depth_channels,
+                    self.rgb_shape,
+                    self.depth_shape
+                ),
+            });
+        }
+        let predictor = Predictor::compile(&net);
+        let staged = StagedModel {
+            net,
+            predictor,
+            version,
+        };
+        *self.inner.staged.lock().expect("staged model poisoned") = Some(staged);
+        Ok(())
     }
 
     /// Stops accepting new requests, drains every queued request through
@@ -296,13 +408,34 @@ impl Drop for Server {
     }
 }
 
+fn breaker_severity(state: BreakerState) -> u8 {
+    match state {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
+    }
+}
+
 fn snapshot_with_breaker(inner: &Inner) -> StatsSnapshot {
     let mut snap = inner.stats.snapshot();
-    if let Some(breaker) = &inner.breaker {
-        let breaker = breaker.lock().expect("breaker poisoned");
-        snap.breaker_state = Some(breaker.state());
-        snap.breaker_trips = breaker.trips();
-        snap.breaker_transitions = breaker.transitions().to_vec();
+    if let Some(bank) = &inner.breakers {
+        let bank = bank.lock().expect("breaker bank poisoned");
+        let mut worst = BreakerState::Closed;
+        for (source, breaker) in &bank.slots {
+            let state = breaker.state();
+            if breaker_severity(state) > breaker_severity(worst) {
+                worst = state;
+            }
+            snap.breaker_trips += breaker.trips();
+            snap.breaker_transitions
+                .extend(breaker.transitions().iter().cloned());
+            snap.breaker_slots.push(SlotBreakerStats {
+                source: *source,
+                state,
+                trips: breaker.trips(),
+            });
+        }
+        snap.breaker_state = Some(worst);
     }
     snap
 }
@@ -375,45 +508,91 @@ fn expire_stale(inner: &Inner, batch: Vec<QueuedRequest>) -> Vec<QueuedRequest> 
 }
 
 /// Decides the quarantine verdict for each live slot, merging the
-/// per-input degradation policy with the fleet-wide circuit breaker.
+/// per-input degradation policy with that slot's circuit breaker.
 ///
 /// The policy verdict is computed first (pure input screening). With no
-/// breaker, that verdict stands. With a breaker, each slot is routed:
-/// `Fuse`/`Probe` slots keep the policy verdict and feed it back as a
-/// breaker observation; `ForceCameraOnly` slots are overridden to
-/// [`HealthIssue::BreakerOpen`] and observe nothing (a skipped depth
-/// branch yields no evidence about sensor health).
-fn judge_slots(inner: &Inner, depth: &[&Tensor]) -> Vec<Option<HealthIssue>> {
+/// breakers, that verdict stands. With breakers, each slot is routed by
+/// the breaker keyed on its [`SourceId`]: `Fuse`/`Probe` slots keep the
+/// policy verdict and feed it back as a breaker observation;
+/// `ForceCameraOnly` slots are overridden to [`HealthIssue::BreakerOpen`]
+/// and observe nothing (a skipped depth branch yields no evidence about
+/// sensor health). One source's quarantine storm therefore trips only its
+/// own breaker — healthy sources in the same batch keep fusing.
+fn judge_slots(
+    inner: &Inner,
+    depth: &[&Tensor],
+    sources: &[Option<SourceId>],
+) -> Vec<Option<HealthIssue>> {
     let policy = inner.config.policy;
     let thresholds = &inner.config.thresholds;
     let verdicts: Vec<Option<HealthIssue>> = depth
         .iter()
         .map(|d| policy.quarantine_depth(d, thresholds))
         .collect();
-    let Some(breaker) = &inner.breaker else {
+    let Some(bank) = &inner.breakers else {
         return verdicts;
     };
-    let mut breaker = breaker.lock().expect("breaker poisoned");
+    let mut bank = bank.lock().expect("breaker bank poisoned");
     verdicts
         .into_iter()
-        .map(|verdict| match breaker.admit() {
-            DepthRoute::Fuse | DepthRoute::Probe => {
-                breaker.observe(verdict.is_some());
-                verdict
+        .zip(sources)
+        .map(|(verdict, source)| {
+            let breaker = bank.slot(*source);
+            match breaker.admit() {
+                DepthRoute::Fuse | DepthRoute::Probe => {
+                    breaker.observe(verdict.is_some());
+                    verdict
+                }
+                DepthRoute::ForceCameraOnly => Some(HealthIssue::BreakerOpen),
             }
-            DepthRoute::ForceCameraOnly => Some(HealthIssue::BreakerOpen),
         })
         .collect()
 }
 
-fn executor_loop(net: FusionNet, inner: &Inner) -> FusionNet {
+/// Checks for an abort ([`Server::abort`]): if flagged, drains every
+/// queued-but-unclaimed request, failing each with [`ServeError::Aborted`]
+/// (recorded as `failed`, preserving conservation). Returns true when the
+/// executor should stop collecting batches.
+fn drain_aborted(inner: &Inner) -> bool {
+    let mut queue = inner.queue.lock().expect("serve queue poisoned");
+    if !queue.aborted {
+        return false;
+    }
+    let items: Vec<QueuedRequest> = queue.items.drain(..).collect();
+    drop(queue);
+    inner.not_full.notify_all();
+    if !items.is_empty() {
+        inner.stats.record_failed(items.len());
+        for request in items {
+            request.fulfiller.fulfill(Err(ServeError::Aborted));
+        }
+    }
+    true
+}
+
+fn executor_loop(mut net: FusionNet, inner: &Inner) -> FusionNet {
     // Freeze the network once: every batch replays the compiled plans
     // (shape derivation, dispatch and scratch placement all paid here).
     // The quarantine verdicts are prejudged per slot, so the predictor's
     // own policy stays at its default.
     let mut predictor = Predictor::compile(&net);
     let mut batch_index: u64 = 0;
-    while let Some(batch) = collect_batch(inner) {
+    loop {
+        // Batch boundary: claim a staged hot swap, if any. No batch ever
+        // observes a half-swapped model — the predictor and weights change
+        // atomically between batches.
+        if let Some(staged) = inner.staged.lock().expect("staged model poisoned").take() {
+            predictor = staged.predictor;
+            net = staged.net;
+            inner.stats.record_swap(staged.version);
+        }
+        // An abort fails queued-unclaimed work instead of executing it.
+        if drain_aborted(inner) {
+            break;
+        }
+        let Some(batch) = collect_batch(inner) else {
+            break;
+        };
         let batch = expire_stale(inner, batch);
         if batch.is_empty() {
             continue;
@@ -438,7 +617,8 @@ fn executor_loop(net: FusionNet, inner: &Inner) -> FusionNet {
         // guard: input screening is pure tensor statistics, and keeping
         // the breaker mutex out of the unwind path means a panicking
         // batch can never poison it.
-        let issues = judge_slots(inner, &depth_refs);
+        let sources: Vec<Option<SourceId>> = metas.iter().map(|(_, _, s)| *s).collect();
+        let issues = judge_slots(inner, &depth_refs, &sources);
         // Plan execution only reads frozen weights, and a panicking batch
         // leaves the plan's scratch state reusable: fail this batch's
         // requests with a typed error and keep serving.

@@ -11,6 +11,20 @@ use std::time::{Duration, Instant};
 
 use sf_core::{BreakerState, BreakerTransition};
 
+use crate::request::SourceId;
+
+/// One per-slot circuit breaker's state, keyed by the [`SourceId`] it
+/// guards (`None` is the shared breaker for untagged requests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotBreakerStats {
+    /// Which source slot this breaker guards.
+    pub source: Option<SourceId>,
+    /// The breaker's state at snapshot time.
+    pub state: BreakerState,
+    /// How many times this slot's breaker tripped open.
+    pub trips: u64,
+}
+
 /// Point-in-time view of a server's counters, exposed by
 /// [`Server::stats`] and returned by [`Server::shutdown`].
 ///
@@ -45,12 +59,25 @@ pub struct StatsSnapshot {
     pub latency_p95_ms: f64,
     /// Worst request latency, milliseconds.
     pub latency_max_ms: f64,
-    /// Circuit-breaker state, if the server runs one.
+    /// Worst per-slot breaker state, if the server runs breakers
+    /// (`Open` > `HalfOpen` > `Closed`). With only untagged traffic this
+    /// is exactly the single shared breaker's state.
     pub breaker_state: Option<BreakerState>,
-    /// How many times the breaker tripped open.
+    /// Trips summed over every slot breaker.
     pub breaker_trips: u64,
-    /// The breaker's full transition log, oldest first.
+    /// Transition logs of every slot breaker concatenated in slot-key
+    /// order (untagged first, then ascending [`SourceId`]), oldest first
+    /// within a slot.
     pub breaker_transitions: Vec<BreakerTransition>,
+    /// Per-slot breaker detail, in slot-key order.
+    pub breaker_slots: Vec<SlotBreakerStats>,
+    /// Version of the model currently serving (0 until the first
+    /// [`Server::stage_model`] swap is claimed by the executor).
+    ///
+    /// [`Server::stage_model`]: crate::Server::stage_model
+    pub model_version: u64,
+    /// Hot model swaps the executor has performed at batch boundaries.
+    pub swaps: u64,
 }
 
 impl StatsSnapshot {
@@ -80,6 +107,8 @@ struct StatsData {
     batches: u64,
     batched_requests: u64,
     latencies_ms: Vec<f64>,
+    model_version: u64,
+    swaps: u64,
 }
 
 /// Internal collector; one per server, shared by submitters and the
@@ -130,6 +159,12 @@ impl StatsCollector {
         self.data.lock().expect("stats poisoned").failed += count as u64;
     }
 
+    pub(crate) fn record_swap(&self, version: u64) {
+        let mut data = self.data.lock().expect("stats poisoned");
+        data.swaps += 1;
+        data.model_version = version;
+    }
+
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let data = self.data.lock().expect("stats poisoned");
         let elapsed = self.started.elapsed().as_secs_f64();
@@ -159,6 +194,9 @@ impl StatsCollector {
             breaker_state: None,
             breaker_trips: 0,
             breaker_transitions: Vec::new(),
+            breaker_slots: Vec::new(),
+            model_version: data.model_version,
+            swaps: data.swaps,
         }
     }
 }

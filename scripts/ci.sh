@@ -64,4 +64,26 @@ echo "==> chaos smoke (seeded fault schedule, conservation + reproducibility)"
 # fingerprints differ.
 ./target/release/roadseg chaos --smoke
 
+echo "==> fleet chaos smoke (replica kills, hot swap, shadow deploy)"
+# Runs the fleet smoke schedule twice; exits non-zero on a conservation
+# violation, a router-vs-replica reconciliation mismatch, a deploy
+# casualty, a nonzero shadow diff, or same-seed fingerprint divergence.
+./target/release/roadseg chaos --fleet --smoke
+
+echo "==> fleet-bench smoke (routing + mid-run kill/revive/hot-swap)"
+# 2 replicas under live load with a kill, a revival and a retrained-model
+# hot swap mid-run; --smoke exits non-zero unless every request is served
+# and the fleet ledger reconciles with zero failed legs.
+./target/release/roadseg fleet-bench --smoke --kill --deploy --replicas 2
+
+echo "==> guard: no deprecated-API escape hatches"
+# The one-shot predict and submit_with_deadline shims are gone; an
+# #[allow(deprecated)] in crate code would let a resurrected shim slip
+# past clippy's -D warnings.
+if grep -rn "allow(deprecated)" crates/; then
+    echo "error: allow(deprecated) found — migrate to the current API instead" >&2
+    exit 1
+fi
+echo "    ok: no allow(deprecated) in crates/"
+
 echo "==> ci.sh: all green"
