@@ -1,0 +1,10 @@
+//! Int8 quantization sweep: calibration-set size × batch size, reporting
+//! MaxF/IOU deltas vs f32, single-core throughput for both precisions,
+//! weight compression and per-cell output fingerprints. Prints the table
+//! recorded in `results/bench.txt`.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::quant::run(scale);
+    println!("{}", sf_bench::experiments::quant::render(&result));
+}

@@ -9,6 +9,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet;
+pub mod quant;
 pub mod robustness;
 pub mod serving;
 pub mod sne;

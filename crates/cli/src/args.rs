@@ -60,6 +60,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "fleet",
     "kill",
     "deploy",
+    "int8",
 ];
 
 /// A parsed command line: the subcommand plus its `--flag value` pairs.

@@ -4,8 +4,10 @@
 
 use std::fmt::Write as _;
 
-use sf_core::{evaluate_with_report, EvalOptions};
-use sf_dataset::{DatasetConfig, FaultInjector, RoadDataset, Sample};
+use sf_core::{
+    evaluate_with_predictor, evaluate_with_report, DegradationReport, EvalOptions, Predictor,
+};
+use sf_dataset::{DatasetConfig, FaultInjector, RoadDataset, Sample, SegmentationEval};
 use sf_scene::RoadCategory;
 
 use crate::model_io::load_model;
@@ -17,16 +19,26 @@ use crate::{Args, CliError};
 /// seeded [`FaultInjector`] first; `--policy` decides whether broken
 /// inputs are fused anyway (`trust`), quarantined to the camera-only
 /// path (`fallback`, the default) or depth is ignored outright
-/// (`camera-only`).
+/// (`camera-only`). With `--int8`, the model is calibrated on
+/// `--calib-samples` seeded training frames and evaluated through the
+/// int8 compiled plans instead of f32.
 pub fn eval(args: &Args) -> Result<String, CliError> {
     let net = load_model(args.require("model")?)?;
     let fault = args.fault()?;
     let policy = args.policy()?;
+    let int8 = args.get_bool("int8");
+    let calib_samples: usize = args.get_parsed("calib-samples", 8, "integer")?;
     let fault_seed: u64 = args.get_parsed("fault-seed", 7, "integer")?;
     let dataset_config = DatasetConfig {
         width: net.config().width,
         height: net.config().height,
-        train_per_category: 0,
+        // int8 needs calibration frames; they come from the train split
+        // so the test frames stay untouched by calibration.
+        train_per_category: if int8 {
+            calib_samples.div_ceil(RoadCategory::ALL.len()).max(1)
+        } else {
+            0
+        },
         test_per_category: args.get_parsed("test-per-category", 8, "integer")?,
         seed: args.get_parsed("seed", 2022, "integer")?,
         adverse_fraction: args.get_parsed("adverse-fraction", 0.3, "float")?,
@@ -35,6 +47,24 @@ pub fn eval(args: &Args) -> Result<String, CliError> {
     let data = RoadDataset::generate(&dataset_config);
     let camera = dataset_config.camera();
     let options = EvalOptions::default().with_policy(policy);
+    let profile = if int8 {
+        let train = data.train(None);
+        let calib: Vec<&Sample> = train.iter().copied().take(calib_samples.max(1)).collect();
+        Some(sf_quant::calibrate(&net, &calib))
+    } else {
+        None
+    };
+    let run_eval = |refs: &[&Sample]| -> Result<(SegmentationEval, DegradationReport), CliError> {
+        match &profile {
+            Some(p) => {
+                let predictor = Predictor::compile_int8(&net, p)
+                    .map_err(|e| CliError::Invalid(e.to_string()))?
+                    .with_policy(policy);
+                Ok(evaluate_with_predictor(predictor, refs, &camera, &options))
+            }
+            None => Ok(evaluate_with_report(&net, refs, &camera, &options)),
+        }
+    };
     // Corrupt the whole split once, in its stable order, so the
     // per-category and pooled views see identical frames.
     let test_samples: Vec<Sample> = match fault {
@@ -50,10 +80,15 @@ pub fn eval(args: &Args) -> Result<String, CliError> {
     let mut log = String::new();
     let _ = writeln!(
         log,
-        "evaluating {} ({}) on {} test frames",
+        "evaluating {} ({}) on {} test frames{}",
         net.scheme(),
         net.cost(),
-        test_samples.len()
+        test_samples.len(),
+        if let Some(p) = &profile {
+            format!(" [int8, {} calibrated scales]", p.len())
+        } else {
+            String::new()
+        }
     );
     match fault {
         Some(f) => {
@@ -72,12 +107,12 @@ pub fn eval(args: &Args) -> Result<String, CliError> {
             .iter()
             .filter(|s| s.category == category)
             .collect();
-        let (result, report) = evaluate_with_report(&net, &refs, &camera, &options);
+        let (result, report) = run_eval(&refs)?;
         total_quarantined += report.quarantined_count();
         let _ = writeln!(log, "  {category:<4} {result}");
     }
     let all_refs: Vec<&Sample> = test_samples.iter().collect();
-    let (pooled, pooled_report) = evaluate_with_report(&net, &all_refs, &camera, &options);
+    let (pooled, pooled_report) = run_eval(&all_refs)?;
     let _ = writeln!(log, "  all  {pooled}");
     let _ = writeln!(
         log,
@@ -131,6 +166,25 @@ mod tests {
         assert!(log.contains("UU"));
         assert!(log.contains("all"));
         assert!(log.contains("quarantined depth inputs: 0 of 3"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn int8_eval_calibrates_and_reports_metrics() {
+        let path = saved_model("sf_cli_eval_int8.sfm");
+        let log = run(&[
+            "eval",
+            "--model",
+            path.to_str().unwrap(),
+            "--test-per-category",
+            "1",
+            "--int8",
+            "--calib-samples",
+            "2",
+        ])
+        .unwrap();
+        assert!(log.contains("[int8,"), "{log}");
+        assert!(log.contains("all"), "{log}");
         std::fs::remove_file(path).unwrap();
     }
 

@@ -7,12 +7,17 @@
 //! (closed loop). The main thread doubles as a fault controller: with
 //! `--kill` it kills the highest-index replica a quarter of the way
 //! through the run and revives it at the halfway mark; with `--deploy`
-//! it hot-swaps a retrained model at the three-quarter mark. `--smoke`
+//! it hot-swaps a retrained model at the three-quarter mark,
+//! and `--deploy-model <file.sfm>` swaps in a checkpoint *file* instead
+//! (staging a retrained net there first if the file does not exist, so
+//! CI runs are self-contained — quantized v3 checkpoints load
+//! transparently through the same path). `--smoke`
 //! fails unless every request was served, the fleet legs are conserved,
 //! the router-vs-replica cross-check holds, and (with `--deploy`) the
 //! swap promoted without a single failed leg.
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -24,6 +29,7 @@ use sf_serve::{
 use sf_tensor::TensorRng;
 
 use crate::commands::network_config;
+use crate::model_io::save_model;
 use crate::{Args, CliError};
 
 /// One client's outcome: how many requests it drove to completion.
@@ -55,7 +61,8 @@ pub fn fleet_bench(args: &Args) -> Result<String, CliError> {
     let queue: usize = args.get_parsed("queue", 64, "integer")?;
     let fleet_seed: u64 = args.get_parsed("seed", 0xF1EE_BE9C, "integer")?;
     let kill = args.get_bool("kill");
-    let deploy = args.get_bool("deploy");
+    let deploy_model = args.get("deploy-model").map(str::to_string);
+    let deploy = args.get_bool("deploy") || deploy_model.is_some();
     if clients == 0 || requests == 0 {
         return Err(CliError::Invalid(
             "fleet-bench needs at least one client and one request".to_string(),
@@ -181,11 +188,27 @@ pub fn fleet_bench(args: &Args) -> Result<String, CliError> {
         // submitting — the point of the bench is that nobody notices.
         let mut retrained_config = config.clone();
         retrained_config.seed ^= 0xDEAD_BEEF;
-        let retrained = FusionNet::new(scheme, &retrained_config)?;
-        let version = fleet
-            .deploy(retrained, DeployOptions::default())
-            .map_err(|e| CliError::Invalid(format!("hot deploy failed: {e}")))?;
-        events.push(format!("deploy v{version} @ {deploy_at}"));
+        let mut retrained = FusionNet::new(scheme, &retrained_config)?;
+        match &deploy_model {
+            Some(path) => {
+                // File-based deploy: swap in whatever checkpoint sits at
+                // `path` — staging the retrained net there first when the
+                // file is absent keeps smoke runs self-contained.
+                if !Path::new(path).exists() {
+                    save_model(&mut retrained, path)?;
+                }
+                let version = fleet
+                    .deploy_from_path(Path::new(path), DeployOptions::default())
+                    .map_err(|e| CliError::Invalid(format!("file deploy failed: {e}")))?;
+                events.push(format!("deploy v{version} @ {deploy_at} (from {path})"));
+            }
+            None => {
+                let version = fleet
+                    .deploy(retrained, DeployOptions::default())
+                    .map_err(|e| CliError::Invalid(format!("hot deploy failed: {e}")))?;
+                events.push(format!("deploy v{version} @ {deploy_at}"));
+            }
+        }
     }
 
     let mut served_total = 0;
@@ -374,6 +397,29 @@ mod tests {
         assert!(log.contains("deploy v1"), "{log}");
         assert!(log.contains("served       : 24/24"), "{log}");
         assert!(log.contains("zero-downtime swap"), "{log}");
+    }
+
+    #[test]
+    fn deploy_model_swaps_in_a_checkpoint_file() {
+        let path = std::env::temp_dir().join("sf_cli_fleet_deploy_model.sfm");
+        let _ = std::fs::remove_file(&path);
+        let log = run(&[
+            "fleet-bench",
+            "--smoke",
+            "--deploy-model",
+            path.to_str().unwrap(),
+            "--clients",
+            "2",
+            "--requests",
+            "4",
+        ])
+        .unwrap();
+        assert!(log.contains("deploy v1"), "{log}");
+        assert!(log.contains("(from "), "{log}");
+        assert!(log.contains("zero-downtime swap"), "{log}");
+        // The staged checkpoint is a real loadable model file.
+        assert!(crate::model_io::load_model(&path).is_ok());
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

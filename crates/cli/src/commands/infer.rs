@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use sf_core::Predictor;
+use sf_core::{CalibrationProfile, CompiledPlan, PlanMode, Predictor};
 use sf_scene::overlay_mask;
 use sf_vision::{read_pgm, read_ppm, resize_gray, resize_rgb, GrayImage};
 
@@ -14,6 +14,13 @@ use crate::{Args, CliError};
 /// frozen into a [`Predictor`] and the depth frame is health-checked
 /// under `--policy` (default `fallback`): a dead or corrupted sensor is
 /// quarantined and the camera-only plan runs instead.
+///
+/// With `--int8`, the frame runs through BOTH precisions: the model is
+/// calibrated on the frame itself, the int8 prediction produces the
+/// overlay, and the per-pixel classification agreement against the f32
+/// path is printed. `--parity-min <fraction>` turns that agreement into
+/// a hard gate (nonzero exit below the threshold) — the CI int8 parity
+/// check.
 pub fn infer(args: &Args) -> Result<String, CliError> {
     let net = load_model(args.require("model")?)?;
     let policy = args.policy()?;
@@ -53,7 +60,7 @@ pub fn infer(args: &Args) -> Result<String, CliError> {
         .expect("depth is [H,W]");
     let rgb_tensor = rgb.to_tensor();
     let mut predictor = Predictor::compile(&net).with_policy(policy);
-    let prediction = predictor
+    let mut prediction = predictor
         .run(&rgb_tensor, &depth_tensor)
         .map_err(|e| CliError::Invalid(e.to_string()))?;
     if let Some(issue) = prediction.quarantined {
@@ -61,6 +68,49 @@ pub fn infer(args: &Args) -> Result<String, CliError> {
             notes,
             "depth input quarantined ({issue}); using camera-only fallback"
         );
+    }
+    if args.get_bool("int8") {
+        // Calibrate on the frame itself (deterministic: same frame, same
+        // scales), run the int8 plans, and report parity against f32.
+        let rgb_b = rgb_tensor.reshape(&[1, 3, h, w]).expect("rgb is [3,H,W]");
+        let depth_b = depth_tensor
+            .reshape(&[1, 1, h, w])
+            .expect("depth is [1,H,W]");
+        let mut profile = CalibrationProfile::new();
+        CompiledPlan::compile(&net, PlanMode::Fused)
+            .run_batch_observed(&rgb_b, Some(&depth_b), &mut |l, d| profile.observe(l, d))
+            .map_err(|e| CliError::Invalid(e.to_string()))?;
+        CompiledPlan::compile(&net, PlanMode::CameraOnly)
+            .run_batch_observed(&rgb_b, None, &mut |l, d| profile.observe(l, d))
+            .map_err(|e| CliError::Invalid(e.to_string()))?;
+        let mut qpredictor = Predictor::compile_int8(&net, &profile)
+            .map_err(|e| CliError::Invalid(e.to_string()))?
+            .with_policy(policy);
+        let qprediction = qpredictor
+            .run(&rgb_tensor, &depth_tensor)
+            .map_err(|e| CliError::Invalid(e.to_string()))?;
+        let total = prediction.prob.data().len();
+        let agree = qprediction
+            .prob
+            .data()
+            .iter()
+            .zip(prediction.prob.data())
+            .filter(|(q, f)| (**q >= 0.5) == (**f >= 0.5))
+            .count();
+        let agreement = agree as f64 / total as f64;
+        let _ = writeln!(
+            notes,
+            "int8/f32 classification agreement: {:.2}% ({agree}/{total} pixels)",
+            agreement * 100.0
+        );
+        let parity_min: f64 = args.get_parsed("parity-min", 0.0, "float")?;
+        if agreement < parity_min {
+            return Err(CliError::Invalid(format!(
+                "int8 parity {:.4} below --parity-min {parity_min}",
+                agreement
+            )));
+        }
+        prediction = qprediction;
     }
     let prob_img = GrayImage::from_tensor(&prediction.prob);
     let mask = GrayImage::from_raw(
@@ -135,6 +185,62 @@ mod tests {
         let log = infer(&Args::parse(&raw).unwrap()).unwrap();
         assert!(log.contains("overlay written"));
         assert!(out_path.exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn int8_parity_gate_passes_on_a_clean_frame_and_fails_when_impossible() {
+        let dir = std::env::temp_dir().join("sf_cli_infer_int8");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = NetworkConfig {
+            width: 32,
+            height: 16,
+            stage_channels: vec![3, 4],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 4,
+        };
+        let model_path = dir.join("m.sfm");
+        save_model(
+            &mut FusionNet::new(FusionScheme::AllFilterU, &config).expect("valid config"),
+            &model_path,
+        )
+        .unwrap();
+        let rgb_path = dir.join("f.ppm");
+        let depth_path = dir.join("f.pgm");
+        RgbImage::from_fn(32, 16, |x, y| [x as f32 / 32.0, y as f32 / 16.0, 0.4])
+            .write_ppm(&rgb_path)
+            .unwrap();
+        GrayImage::from_fn(32, 16, |_, y| 1.0 - y as f32 / 16.0)
+            .write_pgm(&depth_path)
+            .unwrap();
+        let base: Vec<String> = [
+            "infer",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--rgb",
+            rgb_path.to_str().unwrap(),
+            "--depth",
+            depth_path.to_str().unwrap(),
+            "--out",
+            dir.join("o.ppm").to_str().unwrap(),
+            "--int8",
+            "--parity-min",
+            "0.9",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let log = infer(&Args::parse(&base).unwrap()).unwrap();
+        assert!(log.contains("int8/f32 classification agreement"), "{log}");
+        assert!(log.contains("overlay written"), "{log}");
+        // An unreachable threshold trips the gate with a typed error.
+        let mut strict = base;
+        let n = strict.len();
+        strict[n - 1] = "1.01".to_string();
+        let err = infer(&Args::parse(&strict).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("parity"), "{err}");
         std::fs::remove_dir_all(dir).unwrap();
     }
 

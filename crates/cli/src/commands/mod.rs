@@ -8,6 +8,7 @@ mod generate;
 mod infer;
 mod info;
 mod plan;
+mod quantize;
 mod serve_bench;
 mod train;
 
@@ -18,6 +19,7 @@ pub use generate::generate;
 pub use infer::infer;
 pub use info::info;
 pub use plan::plan;
+pub use quantize::quantize;
 pub use serve_bench::serve_bench;
 pub use train::train;
 

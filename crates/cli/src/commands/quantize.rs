@@ -1,0 +1,145 @@
+//! `roadseg quantize` — lower an f32 checkpoint to an int8 quantized
+//! checkpoint with calibrated activation scales.
+
+use std::fmt::Write as _;
+
+use sf_dataset::{DatasetConfig, RoadDataset, Sample};
+use sf_quant::QuantizedModel;
+use sf_scene::RoadCategory;
+
+use crate::model_io::load_model;
+use crate::{Args, CliError};
+
+/// Loads `--model`, streams `--calib-samples` seeded synthetic frames
+/// through the f32 plans to record per-boundary activation ranges, and
+/// writes the SFM1 v3 quantized checkpoint to `--out`. The output loads
+/// transparently anywhere an f32 checkpoint does (`eval`, `infer`,
+/// `fleet-bench --deploy-model`), and [`QuantizedModel::load`] restores
+/// the pinned scales so the recompiled int8 plan is bit-identical.
+pub fn quantize(args: &Args) -> Result<String, CliError> {
+    let model_path = args.require("model")?.to_string();
+    let out_path = args.require("out")?.to_string();
+    let calib_samples: usize = args.get_parsed("calib-samples", 8, "integer")?;
+    if calib_samples == 0 {
+        return Err(CliError::Invalid(
+            "quantize needs at least one calibration sample".to_string(),
+        ));
+    }
+    let net = load_model(&model_path)?;
+    // Calibration frames come from the deterministic generator at the
+    // checkpoint's own resolution, so quantize works without a dataset
+    // on disk and two runs produce byte-identical output files.
+    let dataset_config = DatasetConfig {
+        width: net.config().width,
+        height: net.config().height,
+        train_per_category: calib_samples.div_ceil(RoadCategory::ALL.len()).max(1),
+        test_per_category: 0,
+        seed: args.get_parsed("seed", 2022, "integer")?,
+        adverse_fraction: 0.3,
+        traffic_fraction: 0.25,
+    };
+    let data = RoadDataset::generate(&dataset_config);
+    let train = data.train(None);
+    let calib: Vec<&Sample> = train.iter().copied().take(calib_samples).collect();
+    let scheme = net.scheme();
+    let mut bundle = QuantizedModel::from_calibration(net, &calib)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    bundle
+        .save(&out_path)
+        .map_err(|e| CliError::Io(e.to_string()))?;
+
+    let (qb, fb) = (bundle.weight_bytes(), bundle.f32_weight_bytes());
+    let f32_file = std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0);
+    let q_file = std::fs::metadata(&out_path)
+        .map_err(|e| CliError::Io(format!("{out_path}: {e}")))?
+        .len();
+    let mut log = String::new();
+    let _ = writeln!(
+        log,
+        "quantized {scheme} with {} calibration frame(s) ({} activation scales)",
+        calib.len(),
+        bundle.profile().len()
+    );
+    let _ = writeln!(
+        log,
+        "weights      : {fb} B f32 -> {qb} B int8  ({:.2}x smaller)",
+        fb as f64 / qb.max(1) as f64
+    );
+    let _ = writeln!(
+        log,
+        "checkpoint   : {f32_file} B ({model_path}) -> {q_file} B ({out_path})"
+    );
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_io::save_model;
+    use sf_core::{FusionNet, FusionScheme, NetworkConfig};
+
+    fn run(raw: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        quantize(&Args::parse(&raw).unwrap())
+    }
+
+    #[test]
+    fn quantizes_a_checkpoint_reproducibly() {
+        let dir = std::env::temp_dir().join("sf_cli_quantize");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("f32.sfm");
+        let out = dir.join("int8.sfm");
+        let config = NetworkConfig {
+            width: 48,
+            height: 16,
+            stage_channels: vec![3, 4],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 5,
+        };
+        let mut net = FusionNet::new(FusionScheme::AllFilterU, &config).expect("valid config");
+        save_model(&mut net, &model).unwrap();
+        let argv = [
+            "quantize",
+            "--model",
+            model.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--calib-samples",
+            "2",
+        ];
+        let log = run(&argv).unwrap();
+        assert!(log.contains("smaller"), "{log}");
+        let first = std::fs::read(&out).unwrap();
+        run(&argv).unwrap();
+        let second = std::fs::read(&out).unwrap();
+        assert_eq!(first, second, "quantize must be byte-reproducible");
+        // The output round-trips through the quantized loader.
+        assert!(QuantizedModel::load(&out).is_ok());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            run(&["quantize", "--model", "/nope.sfm", "--out", "/tmp/q.sfm"]),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "quantize",
+                "--model",
+                "/nope.sfm",
+                "--out",
+                "/tmp/q.sfm",
+                "--calib-samples",
+                "0"
+            ]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            run(&["quantize", "--model", "/nope.sfm"]),
+            Err(CliError::Args(_))
+        ));
+    }
+}

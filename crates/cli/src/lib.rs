@@ -4,6 +4,8 @@
 //! roadseg generate --out data/ --count 12          # write sample frames
 //! roadseg train    --out model.sfm --scheme au     # train + checkpoint
 //! roadseg eval     --model model.sfm               # KITTI-style metrics
+//! roadseg eval     --model model.sfm --int8        # same, int8 plans
+//! roadseg quantize --model model.sfm --out q.sfm   # int8 checkpoint
 //! roadseg infer    --model model.sfm --rgb f.ppm --depth f.pgm --out o.ppm
 //! roadseg info     --scheme ws                     # architecture summary
 //! roadseg serve-bench --clients 8 --max-batch 8    # batched-serving bench
@@ -84,6 +86,7 @@ COMMANDS:
   generate   render synthetic sample frames (rgb.ppm, depth.pgm, gt.pgm)
   train      train a fusion model and save a checkpoint
   eval       evaluate a checkpoint with the KITTI-style BEV metrics
+  quantize   lower an f32 checkpoint to a calibrated int8 checkpoint
   infer      run a checkpoint on a user-supplied rgb/depth frame pair
   info       print a model's architecture, parameter and MAC summary
   plan       dump a compiled inference plan or check it against the graph path
@@ -104,8 +107,17 @@ FLAGS BY COMMAND:
   eval:     --model <file.sfm> [--test-per-category <n>]
             [--fault <kind[:severity]>] [--fault-seed <u64>]
             [--policy <trust|fallback|camera-only>]
+            [--int8] [--calib-samples <n>]
+            (--int8: calibrate on seeded train frames, evaluate through
+             the int8 compiled plans)
+  quantize: --model <file.sfm> --out <file.sfm> [--calib-samples <n>]
+            (calibrates activation scales on seeded synthetic frames and
+             writes an SFM1 v3 int8 checkpoint; byte-reproducible)
   infer:    --model <file.sfm> --rgb <f.ppm> --depth <f.pgm> --out <overlay.ppm>
             [--policy <trust|fallback|camera-only>]
+            [--int8] [--parity-min <f>]
+            (--int8: also run the int8 plan, report f32/int8 classification
+             agreement, fail below --parity-min, render the int8 overlay)
   info:     [--scheme ...]
   plan:     [--dump] [--check] [--scheme ...] [--smoke]
             (--dump: op list + scratch schedule, both modes; --check: fails
@@ -117,9 +129,11 @@ FLAGS BY COMMAND:
   fleet-bench: [--replicas <n>] [--dispatch <hash|least>] [--clients <n>]
             [--requests <n per client>] [--max-batch <n>] [--max-wait-ms <n>]
             [--queue <n>] [--policy ...] [--smoke] [--kill] [--deploy]
+            [--deploy-model <file.sfm>]
             (--kill: kill + revive a replica mid-run; --deploy: hot-swap a
-             retrained model mid-run; --smoke fails unless every request is
-             served and the fleet ledger reconciles)
+             retrained model mid-run; --deploy-model: hot-swap from a
+             checkpoint file instead, staging one if absent; --smoke fails
+             unless every request is served and the fleet ledger reconciles)
   chaos:    [--seed <u64>] [--scenes <calm:N,corrupt:N,stale:N,panic:N,slow:N,storm:N>]
             [--deadline-ms <n, 0 = none>] [--breaker-threshold <f>]
             [--breaker-window <n>] [--breaker-cooldown <n>] [--no-breaker]

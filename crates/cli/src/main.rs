@@ -37,6 +37,7 @@ fn run(raw: &[String]) -> Result<String, CliError> {
         "infer" => commands::infer(&args),
         "info" => commands::info(&args),
         "plan" => commands::plan(&args),
+        "quantize" => commands::quantize(&args),
         "serve-bench" => commands::serve_bench(&args),
         "fleet-bench" => commands::fleet_bench(&args),
         "chaos" => commands::chaos(&args),

@@ -5,19 +5,31 @@
 //! the architecture (`roadseg-v1 scheme=au width=96 ...`) so a `.sfm`
 //! file can be loaded without the caller repeating every flag. This lives
 //! in `sf-core` (not the CLI) because the serving fleet's hot model swap
-//! ([`Fleet::deploy_checkpoint`]) loads candidate models off the hot path
+//! ([`Fleet::deploy_from_path`]) loads candidate models off the hot path
 //! — checkpoint loading is part of the model layer, not the tooling.
 //!
-//! [`Fleet::deploy_checkpoint`]: ../../sf_serve/struct.Fleet.html#method.deploy_checkpoint
+//! Quantized checkpoints ([`save_quantized_checkpoint`]) add ` quant=int8`
+//! to the manifest, an `act-scales` line pinning every calibrated
+//! activation scale bit-exactly, and store rank-4 conv weights as int8
+//! with per-channel scale blocks in the version-3 SFM1 payload. Loading
+//! one through plain [`load_checkpoint`] transparently dequantizes into an
+//! f32 model; [`load_checkpoint_full`] also recovers the calibration
+//! profile so [`Predictor::compile_int8`](crate::Predictor::compile_int8)
+//! rebuilds the identical int8 plan (integer weight grids survive a
+//! dequantize→requantize round trip exactly).
+//!
+//! [`Fleet::deploy_from_path`]: ../../sf_serve/struct.Fleet.html#method.deploy_from_path
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
 
-use sf_nn::Stateful;
+use sf_nn::{Stateful, TaggedTensor, TensorPayload};
+use sf_tensor::int8::quantize_per_row;
 
 use crate::config::{FusionScheme, NetworkConfig};
 use crate::network::FusionNet;
+use crate::plan::CalibrationProfile;
 
 /// What can go wrong saving or loading a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,8 +120,75 @@ pub fn save_checkpoint(net: &mut FusionNet, path: impl AsRef<Path>) -> Result<()
     Ok(())
 }
 
+/// Saves a quantized model: the manifest gains ` quant=int8`, a second
+/// `act-scales` text line pins every calibrated activation scale by its
+/// exact f32 bit pattern, and the payload is a version-3 tagged SFM1
+/// stream storing every rank-4 conv weight as int8 with per-output-channel
+/// scales (≈4× smaller) and everything else (biases, BatchNorm state, AWN
+/// weights) as f32. Written atomically like [`save_checkpoint`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on any write failure.
+pub fn save_quantized_checkpoint(
+    net: &mut FusionNet,
+    profile: &CalibrationProfile,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let mut line = manifest(net);
+    line.truncate(line.trim_end().len());
+    line.push_str(" quant=int8\n");
+    let mut bytes = line.into_bytes();
+    bytes.extend_from_slice(b"act-scales");
+    for (label, scale) in profile.act_scales() {
+        bytes.extend_from_slice(format!(" {label}={:08x}", scale.to_bits()).as_bytes());
+    }
+    bytes.push(b'\n');
+    let tagged: Vec<TaggedTensor> = net
+        .state_tensors()
+        .into_iter()
+        .map(|t| {
+            if t.rank() == 4 {
+                let shape = t.shape().to_vec();
+                let (data, scales) = quantize_per_row(t.data(), shape[0]);
+                TaggedTensor {
+                    shape,
+                    payload: TensorPayload::I8 { data, scales },
+                }
+            } else {
+                TaggedTensor::from_tensor(&t)
+            }
+        })
+        .collect();
+    sf_nn::write_tagged(&tagged, &mut bytes)?;
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes)
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// A loaded checkpoint: the (f32) model plus, for quantized checkpoints,
+/// the calibration profile whose pinned activation scales rebuild the
+/// identical int8 plan.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// The restored model. Quantized weights arrive dequantized; passing
+    /// them back through the quantizer reproduces the stored int8 grid.
+    pub net: FusionNet,
+    /// `Some` when the file carried an `act-scales` line, i.e. it was
+    /// written by [`save_quantized_checkpoint`].
+    pub profile: Option<CalibrationProfile>,
+}
+
 /// Loads a model from `path`, rebuilding the architecture from the
-/// manifest and restoring all weights and buffers.
+/// manifest and restoring all weights and buffers. Quantized checkpoints
+/// load transparently as f32 models; use [`load_checkpoint_full`] to also
+/// recover their calibration profile.
 ///
 /// # Errors
 ///
@@ -117,6 +196,19 @@ pub fn save_checkpoint(net: &mut FusionNet, path: impl AsRef<Path>) -> Result<()
 /// [`CheckpointError::Invalid`] on a malformed manifest or checkpoint
 /// mismatch.
 pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<FusionNet, CheckpointError> {
+    load_checkpoint_full(path).map(|l| l.net)
+}
+
+/// Like [`load_checkpoint`], but also parses the `act-scales` line a
+/// quantized checkpoint carries into a [`CalibrationProfile`] with every
+/// scale pinned to its stored bit pattern.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on read failures and
+/// [`CheckpointError::Invalid`] on a malformed manifest, malformed
+/// act-scales line, or checkpoint mismatch.
+pub fn load_checkpoint_full(path: impl AsRef<Path>) -> Result<LoadedCheckpoint, CheckpointError> {
     let file = std::fs::File::open(&path)
         .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.as_ref().display())))?;
     let mut reader = BufReader::new(file);
@@ -125,11 +217,36 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<FusionNet, CheckpointEr
     let (scheme, config) = parse_manifest(line.trim_end())?;
     let mut net = FusionNet::new(scheme, &config)
         .map_err(|e| CheckpointError::Invalid(format!("manifest names an invalid network: {e}")))?;
+    let profile = if reader.fill_buf()?.starts_with(b"act-scales") {
+        let mut scales = String::new();
+        reader.read_line(&mut scales)?;
+        Some(parse_act_scales(scales.trim_end())?)
+    } else {
+        None
+    };
     let mut rest = Vec::new();
     reader.read_to_end(&mut rest)?;
     net.load_state(&rest[..])
         .map_err(|e| CheckpointError::Invalid(format!("checkpoint rejected: {e}")))?;
-    Ok(net)
+    Ok(LoadedCheckpoint { net, profile })
+}
+
+/// Parses an `act-scales label=hexbits ...` line into a profile of
+/// pinned scales.
+fn parse_act_scales(line: &str) -> Result<CalibrationProfile, CheckpointError> {
+    let mut profile = CalibrationProfile::new();
+    let mut parts = line.split_whitespace();
+    parts.next(); // the "act-scales" keyword, already matched
+    for part in parts {
+        let (label, bits) = part.split_once('=').ok_or_else(|| {
+            CheckpointError::Invalid(format!("malformed act-scales field {part:?}"))
+        })?;
+        let bits = u32::from_str_radix(bits, 16).map_err(|_| {
+            CheckpointError::Invalid(format!("act-scales {label}: bad f32 bit pattern"))
+        })?;
+        profile.set_scale(label, f32::from_bits(bits));
+    }
+    Ok(profile)
 }
 
 /// Parses the manifest line into (scheme, config).
@@ -218,6 +335,84 @@ mod tests {
         assert!(matches!(
             load_checkpoint("/definitely/not/here.sfm"),
             Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn quantized_checkpoint_rebuilds_the_identical_int8_plan() {
+        use crate::plan::{CompiledPlan, PlanMode};
+        use sf_tensor::TensorRng;
+
+        let config = tiny_config();
+        let mut net = FusionNet::new(FusionScheme::WeightedSharing, &config).expect("valid config");
+        // Calibrate on a seeded frame through both f32 plans.
+        let mut rng = TensorRng::seed_from(101);
+        let rgb = rng.uniform(&[1, 3, config.height, config.width], 0.0, 1.0);
+        let depth = rng.uniform(
+            &[1, config.depth_channels, config.height, config.width],
+            0.0,
+            1.0,
+        );
+        let mut profile = CalibrationProfile::new();
+        CompiledPlan::compile(&net, PlanMode::Fused)
+            .run_batch_observed(&rgb, Some(&depth), &mut |l, d| profile.observe(l, d))
+            .unwrap();
+        let mut cam = CalibrationProfile::new();
+        CompiledPlan::compile(&net, PlanMode::CameraOnly)
+            .run_batch_observed(&rgb, None, &mut |l, d| cam.observe(l, d))
+            .unwrap();
+        profile.merge_max(&cam);
+
+        let mut q1 = CompiledPlan::compile_int8(&net, &profile, PlanMode::Int8).unwrap();
+        let want = q1.run_batch(&rgb, Some(&depth)).unwrap();
+
+        let path = std::env::temp_dir().join("sf_core_quant_checkpoint.sfm");
+        save_quantized_checkpoint(&mut net, &profile, &path).unwrap();
+        let loaded = load_checkpoint_full(&path).unwrap();
+        let restored = loaded.profile.expect("quantized checkpoint carries scales");
+        // Pinned scales reproduce the exact activation grid, and the
+        // dequantized weights requantize to the same integers — the
+        // reloaded int8 plan is bit-identical.
+        let mut net2 = loaded.net;
+        let mut q2 = CompiledPlan::compile_int8(&net2, &restored, PlanMode::Int8).unwrap();
+        let got = q2.run_batch(&rgb, Some(&depth)).unwrap();
+        assert_eq!(got.data(), want.data(), "reload is bit-exact");
+
+        // The quantized file is meaningfully smaller than the f32 one.
+        let fpath = std::env::temp_dir().join("sf_core_quant_checkpoint_f32.sfm");
+        save_checkpoint(&mut net2, &fpath).unwrap();
+        let qsize = std::fs::metadata(&path).unwrap().len();
+        let fsize = std::fs::metadata(&fpath).unwrap().len();
+        assert!(qsize < fsize, "quantized {qsize} vs f32 {fsize}");
+
+        // Plain load_checkpoint sees the same f32 model.
+        let mut plain = load_checkpoint(&path).unwrap();
+        assert_eq!(plain.state_tensors(), net2.state_tensors());
+        std::fs::remove_file(path).unwrap();
+        std::fs::remove_file(fpath).unwrap();
+    }
+
+    #[test]
+    fn act_scales_line_round_trips_bit_patterns() {
+        let mut profile = CalibrationProfile::new();
+        profile.set_scale("enc0.rgb.conv", 0.007_874_016);
+        profile.set_scale("input.rgb", 1.0 / 127.0);
+        let line = {
+            let mut s = String::from("act-scales");
+            for (label, scale) in profile.act_scales() {
+                s.push_str(&format!(" {label}={:08x}", scale.to_bits()));
+            }
+            s
+        };
+        let parsed = parse_act_scales(&line).unwrap();
+        assert_eq!(parsed.act_scales(), profile.act_scales());
+        assert!(matches!(
+            parse_act_scales("act-scales nope"),
+            Err(CheckpointError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_act_scales("act-scales a=zzzz"),
+            Err(CheckpointError::Invalid(_))
         ));
     }
 

@@ -113,9 +113,23 @@ pub fn evaluate_with_report(
     camera: &PinholeCamera,
     options: &EvalOptions,
 ) -> (SegmentationEval, DegradationReport) {
-    let mut predictor = Predictor::compile(net)
+    let predictor = Predictor::compile(net)
         .with_policy(options.policy)
         .with_thresholds(options.thresholds);
+    evaluate_with_predictor(predictor, samples, camera, options)
+}
+
+/// Evaluates an already-compiled [`Predictor`] over `samples` — the entry
+/// point for callers that compile the predictor themselves, e.g. int8
+/// plans via [`Predictor::compile_int8`]. The predictor's own policy and
+/// thresholds route each sample; `options` only controls the metric space
+/// (BEV vs image).
+pub fn evaluate_with_predictor(
+    mut predictor: Predictor,
+    samples: &[&Sample],
+    camera: &PinholeCamera,
+    options: &EvalOptions,
+) -> (SegmentationEval, DegradationReport) {
     let mut prob_maps = Vec::with_capacity(samples.len());
     let mut gt_maps = Vec::with_capacity(samples.len());
     let mut report = DegradationReport {

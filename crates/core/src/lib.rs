@@ -50,13 +50,13 @@ mod trainer;
 
 pub use awn::AuxiliaryWeightNetwork;
 pub use checkpoint::{
-    load_checkpoint, manifest, parse_manifest, save_checkpoint, scheme_code, scheme_from_code,
-    CheckpointError,
+    load_checkpoint, load_checkpoint_full, manifest, parse_manifest, save_checkpoint,
+    save_quantized_checkpoint, scheme_code, scheme_from_code, CheckpointError, LoadedCheckpoint,
 };
 pub use config::{ConfigError, FusionScheme, NetworkConfig, NetworkConfigBuilder};
 pub use eval::{
-    evaluate, evaluate_with_report, predict_probability, BatchPrediction, DegradationReport,
-    EvalOptions,
+    evaluate, evaluate_with_predictor, evaluate_with_report, predict_probability, BatchPrediction,
+    DegradationReport, EvalOptions,
 };
 pub use fd_loss::{fd_loss, fd_loss_raw};
 pub use health::{
@@ -64,7 +64,10 @@ pub use health::{
     HealthIssue, HealthThresholds, InputHealth,
 };
 pub use network::{ForwardOutput, FusionNet};
-pub use plan::{CompiledPlan, PlanMode, Prediction, Predictor};
+pub use plan::{
+    CalibrationProfile, CompiledPlan, PlanMode, Prediction, Predictor, QuantError, INPUT_DEPTH,
+    INPUT_RGB,
+};
 pub use probe::{measure_disparity, measure_disparity_with_null};
 pub use trainer::{train, LrSchedule, OptimizerKind, RecoveryEvent, TrainConfig, TrainReport};
 

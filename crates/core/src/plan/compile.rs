@@ -25,13 +25,15 @@ use std::collections::HashMap;
 use std::fmt;
 
 use sf_nn::BatchNorm2d;
+use sf_tensor::int8::quantize_per_row;
 use sf_tensor::{Conv2dSpec, Tensor};
 
+use super::quant::{CalibrationProfile, QuantError, INPUT_DEPTH, INPUT_RGB};
 use crate::awn::AuxiliaryWeightNetwork;
 use crate::network::{DepthContribution, FusionNet};
 use crate::stage::EncoderStage;
 
-/// Which branch set a plan freezes.
+/// Which branch set a plan freezes, and at what precision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanMode {
     /// Both branches and the configured fusion mechanism.
@@ -39,6 +41,25 @@ pub enum PlanMode {
     /// Only the RGB column: the depth branch, Fusion-filters and AWN are
     /// dead-branch eliminated at compile time.
     CameraOnly,
+    /// [`PlanMode::Fused`] topology with every convolution lowered to
+    /// int8 (per-channel weight scales, calibrated activation scales,
+    /// i32 accumulation). Fusion sums, pooling, AWN and the sigmoid
+    /// head stay f32 — branch mixing happens after dequantization.
+    Int8,
+    /// [`PlanMode::CameraOnly`] topology with int8 convolutions.
+    Int8CameraOnly,
+}
+
+impl PlanMode {
+    /// Whether a plan in this mode consumes the depth input.
+    pub fn needs_depth(self) -> bool {
+        matches!(self, PlanMode::Fused | PlanMode::Int8)
+    }
+
+    /// Whether this mode lowers convolutions to int8.
+    pub fn is_int8(self) -> bool {
+        matches!(self, PlanMode::Int8 | PlanMode::Int8CameraOnly)
+    }
 }
 
 impl fmt::Display for PlanMode {
@@ -46,6 +67,8 @@ impl fmt::Display for PlanMode {
         match self {
             PlanMode::Fused => write!(f, "fused"),
             PlanMode::CameraOnly => write!(f, "camera-only"),
+            PlanMode::Int8 => write!(f, "int8"),
+            PlanMode::Int8CameraOnly => write!(f, "int8-camera-only"),
         }
     }
 }
@@ -144,11 +167,54 @@ pub(crate) struct ConvOp {
     pub geom: ConvGeom,
 }
 
+/// [`ConvOp`] lowered to int8: the weight matrix quantized per output
+/// channel, the input plane quantized with one calibrated activation
+/// scale, products accumulated in i32 and dequantized through
+/// `in_scale · wscale[oc]` before the (still-f32) epilogue.
+#[derive(Debug, Clone)]
+pub(crate) struct QConvOp {
+    pub label: String,
+    pub input: Ref,
+    /// Quantized weights, row-major `[out_c, patch]`.
+    pub wq: Vec<i8>,
+    /// One symmetric weight scale per output channel.
+    pub wscale: Vec<f32>,
+    /// The input activation's calibrated scale.
+    pub in_scale: f32,
+    pub bias: Option<Vec<f32>>,
+    pub bn: Option<BnFold>,
+    pub relu: bool,
+    pub accumulate: Option<Ref>,
+    pub out: usize,
+    pub geom: ConvGeom,
+}
+
+impl QConvOp {
+    /// i8 workspace elements per image: the quantized input plane plus
+    /// the int8 im2col patch matrix.
+    pub fn q_ws(&self) -> usize {
+        self.geom.in_plane() + self.geom.patch() * self.geom.cols()
+    }
+
+    /// i32 accumulator elements per image (one output plane).
+    pub fn acc_ws(&self) -> usize {
+        self.geom.out_plane()
+    }
+
+    /// The in-flight workspace expressed in f32-equivalent elements
+    /// (i8 packs 4 per element, i32 is 1:1) — the unit the scratch
+    /// schedule's peak accounting uses.
+    pub fn ws_f32_equiv(&self) -> usize {
+        self.q_ws().div_ceil(4) + self.acc_ws()
+    }
+}
+
 /// One frozen op. `out` indexes the scratch-slot table after
 /// finalization (value ids during building).
 #[derive(Debug, Clone)]
 pub(crate) enum PlanOp {
     Conv(ConvOp),
+    QConv(QConvOp),
     /// 2×2 stride-2 max pool, optionally accumulating a folded fusion sum
     /// into its output pass. `(c, h, w)` is the *input* geometry.
     MaxPool {
@@ -204,9 +270,10 @@ pub(crate) enum PlanOp {
 }
 
 impl PlanOp {
-    fn out_val(&self) -> usize {
+    pub(crate) fn out_val(&self) -> usize {
         match self {
             PlanOp::Conv(c) => c.out,
+            PlanOp::QConv(c) => c.out,
             PlanOp::MaxPool { out, .. }
             | PlanOp::Upsample { out, .. }
             | PlanOp::AwnWeight { out, .. }
@@ -218,6 +285,7 @@ impl PlanOp {
     fn set_out(&mut self, slot: usize) {
         match self {
             PlanOp::Conv(c) => c.out = slot,
+            PlanOp::QConv(c) => c.out = slot,
             PlanOp::MaxPool { out, .. }
             | PlanOp::Upsample { out, .. }
             | PlanOp::AwnWeight { out, .. }
@@ -226,10 +294,28 @@ impl PlanOp {
         }
     }
 
+    /// The op's label — also the calibration key of the value it writes.
+    pub(crate) fn label(&self) -> &str {
+        match self {
+            PlanOp::Conv(c) => &c.label,
+            PlanOp::QConv(c) => &c.label,
+            PlanOp::MaxPool { label, .. }
+            | PlanOp::Upsample { label, .. }
+            | PlanOp::AwnWeight { label, .. }
+            | PlanOp::MulAdd { label, .. }
+            | PlanOp::Sigmoid { label, .. } => label,
+        }
+    }
+
     /// Every value this op reads (inputs, accumulate and weight operands).
     fn reads(&self) -> Vec<Ref> {
         match self {
             PlanOp::Conv(c) => {
+                let mut v = vec![c.input];
+                v.extend(c.accumulate);
+                v
+            }
+            PlanOp::QConv(c) => {
                 let mut v = vec![c.input];
                 v.extend(c.accumulate);
                 v
@@ -250,6 +336,12 @@ impl PlanOp {
     fn for_each_ref(&mut self, f: &mut impl FnMut(&mut Ref)) {
         match self {
             PlanOp::Conv(c) => {
+                f(&mut c.input);
+                if let Some(a) = &mut c.accumulate {
+                    f(a);
+                }
+            }
+            PlanOp::QConv(c) => {
                 f(&mut c.input);
                 if let Some(a) = &mut c.accumulate {
                     f(a);
@@ -305,6 +397,37 @@ impl PlanOp {
                     oc = g.out_c,
                     oh = g.oh,
                     ow = g.ow,
+                )
+            }
+            PlanOp::QConv(c) => {
+                let g = &c.geom;
+                let mut epi = String::new();
+                if c.bias.is_some() {
+                    epi.push_str(" +bias");
+                }
+                if c.bn.is_some() {
+                    epi.push_str(" +bn");
+                }
+                if c.relu {
+                    epi.push_str(" +relu");
+                }
+                if let Some(a) = c.accumulate {
+                    epi.push_str(&format!(" +acc({a})"));
+                }
+                format!(
+                    "qconv{k}x{k} {label:<14} {input}[{ic}x{ih}x{iw}] -> s{out}[{oc}x{oh}x{ow}] \
+                     i8(s={s:.2e}){epi}",
+                    k = g.k,
+                    label = c.label,
+                    input = c.input,
+                    ic = g.in_c,
+                    ih = g.in_h,
+                    iw = g.in_w,
+                    out = c.out,
+                    oc = g.out_c,
+                    oh = g.oh,
+                    ow = g.ow,
+                    s = c.in_scale,
                 )
             }
             PlanOp::MaxPool {
@@ -547,6 +670,13 @@ pub struct CompiledPlan {
     /// Per-image im2col workspace reservation: the maximum `patch·cols`
     /// over all convolution ops.
     pub(crate) ws_per_image: usize,
+    /// Per-image i8 workspace (quantized input plane + int8 patch
+    /// matrix), the maximum over all int8 convolution ops. Zero on f32
+    /// plans.
+    pub(crate) q_ws_per_image: usize,
+    /// Per-image i32 accumulator workspace, the maximum output plane
+    /// over all int8 convolution ops. Zero on f32 plans.
+    pub(crate) acc_ws_per_image: usize,
     /// Per-op: per-image elements of the value the op writes.
     pub(crate) births: Vec<usize>,
     /// Per-op: per-image sizes of values whose last use is this op.
@@ -559,138 +689,216 @@ pub struct CompiledPlan {
     // Reused run-to-run: the static arena the schedule indexes into.
     pub(crate) slots: Vec<Vec<f32>>,
     pub(crate) workspace: Vec<f32>,
+    pub(crate) qworkspace: Vec<i8>,
+    pub(crate) accworkspace: Vec<i32>,
     pub(crate) last_high_water: usize,
 }
 
+/// Walks the network wiring and emits the full f32 op list; `with_depth`
+/// selects the fused topology vs the camera-only dead-branch-eliminated
+/// one. Returns the builder and the output value id.
+fn build_ops(net: &FusionNet, with_depth: bool) -> (Builder, usize) {
+    let cfg = net.config();
+    let (h0, w0) = (cfg.height, cfg.width);
+    let depth_chw = (cfg.depth_channels, h0, w0);
+    let mut b = Builder::default();
+    let mut fused_maps: Vec<Placed> = Vec::new();
+
+    if !with_depth {
+        let mut r: Placed = (Ref::Rgb, (3, h0, w0));
+        for wire in net.stage_wiring() {
+            let i = wire.index;
+            r = b.encoder(&format!("enc{i}.rgb"), &net.rgb_stages[i], r.0, r.1, None);
+            fused_maps.push(r);
+        }
+    } else {
+        let mut r: Placed = (Ref::Rgb, (3, h0, w0));
+        let mut d: Placed = (Ref::Depth, depth_chw);
+        for wire in net.stage_wiring() {
+            let i = wire.index;
+            let rgb_stage = &net.rgb_stages[i];
+            let depth_stage = if wire.shared {
+                rgb_stage
+            } else {
+                &net.depth_stages[i]
+            };
+            match wire.d_contrib {
+                DepthContribution::Direct => {
+                    // The fusion sum folds into the RGB pool's
+                    // output pass (r_feat + d_feat, reference
+                    // operand order preserved).
+                    let d_feat = b.encoder(&format!("enc{i}.depth"), depth_stage, d.0, d.1, None);
+                    let fused =
+                        b.encoder(&format!("enc{i}.rgb"), rgb_stage, r.0, r.1, Some(d_feat.0));
+                    r = fused;
+                    d = d_feat;
+                }
+                DepthContribution::FilteredD2r => {
+                    let r_feat = b.encoder(&format!("enc{i}.rgb"), rgb_stage, r.0, r.1, None);
+                    let d_feat = b.encoder(&format!("enc{i}.depth"), depth_stage, d.0, d.1, None);
+                    // r_feat rides on the 1×1 filter's output pass
+                    // (filter + r_feat; the reference computes
+                    // r_feat + filter — IEEE addition commutes).
+                    let fused = b.conv(
+                        format!("fuse{i}.d2r"),
+                        d_feat.0,
+                        d_feat.1,
+                        &net.filters_d2r[i],
+                        None,
+                        false,
+                        Some(r_feat.0),
+                    );
+                    let d_next = if wire.reverse_filter {
+                        b.conv(
+                            format!("fuse{i}.r2d"),
+                            r_feat.0,
+                            r_feat.1,
+                            &net.filters_r2d[i],
+                            None,
+                            false,
+                            Some(d_feat.0),
+                        )
+                    } else {
+                        d_feat
+                    };
+                    r = fused;
+                    d = d_next;
+                }
+                DepthContribution::AwnWeighted => {
+                    let r_feat = b.encoder(&format!("enc{i}.rgb"), rgb_stage, r.0, r.1, None);
+                    let d_feat = b.encoder(&format!("enc{i}.depth"), depth_stage, d.0, d.1, None);
+                    let awn = net.awn.as_ref().expect("WS always builds an AWN");
+                    let wv =
+                        b.awn_weight(format!("fuse{i}.awn"), awn, r_feat.0, d_feat.0, r_feat.1);
+                    let elems = r_feat.1 .0 * r_feat.1 .1 * r_feat.1 .2;
+                    let fused = b.mul_add(format!("fuse{i}.sum"), r_feat.0, d_feat.0, wv, elems);
+                    r = (fused, r_feat.1);
+                    d = d_feat;
+                }
+            }
+            fused_maps.push(r);
+        }
+    }
+
+    // Decoder with additive skips, then the 1×1 head and the
+    // probability sigmoid — identical for both modes.
+    let stages = fused_maps.len();
+    let (mut x, mut chw) = *fused_maps.last().expect("at least one stage");
+    for (k, dec) in net.decoder.iter().enumerate() {
+        let (up, up_chw) = b.upsample(format!("dec{k}.up"), x, chw);
+        // The skip sum rides on the decoder conv's output pass, after
+        // its ReLU (matching the graph's relu-then-add order).
+        let skip = (k < stages - 1).then(|| fused_maps[stages - 2 - k].0);
+        let (cv, cchw) = b.conv(
+            format!("dec{k}.conv"),
+            up,
+            up_chw,
+            &dec.conv,
+            Some(&dec.bn),
+            true,
+            skip,
+        );
+        x = cv;
+        chw = cchw;
+    }
+    let (hx, hchw) = b.conv("head".into(), x, chw, &net.head, None, false, None);
+    let out_val = b.sigmoid("sigmoid".into(), hx, hchw.0 * hchw.1 * hchw.2);
+    (b, out_val)
+}
+
+/// Rewrites every [`PlanOp::Conv`] into a [`PlanOp::QConv`]: weights are
+/// quantized per output channel on the spot; the input activation scale
+/// is looked up in `profile` under the label of the value's producer
+/// (`input.rgb` / `input.depth` for the external inputs).
+fn quantize_ops(ops: &mut [PlanOp], profile: &CalibrationProfile) -> Result<(), QuantError> {
+    // Pre-finalize, `out` fields are unique value ids — map them to the
+    // producing op's label so a conv can name its input activation.
+    let producer: HashMap<usize, String> = ops
+        .iter()
+        .map(|op| (op.out_val(), op.label().to_string()))
+        .collect();
+    for op in ops.iter_mut() {
+        let PlanOp::Conv(c) = op else { continue };
+        let in_label = match c.input {
+            Ref::Rgb => INPUT_RGB.to_string(),
+            Ref::Depth => INPUT_DEPTH.to_string(),
+            Ref::Slot(v) => producer[&v].clone(),
+        };
+        let in_scale = profile
+            .act_scale(&in_label)
+            .ok_or(QuantError::MissingScale(in_label))?;
+        let (wq, wscale) = quantize_per_row(c.wmat.data(), c.geom.out_c);
+        *op = PlanOp::QConv(QConvOp {
+            label: c.label.clone(),
+            input: c.input,
+            wq,
+            wscale,
+            in_scale,
+            bias: c.bias.clone(),
+            bn: c.bn.clone(),
+            relu: c.relu,
+            accumulate: c.accumulate,
+            out: c.out,
+            geom: c.geom,
+        });
+    }
+    Ok(())
+}
+
 impl CompiledPlan {
-    /// Freezes `net` into a plan for `mode`.
+    /// Freezes `net` into a plan for an f32 `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is an int8 mode — those carry calibration data,
+    /// use [`CompiledPlan::compile_int8`].
     pub fn compile(net: &FusionNet, mode: PlanMode) -> CompiledPlan {
+        assert!(
+            !mode.is_int8(),
+            "int8 plans need a calibration profile — use CompiledPlan::compile_int8"
+        );
         let cfg = net.config();
         let (h0, w0) = (cfg.height, cfg.width);
-        let depth_chw = (cfg.depth_channels, h0, w0);
-        let mut b = Builder::default();
-        let mut fused_maps: Vec<Placed> = Vec::new();
+        let (b, out_val) = build_ops(net, mode.needs_depth());
+        finalize(
+            mode,
+            b,
+            (3, h0, w0),
+            (cfg.depth_channels, h0, w0),
+            out_val,
+            (h0, w0),
+        )
+    }
 
-        match mode {
-            PlanMode::CameraOnly => {
-                let mut r: Placed = (Ref::Rgb, (3, h0, w0));
-                for wire in net.stage_wiring() {
-                    let i = wire.index;
-                    r = b.encoder(&format!("enc{i}.rgb"), &net.rgb_stages[i], r.0, r.1, None);
-                    fused_maps.push(r);
-                }
-            }
-            PlanMode::Fused => {
-                let mut r: Placed = (Ref::Rgb, (3, h0, w0));
-                let mut d: Placed = (Ref::Depth, depth_chw);
-                for wire in net.stage_wiring() {
-                    let i = wire.index;
-                    let rgb_stage = &net.rgb_stages[i];
-                    let depth_stage = if wire.shared {
-                        rgb_stage
-                    } else {
-                        &net.depth_stages[i]
-                    };
-                    match wire.d_contrib {
-                        DepthContribution::Direct => {
-                            // The fusion sum folds into the RGB pool's
-                            // output pass (r_feat + d_feat, reference
-                            // operand order preserved).
-                            let d_feat =
-                                b.encoder(&format!("enc{i}.depth"), depth_stage, d.0, d.1, None);
-                            let fused = b.encoder(
-                                &format!("enc{i}.rgb"),
-                                rgb_stage,
-                                r.0,
-                                r.1,
-                                Some(d_feat.0),
-                            );
-                            r = fused;
-                            d = d_feat;
-                        }
-                        DepthContribution::FilteredD2r => {
-                            let r_feat =
-                                b.encoder(&format!("enc{i}.rgb"), rgb_stage, r.0, r.1, None);
-                            let d_feat =
-                                b.encoder(&format!("enc{i}.depth"), depth_stage, d.0, d.1, None);
-                            // r_feat rides on the 1×1 filter's output pass
-                            // (filter + r_feat; the reference computes
-                            // r_feat + filter — IEEE addition commutes).
-                            let fused = b.conv(
-                                format!("fuse{i}.d2r"),
-                                d_feat.0,
-                                d_feat.1,
-                                &net.filters_d2r[i],
-                                None,
-                                false,
-                                Some(r_feat.0),
-                            );
-                            let d_next = if wire.reverse_filter {
-                                b.conv(
-                                    format!("fuse{i}.r2d"),
-                                    r_feat.0,
-                                    r_feat.1,
-                                    &net.filters_r2d[i],
-                                    None,
-                                    false,
-                                    Some(d_feat.0),
-                                )
-                            } else {
-                                d_feat
-                            };
-                            r = fused;
-                            d = d_next;
-                        }
-                        DepthContribution::AwnWeighted => {
-                            let r_feat =
-                                b.encoder(&format!("enc{i}.rgb"), rgb_stage, r.0, r.1, None);
-                            let d_feat =
-                                b.encoder(&format!("enc{i}.depth"), depth_stage, d.0, d.1, None);
-                            let awn = net.awn.as_ref().expect("WS always builds an AWN");
-                            let wv = b.awn_weight(
-                                format!("fuse{i}.awn"),
-                                awn,
-                                r_feat.0,
-                                d_feat.0,
-                                r_feat.1,
-                            );
-                            let elems = r_feat.1 .0 * r_feat.1 .1 * r_feat.1 .2;
-                            let fused =
-                                b.mul_add(format!("fuse{i}.sum"), r_feat.0, d_feat.0, wv, elems);
-                            r = (fused, r_feat.1);
-                            d = d_feat;
-                        }
-                    }
-                    fused_maps.push(r);
-                }
-            }
+    /// Freezes `net` into an int8 plan: identical topology to the f32
+    /// plan of the same branch set, with every convolution lowered to
+    /// quantized weights and the activation scales taken from `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::NotAnInt8Mode`] for an f32 `mode` and
+    /// [`QuantError::MissingScale`] if the profile does not cover every
+    /// conv input in this topology.
+    pub fn compile_int8(
+        net: &FusionNet,
+        profile: &CalibrationProfile,
+        mode: PlanMode,
+    ) -> Result<CompiledPlan, QuantError> {
+        if !mode.is_int8() {
+            return Err(QuantError::NotAnInt8Mode(mode.to_string()));
         }
-
-        // Decoder with additive skips, then the 1×1 head and the
-        // probability sigmoid — identical for both modes.
-        let stages = fused_maps.len();
-        let (mut x, mut chw) = *fused_maps.last().expect("at least one stage");
-        for (k, dec) in net.decoder.iter().enumerate() {
-            let (up, up_chw) = b.upsample(format!("dec{k}.up"), x, chw);
-            // The skip sum rides on the decoder conv's output pass, after
-            // its ReLU (matching the graph's relu-then-add order).
-            let skip = (k < stages - 1).then(|| fused_maps[stages - 2 - k].0);
-            let (cv, cchw) = b.conv(
-                format!("dec{k}.conv"),
-                up,
-                up_chw,
-                &dec.conv,
-                Some(&dec.bn),
-                true,
-                skip,
-            );
-            x = cv;
-            chw = cchw;
-        }
-        let (hx, hchw) = b.conv("head".into(), x, chw, &net.head, None, false, None);
-        let out_val = b.sigmoid("sigmoid".into(), hx, hchw.0 * hchw.1 * hchw.2);
-
-        finalize(mode, b, (3, h0, w0), depth_chw, out_val, (h0, w0))
+        let cfg = net.config();
+        let (h0, w0) = (cfg.height, cfg.width);
+        let (mut b, out_val) = build_ops(net, mode.needs_depth());
+        quantize_ops(&mut b.ops, profile)?;
+        Ok(finalize(
+            mode,
+            b,
+            (3, h0, w0),
+            (cfg.depth_channels, h0, w0),
+            out_val,
+            (h0, w0),
+        ))
     }
 
     /// The mode this plan was compiled for.
@@ -713,11 +921,31 @@ impl CompiledPlan {
         self.depth_chw
     }
 
-    /// Total scratch reservation per image, in f32 elements: every slot
-    /// plus the shared im2col workspace. The executor allocates exactly
-    /// `n ×` this for a batch of `n` — no free-list search at run time.
+    /// Total scratch reservation per image, in f32-equivalent elements:
+    /// every slot plus the shared im2col workspace (and, on int8 plans,
+    /// the i8/i32 workspaces at 4 i8 per element, 1 i32 per element).
+    /// The executor allocates exactly `n ×` this for a batch of `n` —
+    /// no free-list search at run time.
     pub fn reservation_per_image(&self) -> usize {
-        self.slot_sizes.iter().sum::<usize>() + self.ws_per_image
+        self.slot_sizes.iter().sum::<usize>()
+            + self.ws_per_image
+            + self.q_ws_per_image.div_ceil(4)
+            + self.acc_ws_per_image
+    }
+
+    /// Bytes of convolution weights this plan carries: `4 ×` the matrix
+    /// elements on f32 plans; quantized data plus the per-channel f32
+    /// scale block on int8 plans. The quantity the `exp_quant` weight
+    /// size comparison reports.
+    pub fn weight_bytes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                PlanOp::Conv(c) => c.wmat.data().len() * 4,
+                PlanOp::QConv(c) => c.wq.len() + c.wscale.len() * 4,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Exact peak of simultaneously-live values (plus the in-flight conv
@@ -748,7 +976,7 @@ impl fmt::Display for CompiledPlan {
             f,
             "plan({mode}): rgb [{rc}x{rh}x{rw}]{depth}, {ops} ops",
             mode = self.mode,
-            depth = if self.mode == PlanMode::Fused {
+            depth = if self.mode.needs_depth() {
                 format!(" + depth [{dc}x{rh}x{rw}]")
             } else {
                 String::new()
@@ -773,6 +1001,16 @@ impl fmt::Display for CompiledPlan {
             self.ws_per_image,
             self.ws_per_image as f64 * 4.0 / 1024.0
         )?;
+        if self.mode.is_int8() {
+            writeln!(
+                f,
+                "  i8 workspace {:>5} elems ({:.1} KiB), i32 accumulators {} elems ({:.1} KiB)",
+                self.q_ws_per_image,
+                self.q_ws_per_image as f64 / 1024.0,
+                self.acc_ws_per_image,
+                self.acc_ws_per_image as f64 * 4.0 / 1024.0
+            )?;
+        }
         writeln!(
             f,
             "  reservation {} elems ({:.1} KiB), peak live {} elems ({:.1} KiB)",
@@ -815,6 +1053,8 @@ fn finalize(
     let mut births = Vec::with_capacity(ops.len());
     let mut deaths: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
     let mut ws_per_image = 0usize;
+    let mut q_ws_per_image = 0usize;
+    let mut acc_ws_per_image = 0usize;
     let mut live = 0usize;
     let mut peak = 0usize;
     for j in 0..ops.len() {
@@ -830,12 +1070,18 @@ fn finalize(
         val_slot[v] = slot;
         births.push(elems);
         live += elems;
-        let ws = if let PlanOp::Conv(c) = &ops[j] {
-            c.geom.patch() * c.geom.cols()
-        } else {
-            0
+        let ws = match &ops[j] {
+            PlanOp::Conv(c) => c.geom.patch() * c.geom.cols(),
+            PlanOp::QConv(c) => {
+                q_ws_per_image = q_ws_per_image.max(c.q_ws());
+                acc_ws_per_image = acc_ws_per_image.max(c.acc_ws());
+                c.ws_f32_equiv()
+            }
+            _ => 0,
         };
-        ws_per_image = ws_per_image.max(ws);
+        if matches!(&ops[j], PlanOp::Conv(_)) {
+            ws_per_image = ws_per_image.max(ws);
+        }
         peak = peak.max(live + ws);
         // Free after allocating the output: no intra-op aliasing.
         let mut dying: Vec<usize> = ops[j]
@@ -872,6 +1118,8 @@ fn finalize(
         ops,
         slot_sizes,
         ws_per_image,
+        q_ws_per_image,
+        acc_ws_per_image,
         births,
         deaths,
         rgb_chw,
@@ -881,6 +1129,8 @@ fn finalize(
         peak_live_per_image: peak,
         slots: vec![Vec::new(); slot_count],
         workspace: Vec::new(),
+        qworkspace: Vec::new(),
+        accworkspace: Vec::new(),
         last_high_water: 0,
     }
 }

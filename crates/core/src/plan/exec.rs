@@ -7,9 +7,11 @@
 //! epilogues, folded sums) the deviation is restricted to *where* a value
 //! is computed, never to the sequence of operations that produce it.
 
+use sf_tensor::int8::{im2col_i8_into, matmul_i8_into, quantize_i8};
 use sf_tensor::{im2col_into, matmul_into, matmul_transpose_b, Tensor, TensorError};
 
-use super::compile::{CompiledPlan, ConvOp, PlanMode, PlanOp, Ref};
+use super::compile::{CompiledPlan, ConvOp, PlanOp, QConvOp, Ref};
+use super::quant::{INPUT_DEPTH, INPUT_RGB};
 
 /// Bit-for-bit the same function as the autograd graph's private
 /// `stable_sigmoid` (crates/autograd/src/graph.rs) — the plan's
@@ -35,6 +37,21 @@ impl<T> SyncPtr<T> {
     fn get(&self) -> *mut T {
         self.0
     }
+}
+
+/// The observation hook `run_batch_observed` threads through execution:
+/// called with each op label and its freshly written output.
+type Observer<'a> = &'a mut dyn FnMut(&str, &[f32]);
+
+/// The plan's statically reserved scratch buffers, threaded to each op:
+/// per-image f32 im2col regions plus the i8/i32 regions int8 convs use.
+struct Workspaces<'a> {
+    f32_buf: &'a mut [f32],
+    f32_per_image: usize,
+    q_buf: &'a mut [i8],
+    q_per_image: usize,
+    acc_buf: &'a mut [i32],
+    acc_per_image: usize,
 }
 
 /// Resolves a value reference against the external inputs and the slot
@@ -67,6 +84,34 @@ impl CompiledPlan {
         rgb: &Tensor,
         depth: Option<&Tensor>,
     ) -> Result<Tensor, TensorError> {
+        self.run_batch_inner(rgb, depth, None)
+    }
+
+    /// Like [`run_batch`](CompiledPlan::run_batch), but calls `observe`
+    /// with `(label, data)` for the external inputs (`input.rgb`,
+    /// `input.depth`) and then for every op's freshly written output,
+    /// in execution order — the hook the int8 calibration pass streams
+    /// activation ranges through. Observation never changes the
+    /// computation; results stay bit-identical to `run_batch`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_batch`](CompiledPlan::run_batch).
+    pub fn run_batch_observed(
+        &mut self,
+        rgb: &Tensor,
+        depth: Option<&Tensor>,
+        observe: Observer<'_>,
+    ) -> Result<Tensor, TensorError> {
+        self.run_batch_inner(rgb, depth, Some(observe))
+    }
+
+    fn run_batch_inner(
+        &mut self,
+        rgb: &Tensor,
+        depth: Option<&Tensor>,
+        mut observe: Option<Observer<'_>>,
+    ) -> Result<Tensor, TensorError> {
         let (rc, rh, rw) = self.rgb_chw;
         let n = match rgb.shape() {
             [n, c, h, w] if *c == rc && *h == rh && *w == rw && *n > 0 => *n,
@@ -79,7 +124,7 @@ impl CompiledPlan {
                 })
             }
         };
-        let depth_data = if self.mode() == PlanMode::Fused {
+        let depth_data = if self.mode().needs_depth() {
             let (dc, dh, dw) = self.depth_chw;
             let d = depth.ok_or_else(|| TensorError::InvalidGeometry {
                 op: "plan::run_batch",
@@ -101,6 +146,12 @@ impl CompiledPlan {
             None
         };
         let rgb_data = rgb.data();
+        if let Some(obs) = observe.as_deref_mut() {
+            obs(INPUT_RGB, rgb_data);
+            if let Some(d) = depth_data {
+                obs(INPUT_DEPTH, d);
+            }
+        }
 
         // Static reservation: one resize against the schedule, no
         // free-list search per op.
@@ -108,25 +159,52 @@ impl CompiledPlan {
         if self.workspace.len() != ws_need {
             self.workspace.resize(ws_need, 0.0);
         }
+        let q_ws_need = n * self.q_ws_per_image;
+        if self.qworkspace.len() != q_ws_need {
+            self.qworkspace.resize(q_ws_need, 0);
+        }
+        let acc_ws_need = n * self.acc_ws_per_image;
+        if self.accworkspace.len() != acc_ws_need {
+            self.accworkspace.resize(acc_ws_need, 0);
+        }
 
         // Disjoint field borrows: the op list stays in place (a panic
         // mid-batch must leave the plan reusable) while the slot arena
         // and workspace are threaded through the kernels mutably.
         let ws_per_image = self.ws_per_image;
+        let q_ws_per_image = self.q_ws_per_image;
+        let acc_ws_per_image = self.acc_ws_per_image;
         let mut live = 0usize;
         let mut high = 0usize;
         {
             let ops = &self.ops;
             let slots = &mut self.slots;
             let workspace = &mut self.workspace;
+            let qworkspace = &mut self.qworkspace;
+            let accworkspace = &mut self.accworkspace;
             for (j, op) in ops.iter().enumerate() {
                 live += n * self.births[j];
-                if let PlanOp::Conv(c) = op {
-                    high = high.max(live + n * c.geom.patch() * c.geom.cols());
-                } else {
-                    high = high.max(live);
+                match op {
+                    PlanOp::Conv(c) => {
+                        high = high.max(live + n * c.geom.patch() * c.geom.cols());
+                    }
+                    PlanOp::QConv(c) => {
+                        high = high.max(live + n * c.ws_f32_equiv());
+                    }
+                    _ => high = high.max(live),
                 }
-                exec_op(op, n, rgb_data, depth_data, slots, workspace, ws_per_image);
+                let ws = Workspaces {
+                    f32_buf: workspace,
+                    f32_per_image: ws_per_image,
+                    q_buf: qworkspace,
+                    q_per_image: q_ws_per_image,
+                    acc_buf: accworkspace,
+                    acc_per_image: acc_ws_per_image,
+                };
+                exec_op(op, n, rgb_data, depth_data, slots, ws);
+                if let Some(obs) = observe.as_deref_mut() {
+                    obs(op.label(), &slots[op.out_val()]);
+                }
                 live -= n * self.deaths[j].iter().sum::<usize>();
             }
         }
@@ -138,18 +216,17 @@ impl CompiledPlan {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn exec_op(
     op: &PlanOp,
     n: usize,
     rgb: &[f32],
     depth: Option<&[f32]>,
     slots: &mut [Vec<f32>],
-    workspace: &mut [f32],
-    ws_per_image: usize,
+    ws: Workspaces<'_>,
 ) {
     match op {
-        PlanOp::Conv(c) => exec_conv(c, n, rgb, depth, slots, workspace, ws_per_image),
+        PlanOp::Conv(c) => exec_conv(c, n, rgb, depth, slots, ws.f32_buf, ws.f32_per_image),
+        PlanOp::QConv(c) => exec_qconv(c, n, rgb, depth, slots, ws),
         PlanOp::MaxPool {
             input,
             out,
@@ -365,6 +442,105 @@ fn exec_conv(
             0,
         );
         matmul_into(wm, cb, dst, g.out_c, patch, cols);
+        if let Some(bias) = &op.bias {
+            for (oc, &bv) in bias.iter().enumerate() {
+                for v in &mut dst[oc * cols..(oc + 1) * cols] {
+                    *v += bv;
+                }
+            }
+        }
+        if let Some(bn) = &op.bn {
+            for oc in 0..g.out_c {
+                let (m, s, ga, be) = (bn.mean[oc], bn.scale[oc], bn.gamma[oc], bn.beta[oc]);
+                for v in &mut dst[oc * cols..(oc + 1) * cols] {
+                    *v = ((*v - m) * s) * ga + be;
+                }
+            }
+        }
+        if op.relu {
+            for v in dst.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        if let Some(a) = acc {
+            for (v, &av) in dst
+                .iter_mut()
+                .zip(&a[img * out_plane..(img + 1) * out_plane])
+            {
+                *v += av;
+            }
+        }
+    });
+    slots[op.out] = out;
+}
+
+/// The int8 convolution kernel. Per image: quantize the input plane with
+/// the calibrated activation scale, unfold it with the i8 `im2col`,
+/// multiply against the per-channel-quantized weights in i32, dequantize
+/// through `in_scale · wscale[oc]`, then run the identical f32 epilogue
+/// as [`exec_conv`] (`+bias`, folded BatchNorm, ReLU, `+accumulate`).
+///
+/// i32 accumulation is exactly associative, so outputs are bit-identical
+/// run to run regardless of thread count or tiling — int8 plans are
+/// reproducible by construction.
+fn exec_qconv(
+    op: &QConvOp,
+    n: usize,
+    rgb: &[f32],
+    depth: Option<&[f32]>,
+    slots: &mut [Vec<f32>],
+    ws: Workspaces<'_>,
+) {
+    let g = op.geom;
+    let in_plane = g.in_plane();
+    let out_plane = g.out_plane();
+    let (patch, cols) = (g.patch(), g.cols());
+    let mut out = std::mem::take(&mut slots[op.out]);
+    out.clear();
+    out.resize(n * out_plane, 0.0);
+    let input = resolve(op.input, rgb, depth, slots);
+    let acc = op.accumulate.map(|r| resolve(r, rgb, depth, slots));
+    let q_per_image = ws.q_per_image;
+    let acc_per_image = ws.acc_per_image;
+    let q_ptr = SyncPtr(ws.q_buf.as_mut_ptr());
+    let acc_ptr = SyncPtr(ws.acc_buf.as_mut_ptr());
+    sf_runtime::parallel_chunks_mut(&mut out, out_plane, |img, dst| {
+        // SAFETY: image `img` exclusively owns the i8 region
+        // `[img · q_per_image, img · q_per_image + in_plane + patch·cols)`
+        // and the i32 region `[img · acc_per_image, … + out_plane)`;
+        // regions of distinct images are disjoint and the per-image
+        // reservations cover every int8 conv in the plan.
+        let qregion = unsafe {
+            std::slice::from_raw_parts_mut(
+                q_ptr.get().add(img * q_per_image),
+                in_plane + patch * cols,
+            )
+        };
+        let accbuf = unsafe {
+            std::slice::from_raw_parts_mut(acc_ptr.get().add(img * acc_per_image), out_plane)
+        };
+        let (qimg, qcols) = qregion.split_at_mut(in_plane);
+        quantize_i8(
+            &input[img * in_plane..(img + 1) * in_plane],
+            op.in_scale,
+            qimg,
+        );
+        // im2col leaves padding taps untouched — pre-zero the region.
+        qcols.fill(0);
+        im2col_i8_into(
+            qimg, g.in_c, g.in_h, g.in_w, g.k, g.k, g.spec, qcols, cols, 0,
+        );
+        accbuf.fill(0);
+        matmul_i8_into(&op.wq, qcols, accbuf, g.out_c, patch, cols);
+        for oc in 0..g.out_c {
+            let mul = op.in_scale * op.wscale[oc];
+            for (v, &a) in dst[oc * cols..(oc + 1) * cols]
+                .iter_mut()
+                .zip(&accbuf[oc * cols..(oc + 1) * cols])
+            {
+                *v = a as f32 * mul;
+            }
+        }
         if let Some(bias) = &op.bias {
             for (oc, &bv) in bias.iter().enumerate() {
                 for v in &mut dst[oc * cols..(oc + 1) * cols] {

@@ -37,8 +37,10 @@
 
 mod compile;
 mod exec;
+mod quant;
 
 pub use compile::{CompiledPlan, PlanMode};
+pub use quant::{CalibrationProfile, QuantError, INPUT_DEPTH, INPUT_RGB};
 
 use sf_tensor::{Tensor, TensorError};
 
@@ -83,6 +85,29 @@ impl Predictor {
         }
     }
 
+    /// Freezes `net` into an int8 predictor: both plans are lowered to
+    /// quantized convolutions using the activation scales in `profile`
+    /// (see [`CalibrationProfile`]). Routing, health screening and the
+    /// fusion arithmetic stay identical to the f32 predictor — only the
+    /// convolutions run in int8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::MissingScale`] if the profile lacks a scale
+    /// for any activation either plan quantizes — calibrate through both
+    /// the fused and the camera-only plan (or merge their profiles).
+    pub fn compile_int8(
+        net: &FusionNet,
+        profile: &CalibrationProfile,
+    ) -> Result<Predictor, QuantError> {
+        Ok(Predictor {
+            fused: CompiledPlan::compile_int8(net, profile, PlanMode::Int8)?,
+            camera_only: CompiledPlan::compile_int8(net, profile, PlanMode::Int8CameraOnly)?,
+            policy: DegradationPolicy::default(),
+            thresholds: HealthThresholds::default(),
+        })
+    }
+
     /// Returns this predictor with a different degradation policy.
     pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
         self.policy = policy;
@@ -106,10 +131,13 @@ impl Predictor {
     }
 
     /// The underlying plan for `mode` (e.g. for dumping its schedule).
+    /// Int8 modes map onto the same two slots: a predictor holds either
+    /// two f32 plans or two int8 plans, never a mix.
     pub fn plan(&self, mode: PlanMode) -> &CompiledPlan {
-        match mode {
-            PlanMode::Fused => &self.fused,
-            PlanMode::CameraOnly => &self.camera_only,
+        if mode.needs_depth() {
+            &self.fused
+        } else {
+            &self.camera_only
         }
     }
 
@@ -447,6 +475,208 @@ mod tests {
             assert_eq!(slot.quarantined.is_some(), i == 2, "only slot 2 degrades");
             assert_eq!(slot.prob.data(), single.prob.data(), "slot {i} bits");
         }
+    }
+
+    /// Calibrates `net` on a couple of seeded frames through both f32
+    /// plans, merged so one profile covers fused and camera-only.
+    fn calibrated_profile(
+        net: &FusionNet,
+        config: &NetworkConfig,
+        seed: u64,
+    ) -> CalibrationProfile {
+        let mut rng = TensorRng::seed_from(seed);
+        let rgb = rng.uniform(&[2, 3, config.height, config.width], 0.0, 1.0);
+        let depth = rng.uniform(
+            &[2, config.depth_channels, config.height, config.width],
+            0.0,
+            1.0,
+        );
+        let mut profile = CalibrationProfile::new();
+        let mut fused = CompiledPlan::compile(net, PlanMode::Fused);
+        fused
+            .run_batch_observed(&rgb, Some(&depth), &mut |label, data| {
+                profile.observe(label, data);
+            })
+            .expect("calibration pass");
+        let mut camera = CompiledPlan::compile(net, PlanMode::CameraOnly);
+        let mut cam_profile = CalibrationProfile::new();
+        camera
+            .run_batch_observed(&rgb, None, &mut |label, data| {
+                cam_profile.observe(label, data);
+            })
+            .expect("camera calibration pass");
+        profile.merge_max(&cam_profile);
+        profile
+    }
+
+    #[test]
+    fn int8_plan_tracks_f32_and_reproduces_bit_for_bit() {
+        let config = NetworkConfig::tiny();
+        for (s, scheme) in ALL_SCHEMES.into_iter().enumerate() {
+            let net = warmed_net(scheme, &config, 60 + s as u64);
+            let profile = calibrated_profile(&net, &config, 160 + s as u64);
+            let mut rng = TensorRng::seed_from(260 + s as u64);
+            let rgb = rng.uniform(&[2, 3, config.height, config.width], 0.0, 1.0);
+            let depth = rng.uniform(
+                &[2, config.depth_channels, config.height, config.width],
+                0.0,
+                1.0,
+            );
+
+            let mut f32_plan = CompiledPlan::compile(&net, PlanMode::Fused);
+            let want = f32_plan.run_batch(&rgb, Some(&depth)).expect("f32 plan");
+            let mut q =
+                CompiledPlan::compile_int8(&net, &profile, PlanMode::Int8).expect("int8 compile");
+            let got = q.run_batch(&rgb, Some(&depth)).expect("int8 plan");
+            assert_eq!(got.shape(), want.shape(), "{scheme}");
+
+            // Probabilities agree to quantization noise: per-pixel road
+            // classification at 0.5 matches on nearly every pixel.
+            let total = want.data().len();
+            let agree = got
+                .data()
+                .iter()
+                .zip(want.data())
+                .filter(|(g, w)| (**g >= 0.5) == (**w >= 0.5))
+                .count();
+            assert!(
+                agree as f64 >= 0.95 * total as f64,
+                "{scheme}: only {agree}/{total} pixels agree"
+            );
+
+            // i32 accumulation is exactly associative: reruns and
+            // recompiles are bit-identical.
+            let again = q.run_batch(&rgb, Some(&depth)).expect("int8 rerun");
+            assert_eq!(got.data(), again.data(), "{scheme} rerun");
+            let mut q2 =
+                CompiledPlan::compile_int8(&net, &profile, PlanMode::Int8).expect("int8 recompile");
+            let fresh = q2
+                .run_batch(&rgb, Some(&depth))
+                .expect("int8 recompile run");
+            assert_eq!(got.data(), fresh.data(), "{scheme} recompile");
+        }
+    }
+
+    #[test]
+    fn int8_predictor_routes_like_f32() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::WeightedSharing, &config, 71);
+        let profile = calibrated_profile(&net, &config, 72);
+        let mut rng = TensorRng::seed_from(73);
+        let rgb = rng.uniform(&[3, config.height, config.width], 0.0, 1.0);
+        let depth = rng.uniform(
+            &[config.depth_channels, config.height, config.width],
+            0.0,
+            1.0,
+        );
+        let mut p = Predictor::compile_int8(&net, &profile)
+            .expect("int8 predictor")
+            .with_policy(DegradationPolicy::CameraFallback);
+        let healthy = p.run(&rgb, &depth).expect("healthy frame");
+        assert_eq!(healthy.quarantined, None);
+        let dead = Tensor::zeros(depth.shape());
+        let degraded = p.run(&rgb, &dead).expect("dead depth frame");
+        assert_eq!(degraded.quarantined, Some(HealthIssue::ZeroEnergy));
+        assert_ne!(healthy.prob.data(), degraded.prob.data());
+        // plan() maps int8 modes onto the same two slots.
+        assert!(p.plan(PlanMode::Int8).to_string().contains("int8"));
+        assert!(p
+            .plan(PlanMode::Int8CameraOnly)
+            .to_string()
+            .contains("int8-camera-only"));
+    }
+
+    #[test]
+    fn int8_reservation_bounds_high_water() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::WeightedSharing, &config, 81);
+        let profile = calibrated_profile(&net, &config, 82);
+        let mut rng = TensorRng::seed_from(83);
+        for mode in [PlanMode::Int8, PlanMode::Int8CameraOnly] {
+            let mut plan = CompiledPlan::compile_int8(&net, &profile, mode).expect("int8 plan");
+            assert!(plan.peak_live_per_image() <= plan.reservation_per_image());
+            for n in [1usize, 2] {
+                let rgb = rng.uniform(&[n, 3, config.height, config.width], 0.0, 1.0);
+                let depth = rng.uniform(
+                    &[n, config.depth_channels, config.height, config.width],
+                    0.0,
+                    1.0,
+                );
+                let d = mode.needs_depth().then_some(&depth);
+                plan.run_batch(&rgb, d).expect("plan runs");
+                assert!(
+                    plan.last_high_water_elems() <= plan.reservation_elems(n),
+                    "{mode} n={n}: high water {} > reservation {}",
+                    plan.last_high_water_elems(),
+                    plan.reservation_elems(n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_weight_bytes_shrink_4x() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::Baseline, &config, 91);
+        let profile = calibrated_profile(&net, &config, 92);
+        let f32_plan = CompiledPlan::compile(&net, PlanMode::Fused);
+        let q = CompiledPlan::compile_int8(&net, &profile, PlanMode::Int8).expect("int8 plan");
+        let fb = f32_plan.weight_bytes();
+        let qb = q.weight_bytes();
+        assert!(
+            qb * 3 < fb && qb * 5 > fb,
+            "int8 weights {qb} bytes vs f32 {fb} — expected ≈4x shrink"
+        );
+    }
+
+    #[test]
+    fn int8_compile_requires_matching_mode_and_full_profile() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::AllFilterU, &config, 95);
+        let profile = calibrated_profile(&net, &config, 96);
+        // f32 mode through the int8 entry point is a typed error.
+        let err = CompiledPlan::compile_int8(&net, &profile, PlanMode::Fused).unwrap_err();
+        assert!(matches!(err, QuantError::NotAnInt8Mode(_)), "{err}");
+        // An empty profile has no scale for the first conv's input.
+        let err = CompiledPlan::compile_int8(&net, &CalibrationProfile::new(), PlanMode::Int8)
+            .unwrap_err();
+        assert!(matches!(err, QuantError::MissingScale(_)), "{err}");
+        assert!(err.to_string().contains("input.rgb"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration profile")]
+    fn f32_compile_rejects_int8_modes() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::Baseline, &config, 97);
+        let _ = CompiledPlan::compile(&net, PlanMode::Int8);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_covers_labels() {
+        let config = NetworkConfig::tiny();
+        let net = warmed_net(FusionScheme::WeightedSharing, &config, 98);
+        let mut rng = TensorRng::seed_from(99);
+        let rgb = rng.uniform(&[1, 3, config.height, config.width], 0.0, 1.0);
+        let depth = rng.uniform(
+            &[1, config.depth_channels, config.height, config.width],
+            0.0,
+            1.0,
+        );
+        let mut plan = CompiledPlan::compile(&net, PlanMode::Fused);
+        let want = plan.run_batch(&rgb, Some(&depth)).expect("plain run");
+        let mut labels = Vec::new();
+        let got = plan
+            .run_batch_observed(&rgb, Some(&depth), &mut |label, data| {
+                assert!(!data.is_empty(), "{label} observed empty");
+                labels.push(label.to_string());
+            })
+            .expect("observed run");
+        assert_eq!(got.data(), want.data(), "observation is a pure tap");
+        assert_eq!(labels[0], INPUT_RGB);
+        assert_eq!(labels[1], INPUT_DEPTH);
+        assert!(labels.iter().any(|l| l == "enc0.rgb.conv"), "{labels:?}");
+        assert!(labels.iter().any(|l| l == "head"), "{labels:?}");
     }
 
     #[test]

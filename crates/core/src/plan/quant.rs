@@ -1,0 +1,164 @@
+//! Calibration profiles for the int8 plan lowering.
+//!
+//! Post-training quantization needs one symmetric scale per activation
+//! tensor. A [`CalibrationProfile`] collects them: the f32 plan streams
+//! calibration frames through
+//! [`CompiledPlan::run_batch_observed`](super::CompiledPlan::run_batch_observed),
+//! the profile records the max-abs range seen at every op boundary
+//! (keyed by the op's label, e.g. `enc0.rgb.pool`), and
+//! [`CompiledPlan::compile_int8`](super::CompiledPlan::compile_int8)
+//! turns each range into the scale its consumer convs quantize with.
+//!
+//! Scales can also be *pinned* exactly ([`CalibrationProfile::set_scale`])
+//! — that is how a quantized checkpoint reload reproduces the original
+//! int8 model bit-for-bit instead of re-deriving scales from ranges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sf_tensor::int8::symmetric_scale;
+
+/// Pseudo-label under which the external RGB input's range is recorded.
+pub const INPUT_RGB: &str = "input.rgb";
+/// Pseudo-label under which the external depth input's range is recorded.
+pub const INPUT_DEPTH: &str = "input.depth";
+
+/// Per-activation quantization ranges/scales keyed by plan op label.
+///
+/// Deterministic by construction: `BTreeMap` keys iterate sorted, and
+/// observation folds max-abs in element order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CalibrationProfile {
+    /// Observed max-abs per label.
+    ranges: BTreeMap<String, f32>,
+    /// Exact pinned scales (take precedence over derived ones).
+    pinned: BTreeMap<String, f32>,
+}
+
+impl CalibrationProfile {
+    /// An empty profile.
+    pub fn new() -> CalibrationProfile {
+        CalibrationProfile::default()
+    }
+
+    /// Folds one activation tensor into the label's range.
+    pub fn observe(&mut self, label: &str, data: &[f32]) {
+        let m = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let entry = self.ranges.entry(label.to_string()).or_insert(0.0);
+        *entry = entry.max(m);
+    }
+
+    /// Merges another profile by per-label max — used to fold the
+    /// camera-only pass's ranges into the fused pass's so one scale
+    /// covers a label in both plans.
+    pub fn merge_max(&mut self, other: &CalibrationProfile) {
+        for (label, &m) in &other.ranges {
+            let entry = self.ranges.entry(label.clone()).or_insert(0.0);
+            *entry = entry.max(m);
+        }
+        for (label, &s) in &other.pinned {
+            self.pinned.insert(label.clone(), s);
+        }
+    }
+
+    /// Pins the exact activation scale for a label, overriding any
+    /// observed range.
+    pub fn set_scale(&mut self, label: &str, scale: f32) {
+        self.pinned.insert(label.to_string(), scale);
+    }
+
+    /// The activation scale for a label: the pinned scale if set, else
+    /// `max_abs / 127` from the observed range (`1.0` for an all-zero
+    /// range), else `None` if the label was never seen.
+    pub fn act_scale(&self, label: &str) -> Option<f32> {
+        if let Some(&s) = self.pinned.get(label) {
+            return Some(s);
+        }
+        self.ranges.get(label).map(|&m| symmetric_scale(m))
+    }
+
+    /// Effective scale per known label, sorted by label — the block a
+    /// quantized checkpoint persists.
+    pub fn act_scales(&self) -> BTreeMap<String, f32> {
+        let mut out = BTreeMap::new();
+        for label in self.ranges.keys().chain(self.pinned.keys()) {
+            if let Some(s) = self.act_scale(label) {
+                out.insert(label.clone(), s);
+            }
+        }
+        out
+    }
+
+    /// Number of labels with a usable scale.
+    pub fn len(&self) -> usize {
+        self.act_scales().len()
+    }
+
+    /// True if no label has been observed or pinned.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty() && self.pinned.is_empty()
+    }
+}
+
+/// What can go wrong lowering a network to int8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The calibration profile has no scale for an activation the plan
+    /// quantizes — the calibration pass did not cover this plan's
+    /// topology (e.g. calibrated fused-only, compiled camera-only).
+    MissingScale(String),
+    /// An int8 compile was requested for a float plan mode (or vice
+    /// versa) — the caller mixed up [`PlanMode`](super::PlanMode)s.
+    NotAnInt8Mode(String),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::MissingScale(label) => write!(
+                f,
+                "calibration profile has no activation scale for {label:?}; \
+                 run the calibration pass over a plan that produces it"
+            ),
+            QuantError::NotAnInt8Mode(mode) => {
+                write!(f, "compile_int8 requires an int8 plan mode, got {mode}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_folds_max_abs_and_derives_scales() {
+        let mut p = CalibrationProfile::new();
+        p.observe("a", &[0.5, -2.0, 1.0]);
+        p.observe("a", &[1.5]);
+        p.observe("b", &[0.0, 0.0]);
+        assert_eq!(p.act_scale("a"), Some(2.0 / 127.0));
+        assert_eq!(p.act_scale("b"), Some(1.0), "zero range degenerates to 1");
+        assert_eq!(p.act_scale("c"), None);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn pinned_scales_win_and_merge_takes_max() {
+        let mut p = CalibrationProfile::new();
+        p.observe("a", &[1.0]);
+        p.set_scale("a", 0.125);
+        assert_eq!(p.act_scale("a"), Some(0.125));
+
+        let mut q = CalibrationProfile::new();
+        q.observe("a", &[5.0]);
+        q.observe("b", &[3.0]);
+        let mut merged = CalibrationProfile::new();
+        merged.observe("a", &[2.0]);
+        merged.merge_max(&q);
+        assert_eq!(merged.act_scale("a"), Some(5.0 / 127.0));
+        assert_eq!(merged.act_scale("b"), Some(3.0 / 127.0));
+    }
+}

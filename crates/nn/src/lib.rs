@@ -32,6 +32,7 @@ mod module;
 mod norm;
 mod optim;
 mod param;
+mod qconv;
 mod state;
 
 pub use conv::Conv2d;
@@ -43,7 +44,10 @@ pub use module::{
 pub use norm::BatchNorm2d;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
-pub use state::{crc32, LoadStateError, Stateful};
+pub use qconv::QConv2d;
+pub use state::{
+    crc32, read_tagged, write_tagged, DType, LoadStateError, Stateful, TaggedTensor, TensorPayload,
+};
 
 // Canonical error/result types for the whole stack live in `sf_tensor`;
 // re-exported here so downstream crates need only one import.

@@ -1,0 +1,194 @@
+//! Post-training quantized convolution: an int8 shadow of [`Conv2d`].
+//!
+//! [`QConv2d`] holds the weight matrix already reshaped to the
+//! `[out_c, in_c·k·k]` im2col layout with one symmetric scale per output
+//! channel. Its [`QConv2d::forward`] is the *reference* int8 path —
+//! single image, scratch-arena buffers, no batching — used by the
+//! property tests and the calibration tooling; the compiled plan in
+//! `sf-core` lowers to the same `sf-tensor` kernels with its own static
+//! buffers, so both paths produce identical integers.
+
+use sf_tensor::int8::{
+    dequantize_i8, im2col_i8_into, matmul_i8_into, quantize_i8, quantize_per_row,
+};
+use sf_tensor::{scratch, Conv2dSpec, Result, Tensor, TensorError};
+
+use crate::Conv2d;
+
+/// An int8-quantized 2-D convolution: per-output-channel symmetric
+/// weight scales, i32 accumulation, f32 bias added after dequant.
+#[derive(Debug, Clone)]
+pub struct QConv2d {
+    weight_q: Vec<i8>,
+    weight_scales: Vec<f32>,
+    bias: Option<Vec<f32>>,
+    spec: Conv2dSpec,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+}
+
+impl QConv2d {
+    /// Quantizes a float convolution: each output channel's
+    /// `in_c·k·k`-long weight row gets its own symmetric scale.
+    pub fn quantize(conv: &Conv2d) -> QConv2d {
+        let out_c = conv.out_channels();
+        let (weight_q, weight_scales) = quantize_per_row(conv.weight().value.data(), out_c);
+        QConv2d {
+            weight_q,
+            weight_scales,
+            bias: conv.bias().map(|b| b.value.data().to_vec()),
+            spec: conv.spec(),
+            in_c: conv.in_channels(),
+            out_c,
+            kernel: conv.weight().value.shape()[2],
+        }
+    }
+
+    /// The quantized weight matrix, row-major `[out_c, in_c·k·k]`.
+    pub fn weight_q(&self) -> &[i8] {
+        &self.weight_q
+    }
+
+    /// One symmetric scale per output channel.
+    pub fn weight_scales(&self) -> &[f32] {
+        &self.weight_scales
+    }
+
+    /// Bytes the quantized weights occupy (i8 data + f32 scale block),
+    /// vs `4 ×` that for the float original.
+    pub fn weight_bytes(&self) -> usize {
+        self.weight_q.len() + self.weight_scales.len() * 4
+    }
+
+    /// Reconstructs the float weights `[out_c, in_c, k, k]` from the
+    /// quantized grid — the tensor a dequantized checkpoint load sees.
+    pub fn dequantized_weights(&self) -> Tensor {
+        let row_len = self.in_c * self.kernel * self.kernel;
+        let mut data = vec![0.0f32; self.weight_q.len()];
+        for (c, (orow, qrow)) in data
+            .chunks_mut(row_len)
+            .zip(self.weight_q.chunks(row_len))
+            .enumerate()
+        {
+            dequantize_i8(qrow, self.weight_scales[c], orow);
+        }
+        Tensor::from_vec(data, &[self.out_c, self.in_c, self.kernel, self.kernel])
+            .expect("weight length matches its recorded geometry")
+    }
+
+    /// Reference int8 forward for one `[C, H, W]` image: the input plane
+    /// is quantized with `act_scale`, unfolded, multiplied in i32 and
+    /// dequantized through `act_scale · weight_scale[oc]`; bias (if any)
+    /// is added in f32. Returns the `[out_c, OH, OW]` float output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `image` is not `[in_c, H, W]` or the
+    /// kernel does not fit the image.
+    pub fn forward(&self, image: &Tensor, act_scale: f32) -> Result<Tensor> {
+        let (c, h, w) = match image.shape() {
+            [c, h, w] if *c == self.in_c => (*c, *h, *w),
+            other => {
+                return Err(TensorError::ShapeMismatch {
+                    op: "qconv2d",
+                    lhs: other.to_vec(),
+                    rhs: vec![self.in_c, 0, 0],
+                })
+            }
+        };
+        let k = self.kernel;
+        let oh = self.spec.out_size(h, k);
+        let ow = self.spec.out_size(w, k);
+        if oh == 0 || ow == 0 {
+            return Err(TensorError::InvalidGeometry {
+                op: "qconv2d",
+                reason: format!("kernel {k}x{k} does not fit input {h}x{w}"),
+            });
+        }
+        let cols = oh * ow;
+        let patch = c * k * k;
+        let mut out = Tensor::zeros(&[self.out_c, oh, ow]);
+        scratch::with_zeroed_i8(c * h * w + patch * cols, |ibuf| {
+            let (qimg, qcols) = ibuf.split_at_mut(c * h * w);
+            quantize_i8(image.data(), act_scale, qimg);
+            im2col_i8_into(qimg, c, h, w, k, k, self.spec, qcols, cols, 0);
+            let mut acc = vec![0i32; self.out_c * cols];
+            matmul_i8_into(&self.weight_q, qcols, &mut acc, self.out_c, patch, cols);
+            let od = out.data_mut();
+            for oc in 0..self.out_c {
+                let mul = act_scale * self.weight_scales[oc];
+                let b = self.bias.as_ref().map_or(0.0, |b| b[oc]);
+                for (o, &a) in od[oc * cols..(oc + 1) * cols]
+                    .iter_mut()
+                    .zip(&acc[oc * cols..(oc + 1) * cols])
+                {
+                    *o = a as f32 * mul + b;
+                }
+            }
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_tensor::conv2d;
+    use sf_tensor::int8::{max_abs, symmetric_scale};
+    use sf_tensor::TensorRng;
+
+    #[test]
+    fn quantized_forward_tracks_float_conv() {
+        let mut rng = TensorRng::seed_from(42);
+        let conv = Conv2d::new(3, 5, 3, Conv2dSpec::same(3), true, &mut rng);
+        let qconv = QConv2d::quantize(&conv);
+        let image = rng.uniform(&[3, 8, 10], -1.0, 1.0);
+        let act_scale = symmetric_scale(max_abs(image.data()));
+        let got = qconv.forward(&image, act_scale).unwrap();
+        let batched = image.reshape(&[1, 3, 8, 10]).unwrap();
+        let want = conv2d(
+            &batched,
+            &conv.weight().value,
+            conv.bias().map(|b| &b.value),
+            conv.spec(),
+        )
+        .unwrap();
+        assert_eq!(got.shape(), &[5, 8, 10]);
+        // Quantization noise bound: each of the k=27 products carries
+        // input error ≤ s_a/2 (|w| ≤ max) and weight error ≤ s_w/2.
+        let mut worst = 0.0f32;
+        for (&g, &w) in got.data().iter().zip(want.data()) {
+            worst = worst.max((g - w).abs());
+        }
+        let w_abs = max_abs(conv.weight().value.data());
+        let bound = 27.0 * (act_scale / 2.0 * w_abs + (1.0 + act_scale / 2.0) * w_abs / 127.0);
+        assert!(worst <= bound, "worst {worst} vs bound {bound}");
+        // And it is not a degenerate all-zero match.
+        assert!(max_abs(got.data()) > 0.0);
+    }
+
+    #[test]
+    fn weights_round_trip_through_requantization() {
+        // Dequantize-then-requantize must reproduce the identical int8
+        // grid: this is what makes a saved+reloaded quantized checkpoint
+        // rebuild the same integer model.
+        let mut rng = TensorRng::seed_from(7);
+        let conv = Conv2d::new(2, 4, 3, Conv2dSpec::same(3), false, &mut rng);
+        let q1 = QConv2d::quantize(&conv);
+        let restored = q1.dequantized_weights();
+        let mut conv2 = Conv2d::new(2, 4, 3, Conv2dSpec::same(3), false, &mut rng);
+        conv2.weight_mut().value = restored;
+        let q2 = QConv2d::quantize(&conv2);
+        assert_eq!(q1.weight_q(), q2.weight_q());
+    }
+
+    #[test]
+    fn weight_bytes_report_the_compression() {
+        let mut rng = TensorRng::seed_from(9);
+        let conv = Conv2d::new(4, 8, 3, Conv2dSpec::same(3), false, &mut rng);
+        let q = QConv2d::quantize(&conv);
+        let f32_bytes = conv.weight().value.data().len() * 4;
+        assert_eq!(q.weight_bytes(), f32_bytes / 4 + 8 * 4);
+    }
+}

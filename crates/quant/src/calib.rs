@@ -1,0 +1,76 @@
+//! The calibration pass: observed activation ranges from real frames.
+
+use sf_core::{CalibrationProfile, CompiledPlan, FusionNet, PlanMode};
+use sf_dataset::Sample;
+use sf_tensor::Tensor;
+
+/// Streams `frames` through the f32 compiled plans and returns the
+/// profile of observed activation ranges.
+///
+/// Both the fused and the camera-only plan are calibrated — the
+/// camera-only topology reuses the same labels for the RGB column, so one
+/// profile (folded by max) covers whichever plan the degradation policy
+/// routes a frame to at inference time. Frames run one at a time, so
+/// calibration memory stays flat no matter how many samples are offered.
+///
+/// Calibration is deterministic: the same frames in the same order
+/// produce the same ranges, hence the same scales, hence the same int8
+/// model.
+pub fn calibrate(net: &FusionNet, frames: &[&Sample]) -> CalibrationProfile {
+    let mut profile = CalibrationProfile::new();
+    let mut fused = CompiledPlan::compile(net, PlanMode::Fused);
+    let mut camera = CompiledPlan::compile(net, PlanMode::CameraOnly);
+    for s in frames {
+        let rgb = batch_of_one(&s.rgb);
+        let depth = batch_of_one(&s.depth);
+        fused
+            .run_batch_observed(&rgb, Some(&depth), &mut |label, data| {
+                profile.observe(label, data);
+            })
+            .expect("calibration frame matches the network's geometry");
+        camera
+            .run_batch_observed(&rgb, None, &mut |label, data| {
+                profile.observe(label, data);
+            })
+            .expect("calibration frame matches the network's geometry");
+    }
+    profile
+}
+
+fn batch_of_one(t: &Tensor) -> Tensor {
+    let mut shape = vec![1usize];
+    shape.extend_from_slice(t.shape());
+    t.reshape(&shape)
+        .expect("adding a unit axis preserves size")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_dataset::{DatasetConfig, RoadDataset};
+
+    #[test]
+    fn calibration_is_deterministic_and_covers_both_plans() {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let config = sf_core::NetworkConfig {
+            width: data.config().width,
+            height: data.config().height,
+            stage_channels: vec![4, 6],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 3,
+        };
+        let net = FusionNet::new(sf_core::FusionScheme::AllFilterU, &config).unwrap();
+        let frames = data.train(None);
+        let p1 = calibrate(&net, &frames[..2]);
+        let p2 = calibrate(&net, &frames[..2]);
+        assert_eq!(p1, p2, "same frames, same profile");
+        assert!(!p1.is_empty());
+        // Scales exist for the inputs and for every conv boundary both
+        // plans need: an int8 compile of either mode succeeds.
+        assert!(p1.act_scale(sf_core::INPUT_RGB).is_some());
+        assert!(p1.act_scale(sf_core::INPUT_DEPTH).is_some());
+        CompiledPlan::compile_int8(&net, &p1, PlanMode::Int8).expect("fused int8");
+        CompiledPlan::compile_int8(&net, &p1, PlanMode::Int8CameraOnly).expect("camera int8");
+    }
+}

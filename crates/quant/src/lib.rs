@@ -1,0 +1,27 @@
+//! Post-training int8 quantization for the sensor-fusion network.
+//!
+//! The paper's deployment target is an embedded platform where memory
+//! bandwidth, not FLOPs, bounds the fusion network — int8 weights are 4×
+//! smaller and the conv inner loops accumulate in i32. This crate is the
+//! user-facing bundle over the plan-level machinery in `sf-core`:
+//!
+//! 1. [`calibrate`] streams seeded scenario samples through the **f32**
+//!    compiled plans ([`CompiledPlan::run_batch_observed`]) and records
+//!    the max-abs activation range at every conv boundary, for both the
+//!    fused and the camera-only topology, into one
+//!    [`CalibrationProfile`].
+//! 2. [`QuantizedModel`] pairs the float network with that profile: it
+//!    compiles int8 [`Predictor`]s (per-channel weight scales, per-tensor
+//!    activation scales, i32 accumulators, f32 fusion mixing) and
+//!    persists/restores itself as an SFM1 v3 quantized checkpoint whose
+//!    reload rebuilds the *bit-identical* int8 plan.
+//!
+//! [`CompiledPlan::run_batch_observed`]: sf_core::CompiledPlan::run_batch_observed
+
+mod calib;
+mod quantize;
+
+pub use calib::calibrate;
+pub use quantize::QuantizedModel;
+
+pub use sf_core::{CalibrationProfile, QuantError};

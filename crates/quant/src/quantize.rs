@@ -1,0 +1,210 @@
+//! The quantized model bundle: float weights + calibration profile.
+
+use std::path::Path;
+
+use sf_core::{
+    load_checkpoint_full, save_quantized_checkpoint, CalibrationProfile, CheckpointError,
+    CompiledPlan, FusionNet, PlanMode, Predictor, QuantError,
+};
+use sf_dataset::Sample;
+
+/// A network paired with the calibration profile that lowers it to int8.
+///
+/// The bundle keeps the master copy of the weights in f32 (so it can be
+/// requantized, inspected or fine-tuned) and derives int8 artifacts on
+/// demand: [`predictor`](QuantizedModel::predictor) compiles the int8
+/// plans, [`save`](QuantizedModel::save) writes the SFM1 v3 quantized
+/// checkpoint. Quantization is idempotent across a save/load round trip —
+/// integer weight grids and pinned activation scales survive exactly, so
+/// a reloaded bundle compiles a bit-identical int8 plan.
+#[derive(Debug)]
+pub struct QuantizedModel {
+    net: FusionNet,
+    profile: CalibrationProfile,
+}
+
+impl QuantizedModel {
+    /// Bundles a network with an existing calibration profile, verifying
+    /// up front that the profile covers both int8 plan topologies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::MissingScale`] if any conv boundary in
+    /// either plan lacks an activation scale.
+    pub fn new(net: FusionNet, profile: CalibrationProfile) -> Result<QuantizedModel, QuantError> {
+        CompiledPlan::compile_int8(&net, &profile, PlanMode::Int8)?;
+        CompiledPlan::compile_int8(&net, &profile, PlanMode::Int8CameraOnly)?;
+        Ok(QuantizedModel { net, profile })
+    }
+
+    /// Calibrates on `frames` (see [`calibrate`](crate::calibrate)) and
+    /// bundles the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::MissingScale`] only if `frames` is empty —
+    /// any actual frame covers every boundary of both plans.
+    pub fn from_calibration(
+        net: FusionNet,
+        frames: &[&Sample],
+    ) -> Result<QuantizedModel, QuantError> {
+        let profile = crate::calibrate(&net, frames);
+        QuantizedModel::new(net, profile)
+    }
+
+    /// The float master weights.
+    pub fn net(&self) -> &FusionNet {
+        &self.net
+    }
+
+    /// The activation-scale profile.
+    pub fn profile(&self) -> &CalibrationProfile {
+        &self.profile
+    }
+
+    /// Compiles a fresh int8 [`Predictor`] (fused + camera-only plans,
+    /// default degradation policy).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a bundle built by [`new`](QuantizedModel::new) /
+    /// [`from_calibration`](QuantizedModel::from_calibration) — coverage
+    /// was verified there — but the signature keeps the typed error for
+    /// callers that mutate the network afterwards.
+    pub fn predictor(&self) -> Result<Predictor, QuantError> {
+        Predictor::compile_int8(&self.net, &self.profile)
+    }
+
+    /// Int8 weight bytes of the fused plan (i8 grids + scale blocks).
+    pub fn weight_bytes(&self) -> usize {
+        CompiledPlan::compile_int8(&self.net, &self.profile, PlanMode::Int8)
+            .expect("bundle profile covers the fused plan")
+            .weight_bytes()
+    }
+
+    /// f32 weight bytes of the fused plan, for the compression ratio.
+    pub fn f32_weight_bytes(&self) -> usize {
+        CompiledPlan::compile(&self.net, PlanMode::Fused).weight_bytes()
+    }
+
+    /// Writes the SFM1 v3 quantized checkpoint (int8 conv weights,
+    /// pinned activation scales).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on write failure.
+    pub fn save(&mut self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        save_quantized_checkpoint(&mut self.net, &self.profile, path)
+    }
+
+    /// Loads a quantized checkpoint back into a bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Invalid`] if the file is not a
+    /// *quantized* checkpoint (no `act-scales` line), or any load error
+    /// from [`load_checkpoint_full`].
+    pub fn load(path: impl AsRef<Path>) -> Result<QuantizedModel, CheckpointError> {
+        let loaded = load_checkpoint_full(&path)?;
+        let profile = loaded.profile.ok_or_else(|| {
+            CheckpointError::Invalid(format!(
+                "{}: not a quantized checkpoint (no act-scales line); load it as f32 instead",
+                path.as_ref().display()
+            ))
+        })?;
+        QuantizedModel::new(loaded.net, profile).map_err(|e| {
+            CheckpointError::Invalid(format!("stored scales do not cover the model: {e}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_core::{FusionScheme, NetworkConfig};
+    use sf_dataset::{DatasetConfig, RoadDataset};
+
+    fn tiny_setup() -> (RoadDataset, FusionNet) {
+        let data = RoadDataset::generate(&DatasetConfig::tiny());
+        let config = NetworkConfig {
+            width: data.config().width,
+            height: data.config().height,
+            stage_channels: vec![4, 6],
+            shared_stages: 1,
+            depth_channels: 1,
+            seed: 11,
+        };
+        let net = FusionNet::new(FusionScheme::WeightedSharing, &config).unwrap();
+        (data, net)
+    }
+
+    #[test]
+    fn bundle_round_trips_bit_exactly_through_disk() {
+        let (data, net) = tiny_setup();
+        let frames = data.train(None);
+        let mut bundle = QuantizedModel::from_calibration(net, &frames[..2]).unwrap();
+        let sample = data.test(None)[0];
+        let mut p1 = bundle.predictor().unwrap();
+        let want = p1.run(&sample.rgb, &sample.depth).unwrap();
+
+        let path = std::env::temp_dir().join("sf_quant_bundle.sfm");
+        bundle.save(&path).unwrap();
+        let reloaded = QuantizedModel::load(&path).unwrap();
+        let mut p2 = reloaded.predictor().unwrap();
+        let got = p2.run(&sample.rgb, &sample.depth).unwrap();
+        assert_eq!(got.prob.data(), want.prob.data(), "reload is bit-exact");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn quantized_weights_are_about_4x_smaller() {
+        let (data, net) = tiny_setup();
+        let frames = data.train(None);
+        let bundle = QuantizedModel::from_calibration(net, &frames[..1]).unwrap();
+        let (qb, fb) = (bundle.weight_bytes(), bundle.f32_weight_bytes());
+        assert!(qb * 3 < fb && qb * 5 > fb, "int8 {qb} vs f32 {fb}");
+    }
+
+    #[test]
+    fn empty_calibration_and_f32_files_are_typed_errors() {
+        let (data, net) = tiny_setup();
+        let err = QuantizedModel::from_calibration(net.clone(), &[]).unwrap_err();
+        assert!(matches!(err, QuantError::MissingScale(_)), "{err}");
+
+        // A plain f32 checkpoint is rejected by the quantized loader.
+        let path = std::env::temp_dir().join("sf_quant_f32_only.sfm");
+        let mut net = net;
+        sf_core::save_checkpoint(&mut net, &path).unwrap();
+        let err = QuantizedModel::load(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Invalid(_)), "{err}");
+        std::fs::remove_file(path).unwrap();
+        drop(data);
+    }
+
+    #[test]
+    fn int8_predictor_agrees_with_f32_classification() {
+        let (data, net) = tiny_setup();
+        let frames = data.train(None);
+        let bundle = QuantizedModel::from_calibration(net.clone(), &frames[..3]).unwrap();
+        let mut q = bundle.predictor().unwrap();
+        let mut f = Predictor::compile(&net);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for sample in data.test(None).iter().take(3) {
+            let qp = q.run(&sample.rgb, &sample.depth).unwrap();
+            let fp = f.run(&sample.rgb, &sample.depth).unwrap();
+            total += fp.prob.data().len();
+            agree += qp
+                .prob
+                .data()
+                .iter()
+                .zip(fp.prob.data())
+                .filter(|(a, b)| (**a >= 0.5) == (**b >= 0.5))
+                .count();
+        }
+        assert!(
+            agree as f64 >= 0.95 * total as f64,
+            "classification agreement {agree}/{total}"
+        );
+    }
+}

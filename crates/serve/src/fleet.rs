@@ -902,17 +902,15 @@ impl Fleet {
         Ok(version)
     }
 
-    /// Loads an SFM1 checkpoint and [`deploy`](Fleet::deploy)s it.
+    /// Loads an SFM1 checkpoint file and [`deploy`](Fleet::deploy)s it.
+    /// Quantized (v3) checkpoints load transparently as f32 models via
+    /// `sf_core::load_checkpoint`.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::DeployFailed`] if the checkpoint cannot be
     /// loaded, plus everything [`deploy`](Fleet::deploy) can return.
-    pub fn deploy_checkpoint(
-        &self,
-        path: &Path,
-        options: DeployOptions,
-    ) -> Result<u64, ServeError> {
+    pub fn deploy_from_path(&self, path: &Path, options: DeployOptions) -> Result<u64, ServeError> {
         let net = load_checkpoint(path).map_err(|e| ServeError::DeployFailed {
             reason: e.to_string(),
         })?;

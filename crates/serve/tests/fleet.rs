@@ -373,6 +373,53 @@ fn hot_swap_serves_through_the_deploy_with_zero_failures() {
 }
 
 #[test]
+fn deploy_from_path_loads_a_checkpoint_file_and_swaps() {
+    let (net, config) = tiny_net();
+    let mut retrained = retrained_net(&config);
+    let path = std::env::temp_dir().join("sf_serve_deploy_from_path.sfm");
+    sf_core::save_checkpoint(&mut retrained, &path).expect("checkpoint saved");
+    let fleet = Fleet::start(
+        net,
+        FleetConfig {
+            replicas: 1,
+            serve: ServeConfig::builder()
+                .max_batch(1)
+                .max_wait(Duration::ZERO)
+                .build()
+                .expect("valid serve config"),
+            ..FleetConfig::default()
+        },
+    )
+    .expect("valid fleet config");
+    // A missing file is a typed deploy failure, not a panic.
+    let missing = fleet.deploy_from_path(
+        std::path::Path::new("/definitely/not/here.sfm"),
+        DeployOptions::default(),
+    );
+    assert!(matches!(missing, Err(ServeError::DeployFailed { .. })));
+    // The real file deploys and serves.
+    let version = fleet
+        .deploy_from_path(&path, DeployOptions::default())
+        .expect("checkpoint deploys");
+    assert_eq!(version, 1);
+    fleet
+        .submit(request(&config, 1200, 0))
+        .expect("routed")
+        .wait()
+        .expect("served by the deployed model");
+    let (live, stats) = fleet.shutdown();
+    assert_eq!(stats.model_version, 1);
+    stats.cross_check().expect("tallies conserved");
+    // The live model is byte-identical to the checkpointed one.
+    let (mut live, mut cand) = (live, retrained);
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    sf_nn::Stateful::save_state(&mut live, &mut a).expect("serializable");
+    sf_nn::Stateful::save_state(&mut cand, &mut b).expect("serializable");
+    assert_eq!(a, b);
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
 fn shadow_deploy_of_identical_model_diffs_zero_and_promotes() {
     let (net, config) = tiny_net();
     let same_model = net.clone();

@@ -22,6 +22,7 @@
 
 mod conv;
 mod error;
+pub mod int8;
 mod linalg;
 mod pool;
 mod reduce;

@@ -54,6 +54,10 @@ thread_local! {
     /// Total capacity (in elements) held by `FREE_LIST`, tracked
     /// incrementally so neither take nor recycle re-sums the pool.
     static HELD_ELEMS: Cell<usize> = const { Cell::new(0) };
+    /// The int8 kernels' side of the arena: same policy, separate list
+    /// (an i8 buffer cannot be retyped as f32 without unsafe games).
+    static FREE_LIST_I8: RefCell<Vec<Vec<i8>>> = const { RefCell::new(Vec::new()) };
+    static HELD_ELEMS_I8: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Pops the smallest pooled buffer with capacity for `len` elements, so
@@ -135,6 +139,63 @@ pub fn with_zeroed<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
     result
 }
 
+/// Takes a zeroed `i8` buffer of exactly `len` elements from this
+/// thread's int8 free list — the quantized-kernel counterpart of
+/// [`take_zeroed`].
+pub fn take_zeroed_i8(len: usize) -> Vec<i8> {
+    let taken = FREE_LIST_I8.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        let i = pool.partition_point(|buf| buf.capacity() < len);
+        (i < pool.len()).then(|| {
+            let buf = pool.remove(i);
+            HELD_ELEMS_I8.with(|held| held.set(held.get() - buf.capacity()));
+            buf
+        })
+    });
+    match taken {
+        Some(mut buf) => {
+            buf.clear();
+            buf.resize(len, 0);
+            buf
+        }
+        None => vec![0; len],
+    }
+}
+
+/// Returns an `i8` buffer to this thread's int8 free list; bounded by
+/// the same buffer count and byte budget as the f32 side.
+pub fn recycle_i8(buf: Vec<i8>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    FREE_LIST_I8.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        let cap = buf.capacity();
+        let held = HELD_ELEMS_I8.with(Cell::get);
+        if held + cap > MAX_POOLED_BYTES {
+            return;
+        }
+        let i = pool.partition_point(|b| b.capacity() < cap);
+        if pool.len() < MAX_POOLED {
+            pool.insert(i, buf);
+            HELD_ELEMS_I8.with(|h| h.set(held + cap));
+        } else if i > 0 {
+            let evicted = pool.remove(0);
+            pool.insert(i - 1, buf);
+            HELD_ELEMS_I8.with(|h| h.set(held + cap - evicted.capacity()));
+        }
+    });
+}
+
+/// Runs `f` with a zeroed `i8` scratch slice of `len` elements, recycling
+/// the buffer afterwards — the int8 kernels' entry point.
+pub fn with_zeroed_i8<R>(len: usize, f: impl FnOnce(&mut [i8]) -> R) -> R {
+    let mut buf = take_zeroed_i8(len);
+    let result = f(&mut buf);
+    recycle_i8(buf);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +245,22 @@ mod tests {
         let again = take_spare(256);
         assert!(again.is_empty(), "reused buffers must come back cleared");
         assert!(again.capacity() >= 256);
+    }
+
+    #[test]
+    fn i8_buffers_come_back_zeroed_and_reused() {
+        with_zeroed_i8(64, |buf| {
+            assert_eq!(buf.len(), 64);
+            buf.fill(-5);
+        });
+        with_zeroed_i8(64, |buf| {
+            assert!(buf.iter().all(|&v| v == 0));
+        });
+        let big = take_zeroed_i8(2048);
+        let cap = big.capacity();
+        recycle_i8(big);
+        let again = take_zeroed_i8(2048);
+        assert!(again.capacity() >= cap.min(2048));
     }
 
     #[test]

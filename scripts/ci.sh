@@ -76,6 +76,31 @@ echo "==> fleet-bench smoke (routing + mid-run kill/revive/hot-swap)"
 # and the fleet ledger reconciles with zero failed legs.
 ./target/release/roadseg fleet-bench --smoke --kill --deploy --replicas 2
 
+echo "==> int8 quantization smoke (exp_quant sweep at quick scale)"
+# Runs the calibration-size x batch-size sweep end to end: weight
+# compression ~4x, bounded MaxF delta, bit-stable int8 outputs.
+cargo test -q -p sf-bench --test experiments_smoke quant_smoke
+./target/release/exp_quant --quick > /dev/null
+
+echo "==> int8 parity gate (quantize round trip + infer --int8 agreement)"
+# Trains a tiny checkpoint, quantizes it to an SFM1 v3 file, re-evaluates
+# the quantized file through the transparent f32 loader, and gates on the
+# int8-vs-f32 classification agreement of a seeded generated frame.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/roadseg train --out "$tmp/model.sfm" --epochs 1 \
+    --train-per-category 1 --test-per-category 1 > /dev/null
+./target/release/roadseg quantize --model "$tmp/model.sfm" \
+    --out "$tmp/model.int8.sfm" --calib-samples 2
+./target/release/roadseg eval --model "$tmp/model.int8.sfm" \
+    --test-per-category 1 > /dev/null
+./target/release/roadseg generate --out "$tmp/frames" --count 1 > /dev/null
+rgb="$(ls "$tmp"/frames/*.rgb.ppm | head -1)"
+depth="$(ls "$tmp"/frames/*.depth.pgm | head -1)"
+./target/release/roadseg infer --model "$tmp/model.sfm" \
+    --rgb "$rgb" --depth "$depth" --out "$tmp/overlay.ppm" \
+    --int8 --parity-min 0.9
+
 echo "==> guard: no deprecated-API escape hatches"
 # The one-shot predict and submit_with_deadline shims are gone; an
 # #[allow(deprecated)] in crate code would let a resurrected shim slip

@@ -2,7 +2,9 @@
 //! code paths the `exp_*` binaries run for the paper's tables/figures.
 
 use sf_bench::experiments::fleet::{self, KillSchedule};
-use sf_bench::experiments::{chaos, fault_matrix, fig3, fig6, fig7, fig8, fig9, serving, table1};
+use sf_bench::experiments::{
+    chaos, fault_matrix, fig3, fig6, fig7, fig8, fig9, quant, serving, table1,
+};
 use sf_bench::ExperimentScale;
 use sf_core::FusionScheme;
 use sf_scene::RoadCategory;
@@ -120,6 +122,43 @@ fn serving_smoke() {
     let text = serving::render(&result);
     assert!(text.contains("max_batch"));
     assert!(text.contains("correctness"));
+}
+
+#[test]
+fn quant_smoke() {
+    let result = quant::run(SCALE);
+    assert_eq!(
+        result.cells.len(),
+        result.calib_sizes.len() * result.batch_sizes.len()
+    );
+    // The headline deploy win: int8 weights are about 4x smaller.
+    assert!(
+        result.int8_weight_bytes * 3 < result.f32_weight_bytes
+            && result.int8_weight_bytes * 5 > result.f32_weight_bytes,
+        "int8 {} vs f32 {}",
+        result.int8_weight_bytes,
+        result.f32_weight_bytes
+    );
+    for cell in &result.cells {
+        assert!(cell.reproducible, "int8 cells are bit-stable: {cell:?}");
+        assert!(cell.f32_ips > 0.0 && cell.int8_ips > 0.0, "{cell:?}");
+        assert!((0.0..=100.0).contains(&cell.int8_f), "{cell:?}");
+        // Quantization error is bounded: int8 stays within a few points
+        // of the f32 model on the pooled split.
+        assert!(cell.delta_f.abs() < 15.0, "{cell:?}");
+    }
+    // Cells sharing a calibration size share scales, hence metrics.
+    let c0 = result
+        .cell(result.calib_sizes[0], result.batch_sizes[0])
+        .unwrap();
+    let c1 = result
+        .cell(result.calib_sizes[0], result.batch_sizes[1])
+        .unwrap();
+    assert_eq!(c0.int8_f, c1.int8_f);
+    let text = quant::render(&result);
+    assert!(text.contains("smaller"));
+    assert!(text.contains("fingerprint"));
+    assert!(text.contains("note:"));
 }
 
 #[test]
