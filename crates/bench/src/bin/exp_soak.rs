@@ -1,0 +1,10 @@
+//! Long-haul soak sweep: weather kind × severity × rig size, each cell a
+//! closed-loop multi-LiDAR scenario (with a mid-run dead-sensor burst)
+//! against a replica fleet, run twice for bit-reproducibility.
+//! Prints the table recorded in `results/bench.txt`.
+
+fn main() {
+    let scale = sf_bench::scale_from_args();
+    let result = sf_bench::experiments::soak::run(scale);
+    println!("{}", sf_bench::experiments::soak::render(&result));
+}

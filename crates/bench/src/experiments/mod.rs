@@ -13,6 +13,7 @@ pub mod quant;
 pub mod robustness;
 pub mod serving;
 pub mod sne;
+pub mod soak;
 pub mod table1;
 
 use sf_core::{evaluate, train, EvalOptions, FusionNet, FusionScheme, TrainReport};

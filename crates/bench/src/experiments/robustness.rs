@@ -57,9 +57,13 @@ pub fn run(scale: ExperimentScale) -> RobustnessResult {
     let camera = bundle.data.config().camera();
     let options = EvalOptions::default();
     let test = bundle.data.test(None);
-    let rows = Lighting::presets()
+    // Sweep cells are keyed by preset *name* and resolved through
+    // `Lighting::by_name`, so a reordered or extended presets list can
+    // never silently remap a row onto the wrong condition.
+    let rows = ["day", "night", "overexposed", "shadows"]
         .into_iter()
-        .map(|(name, lighting)| {
+        .map(|name| {
+            let lighting = Lighting::by_name(name).expect("preset names stay in sync");
             // Re-render the identical scenes (same seeds) under this
             // lighting; LiDAR depth and ground truth are unchanged by
             // construction.

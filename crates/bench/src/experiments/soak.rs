@@ -1,0 +1,213 @@
+//! Long-haul soak sweep — weather kind × severity × rig size.
+//!
+//! The chaos experiment stresses the server with request-level fault
+//! schedules; this one stresses the whole *scenario* pipeline: every
+//! cell drives a closed-loop [`sf_chaos::run_soak`] stream (rendered
+//! weather, occluder traffic, a multi-LiDAR rig, a mid-run dead-sensor
+//! burst) against a replica fleet, twice, and records the ledger plus
+//! whether the two runs fingerprint identically.
+//!
+//! The headline claims this table backs:
+//! - **conservation under weather** — every window of every cell
+//!   reconciles `submitted = completed + rejected + expired + failed +
+//!   redirected` (the harness fails the cell otherwise);
+//! - **breaker isolation** — the burst source trips and recovers in
+//!   every cell while the clean sources never trip, independent of
+//!   weather severity or rig size;
+//! - **determinism** — every cell replays to an identical fingerprint.
+
+use sf_chaos::{SoakConfig, SoakError, SoakReport};
+use sf_scene::{Rig, Weather};
+
+use crate::{ExperimentScale, TextTable};
+
+/// One (weather, rig) soak measurement.
+#[derive(Debug, Clone)]
+pub struct SoakCell {
+    /// The constant weather the cell ran under.
+    pub weather: Weather,
+    /// Number of rig mounts (independent LiDAR sources).
+    pub rig_size: usize,
+    /// The first run's full report.
+    pub report: SoakReport,
+    /// Whether the second run produced the identical fingerprint.
+    pub reproducible: bool,
+}
+
+/// The full sweep and its per-cell reports.
+#[derive(Debug, Clone)]
+pub struct SoakSweepResult {
+    /// One cell per (weather, rig) grid point.
+    pub cells: Vec<SoakCell>,
+    /// Frames per cell (one run; each cell executes two runs).
+    pub frames: u64,
+}
+
+impl SoakSweepResult {
+    /// How many cells replayed bit-identically.
+    pub fn reproducible_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.reproducible).count()
+    }
+}
+
+/// Sweep grid for a scale: (weathers, rigs, frames, window).
+fn grid(scale: ExperimentScale) -> (Vec<Weather>, Vec<Rig>, u64, u64) {
+    let weathers = vec![
+        Weather::clear(),
+        Weather::rain(0.3),
+        Weather::rain(0.7),
+        Weather::fog(0.3),
+        Weather::fog(0.7),
+        Weather::snow(0.3),
+        Weather::snow(0.7),
+    ];
+    match scale {
+        ExperimentScale::Full => (weathers, vec![Rig::dual(), Rig::triple()], 240, 60),
+        ExperimentScale::Quick => (
+            vec![Weather::clear(), Weather::fog(0.7)],
+            vec![Rig::dual()],
+            120,
+            30,
+        ),
+    }
+}
+
+/// Builds one cell's scenario: the smoke soak reshaped to the sweep's
+/// frame budget, pinned to one weather and one rig. The dead-sensor
+/// burst on source 1 stays so every cell also exercises the breaker.
+fn cell_config(weather: Weather, rig: &Rig, frames: u64, window: u64) -> SoakConfig {
+    let mut config = SoakConfig::smoke()
+        .with_seed(0x50A4 ^ (rig.len() as u64) << 16 ^ (weather.to_string().len() as u64))
+        .with_rig(rig.clone().with_resolution(12, 48))
+        .with_constant_weather(weather);
+    config.frames = frames;
+    config.window = window;
+    // The global scratch counter is process-wide and monotone; with many
+    // cells sharing this process a later cell would inherit an earlier
+    // cell's peak, so the plateau probe is only meaningful in the CLI's
+    // single-scenario run (`roadseg soak`), not here.
+    config.check_memory = false;
+    config
+}
+
+/// Runs one grid cell twice and compares fingerprints.
+///
+/// # Errors
+///
+/// Returns the harness error if either run breaks a window invariant —
+/// an experiment-ending finding, not a data point.
+fn measure_cell(
+    weather: Weather,
+    rig: &Rig,
+    frames: u64,
+    window: u64,
+) -> Result<SoakCell, SoakError> {
+    let config = cell_config(weather, rig, frames, window);
+    let first = sf_chaos::run_soak(&config)?;
+    let second = sf_chaos::run_soak(&config)?;
+    let reproducible = first.fingerprint() == second.fingerprint();
+    Ok(SoakCell {
+        weather,
+        rig_size: rig.len(),
+        report: first,
+        reproducible,
+    })
+}
+
+/// Runs the sweep. Panics if any cell violates a soak invariant (lost
+/// request, window non-conservation, breaker off schedule) — those are
+/// correctness failures, not measurements.
+pub fn run(scale: ExperimentScale) -> SoakSweepResult {
+    let (weathers, rigs, frames, window) = grid(scale);
+    let mut cells = Vec::new();
+    for &weather in &weathers {
+        for rig in &rigs {
+            let cell = measure_cell(weather, rig, frames, window).unwrap_or_else(|e| {
+                panic!(
+                    "soak cell (weather {weather}, {} mounts) violated a scenario \
+                     invariant: {e}",
+                    rig.len()
+                )
+            });
+            cells.push(cell);
+        }
+    }
+    SoakSweepResult { cells, frames }
+}
+
+/// Renders the sweep as one row per cell plus the invariant summary.
+pub fn render(result: &SoakSweepResult) -> String {
+    let mut table = TextTable::new(vec![
+        "weather", "rig", "frames", "done", "rejected", "failed", "trips@1", "windows", "repro",
+    ]);
+    for cell in &result.cells {
+        let s = &cell.report.stats;
+        table.add_row(vec![
+            cell.weather.to_string(),
+            cell.rig_size.to_string(),
+            result.frames.to_string(),
+            s.completed.to_string(),
+            s.rejected.to_string(),
+            s.failed.to_string(),
+            cell.report
+                .source_trips
+                .get(&1)
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            cell.report.windows.len().to_string(),
+            if cell.reproducible { "yes" } else { "VARIED" }.to_string(),
+        ]);
+    }
+    let mut out = String::from("Soak scenarios — weather x severity x rig size\n");
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "conservation : every window of all {} cells reconciled submitted = completed \
+         + rejected + expired + failed + redirected (the harness fails otherwise)\n",
+        result.cells.len()
+    ));
+    out.push_str(
+        "breakers     : source 1's dead-sensor burst tripped and re-closed in every \
+         cell; clean sources never tripped\n",
+    );
+    out.push_str(&format!(
+        "reproducible : {}/{} cells replayed to identical fingerprints\n",
+        result.reproducible_cells(),
+        result.cells.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_configs_validate_at_both_scales() {
+        for scale in [ExperimentScale::Full, ExperimentScale::Quick] {
+            let (weathers, rigs, frames, window) = grid(scale);
+            for &weather in &weathers {
+                for rig in &rigs {
+                    cell_config(weather, rig, frames, window)
+                        .validate()
+                        .expect("sweep cell scenario valid");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quick_sweep_conserves_and_reproduces() {
+        let result = run(ExperimentScale::Quick);
+        assert_eq!(result.cells.len(), 2);
+        assert_eq!(result.reproducible_cells(), 2);
+        for cell in &result.cells {
+            let s = &cell.report.stats;
+            assert_eq!(s.completed, result.frames * cell.rig_size as u64);
+            assert!(cell.report.source_trips[&1] > 0, "burst source must trip");
+        }
+        let text = render(&result);
+        assert!(text.contains("fog:0.7"), "{text}");
+        assert!(text.contains("2/2 cells"), "{text}");
+    }
+}

@@ -31,6 +31,7 @@ impl ExperimentScale {
                 seed: 2022,
                 adverse_fraction: 0.3,
                 traffic_fraction: 0.25,
+                ..DatasetConfig::standard()
             },
         }
     }

@@ -45,9 +45,13 @@
 //! ```
 
 mod fleet;
+mod soak;
 
 pub use fleet::{
     parse_fleet_scenes, run_fleet, FleetChaosConfig, FleetChaosError, FleetChaosReport, FleetScene,
+};
+pub use soak::{
+    run_soak, FaultBurst, SoakConfig, SoakError, SoakReport, WeatherFront, WindowSummary,
 };
 
 use std::collections::VecDeque;

@@ -5,7 +5,7 @@ use std::fmt;
 
 use sf_core::{DegradationPolicy, FusionScheme};
 use sf_dataset::SensorFault;
-use sf_scene::RoadCategory;
+use sf_scene::{Rig, RoadCategory, Weather};
 
 /// Errors produced while parsing the command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -206,6 +206,43 @@ impl Args {
         }
     }
 
+    /// The weather condition (`--weather`), as `clear` or `kind:severity`
+    /// like `fog:0.7`. Defaults to clear, which reproduces the
+    /// pre-weather pipeline bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] on an unknown kind or an
+    /// out-of-range severity.
+    pub fn weather(&self) -> Result<Weather, ParseArgsError> {
+        match self.get("weather") {
+            None => Ok(Weather::clear()),
+            Some(spec) => spec.parse().map_err(|_| ParseArgsError::BadValue {
+                flag: "weather".to_string(),
+                value: spec.to_string(),
+                expected: "weather spec (clear, rain:S, fog:S or snow:S with S in [0, 1])",
+            }),
+        }
+    }
+
+    /// The LiDAR rig (`--rig`), by name (`single`/`dual`/`triple`) or
+    /// mount count (`1`/`2`/`3`). Defaults to the classic single roof
+    /// sensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] on an unknown rig name.
+    pub fn rig(&self) -> Result<Rig, ParseArgsError> {
+        match self.get("rig") {
+            None => Ok(Rig::single()),
+            Some(name) => Rig::by_name(name).ok_or_else(|| ParseArgsError::BadValue {
+                flag: "rig".to_string(),
+                value: name.to_string(),
+                expected: "rig (single|dual|triple or 1|2|3)",
+            }),
+        }
+    }
+
     /// The optional road-category filter (`--category`).
     ///
     /// # Errors
@@ -320,6 +357,22 @@ mod tests {
         assert!(bad.fault().is_err());
         let badp = args(&["eval", "--policy", "hope"]).unwrap();
         assert!(badp.policy().is_err());
+    }
+
+    #[test]
+    fn weather_and_rig_lookups() {
+        let a = args(&["eval", "--weather", "fog:0.7", "--rig", "triple"]).unwrap();
+        assert_eq!(a.weather().unwrap(), Weather::fog(0.7));
+        assert_eq!(a.rig().unwrap().len(), 3);
+        let d = args(&["eval"]).unwrap();
+        assert_eq!(d.weather().unwrap(), Weather::clear());
+        assert_eq!(d.rig().unwrap(), Rig::single());
+        let numeric = args(&["eval", "--rig", "2"]).unwrap();
+        assert_eq!(numeric.rig().unwrap(), Rig::dual());
+        let badw = args(&["eval", "--weather", "hail:0.5"]).unwrap();
+        assert!(badw.weather().is_err());
+        let badr = args(&["eval", "--rig", "4"]).unwrap();
+        assert!(badr.rig().is_err());
     }
 
     #[test]

@@ -21,7 +21,10 @@ use crate::{Args, CliError};
 /// path (`fallback`, the default) or depth is ignored outright
 /// (`camera-only`). With `--int8`, the model is calibrated on
 /// `--calib-samples` seeded training frames and evaluated through the
-/// int8 compiled plans instead of f32.
+/// int8 compiled plans instead of f32. `--weather` (e.g. `fog:0.7`)
+/// regenerates the split under degraded visibility and `--rig`
+/// (`single`/`dual`/`triple`) merges a multi-mount LiDAR rig into the
+/// depth channel.
 pub fn eval(args: &Args) -> Result<String, CliError> {
     let net = load_model(args.require("model")?)?;
     let fault = args.fault()?;
@@ -43,6 +46,8 @@ pub fn eval(args: &Args) -> Result<String, CliError> {
         seed: args.get_parsed("seed", 2022, "integer")?,
         adverse_fraction: args.get_parsed("adverse-fraction", 0.3, "float")?,
         traffic_fraction: args.get_parsed("traffic-fraction", 0.25, "float")?,
+        weather: args.weather()?,
+        rig_size: args.rig()?.len(),
     };
     let data = RoadDataset::generate(&dataset_config);
     let camera = dataset_config.camera();
@@ -223,6 +228,34 @@ mod tests {
             trusted.contains("quarantined depth inputs: 0 of 3"),
             "{trusted}"
         );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn weather_and_rig_flags_change_the_split() {
+        let path = saved_model("sf_cli_eval_weather.sfm");
+        let log = run(&[
+            "eval",
+            "--model",
+            path.to_str().unwrap(),
+            "--test-per-category",
+            "1",
+            "--weather",
+            "fog:0.8",
+            "--rig",
+            "dual",
+        ])
+        .unwrap();
+        assert!(log.contains("all"), "{log}");
+        let bad = run(&[
+            "eval",
+            "--model",
+            path.to_str().unwrap(),
+            "--weather",
+            "hail:0.5",
+        ])
+        .unwrap_err();
+        assert!(matches!(bad, CliError::Args(_)), "{bad}");
         std::fs::remove_file(path).unwrap();
     }
 

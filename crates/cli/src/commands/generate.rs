@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use sf_dataset::Sample;
+use sf_dataset::{RenderOptions, Sample};
 use sf_scene::{Lighting, PinholeCamera, RoadCategory};
 use sf_tensor::TensorRng;
 use sf_vision::{GrayImage, RgbImage};
@@ -28,19 +28,30 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
     let width: usize = args.get_parsed("width", 96, "integer")?;
     let height: usize = args.get_parsed("height", 32, "integer")?;
     let category_filter = args.category()?;
+    let weather = args.weather()?;
+    let rig_size = args.rig()?.len();
     let camera = PinholeCamera::kitti_like(width, height);
     let mut rng = TensorRng::seed_from(seed);
     let mut log = String::new();
+    // Presets are drawn by *name* and resolved through `Lighting::by_name`
+    // (same order as `Lighting::presets()`, so seeds reproduce).
+    const PRESET_NAMES: [&str; 4] = ["day", "night", "overexposed", "shadows"];
+    let options = RenderOptions {
+        weather,
+        rig_size,
+        ..RenderOptions::default()
+    };
     for i in 0..count {
         let category = category_filter.unwrap_or(RoadCategory::ALL[i % RoadCategory::ALL.len()]);
-        let presets = Lighting::presets();
-        let (lighting_name, lighting) = presets[rng.index(presets.len())];
-        let sample = Sample::render(
+        let lighting_name = PRESET_NAMES[rng.index(PRESET_NAMES.len())];
+        let lighting = Lighting::by_name(lighting_name).expect("preset names stay in sync");
+        let sample = Sample::render_with(
             category,
             rng.index(usize::MAX - 1) as u64,
             lighting_name,
             lighting,
             &camera,
+            &options,
         );
         let stem = out.join(format!("frame_{i:03}_{}", category.code().to_lowercase()));
         let rgb = RgbImage::from_tensor(&sample.rgb);
@@ -72,6 +83,8 @@ fn generate_dataset(args: &Args) -> Result<String, CliError> {
         seed: args.get_parsed("seed", 2022, "integer")?,
         adverse_fraction: args.get_parsed("adverse-fraction", 0.3, "float")?,
         traffic_fraction: args.get_parsed("traffic-fraction", 0.25, "float")?,
+        weather: args.weather()?,
+        rig_size: args.rig()?.len(),
     };
     let data = RoadDataset::generate(&config);
     data.save_to_dir(out)?;

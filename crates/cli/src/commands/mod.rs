@@ -10,6 +10,7 @@ mod info;
 mod plan;
 mod quantize;
 mod serve_bench;
+mod soak;
 mod train;
 
 pub use chaos::chaos;
@@ -21,6 +22,7 @@ pub use info::info;
 pub use plan::plan;
 pub use quantize::quantize;
 pub use serve_bench::serve_bench;
+pub use soak::soak;
 pub use train::train;
 
 use sf_core::NetworkConfig;

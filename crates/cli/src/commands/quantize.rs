@@ -37,6 +37,7 @@ pub fn quantize(args: &Args) -> Result<String, CliError> {
         seed: args.get_parsed("seed", 2022, "integer")?,
         adverse_fraction: 0.3,
         traffic_fraction: 0.25,
+        ..DatasetConfig::standard()
     };
     let data = RoadDataset::generate(&dataset_config);
     let train = data.train(None);

@@ -23,6 +23,8 @@ pub fn train(args: &Args) -> Result<String, CliError> {
         seed: args.get_parsed("seed", 2022, "integer")?,
         adverse_fraction: args.get_parsed("adverse-fraction", 0.3, "float")?,
         traffic_fraction: args.get_parsed("traffic-fraction", 0.25, "float")?,
+        weather: args.weather()?,
+        rig_size: args.rig()?.len(),
     };
     let optimizer = match args.get("optimizer").unwrap_or("sgd") {
         "sgd" => OptimizerKind::Sgd,

@@ -12,6 +12,7 @@
 //! roadseg fleet-bench --replicas 3 --kill --deploy # replica-fleet bench
 //! roadseg chaos --smoke                            # deterministic chaos run
 //! roadseg chaos --fleet --smoke                    # fleet-level chaos run
+//! roadseg soak --smoke                             # long-haul scenario soak
 //! ```
 //!
 //! The library half exists so the subcommands are unit-testable; the
@@ -93,6 +94,7 @@ COMMANDS:
   serve-bench  drive the batched inference server with synthetic clients
   fleet-bench  drive a replica fleet, optionally killing/reviving/hot-swapping mid-run
   chaos      run a seeded fault schedule against the server and check invariants
+  soak       long-haul weather/occluder/multi-LiDAR scenario against a fleet
 
 COMMON FLAGS:
   --scheme <baseline|au|ab|bs|ws>   fusion architecture   [default: au]
@@ -144,6 +146,14 @@ FLAGS BY COMMAND:
             [--queue <n>] [--max-batch <n>] [--no-breaker] [--smoke]
             (fleet-level kill/revive/hot-swap/shadow schedule; always
              deterministic — any fingerprint mismatch fails)
+  soak:     [--seed <u64>] [--frames <n>] [--window <n>] [--replicas <n>]
+            [--rig <single|dual|triple>] [--weather <clear|rain:S|fog:S|snow:S>]
+            [--smoke]
+            (endless-road soak: weather fronts + occluders + per-source fault
+             bursts against a replica fleet; every window must conserve, the
+             scratch peak must plateau, breakers must cycle on schedule, and
+             two runs must produce identical ledgers; --weather pins one
+             weather for the whole run; --frames rescales the schedules)
 
 FAULT KINDS (for eval --fault):
   depth-dropout:<p>  dead-rows:<p>  gaussian-noise:<sigma>

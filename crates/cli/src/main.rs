@@ -41,6 +41,7 @@ fn run(raw: &[String]) -> Result<String, CliError> {
         "serve-bench" => commands::serve_bench(&args),
         "fleet-bench" => commands::fleet_bench(&args),
         "chaos" => commands::chaos(&args),
+        "soak" => commands::soak(&args),
         other => Err(CliError::Invalid(format!("unknown command {other:?}"))),
     }
 }

@@ -1,9 +1,9 @@
 //! Dataset configuration, parallel generation, and splits.
 
-use sf_scene::{Lighting, PinholeCamera, RoadCategory};
+use sf_scene::{Lighting, PinholeCamera, RoadCategory, Weather};
 use sf_tensor::TensorRng;
 
-use crate::Sample;
+use crate::{RenderOptions, Sample};
 
 /// Configuration for generating a [`RoadDataset`].
 ///
@@ -28,6 +28,13 @@ pub struct DatasetConfig {
     /// Fraction of samples that contain on-road traffic (1–3 vehicles
     /// occluding the drivable surface).
     pub traffic_fraction: f64,
+    /// Weather applied to every sample (RGB attenuation + LiDAR
+    /// degradation). [`Weather::clear`] reproduces the pre-weather
+    /// pipeline bit-identically.
+    pub weather: Weather,
+    /// LiDAR mounts per sample: 1 = the classic roof sensor, 2–3 merge a
+    /// multi-mount [`sf_scene::Rig`]'s clouds into the depth image.
+    pub rig_size: usize,
 }
 
 impl DatasetConfig {
@@ -42,6 +49,8 @@ impl DatasetConfig {
             seed: 2022,
             adverse_fraction: 0.3,
             traffic_fraction: 0.25,
+            weather: Weather::clear(),
+            rig_size: 1,
         }
     }
 
@@ -55,6 +64,8 @@ impl DatasetConfig {
             seed: 7,
             adverse_fraction: 0.3,
             traffic_fraction: 0.25,
+            weather: Weather::clear(),
+            rig_size: 1,
         }
     }
 
@@ -102,8 +113,14 @@ impl RoadDataset {
         let rendered: Vec<(Sample, bool)> = sf_runtime::parallel_map(
             &specs,
             |&(category, seed, name, lighting, is_train, traffic)| {
+                let options = RenderOptions {
+                    traffic,
+                    weather: config.weather,
+                    rig_size: config.rig_size.max(1),
+                    ..RenderOptions::default()
+                };
                 (
-                    Sample::render_with_traffic(category, seed, name, lighting, &camera, traffic),
+                    Sample::render_with(category, seed, name, lighting, &camera, &options),
                     is_train,
                 )
             },
@@ -170,11 +187,16 @@ fn filter(samples: &[Sample], category: Option<RoadCategory>) -> Vec<&Sample> {
         .collect()
 }
 
+/// The adverse presets by *name*, resolved through [`Lighting::by_name`]
+/// so a reordered or extended `Lighting::presets()` cannot silently remap
+/// which condition a sample gets. Draws exactly one `rng.index(3)` like
+/// the historical positional lookup, so existing datasets regenerate
+/// bit-identically.
 fn pick_lighting(rng: &mut TensorRng, adverse_fraction: f64) -> (&'static str, Lighting) {
+    const ADVERSE: [&str; 3] = ["night", "overexposed", "shadows"];
     if rng.chance(adverse_fraction) {
-        let presets = Lighting::presets();
-        // Index 0 is "day"; adverse presets are 1..4.
-        let (name, lighting) = presets[1 + rng.index(3)];
+        let name = ADVERSE[rng.index(3)];
+        let lighting = Lighting::by_name(name).expect("adverse presets exist");
         (name, lighting)
     } else {
         ("day", Lighting::day())

@@ -320,6 +320,61 @@ mod tests {
     }
 
     #[test]
+    fn spec_round_trips_for_randomized_faults() {
+        // parse(display(fault)) == fault for arbitrary parameters: Rust's
+        // float Display prints the shortest digits that re-parse exactly,
+        // so the round trip must be lossless for every kind.
+        sf_tensor::testkit::check_cases(128, |c| {
+            let fault = match c.usize_in(0, 6) {
+                0 => SensorFault::DepthDropout {
+                    p: c.f32_in(0.0, 1.0) as f64,
+                },
+                1 => SensorFault::DeadRows {
+                    p: c.f32_in(0.0, 1.0) as f64,
+                },
+                2 => SensorFault::GaussianNoise {
+                    sigma: c.f32_in(0.0, 3.0),
+                },
+                3 => SensorFault::Miscalibration {
+                    dx: c.usize_in(0, 40) as i32 - 20,
+                    dy: c.usize_in(0, 40) as i32 - 20,
+                },
+                4 => SensorFault::StaleFrame,
+                _ => SensorFault::SaltPepper {
+                    p: c.f32_in(0.0, 1.0) as f64,
+                },
+            };
+            let spec = fault.to_string();
+            let reparsed: SensorFault = spec
+                .parse()
+                .unwrap_or_else(|e| panic!("case {}: {spec:?} failed to re-parse: {e}", c.case));
+            assert_eq!(fault, reparsed, "case {}: spec {spec:?}", c.case);
+        });
+    }
+
+    #[test]
+    fn malformed_specs_give_typed_errors_naming_the_spec() {
+        for spec in [
+            "depth-dropout",      // missing parameter
+            "depth-dropout:1.5",  // probability out of range
+            "dead-rows:-0.1",     // negative probability
+            "gaussian-noise:NaN", // non-finite sigma
+            "miscalibration:3",   // missing dy
+            "stale-frame:1",      // unexpected parameter
+            "lens-flare:0.5",     // unknown kind
+            "",
+        ] {
+            let err: ParseFaultError = spec.parse::<SensorFault>().unwrap_err();
+            assert_eq!(err.spec, spec, "error must carry the offending spec");
+            let message = err.to_string();
+            assert!(
+                message.contains(&format!("{spec:?}")) && message.contains("depth-dropout:<p>"),
+                "message must name the spec and the expected grammar: {message}"
+            );
+        }
+    }
+
+    #[test]
     fn different_seeds_differ_for_stochastic_faults() {
         let fault = SensorFault::DepthDropout { p: 0.5 };
         let depth = ramp(&[1, 16, 16]);

@@ -36,6 +36,7 @@ mod bev;
 mod dataset;
 mod faults;
 mod metrics;
+mod rig;
 mod sample;
 mod storage;
 
@@ -44,5 +45,6 @@ pub use bev::{bev_warp, BevGrid};
 pub use dataset::{DatasetConfig, RoadDataset};
 pub use faults::{FaultInjector, ParseFaultError, SensorFault};
 pub use metrics::{average_precision, confusion, max_f_threshold, SegmentationEval};
+pub use rig::RigFrame;
 pub use sample::{RenderOptions, Sample};
 pub use storage::LoadDatasetError;

@@ -1,22 +1,31 @@
 //! One dataset sample: an aligned RGB / depth / ground-truth triple.
 
 use sf_scene::{
-    depth_image_from_cloud, render_ground_truth, render_rgb, surface_normals_from_depth, LidarSpec,
-    Lighting, PinholeCamera, RoadCategory, SceneBuilder,
+    depth_image_from_cloud, render_ground_truth, render_rgb_with, surface_normals_from_depth,
+    LidarSpec, Lighting, PinholeCamera, PointCloud, Rig, RoadCategory, SceneBuilder, Weather,
 };
 use sf_tensor::{Tensor, TensorRng};
 use sf_vision::GrayImage;
 
 /// Knobs for [`Sample::render_with`] beyond the defaults: traffic, the
-/// LiDAR model and the depth densification effort.
+/// LiDAR model, weather, rig size and the depth densification effort.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RenderOptions {
     /// Vehicles placed on the road (occluding the drivable surface).
     pub traffic: usize,
-    /// The LiDAR geometry/noise model.
+    /// The LiDAR geometry/noise model (ignored when `rig_size > 1`,
+    /// where the [`Rig`] preset supplies per-mount specs).
     pub lidar: LidarSpec,
     /// Hole-filling iterations for the dense depth image.
     pub fill_iterations: usize,
+    /// Weather applied to the RGB render and the LiDAR scan.
+    /// [`Weather::clear`] (the default) is bit-identical to the
+    /// pre-weather pipeline.
+    pub weather: Weather,
+    /// LiDAR mounts: 1 (default, the classic roof sensor driven by
+    /// `lidar`), 2 or 3 ([`Rig`] presets whose independently-seeded
+    /// clouds are merged before densification).
+    pub rig_size: usize,
 }
 
 impl RenderOptions {
@@ -28,9 +37,9 @@ impl RenderOptions {
         lidar.rings *= factor.max(1);
         lidar.azimuth_steps *= factor.max(1);
         RenderOptions {
-            traffic: 0,
             lidar,
             fill_iterations: 3 * factor.max(1),
+            ..RenderOptions::default()
         }
     }
 }
@@ -41,6 +50,8 @@ impl Default for RenderOptions {
             traffic: 0,
             lidar: LidarSpec::default(),
             fill_iterations: 3,
+            weather: Weather::clear(),
+            rig_size: 1,
         }
     }
 }
@@ -115,12 +126,39 @@ impl Sample {
         let scene = SceneBuilder::new(category, seed)
             .traffic(options.traffic)
             .build();
-        let rgb = render_rgb(&scene, camera, lighting);
+        let rgb = render_rgb_with(&scene, camera, lighting, options.weather);
         let gt = render_ground_truth(&scene, camera);
-        let mut lidar_rng = TensorRng::seed_from(seed ^ 0x11DA_5EED);
-        let spec = options.lidar;
-        let cloud = spec.scan(&scene, &mut lidar_rng);
-        let depth = depth_image_from_cloud(&cloud, camera, spec.max_range, options.fill_iterations);
+        let lidar_seed = seed ^ 0x11DA_5EED;
+        let (cloud, max_range) = if options.rig_size <= 1 {
+            // The classic single-sensor path: same spec, same RNG stream
+            // as before rigs existed — bit-identical in clear weather.
+            let mut lidar_rng = TensorRng::seed_from(lidar_seed);
+            let spec = options.lidar;
+            (
+                spec.scan_with(&scene, options.weather, &mut lidar_rng),
+                spec.max_range,
+            )
+        } else {
+            // Multi-LiDAR: every mount scans from its own pose with its
+            // own RNG stream; the merged cloud densifies into one image.
+            let rig = Rig::of_size(options.rig_size.min(3)).expect("rig sizes 2 and 3 exist");
+            let mut merged = PointCloud::new();
+            let mut max_range = options.lidar.max_range;
+            for mount in rig.mounts() {
+                let stream = Rig::stream_seed(lidar_seed, 0, mount.source);
+                let mut rng = TensorRng::seed_from(stream);
+                for &p in mount
+                    .spec
+                    .scan_with(&scene, options.weather, &mut rng)
+                    .points()
+                {
+                    merged.push(p);
+                }
+                max_range = max_range.max(mount.spec.max_range);
+            }
+            (merged, max_range)
+        };
+        let depth = depth_image_from_cloud(&cloud, camera, max_range, options.fill_iterations);
         let (h, w) = (camera.height(), camera.width());
         Sample {
             rgb: rgb.to_tensor(),
@@ -266,6 +304,83 @@ mod tests {
         for y in 0..s.height() {
             assert_eq!(f.gt.at(&[0, y, 0]), s.gt.at(&[0, y, w - 1]));
         }
+    }
+
+    #[test]
+    fn clear_weather_options_are_bit_identical_to_default() {
+        let cam = PinholeCamera::kitti_like(48, 16);
+        let base = Sample::render(RoadCategory::UrbanMarked, 5, "day", Lighting::day(), &cam);
+        let opts = RenderOptions {
+            weather: Weather::clear(),
+            rig_size: 1,
+            ..RenderOptions::default()
+        };
+        let explicit = Sample::render_with(
+            RoadCategory::UrbanMarked,
+            5,
+            "day",
+            Lighting::day(),
+            &cam,
+            &opts,
+        );
+        assert_eq!(base.rgb, explicit.rgb);
+        assert_eq!(base.depth, explicit.depth);
+        assert_eq!(base.gt, explicit.gt);
+    }
+
+    #[test]
+    fn fog_degrades_both_modalities_but_not_gt() {
+        let cam = PinholeCamera::kitti_like(48, 16);
+        let clear = Sample::render(RoadCategory::UrbanMarked, 5, "day", Lighting::day(), &cam);
+        let opts = RenderOptions {
+            weather: Weather::fog(0.9),
+            ..RenderOptions::default()
+        };
+        let foggy = Sample::render_with(
+            RoadCategory::UrbanMarked,
+            5,
+            "day",
+            Lighting::day(),
+            &cam,
+            &opts,
+        );
+        assert_ne!(clear.rgb, foggy.rgb, "fog must change the camera");
+        assert_ne!(clear.depth, foggy.depth, "fog must change the LiDAR");
+        assert_eq!(clear.gt, foggy.gt, "ground truth is weather-invariant");
+        // The foggy depth image carries less signal (fewer/nearer returns).
+        assert!(foggy.depth.sum() < clear.depth.sum());
+    }
+
+    #[test]
+    fn bigger_rigs_densify_the_depth_image() {
+        let cam = PinholeCamera::kitti_like(48, 16);
+        let render = |rig_size| {
+            let opts = RenderOptions {
+                rig_size,
+                fill_iterations: 0,
+                ..RenderOptions::default()
+            };
+            Sample::render_with(
+                RoadCategory::UrbanMarked,
+                11,
+                "day",
+                Lighting::day(),
+                &cam,
+                &opts,
+            )
+        };
+        let single = render(1);
+        let triple = render(3);
+        let observed = |s: &Sample| s.depth.data().iter().filter(|&&v| v > 0.0).count();
+        assert!(
+            observed(&triple) >= observed(&single),
+            "extra mounts must not lose coverage: {} vs {}",
+            observed(&triple),
+            observed(&single)
+        );
+        assert_ne!(single.depth, triple.depth);
+        // Deterministic: same options, same depths.
+        assert_eq!(triple.depth, render(3).depth);
     }
 
     #[test]

@@ -37,13 +37,19 @@ mod geometry;
 mod lidar;
 mod lighting;
 mod normals;
+mod occluder;
 mod render;
+mod rig;
 mod scene;
+mod weather;
 
 pub use camera::PinholeCamera;
 pub use geometry::{Aabb, Ray, Vec3, VerticalCylinder};
 pub use lidar::{depth_image_from_cloud, LidarSpec, PointCloud};
 pub use lighting::Lighting;
 pub use normals::surface_normals_from_depth;
-pub use render::{overlay_mask, render_ground_truth, render_rgb};
+pub use occluder::{Occluder, OCCLUDER_Z_MAX, OCCLUDER_Z_MIN};
+pub use render::{overlay_mask, render_ground_truth, render_rgb, render_rgb_with};
+pub use rig::{Rig, RigMount};
 pub use scene::{Obstacle, RoadCategory, Scene, SceneBuilder, Surface};
+pub use weather::{ParseWeatherError, Weather, WeatherKind};

@@ -13,6 +13,7 @@ use sf_vision::GrayImage;
 use crate::camera::PinholeCamera;
 use crate::geometry::{Ray, Vec3};
 use crate::scene::{Scene, Surface};
+use crate::weather::Weather;
 
 /// A set of 3-D LiDAR returns in world coordinates.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -73,6 +74,12 @@ pub struct LidarSpec {
     pub azimuth_half_fov: f32,
     /// Sensor mount height in metres.
     pub mount_height: f32,
+    /// Lateral mount offset in metres (positive = right of the ego
+    /// centreline). 0 for the classic roof mount.
+    pub mount_lateral: f32,
+    /// Forward mount offset in metres (positive = ahead of the ego
+    /// origin). 0 for the classic roof mount.
+    pub mount_forward: f32,
     /// Maximum usable range in metres.
     pub max_range: f32,
     /// Gaussian range noise sigma in metres.
@@ -90,6 +97,8 @@ impl Default for LidarSpec {
             elevation_max: 0.03,
             azimuth_half_fov: 0.70,
             mount_height: 1.73,
+            mount_lateral: 0.0,
+            mount_forward: 0.0,
             max_range: 60.0,
             range_noise: 0.02,
             dropout: 0.05,
@@ -98,10 +107,21 @@ impl Default for LidarSpec {
 }
 
 impl LidarSpec {
-    /// Scans `scene`, returning the noisy point cloud. Deterministic given
-    /// the RNG state.
+    /// Scans `scene` in clear weather, returning the noisy point cloud.
+    /// Deterministic given the RNG state.
     pub fn scan(&self, scene: &Scene, rng: &mut TensorRng) -> PointCloud {
-        let origin = Vec3::new(0.0, self.mount_height, 0.0);
+        self.scan_with(scene, Weather::clear(), rng)
+    }
+
+    /// Scans `scene` under `weather`. Beyond the sensor's own dropout and
+    /// range noise, non-clear weather applies range-dependent return
+    /// dropout (two-way extinction), backscatter ghost returns from
+    /// droplets/flakes near the sensor, and extra range jitter. With
+    /// [`Weather::clear`] this is bit-identical to [`LidarSpec::scan`] —
+    /// including the RNG stream, since clear weather draws nothing.
+    pub fn scan_with(&self, scene: &Scene, weather: Weather, rng: &mut TensorRng) -> PointCloud {
+        let origin = Vec3::new(self.mount_lateral, self.mount_height, self.mount_forward);
+        let clear = weather.is_clear();
         let mut cloud = PointCloud::new();
         for ring in 0..self.rings {
             let elev = self.elevation_min
@@ -121,7 +141,23 @@ impl LidarSpec {
                     continue;
                 }
                 let noisy_t = (hit.t + rng.normal_scalar() * self.range_noise).max(0.1);
-                cloud.push(ray.at(noisy_t));
+                if clear {
+                    cloud.push(ray.at(noisy_t));
+                    continue;
+                }
+                // Two-way extinction: far returns die first.
+                if rng.chance(weather.lidar_dropout(hit.t)) {
+                    continue;
+                }
+                // Backscatter: the pulse reflects off a droplet/flake a
+                // few metres out instead of the true surface.
+                if rng.chance(weather.ghost_probability()) {
+                    let ghost_t = rng.uniform_scalar(1.0, 8.0).min(noisy_t);
+                    cloud.push(ray.at(ghost_t));
+                    continue;
+                }
+                let jitter = rng.normal_scalar() * weather.range_jitter();
+                cloud.push(ray.at((noisy_t + jitter).max(0.1)));
             }
         }
         cloud
@@ -281,6 +317,94 @@ mod tests {
         let cam = PinholeCamera::kitti_like(32, 16);
         let depth = depth_image_from_cloud(&PointCloud::new(), &cam, 60.0, 3);
         assert!(depth.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clear_weather_scan_is_bit_identical_to_plain_scan() {
+        let scene = test_scene();
+        let spec = LidarSpec::default();
+        let plain = spec.scan(&scene, &mut TensorRng::seed_from(6));
+        let clear = spec.scan_with(&scene, Weather::clear(), &mut TensorRng::seed_from(6));
+        assert_eq!(plain, clear);
+    }
+
+    #[test]
+    fn fog_thins_the_cloud_with_range() {
+        let scene = test_scene();
+        let spec = LidarSpec::default();
+        let clear = spec.scan(&scene, &mut TensorRng::seed_from(7));
+        let foggy = spec.scan_with(&scene, Weather::fog(0.9), &mut TensorRng::seed_from(7));
+        assert!(
+            foggy.len() < clear.len() / 2,
+            "fog kept {} of {} returns",
+            foggy.len(),
+            clear.len()
+        );
+        // Far returns die preferentially: the foggy cloud's far fraction
+        // must shrink relative to clear.
+        let far_fraction = |cloud: &PointCloud| {
+            let far = cloud.points().iter().filter(|p| p.z > 20.0).count();
+            far as f32 / cloud.len().max(1) as f32
+        };
+        assert!(far_fraction(&foggy) < far_fraction(&clear));
+    }
+
+    #[test]
+    fn snow_produces_near_sensor_ghost_returns() {
+        let scene = test_scene();
+        // No base dropout/noise so extra near returns are attributable to
+        // backscatter ghosts alone.
+        let spec = LidarSpec {
+            dropout: 0.0,
+            range_noise: 0.0,
+            ..LidarSpec::default()
+        };
+        let clear = spec.scan(&scene, &mut TensorRng::seed_from(8));
+        let snowy = spec.scan_with(&scene, Weather::snow(1.0), &mut TensorRng::seed_from(8));
+        // The nearest true surface (the ground under the lowest ring) sits
+        // beyond range ≈ 4.2 m, so anything closer can only be a ghost.
+        let origin = Vec3::new(0.0, spec.mount_height, 0.0);
+        let ghost_only = |cloud: &PointCloud| {
+            cloud
+                .points()
+                .iter()
+                .filter(|&&p| (p - origin).length() < 3.5)
+                .count()
+        };
+        assert_eq!(ghost_only(&clear), 0, "clear scan has no near phantoms");
+        assert!(
+            ghost_only(&snowy) > 0,
+            "snow must produce backscatter ghosts near the sensor"
+        );
+    }
+
+    #[test]
+    fn weather_scan_is_deterministic_by_seed() {
+        let scene = test_scene();
+        let spec = LidarSpec::default();
+        let a = spec.scan_with(&scene, Weather::rain(0.7), &mut TensorRng::seed_from(9));
+        let b = spec.scan_with(&scene, Weather::rain(0.7), &mut TensorRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mount_offsets_shift_the_scan_origin() {
+        let scene = test_scene();
+        let offset = LidarSpec {
+            mount_lateral: -0.85,
+            mount_forward: 0.9,
+            range_noise: 0.0,
+            dropout: 0.0,
+            ..LidarSpec::default()
+        };
+        let roof = LidarSpec {
+            range_noise: 0.0,
+            dropout: 0.0,
+            ..LidarSpec::default()
+        };
+        let a = roof.scan(&scene, &mut TensorRng::seed_from(10));
+        let b = offset.scan(&scene, &mut TensorRng::seed_from(10));
+        assert_ne!(a, b, "distinct mounts must see distinct clouds");
     }
 
     #[test]

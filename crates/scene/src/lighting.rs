@@ -100,6 +100,20 @@ impl Lighting {
             ("shadows", Lighting::harsh_shadows()),
         ]
     }
+
+    /// Looks a preset up by its canonical name.
+    ///
+    /// CLI flag parsing and the `exp_*` sweeps both resolve presets
+    /// through this, so adding a preset (or reordering [`presets`]) can
+    /// never silently shift a sweep cell onto the wrong condition.
+    ///
+    /// [`presets`]: Lighting::presets
+    pub fn by_name(name: &str) -> Option<Lighting> {
+        Lighting::presets()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, lighting)| lighting)
+    }
 }
 
 impl Default for Lighting {

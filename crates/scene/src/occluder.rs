@@ -1,0 +1,174 @@
+//! Dynamic occluder vehicles: car-sized boxes that move along the road
+//! on parameterized trajectories, advanced per *frame* (scene clock, not
+//! wall clock).
+//!
+//! Unlike [`crate::SceneBuilder::traffic`] — which bakes static parked
+//! vehicles into the scene — occluders are a separate, replayable layer:
+//! [`Scene::with_occluders`](crate::Scene::with_occluders) materialises
+//! them as [`Obstacle::Block`](crate::Obstacle)s at a given frame index,
+//! so they occlude ground-truth road pixels *and* shadow LiDAR returns
+//! through the ordinary `Scene::hit` path. The same occluder list
+//! replayed at the same frame always yields the same geometry.
+
+use sf_tensor::TensorRng;
+
+use crate::geometry::{Aabb, Vec3};
+use crate::scene::Scene;
+
+/// Longitudinal corridor the occluders patrol (metres ahead of the ego).
+/// Trajectories wrap around inside it, so traffic never leaves the
+/// sensed range.
+pub const OCCLUDER_Z_MIN: f32 = 6.0;
+/// Far end of the patrol corridor.
+pub const OCCLUDER_Z_MAX: f32 = 54.0;
+
+/// One moving vehicle: a box following the road centreline at a fixed
+/// lateral lane offset, advancing `speed` metres per frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occluder {
+    /// Lateral offset from the road centreline in metres.
+    pub lane_offset: f32,
+    /// Longitudinal position at frame 0, in `[OCCLUDER_Z_MIN, OCCLUDER_Z_MAX)`.
+    pub z_start: f32,
+    /// Metres advanced per frame; negative for oncoming traffic.
+    pub speed: f32,
+    /// Box width (lateral) in metres.
+    pub width: f32,
+    /// Box length (longitudinal) in metres.
+    pub length: f32,
+    /// Box height in metres.
+    pub height: f32,
+    /// Base diffuse albedo in `[0, 1]`.
+    pub albedo: f32,
+}
+
+impl Occluder {
+    /// Longitudinal position at `frame`, wrapped into the patrol corridor.
+    pub fn z_at(&self, frame: u64) -> f32 {
+        let span = OCCLUDER_Z_MAX - OCCLUDER_Z_MIN;
+        let travelled = self.z_start - OCCLUDER_Z_MIN + self.speed * frame as f32;
+        OCCLUDER_Z_MIN + travelled.rem_euclid(span)
+    }
+
+    /// World-space box at `frame`, tracking `scene`'s road curvature.
+    pub fn aabb_at(&self, scene: &Scene, frame: u64) -> Aabb {
+        let z = self.z_at(frame);
+        let cx = scene.road_center(z) + self.lane_offset;
+        Aabb::new(
+            Vec3::new(cx - self.width / 2.0, 0.0, z - self.length / 2.0),
+            Vec3::new(cx + self.width / 2.0, self.height, z + self.length / 2.0),
+        )
+    }
+
+    /// Samples a deterministic convoy of `count` occluders for `scene`.
+    /// Lane offsets stay inside the drivable corridor, speeds mix slow
+    /// leading traffic with faster oncoming vehicles.
+    pub fn convoy(scene: &Scene, count: usize, seed: u64) -> Vec<Occluder> {
+        let mut rng = TensorRng::seed_from(seed ^ 0x0CC1_0CC1);
+        (0..count)
+            .map(|_| {
+                let width = 1.8;
+                let margin = (scene.half_width() - width).max(0.2);
+                let oncoming = rng.chance(0.35);
+                let speed = rng.uniform_scalar(0.08, 0.40) * if oncoming { -1.0 } else { 1.0 };
+                Occluder {
+                    lane_offset: rng.uniform_scalar(-margin, margin),
+                    z_start: rng.uniform_scalar(OCCLUDER_Z_MIN, OCCLUDER_Z_MAX),
+                    speed,
+                    width,
+                    length: 4.2,
+                    height: 1.5,
+                    albedo: rng.uniform_scalar(0.2, 0.7),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::PinholeCamera;
+    use crate::render::render_ground_truth;
+    use crate::scene::{RoadCategory, SceneBuilder};
+
+    fn base_scene() -> Scene {
+        SceneBuilder::new(RoadCategory::UrbanMultipleMarked, 9).build()
+    }
+
+    #[test]
+    fn trajectory_wraps_inside_corridor() {
+        let occluder = Occluder {
+            lane_offset: 0.0,
+            z_start: 50.0,
+            speed: 2.5,
+            width: 1.8,
+            length: 4.2,
+            height: 1.5,
+            albedo: 0.4,
+        };
+        for frame in 0..200 {
+            let z = occluder.z_at(frame);
+            assert!(
+                (OCCLUDER_Z_MIN..OCCLUDER_Z_MAX).contains(&z),
+                "frame {frame}: z={z}"
+            );
+        }
+        // It actually moves between consecutive frames.
+        assert_ne!(occluder.z_at(0), occluder.z_at(1));
+    }
+
+    #[test]
+    fn oncoming_traffic_moves_backwards() {
+        let occluder = Occluder {
+            lane_offset: -1.0,
+            z_start: 30.0,
+            speed: -0.5,
+            width: 1.8,
+            length: 4.2,
+            height: 1.5,
+            albedo: 0.4,
+        };
+        assert!(occluder.z_at(1) < occluder.z_at(0));
+    }
+
+    #[test]
+    fn convoy_is_deterministic_and_on_road() {
+        let scene = base_scene();
+        let a = Occluder::convoy(&scene, 4, 77);
+        let b = Occluder::convoy(&scene, 4, 77);
+        assert_eq!(a, b);
+        let c = Occluder::convoy(&scene, 4, 78);
+        assert_ne!(a, c);
+        for occ in &a {
+            for frame in [0u64, 13, 500] {
+                let aabb = occ.aabb_at(&scene, frame);
+                let cx = (aabb.min.x + aabb.max.x) / 2.0;
+                let cz = (aabb.min.z + aabb.max.z) / 2.0;
+                assert!(scene.is_drivable(cx, cz), "occluder off-road at {cx},{cz}");
+            }
+        }
+    }
+
+    #[test]
+    fn occluders_shrink_visible_road_and_advance_per_frame() {
+        let scene = base_scene();
+        let camera = PinholeCamera::kitti_like(96, 32);
+        let convoy = Occluder::convoy(&scene, 4, 5);
+        let road = |s: &Scene| render_ground_truth(s, &camera).to_tensor().sum();
+        let quiet = road(&scene);
+        let f0 = scene.with_occluders(&convoy, 0);
+        let f9 = scene.with_occluders(&convoy, 9);
+        assert!(road(&f0) < quiet, "occluders must hide road pixels");
+        // Moving traffic changes the picture between frames.
+        assert_ne!(
+            render_ground_truth(&f0, &camera),
+            render_ground_truth(&f9, &camera)
+        );
+        // Replaying the same frame reproduces the same geometry.
+        assert_eq!(
+            render_ground_truth(&scene.with_occluders(&convoy, 9), &camera),
+            render_ground_truth(&f9, &camera)
+        );
+    }
+}

@@ -5,6 +5,7 @@ use sf_vision::{GrayImage, RgbImage};
 use crate::camera::PinholeCamera;
 use crate::lighting::Lighting;
 use crate::scene::{Scene, Surface};
+use crate::weather::{Weather, WeatherKind};
 
 /// Deterministic value noise in `[-1, 1]` from integer lattice
 /// coordinates — gives materials their texture without any RNG state.
@@ -50,14 +51,55 @@ fn texture_amplitude(surface: Surface) -> f32 {
 /// shadows, night headlights with inverse-square falloff, exposure
 /// clamping and deterministic per-pixel sensor noise.
 pub fn render_rgb(scene: &Scene, camera: &PinholeCamera, lighting: Lighting) -> RgbImage {
+    render_rgb_with(scene, camera, lighting, Weather::clear())
+}
+
+/// Applies Koschmieder scattering and precipitation noise to one shaded
+/// pixel: `c' = c·T(d) + airlight·(1 − T(d)) + streaks`, where `T` is the
+/// weather's transmittance over the viewing distance `d`. Deterministic —
+/// streaks come from salted value noise, not RNG state.
+fn weather_pixel(weather: Weather, rgb: [f32; 3], distance: f32, u: usize, v: usize) -> [f32; 3] {
+    let t = weather.transmittance(distance);
+    let airlight = weather.airlight();
+    let salt = match weather.kind {
+        WeatherKind::Clear => 0,
+        WeatherKind::Rain => 0x5A17_0001,
+        WeatherKind::Fog => 0x5A17_0002,
+        WeatherKind::Snow => 0x5A17_0003,
+    };
+    let streak = value_noise(u as i32, v as i32, salt) * weather.precipitation_noise();
+    let mut out = [0.0f32; 3];
+    for (o, c) in out.iter_mut().zip(rgb) {
+        *o = (c * t + airlight * (1.0 - t) + streak).clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Renders the camera view of a scene under the given lighting and
+/// weather. With [`Weather::clear`] this is bit-identical to
+/// [`render_rgb`]; otherwise each shaded pixel is attenuated towards the
+/// weather's airlight over its viewing distance and overlaid with
+/// deterministic precipitation noise — so fog washes out exactly the far
+/// scene content whose LiDAR returns it also eats.
+pub fn render_rgb_with(
+    scene: &Scene,
+    camera: &PinholeCamera,
+    lighting: Lighting,
+    weather: Weather,
+) -> RgbImage {
     let (w, h) = (camera.width(), camera.height());
+    let clear = weather.is_clear();
     RgbImage::from_fn(w, h, |u, v| {
         let ray = camera.pixel_ray(u, v);
         let hit = scene.hit(&ray);
         if hit.surface == Surface::Sky {
             let sky = surface_tint(Surface::Sky);
             let level = (lighting.ambient + 0.4 * lighting.sun_intensity).min(1.0);
-            return [sky[0] * level, sky[1] * level, sky[2] * level];
+            let pixel = [sky[0] * level, sky[1] * level, sky[2] * level];
+            if clear {
+                return pixel;
+            }
+            return weather_pixel(weather, pixel, scene.max_range(), u, v);
         }
         // Textured albedo.
         let tex = value_noise(
@@ -85,11 +127,15 @@ pub fn render_rgb(scene: &Scene, camera: &PinholeCamera, lighting: Lighting) -> 
         let tint = surface_tint(hit.surface);
         let noise = value_noise(u as i32, v as i32, 0xBEEF) * lighting.noise;
         let base = albedo * light * lighting.exposure + noise;
-        [
+        let pixel = [
             (base * tint[0]).clamp(0.0, 1.0),
             (base * tint[1]).clamp(0.0, 1.0),
             (base * tint[2]).clamp(0.0, 1.0),
-        ]
+        ];
+        if clear {
+            return pixel;
+        }
+        weather_pixel(weather, pixel, hit.t, u, v)
     })
 }
 
@@ -253,6 +299,58 @@ mod tests {
             }
         }
         assert!(found);
+    }
+
+    #[test]
+    fn clear_weather_render_is_bit_identical() {
+        let (scene, cam) = test_setup();
+        let plain = render_rgb(&scene, &cam, Lighting::day());
+        let clear = render_rgb_with(&scene, &cam, Lighting::day(), Weather::clear());
+        assert_eq!(plain, clear);
+    }
+
+    #[test]
+    fn fog_washes_out_contrast_with_distance() {
+        let (scene, cam) = test_setup();
+        let clear = render_rgb(&scene, &cam, Lighting::day());
+        let foggy = render_rgb_with(&scene, &cam, Lighting::day(), Weather::fog(0.9));
+        assert_ne!(clear, foggy);
+        // Per-row contrast (max-min of the gray channel): the far rows
+        // (just under the horizon) must flatten far more than near rows.
+        let contrast = |im: &RgbImage, y: usize| {
+            let grays: Vec<f32> = (0..im.width())
+                .map(|x| {
+                    let [r, g, b] = im.get(x, y);
+                    (r + g + b) / 3.0
+                })
+                .collect();
+            grays.iter().cloned().fold(f32::MIN, f32::max)
+                - grays.iter().cloned().fold(f32::MAX, f32::min)
+        };
+        // Row 17 sits just under the horizon (far scenery), row 30 is
+        // near road.
+        let far_loss = contrast(&clear, 17) - contrast(&foggy, 17);
+        let near_loss = contrast(&clear, 30) - contrast(&foggy, 30);
+        assert!(
+            far_loss > near_loss,
+            "fog must flatten far rows more: far {far_loss} near {near_loss}"
+        );
+        // Everything stays in range.
+        for y in 0..foggy.height() {
+            for x in 0..foggy.width() {
+                for c in foggy.get(x, y) {
+                    assert!((0.0..=1.0).contains(&c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weather_render_is_deterministic() {
+        let (scene, cam) = test_setup();
+        let a = render_rgb_with(&scene, &cam, Lighting::day(), Weather::snow(0.8));
+        let b = render_rgb_with(&scene, &cam, Lighting::day(), Weather::snow(0.8));
+        assert_eq!(a, b);
     }
 
     #[test]

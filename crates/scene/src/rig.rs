@@ -1,0 +1,228 @@
+//! Multi-LiDAR rigs: 2–3 sensors at distinct mounts, each producing an
+//! independently-seeded depth stream tagged with its own source id.
+//!
+//! A [`Rig`] exists so the per-`SourceId` circuit breakers in the serve
+//! executor see genuinely independent sensors: every mount scans the
+//! same scene from its own pose with its own RNG stream, so a weather
+//! event or fault burst can take out one stream while the others stay
+//! healthy.
+
+use crate::lidar::LidarSpec;
+
+/// One sensor of a [`Rig`]: a [`LidarSpec`] plus a stable source tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigMount {
+    /// Human-readable mount name (`roof`, `left-pod`, …).
+    pub name: &'static str,
+    /// Stable source id the mount's stream is tagged with (becomes the
+    /// serve layer's `SourceId`).
+    pub source: u64,
+    /// Sensor geometry and noise model, including the mount pose.
+    pub spec: LidarSpec,
+}
+
+/// A vehicle sensor rig of 1–3 LiDARs at distinct mounts.
+///
+/// # Examples
+///
+/// ```
+/// use sf_scene::Rig;
+///
+/// let rig = Rig::triple();
+/// assert_eq!(rig.mounts().len(), 3);
+/// let sources: Vec<u64> = rig.mounts().iter().map(|m| m.source).collect();
+/// assert_eq!(sources, [0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rig {
+    mounts: Vec<RigMount>,
+}
+
+impl Rig {
+    /// The classic single roof-mounted sensor — the pre-rig pipeline.
+    pub fn single() -> Rig {
+        Rig {
+            mounts: vec![RigMount {
+                name: "roof",
+                source: 0,
+                spec: LidarSpec::default(),
+            }],
+        }
+    }
+
+    /// Roof sensor plus a left bumper pod.
+    pub fn dual() -> Rig {
+        let mut rig = Rig::single();
+        rig.mounts.push(RigMount {
+            name: "left-pod",
+            source: 1,
+            spec: Rig::pod_spec(-0.85),
+        });
+        rig
+    }
+
+    /// Roof sensor plus left and right bumper pods.
+    pub fn triple() -> Rig {
+        let mut rig = Rig::dual();
+        rig.mounts.push(RigMount {
+            name: "right-pod",
+            source: 2,
+            spec: Rig::pod_spec(0.85),
+        });
+        rig
+    }
+
+    /// A bumper pod: mounted low and to the side, fewer rings, slightly
+    /// wider field of view and higher dropout than the roof unit.
+    fn pod_spec(lateral: f32) -> LidarSpec {
+        LidarSpec {
+            rings: 32,
+            azimuth_steps: 120,
+            elevation_min: -0.30,
+            elevation_max: 0.10,
+            azimuth_half_fov: 0.85,
+            mount_height: 1.15,
+            mount_lateral: lateral,
+            mount_forward: 0.9,
+            dropout: 0.07,
+            ..LidarSpec::default()
+        }
+    }
+
+    /// The rig with `size` mounts (1, 2 or 3).
+    pub fn of_size(size: usize) -> Option<Rig> {
+        match size {
+            1 => Some(Rig::single()),
+            2 => Some(Rig::dual()),
+            3 => Some(Rig::triple()),
+            _ => None,
+        }
+    }
+
+    /// Named lookup used by CLI flags: `single`, `dual`, `triple` or a
+    /// mount count `1`/`2`/`3`.
+    pub fn by_name(name: &str) -> Option<Rig> {
+        match name {
+            "single" | "1" => Some(Rig::single()),
+            "dual" | "2" => Some(Rig::dual()),
+            "triple" | "3" => Some(Rig::triple()),
+            _ => None,
+        }
+    }
+
+    /// The mounts in source-id order.
+    pub fn mounts(&self) -> &[RigMount] {
+        &self.mounts
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.mounts.len()
+    }
+
+    /// A rig always has at least one mount.
+    pub fn is_empty(&self) -> bool {
+        self.mounts.is_empty()
+    }
+
+    /// A copy with every mount's ray budget reduced to `rings` ×
+    /// `azimuth_steps` — used by long soak runs to keep per-frame ray
+    /// casting affordable without changing mount geometry.
+    pub fn with_resolution(mut self, rings: usize, azimuth_steps: usize) -> Rig {
+        for mount in &mut self.mounts {
+            mount.spec.rings = rings;
+            mount.spec.azimuth_steps = azimuth_steps;
+        }
+        self
+    }
+
+    /// Derives the seed for one mount's scan of one frame: mixes the run
+    /// seed, the frame index and the mount's source id so every stream is
+    /// independent yet reproducible.
+    pub fn stream_seed(run_seed: u64, frame: u64, source: u64) -> u64 {
+        run_seed
+            ^ frame.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ source.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+    }
+}
+
+impl Default for Rig {
+    fn default() -> Self {
+        Rig::single()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{RoadCategory, SceneBuilder};
+    use sf_tensor::TensorRng;
+
+    #[test]
+    fn presets_have_expected_sizes_and_distinct_mounts() {
+        assert_eq!(Rig::single().len(), 1);
+        assert_eq!(Rig::dual().len(), 2);
+        assert_eq!(Rig::triple().len(), 3);
+        let rig = Rig::triple();
+        for (i, a) in rig.mounts().iter().enumerate() {
+            for b in &rig.mounts()[i + 1..] {
+                assert_ne!(a.source, b.source);
+                assert_ne!(a.name, b.name);
+                assert!(
+                    a.spec.mount_lateral != b.spec.mount_lateral
+                        || a.spec.mount_height != b.spec.mount_height,
+                    "mounts {} and {} share a pose",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_and_of_size_agree() {
+        assert_eq!(Rig::by_name("single"), Some(Rig::single()));
+        assert_eq!(Rig::by_name("dual"), Rig::of_size(2));
+        assert_eq!(Rig::by_name("3"), Some(Rig::triple()));
+        assert_eq!(Rig::by_name("quad"), None);
+        assert_eq!(Rig::of_size(0), None);
+    }
+
+    #[test]
+    fn single_rig_roof_matches_default_spec() {
+        // The single rig must reproduce the pre-rig pipeline exactly.
+        assert_eq!(Rig::single().mounts()[0].spec, LidarSpec::default());
+    }
+
+    #[test]
+    fn mounts_scan_from_distinct_poses() {
+        let scene = SceneBuilder::new(RoadCategory::UrbanMarked, 3).build();
+        let rig = Rig::triple();
+        let clouds: Vec<_> = rig
+            .mounts()
+            .iter()
+            .map(|m| m.spec.scan(&scene, &mut TensorRng::seed_from(1)))
+            .collect();
+        assert!(clouds.iter().all(|c| c.len() > 100));
+        assert_ne!(clouds[0], clouds[1]);
+        assert_ne!(clouds[1], clouds[2]);
+    }
+
+    #[test]
+    fn stream_seeds_are_independent() {
+        let a = Rig::stream_seed(7, 0, 0);
+        assert_ne!(a, Rig::stream_seed(7, 0, 1), "sources must differ");
+        assert_ne!(a, Rig::stream_seed(7, 1, 0), "frames must differ");
+        assert_ne!(a, Rig::stream_seed(8, 0, 0), "runs must differ");
+        assert_eq!(a, Rig::stream_seed(7, 0, 0), "but streams reproduce");
+    }
+
+    #[test]
+    fn with_resolution_scales_every_mount() {
+        let rig = Rig::triple().with_resolution(16, 48);
+        for mount in rig.mounts() {
+            assert_eq!(mount.spec.rings, 16);
+            assert_eq!(mount.spec.azimuth_steps, 48);
+        }
+    }
+}

@@ -270,6 +270,22 @@ impl Scene {
     pub fn max_range(&self) -> f32 {
         self.max_range
     }
+
+    /// A copy of the scene with the given occluders materialised as
+    /// on-road blocks at their `frame` positions. The boxes occlude
+    /// ground-truth road pixels and shadow LiDAR returns through the
+    /// ordinary [`Scene::hit`] path; replaying the same frame always
+    /// reproduces the same geometry.
+    pub fn with_occluders(&self, occluders: &[crate::Occluder], frame: u64) -> Scene {
+        let mut scene = self.clone();
+        for occluder in occluders {
+            scene.obstacles.push(Obstacle::Block {
+                aabb: occluder.aabb_at(self, frame),
+                albedo: occluder.albedo,
+            });
+        }
+        scene
+    }
 }
 
 /// Deterministic builder for [`Scene`]s.

@@ -1,0 +1,92 @@
+//! Property tests for the point-cloud → dense-depth-image preprocessing.
+//!
+//! Densification is an averaging filter, so it must interpolate — never
+//! extrapolate: no output pixel may claim a depth outside the range of
+//! the projected input returns, the image must be a pure function of the
+//! cloud, and degenerate inputs (no returns at all) must produce a
+//! well-defined all-zero image rather than NaNs.
+
+use sf_scene::{depth_image_from_cloud, PinholeCamera, PointCloud, Vec3};
+use sf_tensor::testkit::check_cases;
+
+/// A random cloud: some points project into the camera, some fall
+/// outside the frustum or behind the sensor.
+fn arbitrary_cloud(c: &mut sf_tensor::testkit::CaseCtx, points: usize) -> PointCloud {
+    (0..points)
+        .map(|_| {
+            Vec3::new(
+                c.f32_in(-30.0, 30.0),
+                c.f32_in(-2.0, 6.0),
+                c.f32_in(-5.0, 80.0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn densification_never_invents_depth_outside_input_range() {
+    check_cases(48, |c| {
+        let camera = PinholeCamera::kitti_like(c.usize_in(16, 64), c.usize_in(8, 32));
+        let points = c.usize_in(0, 200);
+        let cloud = arbitrary_cloud(c, points);
+        let max_range = c.f32_in(20.0, 80.0);
+        let fill = c.usize_in(0, 6);
+        // Bounds over the returns that actually land in the image, in the
+        // output's normalised-inverse-depth encoding.
+        let normalise = |z: f32| (1.0 - z / max_range).clamp(0.0, 1.0);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &p in cloud.points() {
+            if let Some((_, _, z)) = camera.project(p) {
+                lo = lo.min(normalise(z));
+                hi = hi.max(normalise(z));
+            }
+        }
+        let image = depth_image_from_cloud(&cloud, &camera, max_range, fill);
+        for &v in image.data() {
+            assert!(v.is_finite(), "case {}: non-finite pixel {v}", c.case);
+            if v == 0.0 {
+                // Unobserved pixels (and fully-clamped far returns)
+                // legitimately encode as 0.
+                continue;
+            }
+            assert!(
+                v >= lo - 1e-4 && v <= hi + 1e-4,
+                "case {}: pixel {v} outside projected input range [{lo}, {hi}]",
+                c.case
+            );
+        }
+    });
+}
+
+#[test]
+fn depth_image_is_deterministic_for_a_fixed_cloud() {
+    check_cases(32, |c| {
+        let camera = PinholeCamera::kitti_like(32, 16);
+        let points = c.usize_in(1, 150);
+        let cloud = arbitrary_cloud(c, points);
+        let a = depth_image_from_cloud(&cloud, &camera, 60.0, 3);
+        let b = depth_image_from_cloud(&cloud, &camera, 60.0, 3);
+        assert_eq!(
+            a.data(),
+            b.data(),
+            "case {}: same cloud must give bit-identical images",
+            c.case
+        );
+    });
+}
+
+#[test]
+fn empty_clouds_give_well_defined_black_images() {
+    check_cases(16, |c| {
+        let camera = PinholeCamera::kitti_like(c.usize_in(4, 64), c.usize_in(4, 32));
+        let fill = c.usize_in(0, 8);
+        let max_range = c.f32_in(1.0, 100.0);
+        let image = depth_image_from_cloud(&PointCloud::new(), &camera, max_range, fill);
+        assert_eq!(image.data().len(), camera.width() * camera.height());
+        for &v in image.data() {
+            assert!(!v.is_nan(), "case {}: NaN pixel from empty cloud", c.case);
+            assert_eq!(v, 0.0, "case {}: empty cloud must render black", c.case);
+        }
+    });
+}

@@ -279,6 +279,11 @@ pub struct ReplicaStats {
     pub breaker_state: Option<BreakerState>,
     /// Breaker trips on the live incarnation, summed over slots.
     pub breaker_trips: u64,
+    /// Per-slot breaker detail on the live incarnation, in slot-key
+    /// order (untagged first, then ascending [`SourceId`]). The soak
+    /// harness uses this to pin *which* source tripped a replica's
+    /// breaker, not just that one did.
+    pub breaker_slots: Vec<crate::stats::SlotBreakerStats>,
 }
 
 /// Fleet-wide counters plus per-replica roll-ups. See the
@@ -941,6 +946,7 @@ impl Fleet {
                     model_version: current.model_version,
                     breaker_state: current.breaker_state,
                     breaker_trips: current.breaker_trips,
+                    breaker_slots: current.breaker_slots,
                 };
                 for past in &replica.past {
                     let snap = past.stats();
@@ -1014,6 +1020,7 @@ impl Fleet {
                 model_version: 0,
                 breaker_state: None,
                 breaker_trips: 0,
+                breaker_slots: Vec::new(),
             };
             for past in replica.past {
                 let (_stale_net, snap) = unwrap_server(past).shutdown();
@@ -1035,6 +1042,7 @@ impl Fleet {
             stats.model_version = snap.model_version;
             stats.breaker_state = snap.breaker_state;
             stats.breaker_trips = snap.breaker_trips;
+            stats.breaker_slots = snap.breaker_slots;
             rollups.push(stats);
         }
         let core = self.lock();
@@ -1299,6 +1307,7 @@ mod tests {
             model_version: 0,
             breaker_state: None,
             breaker_trips: 0,
+            breaker_slots: Vec::new(),
         };
         let mut stats = FleetStats {
             submitted: 4,

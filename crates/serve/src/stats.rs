@@ -71,6 +71,11 @@ pub struct StatsSnapshot {
     pub breaker_transitions: Vec<BreakerTransition>,
     /// Per-slot breaker detail, in slot-key order.
     pub breaker_slots: Vec<SlotBreakerStats>,
+    /// High-water mark of the scratch-arena pool across all threads,
+    /// bytes, at snapshot time (see [`sf_tensor::scratch::pool_stats`]).
+    /// Thread-scheduling dependent — excluded from determinism
+    /// fingerprints; the soak harness asserts it *plateaus* instead.
+    pub scratch_peak_bytes: usize,
     /// Version of the model currently serving (0 until the first
     /// [`Server::stage_model`] swap is claimed by the executor).
     ///
@@ -195,6 +200,7 @@ impl StatsCollector {
             breaker_trips: 0,
             breaker_transitions: Vec::new(),
             breaker_slots: Vec::new(),
+            scratch_peak_bytes: sf_tensor::scratch::pool_stats().peak_bytes,
             model_version: data.model_version,
             swaps: data.swaps,
         }

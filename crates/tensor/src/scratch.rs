@@ -39,6 +39,7 @@
 //! ```
 
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Maximum buffers kept per thread: enough for every intermediate tensor
 /// of one batched forward pass, so a graph dropped after inference can
@@ -58,6 +59,106 @@ thread_local! {
     /// (an i8 buffer cannot be retyped as f32 without unsafe games).
     static FREE_LIST_I8: RefCell<Vec<Vec<i8>>> = const { RefCell::new(Vec::new()) };
     static HELD_ELEMS_I8: Cell<usize> = const { Cell::new(0) };
+    /// High-water mark of this thread's pooled bytes (f32 + i8 lists).
+    static PEAK_BYTES: Cell<usize> = const { Cell::new(0) };
+}
+
+// Process-wide mirrors of the per-thread counters, maintained with
+// relaxed atomics on every take/recycle. They let a serving stack report
+// one arena high-water mark across all worker threads — the soak
+// harness's bounded-memory probe. Relaxed is enough: the values are
+// monitoring data, never used for synchronisation.
+static GLOBAL_HELD_BYTES: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL_PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL_BUFFERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Arena residency counters — what the free lists currently *hold*, not
+/// what kernels have loaned out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Bytes currently held by the free lists.
+    pub held_bytes: usize,
+    /// Number of pooled buffers.
+    pub buffers: usize,
+    /// High-water mark of `held_bytes` since startup or the last
+    /// [`reset_peak`].
+    pub peak_bytes: usize,
+}
+
+fn thread_held_bytes() -> usize {
+    HELD_ELEMS.with(Cell::get) * std::mem::size_of::<f32>() + HELD_ELEMS_I8.with(Cell::get)
+}
+
+/// Records `bytes` entering a free list (one buffer kept).
+fn pool_grew(bytes: usize) {
+    EXIT_GUARD.with(|_| {});
+    GLOBAL_BUFFERS.fetch_add(1, Ordering::Relaxed);
+    let now = GLOBAL_HELD_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    GLOBAL_PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+    let held = thread_held_bytes();
+    PEAK_BYTES.with(|p| p.set(p.get().max(held)));
+}
+
+/// Records `bytes` leaving a free list (one buffer taken or evicted).
+fn pool_shrank(bytes: usize) {
+    GLOBAL_BUFFERS.fetch_sub(1, Ordering::Relaxed);
+    GLOBAL_HELD_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+thread_local! {
+    /// Settles this thread's share of the global counters when the
+    /// thread exits — otherwise buffers freed by TLS teardown would stay
+    /// counted as held forever. Touched once per recycle so the
+    /// destructor is registered on every pooling thread.
+    static EXIT_GUARD: ExitGuard = const { ExitGuard };
+}
+
+struct ExitGuard;
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        // TLS destructor order is unspecified: the lists may already be
+        // gone, in which case their own teardown freed the memory and we
+        // saturate rather than underflow.
+        let bytes = HELD_ELEMS.try_with(Cell::get).unwrap_or(0) * std::mem::size_of::<f32>()
+            + HELD_ELEMS_I8.try_with(Cell::get).unwrap_or(0);
+        let buffers = FREE_LIST.try_with(|c| c.borrow().len()).unwrap_or(0)
+            + FREE_LIST_I8.try_with(|c| c.borrow().len()).unwrap_or(0);
+        let _ = GLOBAL_HELD_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(bytes))
+        });
+        let _ = GLOBAL_BUFFERS.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(buffers))
+        });
+    }
+}
+
+/// This thread's arena counters: current residency plus the per-thread
+/// high-water mark (f32 and i8 lists combined).
+pub fn stats() -> ScratchStats {
+    ScratchStats {
+        held_bytes: thread_held_bytes(),
+        buffers: FREE_LIST.with(|c| c.borrow().len()) + FREE_LIST_I8.with(|c| c.borrow().len()),
+        peak_bytes: PEAK_BYTES.with(Cell::get),
+    }
+}
+
+/// Resets this thread's high-water mark to the current residency.
+pub fn reset_peak() {
+    PEAK_BYTES.with(|p| p.set(thread_held_bytes()));
+}
+
+/// Process-wide arena counters aggregated over every thread — the
+/// bounded-memory probe the soak harness asserts on. `peak_bytes` is
+/// monotone within a process (no global reset: a concurrent reset would
+/// race with worker threads); a plateauing peak is the signal that
+/// steady-state serving has stopped growing the arena.
+pub fn pool_stats() -> ScratchStats {
+    ScratchStats {
+        held_bytes: GLOBAL_HELD_BYTES.load(Ordering::Relaxed),
+        buffers: GLOBAL_BUFFERS.load(Ordering::Relaxed),
+        peak_bytes: GLOBAL_PEAK_BYTES.load(Ordering::Relaxed),
+    }
 }
 
 /// Pops the smallest pooled buffer with capacity for `len` elements, so
@@ -71,6 +172,7 @@ fn take_best_fit(len: usize) -> Option<Vec<f32>> {
         (i < pool.len()).then(|| {
             let buf = pool.remove(i);
             HELD_ELEMS.with(|held| held.set(held.get() - buf.capacity()));
+            pool_shrank(buf.capacity() * std::mem::size_of::<f32>());
             buf
         })
     })
@@ -121,11 +223,14 @@ pub fn recycle(buf: Vec<f32>) {
         if pool.len() < MAX_POOLED {
             pool.insert(i, buf);
             HELD_ELEMS.with(|h| h.set(held + cap));
+            pool_grew(cap * std::mem::size_of::<f32>());
         } else if i > 0 {
             // Full: evict the smallest buffer (index 0) for a bigger one.
             let evicted = pool.remove(0);
             pool.insert(i - 1, buf);
             HELD_ELEMS.with(|h| h.set(held + cap - evicted.capacity()));
+            pool_grew(cap * std::mem::size_of::<f32>());
+            pool_shrank(evicted.capacity() * std::mem::size_of::<f32>());
         }
     });
 }
@@ -149,6 +254,7 @@ pub fn take_zeroed_i8(len: usize) -> Vec<i8> {
         (i < pool.len()).then(|| {
             let buf = pool.remove(i);
             HELD_ELEMS_I8.with(|held| held.set(held.get() - buf.capacity()));
+            pool_shrank(buf.capacity());
             buf
         })
     });
@@ -179,10 +285,13 @@ pub fn recycle_i8(buf: Vec<i8>) {
         if pool.len() < MAX_POOLED {
             pool.insert(i, buf);
             HELD_ELEMS_I8.with(|h| h.set(held + cap));
+            pool_grew(cap);
         } else if i > 0 {
             let evicted = pool.remove(0);
             pool.insert(i - 1, buf);
             HELD_ELEMS_I8.with(|h| h.set(held + cap - evicted.capacity()));
+            pool_grew(cap);
+            pool_shrank(evicted.capacity());
         }
     });
 }
@@ -261,6 +370,54 @@ mod tests {
         recycle_i8(big);
         let again = take_zeroed_i8(2048);
         assert!(again.capacity() >= cap.min(2048));
+    }
+
+    #[test]
+    fn stats_track_residency_and_peak() {
+        // Establish a known floor, then grow the pool and watch the
+        // counters move. Other tests on this thread may have pooled
+        // buffers already, so assert deltas, not absolutes.
+        reset_peak();
+        let before = stats();
+        assert_eq!(before.peak_bytes, before.held_bytes);
+        let buf = take_zeroed(4096);
+        let cap_bytes = buf.capacity() * std::mem::size_of::<f32>();
+        recycle(buf);
+        let after = stats();
+        assert!(after.held_bytes >= before.held_bytes.min(after.held_bytes));
+        assert!(
+            after.peak_bytes >= cap_bytes.min(after.held_bytes),
+            "peak {} must register the recycled buffer",
+            after.peak_bytes
+        );
+        assert!(after.buffers >= 1);
+        // Taking the buffer back lowers residency but never the peak.
+        let again = take_zeroed(4096);
+        let drained = stats();
+        assert!(drained.held_bytes < after.held_bytes);
+        assert_eq!(drained.peak_bytes, after.peak_bytes);
+        recycle(again);
+        // reset_peak collapses the mark onto current residency.
+        reset_peak();
+        let reset = stats();
+        assert_eq!(reset.peak_bytes, reset.held_bytes);
+    }
+
+    #[test]
+    fn pool_stats_see_every_thread() {
+        let buf = take_zeroed(1 << 16);
+        recycle(buf);
+        std::thread::spawn(|| {
+            let buf = take_zeroed(1 << 16);
+            recycle(buf);
+        })
+        .join()
+        .unwrap();
+        let pool = pool_stats();
+        // Both this thread's and the worker's recycles registered; the
+        // worker's buffer is still held (its thread never took it back).
+        assert!(pool.peak_bytes >= (1 << 16) * std::mem::size_of::<f32>());
+        assert!(pool.peak_bytes >= pool.held_bytes || pool.buffers > 0);
     }
 
     #[test]

@@ -132,9 +132,14 @@ impl GrayImage {
     }
 
     /// Converts to a `[H, W]` tensor.
+    ///
+    /// The tensor's buffer comes from the scratch pool when one is
+    /// available, so streaming pipelines that recycle their frame
+    /// tensors (the soak harness) run at a bounded arena footprint.
     pub fn to_tensor(&self) -> Tensor {
-        Tensor::from_vec(self.data.clone(), &[self.height, self.width])
-            .expect("length matches by construction")
+        let mut data = sf_tensor::scratch::take_spare(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor::from_vec(data, &[self.height, self.width]).expect("length matches by construction")
     }
 
     /// Min–max normalises the image into `[0, 1]`; constant images map
@@ -272,8 +277,11 @@ impl RgbImage {
     }
 
     /// Converts to a `[3, H, W]` tensor.
+    ///
+    /// Pool-backed like [`GrayImage::to_tensor`]: the buffer is drawn
+    /// from the scratch arena when a spare of the right size exists.
     pub fn to_tensor(&self) -> Tensor {
-        let mut data = Vec::with_capacity(3 * self.width * self.height);
+        let mut data = sf_tensor::scratch::take_spare(3 * self.width * self.height);
         for plane in &self.planes {
             data.extend_from_slice(plane);
         }

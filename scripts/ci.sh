@@ -70,6 +70,13 @@ echo "==> fleet chaos smoke (replica kills, hot swap, shadow deploy)"
 # casualty, a nonzero shadow diff, or same-seed fingerprint divergence.
 ./target/release/roadseg chaos --fleet --smoke
 
+echo "==> soak smoke (weather fronts + multi-LiDAR rig + fault bursts, long-haul)"
+# Runs the CI-sized 240-frame scenario twice against a 3-replica fleet;
+# exits non-zero unless every window conserves the fleet ledger, the
+# scratch-arena peak plateaus, the burst source's breaker trips and
+# re-closes, and the two runs' ledger fingerprints are identical.
+./target/release/roadseg soak --smoke
+
 echo "==> fleet-bench smoke (routing + mid-run kill/revive/hot-swap)"
 # 2 replicas under live load with a kill, a revival and a retrained-model
 # hot swap mid-run; --smoke exits non-zero unless every request is served

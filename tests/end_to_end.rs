@@ -19,6 +19,7 @@ fn tiny_dataset() -> (DatasetConfig, RoadDataset) {
         seed: 99,
         adverse_fraction: 0.3,
         traffic_fraction: 0.25,
+        ..DatasetConfig::standard()
     };
     let data = RoadDataset::generate(&config);
     (config, data)
